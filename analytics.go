@@ -1,0 +1,40 @@
+package temporalspec
+
+import "repro/internal/query"
+
+// TimelineStep is one piece of the valid-time profile: Count facts are
+// valid throughout Span.
+type TimelineStep = query.TimelineStep
+
+// Timeline computes the valid-time profile of an extension — the classic
+// temporal COUNT aggregation as a step function.
+func Timeline(es []*Element) []TimelineStep { return query.Timeline(es) }
+
+// CoverageSet returns the set of chronons during which at least one
+// element is valid, as a canonical interval set.
+func CoverageSet(es []*Element) IntervalSet { return query.CoverageSet(es) }
+
+// MaxConcurrent reports the largest number of simultaneously valid
+// elements and one span where it occurs.
+func MaxConcurrent(es []*Element) (int, Interval) { return query.MaxConcurrent(es) }
+
+// JoinedPair is one result of a valid-time join.
+type JoinedPair = query.JoinedPair
+
+// TemporalJoin computes the valid-time join of two extensions: pairs whose
+// valid times intersect and satisfy the match predicate (nil matches every
+// overlapping pair), with the intersection span.
+func TemporalJoin(left, right []*Element, match func(l, r *Element) bool) []JoinedPair {
+	return query.TemporalJoin(left, right, match)
+}
+
+// CoalescedFact is one group of value-equivalent elements with the
+// canonical set of chronons during which the fact holds.
+type CoalescedFact = query.CoalescedFact
+
+// Coalesce performs temporal coalescing: value-equivalent elements merge
+// and their valid times union into maximal intervals. A nil key groups by
+// attribute values.
+func Coalesce(es []*Element, key func(*Element) string) []CoalescedFact {
+	return query.Coalesce(es, key)
+}

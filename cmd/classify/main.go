@@ -1,0 +1,110 @@
+// Command classify reads a relation extension and reports every temporal
+// specialization it satisfies, with synthesized parameters, plus the
+// most-specific classes — the design-time use of the taxonomy.
+//
+// Input is CSV on stdin (or a file given with -in), one element per line:
+//
+//	tt,vt          for an event relation
+//	tt,vts,vte     for an interval relation (half-open valid interval)
+//
+// Times are integers (chronons) or "YYYY-MM-DD[ HH:MM:SS]" date-times.
+// Lines starting with '#' are skipped. An optional first column "os=<n>"
+// assigns the element to an object partition for per-partition analysis.
+// Alternatively, -tsbl classifies a persisted backlog file.
+//
+// Usage:
+//
+//	classify [-in file.csv | -tsbl file.tsbl] [-gran second] [-basis insertion]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	ts "repro"
+	"repro/internal/ingest"
+)
+
+func main() {
+	in := flag.String("in", "", "input CSV file (default stdin)")
+	tsbl := flag.String("tsbl", "", "classify a persisted backlog file instead of CSV")
+	granFlag := flag.String("gran", "second", "granularity for the degenerate test")
+	basisFlag := flag.String("basis", "insertion", "transaction-time basis: insertion or deletion")
+	flag.Parse()
+
+	gran, err := ts.ParseGranularity(*granFlag)
+	if err != nil {
+		fatal(err)
+	}
+	var basis ts.TTBasis
+	switch *basisFlag {
+	case "insertion":
+		basis = ts.TTInsertion
+	case "deletion":
+		basis = ts.TTDeletion
+	default:
+		fatal(fmt.Errorf("unknown basis %q", *basisFlag))
+	}
+
+	var elems []*ts.Element
+	var parts map[ts.Surrogate][]*ts.Element
+	if *tsbl != "" {
+		rel, err := ts.LoadBacklog(*tsbl, ts.NewLogicalClock(0, 1))
+		if err != nil {
+			fatal(err)
+		}
+		gran = rel.Schema().Granularity
+		elems = rel.Versions()
+		parts = rel.Partitions()
+	} else {
+		var r io.Reader = os.Stdin
+		if *in != "" {
+			f, err := os.Open(*in)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			r = f
+		}
+		var err error
+		elems, parts, err = ingest.CSV(r)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if len(elems) == 0 {
+		fatal(fmt.Errorf("no elements in input"))
+	}
+
+	rep := ts.Classify(elems, basis, gran)
+	fmt.Printf("%d elements, %v basis, granularity %v\n\n", len(elems), basis, gran)
+	fmt.Println("Satisfied specializations:")
+	for _, f := range rep.Findings {
+		fmt.Printf("  %v\n", f)
+	}
+	fmt.Println("\nMost specific:")
+	for _, f := range rep.MostSpecific() {
+		fmt.Printf("  %v\n", f)
+	}
+
+	if len(parts) > 1 {
+		prep := ts.ClassifyPerPartition(parts, basis, gran)
+		fmt.Printf("\nPer-partition (across %d partitions):\n", len(parts))
+		for _, f := range prep.Findings {
+			fmt.Printf("  %v\n", f)
+		}
+	}
+
+	advice := ts.Advise(rep.Classes(), elems[0].VT.Kind())
+	fmt.Printf("\nStorage advice: %v\n", advice.Store)
+	for _, reason := range advice.Reasons {
+		fmt.Printf("  - %s\n", reason)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "classify: %v\n", err)
+	os.Exit(1)
+}

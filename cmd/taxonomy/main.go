@@ -1,0 +1,101 @@
+// Command taxonomy prints the paper's figures as text: the Figure 1
+// regions of the isolated-event specializations, the generalization/
+// specialization lattices of Figures 2-5, and the §3.1 completeness
+// enumeration.
+//
+// Usage:
+//
+//	taxonomy            # everything
+//	taxonomy -fig 1     # just one figure (1-5)
+//	taxonomy -complete  # just the completeness enumeration
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	ts "repro"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "print only this figure (1-5)")
+	complete := flag.Bool("complete", false, "print only the completeness enumeration")
+	size := flag.Int("size", 24, "grid size for Figure 1 panels")
+	flag.Parse()
+
+	switch {
+	case *complete:
+		printCompleteness()
+	case *fig == 0:
+		printFigure1(*size)
+		printLattice(2, ts.CategoryIsolatedEvent)
+		printLattice(3, ts.CategoryInterEventOrder)
+		printLattice(4, ts.CategoryInterEventRegular)
+		fmt.Println("§3.3 interval regularity (same structure as Figure 4):")
+		fmt.Println(ts.RenderLattice(ts.CategoryIntervalRegular))
+		printLattice(5, ts.CategoryInterInterval)
+		printCompleteness()
+	case *fig == 1:
+		printFigure1(*size)
+	case *fig == 2:
+		printLattice(2, ts.CategoryIsolatedEvent)
+	case *fig == 3:
+		printLattice(3, ts.CategoryInterEventOrder)
+	case *fig == 4:
+		printLattice(4, ts.CategoryInterEventRegular)
+	case *fig == 5:
+		printLattice(5, ts.CategoryInterInterval)
+	default:
+		fmt.Fprintf(os.Stderr, "taxonomy: no figure %d\n", *fig)
+		os.Exit(2)
+	}
+}
+
+func printFigure1(size int) {
+	fmt.Println("Figure 1: Restrictions on Time-stamps in Isolated Event Based Specialized Temporal Relations")
+	fmt.Printf("(Δt = %d chronons, Δt₂ = %d chronons; '#' permitted, '·' forbidden)\n\n", size/3, 2*size/3)
+	inner := ts.Seconds(int64(size / 3))
+	outer := ts.Seconds(int64(2 * size / 3))
+	specs := []ts.EventSpec{ts.GeneralSpec(), ts.RetroactiveSpec(), ts.PredictiveSpec()}
+	for _, build := range []func() (ts.EventSpec, error){
+		func() (ts.EventSpec, error) { return ts.DelayedRetroactiveSpec(inner) },
+		func() (ts.EventSpec, error) { return ts.EarlyPredictiveSpec(inner) },
+		func() (ts.EventSpec, error) { return ts.RetroactivelyBoundedSpec(inner) },
+		func() (ts.EventSpec, error) { return ts.StronglyRetroactivelyBoundedSpec(inner) },
+		func() (ts.EventSpec, error) { return ts.DelayedStronglyRetroactivelyBoundedSpec(inner, outer) },
+		func() (ts.EventSpec, error) { return ts.PredictivelyBoundedSpec(inner) },
+		func() (ts.EventSpec, error) { return ts.StronglyPredictivelyBoundedSpec(inner) },
+		func() (ts.EventSpec, error) { return ts.EarlyStronglyPredictivelyBoundedSpec(inner, outer) },
+		func() (ts.EventSpec, error) { return ts.StronglyBoundedSpec(inner, inner) },
+		func() (ts.EventSpec, error) { return ts.DegenerateSpec(ts.Second) },
+	} {
+		s, err := build()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "taxonomy: %v\n", err)
+			os.Exit(1)
+		}
+		specs = append(specs, s)
+	}
+	for _, s := range specs {
+		fmt.Println(ts.RenderRegion(s, size))
+	}
+}
+
+func printLattice(n int, cat ts.Category) {
+	fmt.Printf("Figure %d: Generalization/Specialization Structure (%v)\n", n, cat)
+	fmt.Println(ts.RenderLattice(cat))
+}
+
+func printCompleteness() {
+	c := ts.EnumerateRegions()
+	fmt.Println("Completeness enumeration (§3.1):")
+	fmt.Printf("  regions with zero boundary lines: %d (the general relation)\n", c.ZeroLines)
+	fmt.Printf("  regions with one boundary line:   %d\n", c.OneLine)
+	fmt.Printf("  regions with two boundary lines:  %d\n", c.TwoLines)
+	fmt.Printf("  specialized relation types:       %d (the paper's \"total of eleven types\")\n", c.Specializations())
+	fmt.Println("  classes realized:")
+	for _, cls := range c.Classes {
+		fmt.Printf("    - %v\n", cls)
+	}
+}

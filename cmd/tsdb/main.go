@@ -1,0 +1,31 @@
+// Command tsdb is a small interactive (or batch, via stdin) bitemporal
+// database shell: create relations, declare temporal specializations on
+// them, run insert/delete/modify transactions — watching violating ones be
+// rejected — issue temporal queries (including the SELECT language), and
+// persist relations as checksummed backlogs.
+//
+// Example session:
+//
+//	create temps event second
+//	declare temps per-relation retroactive sequential
+//	insert temps vt=100
+//	select * from temps when valid at 100
+//	save temps temps.tsbl
+//
+// Run "help" inside the shell for the full command set; the implementation
+// lives in internal/shell.
+package main
+
+import (
+	"os"
+
+	"repro/internal/shell"
+)
+
+func main() {
+	interactive := false
+	if fi, err := os.Stdin.Stat(); err == nil && fi.Mode()&os.ModeCharDevice != 0 {
+		interactive = true
+	}
+	shell.New(os.Stdout).Run(os.Stdin, interactive)
+}

@@ -1,0 +1,141 @@
+package temporalspec
+
+import (
+	"fmt"
+
+	"repro/internal/constraint"
+	"repro/internal/query"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// Scope selects the basis on which a specialization is enforced.
+type Scope = constraint.Scope
+
+// Enforcement scopes.
+const (
+	PerRelation  = constraint.PerRelation
+	PerPartition = constraint.PerPartition
+)
+
+// Constraint is a declarable temporal specialization.
+type Constraint = constraint.Constraint
+
+// Declarable constraint kinds.
+type (
+	// EventConstraint declares an isolated-event specialization.
+	EventConstraint = constraint.Event
+	// DeterminedConstraint declares a determined specialization.
+	DeterminedConstraint = constraint.Determined
+	// InterEventConstraint declares an inter-event specialization.
+	InterEventConstraint = constraint.InterEvent
+	// IntervalRegularConstraint declares interval regularity.
+	IntervalRegularConstraint = constraint.IntervalRegular
+	// InterIntervalConstraint declares an inter-interval specialization.
+	InterIntervalConstraint = constraint.InterInterval
+)
+
+// Enforcer validates every transaction against declared specializations.
+type Enforcer = constraint.Enforcer
+
+// NewEnforcer builds an enforcer for the given scope and constraints.
+func NewEnforcer(scope Scope, cs ...Constraint) *Enforcer {
+	return constraint.NewEnforcer(scope, cs...)
+}
+
+// Declare attaches the constraints to the relation as an enforcer, so that
+// violating transactions are rejected.
+func Declare(r *Relation, scope Scope, cs ...Constraint) *Enforcer {
+	return constraint.Attach(r, scope, cs...)
+}
+
+// StoreKind identifies a physical organization.
+type StoreKind = storage.Kind
+
+// Physical organizations.
+const (
+	HeapStore      = storage.Heap
+	TTOrderedStore = storage.TTOrdered
+	VTOrderedStore = storage.VTOrdered
+)
+
+// Store is a physical organization of a relation's elements.
+type Store = storage.Store
+
+// Store constructors for explicit physical-design choices (the advisor
+// normally picks for you).
+func NewHeapStore() Store  { return storage.NewHeap() }
+func NewTTLogStore() Store { return storage.NewTTLog() }
+func NewVTLogStore() Store { return storage.NewVTLog() }
+
+// Advice is the storage advisor's recommendation.
+type Advice = storage.Advice
+
+// Advise maps declared specializations to a physical organization, per the
+// paper's optimization remarks.
+func Advise(classes []Class, stampKind TimestampKind) Advice {
+	return storage.Advise(classes, stampKind)
+}
+
+// QueryEngine executes current/historical/rollback queries over a store,
+// reporting plans and touched counts.
+type QueryEngine = query.Engine
+
+// QueryResult is a query answer with its plan and cost.
+type QueryResult = query.Result
+
+// NewQueryEngine builds an engine over a store built for the declared
+// classes.
+func NewQueryEngine(store Store, classes []Class) *QueryEngine {
+	return query.New(store, classes)
+}
+
+// EngineForRelation loads a relation into the advised store and returns a
+// query engine over it.
+func EngineForRelation(r *Relation, classes []Class) (*QueryEngine, Advice, error) {
+	return query.ForRelation(r, classes)
+}
+
+// WorkloadConfig parameterizes a workload generator.
+type WorkloadConfig = workload.Config
+
+// Workload generators for the paper's motivating applications.
+func MonitoringWorkload(cfg WorkloadConfig) (*Relation, error)  { return workload.Monitoring(cfg) }
+func PayrollWorkload(cfg WorkloadConfig) (*Relation, error)     { return workload.Payroll(cfg) }
+func AccountingWorkload(cfg WorkloadConfig) (*Relation, error)  { return workload.Accounting(cfg) }
+func OrdersWorkload(cfg WorkloadConfig) (*Relation, error)      { return workload.Orders(cfg) }
+func ArchaeologyWorkload(cfg WorkloadConfig) (*Relation, error) { return workload.Archaeology(cfg) }
+
+// AssignmentsWorkload builds the weekly-assignments interval relation with
+// the given number of employee life-lines.
+func AssignmentsWorkload(cfg WorkloadConfig, employees int) (*Relation, error) {
+	return workload.Assignments(cfg, employees)
+}
+
+// EventStampsWorkload generates stamps inside a given isolated-event
+// class's Figure 1 region.
+func EventStampsWorkload(class Class, cfg WorkloadConfig) []Stamp {
+	return workload.EventStamps(class, cfg)
+}
+
+// WorkloadBounds returns the representative bounds EventStampsWorkload
+// generates within.
+func WorkloadBounds() (inner, outer Duration) { return workload.Bounds() }
+
+// EnableBoundedPushdown turns a declared two-sided bound (lo ≤ vt − tt ≤
+// hi, from spec.OffsetBounds) into a query strategy: valid-time queries on
+// the engine's tt-ordered store binary-search the implied transaction-time
+// window instead of scanning. Only sound for event-stamped relations —
+// interval starts are not bounded below by a query point — and only fixed
+// (non-calendric) two-sided bounds qualify.
+func EnableBoundedPushdown(en *QueryEngine, r *Relation, spec EventSpec) error {
+	if r.Schema().ValidTime != EventStamp {
+		return fmt.Errorf("temporalspec: bounded pushdown requires an event-stamped relation")
+	}
+	lo, hi, ok := spec.OffsetBounds()
+	if !ok {
+		return fmt.Errorf("temporalspec: %v has no fixed two-sided offset bounds", spec)
+	}
+	en.UseVTOffsetBounds(lo, hi)
+	return nil
+}

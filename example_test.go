@@ -1,0 +1,90 @@
+package temporalspec_test
+
+import (
+	"fmt"
+
+	ts "repro"
+)
+
+// Declaring a retroactive relation and watching enforcement reject a
+// future-valid fact.
+func ExampleDeclare() {
+	r := ts.NewRelation(ts.Schema{
+		Name: "readings", ValidTime: ts.EventStamp, Granularity: ts.Second,
+	}, ts.NewLogicalClock(1000, 60))
+	ts.Declare(r, ts.PerRelation, ts.EventConstraint{Spec: ts.RetroactiveSpec()})
+
+	if _, err := r.Insert(ts.Insertion{VT: ts.EventAt(900)}); err == nil {
+		fmt.Println("past reading stored")
+	}
+	if _, err := r.Insert(ts.Insertion{VT: ts.EventAt(5000)}); err != nil {
+		fmt.Println("future reading rejected")
+	}
+	// Output:
+	// past reading stored
+	// future reading rejected
+}
+
+// Classifying an extension into the taxonomy and asking the advisor for a
+// physical design.
+func ExampleClassify() {
+	r := ts.NewRelation(ts.Schema{
+		Name: "samples", ValidTime: ts.EventStamp, Granularity: ts.Second,
+	}, ts.NewLogicalClock(0, 60))
+	for i := int64(1); i <= 4; i++ {
+		// Each sample is stored exactly 45 s after it was taken.
+		if _, err := r.Insert(ts.Insertion{VT: ts.EventAt(ts.Chronon(i*60 - 45))}); err != nil {
+			panic(err)
+		}
+	}
+	rep := ts.Classify(r.Versions(), ts.TTInsertion, ts.Second)
+	fmt.Println("sequential:", rep.Has(ts.GloballySequentialEvents))
+	fmt.Println("retroactive:", rep.Has(ts.Retroactive))
+	fmt.Println("advice:", ts.Advise(rep.Classes(), ts.EventStamp).Store)
+	// Output:
+	// sequential: true
+	// retroactive: true
+	// advice: vt-ordered log
+}
+
+// Allen's interval relations and their composition algebra.
+func ExampleRelate() {
+	morning := ts.MakeInterval(ts.DateTime(1992, 2, 3, 9, 0, 0), ts.DateTime(1992, 2, 3, 12, 0, 0))
+	lunch := ts.MakeInterval(ts.DateTime(1992, 2, 3, 12, 0, 0), ts.DateTime(1992, 2, 3, 13, 0, 0))
+	afternoon := ts.MakeInterval(ts.DateTime(1992, 2, 3, 13, 0, 0), ts.DateTime(1992, 2, 3, 17, 0, 0))
+
+	fmt.Println(ts.Relate(morning, lunch))
+	fmt.Println(ts.Relate(morning, afternoon))
+	fmt.Println(ts.Compose(ts.Meets, ts.Meets))
+	// Output:
+	// meets
+	// before
+	// {before}
+}
+
+// The completeness enumeration of §3.1: eleven specialized isolated-event
+// relations plus the general one.
+func ExampleEnumerateRegions() {
+	c := ts.EnumerateRegions()
+	fmt.Printf("%d + %d + %d regions; %d specializations\n",
+		c.ZeroLines, c.OneLine, c.TwoLines, c.Specializations())
+	// Output:
+	// 1 + 6 + 5 regions; 11 specializations
+}
+
+// A bitemporal SELECT: what did the database believe at transaction time
+// 25 about facts valid at 100?
+func ExampleRunQuery() {
+	r := ts.NewRelation(ts.Schema{
+		Name: "emp", ValidTime: ts.EventStamp, Granularity: ts.Second,
+		Invariant: []ts.Column{{Name: "name", Type: ts.KindString}},
+	}, ts.NewLogicalClock(0, 10))
+	e, _ := r.Insert(ts.Insertion{VT: ts.EventAt(100), Invariant: []ts.Value{ts.String("ann")}})
+	_, _ = r.Modify(e.ES, ts.EventAt(300), nil)
+
+	res, _ := ts.RunQuery("select name from emp as of 15 when valid at 100",
+		func(string) (*ts.Relation, bool) { return r, true })
+	fmt.Println(len(res.Rows), "row(s)")
+	// Output:
+	// 1 row(s)
+}

@@ -1,0 +1,230 @@
+package temporalspec_test
+
+import (
+	"testing"
+
+	ts "repro"
+)
+
+// TestFacadeSpecConstructors sweeps every specialization constructor the
+// facade re-exports, so the public API surface stays wired to the core.
+func TestFacadeSpecConstructors(t *testing.T) {
+	dt, dt2 := ts.Seconds(10), ts.Seconds(30)
+	okEvent := []func() (ts.EventSpec, error){
+		func() (ts.EventSpec, error) { return ts.DelayedRetroactiveSpec(dt) },
+		func() (ts.EventSpec, error) { return ts.EarlyPredictiveSpec(dt) },
+		func() (ts.EventSpec, error) { return ts.RetroactivelyBoundedSpec(dt) },
+		func() (ts.EventSpec, error) { return ts.StronglyRetroactivelyBoundedSpec(dt) },
+		func() (ts.EventSpec, error) { return ts.DelayedStronglyRetroactivelyBoundedSpec(dt, dt2) },
+		func() (ts.EventSpec, error) { return ts.PredictivelyBoundedSpec(dt) },
+		func() (ts.EventSpec, error) { return ts.StronglyPredictivelyBoundedSpec(dt) },
+		func() (ts.EventSpec, error) { return ts.EarlyStronglyPredictivelyBoundedSpec(dt, dt2) },
+		func() (ts.EventSpec, error) { return ts.StronglyBoundedSpec(dt, dt2) },
+		func() (ts.EventSpec, error) { return ts.DegenerateSpec(ts.Second) },
+	}
+	for i, f := range okEvent {
+		if _, err := f(); err != nil {
+			t.Errorf("event constructor %d: %v", i, err)
+		}
+	}
+	for _, f := range []func() (ts.InterEventSpec, error){
+		func() (ts.InterEventSpec, error) { return ts.TTEventRegularSpec(dt) },
+		func() (ts.InterEventSpec, error) { return ts.VTEventRegularSpec(dt) },
+		func() (ts.InterEventSpec, error) { return ts.TemporalEventRegularSpec(dt) },
+		func() (ts.InterEventSpec, error) { return ts.StrictTTEventRegularSpec(dt) },
+		func() (ts.InterEventSpec, error) { return ts.StrictVTEventRegularSpec(dt) },
+		func() (ts.InterEventSpec, error) { return ts.StrictTemporalEventRegularSpec(dt) },
+	} {
+		if _, err := f(); err != nil {
+			t.Errorf("inter-event constructor: %v", err)
+		}
+	}
+	for _, f := range []func() (ts.IntervalRegularSpec, error){
+		func() (ts.IntervalRegularSpec, error) { return ts.TTIntervalRegularSpec(dt) },
+		func() (ts.IntervalRegularSpec, error) { return ts.VTIntervalRegularSpec(dt) },
+		func() (ts.IntervalRegularSpec, error) { return ts.TemporalIntervalRegularSpec(dt) },
+		func() (ts.IntervalRegularSpec, error) { return ts.StrictTTIntervalRegularSpec(dt) },
+		func() (ts.IntervalRegularSpec, error) { return ts.StrictVTIntervalRegularSpec(dt) },
+		func() (ts.IntervalRegularSpec, error) { return ts.StrictTemporalIntervalRegularSpec(dt) },
+	} {
+		if _, err := f(); err != nil {
+			t.Errorf("interval-regular constructor: %v", err)
+		}
+	}
+	if ts.SequentialIntervalsSpec().Class() != ts.GloballySequentialIntervals {
+		t.Error("sequential intervals wrong class")
+	}
+	if ts.NonDecreasingIntervalsSpec().Class() != ts.GloballyNonDecreasingIntervals {
+		t.Error("non-decreasing intervals wrong class")
+	}
+	if ts.NonIncreasingIntervalsSpec().Class() != ts.GloballyNonIncreasingIntervals {
+		t.Error("non-increasing intervals wrong class")
+	}
+	if ts.SuccessiveTTSpec(ts.Overlaps).Class() != ts.STOverlaps {
+		t.Error("successive-tt wrong class")
+	}
+	if ts.NonIncreasingEventsSpec().Class() != ts.GloballyNonIncreasingEvents {
+		t.Error("non-increasing events wrong class")
+	}
+}
+
+func TestFacadeLatticeAndClasses(t *testing.T) {
+	if len(ts.Classes()) == 0 || len(ts.EventClasses()) != 13 {
+		t.Error("class lists wrong")
+	}
+	if len(ts.Children(ts.General)) == 0 {
+		t.Error("no children of general")
+	}
+	if len(ts.Parents(ts.Degenerate)) == 0 {
+		t.Error("no parents of degenerate")
+	}
+	if len(ts.Ancestors(ts.Degenerate)) == 0 || len(ts.Descendants(ts.Retroactive)) == 0 {
+		t.Error("lattice walks empty")
+	}
+}
+
+func TestFacadeMappingsAndStamps(t *testing.T) {
+	r, err := ts.MonitoringWorkload(ts.WorkloadConfig{Seed: 8, N: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stamps := ts.StampsOf(r.Versions(), ts.TTInsertion, ts.VTStart)
+	if len(stamps) != 10 {
+		t.Fatalf("stamps = %d", len(stamps))
+	}
+	if ts.M1(ts.Seconds(5)).Name == "" || ts.M2(ts.Seconds(5)).Name == "" || ts.M3().Name == "" {
+		t.Error("mapping names empty")
+	}
+	if err := ts.Determine(ts.M1(ts.Seconds(5)), r.Versions(), ts.TTInsertion, ts.VTStart); err == nil {
+		t.Error("random workload should not be m1(5s)-determined")
+	}
+}
+
+func TestFacadeStoresAndEnforcer(t *testing.T) {
+	if ts.NewHeapStore().Kind() != ts.HeapStore {
+		t.Error("heap store kind")
+	}
+	if ts.NewTTLogStore().Kind() != ts.TTOrderedStore {
+		t.Error("tt log store kind")
+	}
+	if ts.NewVTLogStore().Kind() != ts.VTOrderedStore {
+		t.Error("vt log store kind")
+	}
+	if ts.NewIndexedEventStore().Kind() != ts.HeapStore {
+		t.Error("indexed store kind")
+	}
+	en := ts.NewEnforcer(ts.PerPartition, ts.EventConstraint{Spec: ts.RetroactiveSpec()})
+	if en.Scope() != ts.PerPartition || len(en.Constraints()) != 1 {
+		t.Error("enforcer accessors")
+	}
+}
+
+func TestFacadeWorkloadsSweep(t *testing.T) {
+	builders := map[string]func() (*ts.Relation, error){
+		"payroll":     func() (*ts.Relation, error) { return ts.PayrollWorkload(ts.WorkloadConfig{Seed: 1, N: 10}) },
+		"accounting":  func() (*ts.Relation, error) { return ts.AccountingWorkload(ts.WorkloadConfig{Seed: 1, N: 10}) },
+		"orders":      func() (*ts.Relation, error) { return ts.OrdersWorkload(ts.WorkloadConfig{Seed: 1, N: 10}) },
+		"archaeology": func() (*ts.Relation, error) { return ts.ArchaeologyWorkload(ts.WorkloadConfig{Seed: 1, N: 10}) },
+		"assignments": func() (*ts.Relation, error) { return ts.AssignmentsWorkload(ts.WorkloadConfig{Seed: 1, N: 4}, 2) },
+	}
+	for name, f := range builders {
+		r, err := f()
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if r.Len() == 0 {
+			t.Errorf("%s: empty", name)
+		}
+	}
+}
+
+func TestFacadeVacuumAndScriptedClock(t *testing.T) {
+	clock := ts.NewScriptedClock(10, 20, 30)
+	r := ts.NewRelation(ts.Schema{Name: "v", ValidTime: ts.EventStamp, Granularity: ts.Second}, clock)
+	e, err := r.Insert(ts.Insertion{VT: ts.EventAt(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Insert(ts.Insertion{VT: ts.EventAt(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Delete(e.ES); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := r.Vacuum(35)
+	if err != nil || removed != 1 {
+		t.Fatalf("vacuum: %d, %v", removed, err)
+	}
+	if !r.CanRollbackTo(35) || r.CanRollbackTo(30) {
+		t.Error("rollback horizon wrong")
+	}
+}
+
+func TestFacadeClassifyPerPartition(t *testing.T) {
+	r, err := ts.AssignmentsWorkload(ts.WorkloadConfig{Seed: 2, N: 5}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := ts.ClassifyPerPartition(r.Partitions(), ts.TTInsertion, ts.Second)
+	if !rep.Has(ts.GloballyContiguous) {
+		t.Errorf("per-partition contiguity missing: %v", rep.Findings)
+	}
+}
+
+func TestFacadeLockedRelationAndSystemClock(t *testing.T) {
+	r := ts.NewRelation(ts.Schema{Name: "c", ValidTime: ts.EventStamp, Granularity: ts.Second},
+		ts.NewSystemClock())
+	l := ts.NewLockedRelation(r)
+	if _, err := l.Insert(ts.Insertion{VT: ts.EventAt(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Insert(ts.Insertion{VT: ts.EventAt(1)}); err != nil {
+		t.Fatal(err)
+	}
+	es := l.Current()
+	if len(es) != 2 {
+		t.Fatalf("current = %d", len(es))
+	}
+	if es[1].TTStart <= es[0].TTStart {
+		t.Error("system clock stamps not strictly increasing")
+	}
+}
+
+func TestFacadeBoundedPushdown(t *testing.T) {
+	r, err := ts.MonitoringWorkload(ts.WorkloadConfig{Seed: 11, N: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := ts.DelayedStronglyRetroactivelyBoundedSpec(ts.Seconds(30), ts.Seconds(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ttlog := ts.NewTTLogStore()
+	for _, e := range r.Versions() {
+		if err := ttlog.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	en := ts.NewQueryEngine(ttlog, nil)
+	if err := ts.EnableBoundedPushdown(en, r, spec); err != nil {
+		t.Fatal(err)
+	}
+	q := r.Versions()[250].VT.Start()
+	res := en.Timeslice(q)
+	if len(res.Elements) != 1 || res.Touched > 10 {
+		t.Errorf("pushdown: %d elements, touched %d", len(res.Elements), res.Touched)
+	}
+	// One-sided specs have no window.
+	if err := ts.EnableBoundedPushdown(en, r, ts.RetroactiveSpec()); err == nil {
+		t.Error("one-sided spec accepted")
+	}
+	// Interval relations are rejected.
+	iv, err := ts.AssignmentsWorkload(ts.WorkloadConfig{Seed: 1, N: 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.EnableBoundedPushdown(en, iv, spec); err == nil {
+		t.Error("interval relation accepted")
+	}
+}

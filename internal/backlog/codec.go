@@ -1,0 +1,498 @@
+// Package backlog persists a temporal relation as its backlog: the
+// append-only journal of insertion and logical-deletion operations, each
+// stamped with its transaction time. This is the physical representation
+// of [JMRS90] that §2 of the paper cites ("a backlog relation of
+// insertion, modification, and deletion operations (tuples) with single
+// transaction time-stamps"); replaying the journal reconstructs every
+// historical state.
+//
+// The on-disk format is a self-describing binary stream:
+//
+//	header:  magic "TSBL", format version (u16), schema (length-prefixed)
+//	records: length-prefixed bodies, each followed by a CRC-32C of the body
+//	trailer: record count (u64) + CRC-32C of the header magic+count
+//
+// Every record is individually checksummed, so truncation and corruption
+// are detected at load time rather than silently replayed.
+package backlog
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/chronon"
+	"repro/internal/constraint"
+	"repro/internal/element"
+	"repro/internal/relation"
+	"repro/internal/surrogate"
+	"repro/internal/tx"
+)
+
+const (
+	magic = "TSBL"
+	// Format versions: 1 = schema + records; 2 adds a declarations block
+	// (the constraint catalog) between the schema and the records. Version
+	// 1 streams remain readable.
+	formatVersion = 2
+	// maxBody bounds a single record body; a record holds one element, so
+	// anything larger indicates corruption.
+	maxBody = 1 << 24
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt reports a failed checksum, bad framing, or a truncated
+// stream.
+var ErrCorrupt = errors.New("backlog: corrupt or truncated stream")
+
+// Write serializes the relation's schema and backlog to w, with no
+// declaration catalog.
+func Write(w io.Writer, r *relation.Relation) error {
+	return WriteWithDeclarations(w, r, nil)
+}
+
+// WriteWithDeclarations serializes the relation's schema, its declared
+// specializations (the constraint catalog), and its backlog to w.
+func WriteWithDeclarations(w io.Writer, r *relation.Relation, decls []constraint.Descriptor) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint16(formatVersion)); err != nil {
+		return err
+	}
+	if err := writeBlock(bw, encodeSchema(r.Schema())); err != nil {
+		return err
+	}
+	if err := writeBlock(bw, encodeDeclarations(decls)); err != nil {
+		return err
+	}
+	records := r.Backlog()
+	for _, rec := range records {
+		if err := writeBlock(bw, encodeRecord(rec)); err != nil {
+			return err
+		}
+	}
+	var trailer [12]byte
+	binary.LittleEndian.PutUint64(trailer[:8], uint64(len(records)))
+	binary.LittleEndian.PutUint32(trailer[8:], crc32.Checksum(trailer[:8], castagnoli))
+	if _, err := bw.Write(trailer[:]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a schema and backlog from rd, discarding any
+// declaration catalog.
+func Read(rd io.Reader) (relation.Schema, []relation.LogRecord, error) {
+	schema, _, records, err := ReadWithDeclarations(rd)
+	return schema, records, err
+}
+
+// ReadWithDeclarations deserializes a schema, declaration catalog, and
+// backlog from rd. Version-1 streams yield an empty catalog.
+func ReadWithDeclarations(rd io.Reader) (relation.Schema, []constraint.Descriptor, []relation.LogRecord, error) {
+	fail := func(err error) (relation.Schema, []constraint.Descriptor, []relation.LogRecord, error) {
+		return relation.Schema{}, nil, nil, err
+	}
+	br := bufio.NewReader(rd)
+	head := make([]byte, len(magic)+2)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return fail(fmt.Errorf("%w: missing header", ErrCorrupt))
+	}
+	if string(head[:len(magic)]) != magic {
+		return fail(fmt.Errorf("%w: bad magic", ErrCorrupt))
+	}
+	version := binary.LittleEndian.Uint16(head[len(magic):])
+	if version != 1 && version != formatVersion {
+		return fail(fmt.Errorf("backlog: unsupported format version %d", version))
+	}
+	schemaBody, err := readBlock(br)
+	if err != nil {
+		return fail(err)
+	}
+	schema, err := decodeSchema(schemaBody)
+	if err != nil {
+		return fail(err)
+	}
+	var decls []constraint.Descriptor
+	if version >= 2 {
+		declBody, err := readBlock(br)
+		if err != nil {
+			return fail(err)
+		}
+		decls, err = decodeDeclarations(declBody)
+		if err != nil {
+			return fail(err)
+		}
+	}
+	var records []relation.LogRecord
+	for {
+		// The trailer is exactly the last 12 bytes of the stream, so the
+		// next block is the trailer iff fewer than 13 bytes remain.
+		peek, err := br.Peek(13)
+		if err != nil {
+			if len(peek) != 12 {
+				return fail(fmt.Errorf("%w: truncated stream", ErrCorrupt))
+			}
+			count := binary.LittleEndian.Uint64(peek[:8])
+			sum := binary.LittleEndian.Uint32(peek[8:])
+			if crc32.Checksum(peek[:8], castagnoli) != sum {
+				return fail(fmt.Errorf("%w: trailer checksum mismatch", ErrCorrupt))
+			}
+			if count != uint64(len(records)) {
+				return fail(fmt.Errorf("%w: trailer records %d, read %d", ErrCorrupt, count, len(records)))
+			}
+			return schema, decls, records, nil
+		}
+		body, err := readBlock(br)
+		if err != nil {
+			return fail(err)
+		}
+		rec, err := decodeRecord(body, schema)
+		if err != nil {
+			return fail(err)
+		}
+		records = append(records, rec)
+	}
+}
+
+// Save writes the relation to a file, atomically via a temp-and-rename.
+func Save(path string, r *relation.Relation) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, r); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Load reads a file written by Save and replays it into a fresh relation
+// using the given transaction clock.
+func Load(path string, clock tx.Clock) (*relation.Relation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	schema, records, err := Read(f)
+	if err != nil {
+		return nil, err
+	}
+	return relation.Replay(schema, clock, records)
+}
+
+// writeBlock writes a length-prefixed, checksummed body.
+func writeBlock(w io.Writer, body []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(body); err != nil {
+		return err
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc32.Checksum(body, castagnoli))
+	_, err := w.Write(sum[:])
+	return err
+}
+
+// readBlock reads one length-prefixed, checksummed body.
+func readBlock(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxBody {
+		return nil, fmt.Errorf("%w: oversized block (%d bytes)", ErrCorrupt, n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	var sum [4]byte
+	if _, err := io.ReadFull(r, sum[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(sum[:]) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	return body, nil
+}
+
+// --- schema encoding ---
+
+type enc struct{ b []byte }
+
+func (e *enc) u8(v uint8)    { e.b = append(e.b, v) }
+func (e *enc) u16(v uint16)  { e.b = binary.LittleEndian.AppendUint16(e.b, v) }
+func (e *enc) u64(v uint64)  { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) i64(v int64)   { e.u64(uint64(v)) }
+func (e *enc) f64(v float64) { e.u64(math.Float64bits(v)) }
+func (e *enc) str(s string) {
+	e.u16(uint16(len(s)))
+	e.b = append(e.b, s...)
+}
+
+type dec struct {
+	b   []byte
+	err error
+}
+
+func (d *dec) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: short record", ErrCorrupt)
+	}
+}
+
+func (d *dec) u8() uint8 {
+	if d.err != nil || len(d.b) < 1 {
+		d.fail()
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *dec) u16() uint16 {
+	if d.err != nil || len(d.b) < 2 {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(d.b)
+	d.b = d.b[2:]
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	if d.err != nil || len(d.b) < 8 {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b)
+	d.b = d.b[8:]
+	return v
+}
+
+func (d *dec) i64() int64   { return int64(d.u64()) }
+func (d *dec) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *dec) str() string {
+	n := int(d.u16())
+	if d.err != nil || len(d.b) < n {
+		d.fail()
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}
+
+func encodeSchema(s relation.Schema) []byte {
+	var e enc
+	e.str(s.Name)
+	e.u8(uint8(s.ValidTime))
+	e.i64(int64(s.Granularity))
+	cols := func(cs []relation.Column) {
+		e.u16(uint16(len(cs)))
+		for _, c := range cs {
+			e.str(c.Name)
+			e.u8(uint8(c.Type))
+		}
+	}
+	cols(s.Invariant)
+	cols(s.Varying)
+	e.u16(uint16(len(s.UserTimes)))
+	for _, n := range s.UserTimes {
+		e.str(n)
+	}
+	return e.b
+}
+
+func decodeSchema(b []byte) (relation.Schema, error) {
+	d := dec{b: b}
+	var s relation.Schema
+	s.Name = d.str()
+	s.ValidTime = element.TimestampKind(d.u8())
+	s.Granularity = chronon.Granularity(d.i64())
+	cols := func() []relation.Column {
+		n := int(d.u16())
+		out := make([]relation.Column, 0, n)
+		for i := 0; i < n && d.err == nil; i++ {
+			out = append(out, relation.Column{
+				Name: d.str(),
+				Type: element.ValueKind(d.u8()),
+			})
+		}
+		return out
+	}
+	s.Invariant = cols()
+	s.Varying = cols()
+	n := int(d.u16())
+	for i := 0; i < n && d.err == nil; i++ {
+		s.UserTimes = append(s.UserTimes, d.str())
+	}
+	if d.err != nil {
+		return relation.Schema{}, d.err
+	}
+	if len(d.b) != 0 {
+		return relation.Schema{}, fmt.Errorf("%w: trailing schema bytes", ErrCorrupt)
+	}
+	if err := s.Validate(); err != nil {
+		return relation.Schema{}, fmt.Errorf("backlog: invalid persisted schema: %w", err)
+	}
+	return s, nil
+}
+
+// --- record encoding ---
+
+func encodeRecord(rec relation.LogRecord) []byte {
+	var e enc
+	e.u8(uint8(rec.Op))
+	e.i64(int64(rec.TT))
+	if rec.Op == relation.OpDelete {
+		e.u64(uint64(rec.Elem.ES))
+		return e.b
+	}
+	el := rec.Elem
+	e.u64(uint64(el.ES))
+	e.u64(uint64(el.OS))
+	e.u8(uint8(el.VT.Kind()))
+	e.i64(int64(el.VT.Start()))
+	e.i64(int64(el.VT.End()))
+	vals := func(vs []element.Value) {
+		e.u16(uint16(len(vs)))
+		for _, v := range vs {
+			encodeValue(&e, v)
+		}
+	}
+	vals(el.Invariant)
+	vals(el.Varying)
+	e.u16(uint16(len(el.UserTimes)))
+	for _, t := range el.UserTimes {
+		e.i64(int64(t))
+	}
+	return e.b
+}
+
+func decodeRecord(b []byte, schema relation.Schema) (relation.LogRecord, error) {
+	d := dec{b: b}
+	op := relation.Op(d.u8())
+	tt := chronon.Chronon(d.i64())
+	if op == relation.OpDelete {
+		es := surrogate.Surrogate(d.u64())
+		if d.err != nil {
+			return relation.LogRecord{}, d.err
+		}
+		if len(d.b) != 0 {
+			return relation.LogRecord{}, fmt.Errorf("%w: trailing record bytes", ErrCorrupt)
+		}
+		return relation.LogRecord{Op: op, TT: tt, Elem: &element.Element{ES: es}}, nil
+	}
+	if op != relation.OpInsert {
+		return relation.LogRecord{}, fmt.Errorf("%w: unknown op %d", ErrCorrupt, op)
+	}
+	el := &element.Element{}
+	el.ES = surrogate.Surrogate(d.u64())
+	el.OS = surrogate.Surrogate(d.u64())
+	kind := element.TimestampKind(d.u8())
+	start := chronon.Chronon(d.i64())
+	end := chronon.Chronon(d.i64())
+	vals := func() []element.Value {
+		n := int(d.u16())
+		out := make([]element.Value, 0, n)
+		for i := 0; i < n && d.err == nil; i++ {
+			out = append(out, decodeValue(&d))
+		}
+		return out
+	}
+	el.Invariant = vals()
+	el.Varying = vals()
+	n := int(d.u16())
+	for i := 0; i < n && d.err == nil; i++ {
+		el.UserTimes = append(el.UserTimes, chronon.Chronon(d.i64()))
+	}
+	if d.err != nil {
+		return relation.LogRecord{}, d.err
+	}
+	if len(d.b) != 0 {
+		return relation.LogRecord{}, fmt.Errorf("%w: trailing record bytes", ErrCorrupt)
+	}
+	switch kind {
+	case element.EventStamp:
+		el.VT = element.EventAt(start)
+	case element.IntervalStamp:
+		if end <= start {
+			return relation.LogRecord{}, fmt.Errorf("%w: empty valid interval", ErrCorrupt)
+		}
+		el.VT = element.SpanOf(start, end)
+	default:
+		return relation.LogRecord{}, fmt.Errorf("%w: unknown stamp kind %d", ErrCorrupt, kind)
+	}
+	el.TTStart = tt
+	el.TTEnd = chronon.Forever
+	return relation.LogRecord{Op: op, TT: tt, Elem: el}, nil
+}
+
+func encodeValue(e *enc, v element.Value) {
+	e.u8(uint8(v.Kind()))
+	switch v.Kind() {
+	case element.KindNull:
+	case element.KindString:
+		s, _ := v.Str()
+		e.str(s)
+	case element.KindInt:
+		i, _ := v.IntVal()
+		e.i64(i)
+	case element.KindFloat:
+		f, _ := v.FloatVal()
+		e.f64(f)
+	case element.KindBool:
+		b, _ := v.BoolVal()
+		if b {
+			e.u8(1)
+		} else {
+			e.u8(0)
+		}
+	case element.KindTime:
+		t, _ := v.TimeVal()
+		e.i64(int64(t))
+	}
+}
+
+func decodeValue(d *dec) element.Value {
+	switch element.ValueKind(d.u8()) {
+	case element.KindNull:
+		return element.Null()
+	case element.KindString:
+		return element.String_(d.str())
+	case element.KindInt:
+		return element.Int(d.i64())
+	case element.KindFloat:
+		return element.Float(d.f64())
+	case element.KindBool:
+		return element.Bool(d.u8() != 0)
+	case element.KindTime:
+		return element.Time(chronon.Chronon(d.i64()))
+	}
+	d.fail()
+	return element.Null()
+}

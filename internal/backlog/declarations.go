@@ -1,0 +1,125 @@
+package backlog
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/chronon"
+	"repro/internal/constraint"
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/tx"
+)
+
+// encodeDeclarations serializes the constraint catalog.
+func encodeDeclarations(decls []constraint.Descriptor) []byte {
+	var e enc
+	e.u16(uint16(len(decls)))
+	for _, d := range decls {
+		e.u8(uint8(d.Kind))
+		e.u8(uint8(d.Class))
+		e.u8(uint8(d.Scope))
+		e.u8(uint8(d.Basis))
+		e.u8(uint8(d.Endpoint))
+		e.i64(int64(d.Granularity))
+		e.u16(uint16(len(d.Bounds)))
+		for _, b := range d.Bounds {
+			e.i64(b.Seconds)
+			e.i64(b.Months)
+		}
+	}
+	return e.b
+}
+
+// decodeDeclarations deserializes the constraint catalog and verifies each
+// descriptor reconstructs (so corrupt catalogs fail at load, not at first
+// transaction).
+func decodeDeclarations(b []byte) ([]constraint.Descriptor, error) {
+	d := dec{b: b}
+	n := int(d.u16())
+	out := make([]constraint.Descriptor, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		desc := constraint.Descriptor{
+			Kind:     constraint.DescriptorKind(d.u8()),
+			Class:    core.Class(d.u8()),
+			Scope:    constraint.Scope(d.u8()),
+			Basis:    core.TTBasis(d.u8()),
+			Endpoint: core.VTEndpoint(d.u8()),
+		}
+		desc.Granularity = chronon.Granularity(d.i64())
+		nb := int(d.u16())
+		for j := 0; j < nb && d.err == nil; j++ {
+			desc.Bounds = append(desc.Bounds, chronon.Duration{
+				Seconds: d.i64(),
+				Months:  d.i64(),
+			})
+		}
+		out = append(out, desc)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.b) != 0 {
+		return nil, fmt.Errorf("%w: trailing declaration bytes", ErrCorrupt)
+	}
+	for _, desc := range out {
+		if _, err := desc.Build(); err != nil {
+			return nil, fmt.Errorf("backlog: invalid persisted declaration: %w", err)
+		}
+	}
+	return out, nil
+}
+
+// SaveWithDeclarations writes the relation and its constraint catalog to a
+// file atomically.
+func SaveWithDeclarations(path string, r *relation.Relation, decls []constraint.Descriptor) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := WriteWithDeclarations(f, r, decls); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadWithDeclarations reads a file, replays the relation, and re-attaches
+// the persisted constraint catalog as enforcers (one per scope). New
+// transactions are validated against the restored declarations exactly as
+// they were against the originals.
+func LoadWithDeclarations(path string, clock tx.Clock) (*relation.Relation, []constraint.Descriptor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	schema, decls, records, err := ReadWithDeclarations(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := relation.Replay(schema, clock, records)
+	if err != nil {
+		return nil, nil, err
+	}
+	byScope, err := constraint.BuildAll(decls)
+	if err != nil {
+		return nil, nil, err
+	}
+	for scope, cs := range byScope {
+		en := constraint.NewEnforcer(scope, cs...)
+		// Warm the incremental checkers with the replayed history so the
+		// next transaction is validated against the full state.
+		for _, rec := range r.Backlog() {
+			en.Applied(r, rec.Op, rec.Elem, rec.TT)
+		}
+		r.AddGuard(en)
+	}
+	return r, decls, nil
+}

@@ -1,0 +1,205 @@
+// Package chronon implements the totally ordered time domain underlying
+// both valid time and transaction time in a temporal relation.
+//
+// The paper (Jensen & Snodgrass, "Temporal Specialization", ICDE 1992, §3)
+// assumes that valid and transaction time-stamps are drawn from the same
+// totally ordered domain so that they can be compared. This package provides
+// that domain: a Chronon is an indivisible tick on a discrete time line,
+// measured in seconds from the epoch 1970-01-01T00:00:00 on the proleptic
+// Gregorian calendar. Coarser granularities (minute, hour, day, ...) are
+// obtained by truncation, mirroring the paper's per-relation time-stamp
+// granularity (§2).
+//
+// Durations may be fixed in length (e.g. 30 seconds) or calendric-specific
+// (e.g. one month, which covers 28-31 days depending on the anchor date), as
+// required by the bounded, delayed, and early specializations of §3.1.
+package chronon
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Chronon is a point on the discrete time line: a count of seconds since the
+// epoch 1970-01-01T00:00:00 (proleptic Gregorian, no time zones or leap
+// seconds). Chronons are comparable with the ordinary integer ordering, which
+// is exactly the total order the paper requires of the shared time domain.
+type Chronon int64
+
+// Distinguished chronons. MinChronon and MaxChronon bound the representable
+// time line; MaxChronon doubles as the "until changed" marker for the
+// transaction-time end of elements that are still current (the existence
+// interval [tt⊢, tt⊣) of a live element has tt⊣ = Forever).
+const (
+	MinChronon Chronon = -1 << 62
+	MaxChronon Chronon = 1<<62 - 1
+
+	// Forever is the transaction-time end of an element that has not been
+	// logically deleted.
+	Forever = MaxChronon
+
+	// Epoch is the origin of the time line, 1970-01-01T00:00:00.
+	Epoch Chronon = 0
+)
+
+// Before reports whether c precedes d.
+func (c Chronon) Before(d Chronon) bool { return c < d }
+
+// After reports whether c follows d.
+func (c Chronon) After(d Chronon) bool { return c > d }
+
+// Compare returns -1, 0, or +1 according to whether c is before, equal to,
+// or after d.
+func (c Chronon) Compare(d Chronon) int {
+	switch {
+	case c < d:
+		return -1
+	case c > d:
+		return 1
+	}
+	return 0
+}
+
+// Add returns the chronon s seconds after c, saturating at the domain
+// bounds rather than wrapping around.
+func (c Chronon) Add(s int64) Chronon {
+	r := int64(c) + s
+	switch {
+	case s > 0 && r < int64(c):
+		return MaxChronon
+	case s < 0 && r > int64(c):
+		return MinChronon
+	case r > int64(MaxChronon):
+		return MaxChronon
+	case r < int64(MinChronon):
+		return MinChronon
+	}
+	return Chronon(r)
+}
+
+// Sub returns the number of seconds from d to c (c - d).
+func (c Chronon) Sub(d Chronon) int64 { return int64(c) - int64(d) }
+
+// String renders the chronon as a calendar date-time, except for the
+// distinguished values which print symbolically.
+func (c Chronon) String() string {
+	switch c {
+	case MaxChronon:
+		return "forever"
+	case MinChronon:
+		return "beginning"
+	}
+	return c.Civil().String()
+}
+
+// Min returns the earlier of c and d.
+func Min(c, d Chronon) Chronon {
+	if c < d {
+		return c
+	}
+	return d
+}
+
+// Max returns the later of c and d.
+func Max(c, d Chronon) Chronon {
+	if c > d {
+		return c
+	}
+	return d
+}
+
+// Granularity is the tick length, in seconds, at which a relation quantizes
+// its time-stamps. The paper allows each relation an individual valid
+// time-stamp granularity (§2); the degenerate specialization (§3.1) is
+// defined "within the selected granularity".
+//
+// Only fixed-length granularities are representable; calendric units such as
+// months are durations (see Duration), not granularities, because a
+// granularity must tile the time line evenly.
+type Granularity int64
+
+// Named granularities.
+const (
+	Second Granularity = 1
+	Minute Granularity = 60
+	Hour   Granularity = 3600
+	Day    Granularity = 86400
+	Week   Granularity = 7 * 86400
+)
+
+// Valid reports whether g is a usable granularity (a positive tick length).
+func (g Granularity) Valid() bool { return g > 0 }
+
+// Truncate rounds c down to the start of its tick at granularity g.
+// Truncation floors toward -infinity so that pre-epoch chronons quantize
+// consistently with post-epoch ones. Distinguished chronons pass through
+// unchanged.
+func (g Granularity) Truncate(c Chronon) Chronon {
+	if !g.Valid() || c == MinChronon || c == MaxChronon {
+		return c
+	}
+	n := int64(c)
+	m := n % int64(g)
+	if m < 0 {
+		m += int64(g)
+	}
+	return Chronon(n - m)
+}
+
+// Ceil rounds c up to the next tick boundary at granularity g (c itself if
+// already on a boundary).
+func (g Granularity) Ceil(c Chronon) Chronon {
+	t := g.Truncate(c)
+	if t == c || c == MinChronon || c == MaxChronon {
+		return c
+	}
+	return t.Add(int64(g))
+}
+
+// SameTick reports whether c and d fall in the same tick at granularity g.
+// This is the equality the degenerate specialization uses: transaction and
+// valid time are "identical (within the selected granularity)".
+func (g Granularity) SameTick(c, d Chronon) bool {
+	return g.Truncate(c) == g.Truncate(d)
+}
+
+// String names the granularity.
+func (g Granularity) String() string {
+	switch g {
+	case Second:
+		return "second"
+	case Minute:
+		return "minute"
+	case Hour:
+		return "hour"
+	case Day:
+		return "day"
+	case Week:
+		return "week"
+	}
+	return fmt.Sprintf("%ds", int64(g))
+}
+
+// ParseGranularity parses a granularity name ("second", "minute", "hour",
+// "day", "week") or a literal tick length such as "15s".
+func ParseGranularity(s string) (Granularity, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "second", "sec", "s":
+		return Second, nil
+	case "minute", "min":
+		return Minute, nil
+	case "hour", "hr", "h":
+		return Hour, nil
+	case "day", "d":
+		return Day, nil
+	case "week", "w":
+		return Week, nil
+	}
+	t := strings.TrimSuffix(strings.TrimSpace(s), "s")
+	n, err := strconv.ParseInt(t, 10, 64)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("chronon: invalid granularity %q", s)
+	}
+	return Granularity(n), nil
+}

@@ -1,0 +1,190 @@
+package chronon
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestChrononCompare(t *testing.T) {
+	cases := []struct {
+		a, b Chronon
+		want int
+	}{
+		{0, 0, 0},
+		{1, 2, -1},
+		{2, 1, 1},
+		{MinChronon, MaxChronon, -1},
+		{MaxChronon, MinChronon, 1},
+		{Forever, MaxChronon, 0},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := c.a.Before(c.b); got != (c.want < 0) {
+			t.Errorf("Before(%d, %d) = %v, want %v", c.a, c.b, got, c.want < 0)
+		}
+		if got := c.a.After(c.b); got != (c.want > 0) {
+			t.Errorf("After(%d, %d) = %v, want %v", c.a, c.b, got, c.want > 0)
+		}
+	}
+}
+
+func TestChrononAddSaturates(t *testing.T) {
+	if got := MaxChronon.Add(1); got != MaxChronon {
+		t.Errorf("MaxChronon.Add(1) = %d, want saturation", got)
+	}
+	if got := MinChronon.Add(-1); got != MinChronon {
+		t.Errorf("MinChronon.Add(-1) = %d, want saturation", got)
+	}
+	if got := Chronon(5).Add(1 << 62); got != MaxChronon {
+		t.Errorf("overflow add = %d, want MaxChronon", got)
+	}
+	if got := Chronon(-5).Add(-(1 << 62)); got != MinChronon {
+		t.Errorf("underflow add = %d, want MinChronon", got)
+	}
+	if got := Chronon(10).Add(-3); got != 7 {
+		t.Errorf("10.Add(-3) = %d, want 7", got)
+	}
+}
+
+func TestChrononSub(t *testing.T) {
+	if got := Chronon(10).Sub(3); got != 7 {
+		t.Errorf("Sub = %d, want 7", got)
+	}
+	if got := Chronon(3).Sub(10); got != -7 {
+		t.Errorf("Sub = %d, want -7", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if got := Min(3, 5); got != 3 {
+		t.Errorf("Min = %d", got)
+	}
+	if got := Min(5, 3); got != 3 {
+		t.Errorf("Min = %d", got)
+	}
+	if got := Max(3, 5); got != 5 {
+		t.Errorf("Max = %d", got)
+	}
+	if got := Max(5, 3); got != 5 {
+		t.Errorf("Max = %d", got)
+	}
+}
+
+func TestGranularityTruncate(t *testing.T) {
+	cases := []struct {
+		g    Granularity
+		c    Chronon
+		want Chronon
+	}{
+		{Second, 12345, 12345},
+		{Minute, 125, 120},
+		{Minute, 120, 120},
+		{Minute, -1, -60},
+		{Minute, -60, -60},
+		{Minute, -61, -120},
+		{Hour, 7199, 3600},
+		{Day, 86399, 0},
+		{Day, 86400, 86400},
+	}
+	for _, c := range cases {
+		if got := c.g.Truncate(c.c); got != c.want {
+			t.Errorf("%v.Truncate(%d) = %d, want %d", c.g, c.c, got, c.want)
+		}
+	}
+}
+
+func TestGranularityTruncateDistinguished(t *testing.T) {
+	for _, c := range []Chronon{MinChronon, MaxChronon} {
+		if got := Hour.Truncate(c); got != c {
+			t.Errorf("Truncate(%v) = %v, want unchanged", c, got)
+		}
+		if got := Hour.Ceil(c); got != c {
+			t.Errorf("Ceil(%v) = %v, want unchanged", c, got)
+		}
+	}
+}
+
+func TestGranularityCeil(t *testing.T) {
+	if got := Minute.Ceil(125); got != 180 {
+		t.Errorf("Ceil(125) = %d, want 180", got)
+	}
+	if got := Minute.Ceil(120); got != 120 {
+		t.Errorf("Ceil(120) = %d, want 120", got)
+	}
+	if got := Minute.Ceil(-61); got != -60 {
+		t.Errorf("Ceil(-61) = %d, want -60", got)
+	}
+}
+
+func TestGranularitySameTick(t *testing.T) {
+	if !Minute.SameTick(120, 179) {
+		t.Error("120 and 179 should share a minute tick")
+	}
+	if Minute.SameTick(119, 120) {
+		t.Error("119 and 120 should not share a minute tick")
+	}
+	if !Second.SameTick(5, 5) {
+		t.Error("equal chronons share every tick")
+	}
+}
+
+func TestGranularityTruncateIdempotent(t *testing.T) {
+	f := func(c int64, graw uint8) bool {
+		g := Granularity(int64(graw)%3600 + 1)
+		cc := Chronon(c % (1 << 40))
+		t1 := g.Truncate(cc)
+		return g.Truncate(t1) == t1 && t1 <= cc && cc.Sub(t1) < int64(g)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseGranularity(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Granularity
+	}{
+		{"second", Second}, {"s", Second}, {"minute", Minute},
+		{"hour", Hour}, {"day", Day}, {"week", Week}, {"15s", 15},
+		{" Day ", Day},
+	}
+	for _, c := range cases {
+		got, err := ParseGranularity(c.in)
+		if err != nil {
+			t.Errorf("ParseGranularity(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseGranularity(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "zero", "-5s", "0s"} {
+		if _, err := ParseGranularity(bad); err == nil {
+			t.Errorf("ParseGranularity(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestGranularityString(t *testing.T) {
+	if Minute.String() != "minute" {
+		t.Errorf("Minute.String() = %q", Minute.String())
+	}
+	if Granularity(15).String() != "15s" {
+		t.Errorf("15s granularity prints %q", Granularity(15).String())
+	}
+}
+
+func TestChrononString(t *testing.T) {
+	if MaxChronon.String() != "forever" {
+		t.Errorf("MaxChronon.String() = %q", MaxChronon.String())
+	}
+	if MinChronon.String() != "beginning" {
+		t.Errorf("MinChronon.String() = %q", MinChronon.String())
+	}
+	if got := Epoch.String(); got != "1970-01-01 00:00:00" {
+		t.Errorf("Epoch.String() = %q", got)
+	}
+}

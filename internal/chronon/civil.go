@@ -1,0 +1,199 @@
+package chronon
+
+import "fmt"
+
+// Civil is a broken-down calendar date-time on the proleptic Gregorian
+// calendar, used for calendric duration arithmetic (e.g. "one month", which
+// covers 28 to 31 days depending on the date it is added to, §3.1) and for
+// human-readable formatting. There are no time zones: the time line is a
+// single uniform sequence of seconds.
+type Civil struct {
+	Year   int // e.g. 1992
+	Month  int // 1..12
+	Day    int // 1..31
+	Hour   int // 0..23
+	Minute int // 0..59
+	Second int // 0..59
+}
+
+// daysFromCivil converts a Gregorian calendar date to a count of days since
+// 1970-01-01. The algorithm shifts the year to start in March so leap days
+// fall at the end of the internal year, then counts whole 400-year eras.
+func daysFromCivil(y, m, d int) int64 {
+	if m <= 2 {
+		y--
+	}
+	var era int64
+	yy := int64(y)
+	if yy >= 0 {
+		era = yy / 400
+	} else {
+		era = (yy - 399) / 400
+	}
+	yoe := yy - era*400 // [0, 399]
+	var mp int64
+	if m > 2 {
+		mp = int64(m) - 3
+	} else {
+		mp = int64(m) + 9
+	}
+	doy := (153*mp+2)/5 + int64(d) - 1     // [0, 365]
+	doe := yoe*365 + yoe/4 - yoe/100 + doy // [0, 146096]
+	return era*146097 + doe - 719468       // shift epoch to 1970-01-01
+}
+
+// civilFromDays converts a count of days since 1970-01-01 back to a
+// Gregorian calendar date.
+func civilFromDays(z int64) (y, m, d int) {
+	z += 719468
+	var era int64
+	if z >= 0 {
+		era = z / 146097
+	} else {
+		era = (z - 146096) / 146097
+	}
+	doe := z - era*146097                                  // [0, 146096]
+	yoe := (doe - doe/1460 + doe/36524 - doe/146096) / 365 // [0, 399]
+	yy := yoe + era*400
+	doy := doe - (365*yoe + yoe/4 - yoe/100) // [0, 365]
+	mp := (5*doy + 2) / 153                  // [0, 11]
+	d = int(doy - (153*mp+2)/5 + 1)          // [1, 31]
+	if mp < 10 {
+		m = int(mp + 3)
+	} else {
+		m = int(mp - 9)
+	}
+	if m <= 2 {
+		yy++
+	}
+	return int(yy), m, d
+}
+
+// IsLeapYear reports whether y is a leap year on the proleptic Gregorian
+// calendar.
+func IsLeapYear(y int) bool {
+	return y%4 == 0 && (y%100 != 0 || y%400 == 0)
+}
+
+var daysInMonthTable = [13]int{0, 31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31}
+
+// DaysInMonth returns the number of days in the given month of the given
+// year (29 for February in leap years).
+func DaysInMonth(y, m int) int {
+	if m == 2 && IsLeapYear(y) {
+		return 29
+	}
+	if m < 1 || m > 12 {
+		return 0
+	}
+	return daysInMonthTable[m]
+}
+
+// Valid reports whether cv denotes an actual calendar date-time.
+func (cv Civil) Valid() bool {
+	if cv.Month < 1 || cv.Month > 12 {
+		return false
+	}
+	if cv.Day < 1 || cv.Day > DaysInMonth(cv.Year, cv.Month) {
+		return false
+	}
+	if cv.Hour < 0 || cv.Hour > 23 || cv.Minute < 0 || cv.Minute > 59 || cv.Second < 0 || cv.Second > 59 {
+		return false
+	}
+	return true
+}
+
+// Chronon converts the civil date-time to a point on the time line.
+func (cv Civil) Chronon() Chronon {
+	days := daysFromCivil(cv.Year, cv.Month, cv.Day)
+	return Chronon(days*86400 + int64(cv.Hour)*3600 + int64(cv.Minute)*60 + int64(cv.Second))
+}
+
+// Civil converts a chronon to its broken-down calendar form. The
+// distinguished values MinChronon and MaxChronon have no calendar form and
+// decode to whatever date their raw second count implies; callers should
+// test for them first.
+func (c Chronon) Civil() Civil {
+	secs := int64(c)
+	days := secs / 86400
+	rem := secs % 86400
+	if rem < 0 {
+		rem += 86400
+		days--
+	}
+	y, m, d := civilFromDays(days)
+	return Civil{
+		Year:   y,
+		Month:  m,
+		Day:    d,
+		Hour:   int(rem / 3600),
+		Minute: int(rem % 3600 / 60),
+		Second: int(rem % 60),
+	}
+}
+
+// String formats the civil time as "YYYY-MM-DD HH:MM:SS" (with a leading
+// minus sign for years before year 0).
+func (cv Civil) String() string {
+	return fmt.Sprintf("%04d-%02d-%02d %02d:%02d:%02d",
+		cv.Year, cv.Month, cv.Day, cv.Hour, cv.Minute, cv.Second)
+}
+
+// Date builds the chronon for the given calendar date at midnight.
+func Date(y, m, d int) Chronon {
+	return Civil{Year: y, Month: m, Day: d}.Chronon()
+}
+
+// DateTime builds the chronon for the given calendar date and time of day.
+func DateTime(y, mo, d, h, mi, s int) Chronon {
+	return Civil{Year: y, Month: mo, Day: d, Hour: h, Minute: mi, Second: s}.Chronon()
+}
+
+// AddMonths advances the civil date-time by n calendar months (n may be
+// negative), clamping the day of month to the length of the target month:
+// January 31 plus one month is February 28 (or 29 in a leap year). This is
+// the calendric-specific duration arithmetic of §3.1.
+func (cv Civil) AddMonths(n int) Civil {
+	total := cv.Year*12 + (cv.Month - 1) + n
+	y := total / 12
+	m := total%12 + 1
+	if total < 0 && total%12 != 0 {
+		y = (total - 11) / 12
+		m = total - y*12 + 1
+	}
+	d := cv.Day
+	if max := DaysInMonth(y, m); d > max {
+		d = max
+	}
+	return Civil{Year: y, Month: m, Day: d, Hour: cv.Hour, Minute: cv.Minute, Second: cv.Second}
+}
+
+// ParseCivil parses "YYYY-MM-DD" or "YYYY-MM-DD HH:MM:SS" (a 'T' separator
+// is also accepted).
+func ParseCivil(s string) (Civil, error) {
+	var cv Civil
+	var sep byte
+	switch {
+	case len(s) == 10:
+		if _, err := fmt.Sscanf(s, "%d-%d-%d", &cv.Year, &cv.Month, &cv.Day); err != nil {
+			return Civil{}, fmt.Errorf("chronon: invalid date %q", s)
+		}
+	case len(s) == 19:
+		sep = s[10]
+		if sep != ' ' && sep != 'T' {
+			return Civil{}, fmt.Errorf("chronon: invalid date-time %q", s)
+		}
+		if _, err := fmt.Sscanf(s[:10], "%d-%d-%d", &cv.Year, &cv.Month, &cv.Day); err != nil {
+			return Civil{}, fmt.Errorf("chronon: invalid date-time %q", s)
+		}
+		if _, err := fmt.Sscanf(s[11:], "%d:%d:%d", &cv.Hour, &cv.Minute, &cv.Second); err != nil {
+			return Civil{}, fmt.Errorf("chronon: invalid date-time %q", s)
+		}
+	default:
+		return Civil{}, fmt.Errorf("chronon: invalid date-time %q", s)
+	}
+	if !cv.Valid() {
+		return Civil{}, fmt.Errorf("chronon: date-time %q out of range", s)
+	}
+	return cv, nil
+}

@@ -1,0 +1,206 @@
+package chronon
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCivilKnownDates(t *testing.T) {
+	cases := []struct {
+		cv   Civil
+		want Chronon
+	}{
+		{Civil{Year: 1970, Month: 1, Day: 1}, 0},
+		{Civil{Year: 1970, Month: 1, Day: 2}, 86400},
+		{Civil{Year: 1969, Month: 12, Day: 31}, -86400},
+		{Civil{Year: 2000, Month: 1, Day: 1}, 946684800},
+		{Civil{Year: 1992, Month: 2, Day: 3}, 697075200},
+		{Civil{Year: 2026, Month: 7, Day: 6}, 1783296000},
+		{Civil{Year: 1970, Month: 1, Day: 1, Hour: 1, Minute: 2, Second: 3}, 3723},
+	}
+	for _, c := range cases {
+		if got := c.cv.Chronon(); got != c.want {
+			t.Errorf("%v.Chronon() = %d, want %d", c.cv, got, c.want)
+		}
+		back := c.want.Civil()
+		if back != c.cv {
+			t.Errorf("%d.Civil() = %v, want %v", c.want, back, c.cv)
+		}
+	}
+}
+
+func TestCivilRoundTrip(t *testing.T) {
+	f := func(raw int64) bool {
+		// Stay within +/- ~100k years so the civil form is meaningful.
+		c := Chronon(raw % (3_000_000_000_000))
+		return c.Civil().Chronon() == c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCivilOrderPreserved(t *testing.T) {
+	// Converting chronon -> civil -> chronon must preserve order: spot-check
+	// adjacent seconds across day/month/year boundaries.
+	boundaries := []Chronon{
+		Date(1970, 1, 1), Date(1972, 3, 1), Date(2000, 3, 1),
+		Date(1999, 12, 31).Add(86399), Date(1900, 2, 28).Add(86399),
+	}
+	for _, b := range boundaries {
+		for d := int64(-2); d <= 2; d++ {
+			c := b.Add(d)
+			if c.Civil().Chronon() != c {
+				t.Errorf("round trip failed at %d (%v)", c, c.Civil())
+			}
+		}
+	}
+}
+
+func TestIsLeapYear(t *testing.T) {
+	cases := map[int]bool{
+		1992: true, 1900: false, 2000: true, 2023: false, 2024: true, 1700: false, 1600: true,
+	}
+	for y, want := range cases {
+		if got := IsLeapYear(y); got != want {
+			t.Errorf("IsLeapYear(%d) = %v, want %v", y, got, want)
+		}
+	}
+}
+
+func TestDaysInMonth(t *testing.T) {
+	if got := DaysInMonth(1992, 2); got != 29 {
+		t.Errorf("Feb 1992 has %d days, want 29", got)
+	}
+	if got := DaysInMonth(1991, 2); got != 28 {
+		t.Errorf("Feb 1991 has %d days, want 28", got)
+	}
+	if got := DaysInMonth(1991, 1); got != 31 {
+		t.Errorf("Jan has %d days, want 31", got)
+	}
+	if got := DaysInMonth(1991, 4); got != 30 {
+		t.Errorf("Apr has %d days, want 30", got)
+	}
+	if got := DaysInMonth(1991, 13); got != 0 {
+		t.Errorf("month 13 has %d days, want 0", got)
+	}
+}
+
+func TestCivilValid(t *testing.T) {
+	good := []Civil{
+		{Year: 1992, Month: 2, Day: 29},
+		{Year: 1970, Month: 1, Day: 1},
+		{Year: 2000, Month: 12, Day: 31, Hour: 23, Minute: 59, Second: 59},
+	}
+	for _, cv := range good {
+		if !cv.Valid() {
+			t.Errorf("%v should be valid", cv)
+		}
+	}
+	bad := []Civil{
+		{Year: 1991, Month: 2, Day: 29},
+		{Year: 1991, Month: 0, Day: 1},
+		{Year: 1991, Month: 13, Day: 1},
+		{Year: 1991, Month: 1, Day: 0},
+		{Year: 1991, Month: 1, Day: 32},
+		{Year: 1991, Month: 1, Day: 1, Hour: 24},
+		{Year: 1991, Month: 1, Day: 1, Minute: 60},
+		{Year: 1991, Month: 1, Day: 1, Second: 60},
+	}
+	for _, cv := range bad {
+		if cv.Valid() {
+			t.Errorf("%v should be invalid", cv)
+		}
+	}
+}
+
+func TestAddMonthsClamping(t *testing.T) {
+	cases := []struct {
+		from Civil
+		n    int
+		want Civil
+	}{
+		{Civil{Year: 1992, Month: 1, Day: 31}, 1, Civil{Year: 1992, Month: 2, Day: 29}},
+		{Civil{Year: 1991, Month: 1, Day: 31}, 1, Civil{Year: 1991, Month: 2, Day: 28}},
+		{Civil{Year: 1991, Month: 12, Day: 15}, 1, Civil{Year: 1992, Month: 1, Day: 15}},
+		{Civil{Year: 1991, Month: 1, Day: 15}, -1, Civil{Year: 1990, Month: 12, Day: 15}},
+		{Civil{Year: 1991, Month: 3, Day: 31}, -1, Civil{Year: 1991, Month: 2, Day: 28}},
+		{Civil{Year: 1991, Month: 6, Day: 10}, 12, Civil{Year: 1992, Month: 6, Day: 10}},
+		{Civil{Year: 1991, Month: 6, Day: 10}, -18, Civil{Year: 1989, Month: 12, Day: 10}},
+		{Civil{Year: 1991, Month: 6, Day: 10}, 0, Civil{Year: 1991, Month: 6, Day: 10}},
+	}
+	for _, c := range cases {
+		if got := c.from.AddMonths(c.n); got != c.want {
+			t.Errorf("%v.AddMonths(%d) = %v, want %v", c.from, c.n, got, c.want)
+		}
+	}
+}
+
+func TestAddMonthsPreservesTimeOfDay(t *testing.T) {
+	cv := Civil{Year: 1991, Month: 5, Day: 7, Hour: 13, Minute: 45, Second: 9}
+	got := cv.AddMonths(3)
+	if got.Hour != 13 || got.Minute != 45 || got.Second != 9 {
+		t.Errorf("AddMonths changed time of day: %v", got)
+	}
+}
+
+func TestAddMonthsMonotoneOverMonths(t *testing.T) {
+	// Adding more months never moves the result earlier.
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		cv := Civil{
+			Year:  1900 + rng.Intn(300),
+			Month: 1 + rng.Intn(12),
+			Day:   1 + rng.Intn(28),
+		}
+		n := rng.Intn(50)
+		a := cv.AddMonths(n).Chronon()
+		b := cv.AddMonths(n + 1).Chronon()
+		if b <= a {
+			t.Fatalf("AddMonths not monotone at %v + %d", cv, n)
+		}
+	}
+}
+
+func TestDateHelpers(t *testing.T) {
+	if Date(1970, 1, 2) != 86400 {
+		t.Error("Date(1970,1,2) wrong")
+	}
+	if DateTime(1970, 1, 1, 0, 0, 5) != 5 {
+		t.Error("DateTime wrong")
+	}
+}
+
+func TestParseCivil(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Civil
+	}{
+		{"1992-02-29", Civil{Year: 1992, Month: 2, Day: 29}},
+		{"1970-01-01 00:00:00", Civil{Year: 1970, Month: 1, Day: 1}},
+		{"2026-07-06T12:30:45", Civil{Year: 2026, Month: 7, Day: 6, Hour: 12, Minute: 30, Second: 45}},
+	}
+	for _, c := range cases {
+		got, err := ParseCivil(c.in)
+		if err != nil {
+			t.Errorf("ParseCivil(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseCivil(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "1991-02-29", "1991-13-01", "1991-01-01x00:00:00", "1991-1-1", "1991-01-01 25:00:00"} {
+		if _, err := ParseCivil(bad); err == nil {
+			t.Errorf("ParseCivil(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestCivilString(t *testing.T) {
+	cv := Civil{Year: 1992, Month: 2, Day: 3, Hour: 4, Minute: 5, Second: 6}
+	if got := cv.String(); got != "1992-02-03 04:05:06" {
+		t.Errorf("String = %q", got)
+	}
+}

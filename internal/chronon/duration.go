@@ -1,0 +1,251 @@
+package chronon
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Duration is a span of time used as a bound (Δt) in the bounded, delayed,
+// and early specializations of §3.1 and as the time unit of the regularity
+// specializations of §3.2/§3.3. A duration is either fixed in length
+// (a number of seconds) or calendric-specific (a number of months, which
+// covers a varying number of days depending on the anchor date), or a sum of
+// both, e.g. "1 month and 2 days".
+//
+// The zero Duration is the empty span (Δt = 0), which the paper permits for
+// the ≥-bounded specializations (Δt ≥ 0).
+type Duration struct {
+	Seconds int64 // fixed component
+	Months  int64 // calendric component
+}
+
+// Convenience constructors for common durations.
+func Seconds(n int64) Duration { return Duration{Seconds: n} }
+func Minutes(n int64) Duration { return Duration{Seconds: n * 60} }
+func Hours(n int64) Duration   { return Duration{Seconds: n * 3600} }
+func Days(n int64) Duration    { return Duration{Seconds: n * 86400} }
+func Weeks(n int64) Duration   { return Duration{Seconds: n * 7 * 86400} }
+func Months(n int64) Duration  { return Duration{Months: n} }
+func Years(n int64) Duration   { return Duration{Months: 12 * n} }
+
+// IsZero reports whether d is the empty span.
+func (d Duration) IsZero() bool { return d.Seconds == 0 && d.Months == 0 }
+
+// IsCalendric reports whether d has a calendar-dependent component (so its
+// length in seconds varies with the anchor chronon).
+func (d Duration) IsCalendric() bool { return d.Months != 0 }
+
+// IsFixed reports whether d has a fixed length in seconds.
+func (d Duration) IsFixed() bool { return d.Months == 0 }
+
+// Negative reports whether d is a strictly negative span when anchored
+// anywhere (both components non-positive and at least one negative).
+func (d Duration) Negative() bool {
+	return (d.Seconds < 0 || d.Months < 0) && d.Seconds <= 0 && d.Months <= 0
+}
+
+// Neg returns the negated duration.
+func (d Duration) Neg() Duration { return Duration{Seconds: -d.Seconds, Months: -d.Months} }
+
+// Plus returns the component-wise sum of d and e.
+func (d Duration) Plus(e Duration) Duration {
+	return Duration{Seconds: d.Seconds + e.Seconds, Months: d.Months + e.Months}
+}
+
+// AddTo returns the chronon d after c: calendric months are applied first
+// via civil-calendar arithmetic (with day-of-month clamping), then the fixed
+// seconds. Distinguished chronons are absorbing.
+func (d Duration) AddTo(c Chronon) Chronon {
+	if c == MinChronon || c == MaxChronon {
+		return c
+	}
+	if d.Months != 0 {
+		c = c.Civil().AddMonths(int(d.Months)).Chronon()
+	}
+	return c.Add(d.Seconds)
+}
+
+// SubFrom returns the chronon d before c. Note that for calendric durations
+// SubFrom is not in general the inverse of AddTo (adding one month to
+// January 31 gives February 28; subtracting one month from February 28 gives
+// January 28) — exactly the calendar behaviour the paper flags for
+// calendric-specific bounds.
+func (d Duration) SubFrom(c Chronon) Chronon { return d.Neg().AddTo(c) }
+
+// FixedSeconds returns the length of the duration in seconds and whether the
+// duration is fixed. Calendric durations return ok=false because their
+// length depends on the anchor.
+func (d Duration) FixedSeconds() (secs int64, ok bool) {
+	if d.Months != 0 {
+		return 0, false
+	}
+	return d.Seconds, true
+}
+
+// Compare orders two fixed durations. It panics if either is calendric,
+// since calendric durations are not totally ordered without an anchor.
+func (d Duration) Compare(e Duration) int {
+	if d.Months != 0 || e.Months != 0 {
+		panic("chronon: Compare on calendric duration")
+	}
+	switch {
+	case d.Seconds < e.Seconds:
+		return -1
+	case d.Seconds > e.Seconds:
+		return 1
+	}
+	return 0
+}
+
+// String renders the duration compactly, e.g. "30s", "2d", "1mo2d", "1mo",
+// "0s". A uniformly negative duration prints with a single leading minus
+// ("-1m30s"); a mixed-sign duration prints its negative component with its
+// own sign ("1mo-86400s"). Every rendering parses back with ParseDuration.
+func (d Duration) String() string {
+	if d.IsZero() {
+		return "0s"
+	}
+	if d.Seconds <= 0 && d.Months <= 0 {
+		return "-" + d.Neg().String()
+	}
+	var b strings.Builder
+	writeMonths := func() {
+		switch {
+		case d.Months == 0:
+		case d.Months%12 == 0:
+			fmt.Fprintf(&b, "%dy", d.Months/12)
+		default:
+			fmt.Fprintf(&b, "%dmo", d.Months)
+		}
+	}
+	writeSecs := func() {
+		s := d.Seconds
+		if s == 0 {
+			return
+		}
+		if s < 0 {
+			// A negative seconds component in a mixed-sign duration prints
+			// as a single signed term so it parses back unambiguously.
+			fmt.Fprintf(&b, "-%ds", -s)
+			return
+		}
+		write := func(n int64, unit string) {
+			if n != 0 {
+				fmt.Fprintf(&b, "%d%s", n, unit)
+			}
+		}
+		write(s/86400, "d")
+		s %= 86400
+		write(s/3600, "h")
+		s %= 3600
+		write(s/60, "m")
+		write(s%60, "s")
+	}
+	if d.Months < 0 {
+		writeSecs()
+		writeMonths()
+	} else {
+		writeMonths()
+		writeSecs()
+	}
+	return b.String()
+}
+
+// ParseDuration parses a compact duration such as "30s", "5m", "2h", "3d",
+// "1w", "1mo", "2y", or a concatenation like "1mo2d". A leading '-' negates
+// the whole duration.
+func ParseDuration(s string) (Duration, error) {
+	orig := s
+	s = strings.TrimSpace(s)
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	if s == "" {
+		return Duration{}, fmt.Errorf("chronon: empty duration")
+	}
+	var d Duration
+	for len(s) > 0 {
+		sign := int64(1)
+		if s[0] == '-' {
+			sign = -1
+			s = s[1:]
+			if s == "" {
+				return Duration{}, fmt.Errorf("chronon: invalid duration %q", orig)
+			}
+		}
+		i := 0
+		for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+			i++
+		}
+		if i == 0 {
+			return Duration{}, fmt.Errorf("chronon: invalid duration %q", orig)
+		}
+		n, err := strconv.ParseInt(s[:i], 10, 64)
+		if err != nil {
+			return Duration{}, fmt.Errorf("chronon: invalid duration %q: %v", orig, err)
+		}
+		n *= sign
+		s = s[i:]
+		j := 0
+		for j < len(s) && (s[j] < '0' || s[j] > '9') && s[j] != '-' {
+			j++
+		}
+		unit := s[:j]
+		s = s[j:]
+		switch unit {
+		case "s", "sec", "second", "seconds":
+			d.Seconds += n
+		case "m", "min", "minute", "minutes":
+			d.Seconds += n * 60
+		case "h", "hr", "hour", "hours":
+			d.Seconds += n * 3600
+		case "d", "day", "days":
+			d.Seconds += n * 86400
+		case "w", "week", "weeks":
+			d.Seconds += n * 7 * 86400
+		case "mo", "month", "months":
+			d.Months += n
+		case "y", "yr", "year", "years":
+			d.Months += 12 * n
+		default:
+			return Duration{}, fmt.Errorf("chronon: unknown duration unit %q in %q", unit, orig)
+		}
+	}
+	if neg {
+		d = d.Neg()
+	}
+	return d, nil
+}
+
+// GCD returns the greatest common divisor of two non-negative second counts,
+// with GCD(0, n) = n. It underlies the paper's claim (§3.2) that a relation
+// which is transaction-time event regular with unit Δt₁ and valid-time event
+// regular with unit Δt₂ is temporal event regular with unit gcd(Δt₁, Δt₂):
+// e.g. Δt₁ = 28 s and Δt₂ = 6 s give a temporal unit of 2 s.
+func GCD(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// GCDDuration returns the greatest common divisor of two fixed durations.
+// It returns ok=false if either duration is calendric, since calendric
+// units have no fixed divisor structure.
+func GCDDuration(a, b Duration) (Duration, bool) {
+	as, aok := a.FixedSeconds()
+	bs, bok := b.FixedSeconds()
+	if !aok || !bok {
+		return Duration{}, false
+	}
+	return Seconds(GCD(as, bs)), true
+}

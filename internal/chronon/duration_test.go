@@ -1,0 +1,238 @@
+package chronon
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDurationConstructors(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want Duration
+	}{
+		{Seconds(30), Duration{Seconds: 30}},
+		{Minutes(2), Duration{Seconds: 120}},
+		{Hours(1), Duration{Seconds: 3600}},
+		{Days(1), Duration{Seconds: 86400}},
+		{Weeks(1), Duration{Seconds: 604800}},
+		{Months(3), Duration{Months: 3}},
+		{Years(2), Duration{Months: 24}},
+	}
+	for _, c := range cases {
+		if c.d != c.want {
+			t.Errorf("got %+v, want %+v", c.d, c.want)
+		}
+	}
+}
+
+func TestDurationPredicates(t *testing.T) {
+	if !(Duration{}).IsZero() {
+		t.Error("zero duration should be zero")
+	}
+	if Seconds(1).IsZero() {
+		t.Error("1s should not be zero")
+	}
+	if !Months(1).IsCalendric() || Months(1).IsFixed() {
+		t.Error("1mo should be calendric, not fixed")
+	}
+	if Seconds(5).IsCalendric() || !Seconds(5).IsFixed() {
+		t.Error("5s should be fixed")
+	}
+	if !Seconds(-1).Negative() {
+		t.Error("-1s should be negative")
+	}
+	if Seconds(1).Negative() || (Duration{}).Negative() {
+		t.Error("non-negative durations misreported")
+	}
+	if (Duration{Seconds: -1, Months: 1}).Negative() {
+		t.Error("mixed-sign duration is not definitely negative")
+	}
+}
+
+func TestDurationAddTo(t *testing.T) {
+	base := Date(1992, 1, 31)
+	if got := Months(1).AddTo(base); got != Date(1992, 2, 29) {
+		t.Errorf("Jan 31 1992 + 1mo = %v, want Feb 29", got.Civil())
+	}
+	if got := Seconds(30).AddTo(100); got != 130 {
+		t.Errorf("100 + 30s = %d", got)
+	}
+	mixed := Duration{Months: 1, Seconds: 86400}
+	if got := mixed.AddTo(Date(1991, 1, 31)); got != Date(1991, 3, 1) {
+		t.Errorf("Jan 31 1991 + 1mo1d = %v, want Mar 1", got.Civil())
+	}
+}
+
+func TestDurationAddToDistinguished(t *testing.T) {
+	if Months(5).AddTo(MaxChronon) != MaxChronon {
+		t.Error("forever should absorb duration addition")
+	}
+	if Seconds(-5).AddTo(MinChronon) != MinChronon {
+		t.Error("beginning should absorb duration addition")
+	}
+}
+
+func TestDurationSubFromAsymmetry(t *testing.T) {
+	// The calendar makes SubFrom a non-inverse of AddTo.
+	feb28 := Date(1991, 2, 28)
+	if got := Months(1).AddTo(Date(1991, 1, 31)); got != feb28 {
+		t.Fatalf("Jan 31 + 1mo = %v", got.Civil())
+	}
+	if got := Months(1).SubFrom(feb28); got != Date(1991, 1, 28) {
+		t.Errorf("Feb 28 - 1mo = %v, want Jan 28", got.Civil())
+	}
+}
+
+func TestDurationPlusNeg(t *testing.T) {
+	d := Seconds(10).Plus(Months(2))
+	if d.Seconds != 10 || d.Months != 2 {
+		t.Errorf("Plus = %+v", d)
+	}
+	n := d.Neg()
+	if n.Seconds != -10 || n.Months != -2 {
+		t.Errorf("Neg = %+v", n)
+	}
+}
+
+func TestDurationFixedSeconds(t *testing.T) {
+	if s, ok := Seconds(45).FixedSeconds(); !ok || s != 45 {
+		t.Errorf("FixedSeconds = %d, %v", s, ok)
+	}
+	if _, ok := Months(1).FixedSeconds(); ok {
+		t.Error("calendric duration reported fixed")
+	}
+}
+
+func TestDurationCompare(t *testing.T) {
+	if Seconds(1).Compare(Seconds(2)) != -1 {
+		t.Error("1s < 2s")
+	}
+	if Seconds(2).Compare(Seconds(1)) != 1 {
+		t.Error("2s > 1s")
+	}
+	if Seconds(2).Compare(Seconds(2)) != 0 {
+		t.Error("2s == 2s")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Compare on calendric duration should panic")
+		}
+	}()
+	Months(1).Compare(Seconds(1))
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{Duration{}, "0s"},
+		{Seconds(30), "30s"},
+		{Seconds(90), "1m30s"},
+		{Hours(25), "1d1h"},
+		{Months(1), "1mo"},
+		{Years(2), "2y"},
+		{Duration{Months: 1, Seconds: 86400}, "1mo1d"},
+		{Seconds(-90), "-1m30s"},
+		{Duration{Months: 1, Seconds: -86400}, "1mo-86400s"},
+		{Duration{Months: -1, Seconds: 86400}, "1d-1mo"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("%+v.String() = %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+func TestParseDuration(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Duration
+	}{
+		{"30s", Seconds(30)},
+		{"5m", Minutes(5)},
+		{"2h", Hours(2)},
+		{"3d", Days(3)},
+		{"1w", Weeks(1)},
+		{"1mo", Months(1)},
+		{"2y", Years(2)},
+		{"1mo2d", Duration{Months: 1, Seconds: 2 * 86400}},
+		{"-30s", Seconds(-30)},
+		{"1mo-86400s", Duration{Months: 1, Seconds: -86400}},
+		{"1d-1mo", Duration{Months: -1, Seconds: 86400}},
+		{"-1mo", Months(-1)},
+		{"1h30m", Seconds(5400)},
+	}
+	for _, c := range cases {
+		got, err := ParseDuration(c.in)
+		if err != nil {
+			t.Errorf("ParseDuration(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseDuration(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "-", "s", "5x", "5", "mo5"} {
+		if _, err := ParseDuration(bad); err == nil {
+			t.Errorf("ParseDuration(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestParseDurationRoundTrip(t *testing.T) {
+	f := func(secs int32, months int8) bool {
+		d := Duration{Seconds: int64(secs), Months: int64(months)}
+		parsed, err := ParseDuration(d.String())
+		return err == nil && parsed == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGCD(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{28, 6, 2}, // the paper's §3.2 example: Δt₁=28s, Δt₂=6s ⇒ 2s
+		{6, 28, 2},
+		{0, 5, 5},
+		{5, 0, 5},
+		{0, 0, 0},
+		{-28, 6, 2},
+		{7, 13, 1},
+		{12, 18, 6},
+	}
+	for _, c := range cases {
+		if got := GCD(c.a, c.b); got != c.want {
+			t.Errorf("GCD(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestGCDProperties(t *testing.T) {
+	f := func(a, b int32) bool {
+		g := GCD(int64(a), int64(b))
+		if a == 0 && b == 0 {
+			return g == 0
+		}
+		if g <= 0 {
+			return false
+		}
+		return int64(a)%g == 0 && int64(b)%g == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGCDDuration(t *testing.T) {
+	if d, ok := GCDDuration(Seconds(28), Seconds(6)); !ok || d != Seconds(2) {
+		t.Errorf("GCDDuration = %v, %v", d, ok)
+	}
+	if _, ok := GCDDuration(Months(1), Seconds(6)); ok {
+		t.Error("calendric GCD should fail")
+	}
+	if _, ok := GCDDuration(Seconds(6), Months(1)); ok {
+		t.Error("calendric GCD should fail")
+	}
+}

@@ -1,0 +1,70 @@
+package chronon
+
+import "testing"
+
+// FuzzParseDuration checks that the duration parser never panics and that
+// whatever it accepts round-trips through String.
+func FuzzParseDuration(f *testing.F) {
+	for _, seed := range []string{
+		"30s", "1mo2d", "-1m30s", "1mo-86400s", "2y", "0s", "", "-",
+		"9999999999999999999s", "1h30m", "5x", "1d-1mo", "mo", "--3s",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		d, err := ParseDuration(s)
+		if err != nil {
+			return
+		}
+		again, err := ParseDuration(d.String())
+		if err != nil {
+			t.Fatalf("rendering of parsed %q does not re-parse: %q: %v", s, d.String(), err)
+		}
+		if again != d {
+			t.Fatalf("round trip drift: %q -> %+v -> %q -> %+v", s, d, d.String(), again)
+		}
+	})
+}
+
+// FuzzParseCivil checks the date-time parser never panics and accepted
+// values are valid calendar dates that round-trip through the chronon
+// conversion.
+func FuzzParseCivil(f *testing.F) {
+	for _, seed := range []string{
+		"1992-02-29", "1970-01-01 00:00:00", "2026-07-06T12:30:45",
+		"0000-01-01", "9999-12-31 23:59:59", "1991-02-29", "x", "1991-1-1",
+		"1991-01-01 24:00:00", "-991-01-01",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		cv, err := ParseCivil(s)
+		if err != nil {
+			return
+		}
+		if !cv.Valid() {
+			t.Fatalf("ParseCivil(%q) accepted invalid %+v", s, cv)
+		}
+		back := cv.Chronon().Civil()
+		if back != cv {
+			t.Fatalf("calendar round trip drift: %+v vs %+v", cv, back)
+		}
+	})
+}
+
+// FuzzParseGranularity checks the granularity parser never panics and only
+// produces valid granularities.
+func FuzzParseGranularity(f *testing.F) {
+	for _, seed := range []string{"second", "15s", "day", "", "0s", "-3s", "week"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		g, err := ParseGranularity(s)
+		if err != nil {
+			return
+		}
+		if !g.Valid() {
+			t.Fatalf("ParseGranularity(%q) = %d invalid", s, g)
+		}
+	})
+}

@@ -1,0 +1,374 @@
+// Package constraint enforces declared temporal specializations on a
+// temporal relation. The paper's definitions are intensional (§3): "for a
+// relation schema to have a particular type, all its possible (non-empty)
+// extensions must satisfy the definition of the type." Enforcement
+// therefore validates every transaction against the declared
+// specializations before it commits, rejecting any that would produce a
+// violating extension — the mechanism by which "the particular time
+// semantics of temporal relations" specified at design time are upheld.
+//
+// Each specialization may be declared on a per-relation basis or a
+// per-partition basis (checked independently within each object
+// surrogate's life-line, the per-surrogate partitioning of §2).
+package constraint
+
+import (
+	"fmt"
+
+	"repro/internal/chronon"
+	"repro/internal/core"
+	"repro/internal/element"
+	"repro/internal/relation"
+	"repro/internal/surrogate"
+)
+
+// Scope selects the basis on which a specialization is applied (§3): per
+// relation, or per partition of the per-surrogate partitioning.
+type Scope uint8
+
+const (
+	// PerRelation applies the specialization to the whole relation.
+	PerRelation Scope = iota
+	// PerPartition applies it independently within each object
+	// surrogate's partition.
+	PerPartition
+)
+
+// String names the scope.
+func (s Scope) String() string {
+	if s == PerRelation {
+		return "per relation"
+	}
+	return "per partition"
+}
+
+// Constraint is a declarable temporal specialization. A constraint builds
+// one Checker per enforcement scope instance (one for the relation, or one
+// per partition).
+type Constraint interface {
+	fmt.Stringer
+	// NewChecker returns a fresh, empty checker for one scope instance.
+	NewChecker() Checker
+}
+
+// Checker validates transactions incrementally. Check* methods must not
+// mutate state; Note* methods commit a validated operation.
+type Checker interface {
+	CheckInsert(e *element.Element) error
+	CheckDelete(e *element.Element, tt chronon.Chronon) error
+	NoteInsert(e *element.Element)
+	NoteDelete(e *element.Element, tt chronon.Chronon)
+}
+
+// Event declares an isolated-event specialization (§3.1) under a
+// transaction-time basis and, for interval relations, a valid-time
+// endpoint.
+type Event struct {
+	Spec     core.EventSpec
+	Basis    core.TTBasis
+	Endpoint core.VTEndpoint
+}
+
+// String renders the declaration.
+func (c Event) String() string {
+	return fmt.Sprintf("%v [%v basis, %v]", c.Spec, c.Basis, c.Endpoint)
+}
+
+// NewChecker returns the (stateless) checker.
+func (c Event) NewChecker() Checker { return eventChecker{c} }
+
+type eventChecker struct{ c Event }
+
+func (k eventChecker) CheckInsert(e *element.Element) error {
+	if k.c.Basis != core.TTInsertion {
+		return nil
+	}
+	st, _ := core.StampOf(e, core.TTInsertion, k.c.Endpoint)
+	return k.c.Spec.Check(st)
+}
+
+func (k eventChecker) CheckDelete(e *element.Element, tt chronon.Chronon) error {
+	if k.c.Basis != core.TTDeletion {
+		return nil
+	}
+	vt := e.VT.Start()
+	if k.c.Endpoint == core.VTEnd {
+		vt = e.VT.End()
+	}
+	return k.c.Spec.Check(core.Stamp{TT: tt, VT: vt})
+}
+
+func (k eventChecker) NoteInsert(*element.Element)                  {}
+func (k eventChecker) NoteDelete(*element.Element, chronon.Chronon) {}
+
+// Determined declares a determined specialization (§3.1): valid times must
+// equal the mapping function's output and satisfy the base class.
+type Determined struct {
+	Spec core.DeterminedSpec
+}
+
+// String renders the declaration.
+func (c Determined) String() string { return c.Spec.String() }
+
+// NewChecker returns the (stateless) checker.
+func (c Determined) NewChecker() Checker { return determinedChecker{c} }
+
+type determinedChecker struct{ c Determined }
+
+func (k determinedChecker) CheckInsert(e *element.Element) error {
+	if k.c.Spec.Basis != core.TTInsertion {
+		return nil
+	}
+	return k.c.Spec.Check(e)
+}
+
+func (k determinedChecker) CheckDelete(e *element.Element, tt chronon.Chronon) error {
+	if k.c.Spec.Basis != core.TTDeletion {
+		return nil
+	}
+	closed := *e
+	closed.TTEnd = tt
+	return k.c.Spec.Check(&closed)
+}
+
+func (k determinedChecker) NoteInsert(*element.Element)                  {}
+func (k determinedChecker) NoteDelete(*element.Element, chronon.Chronon) {}
+
+// InterEvent declares an inter-event specialization (§3.2): an ordering or
+// regularity restriction across elements.
+type InterEvent struct {
+	Spec     core.InterEventSpec
+	Basis    core.TTBasis
+	Endpoint core.VTEndpoint
+}
+
+// String renders the declaration.
+func (c InterEvent) String() string {
+	return fmt.Sprintf("%v [%v basis, %v]", c.Spec, c.Basis, c.Endpoint)
+}
+
+// NewChecker returns a stateful checker tracking the scope's stamps.
+func (c InterEvent) NewChecker() Checker {
+	return &interEventChecker{c: c, ck: c.Spec.NewChecker()}
+}
+
+type interEventChecker struct {
+	c  InterEvent
+	ck *core.InterEventChecker
+}
+
+func (k *interEventChecker) stamp(e *element.Element, tt chronon.Chronon) core.Stamp {
+	vt := e.VT.Start()
+	if k.c.Endpoint == core.VTEnd {
+		vt = e.VT.End()
+	}
+	return core.Stamp{TT: tt, VT: vt}
+}
+
+func (k *interEventChecker) CheckInsert(e *element.Element) error {
+	if k.c.Basis != core.TTInsertion {
+		return nil
+	}
+	return k.ck.Check(k.stamp(e, e.TTStart))
+}
+
+func (k *interEventChecker) CheckDelete(e *element.Element, tt chronon.Chronon) error {
+	if k.c.Basis != core.TTDeletion {
+		return nil
+	}
+	return k.ck.Check(k.stamp(e, tt))
+}
+
+func (k *interEventChecker) NoteInsert(e *element.Element) {
+	if k.c.Basis == core.TTInsertion {
+		k.ck.Note(k.stamp(e, e.TTStart))
+	}
+}
+
+func (k *interEventChecker) NoteDelete(e *element.Element, tt chronon.Chronon) {
+	if k.c.Basis == core.TTDeletion {
+		k.ck.Note(k.stamp(e, tt))
+	}
+}
+
+// IntervalRegular declares an isolated-interval regularity specialization
+// (§3.3). Valid-interval regularity is checked at insertion; existence-
+// interval regularity is checked when the element is logically deleted
+// (its existence interval closes).
+type IntervalRegular struct {
+	Spec core.IntervalRegularSpec
+}
+
+// String renders the declaration.
+func (c IntervalRegular) String() string { return c.Spec.String() }
+
+// NewChecker returns the (stateless) checker.
+func (c IntervalRegular) NewChecker() Checker { return intervalRegularChecker{c} }
+
+type intervalRegularChecker struct{ c IntervalRegular }
+
+func (k intervalRegularChecker) CheckInsert(e *element.Element) error {
+	// At insertion the element is current, so only the valid-interval part
+	// of the spec can be (and is) checked.
+	return k.c.Spec.Check(e)
+}
+
+func (k intervalRegularChecker) CheckDelete(e *element.Element, tt chronon.Chronon) error {
+	closed := *e
+	closed.TTEnd = tt
+	return k.c.Spec.Check(&closed)
+}
+
+func (k intervalRegularChecker) NoteInsert(*element.Element)                  {}
+func (k intervalRegularChecker) NoteDelete(*element.Element, chronon.Chronon) {}
+
+// InterInterval declares an inter-interval specialization (§3.4).
+type InterInterval struct {
+	Spec  core.InterIntervalSpec
+	Basis core.TTBasis
+}
+
+// String renders the declaration.
+func (c InterInterval) String() string {
+	return fmt.Sprintf("%v [%v basis]", c.Spec, c.Basis)
+}
+
+// NewChecker returns a stateful checker.
+func (c InterInterval) NewChecker() Checker {
+	return &interIntervalChecker{c: c, ck: c.Spec.NewChecker()}
+}
+
+type interIntervalChecker struct {
+	c  InterInterval
+	ck *core.InterIntervalChecker
+}
+
+func (k *interIntervalChecker) stamp(e *element.Element, tt chronon.Chronon) (core.IntervalStamp, error) {
+	iv, ok := e.VT.Interval()
+	if !ok {
+		return core.IntervalStamp{}, fmt.Errorf("constraint: %v declared on an event-stamped relation", k.c.Spec)
+	}
+	return core.IntervalStamp{TT: tt, VT: iv}, nil
+}
+
+func (k *interIntervalChecker) CheckInsert(e *element.Element) error {
+	if k.c.Basis != core.TTInsertion {
+		return nil
+	}
+	st, err := k.stamp(e, e.TTStart)
+	if err != nil {
+		return err
+	}
+	return k.ck.Check(st)
+}
+
+func (k *interIntervalChecker) CheckDelete(e *element.Element, tt chronon.Chronon) error {
+	if k.c.Basis != core.TTDeletion {
+		return nil
+	}
+	st, err := k.stamp(e, tt)
+	if err != nil {
+		return err
+	}
+	return k.ck.Check(st)
+}
+
+func (k *interIntervalChecker) NoteInsert(e *element.Element) {
+	if k.c.Basis != core.TTInsertion {
+		return
+	}
+	if st, err := k.stamp(e, e.TTStart); err == nil {
+		k.ck.Note(st)
+	}
+}
+
+func (k *interIntervalChecker) NoteDelete(e *element.Element, tt chronon.Chronon) {
+	if k.c.Basis != core.TTDeletion {
+		return
+	}
+	if st, err := k.stamp(e, tt); err == nil {
+		k.ck.Note(st)
+	}
+}
+
+// Enforcer applies a set of declared constraints to a relation at a given
+// scope. It implements relation.Guard; attach it with relation.AddGuard or
+// the Attach convenience function.
+type Enforcer struct {
+	scope       Scope
+	constraints []Constraint
+	checkers    map[surrogate.Surrogate][]Checker
+}
+
+// NewEnforcer builds an enforcer for the given scope and constraints.
+func NewEnforcer(scope Scope, cs ...Constraint) *Enforcer {
+	return &Enforcer{
+		scope:       scope,
+		constraints: cs,
+		checkers:    make(map[surrogate.Surrogate][]Checker),
+	}
+}
+
+// Attach builds an enforcer and registers it as a guard on the relation.
+func Attach(r *relation.Relation, scope Scope, cs ...Constraint) *Enforcer {
+	en := NewEnforcer(scope, cs...)
+	r.AddGuard(en)
+	return en
+}
+
+// Scope reports the enforcement scope.
+func (en *Enforcer) Scope() Scope { return en.scope }
+
+// Constraints lists the declared constraints.
+func (en *Enforcer) Constraints() []Constraint { return en.constraints }
+
+func (en *Enforcer) key(e *element.Element) surrogate.Surrogate {
+	if en.scope == PerPartition {
+		return e.OS
+	}
+	return surrogate.None
+}
+
+func (en *Enforcer) checkersFor(k surrogate.Surrogate) []Checker {
+	if cks, ok := en.checkers[k]; ok {
+		return cks
+	}
+	cks := make([]Checker, len(en.constraints))
+	for i, c := range en.constraints {
+		cks[i] = c.NewChecker()
+	}
+	en.checkers[k] = cks
+	return cks
+}
+
+// CheckInsert implements relation.Guard.
+func (en *Enforcer) CheckInsert(_ *relation.Relation, e *element.Element) error {
+	for i, ck := range en.checkersFor(en.key(e)) {
+		if err := ck.CheckInsert(e); err != nil {
+			return fmt.Errorf("constraint %q (%v): %w", en.constraints[i], en.scope, err)
+		}
+	}
+	return nil
+}
+
+// CheckDelete implements relation.Guard.
+func (en *Enforcer) CheckDelete(_ *relation.Relation, e *element.Element, tt chronon.Chronon) error {
+	for i, ck := range en.checkersFor(en.key(e)) {
+		if err := ck.CheckDelete(e, tt); err != nil {
+			return fmt.Errorf("constraint %q (%v): %w", en.constraints[i], en.scope, err)
+		}
+	}
+	return nil
+}
+
+// Applied implements relation.Guard: commits the operation into the
+// incremental checkers' state.
+func (en *Enforcer) Applied(_ *relation.Relation, op relation.Op, e *element.Element, tt chronon.Chronon) {
+	for _, ck := range en.checkersFor(en.key(e)) {
+		if op == relation.OpInsert {
+			ck.NoteInsert(e)
+		} else {
+			ck.NoteDelete(e, tt)
+		}
+	}
+}

@@ -1,0 +1,427 @@
+package constraint
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/chronon"
+	"repro/internal/core"
+	"repro/internal/element"
+	"repro/internal/relation"
+	"repro/internal/tx"
+)
+
+func monitorSchema() relation.Schema {
+	return relation.Schema{
+		Name:        "temps",
+		ValidTime:   element.EventStamp,
+		Granularity: chronon.Second,
+		Invariant:   []relation.Column{{Name: "sensor", Type: element.KindString}},
+		Varying:     []relation.Column{{Name: "celsius", Type: element.KindFloat}},
+	}
+}
+
+func assignSchema() relation.Schema {
+	return relation.Schema{
+		Name:        "assignments",
+		ValidTime:   element.IntervalStamp,
+		Granularity: chronon.Second,
+		Invariant:   []relation.Column{{Name: "emp", Type: element.KindString}},
+		Varying:     []relation.Column{{Name: "project", Type: element.KindString}},
+	}
+}
+
+func insertEvent(t *testing.T, r *relation.Relation, vt int64, sensor string) (*element.Element, error) {
+	t.Helper()
+	return r.Insert(relation.Insertion{
+		VT:        element.EventAt(chronon.Chronon(vt)),
+		Invariant: []element.Value{element.String_(sensor)},
+		Varying:   []element.Value{element.Float(20)},
+	})
+}
+
+func insertSpan(t *testing.T, r *relation.Relation, vs, ve int64, emp string) (*element.Element, error) {
+	t.Helper()
+	return r.Insert(relation.Insertion{
+		VT:        element.SpanOf(chronon.Chronon(vs), chronon.Chronon(ve)),
+		Invariant: []element.Value{element.String_(emp)},
+		Varying:   []element.Value{element.String_("p")},
+	})
+}
+
+func TestEventConstraintRetroactive(t *testing.T) {
+	r := relation.New(monitorSchema(), tx.NewLogicalClock(1000, 10))
+	Attach(r, PerRelation, Event{Spec: core.RetroactiveSpec()})
+	// First insert gets tt = 1010; vt 1000 is retroactive.
+	if _, err := insertEvent(t, r, 1000, "s1"); err != nil {
+		t.Fatalf("retroactive insert rejected: %v", err)
+	}
+	// tt = 1020; vt 2000 is in the future: reject.
+	if _, err := insertEvent(t, r, 2000, "s1"); err == nil {
+		t.Fatal("future event accepted by retroactive relation")
+	}
+	if r.Len() != 1 {
+		t.Errorf("rejected insert stored; len = %d", r.Len())
+	}
+	// The error names the constraint.
+	_, err := insertEvent(t, r, 5000, "s1")
+	if err == nil || !strings.Contains(err.Error(), "retroactive") {
+		t.Errorf("violation message %v lacks constraint name", err)
+	}
+}
+
+func TestEventConstraintDeletionBasis(t *testing.T) {
+	r := relation.New(monitorSchema(), tx.NewLogicalClock(1000, 10))
+	// Deletion-retroactive: elements may be inserted with future valid
+	// times but may only be deleted after their event has occurred.
+	Attach(r, PerRelation, Event{Spec: core.RetroactiveSpec(), Basis: core.TTDeletion})
+	e, err := insertEvent(t, r, 5000, "s1") // tt=1010, vt=5000: fine on insert
+	if err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	// Deleting now (tt=1020 < vt=5000) violates deletion-retroactivity.
+	if err := r.Delete(e.ES); err == nil {
+		t.Fatal("early delete accepted")
+	}
+	// Advance past the event and retry.
+	r.Clock().(*tx.LogicalClock).AdvanceTo(5000)
+	if err := r.Delete(e.ES); err != nil {
+		t.Fatalf("late delete rejected: %v", err)
+	}
+}
+
+func TestDelayedRetroactiveEnforcement(t *testing.T) {
+	spec, err := core.DelayedRetroactiveSpec(chronon.Seconds(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := relation.New(monitorSchema(), tx.NewLogicalClock(1000, 10))
+	Attach(r, PerRelation, Event{Spec: spec})
+	// tt=1010; vt must be ≤ 980.
+	if _, err := insertEvent(t, r, 980, "s1"); err != nil {
+		t.Errorf("delay 30 rejected: %v", err)
+	}
+	if _, err := insertEvent(t, r, 995, "s1"); err == nil {
+		t.Error("delay 25 accepted")
+	}
+}
+
+func TestInterEventConstraintSequential(t *testing.T) {
+	r := relation.New(monitorSchema(), tx.NewLogicalClock(0, 100))
+	Attach(r, PerRelation, InterEvent{Spec: core.SequentialEventsSpec()})
+	// tt=100, vt=50: ok. tt=200, vt=150: ok (150 ≥ max(100,50)).
+	if _, err := insertEvent(t, r, 50, "s1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := insertEvent(t, r, 150, "s1"); err != nil {
+		t.Fatal(err)
+	}
+	// tt=300, vt=120: 120 < 200 (prior tt): reject.
+	if _, err := insertEvent(t, r, 120, "s1"); err == nil {
+		t.Fatal("non-sequential insert accepted")
+	}
+	// State unchanged: a valid retry succeeds.
+	if _, err := insertEvent(t, r, 450, "s1"); err != nil {
+		t.Fatalf("valid insert after rejection failed: %v", err)
+	}
+}
+
+func TestInterEventRegularEnforcement(t *testing.T) {
+	spec, err := core.TTEventRegularSpec(chronon.Seconds(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := relation.New(monitorSchema(), tx.NewLogicalClock(0, 100))
+	Attach(r, PerRelation, InterEvent{Spec: spec})
+	if _, err := insertEvent(t, r, 1, "s1"); err != nil { // tt=100
+		t.Fatal(err)
+	}
+	if _, err := insertEvent(t, r, 2, "s1"); err != nil { // tt=200
+		t.Fatal(err)
+	}
+	// Shift the clock so the next tt is 350: not congruent to 100 mod 100.
+	r.Clock().(*tx.LogicalClock).AdvanceTo(250)
+	if _, err := insertEvent(t, r, 3, "s1"); err == nil {
+		t.Fatal("irregular tt accepted")
+	}
+}
+
+func TestPerPartitionScope(t *testing.T) {
+	r := relation.New(assignSchema(), tx.NewLogicalClock(0, 100))
+	Attach(r, PerPartition, InterInterval{Spec: core.ContiguousSpec()})
+	ann := r.NewObject()
+	bob := r.NewObject()
+	mk := func(os int64, vs, ve int64) error {
+		var o = ann
+		if os == 2 {
+			o = bob
+		}
+		_, err := r.Insert(relation.Insertion{
+			Object:    o,
+			VT:        element.SpanOf(chronon.Chronon(vs), chronon.Chronon(ve)),
+			Invariant: []element.Value{element.String_("x")},
+			Varying:   []element.Value{element.String_("p")},
+		})
+		return err
+	}
+	// Ann's and Bob's life-lines are each contiguous, though interleaved in
+	// transaction time and mutually non-contiguous.
+	if err := mk(1, 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := mk(2, 100, 110); err != nil {
+		t.Fatal(err)
+	}
+	if err := mk(1, 10, 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := mk(2, 110, 120); err != nil {
+		t.Fatal(err)
+	}
+	// A gap within Ann's life-line is rejected.
+	if err := mk(1, 25, 30); err == nil {
+		t.Fatal("gap in partition accepted")
+	}
+	// The same intervals under a per-relation scope would already have
+	// failed at Bob's first insert.
+	r2 := relation.New(assignSchema(), tx.NewLogicalClock(0, 100))
+	Attach(r2, PerRelation, InterInterval{Spec: core.ContiguousSpec()})
+	o1 := r2.NewObject()
+	if _, err := r2.Insert(relation.Insertion{Object: o1, VT: element.SpanOf(0, 10),
+		Invariant: []element.Value{element.String_("x")}, Varying: []element.Value{element.String_("p")}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r2.Insert(relation.Insertion{Object: r2.NewObject(), VT: element.SpanOf(100, 110),
+		Invariant: []element.Value{element.String_("x")}, Varying: []element.Value{element.String_("p")}}); err == nil {
+		t.Fatal("per-relation contiguity should reject the gap")
+	}
+}
+
+func TestIntervalRegularEnforcement(t *testing.T) {
+	spec, err := core.VTIntervalRegularSpec(chronon.Seconds(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := relation.New(assignSchema(), tx.NewLogicalClock(0, 100))
+	Attach(r, PerRelation, IntervalRegular{Spec: spec})
+	if _, err := insertSpan(t, r, 0, 20, "ann"); err != nil {
+		t.Fatalf("regular interval rejected: %v", err)
+	}
+	if _, err := insertSpan(t, r, 0, 25, "ann"); err == nil {
+		t.Fatal("irregular interval accepted")
+	}
+}
+
+func TestTTIntervalRegularEnforcedAtDelete(t *testing.T) {
+	spec, err := core.TTIntervalRegularSpec(chronon.Seconds(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := relation.New(assignSchema(), tx.NewLogicalClock(0, 100))
+	Attach(r, PerRelation, IntervalRegular{Spec: spec})
+	e, err := insertSpan(t, r, 0, 10, "ann") // tt⊢ = 100
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deleting at tt = 200 gives existence [100, 200): duration 100, not a
+	// multiple of 200: reject.
+	if err := r.Delete(e.ES); err == nil {
+		t.Fatal("irregular existence interval accepted")
+	}
+	// Deleting at tt = 300 gives duration 200: accept.
+	if err := r.Delete(e.ES); err != nil {
+		t.Fatalf("regular existence delete rejected: %v", err)
+	}
+}
+
+func TestDeterminedEnforcement(t *testing.T) {
+	det := Determined{Spec: core.DeterminedSpec{
+		M:    core.M1(chronon.Seconds(50)),
+		Base: core.PredictiveSpec(),
+	}}
+	r := relation.New(monitorSchema(), tx.NewLogicalClock(0, 100))
+	Attach(r, PerRelation, det)
+	// tt = 100 ⇒ vt must be exactly 150.
+	if _, err := insertEvent(t, r, 150, "s1"); err != nil {
+		t.Fatalf("determined insert rejected: %v", err)
+	}
+	// tt = 200 ⇒ vt must be 250, not 240.
+	if _, err := insertEvent(t, r, 240, "s1"); err == nil {
+		t.Fatal("non-determined vt accepted")
+	}
+}
+
+func TestInterIntervalOnEventRelationFails(t *testing.T) {
+	r := relation.New(monitorSchema(), tx.NewLogicalClock(0, 100))
+	Attach(r, PerRelation, InterInterval{Spec: core.SequentialIntervalsSpec()})
+	if _, err := insertEvent(t, r, 50, "s1"); err == nil {
+		t.Fatal("inter-interval constraint on event relation accepted")
+	}
+}
+
+func TestEnforcerAccessors(t *testing.T) {
+	en := NewEnforcer(PerPartition, Event{Spec: core.RetroactiveSpec()})
+	if en.Scope() != PerPartition {
+		t.Error("Scope wrong")
+	}
+	if len(en.Constraints()) != 1 {
+		t.Error("Constraints wrong")
+	}
+	if PerRelation.String() != "per relation" || PerPartition.String() != "per partition" {
+		t.Error("scope names wrong")
+	}
+}
+
+func TestConstraintStrings(t *testing.T) {
+	cs := []Constraint{
+		Event{Spec: core.RetroactiveSpec()},
+		Determined{Spec: core.DeterminedSpec{M: core.M3(), Base: core.GeneralSpec()}},
+		InterEvent{Spec: core.SequentialEventsSpec()},
+		InterInterval{Spec: core.ContiguousSpec()},
+	}
+	for _, c := range cs {
+		if c.String() == "" {
+			t.Errorf("%T has empty String", c)
+		}
+	}
+	ir, err := core.VTIntervalRegularSpec(chronon.Seconds(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (IntervalRegular{Spec: ir}).String() == "" {
+		t.Error("IntervalRegular has empty String")
+	}
+}
+
+func TestMultipleConstraintsComposed(t *testing.T) {
+	// A chemical-plant relation: delayed retroactive AND sequential.
+	delayed, err := core.DelayedRetroactiveSpec(chronon.Seconds(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := relation.New(monitorSchema(), tx.NewLogicalClock(1000, 100))
+	Attach(r, PerRelation,
+		Event{Spec: delayed},
+		InterEvent{Spec: core.SequentialEventsSpec()},
+	)
+	if _, err := insertEvent(t, r, 1000, "s1"); err != nil { // tt=1100
+		t.Fatal(err)
+	}
+	// Violates the delay (tt=1200, vt=1190 > 1170).
+	if _, err := insertEvent(t, r, 1190, "s1"); err == nil {
+		t.Fatal("delay violation accepted")
+	}
+	// Violates sequentiality (vt 900 before prior element's tt 1100).
+	if _, err := insertEvent(t, r, 900, "s1"); err == nil {
+		t.Fatal("sequentiality violation accepted")
+	}
+	// Satisfies both.
+	if _, err := insertEvent(t, r, 1150, "s1"); err != nil {
+		t.Fatalf("valid insert rejected: %v", err)
+	}
+}
+
+func TestInterEventDeletionBasis(t *testing.T) {
+	// Deletion-sequential: elements must be deleted in an order where each
+	// deletion's (tt, vt) pair is sequential — deletions proceed forward
+	// through valid time.
+	r := relation.New(monitorSchema(), tx.NewLogicalClock(0, 100))
+	Attach(r, PerRelation, InterEvent{Spec: core.SequentialEventsSpec(), Basis: core.TTDeletion})
+	// Inserts are unconstrained under the deletion basis.
+	e1, err := insertEvent(t, r, 5000, "s1") // vt far ahead
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := insertEvent(t, r, 50, "s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deleting e2 first (vt=50 < its deletion tt) is fine...
+	if err := r.Delete(e2.ES); err != nil {
+		t.Fatalf("first delete: %v", err)
+	}
+	// ...but then deleting e1 violates sequentiality on the deletion
+	// stamps: its vt (5000) exceeds... actually min(tt,vt) must be >= the
+	// prior max; prior max = max(tt=300, vt=50) = 300; e1's stamp is
+	// (400, 5000): min = 400 >= 300, accepted. Check state advanced.
+	if err := r.Delete(e1.ES); err != nil {
+		t.Fatalf("second delete: %v", err)
+	}
+	// A third element whose deletion stamp regresses is rejected.
+	e3, err := insertEvent(t, r, 60, "s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Delete(e3.ES); err == nil {
+		t.Fatal("regressing deletion stamp accepted")
+	}
+}
+
+func TestInterIntervalDeletionBasis(t *testing.T) {
+	r := relation.New(assignSchema(), tx.NewLogicalClock(0, 100))
+	Attach(r, PerRelation, InterInterval{Spec: core.NonDecreasingIntervalsSpec(), Basis: core.TTDeletion})
+	a, err := insertSpan(t, r, 100, 200, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := insertSpan(t, r, 0, 50, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delete the later interval first: its start (100) anchors the order.
+	if err := r.Delete(a.ES); err != nil {
+		t.Fatal(err)
+	}
+	// Deleting the earlier-starting interval now violates non-decreasing
+	// on the deletion basis.
+	if err := r.Delete(b.ES); err == nil {
+		t.Fatal("regressing interval deletion accepted")
+	}
+}
+
+func TestDeterminedDeletionBasis(t *testing.T) {
+	// Elements must be deleted exactly when their valid time arrives:
+	// vt = m(e) with m(e) = tt⊣ under the deletion basis... M1 maps from
+	// TTStart, so use a custom mapping on the closed element.
+	det := Determined{Spec: core.DeterminedSpec{
+		M: core.Mapping{Name: "at-deletion", Fn: func(e *element.Element) chronon.Chronon {
+			return e.TTEnd
+		}},
+		Base:  core.GeneralSpec(),
+		Basis: core.TTDeletion,
+	}}
+	r := relation.New(monitorSchema(), tx.NewLogicalClock(0, 100))
+	Attach(r, PerRelation, det)
+	e, err := insertEvent(t, r, 200, "s1") // tt=100, vt=200
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deleting at tt=200 satisfies vt = tt⊣; the next tt is 200.
+	if err := r.Delete(e.ES); err != nil {
+		t.Fatalf("aligned delete rejected: %v", err)
+	}
+	e2, err := insertEvent(t, r, 999, "s1") // tt=300, vt=999
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Delete(e2.ES); err == nil { // tt=400 != 999
+		t.Fatal("misaligned delete accepted")
+	}
+}
+
+func TestEventConstraintDeleteBasisIgnoresInsert(t *testing.T) {
+	// A deletion-basis event constraint must not fire on insert, and an
+	// insertion-basis one must not fire on delete.
+	r := relation.New(monitorSchema(), tx.NewLogicalClock(1000, 10))
+	Attach(r, PerRelation,
+		Event{Spec: core.PredictiveSpec(), Basis: core.TTInsertion})
+	e, err := insertEvent(t, r, 5000, "s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deleting now gives a deletion stamp (1020, 5000) which would violate
+	// retroactivity but satisfies nothing we declared: must succeed.
+	if err := r.Delete(e.ES); err != nil {
+		t.Fatalf("delete under insertion-basis constraint: %v", err)
+	}
+}

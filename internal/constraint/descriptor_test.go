@@ -1,0 +1,145 @@
+package constraint
+
+import (
+	"testing"
+
+	"repro/internal/chronon"
+	"repro/internal/core"
+	"repro/internal/interval"
+)
+
+// allDescribableConstraints builds one constraint per describable
+// class/kind combination.
+func allDescribableConstraints(t *testing.T) []Constraint {
+	t.Helper()
+	dt, dt2 := chronon.Seconds(10), chronon.Months(1)
+	mkE := func(s core.EventSpec, err error) Constraint {
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Event{Spec: s, Basis: core.TTDeletion, Endpoint: core.VTEnd}
+	}
+	mkIE := func(s core.InterEventSpec, err error) Constraint {
+		if err != nil {
+			t.Fatal(err)
+		}
+		return InterEvent{Spec: s}
+	}
+	mkIR := func(s core.IntervalRegularSpec, err error) Constraint {
+		if err != nil {
+			t.Fatal(err)
+		}
+		return IntervalRegular{Spec: s}
+	}
+	out := []Constraint{
+		Event{Spec: core.GeneralSpec()},
+		Event{Spec: core.RetroactiveSpec()},
+		Event{Spec: core.PredictiveSpec()},
+		mkE(core.DelayedRetroactiveSpec(dt)),
+		mkE(core.EarlyPredictiveSpec(dt)),
+		mkE(core.RetroactivelyBoundedSpec(dt2)),
+		mkE(core.StronglyRetroactivelyBoundedSpec(dt)),
+		mkE(core.DelayedStronglyRetroactivelyBoundedSpec(dt, chronon.Seconds(30))),
+		mkE(core.PredictivelyBoundedSpec(dt)),
+		mkE(core.StronglyPredictivelyBoundedSpec(dt)),
+		mkE(core.EarlyStronglyPredictivelyBoundedSpec(dt, chronon.Seconds(30))),
+		mkE(core.StronglyBoundedSpec(dt, chronon.Seconds(30))),
+		mkE(core.DegenerateSpec(chronon.Minute)),
+		InterEvent{Spec: core.SequentialEventsSpec()},
+		InterEvent{Spec: core.NonDecreasingEventsSpec()},
+		InterEvent{Spec: core.NonIncreasingEventsSpec()},
+		mkIE(core.TTEventRegularSpec(dt)),
+		mkIE(core.VTEventRegularSpec(dt)),
+		mkIE(core.TemporalEventRegularSpec(dt)),
+		mkIE(core.StrictTTEventRegularSpec(dt)),
+		mkIE(core.StrictVTEventRegularSpec(dt)),
+		mkIE(core.StrictTemporalEventRegularSpec(dt)),
+		mkIR(core.TTIntervalRegularSpec(dt)),
+		mkIR(core.VTIntervalRegularSpec(dt2)),
+		mkIR(core.TemporalIntervalRegularSpec(dt)),
+		mkIR(core.StrictTTIntervalRegularSpec(dt)),
+		mkIR(core.StrictVTIntervalRegularSpec(dt2)),
+		mkIR(core.StrictTemporalIntervalRegularSpec(dt)),
+		InterInterval{Spec: core.SequentialIntervalsSpec()},
+		InterInterval{Spec: core.NonDecreasingIntervalsSpec()},
+		InterInterval{Spec: core.NonIncreasingIntervalsSpec()},
+	}
+	for _, rel := range interval.Relations() {
+		out = append(out, InterInterval{Spec: core.SuccessiveTTSpec(rel), Basis: core.TTDeletion})
+	}
+	return out
+}
+
+// TestDescribeBuildIdentity: Describe then Build reproduces a constraint
+// with the same string rendering (the renderings include every parameter),
+// and re-describing yields an identical descriptor.
+func TestDescribeBuildIdentity(t *testing.T) {
+	for _, c := range allDescribableConstraints(t) {
+		d, ok := Describe(c, PerPartition)
+		if !ok {
+			t.Errorf("%v not describable", c)
+			continue
+		}
+		rebuilt, err := d.Build()
+		if err != nil {
+			t.Errorf("%v: Build failed: %v", c, err)
+			continue
+		}
+		if rebuilt.String() != c.String() {
+			t.Errorf("rebuild drift: %q vs %q", rebuilt.String(), c.String())
+		}
+		d2, ok := Describe(rebuilt, PerPartition)
+		if !ok {
+			t.Errorf("rebuilt %v not describable", rebuilt)
+			continue
+		}
+		if d.Kind != d2.Kind || d.Class != d2.Class || d.Scope != d2.Scope ||
+			d.Basis != d2.Basis || d.Endpoint != d2.Endpoint || d.Granularity != d2.Granularity ||
+			len(d.Bounds) != len(d2.Bounds) {
+			t.Errorf("descriptor drift: %+v vs %+v", d, d2)
+			continue
+		}
+		for i := range d.Bounds {
+			if d.Bounds[i] != d2.Bounds[i] {
+				t.Errorf("bound drift at %d: %v vs %v", i, d.Bounds[i], d2.Bounds[i])
+			}
+		}
+	}
+}
+
+func TestDescriptorBuildRejectsNonsense(t *testing.T) {
+	bad := []Descriptor{
+		{Kind: DescEvent, Class: core.GloballySequentialEvents},
+		{Kind: DescEvent, Class: core.DelayedRetroactive}, // missing bound
+		{Kind: DescInterEvent, Class: core.Retroactive},
+		{Kind: DescInterEvent, Class: core.TTEventRegular}, // missing unit
+		{Kind: DescIntervalRegular, Class: core.Retroactive, Bounds: []chronon.Duration{chronon.Seconds(1)}},
+		{Kind: DescIntervalRegular, Class: core.VTIntervalRegular}, // missing unit
+		{Kind: DescInterInterval, Class: core.Retroactive},
+		{Kind: DescriptorKind(99)},
+		{Kind: DescEvent, Class: core.Degenerate}, // zero granularity
+	}
+	for i, d := range bad {
+		if _, err := d.Build(); err == nil {
+			t.Errorf("bad descriptor %d built successfully", i)
+		}
+	}
+}
+
+func TestDescriptorKindStrings(t *testing.T) {
+	for k, want := range map[DescriptorKind]string{
+		DescEvent: "event", DescInterEvent: "inter-event",
+		DescIntervalRegular: "interval-regular", DescInterInterval: "inter-interval",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+	if DescriptorKind(9).String() != "DescriptorKind(9)" {
+		t.Error("fallback kind name wrong")
+	}
+	d, _ := Describe(Event{Spec: core.RetroactiveSpec()}, PerRelation)
+	if d.String() == "" {
+		t.Error("descriptor String empty")
+	}
+}

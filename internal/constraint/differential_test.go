@@ -1,0 +1,105 @@
+package constraint
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/chronon"
+	"repro/internal/core"
+	"repro/internal/element"
+	"repro/internal/relation"
+	"repro/internal/tx"
+)
+
+// TestDifferentialEnforcement is the oracle test for the whole enforcement
+// layer: drive random insert streams through an enforcer and verify that an
+// insert is accepted iff the batch checker accepts the extension that would
+// result — the intensional definition of §3 made executable.
+func TestDifferentialEnforcement(t *testing.T) {
+	type oracle struct {
+		name  string
+		mk    func() Constraint
+		batch func(stamps []core.Stamp) error
+	}
+	unit := chronon.Seconds(60)
+	mkIE := func(s core.InterEventSpec, err error) core.InterEventSpec {
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	specs := []core.InterEventSpec{
+		core.SequentialEventsSpec(),
+		core.NonDecreasingEventsSpec(),
+		core.NonIncreasingEventsSpec(),
+		mkIE(core.TTEventRegularSpec(unit)),
+		mkIE(core.VTEventRegularSpec(unit)),
+		mkIE(core.TemporalEventRegularSpec(unit)),
+		mkIE(core.StrictVTEventRegularSpec(unit)),
+	}
+	eventSpecs := map[string]core.EventSpec{
+		"retroactive": core.RetroactiveSpec(),
+		"predictive":  core.PredictiveSpec(),
+	}
+	var oracles []oracle
+	for _, s := range specs {
+		s := s
+		oracles = append(oracles, oracle{
+			name:  s.String(),
+			mk:    func() Constraint { return InterEvent{Spec: s} },
+			batch: s.CheckAll,
+		})
+	}
+	for name, s := range eventSpecs {
+		s := s
+		oracles = append(oracles, oracle{
+			name:  name,
+			mk:    func() Constraint { return Event{Spec: s} },
+			batch: s.CheckAll,
+		})
+	}
+
+	schema := relation.Schema{Name: "d", ValidTime: element.EventStamp, Granularity: chronon.Second}
+	for _, oc := range oracles {
+		for seed := int64(0); seed < 8; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			r := relation.New(schema, tx.NewLogicalClock(0, 60))
+			Attach(r, PerRelation, oc.mk())
+			var accepted []core.Stamp
+			for i := 0; i < 80; i++ {
+				// Propose valid times biased toward near the clock so every
+				// class gets both accepts and rejects.
+				nextTT := r.Clock().Now().Add(60)
+				var vt chronon.Chronon
+				switch rng.Intn(4) {
+				case 0:
+					vt = nextTT
+				case 1:
+					vt = nextTT.Add(-60 * int64(rng.Intn(4)))
+				case 2:
+					vt = nextTT.Add(60 * int64(rng.Intn(4)))
+				default:
+					vt = nextTT.Add(int64(rng.Intn(241)) - 120)
+				}
+				proposed := append(append([]core.Stamp(nil), accepted...),
+					core.Stamp{TT: nextTT, VT: vt})
+				wantOK := oc.batch(proposed) == nil
+				_, err := r.Insert(relation.Insertion{VT: element.EventAt(vt)})
+				gotOK := err == nil
+				if gotOK != wantOK {
+					t.Fatalf("%s seed %d step %d: incremental=%v batch=%v (vt=%v tt=%v)",
+						oc.name, seed, i, gotOK, wantOK, vt, nextTT)
+				}
+				if gotOK {
+					accepted = proposed
+				}
+			}
+			if len(accepted) == 0 {
+				t.Errorf("%s seed %d: every insert rejected — oracle degenerate", oc.name, seed)
+			}
+			if len(accepted) == 80 {
+				continue // fully accepting stream is fine for loose classes
+			}
+		}
+	}
+}

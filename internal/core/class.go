@@ -1,0 +1,270 @@
+// Package core implements the paper's primary contribution: the taxonomy of
+// temporal specializations (§3). It provides
+//
+//   - the isolated-event specializations of §3.1 (retroactive, predictive,
+//     bounded, degenerate, determined, ... — Figures 1 and 2),
+//   - the inter-event specializations of §3.2 (orderings and regularity —
+//     Figures 3 and 4),
+//   - the isolated-interval specializations of §3.3 (endpoint-applied event
+//     specializations and interval regularity),
+//   - the inter-interval specializations of §3.4 (successive-transaction-
+//     time Allen relations — Figure 5),
+//   - the generalization/specialization lattice connecting them,
+//   - inference of the specializations satisfied by a relation extension,
+//     with parameter synthesis (tightest bounds, largest regular units), and
+//   - the completeness enumeration of §3.1 (eleven isolated-event
+//     specializations plus the general relation).
+//
+// All specializations can be evaluated per relation or per partition (the
+// per-surrogate partitioning of §2).
+package core
+
+import "fmt"
+
+// Class identifies a specialization in the taxonomy. Classes are grouped by
+// the section of the paper that defines them; Category reports the group.
+type Class uint8
+
+// Isolated-event classes (§3.1, Figures 1 and 2). Each undetermined class
+// has a determined counterpart expressed by attaching a mapping function
+// (see DeterminedSpec); the lattice includes only the undetermined classes,
+// mirroring Figure 2.
+const (
+	// General is the unrestricted temporal relation.
+	General Class = iota
+	// Retroactive: vt ≤ tt — facts are valid before they are stored.
+	Retroactive
+	// DelayedRetroactive: vt ≤ tt − Δt for a fixed Δt > 0.
+	DelayedRetroactive
+	// Predictive: vt ≥ tt — facts are stored before they become valid.
+	Predictive
+	// EarlyPredictive: vt ≥ tt + Δt for a fixed Δt > 0.
+	EarlyPredictive
+	// RetroactivelyBounded: vt ≥ tt − Δt for a fixed Δt ≥ 0 (vt may
+	// exceed tt).
+	RetroactivelyBounded
+	// StronglyRetroactivelyBounded: tt − Δt ≤ vt ≤ tt.
+	StronglyRetroactivelyBounded
+	// DelayedStronglyRetroactivelyBounded: tt − Δt₂ ≤ vt ≤ tt − Δt₁ with
+	// 0 ≤ Δt₁ < Δt₂ (a minimum and a maximum recording delay).
+	DelayedStronglyRetroactivelyBounded
+	// PredictivelyBounded: vt ≤ tt + Δt for a fixed Δt ≥ 0 (vt may
+	// precede tt).
+	PredictivelyBounded
+	// StronglyPredictivelyBounded: tt ≤ vt ≤ tt + Δt.
+	StronglyPredictivelyBounded
+	// EarlyStronglyPredictivelyBounded: tt + Δt₁ ≤ vt ≤ tt + Δt₂ with
+	// 0 ≤ Δt₁ < Δt₂ (a minimum and a maximum lead).
+	EarlyStronglyPredictivelyBounded
+	// StronglyBounded: tt − Δt₁ ≤ vt ≤ tt + Δt₂.
+	StronglyBounded
+	// Degenerate: vt = tt within the relation's granularity.
+	Degenerate
+
+	// Inter-event ordering classes (§3.2, Figure 3).
+
+	// GloballyNonDecreasingEvents: elements are entered in valid
+	// time-stamp order.
+	GloballyNonDecreasingEvents
+	// GloballyNonIncreasingEvents: elements are entered in reverse valid
+	// time-stamp order.
+	GloballyNonIncreasingEvents
+	// GloballySequentialEvents: each event occurs and is stored before
+	// the next occurs or is stored.
+	GloballySequentialEvents
+
+	// Inter-event regularity classes (§3.2, Figure 4).
+
+	// TTEventRegular: all transaction times are congruent modulo Δt.
+	TTEventRegular
+	// VTEventRegular: all valid times are congruent modulo Δt.
+	VTEventRegular
+	// TemporalEventRegular: transaction and valid times are congruent
+	// modulo Δt with the same multiplier for each pair of elements.
+	TemporalEventRegular
+	// StrictTTEventRegular: successive transaction times differ by
+	// exactly Δt.
+	StrictTTEventRegular
+	// StrictVTEventRegular: successive valid times differ by exactly Δt.
+	StrictVTEventRegular
+	// StrictTemporalEventRegular: the successor in transaction time is
+	// also the successor in valid time, both at distance Δt.
+	StrictTemporalEventRegular
+
+	// Isolated-interval regularity classes (§3.3).
+
+	// TTIntervalRegular: each element's existence interval has a duration
+	// that is a multiple of Δt.
+	TTIntervalRegular
+	// VTIntervalRegular: each element's valid interval has a duration
+	// that is a multiple of Δt.
+	VTIntervalRegular
+	// TemporalIntervalRegular: both durations are multiples of one Δt.
+	TemporalIntervalRegular
+	// StrictTTIntervalRegular: every existence interval lasts exactly Δt.
+	StrictTTIntervalRegular
+	// StrictVTIntervalRegular: every valid interval lasts exactly Δt.
+	StrictVTIntervalRegular
+	// StrictTemporalIntervalRegular: both intervals last exactly Δt.
+	StrictTemporalIntervalRegular
+
+	// Inter-interval classes (§3.4, Figure 5).
+
+	// GloballyNonDecreasingIntervals: elements are entered in valid
+	// time-stamp (interval start) order.
+	GloballyNonDecreasingIntervals
+	// GloballyNonIncreasingIntervals: elements are entered in reverse
+	// valid time-stamp order.
+	GloballyNonIncreasingIntervals
+	// GloballySequentialIntervals: each interval occurs and is stored
+	// before the next interval commences.
+	GloballySequentialIntervals
+	// STBefore .. STFinishedBy: elements successive in transaction time
+	// have valid intervals related by the named Allen relation. STMeets is
+	// the paper's "globally contiguous".
+	STBefore
+	STMeets // globally contiguous
+	STOverlaps
+	STStarts
+	STDuring
+	STFinishes
+	STEqual
+	STAfter
+	STMetBy
+	STOverlappedBy
+	STStartedBy
+	STContains
+	STFinishedBy
+
+	numClasses
+)
+
+// GloballyContiguous is the paper's name for STMeets: "the end of one event
+// coincides with the start of the next that is stored" (§3.4).
+const GloballyContiguous = STMeets
+
+// Category groups classes by the taxonomy section that defines them.
+type Category uint8
+
+// The four sub-taxonomies of §3 (isolated-interval endpoint specializations
+// reuse the isolated-event classes, so they carry CategoryIsolatedEvent).
+const (
+	CategoryIsolatedEvent     Category = iota // §3.1
+	CategoryInterEventOrder                   // §3.2 part I
+	CategoryInterEventRegular                 // §3.2 part II
+	CategoryIntervalRegular                   // §3.3
+	CategoryInterInterval                     // §3.4
+)
+
+// String names the category.
+func (c Category) String() string {
+	switch c {
+	case CategoryIsolatedEvent:
+		return "isolated-event"
+	case CategoryInterEventOrder:
+		return "inter-event ordering"
+	case CategoryInterEventRegular:
+		return "inter-event regularity"
+	case CategoryIntervalRegular:
+		return "isolated-interval regularity"
+	case CategoryInterInterval:
+		return "inter-interval"
+	}
+	return fmt.Sprintf("Category(%d)", uint8(c))
+}
+
+// Category reports which sub-taxonomy the class belongs to.
+func (c Class) Category() Category {
+	switch {
+	case c <= Degenerate:
+		return CategoryIsolatedEvent
+	case c <= GloballySequentialEvents:
+		return CategoryInterEventOrder
+	case c <= StrictTemporalEventRegular:
+		return CategoryInterEventRegular
+	case c <= StrictTemporalIntervalRegular:
+		return CategoryIntervalRegular
+	default:
+		return CategoryInterInterval
+	}
+}
+
+var classNames = map[Class]string{
+	General:                             "general",
+	Retroactive:                         "retroactive",
+	DelayedRetroactive:                  "delayed retroactive",
+	Predictive:                          "predictive",
+	EarlyPredictive:                     "early predictive",
+	RetroactivelyBounded:                "retroactively bounded",
+	StronglyRetroactivelyBounded:        "strongly retroactively bounded",
+	DelayedStronglyRetroactivelyBounded: "delayed strongly retroactively bounded",
+	PredictivelyBounded:                 "predictively bounded",
+	StronglyPredictivelyBounded:         "strongly predictively bounded",
+	EarlyStronglyPredictivelyBounded:    "early strongly predictively bounded",
+	StronglyBounded:                     "strongly bounded",
+	Degenerate:                          "degenerate",
+
+	GloballyNonDecreasingEvents: "globally non-decreasing (events)",
+	GloballyNonIncreasingEvents: "globally non-increasing (events)",
+	GloballySequentialEvents:    "globally sequential (events)",
+
+	TTEventRegular:             "transaction time event regular",
+	VTEventRegular:             "valid time event regular",
+	TemporalEventRegular:       "temporal event regular",
+	StrictTTEventRegular:       "strict transaction time event regular",
+	StrictVTEventRegular:       "strict valid time event regular",
+	StrictTemporalEventRegular: "strict temporal event regular",
+
+	TTIntervalRegular:             "transaction time interval regular",
+	VTIntervalRegular:             "valid time interval regular",
+	TemporalIntervalRegular:       "temporal interval regular",
+	StrictTTIntervalRegular:       "strict transaction time interval regular",
+	StrictVTIntervalRegular:       "strict valid time interval regular",
+	StrictTemporalIntervalRegular: "strict temporal interval regular",
+
+	GloballyNonDecreasingIntervals: "globally non-decreasing (intervals)",
+	GloballyNonIncreasingIntervals: "globally non-increasing (intervals)",
+	GloballySequentialIntervals:    "globally sequential (intervals)",
+	STBefore:                       "successive transaction time before",
+	STMeets:                        "globally contiguous (st-meets)",
+	STOverlaps:                     "successive transaction time overlaps",
+	STStarts:                       "successive transaction time starts",
+	STDuring:                       "successive transaction time during",
+	STFinishes:                     "successive transaction time finishes",
+	STEqual:                        "successive transaction time equal",
+	STAfter:                        "successive transaction time inverse before",
+	STMetBy:                        "successive transaction time inverse meets",
+	STOverlappedBy:                 "successive transaction time inverse overlaps",
+	STStartedBy:                    "successive transaction time inverse starts",
+	STContains:                     "successive transaction time inverse during",
+	STFinishedBy:                   "successive transaction time inverse finishes",
+}
+
+// String names the class as the paper does.
+func (c Class) String() string {
+	if n, ok := classNames[c]; ok {
+		return n
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// Classes lists every class in the taxonomy in declaration order.
+func Classes() []Class {
+	out := make([]Class, numClasses)
+	for i := range out {
+		out[i] = Class(i)
+	}
+	return out
+}
+
+// EventClasses lists the isolated-event classes of §3.1, General first —
+// the twelve regions of Figure 1 plus the degenerate limit.
+func EventClasses() []Class {
+	return []Class{
+		General, Retroactive, DelayedRetroactive, Predictive, EarlyPredictive,
+		RetroactivelyBounded, StronglyRetroactivelyBounded,
+		DelayedStronglyRetroactivelyBounded, PredictivelyBounded,
+		StronglyPredictivelyBounded, EarlyStronglyPredictivelyBounded,
+		StronglyBounded, Degenerate,
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/chronon"
+	"repro/internal/element"
+)
+
+// TestDeterminedCounterpartsForEveryClass pins the Figure 2 note: "there
+// exist determined counterparts for all the undetermined specialized
+// temporal relations." For each event class we pick a mapping function
+// whose output lands inside the class's region and verify the determined
+// spec accepts exactly the elements the mapping produces.
+func TestDeterminedCounterpartsForEveryClass(t *testing.T) {
+	mk := func(name string, off int64) Mapping {
+		return Mapping{Name: name, Fn: func(e *element.Element) chronon.Chronon {
+			return e.TTStart.Add(off)
+		}}
+	}
+	// Mapping offsets inside each class's region at bounds Δt=10, Δt₂=30.
+	offsets := map[Class]int64{
+		General:                             17,
+		Retroactive:                         -5,
+		DelayedRetroactive:                  -15,
+		Predictive:                          5,
+		EarlyPredictive:                     15,
+		RetroactivelyBounded:                -5,
+		StronglyRetroactivelyBounded:        -5,
+		DelayedStronglyRetroactivelyBounded: -20,
+		PredictivelyBounded:                 5,
+		StronglyPredictivelyBounded:         5,
+		EarlyStronglyPredictivelyBounded:    20,
+		StronglyBounded:                     0,
+		Degenerate:                          0,
+	}
+	specs := allEventSpecs(t)
+	for cls, base := range specs {
+		off := offsets[cls]
+		m := mk(cls.String(), off)
+		det := DeterminedSpec{M: m, Base: base}
+		good := eventElem(1000, int64(chronon.Forever), 1000+off)
+		if err := det.Check(good); err != nil {
+			t.Errorf("%v determined: matching element rejected: %v", cls, err)
+		}
+		// An element whose stored vt disagrees with the mapping fails,
+		// even when the vt is still inside the base region.
+		bad := eventElem(1000, int64(chronon.Forever), 1000+off-1)
+		if err := det.Check(bad); err == nil && cls != General {
+			// For General the base accepts everything but the determined
+			// requirement vt = m(e) must still fail.
+			t.Errorf("%v determined: mismatched element accepted", cls)
+		}
+		if cls == General {
+			if err := det.Check(bad); err == nil {
+				t.Error("general determined: mismatched element accepted")
+			}
+		}
+	}
+}
+
+// TestDeterminedBaseRejectsOutOfRegionMapping verifies the other failure
+// mode: the stored vt matches the mapping but the mapping's output violates
+// the base class — the "retroactively determined" requirement m(e) ≤ tt.
+func TestDeterminedBaseRejectsOutOfRegionMapping(t *testing.T) {
+	future := Mapping{Name: "future", Fn: func(e *element.Element) chronon.Chronon {
+		return e.TTStart.Add(60)
+	}}
+	det := DeterminedSpec{M: future, Base: RetroactiveSpec()}
+	e := eventElem(1000, int64(chronon.Forever), 1060)
+	if err := det.Check(e); err == nil {
+		t.Error("retroactively determined accepted a future-valued mapping")
+	}
+}

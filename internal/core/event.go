@@ -1,0 +1,348 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/chronon"
+)
+
+// TTBasis selects which transaction time an isolated-event specialization
+// is relative to. Per §3.1, "each property is relative to one of these two
+// times": a relation may, for example, be deletion retroactive but not
+// insertion retroactive. A relation that has a property on both bases may
+// also be considered to have it on a modification basis, since a
+// modification is a deletion followed by an insertion.
+type TTBasis uint8
+
+const (
+	// TTInsertion bases the property on tt⊢, the insertion time.
+	TTInsertion TTBasis = iota
+	// TTDeletion bases the property on tt⊣, the logical deletion time.
+	TTDeletion
+)
+
+// String names the basis.
+func (b TTBasis) String() string {
+	if b == TTInsertion {
+		return "insertion"
+	}
+	return "deletion"
+}
+
+// VTEndpoint selects which valid-time endpoint an event specialization is
+// applied to when the relation is interval-stamped (§3.3): a designer may
+// state that an interval relation is vt⊢-retroactive and vt⊣-degenerate.
+// For event-stamped relations both endpoints coincide with vt.
+type VTEndpoint uint8
+
+const (
+	// VTStart applies the property to vt⊢ (or vt for event relations).
+	VTStart VTEndpoint = iota
+	// VTEnd applies the property to vt⊣ (or vt for event relations).
+	VTEnd
+)
+
+// String names the endpoint.
+func (p VTEndpoint) String() string {
+	if p == VTStart {
+		return "vt⊢"
+	}
+	return "vt⊣"
+}
+
+// Stamp is the (transaction time, valid time) pair of one element under a
+// chosen basis and endpoint — the coordinates of Figure 1's two-dimensional
+// space.
+type Stamp struct {
+	TT chronon.Chronon
+	VT chronon.Chronon
+}
+
+// EventSpec is an isolated-event specialization of §3.1: a restriction on
+// the (tt, vt) pair of each element in isolation. All twelve classes are
+// expressible as offset bounds on vt relative to tt:
+//
+//	lower ≤ vt − tt ≤ upper
+//
+// where either bound may be absent and offsets may be calendric (e.g. one
+// month). Degenerate additionally ties vt to tt's granularity tick.
+// Construct EventSpecs with the per-class constructors, which validate the
+// bound signs the paper requires.
+type EventSpec struct {
+	class Class
+	lower *chronon.Duration // vt ≥ lower.AddTo(tt) when non-nil
+	upper *chronon.Duration // vt ≤ upper.AddTo(tt) when non-nil
+	gran  chronon.Granularity
+}
+
+// Class reports the specialization's class.
+func (s EventSpec) Class() Class { return s.class }
+
+// Bounds reports the offset bounds (nil when absent).
+func (s EventSpec) Bounds() (lower, upper *chronon.Duration) { return s.lower, s.upper }
+
+// Granularity reports the degenerate spec's granularity (zero for other
+// classes).
+func (s EventSpec) Granularity() chronon.Granularity { return s.gran }
+
+// OffsetBounds reports the spec's restriction as fixed offsets:
+// lo ≤ vt − tt ≤ hi. ok is false when either bound is absent or calendric
+// (calendric bounds vary with the anchor date, so no fixed window exists).
+// Degenerate reports [−g+1, g−1] at its granularity g: two chronons in the
+// same tick differ by less than one tick.
+//
+// A two-sided bound lets a query processor convert a valid-time predicate
+// into a transaction-time window (tt ∈ [vt−hi, vt−lo]) — the
+// specialization-driven strategy selection the paper's §1 promises.
+func (s EventSpec) OffsetBounds() (lo, hi int64, ok bool) {
+	if s.class == Degenerate {
+		g := int64(s.gran)
+		return -(g - 1), g - 1, true
+	}
+	if s.lower == nil || s.upper == nil {
+		return 0, 0, false
+	}
+	loSec, okLo := s.lower.FixedSeconds()
+	hiSec, okHi := s.upper.FixedSeconds()
+	if !okLo || !okHi {
+		return 0, 0, false
+	}
+	return loSec, hiSec, true
+}
+
+// String renders the spec with its parameters.
+func (s EventSpec) String() string {
+	switch s.class {
+	case General, Retroactive, Predictive:
+		return s.class.String()
+	case Degenerate:
+		return fmt.Sprintf("%s (granularity %v)", s.class, s.gran)
+	case DelayedRetroactive:
+		return fmt.Sprintf("%s (Δt=%v)", s.class, s.upper.Neg())
+	case EarlyPredictive:
+		return fmt.Sprintf("%s (Δt=%v)", s.class, *s.lower)
+	case RetroactivelyBounded:
+		return fmt.Sprintf("%s (Δt=%v)", s.class, s.lower.Neg())
+	case PredictivelyBounded:
+		return fmt.Sprintf("%s (Δt=%v)", s.class, *s.upper)
+	case StronglyRetroactivelyBounded:
+		return fmt.Sprintf("%s (Δt=%v)", s.class, s.lower.Neg())
+	case StronglyPredictivelyBounded:
+		return fmt.Sprintf("%s (Δt=%v)", s.class, *s.upper)
+	case DelayedStronglyRetroactivelyBounded:
+		return fmt.Sprintf("%s (Δt₁=%v, Δt₂=%v)", s.class, s.upper.Neg(), s.lower.Neg())
+	case EarlyStronglyPredictivelyBounded:
+		return fmt.Sprintf("%s (Δt₁=%v, Δt₂=%v)", s.class, *s.lower, *s.upper)
+	case StronglyBounded:
+		return fmt.Sprintf("%s (Δt₁=%v, Δt₂=%v)", s.class, s.lower.Neg(), *s.upper)
+	}
+	return s.class.String()
+}
+
+// Check tests one stamp against the specialization. A nil return means the
+// stamp satisfies the restriction.
+func (s EventSpec) Check(st Stamp) error {
+	if s.class == Degenerate {
+		if !s.gran.SameTick(st.VT, st.TT) {
+			return &EventViolation{Spec: s, Stamp: st,
+				Reason: fmt.Sprintf("vt %v and tt %v differ at granularity %v", st.VT, st.TT, s.gran)}
+		}
+		return nil
+	}
+	if s.lower != nil {
+		if lo := s.lower.AddTo(st.TT); st.VT < lo {
+			return &EventViolation{Spec: s, Stamp: st,
+				Reason: fmt.Sprintf("vt %v precedes lower bound %v (tt %v %+v)", st.VT, lo, st.TT, *s.lower)}
+		}
+	}
+	if s.upper != nil {
+		if hi := s.upper.AddTo(st.TT); st.VT > hi {
+			return &EventViolation{Spec: s, Stamp: st,
+				Reason: fmt.Sprintf("vt %v exceeds upper bound %v (tt %v %+v)", st.VT, hi, st.TT, *s.upper)}
+		}
+	}
+	return nil
+}
+
+// CheckAll tests every stamp of an extension, returning the first
+// violation. This realizes the intensional definition of §3: a relation has
+// the type only if every possible extension satisfies it, so the database
+// must validate every stored element.
+func (s EventSpec) CheckAll(stamps []Stamp) error {
+	for _, st := range stamps {
+		if err := s.Check(st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EventViolation reports an element whose stamps fall outside the
+// specialization's region.
+type EventViolation struct {
+	Spec   EventSpec
+	Stamp  Stamp
+	Reason string
+}
+
+func (v *EventViolation) Error() string {
+	return fmt.Sprintf("core: %s violated: %s", v.Spec, v.Reason)
+}
+
+func zero() *chronon.Duration { d := chronon.Duration{}; return &d }
+
+func dur(d chronon.Duration) *chronon.Duration { return &d }
+
+// GeneralSpec places no restriction on stamps.
+func GeneralSpec() EventSpec { return EventSpec{class: General} }
+
+// RetroactiveSpec restricts vt ≤ tt: the event occurred before it was
+// stored — e.g. temperature monitoring with transmission delays (§1).
+func RetroactiveSpec() EventSpec {
+	return EventSpec{class: Retroactive, upper: zero()}
+}
+
+// DelayedRetroactiveSpec restricts vt ≤ tt − Δt for Δt > 0: a minimum
+// recording delay, e.g. temperature samples always arriving more than 30
+// seconds late.
+func DelayedRetroactiveSpec(dt chronon.Duration) (EventSpec, error) {
+	if err := positive("delayed retroactive", dt); err != nil {
+		return EventSpec{}, err
+	}
+	return EventSpec{class: DelayedRetroactive, upper: dur(dt.Neg())}, nil
+}
+
+// PredictiveSpec restricts vt ≥ tt: facts are stored before they become
+// valid — e.g. direct-deposit payroll checks.
+func PredictiveSpec() EventSpec {
+	return EventSpec{class: Predictive, lower: zero()}
+}
+
+// EarlyPredictiveSpec restricts vt ≥ tt + Δt for Δt > 0: a minimum lead,
+// e.g. the bank requiring the payroll tape three days in advance.
+func EarlyPredictiveSpec(dt chronon.Duration) (EventSpec, error) {
+	if err := positive("early predictive", dt); err != nil {
+		return EventSpec{}, err
+	}
+	return EventSpec{class: EarlyPredictive, lower: dur(dt)}, nil
+}
+
+// RetroactivelyBoundedSpec restricts vt ≥ tt − Δt for Δt ≥ 0: facts may be
+// recorded late, but never more than Δt late (future facts are allowed) —
+// e.g. project assignments recorded at most one month after taking effect.
+func RetroactivelyBoundedSpec(dt chronon.Duration) (EventSpec, error) {
+	if err := nonNegative("retroactively bounded", dt); err != nil {
+		return EventSpec{}, err
+	}
+	return EventSpec{class: RetroactivelyBounded, lower: dur(dt.Neg())}, nil
+}
+
+// StronglyRetroactivelyBoundedSpec restricts tt − Δt ≤ vt ≤ tt: boundedly
+// late and never in the future.
+func StronglyRetroactivelyBoundedSpec(dt chronon.Duration) (EventSpec, error) {
+	if err := nonNegative("strongly retroactively bounded", dt); err != nil {
+		return EventSpec{}, err
+	}
+	return EventSpec{class: StronglyRetroactivelyBounded, lower: dur(dt.Neg()), upper: zero()}, nil
+}
+
+// DelayedStronglyRetroactivelyBoundedSpec restricts
+// tt − maxDelay ≤ vt ≤ tt − minDelay with 0 ≤ minDelay < maxDelay: a
+// minimum and a maximum recording delay — e.g. assignments recorded at
+// least two days and at most one month after they finish.
+func DelayedStronglyRetroactivelyBoundedSpec(minDelay, maxDelay chronon.Duration) (EventSpec, error) {
+	if err := orderedBounds("delayed strongly retroactively bounded", minDelay, maxDelay); err != nil {
+		return EventSpec{}, err
+	}
+	return EventSpec{
+		class: DelayedStronglyRetroactivelyBounded,
+		lower: dur(maxDelay.Neg()),
+		upper: dur(minDelay.Neg()),
+	}, nil
+}
+
+// PredictivelyBoundedSpec restricts vt ≤ tt + Δt for Δt ≥ 0: only the past
+// and the near-term future may be stored — e.g. pending orders at most 30
+// days out.
+func PredictivelyBoundedSpec(dt chronon.Duration) (EventSpec, error) {
+	if err := nonNegative("predictively bounded", dt); err != nil {
+		return EventSpec{}, err
+	}
+	return EventSpec{class: PredictivelyBounded, upper: dur(dt)}, nil
+}
+
+// StronglyPredictivelyBoundedSpec restricts tt ≤ vt ≤ tt + Δt: boundedly in
+// the future and never in the past.
+func StronglyPredictivelyBoundedSpec(dt chronon.Duration) (EventSpec, error) {
+	if err := nonNegative("strongly predictively bounded", dt); err != nil {
+		return EventSpec{}, err
+	}
+	return EventSpec{class: StronglyPredictivelyBounded, lower: zero(), upper: dur(dt)}, nil
+}
+
+// EarlyStronglyPredictivelyBoundedSpec restricts
+// tt + minLead ≤ vt ≤ tt + maxLead with 0 ≤ minLead < maxLead — e.g. the
+// payroll tape sent at least three days and at most one week before the
+// checks are valid.
+func EarlyStronglyPredictivelyBoundedSpec(minLead, maxLead chronon.Duration) (EventSpec, error) {
+	if err := orderedBounds("early strongly predictively bounded", minLead, maxLead); err != nil {
+		return EventSpec{}, err
+	}
+	return EventSpec{
+		class: EarlyStronglyPredictivelyBounded,
+		lower: dur(minLead),
+		upper: dur(maxLead),
+	}, nil
+}
+
+// StronglyBoundedSpec restricts tt − Δt₁ ≤ vt ≤ tt + Δt₂: vt deviates from
+// tt within bounds on both sides — e.g. an accounting relation holding only
+// the current month's transactions.
+func StronglyBoundedSpec(dt1, dt2 chronon.Duration) (EventSpec, error) {
+	if err := nonNegative("strongly bounded", dt1); err != nil {
+		return EventSpec{}, err
+	}
+	if err := nonNegative("strongly bounded", dt2); err != nil {
+		return EventSpec{}, err
+	}
+	return EventSpec{class: StronglyBounded, lower: dur(dt1.Neg()), upper: dur(dt2)}, nil
+}
+
+// DegenerateSpec restricts vt = tt within the given granularity: no delay
+// between sampling a value and storing it.
+func DegenerateSpec(g chronon.Granularity) (EventSpec, error) {
+	if !g.Valid() {
+		return EventSpec{}, fmt.Errorf("core: degenerate: invalid granularity %d", g)
+	}
+	return EventSpec{class: Degenerate, gran: g}, nil
+}
+
+func positive(class string, d chronon.Duration) error {
+	if d.IsZero() || d.Negative() || (d.Seconds < 0 || d.Months < 0) {
+		return fmt.Errorf("core: %s: bound %v must be positive", class, d)
+	}
+	return nil
+}
+
+func nonNegative(class string, d chronon.Duration) error {
+	if d.Seconds < 0 || d.Months < 0 {
+		return fmt.Errorf("core: %s: bound %v must be non-negative", class, d)
+	}
+	return nil
+}
+
+// orderedBounds validates 0 ≤ lo < hi. Calendric and fixed components are
+// compared separately, which is sound because months and seconds are
+// independently monotone.
+func orderedBounds(class string, lo, hi chronon.Duration) error {
+	if err := nonNegative(class, lo); err != nil {
+		return err
+	}
+	if err := positive(class, hi); err != nil {
+		return err
+	}
+	if lo.Months > hi.Months || (lo.Months == hi.Months && lo.Seconds >= hi.Seconds) {
+		return fmt.Errorf("core: %s: bounds %v and %v must satisfy Δt₁ < Δt₂", class, lo, hi)
+	}
+	return nil
+}

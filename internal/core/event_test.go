@@ -1,0 +1,303 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/chronon"
+)
+
+func mustSpec(s EventSpec, err error) EventSpec {
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// allEventSpecs returns one representative spec per isolated-event class,
+// with Δt = 10s (and 30s where a second bound is needed).
+func allEventSpecs(t *testing.T) map[Class]EventSpec {
+	t.Helper()
+	dt := chronon.Seconds(10)
+	dt2 := chronon.Seconds(30)
+	m := map[Class]EventSpec{
+		General:     GeneralSpec(),
+		Retroactive: RetroactiveSpec(),
+		Predictive:  PredictiveSpec(),
+	}
+	var err error
+	add := func(c Class, s EventSpec, e error) {
+		if e != nil {
+			t.Fatalf("%v: %v", c, e)
+		}
+		m[c] = s
+	}
+	var s EventSpec
+	s, err = DelayedRetroactiveSpec(dt)
+	add(DelayedRetroactive, s, err)
+	s, err = EarlyPredictiveSpec(dt)
+	add(EarlyPredictive, s, err)
+	s, err = RetroactivelyBoundedSpec(dt)
+	add(RetroactivelyBounded, s, err)
+	s, err = StronglyRetroactivelyBoundedSpec(dt)
+	add(StronglyRetroactivelyBounded, s, err)
+	s, err = DelayedStronglyRetroactivelyBoundedSpec(dt, dt2)
+	add(DelayedStronglyRetroactivelyBounded, s, err)
+	s, err = PredictivelyBoundedSpec(dt)
+	add(PredictivelyBounded, s, err)
+	s, err = StronglyPredictivelyBoundedSpec(dt)
+	add(StronglyPredictivelyBounded, s, err)
+	s, err = EarlyStronglyPredictivelyBoundedSpec(dt, dt2)
+	add(EarlyStronglyPredictivelyBounded, s, err)
+	s, err = StronglyBoundedSpec(dt, dt2)
+	add(StronglyBounded, s, err)
+	s, err = DegenerateSpec(chronon.Second)
+	add(Degenerate, s, err)
+	return m
+}
+
+func TestEventSpecPredicates(t *testing.T) {
+	specs := allEventSpecs(t)
+	const tt = 1000
+	// For each class: stamps that must pass and stamps that must fail
+	// (vt offsets from tt). Δt = 10s, Δt₂ = 30s as built above.
+	cases := map[Class]struct{ pass, fail []int64 }{
+		General:                             {pass: []int64{-100, 0, 100}, fail: nil},
+		Retroactive:                         {pass: []int64{-100, -1, 0}, fail: []int64{1, 50}},
+		DelayedRetroactive:                  {pass: []int64{-100, -10}, fail: []int64{-9, 0, 5}},
+		Predictive:                          {pass: []int64{0, 1, 100}, fail: []int64{-1, -50}},
+		EarlyPredictive:                     {pass: []int64{10, 50}, fail: []int64{9, 0, -5}},
+		RetroactivelyBounded:                {pass: []int64{-10, 0, 500}, fail: []int64{-11, -100}},
+		StronglyRetroactivelyBounded:        {pass: []int64{-10, -5, 0}, fail: []int64{-11, 1}},
+		DelayedStronglyRetroactivelyBounded: {pass: []int64{-30, -20, -10}, fail: []int64{-31, -9, 0, 5}},
+		PredictivelyBounded:                 {pass: []int64{-500, 0, 10}, fail: []int64{11, 100}},
+		StronglyPredictivelyBounded:         {pass: []int64{0, 5, 10}, fail: []int64{-1, 11}},
+		EarlyStronglyPredictivelyBounded:    {pass: []int64{10, 20, 30}, fail: []int64{9, 0, 31}},
+		StronglyBounded:                     {pass: []int64{-10, 0, 30}, fail: []int64{-11, 31}},
+		Degenerate:                          {pass: []int64{0}, fail: []int64{-1, 1}},
+	}
+	for cls, c := range cases {
+		spec := specs[cls]
+		for _, off := range c.pass {
+			st := Stamp{TT: tt, VT: chronon.Chronon(tt + off)}
+			if err := spec.Check(st); err != nil {
+				t.Errorf("%v: offset %d should pass: %v", cls, off, err)
+			}
+		}
+		for _, off := range c.fail {
+			st := Stamp{TT: tt, VT: chronon.Chronon(tt + off)}
+			if err := spec.Check(st); err == nil {
+				t.Errorf("%v: offset %d should fail", cls, off)
+			}
+		}
+	}
+}
+
+func TestEventSpecConstructorValidation(t *testing.T) {
+	neg := chronon.Seconds(-1)
+	zero := chronon.Duration{}
+	ten := chronon.Seconds(10)
+	five := chronon.Seconds(5)
+
+	if _, err := DelayedRetroactiveSpec(zero); err == nil {
+		t.Error("delayed retroactive with Δt=0 accepted")
+	}
+	if _, err := DelayedRetroactiveSpec(neg); err == nil {
+		t.Error("delayed retroactive with Δt<0 accepted")
+	}
+	if _, err := EarlyPredictiveSpec(zero); err == nil {
+		t.Error("early predictive with Δt=0 accepted")
+	}
+	if _, err := RetroactivelyBoundedSpec(neg); err == nil {
+		t.Error("retroactively bounded with Δt<0 accepted")
+	}
+	if _, err := RetroactivelyBoundedSpec(zero); err != nil {
+		t.Error("retroactively bounded with Δt=0 rejected (the paper allows Δt ≥ 0)")
+	}
+	if _, err := StronglyRetroactivelyBoundedSpec(neg); err == nil {
+		t.Error("strongly retroactively bounded with Δt<0 accepted")
+	}
+	if _, err := DelayedStronglyRetroactivelyBoundedSpec(ten, five); err == nil {
+		t.Error("delayed strongly retroactively bounded with Δt₁ > Δt₂ accepted")
+	}
+	if _, err := DelayedStronglyRetroactivelyBoundedSpec(ten, ten); err == nil {
+		t.Error("delayed strongly retroactively bounded with Δt₁ = Δt₂ accepted")
+	}
+	if _, err := DelayedStronglyRetroactivelyBoundedSpec(zero, ten); err != nil {
+		t.Error("Δt₁ = 0 should be allowed for delayed strongly retroactively bounded")
+	}
+	if _, err := EarlyStronglyPredictivelyBoundedSpec(ten, five); err == nil {
+		t.Error("early strongly predictively bounded with Δt₁ > Δt₂ accepted")
+	}
+	if _, err := StronglyBoundedSpec(neg, ten); err == nil {
+		t.Error("strongly bounded with negative Δt₁ accepted")
+	}
+	if _, err := StronglyBoundedSpec(ten, neg); err == nil {
+		t.Error("strongly bounded with negative Δt₂ accepted")
+	}
+	if _, err := DegenerateSpec(0); err == nil {
+		t.Error("degenerate with invalid granularity accepted")
+	}
+}
+
+func TestEventSpecCalendricBounds(t *testing.T) {
+	// Assignments recorded at most one month after taking effect: the bound
+	// is calendric, so it covers 28-31 days depending on the anchor.
+	spec := mustSpec(RetroactivelyBoundedSpec(chronon.Months(1)))
+	tt := chronon.Date(1992, 3, 31) // one month back is Feb 29 (leap year)
+	if err := spec.Check(Stamp{TT: tt, VT: chronon.Date(1992, 2, 29)}); err != nil {
+		t.Errorf("Feb 29 should be within one month of Mar 31: %v", err)
+	}
+	if err := spec.Check(Stamp{TT: tt, VT: chronon.Date(1992, 2, 28)}); err == nil {
+		t.Error("Feb 28 should be more than one calendric month before Mar 31")
+	}
+}
+
+func TestEventSpecDegenerateGranularity(t *testing.T) {
+	spec := mustSpec(DegenerateSpec(chronon.Minute))
+	if err := spec.Check(Stamp{TT: 125, VT: 179}); err != nil {
+		t.Errorf("same minute tick should pass: %v", err)
+	}
+	if err := spec.Check(Stamp{TT: 125, VT: 180}); err == nil {
+		t.Error("different minute ticks should fail")
+	}
+}
+
+func TestEventSpecCheckAll(t *testing.T) {
+	spec := RetroactiveSpec()
+	good := []Stamp{{TT: 10, VT: 5}, {TT: 20, VT: 20}}
+	if err := spec.CheckAll(good); err != nil {
+		t.Errorf("CheckAll(good): %v", err)
+	}
+	bad := append(good, Stamp{TT: 30, VT: 31})
+	err := spec.CheckAll(bad)
+	if err == nil {
+		t.Fatal("CheckAll(bad) passed")
+	}
+	var ev *EventViolation
+	if !asViolation(err, &ev) {
+		t.Fatalf("error type %T, want *EventViolation", err)
+	}
+	if ev.Stamp.TT != 30 {
+		t.Errorf("violation at tt %v, want 30", ev.Stamp.TT)
+	}
+	if !strings.Contains(err.Error(), "retroactive") {
+		t.Errorf("violation message %q lacks class name", err.Error())
+	}
+}
+
+func asViolation(err error, target **EventViolation) bool {
+	v, ok := err.(*EventViolation)
+	if ok {
+		*target = v
+	}
+	return ok
+}
+
+func TestEventSpecStrings(t *testing.T) {
+	specs := allEventSpecs(t)
+	want := map[Class]string{
+		General:                             "general",
+		Retroactive:                         "retroactive",
+		DelayedRetroactive:                  "delayed retroactive (Δt=10s)",
+		Predictive:                          "predictive",
+		EarlyPredictive:                     "early predictive (Δt=10s)",
+		RetroactivelyBounded:                "retroactively bounded (Δt=10s)",
+		StronglyRetroactivelyBounded:        "strongly retroactively bounded (Δt=10s)",
+		DelayedStronglyRetroactivelyBounded: "delayed strongly retroactively bounded (Δt₁=10s, Δt₂=30s)",
+		PredictivelyBounded:                 "predictively bounded (Δt=10s)",
+		StronglyPredictivelyBounded:         "strongly predictively bounded (Δt=10s)",
+		EarlyStronglyPredictivelyBounded:    "early strongly predictively bounded (Δt₁=10s, Δt₂=30s)",
+		StronglyBounded:                     "strongly bounded (Δt₁=10s, Δt₂=30s)",
+		Degenerate:                          "degenerate (granularity second)",
+	}
+	for cls, w := range want {
+		if got := specs[cls].String(); got != w {
+			t.Errorf("%v.String() = %q, want %q", cls, got, w)
+		}
+	}
+}
+
+func TestStampOfBases(t *testing.T) {
+	specs := allEventSpecs(t)
+	// A relation can be deletion retroactive but not insertion retroactive:
+	// an element stored before its event occurs (insertion-predictive) but
+	// deleted after (deletion-retroactive).
+	e := eventElem(100, 300, 200)
+	ins, ok := StampOf(e, TTInsertion, VTStart)
+	if !ok || ins.TT != 100 || ins.VT != 200 {
+		t.Fatalf("insertion stamp = %+v, %v", ins, ok)
+	}
+	del, ok := StampOf(e, TTDeletion, VTStart)
+	if !ok || del.TT != 300 || del.VT != 200 {
+		t.Fatalf("deletion stamp = %+v, %v", del, ok)
+	}
+	if err := specs[Retroactive].Check(ins); err == nil {
+		t.Error("insertion stamp should not be retroactive")
+	}
+	if err := specs[Retroactive].Check(del); err != nil {
+		t.Errorf("deletion stamp should be retroactive: %v", err)
+	}
+	if err := specs[Predictive].Check(ins); err != nil {
+		t.Errorf("insertion stamp should be predictive: %v", err)
+	}
+}
+
+func TestStampOfCurrentElementHasNoDeletionStamp(t *testing.T) {
+	e := eventElem(100, int64(chronon.Forever), 50)
+	if _, ok := StampOf(e, TTDeletion, VTStart); ok {
+		t.Error("current element should have no deletion stamp")
+	}
+	stamps := StampsOf(elems(e, eventElem(10, 20, 5)), TTDeletion, VTStart)
+	if len(stamps) != 1 {
+		t.Errorf("StampsOf skipped wrong count: %d", len(stamps))
+	}
+}
+
+func TestClassStringsAndCategories(t *testing.T) {
+	for _, c := range Classes() {
+		if strings.HasPrefix(c.String(), "Class(") {
+			t.Errorf("class %d has no name", c)
+		}
+	}
+	if Class(200).String() != "Class(200)" {
+		t.Error("unknown class name fallback broken")
+	}
+	cats := map[Class]Category{
+		Retroactive:              CategoryIsolatedEvent,
+		GloballySequentialEvents: CategoryInterEventOrder,
+		StrictVTEventRegular:     CategoryInterEventRegular,
+		TemporalIntervalRegular:  CategoryIntervalRegular,
+		STOverlaps:               CategoryInterInterval,
+		GloballyContiguous:       CategoryInterInterval,
+	}
+	for c, want := range cats {
+		if got := c.Category(); got != want {
+			t.Errorf("%v.Category() = %v, want %v", c, got, want)
+		}
+	}
+	for _, cat := range []Category{CategoryIsolatedEvent, CategoryInterEventOrder,
+		CategoryInterEventRegular, CategoryIntervalRegular, CategoryInterInterval} {
+		if strings.HasPrefix(cat.String(), "Category(") {
+			t.Errorf("category %d has no name", cat)
+		}
+	}
+	if GloballyContiguous != STMeets {
+		t.Error("globally contiguous must be st-meets")
+	}
+}
+
+func TestEventClassesList(t *testing.T) {
+	ecs := EventClasses()
+	if len(ecs) != 13 {
+		t.Fatalf("EventClasses has %d entries, want 13", len(ecs))
+	}
+	if ecs[0] != General {
+		t.Error("General must come first")
+	}
+	for _, c := range ecs {
+		if c.Category() != CategoryIsolatedEvent {
+			t.Errorf("%v is not an isolated-event class", c)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"repro/internal/chronon"
+	"repro/internal/element"
+)
+
+// StampOf extracts the (tt, vt) stamp of an element under transaction-time
+// basis b and valid-time endpoint p. ok is false when the element has no
+// stamp under the basis — a deletion-basis stamp exists only once the
+// element has been logically deleted.
+func StampOf(e *element.Element, b TTBasis, p VTEndpoint) (Stamp, bool) {
+	var tt chronon.Chronon
+	switch b {
+	case TTInsertion:
+		tt = e.TTStart
+	case TTDeletion:
+		if e.Current() {
+			return Stamp{}, false
+		}
+		tt = e.TTEnd
+	}
+	vt := e.VT.Start()
+	if p == VTEnd {
+		vt = e.VT.End()
+	}
+	return Stamp{TT: tt, VT: vt}, true
+}
+
+// StampsOf extracts the stamps of an extension under basis b and endpoint
+// p, skipping elements that have no stamp under the basis. The result is in
+// the extension's order (tt⊢ order for a relation's Versions).
+func StampsOf(es []*element.Element, b TTBasis, p VTEndpoint) []Stamp {
+	out := make([]Stamp, 0, len(es))
+	for _, e := range es {
+		if st, ok := StampOf(e, b, p); ok {
+			out = append(out, st)
+		}
+	}
+	return out
+}

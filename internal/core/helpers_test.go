@@ -1,0 +1,65 @@
+package core
+
+import (
+	"repro/internal/chronon"
+	"repro/internal/element"
+	"repro/internal/interval"
+	"repro/internal/surrogate"
+)
+
+var nextES surrogate.Surrogate
+
+// eventElem builds an event-stamped element with the given transaction
+// existence interval and valid time. Pass int64(chronon.Forever) for a
+// current element.
+func eventElem(ttStart, ttEnd, vt int64) *element.Element {
+	nextES++
+	return &element.Element{
+		ES:      nextES,
+		OS:      1,
+		TTStart: chronon.Chronon(ttStart),
+		TTEnd:   chronon.Chronon(ttEnd),
+		VT:      element.EventAt(chronon.Chronon(vt)),
+	}
+}
+
+// intervalElem builds an interval-stamped element.
+func intervalElem(ttStart, ttEnd, vs, ve int64) *element.Element {
+	nextES++
+	return &element.Element{
+		ES:      nextES,
+		OS:      1,
+		TTStart: chronon.Chronon(ttStart),
+		TTEnd:   chronon.Chronon(ttEnd),
+		VT:      element.SpanOf(chronon.Chronon(vs), chronon.Chronon(ve)),
+	}
+}
+
+func elems(es ...*element.Element) []*element.Element { return es }
+
+// mkStamps builds stamps from (tt, vt) pairs.
+func mkStamps(pairs ...int64) []Stamp {
+	if len(pairs)%2 != 0 {
+		panic("mkStamps needs pairs")
+	}
+	out := make([]Stamp, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		out = append(out, Stamp{TT: chronon.Chronon(pairs[i]), VT: chronon.Chronon(pairs[i+1])})
+	}
+	return out
+}
+
+// mkIStamps builds interval stamps from (tt, vtStart, vtEnd) triples.
+func mkIStamps(triples ...int64) []IntervalStamp {
+	if len(triples)%3 != 0 {
+		panic("mkIStamps needs triples")
+	}
+	out := make([]IntervalStamp, 0, len(triples)/3)
+	for i := 0; i < len(triples); i += 3 {
+		out = append(out, IntervalStamp{
+			TT: chronon.Chronon(triples[i]),
+			VT: interval.Of(triples[i+1], triples[i+2]),
+		})
+	}
+	return out
+}

@@ -1,0 +1,424 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/chronon"
+	"repro/internal/element"
+	"repro/internal/surrogate"
+)
+
+// Finding reports one specialization an extension satisfies, together with
+// the tightest parameters that make it hold. For isolated-event findings on
+// interval relations, Endpoint records which valid-time endpoint the event
+// property was applied to (§3.3).
+type Finding struct {
+	Class       Class
+	HasEndpoint bool
+	Endpoint    VTEndpoint
+	Detail      string
+}
+
+// String renders the finding.
+func (f Finding) String() string {
+	s := f.Class.String()
+	if f.HasEndpoint {
+		s = f.Endpoint.String() + "-" + s
+	}
+	if f.Detail != "" {
+		s += " (" + f.Detail + ")"
+	}
+	return s
+}
+
+// Report is the classification of one relation extension: every satisfied
+// specialization under one transaction-time basis.
+type Report struct {
+	Basis    TTBasis
+	Findings []Finding
+}
+
+// Classes lists the satisfied classes (without endpoint distinction),
+// de-duplicated, in ascending order.
+func (r Report) Classes() []Class {
+	seen := make(map[Class]bool)
+	for _, f := range r.Findings {
+		seen[f.Class] = true
+	}
+	return setToSlice(seen)
+}
+
+// Has reports whether the report contains the class (on any endpoint).
+func (r Report) Has(c Class) bool {
+	for _, f := range r.Findings {
+		if f.Class == c {
+			return true
+		}
+	}
+	return false
+}
+
+// MostSpecific filters the findings to those with no satisfied strict
+// specialization, per endpoint group.
+func (r Report) MostSpecific() []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		dominated := false
+		for _, g := range r.Findings {
+			if g.HasEndpoint == f.HasEndpoint && g.Endpoint == f.Endpoint &&
+				g.Class != f.Class && IsSpecializationOf(g.Class, f.Class) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// InferEventClasses classifies the isolated-event stamps of an extension:
+// which of the twelve regions of Figure 1 the stamps fit into, with the
+// tightest bounds synthesized. The granularity is used for the degenerate
+// test. Every finite extension trivially fits some bounded region; the
+// value of the finding is the synthesized Δt.
+func InferEventClasses(stamps []Stamp, gran chronon.Granularity) []Finding {
+	out := []Finding{{Class: General}}
+	if len(stamps) == 0 {
+		return out
+	}
+	minDiff, maxDiff := int64(1<<62), int64(-1<<62)
+	degenerate := true
+	for _, st := range stamps {
+		d := st.VT.Sub(st.TT)
+		if d < minDiff {
+			minDiff = d
+		}
+		if d > maxDiff {
+			maxDiff = d
+		}
+		if !gran.SameTick(st.VT, st.TT) {
+			degenerate = false
+		}
+	}
+	sec := func(n int64) string { return chronon.Seconds(n).String() }
+	add := func(c Class, detail string) {
+		out = append(out, Finding{Class: c, Detail: detail})
+	}
+	if maxDiff <= 0 {
+		add(Retroactive, "")
+		add(StronglyRetroactivelyBounded, "Δt="+sec(-minDiff))
+	}
+	if maxDiff < 0 {
+		add(DelayedRetroactive, "Δt="+sec(-maxDiff))
+		hi := -minDiff
+		if hi == -maxDiff {
+			hi++ // the class requires Δt₁ < Δt₂; widen the outer bound
+		}
+		add(DelayedStronglyRetroactivelyBounded, fmt.Sprintf("Δt₁=%s, Δt₂=%s", sec(-maxDiff), sec(hi)))
+	}
+	if minDiff >= 0 {
+		add(Predictive, "")
+		add(StronglyPredictivelyBounded, "Δt="+sec(maxDiff))
+	}
+	if minDiff > 0 {
+		add(EarlyPredictive, "Δt="+sec(minDiff))
+		hi := maxDiff
+		if hi == minDiff {
+			hi++
+		}
+		add(EarlyStronglyPredictivelyBounded, fmt.Sprintf("Δt₁=%s, Δt₂=%s", sec(minDiff), sec(hi)))
+	}
+	add(RetroactivelyBounded, "Δt="+sec(max64(0, -minDiff)))
+	add(PredictivelyBounded, "Δt="+sec(max64(0, maxDiff)))
+	add(StronglyBounded, fmt.Sprintf("Δt₁=%s, Δt₂=%s", sec(max64(0, -minDiff)), sec(max64(0, maxDiff))))
+	if degenerate {
+		add(Degenerate, fmt.Sprintf("granularity %v", gran))
+	}
+	return out
+}
+
+// InferInterEventClasses classifies the inter-event properties of an event
+// extension: orderings and regularity, with the largest time units
+// synthesized (the unit of a regular extension is the gcd of its stamp
+// differences).
+func InferInterEventClasses(stamps []Stamp) []Finding {
+	var out []Finding
+	if len(stamps) == 0 {
+		return out
+	}
+	for _, spec := range []InterEventSpec{
+		NonDecreasingEventsSpec(), NonIncreasingEventsSpec(), SequentialEventsSpec(),
+	} {
+		if spec.CheckAll(stamps) == nil {
+			out = append(out, Finding{Class: spec.Class()})
+		}
+	}
+
+	sorted := append([]Stamp(nil), stamps...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].TT < sorted[j].TT })
+
+	ttUnit, ttAny := congruenceUnit(sorted, func(s Stamp) chronon.Chronon { return s.TT })
+	vtUnit, vtAny := congruenceUnit(sorted, func(s Stamp) chronon.Chronon { return s.VT })
+	unitDetail := func(u int64, any bool) string {
+		if any {
+			return "any Δt"
+		}
+		return "Δt=" + chronon.Seconds(u).String()
+	}
+	if ttAny || ttUnit > 0 {
+		out = append(out, Finding{Class: TTEventRegular, Detail: unitDetail(ttUnit, ttAny)})
+	}
+	if vtAny || vtUnit > 0 {
+		out = append(out, Finding{Class: VTEventRegular, Detail: unitDetail(vtUnit, vtAny)})
+	}
+	if offsetConstant(sorted) && (ttAny || ttUnit > 0) {
+		out = append(out, Finding{Class: TemporalEventRegular, Detail: unitDetail(ttUnit, ttAny)})
+	}
+
+	ttStrict, ttStrictAny := strictUnit(sorted, func(s Stamp) chronon.Chronon { return s.TT }, true)
+	vtStrict, vtStrictAny := strictUnit(sorted, func(s Stamp) chronon.Chronon { return s.VT }, false)
+	if ttStrictAny || ttStrict > 0 {
+		out = append(out, Finding{Class: StrictTTEventRegular, Detail: unitDetail(ttStrict, ttStrictAny)})
+	}
+	if vtStrictAny || vtStrict > 0 {
+		out = append(out, Finding{Class: StrictVTEventRegular, Detail: unitDetail(vtStrict, vtStrictAny)})
+	}
+	if u, any, ok := strictTemporalUnit(sorted); ok {
+		out = append(out, Finding{Class: StrictTemporalEventRegular, Detail: unitDetail(u, any)})
+	}
+	return out
+}
+
+// congruenceUnit returns the largest unit under which all coordinates are
+// congruent: the gcd of differences from the first stamp. any is true when
+// all coordinates coincide (every unit works).
+func congruenceUnit(sorted []Stamp, coord func(Stamp) chronon.Chronon) (unit int64, any bool) {
+	anchor := coord(sorted[0])
+	g := int64(0)
+	for _, st := range sorted[1:] {
+		g = chronon.GCD(g, coord(st).Sub(anchor))
+	}
+	return g, g == 0
+}
+
+// offsetConstant reports whether tt − vt is the same for every stamp.
+func offsetConstant(sorted []Stamp) bool {
+	off := sorted[0].TT.Sub(sorted[0].VT)
+	for _, st := range sorted[1:] {
+		if st.TT.Sub(st.VT) != off {
+			return false
+		}
+	}
+	return true
+}
+
+// strictUnit returns the spacing if the distinct sorted coordinate values
+// form an evenly spaced chain (0, false if not). any is true when there is
+// a single distinct value. dupsOK tolerates duplicate values (transaction
+// time); otherwise duplicates fail (valid time).
+func strictUnit(stamps []Stamp, coord func(Stamp) chronon.Chronon, dupsOK bool) (unit int64, any bool) {
+	vals := make([]int64, 0, len(stamps))
+	for _, st := range stamps {
+		vals = append(vals, int64(coord(st)))
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	uniq := vals[:1]
+	for _, v := range vals[1:] {
+		if v == uniq[len(uniq)-1] {
+			if !dupsOK {
+				return 0, false
+			}
+			continue
+		}
+		uniq = append(uniq, v)
+	}
+	if len(uniq) == 1 {
+		return 0, true
+	}
+	d := uniq[1] - uniq[0]
+	for i := 2; i < len(uniq); i++ {
+		if uniq[i]-uniq[i-1] != d {
+			return 0, false
+		}
+	}
+	return d, false
+}
+
+// strictTemporalUnit checks the strict temporal chain over tt-sorted stamps.
+func strictTemporalUnit(sorted []Stamp) (unit int64, any, ok bool) {
+	if len(sorted) == 1 {
+		return 0, true, true
+	}
+	d := sorted[1].TT.Sub(sorted[0].TT)
+	if d <= 0 {
+		return 0, false, false
+	}
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i].TT.Sub(sorted[i-1].TT) != d || sorted[i].VT.Sub(sorted[i-1].VT) != d {
+			return 0, false, false
+		}
+	}
+	return d, false, true
+}
+
+// InferInterIntervalClasses classifies the inter-interval properties of an
+// interval extension (§3.4).
+func InferInterIntervalClasses(stamps []IntervalStamp) []Finding {
+	var out []Finding
+	if len(stamps) == 0 {
+		return out
+	}
+	specs := []InterIntervalSpec{
+		NonDecreasingIntervalsSpec(), NonIncreasingIntervalsSpec(), SequentialIntervalsSpec(),
+	}
+	for r := 0; r < 13; r++ {
+		specs = append(specs, InterIntervalSpec{class: STBefore + Class(r)})
+	}
+	for _, spec := range specs {
+		if spec.CheckAll(stamps) == nil {
+			out = append(out, Finding{Class: spec.Class()})
+		}
+	}
+	return out
+}
+
+// InferIntervalRegularity classifies the isolated-interval regularity of an
+// extension (§3.3), synthesizing the largest fixed unit for each property.
+// (Calendric units such as one month are declarable but not synthesized:
+// inference reports the fixed gcd.)
+func InferIntervalRegularity(es []*element.Element) []Finding {
+	var out []Finding
+	var vtG, ttG int64
+	vtSeen, ttSeen := false, false
+	vtStrict, ttStrict := int64(-1), int64(-1)
+	for _, e := range es {
+		if iv, ok := e.VT.Interval(); ok {
+			d := iv.Duration()
+			vtG = chronon.GCD(vtG, d)
+			if !vtSeen {
+				vtStrict = d
+			} else if vtStrict != d {
+				vtStrict = 0
+			}
+			vtSeen = true
+		}
+		if !e.Current() {
+			d := e.TTEnd.Sub(e.TTStart)
+			ttG = chronon.GCD(ttG, d)
+			if !ttSeen {
+				ttStrict = d
+			} else if ttStrict != d {
+				ttStrict = 0
+			}
+			ttSeen = true
+		}
+	}
+	det := func(u int64) string { return "Δt=" + chronon.Seconds(u).String() }
+	if vtSeen && vtG > 0 {
+		out = append(out, Finding{Class: VTIntervalRegular, Detail: det(vtG)})
+	}
+	if ttSeen && ttG > 0 {
+		out = append(out, Finding{Class: TTIntervalRegular, Detail: det(ttG)})
+	}
+	if vtSeen && ttSeen && vtG > 0 && ttG > 0 {
+		g := chronon.GCD(vtG, ttG)
+		out = append(out, Finding{Class: TemporalIntervalRegular, Detail: det(g)})
+	}
+	if vtSeen && vtStrict > 0 {
+		out = append(out, Finding{Class: StrictVTIntervalRegular, Detail: det(vtStrict)})
+	}
+	if ttSeen && ttStrict > 0 {
+		out = append(out, Finding{Class: StrictTTIntervalRegular, Detail: det(ttStrict)})
+	}
+	if vtSeen && ttSeen && vtStrict > 0 && vtStrict == ttStrict {
+		out = append(out, Finding{Class: StrictTemporalIntervalRegular, Detail: det(vtStrict)})
+	}
+	return out
+}
+
+// Classify produces the full classification of an extension under the
+// given transaction-time basis. Event-stamped extensions get the isolated-
+// event and inter-event findings; interval-stamped extensions get endpoint-
+// applied event findings for vt⊢ and vt⊣, interval regularity, and the
+// inter-interval findings.
+func Classify(es []*element.Element, basis TTBasis, gran chronon.Granularity) Report {
+	rep := Report{Basis: basis}
+	if len(es) == 0 {
+		return rep
+	}
+	if es[0].VT.IsEvent() {
+		stamps := StampsOf(es, basis, VTStart)
+		rep.Findings = append(rep.Findings, InferEventClasses(stamps, gran)...)
+		rep.Findings = append(rep.Findings, InferInterEventClasses(stamps)...)
+		return rep
+	}
+	for _, p := range []VTEndpoint{VTStart, VTEnd} {
+		stamps := StampsOf(es, basis, p)
+		for _, f := range InferEventClasses(stamps, gran) {
+			f.HasEndpoint = true
+			f.Endpoint = p
+			rep.Findings = append(rep.Findings, f)
+		}
+	}
+	rep.Findings = append(rep.Findings, InferIntervalRegularity(es)...)
+	rep.Findings = append(rep.Findings, InferInterIntervalClasses(IntervalStampsOf(es, basis))...)
+	return rep
+}
+
+// ClassifyPerPartition classifies each partition of a per-surrogate
+// partitioning separately and returns the classes every partition
+// satisfies: per §3, "a relation satisfies a specialization on a per
+// partition basis if every partition in turn satisfies the specialization
+// on a per relation basis." Parameters may differ between partitions, so
+// findings carry no Detail.
+func ClassifyPerPartition(parts map[surrogate.Surrogate][]*element.Element, basis TTBasis, gran chronon.Granularity) Report {
+	rep := Report{Basis: basis}
+	type key struct {
+		c  Class
+		he bool
+		ep VTEndpoint
+	}
+	var common map[key]bool
+	n := 0
+	for _, es := range parts {
+		sub := Classify(es, basis, gran)
+		cur := make(map[key]bool)
+		for _, f := range sub.Findings {
+			cur[key{f.Class, f.HasEndpoint, f.Endpoint}] = true
+		}
+		if n == 0 {
+			common = cur
+		} else {
+			for k := range common {
+				if !cur[k] {
+					delete(common, k)
+				}
+			}
+		}
+		n++
+	}
+	keys := make([]key, 0, len(common))
+	for k := range common {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].c != keys[j].c {
+			return keys[i].c < keys[j].c
+		}
+		return keys[i].ep < keys[j].ep
+	})
+	for _, k := range keys {
+		rep.Findings = append(rep.Findings, Finding{Class: k.c, HasEndpoint: k.he, Endpoint: k.ep, Detail: "per partition"})
+	}
+	return rep
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,344 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/chronon"
+	"repro/internal/element"
+	"repro/internal/surrogate"
+)
+
+func findingClasses(fs []Finding) map[Class]bool {
+	out := make(map[Class]bool)
+	for _, f := range fs {
+		out[f.Class] = true
+	}
+	return out
+}
+
+func TestInferEventClassesRetroactive(t *testing.T) {
+	// Monitoring data: always stored 30-60 seconds after sampling.
+	stamps := mkStamps(100, 60, 200, 150, 300, 255)
+	got := findingClasses(InferEventClasses(stamps, chronon.Second))
+	for _, want := range []Class{General, Retroactive, DelayedRetroactive,
+		StronglyRetroactivelyBounded, DelayedStronglyRetroactivelyBounded,
+		RetroactivelyBounded, PredictivelyBounded, StronglyBounded} {
+		if !got[want] {
+			t.Errorf("missing %v", want)
+		}
+	}
+	for _, not := range []Class{Predictive, EarlyPredictive, Degenerate,
+		StronglyPredictivelyBounded, EarlyStronglyPredictivelyBounded} {
+		if got[not] {
+			t.Errorf("unexpected %v", not)
+		}
+	}
+}
+
+func TestInferEventClassesBoundsSynthesis(t *testing.T) {
+	// Delays are 40 and 45: tightest delayed-retroactive Δt is 40; tightest
+	// strongly-retroactively-bounded Δt is 45.
+	stamps := mkStamps(100, 60, 200, 155)
+	fs := InferEventClasses(stamps, chronon.Second)
+	details := make(map[Class]string)
+	for _, f := range fs {
+		details[f.Class] = f.Detail
+	}
+	if got := details[DelayedRetroactive]; got != "Δt=40s" {
+		t.Errorf("delayed retroactive detail = %q", got)
+	}
+	if got := details[StronglyRetroactivelyBounded]; got != "Δt=45s" {
+		t.Errorf("strongly retroactively bounded detail = %q", got)
+	}
+	if got := details[DelayedStronglyRetroactivelyBounded]; got != "Δt₁=40s, Δt₂=45s" {
+		t.Errorf("delayed strongly detail = %q", got)
+	}
+	if got := details[StronglyBounded]; got != "Δt₁=45s, Δt₂=0s" {
+		t.Errorf("strongly bounded detail = %q", got)
+	}
+}
+
+func TestInferEventClassesDegenerate(t *testing.T) {
+	stamps := mkStamps(100, 100, 200, 200)
+	got := findingClasses(InferEventClasses(stamps, chronon.Second))
+	if !got[Degenerate] {
+		t.Error("degenerate extension not recognized")
+	}
+	// Degenerate at a coarse granularity only: 100 and 110 share the
+	// minute tick [60, 120), as do 200 and 215 in [180, 240).
+	coarse := mkStamps(100, 110, 200, 215)
+	if findingClasses(InferEventClasses(coarse, chronon.Second))[Degenerate] {
+		t.Error("non-degenerate at second granularity misclassified")
+	}
+	if !findingClasses(InferEventClasses(coarse, chronon.Minute))[Degenerate] {
+		t.Error("degenerate at minute granularity not recognized")
+	}
+}
+
+func TestInferEventClassesPredictive(t *testing.T) {
+	// Payroll: recorded 3-7 days ahead.
+	day := int64(86400)
+	stamps := mkStamps(0, 3*day, 100, 100+7*day)
+	got := findingClasses(InferEventClasses(stamps, chronon.Second))
+	for _, want := range []Class{Predictive, EarlyPredictive,
+		StronglyPredictivelyBounded, EarlyStronglyPredictivelyBounded} {
+		if !got[want] {
+			t.Errorf("missing %v", want)
+		}
+	}
+	if got[Retroactive] || got[DelayedRetroactive] {
+		t.Error("predictive extension misclassified as retroactive")
+	}
+}
+
+func TestInferEventClassesClosedUnderAncestors(t *testing.T) {
+	// Whatever classes inference reports, every event-class ancestor must
+	// be reported too (the lattice is a true generalization hierarchy).
+	fixtures := [][]int64{
+		{100, 60, 200, 150},
+		{0, 0, 10, 10},
+		{0, 5, 10, 25},
+		{0, -5, 10, 5},
+		{42, 42},
+	}
+	for _, raw := range fixtures {
+		got := findingClasses(InferEventClasses(mkStamps(raw...), chronon.Second))
+		for c := range got {
+			for _, a := range Ancestors(c) {
+				if a.Category() == CategoryIsolatedEvent && !got[a] {
+					t.Errorf("fixture %v: %v found but ancestor %v missing", raw, c, a)
+				}
+			}
+		}
+	}
+}
+
+func TestInferInterEventClasses(t *testing.T) {
+	// A degenerate periodic sampler: sequential, non-decreasing, and
+	// regular in every sense.
+	stamps := mkStamps(100, 100, 110, 110, 120, 120)
+	got := findingClasses(InferInterEventClasses(stamps))
+	for _, want := range []Class{GloballyNonDecreasingEvents, GloballySequentialEvents,
+		TTEventRegular, VTEventRegular, TemporalEventRegular,
+		StrictTTEventRegular, StrictVTEventRegular, StrictTemporalEventRegular} {
+		if !got[want] {
+			t.Errorf("missing %v", want)
+		}
+	}
+	if got[GloballyNonIncreasingEvents] {
+		t.Error("increasing extension reported non-increasing")
+	}
+}
+
+func TestInferInterEventUnits(t *testing.T) {
+	// tts 28s apart, vts 6s apart (both anchored): units synthesized as
+	// gcds.
+	stamps := mkStamps(0, 0, 28, 6, 56, 12)
+	fs := InferInterEventClasses(stamps)
+	details := make(map[Class]string)
+	for _, f := range fs {
+		details[f.Class] = f.Detail
+	}
+	if got := details[TTEventRegular]; got != "Δt=28s" {
+		t.Errorf("tt regular detail = %q", got)
+	}
+	if got := details[VTEventRegular]; got != "Δt=6s" {
+		t.Errorf("vt regular detail = %q", got)
+	}
+	if _, ok := details[TemporalEventRegular]; ok {
+		t.Error("temporal regular requires constant offset; none here")
+	}
+}
+
+func TestInferInterEventClosedUnderAncestors(t *testing.T) {
+	fixtures := [][]int64{
+		{100, 100, 110, 110, 120, 120},
+		{0, 0, 28, 6, 56, 12},
+		{10, 5, 20, 15, 30, 25},
+		{10, 100, 20, 50},
+		{5, 5},
+	}
+	for _, raw := range fixtures {
+		got := findingClasses(InferInterEventClasses(mkStamps(raw...)))
+		for c := range got {
+			for _, a := range Ancestors(c) {
+				if a == General {
+					continue
+				}
+				if (a.Category() == CategoryInterEventOrder || a.Category() == CategoryInterEventRegular) && !got[a] {
+					t.Errorf("fixture %v: %v found but ancestor %v missing", raw, c, a)
+				}
+			}
+		}
+	}
+}
+
+func TestInferIntervalRegularity(t *testing.T) {
+	day := int64(86400)
+	es := elems(
+		intervalElem(0, day, 0, 2*day),
+		intervalElem(0, 3*day, 100, 100+4*day),
+	)
+	fs := InferIntervalRegularity(es)
+	got := findingClasses(fs)
+	for _, want := range []Class{VTIntervalRegular, TTIntervalRegular, TemporalIntervalRegular} {
+		if !got[want] {
+			t.Errorf("missing %v", want)
+		}
+	}
+	if got[StrictVTIntervalRegular] {
+		t.Error("unequal durations reported strict")
+	}
+	// All durations equal: strict everything.
+	strict := elems(
+		intervalElem(0, day, 0, day),
+		intervalElem(0, day, 50, 50+day),
+	)
+	got = findingClasses(InferIntervalRegularity(strict))
+	for _, want := range []Class{StrictVTIntervalRegular, StrictTTIntervalRegular, StrictTemporalIntervalRegular} {
+		if !got[want] {
+			t.Errorf("missing %v", want)
+		}
+	}
+}
+
+func TestClassifyEventRelation(t *testing.T) {
+	es := elems(
+		eventElem(100, int64(chronon.Forever), 60),
+		eventElem(200, int64(chronon.Forever), 150),
+	)
+	rep := Classify(es, TTInsertion, chronon.Second)
+	if !rep.Has(Retroactive) || !rep.Has(GloballyNonDecreasingEvents) {
+		t.Errorf("Classify missing classes: %v", rep.Findings)
+	}
+	ms := rep.MostSpecific()
+	if len(ms) == 0 {
+		t.Fatal("no most-specific findings")
+	}
+	for _, f := range ms {
+		if f.Class == General {
+			t.Error("general survived most-specific filtering despite specializations")
+		}
+	}
+}
+
+func TestClassifyIntervalRelation(t *testing.T) {
+	es := elems(
+		intervalElem(20, int64(chronon.Forever), 0, 10),
+		intervalElem(40, int64(chronon.Forever), 10, 20),
+		intervalElem(60, int64(chronon.Forever), 20, 30),
+	)
+	rep := Classify(es, TTInsertion, chronon.Second)
+	if !rep.Has(GloballyContiguous) {
+		t.Errorf("contiguous shifts not recognized: %v", rep.Findings)
+	}
+	if !rep.Has(StrictVTIntervalRegular) {
+		t.Errorf("strict vt interval regularity not recognized: %v", rep.Findings)
+	}
+	// Endpoint findings carry their endpoint.
+	sawStart, sawEnd := false, false
+	for _, f := range rep.Findings {
+		if f.Class == Retroactive && f.HasEndpoint {
+			if f.Endpoint == VTStart {
+				sawStart = true
+			} else {
+				sawEnd = true
+			}
+		}
+	}
+	if !sawStart {
+		t.Error("vt⊢-retroactive not reported")
+	}
+	// Every interval also ends before it is stored, so the relation is
+	// vt⊣-retroactive too — the paper's shorthand "retroactive" applies.
+	if !sawEnd {
+		t.Error("vt⊣-retroactive not reported")
+	}
+}
+
+func TestClassifyEmpty(t *testing.T) {
+	rep := Classify(nil, TTInsertion, chronon.Second)
+	if len(rep.Findings) != 0 {
+		t.Errorf("empty extension classified: %v", rep.Findings)
+	}
+	if rep.Has(General) {
+		t.Error("empty report has classes")
+	}
+}
+
+func TestClassifyPerPartition(t *testing.T) {
+	// Claim C4 setting: two partitions, each regular with its own anchor.
+	// Per-partition regularity holds; global regularity holds too for the
+	// non-strict variant (units compose); global strictness fails.
+	day := int64(86400)
+	p1 := elems(
+		eventElem(0, int64(chronon.Forever), 0),
+		eventElem(10*day, int64(chronon.Forever), 10*day),
+	)
+	p2 := elems(
+		eventElem(3, int64(chronon.Forever), 3),
+		eventElem(3+10*day, int64(chronon.Forever), 3+10*day),
+	)
+	rep := ClassifyPerPartition(map[surrogate.Surrogate][]*element.Element{
+		1: p1, 2: p2,
+	}, TTInsertion, chronon.Second)
+	if !rep.Has(Degenerate) {
+		t.Errorf("per-partition degenerate missing: %v", rep.Findings)
+	}
+	if !rep.Has(StrictTTEventRegular) {
+		t.Errorf("per-partition strict regularity missing: %v", rep.Findings)
+	}
+	for _, f := range rep.Findings {
+		if f.Detail != "per partition" {
+			t.Errorf("finding %v lacks per-partition detail", f)
+		}
+	}
+}
+
+func TestClassifyPerPartitionIntersection(t *testing.T) {
+	// One retroactive partition, one predictive: only their common
+	// ancestors survive.
+	p1 := elems(eventElem(100, int64(chronon.Forever), 50))
+	p2 := elems(eventElem(100, int64(chronon.Forever), 150))
+	rep := ClassifyPerPartition(map[surrogate.Surrogate][]*element.Element{1: p1, 2: p2}, TTInsertion, chronon.Second)
+	if rep.Has(Retroactive) || rep.Has(Predictive) {
+		t.Errorf("non-common class survived intersection: %v", rep.Findings)
+	}
+	if !rep.Has(General) || !rep.Has(StronglyBounded) {
+		t.Errorf("common classes missing: %v", rep.Findings)
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{Class: Retroactive, Detail: "Δt=5s"}
+	if got := f.String(); got != "retroactive (Δt=5s)" {
+		t.Errorf("String = %q", got)
+	}
+	f2 := Finding{Class: Retroactive, HasEndpoint: true, Endpoint: VTEnd}
+	if got := f2.String(); got != "vt⊣-retroactive" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestReportClasses(t *testing.T) {
+	rep := Report{Findings: []Finding{
+		{Class: Retroactive}, {Class: Retroactive, HasEndpoint: true, Endpoint: VTEnd}, {Class: General},
+	}}
+	cs := rep.Classes()
+	if len(cs) != 2 || cs[0] != General || cs[1] != Retroactive {
+		t.Errorf("Classes = %v", cs)
+	}
+}
+
+func TestTTBasisVTEndpointStrings(t *testing.T) {
+	if TTInsertion.String() != "insertion" || TTDeletion.String() != "deletion" {
+		t.Error("basis names wrong")
+	}
+	if VTStart.String() != "vt⊢" || VTEnd.String() != "vt⊣" {
+		t.Error("endpoint names wrong")
+	}
+	if !strings.Contains((EndpointSpec{Event: RetroactiveSpec(), Basis: TTDeletion, Endpoint: VTEnd}).String(), "deletion") {
+		t.Error("endpoint spec string lacks basis")
+	}
+}

@@ -1,0 +1,413 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/chronon"
+)
+
+// InterEventSpec is an inter-event specialization of §3.2: a restriction on
+// the interrelationship of the stamps of distinct elements. The ordering
+// classes (Figure 3) restrict how valid time progresses as transaction time
+// does; the regularity classes (Figure 4) restrict stamps to integral
+// multiples of a time unit.
+//
+// Regularity units must be fixed durations: event regularity is a modular
+// congruence, which has no meaning for calendar-varying units. (Calendric
+// units appear in the *interval* regularity of §3.3, where they measure
+// durations anchored at a date.)
+type InterEventSpec struct {
+	class Class
+	unit  int64 // seconds; 0 for ordering classes
+}
+
+// Class reports the specialization's class.
+func (s InterEventSpec) Class() Class { return s.class }
+
+// Unit reports the regularity time unit (zero for ordering classes).
+func (s InterEventSpec) Unit() chronon.Duration { return chronon.Seconds(s.unit) }
+
+// String renders the spec with its parameters.
+func (s InterEventSpec) String() string {
+	if s.unit == 0 {
+		return s.class.String()
+	}
+	return fmt.Sprintf("%s (Δt=%v)", s.class, chronon.Seconds(s.unit))
+}
+
+// SequentialEventsSpec restricts each event to occur and be stored before
+// the next event occurs or is stored: valid time can then be approximated
+// with transaction time, yielding an append-only relation that supports
+// historical queries.
+func SequentialEventsSpec() InterEventSpec {
+	return InterEventSpec{class: GloballySequentialEvents}
+}
+
+// NonDecreasingEventsSpec restricts elements to be entered in valid
+// time-stamp order.
+func NonDecreasingEventsSpec() InterEventSpec {
+	return InterEventSpec{class: GloballyNonDecreasingEvents}
+}
+
+// NonIncreasingEventsSpec restricts elements to be entered in reverse valid
+// time-stamp order — e.g. an archeological relation recording progressively
+// earlier periods as excavation proceeds.
+func NonIncreasingEventsSpec() InterEventSpec {
+	return InterEventSpec{class: GloballyNonIncreasingEvents}
+}
+
+func regularSpec(class Class, unit chronon.Duration) (InterEventSpec, error) {
+	secs, ok := unit.FixedSeconds()
+	if !ok {
+		return InterEventSpec{}, fmt.Errorf("core: %v: calendric unit %v not allowed for event regularity", class, unit)
+	}
+	if secs <= 0 {
+		return InterEventSpec{}, fmt.Errorf("core: %v: time unit %v must be positive", class, unit)
+	}
+	return InterEventSpec{class: class, unit: secs}, nil
+}
+
+// TTEventRegularSpec restricts transaction times of all elements to be
+// separated by integral multiples of the unit — e.g. periodic sampling of a
+// physical variable (the "synchronous method" of [Tho91]).
+func TTEventRegularSpec(unit chronon.Duration) (InterEventSpec, error) {
+	return regularSpec(TTEventRegular, unit)
+}
+
+// VTEventRegularSpec restricts valid times likewise; a valid time-stamp
+// granularity of one second is equivalently valid time event regularity
+// with unit one second.
+func VTEventRegularSpec(unit chronon.Duration) (InterEventSpec, error) {
+	return regularSpec(VTEventRegular, unit)
+}
+
+// TemporalEventRegularSpec restricts both times with the same multiplier
+// per element pair: more restrictive than transaction and valid time
+// regularity together. A periodic degenerate relation is trivially temporal
+// event regular.
+func TemporalEventRegularSpec(unit chronon.Duration) (InterEventSpec, error) {
+	return regularSpec(TemporalEventRegular, unit)
+}
+
+// StrictTTEventRegularSpec restricts successive transaction times to differ
+// by exactly the unit.
+func StrictTTEventRegularSpec(unit chronon.Duration) (InterEventSpec, error) {
+	return regularSpec(StrictTTEventRegular, unit)
+}
+
+// StrictVTEventRegularSpec restricts successive valid times to differ by
+// exactly the unit, with identical valid times disallowed.
+func StrictVTEventRegularSpec(unit chronon.Duration) (InterEventSpec, error) {
+	return regularSpec(StrictVTEventRegular, unit)
+}
+
+// StrictTemporalEventRegularSpec restricts the successor in transaction
+// time to also be the successor in valid time, both at distance unit.
+func StrictTemporalEventRegularSpec(unit chronon.Duration) (InterEventSpec, error) {
+	return regularSpec(StrictTemporalEventRegular, unit)
+}
+
+// InterEventViolation reports a pair (or run) of stamps violating an
+// inter-event restriction.
+type InterEventViolation struct {
+	Spec   InterEventSpec
+	Reason string
+}
+
+func (v *InterEventViolation) Error() string {
+	return fmt.Sprintf("core: %s violated: %s", v.Spec, v.Reason)
+}
+
+func (s InterEventSpec) violation(format string, args ...any) error {
+	return &InterEventViolation{Spec: s, Reason: fmt.Sprintf(format, args...)}
+}
+
+// CheckAll tests a whole extension against the specialization. The stamps
+// may be in any order; elements with equal transaction times (e.g. the
+// deletion and insertion halves of a modification) are unconstrained
+// against each other, per the strict inequality tt_e < tt_e' in every
+// definition.
+func (s InterEventSpec) CheckAll(stamps []Stamp) error {
+	if len(stamps) == 0 {
+		return nil
+	}
+	sorted := append([]Stamp(nil), stamps...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].TT < sorted[j].TT })
+	switch s.class {
+	case GloballyNonDecreasingEvents, GloballyNonIncreasingEvents, GloballySequentialEvents:
+		return s.checkOrdering(sorted)
+	case TTEventRegular:
+		return s.checkCongruent(sorted, func(st Stamp) chronon.Chronon { return st.TT }, "tt")
+	case VTEventRegular:
+		return s.checkCongruent(sorted, func(st Stamp) chronon.Chronon { return st.VT }, "vt")
+	case TemporalEventRegular:
+		return s.checkTemporalRegular(sorted)
+	case StrictTTEventRegular:
+		return s.checkStrictChain(sorted, func(st Stamp) chronon.Chronon { return st.TT }, "tt", true)
+	case StrictVTEventRegular:
+		return s.checkStrictChain(sorted, func(st Stamp) chronon.Chronon { return st.VT }, "vt", false)
+	case StrictTemporalEventRegular:
+		return s.checkStrictTemporal(sorted)
+	}
+	return fmt.Errorf("core: %v is not an inter-event class", s.class)
+}
+
+// checkOrdering handles the three ordering classes over tt-sorted stamps.
+func (s InterEventSpec) checkOrdering(sorted []Stamp) error {
+	// prev* aggregate stamps with tt strictly less than the current group's.
+	prevMax := chronon.MinChronon  // max vt of earlier groups
+	prevMin := chronon.MaxChronon  // min vt of earlier groups
+	prevHigh := chronon.MinChronon // max(tt, vt) of earlier groups (sequential)
+	groupStart := 0
+	for i := 0; i <= len(sorted); i++ {
+		if i < len(sorted) && sorted[i].TT == sorted[groupStart].TT {
+			continue
+		}
+		// Close the group [groupStart, i).
+		for _, st := range sorted[groupStart:i] {
+			switch s.class {
+			case GloballyNonDecreasingEvents:
+				if st.VT < prevMax {
+					return s.violation("element at tt %v has vt %v earlier than a prior element's vt %v", st.TT, st.VT, prevMax)
+				}
+			case GloballyNonIncreasingEvents:
+				if st.VT > prevMin {
+					return s.violation("element at tt %v has vt %v later than a prior element's vt %v", st.TT, st.VT, prevMin)
+				}
+			case GloballySequentialEvents:
+				if low := chronon.Min(st.TT, st.VT); low < prevHigh {
+					return s.violation("element at tt %v begins (min(tt,vt)=%v) before a prior element completed (max(tt,vt)=%v)", st.TT, low, prevHigh)
+				}
+			}
+		}
+		for _, st := range sorted[groupStart:i] {
+			prevMax = chronon.Max(prevMax, st.VT)
+			prevMin = chronon.Min(prevMin, st.VT)
+			prevHigh = chronon.Max(prevHigh, chronon.Max(st.TT, st.VT))
+		}
+		groupStart = i
+	}
+	return nil
+}
+
+// checkCongruent verifies that the selected coordinate of every stamp is
+// congruent modulo the unit.
+func (s InterEventSpec) checkCongruent(sorted []Stamp, coord func(Stamp) chronon.Chronon, name string) error {
+	anchor := coord(sorted[0])
+	for _, st := range sorted[1:] {
+		if diff := coord(st).Sub(anchor); diff%s.unit != 0 {
+			return s.violation("%s %v is not a multiple of %v from %s %v", name, coord(st), chronon.Seconds(s.unit), name, anchor)
+		}
+	}
+	return nil
+}
+
+// checkTemporalRegular verifies the same-multiplier regularity: tt − vt is
+// constant across elements and tt values are congruent modulo the unit.
+func (s InterEventSpec) checkTemporalRegular(sorted []Stamp) error {
+	offset := sorted[0].TT.Sub(sorted[0].VT)
+	anchor := sorted[0].TT
+	for _, st := range sorted[1:] {
+		if st.TT.Sub(st.VT) != offset {
+			return s.violation("element at tt %v has tt−vt = %ds, others have %ds (multipliers differ)",
+				st.TT, st.TT.Sub(st.VT), offset)
+		}
+		if diff := st.TT.Sub(anchor); diff%s.unit != 0 {
+			return s.violation("tt %v is not a multiple of %v from tt %v", st.TT, chronon.Seconds(s.unit), anchor)
+		}
+	}
+	return nil
+}
+
+// checkStrictChain verifies that the distinct values of the selected
+// coordinate form a chain spaced exactly unit apart. For transaction time
+// duplicates are tolerated (they arise only from modification transactions
+// and the definition's strict inequality skips them); for valid time
+// duplicates are disallowed, per the paper's strict valid time definition.
+func (s InterEventSpec) checkStrictChain(sorted []Stamp, coord func(Stamp) chronon.Chronon, name string, dupsOK bool) error {
+	vals := make([]int64, 0, len(sorted))
+	for _, st := range sorted {
+		vals = append(vals, int64(coord(st)))
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	prev := vals[0]
+	for _, v := range vals[1:] {
+		switch {
+		case v == prev:
+			if !dupsOK {
+				return s.violation("duplicate %s %v", name, chronon.Chronon(v))
+			}
+		case v-prev != s.unit:
+			return s.violation("%s %v does not follow %s %v by exactly %v",
+				name, chronon.Chronon(v), name, chronon.Chronon(prev), chronon.Seconds(s.unit))
+		}
+		prev = v
+	}
+	return nil
+}
+
+// checkStrictTemporal verifies that the successor in transaction time is
+// the successor in valid time, both at distance unit.
+func (s InterEventSpec) checkStrictTemporal(sorted []Stamp) error {
+	for i := 1; i < len(sorted); i++ {
+		prev, cur := sorted[i-1], sorted[i]
+		if cur.TT == prev.TT {
+			return s.violation("duplicate tt %v", cur.TT)
+		}
+		if cur.TT.Sub(prev.TT) != s.unit {
+			return s.violation("tt %v does not follow tt %v by exactly %v", cur.TT, prev.TT, chronon.Seconds(s.unit))
+		}
+		if cur.VT.Sub(prev.VT) != s.unit {
+			return s.violation("vt %v does not follow vt %v by exactly %v", cur.VT, prev.VT, chronon.Seconds(s.unit))
+		}
+	}
+	return nil
+}
+
+// NewChecker returns an incremental checker for the specialization.
+// Incremental checking relies on the intensional reading of §3: every
+// historical state must satisfy the definition, so each new stamp can be
+// validated against summary state of the already-stored ones. Stamps must
+// be offered in non-decreasing transaction-time order, which is how a
+// relation produces them.
+func (s InterEventSpec) NewChecker() *InterEventChecker {
+	return &InterEventChecker{spec: s, prevMin: chronon.MaxChronon, prevMax: chronon.MinChronon,
+		prevHigh: chronon.MinChronon, vtMin: chronon.MaxChronon, vtMax: chronon.MinChronon}
+}
+
+// InterEventChecker validates stamps one at a time in O(1) state. Check
+// reports whether adding the stamp would violate the specialization; Note
+// commits it. The same-tt group semantics of the definitions are honored:
+// stamps sharing a transaction time are checked only against strictly
+// earlier ones.
+type InterEventChecker struct {
+	spec InterEventSpec
+	n    int
+
+	// Ordering state: aggregates over stamps with tt < groupTT, plus the
+	// open group at groupTT.
+	groupTT   chronon.Chronon
+	prevMax   chronon.Chronon // max vt, strictly earlier groups
+	prevMin   chronon.Chronon
+	prevHigh  chronon.Chronon
+	groupMax  chronon.Chronon
+	groupMin  chronon.Chronon
+	groupHigh chronon.Chronon
+	groupOpen bool
+
+	// Regularity state.
+	anchorTT chronon.Chronon
+	anchorVT chronon.Chronon
+	offset   int64 // tt − vt for temporal regularity
+	lastTT   chronon.Chronon
+	lastVT   chronon.Chronon
+	vtMin    chronon.Chronon // strict vt chain bounds
+	vtMax    chronon.Chronon
+}
+
+// Spec returns the specialization the checker enforces.
+func (c *InterEventChecker) Spec() InterEventSpec { return c.spec }
+
+// Check reports whether st can be added without violating the
+// specialization. It does not modify the checker.
+func (c *InterEventChecker) Check(st Stamp) error {
+	if c.n > 0 && st.TT < c.groupTT {
+		return c.spec.violation("stamps offered out of transaction-time order (%v after %v)", st.TT, c.groupTT)
+	}
+	if c.n == 0 {
+		return nil
+	}
+	s := c.spec
+	// Aggregates over stamps strictly earlier than st.TT.
+	prevMax, prevMin, prevHigh := c.prevMax, c.prevMin, c.prevHigh
+	if c.groupOpen && st.TT > c.groupTT {
+		prevMax = chronon.Max(prevMax, c.groupMax)
+		prevMin = chronon.Min(prevMin, c.groupMin)
+		prevHigh = chronon.Max(prevHigh, c.groupHigh)
+	}
+	switch s.class {
+	case GloballyNonDecreasingEvents:
+		if st.VT < prevMax {
+			return s.violation("element at tt %v has vt %v earlier than a prior element's vt %v", st.TT, st.VT, prevMax)
+		}
+	case GloballyNonIncreasingEvents:
+		if st.VT > prevMin {
+			return s.violation("element at tt %v has vt %v later than a prior element's vt %v", st.TT, st.VT, prevMin)
+		}
+	case GloballySequentialEvents:
+		if low := chronon.Min(st.TT, st.VT); low < prevHigh {
+			return s.violation("element at tt %v begins (min(tt,vt)=%v) before a prior element completed (max(tt,vt)=%v)", st.TT, low, prevHigh)
+		}
+	case TTEventRegular:
+		if st.TT.Sub(c.anchorTT)%s.unit != 0 {
+			return s.violation("tt %v is not a multiple of %v from tt %v", st.TT, chronon.Seconds(s.unit), c.anchorTT)
+		}
+	case VTEventRegular:
+		if st.VT.Sub(c.anchorVT)%s.unit != 0 {
+			return s.violation("vt %v is not a multiple of %v from vt %v", st.VT, chronon.Seconds(s.unit), c.anchorVT)
+		}
+	case TemporalEventRegular:
+		if st.TT.Sub(st.VT) != c.offset {
+			return s.violation("element at tt %v has tt−vt = %ds, others have %ds (multipliers differ)", st.TT, st.TT.Sub(st.VT), c.offset)
+		}
+		if st.TT.Sub(c.anchorTT)%s.unit != 0 {
+			return s.violation("tt %v is not a multiple of %v from tt %v", st.TT, chronon.Seconds(s.unit), c.anchorTT)
+		}
+	case StrictTTEventRegular:
+		if st.TT != c.lastTT && st.TT.Sub(c.lastTT) != s.unit {
+			return s.violation("tt %v does not follow tt %v by exactly %v", st.TT, c.lastTT, chronon.Seconds(s.unit))
+		}
+	case StrictVTEventRegular:
+		// A new stamp may only extend the chain at either end: any other
+		// value leaves the *current* state in violation, which the
+		// intensional definition forbids.
+		if st.VT != c.vtMax.Add(s.unit) && st.VT != c.vtMin.Add(-s.unit) {
+			return s.violation("vt %v does not extend the strict chain [%v, %v] by %v", st.VT, c.vtMin, c.vtMax, chronon.Seconds(s.unit))
+		}
+	case StrictTemporalEventRegular:
+		if st.TT == c.lastTT {
+			return s.violation("duplicate tt %v", st.TT)
+		}
+		if st.TT.Sub(c.lastTT) != s.unit {
+			return s.violation("tt %v does not follow tt %v by exactly %v", st.TT, c.lastTT, chronon.Seconds(s.unit))
+		}
+		if st.VT.Sub(c.lastVT) != s.unit {
+			return s.violation("vt %v does not follow vt %v by exactly %v", st.VT, c.lastVT, chronon.Seconds(s.unit))
+		}
+	}
+	return nil
+}
+
+// Note commits st to the checker's state. Callers must have verified the
+// stamp with Check first; Note does not re-validate.
+func (c *InterEventChecker) Note(st Stamp) {
+	if c.n == 0 {
+		c.groupTT = st.TT
+		c.groupMax, c.groupMin = st.VT, st.VT
+		c.groupHigh = chronon.Max(st.TT, st.VT)
+		c.groupOpen = true
+		c.anchorTT, c.anchorVT = st.TT, st.VT
+		c.offset = st.TT.Sub(st.VT)
+		c.lastTT, c.lastVT = st.TT, st.VT
+		c.vtMin, c.vtMax = st.VT, st.VT
+		c.n = 1
+		return
+	}
+	if st.TT > c.groupTT {
+		c.prevMax = chronon.Max(c.prevMax, c.groupMax)
+		c.prevMin = chronon.Min(c.prevMin, c.groupMin)
+		c.prevHigh = chronon.Max(c.prevHigh, c.groupHigh)
+		c.groupTT = st.TT
+		c.groupMax, c.groupMin = st.VT, st.VT
+		c.groupHigh = chronon.Max(st.TT, st.VT)
+	} else {
+		c.groupMax = chronon.Max(c.groupMax, st.VT)
+		c.groupMin = chronon.Min(c.groupMin, st.VT)
+		c.groupHigh = chronon.Max(c.groupHigh, chronon.Max(st.TT, st.VT))
+	}
+	c.lastTT, c.lastVT = st.TT, st.VT
+	c.vtMin = chronon.Min(c.vtMin, st.VT)
+	c.vtMax = chronon.Max(c.vtMax, st.VT)
+	c.n++
+}

@@ -1,0 +1,307 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/chronon"
+	"repro/internal/element"
+	"repro/internal/interval"
+)
+
+// IntervalStamp is the (transaction time, valid interval) pair of one
+// element of an interval relation under a chosen transaction-time basis.
+type IntervalStamp struct {
+	TT chronon.Chronon
+	VT interval.Interval
+}
+
+// IntervalStampsOf extracts interval stamps from an extension under basis
+// b, skipping event-stamped elements and elements with no stamp under the
+// basis.
+func IntervalStampsOf(es []*element.Element, b TTBasis) []IntervalStamp {
+	out := make([]IntervalStamp, 0, len(es))
+	for _, e := range es {
+		iv, ok := e.VT.Interval()
+		if !ok {
+			continue
+		}
+		tt := e.TTStart
+		if b == TTDeletion {
+			if e.Current() {
+				continue
+			}
+			tt = e.TTEnd
+		}
+		out = append(out, IntervalStamp{TT: tt, VT: iv})
+	}
+	return out
+}
+
+// InterIntervalSpec is an inter-interval specialization of §3.4: a
+// restriction on how the valid intervals of elements successive in
+// transaction time relate. The successive-transaction-time-X classes cover
+// all thirteen Allen relations; STMeets is the paper's globally contiguous
+// relation, and the ordering and sequentiality properties carry over from
+// events.
+type InterIntervalSpec struct {
+	class Class
+}
+
+// Class reports the specialization's class.
+func (s InterIntervalSpec) Class() Class { return s.class }
+
+// String names the spec.
+func (s InterIntervalSpec) String() string { return s.class.String() }
+
+// SequentialIntervalsSpec restricts each interval to occur and be stored
+// before the next interval commences: for tt_e < tt_e',
+// max(tt_e, vt⊣_e) ≤ min(tt_e', vt⊢_e') — e.g. weekly assignments recorded
+// during the weekend.
+func SequentialIntervalsSpec() InterIntervalSpec {
+	return InterIntervalSpec{class: GloballySequentialIntervals}
+}
+
+// NonDecreasingIntervalsSpec restricts elements to be entered in valid
+// time-stamp order: for tt_e < tt_e', vt⊢_e ≤ vt⊢_e'. (The paper's
+// Thursday example — next week's assignment recorded during the current
+// week — satisfies this but not sequentiality.)
+func NonDecreasingIntervalsSpec() InterIntervalSpec {
+	return InterIntervalSpec{class: GloballyNonDecreasingIntervals}
+}
+
+// NonIncreasingIntervalsSpec restricts elements to be entered in reverse
+// valid time-stamp order: for tt_e < tt_e', vt⊢_e' ≤ vt⊢_e.
+func NonIncreasingIntervalsSpec() InterIntervalSpec {
+	return InterIntervalSpec{class: GloballyNonIncreasingIntervals}
+}
+
+// SuccessiveTTSpec restricts elements successive in transaction time to
+// have valid intervals related by rel: for every element e, either some
+// element e' with the next transaction time satisfies vt_e rel vt_e', or e
+// has the latest transaction time. For example, SuccessiveTTSpec(Overlaps)
+// "ensures that the next element began before the previous one completed."
+func SuccessiveTTSpec(rel interval.Relation) InterIntervalSpec {
+	return InterIntervalSpec{class: STBefore + Class(rel)}
+}
+
+// ContiguousSpec is the paper's globally contiguous relation: the end of
+// one interval coincides with the start of the next stored — i.e.
+// successive transaction time meets.
+func ContiguousSpec() InterIntervalSpec { return SuccessiveTTSpec(interval.Meets) }
+
+// AllenRelation reports the Allen relation of a successive-transaction-time
+// class; ok is false for the ordering and sequentiality classes.
+func (s InterIntervalSpec) AllenRelation() (interval.Relation, bool) {
+	if s.class >= STBefore && s.class <= STFinishedBy {
+		return interval.Relation(s.class - STBefore), true
+	}
+	return 0, false
+}
+
+// InterIntervalViolation reports stamps violating an inter-interval
+// restriction.
+type InterIntervalViolation struct {
+	Spec   InterIntervalSpec
+	Reason string
+}
+
+func (v *InterIntervalViolation) Error() string {
+	return fmt.Sprintf("core: %s violated: %s", v.Spec, v.Reason)
+}
+
+func (s InterIntervalSpec) violation(format string, args ...any) error {
+	return &InterIntervalViolation{Spec: s, Reason: fmt.Sprintf(format, args...)}
+}
+
+// CheckAll tests a whole extension. Stamps may be in any order; stamps
+// sharing a transaction time form one group (the paper's definitions use
+// strict tt inequality, and "nothing in between" ranges over strictly
+// intermediate transaction times).
+func (s InterIntervalSpec) CheckAll(stamps []IntervalStamp) error {
+	if len(stamps) == 0 {
+		return nil
+	}
+	sorted := append([]IntervalStamp(nil), stamps...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].TT < sorted[j].TT })
+	groups := groupByTT(sorted)
+	switch s.class {
+	case GloballyNonDecreasingIntervals:
+		prevMax := chronon.MinChronon
+		for _, g := range groups {
+			for _, st := range g {
+				if st.VT.Start < prevMax {
+					return s.violation("interval %v at tt %v starts before a prior element's start %v", st.VT, st.TT, prevMax)
+				}
+			}
+			for _, st := range g {
+				prevMax = chronon.Max(prevMax, st.VT.Start)
+			}
+		}
+	case GloballyNonIncreasingIntervals:
+		prevMin := chronon.MaxChronon
+		for _, g := range groups {
+			for _, st := range g {
+				if st.VT.Start > prevMin {
+					return s.violation("interval %v at tt %v starts after a prior element's start %v", st.VT, st.TT, prevMin)
+				}
+			}
+			for _, st := range g {
+				prevMin = chronon.Min(prevMin, st.VT.Start)
+			}
+		}
+	case GloballySequentialIntervals:
+		prevHigh := chronon.MinChronon
+		for _, g := range groups {
+			for _, st := range g {
+				if low := chronon.Min(st.TT, st.VT.Start); low < prevHigh {
+					return s.violation("interval %v at tt %v commences (min(tt,vt⊢)=%v) before a prior interval completed (max(tt,vt⊣)=%v)",
+						st.VT, st.TT, low, prevHigh)
+				}
+			}
+			for _, st := range g {
+				prevHigh = chronon.Max(prevHigh, chronon.Max(st.TT, st.VT.End))
+			}
+		}
+	default:
+		rel, ok := s.AllenRelation()
+		if !ok {
+			return fmt.Errorf("core: %v is not an inter-interval class", s.class)
+		}
+		// Each element must relate by rel to some element of the next
+		// transaction-time group, unless it is in the last group.
+		for gi := 0; gi+1 < len(groups); gi++ {
+			next := groups[gi+1]
+			for _, st := range groups[gi] {
+				found := false
+				for _, nx := range next {
+					if interval.Relate(st.VT, nx.VT) == rel {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return s.violation("interval %v at tt %v is not %v its successor %v at tt %v",
+						st.VT, st.TT, rel, next[0].VT, next[0].TT)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func groupByTT(sorted []IntervalStamp) [][]IntervalStamp {
+	var groups [][]IntervalStamp
+	start := 0
+	for i := 1; i <= len(sorted); i++ {
+		if i == len(sorted) || sorted[i].TT != sorted[start].TT {
+			groups = append(groups, sorted[start:i])
+			start = i
+		}
+	}
+	return groups
+}
+
+// NewChecker returns an incremental checker. Stamps must arrive in
+// non-decreasing transaction-time order. For the successive-transaction-
+// time classes the checker requires every element of the previous group to
+// relate to the first element of the new group — exact when transaction
+// times are unique (each group is a singleton, which is how single-
+// operation transactions behave) and conservative otherwise.
+func (s InterIntervalSpec) NewChecker() *InterIntervalChecker {
+	return &InterIntervalChecker{spec: s, prevMax: chronon.MinChronon,
+		prevMin: chronon.MaxChronon, prevHigh: chronon.MinChronon}
+}
+
+// InterIntervalChecker validates interval stamps one at a time.
+type InterIntervalChecker struct {
+	spec InterIntervalSpec
+	n    int
+
+	groupTT   chronon.Chronon
+	group     []interval.Interval // open group's intervals
+	prevGroup []interval.Interval // the group before the open one
+
+	prevMax  chronon.Chronon // max vt⊢ over closed groups
+	prevMin  chronon.Chronon // min vt⊢ over closed groups
+	prevHigh chronon.Chronon // max(tt, vt⊣) over closed groups
+
+	groupMax  chronon.Chronon
+	groupMin  chronon.Chronon
+	groupHigh chronon.Chronon
+}
+
+// Spec returns the specialization the checker enforces.
+func (c *InterIntervalChecker) Spec() InterIntervalSpec { return c.spec }
+
+// Check reports whether st can be added without violating the
+// specialization; it does not modify the checker.
+func (c *InterIntervalChecker) Check(st IntervalStamp) error {
+	s := c.spec
+	if c.n > 0 && st.TT < c.groupTT {
+		return s.violation("stamps offered out of transaction-time order (%v after %v)", st.TT, c.groupTT)
+	}
+	if c.n == 0 {
+		return nil
+	}
+	newGroup := st.TT > c.groupTT
+	prevMax, prevMin, prevHigh := c.prevMax, c.prevMin, c.prevHigh
+	if newGroup {
+		prevMax = chronon.Max(prevMax, c.groupMax)
+		prevMin = chronon.Min(prevMin, c.groupMin)
+		prevHigh = chronon.Max(prevHigh, c.groupHigh)
+	}
+	switch s.class {
+	case GloballyNonDecreasingIntervals:
+		if st.VT.Start < prevMax {
+			return s.violation("interval %v at tt %v starts before a prior element's start %v", st.VT, st.TT, prevMax)
+		}
+	case GloballyNonIncreasingIntervals:
+		if st.VT.Start > prevMin {
+			return s.violation("interval %v at tt %v starts after a prior element's start %v", st.VT, st.TT, prevMin)
+		}
+	case GloballySequentialIntervals:
+		if low := chronon.Min(st.TT, st.VT.Start); low < prevHigh {
+			return s.violation("interval %v at tt %v commences (min(tt,vt⊢)=%v) before a prior interval completed (max(tt,vt⊣)=%v)",
+				st.VT, st.TT, low, prevHigh)
+		}
+	default:
+		rel, ok := s.AllenRelation()
+		if !ok {
+			return fmt.Errorf("core: %v is not an inter-interval class", s.class)
+		}
+		if newGroup {
+			// The open group becomes the predecessor group: each of its
+			// members must relate to this first member of the new group.
+			for _, prev := range c.group {
+				if interval.Relate(prev, st.VT) != rel {
+					return s.violation("interval %v is not %v its successor %v at tt %v", prev, rel, st.VT, st.TT)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Note commits st to the checker's state. Callers must have verified the
+// stamp with Check first.
+func (c *InterIntervalChecker) Note(st IntervalStamp) {
+	if c.n == 0 || st.TT > c.groupTT {
+		if c.n > 0 {
+			c.prevMax = chronon.Max(c.prevMax, c.groupMax)
+			c.prevMin = chronon.Min(c.prevMin, c.groupMin)
+			c.prevHigh = chronon.Max(c.prevHigh, c.groupHigh)
+			c.prevGroup = c.group
+		}
+		c.groupTT = st.TT
+		c.group = []interval.Interval{st.VT}
+		c.groupMax, c.groupMin = st.VT.Start, st.VT.Start
+		c.groupHigh = chronon.Max(st.TT, st.VT.End)
+	} else {
+		c.group = append(c.group, st.VT)
+		c.groupMax = chronon.Max(c.groupMax, st.VT.Start)
+		c.groupMin = chronon.Min(c.groupMin, st.VT.Start)
+		c.groupHigh = chronon.Max(c.groupHigh, chronon.Max(st.TT, st.VT.End))
+	}
+	c.n++
+}

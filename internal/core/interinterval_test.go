@@ -1,0 +1,250 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/interval"
+)
+
+func TestInterIntervalOrderings(t *testing.T) {
+	nd := NonDecreasingIntervalsSpec()
+	ni := NonIncreasingIntervalsSpec()
+	seq := SequentialIntervalsSpec()
+
+	// The weekly-assignments example: workweek intervals with weekend gaps,
+	// each week's assignment recorded during the weekend before it
+	// commences (after the prior week ends, before the next begins).
+	weekly := mkIStamps(
+		5, 10, 16,
+		16, 17, 23,
+		23, 24, 30,
+	)
+	if err := seq.CheckAll(weekly); err != nil {
+		t.Errorf("weekend-recorded assignments should be sequential: %v", err)
+	}
+	if err := nd.CheckAll(weekly); err != nil {
+		t.Errorf("sequential extension should be non-decreasing: %v", err)
+	}
+
+	// The Thursday example: next week's assignment recorded during the
+	// current week's interval — non-decreasing but not sequential.
+	thursday := mkIStamps(
+		5, 10, 17,
+		14, 17, 24, // tt=14 lies inside [10, 17)
+		21, 24, 31,
+	)
+	if err := nd.CheckAll(thursday); err != nil {
+		t.Errorf("Thursday recording should be non-decreasing: %v", err)
+	}
+	if err := seq.CheckAll(thursday); err == nil {
+		t.Error("Thursday recording should not be sequential (tt inside prior interval)")
+	}
+
+	// Archaeology with intervals: progressively earlier periods.
+	dig := mkIStamps(
+		10, 800, 900,
+		20, 600, 700,
+		30, 300, 500,
+	)
+	if err := ni.CheckAll(dig); err != nil {
+		t.Errorf("excavation should be non-increasing: %v", err)
+	}
+	if err := nd.CheckAll(dig); err == nil {
+		t.Error("excavation should not be non-decreasing")
+	}
+}
+
+func TestSuccessiveTTRelations(t *testing.T) {
+	// For each Allen relation, build a three-element chain where every
+	// successive pair satisfies exactly that relation, and verify the
+	// checker accepts it and rejects a broken chain.
+	chains := map[interval.Relation][]int64{
+		interval.Before:       {10, 0, 10, 20, 20, 30, 30, 40, 50},
+		interval.Meets:        {10, 0, 10, 20, 10, 20, 30, 20, 30},
+		interval.Overlaps:     {10, 0, 10, 20, 5, 15, 30, 10, 20},
+		interval.Starts:       {10, 0, 10, 20, 0, 20, 30, 0, 30},
+		interval.During:       {10, 40, 50, 20, 30, 60, 30, 20, 70},
+		interval.Finishes:     {10, 40, 50, 20, 30, 50, 30, 20, 50},
+		interval.Equal:        {10, 0, 10, 20, 0, 10, 30, 0, 10},
+		interval.After:        {10, 40, 50, 20, 20, 30, 30, 0, 10},
+		interval.MetBy:        {10, 20, 30, 20, 10, 20, 30, 0, 10},
+		interval.OverlappedBy: {10, 10, 20, 20, 5, 15, 30, 0, 10},
+		interval.StartedBy:    {10, 0, 30, 20, 0, 20, 30, 0, 10},
+		interval.Contains:     {10, 0, 100, 20, 10, 90, 30, 20, 80},
+		interval.FinishedBy:   {10, 0, 50, 20, 20, 50, 30, 30, 50},
+	}
+	for rel, raw := range chains {
+		spec := SuccessiveTTSpec(rel)
+		stamps := mkIStamps(raw...)
+		if err := spec.CheckAll(stamps); err != nil {
+			t.Errorf("st-%v chain rejected: %v", rel, err)
+			continue
+		}
+		if got, ok := spec.AllenRelation(); !ok || got != rel {
+			t.Errorf("AllenRelation = %v, %v", got, ok)
+		}
+		// Breaking the chain: replace the last interval with one far away
+		// that relates by Before (or After for Before itself).
+		broken := append(append([]IntervalStamp(nil), stamps[:2]...),
+			IntervalStamp{TT: stamps[2].TT, VT: interval.Of(100000, 100001)})
+		if rel == interval.Before {
+			broken[2].VT = interval.Of(-100001, -100000)
+		}
+		if err := spec.CheckAll(broken); err == nil {
+			t.Errorf("st-%v accepted a broken chain", rel)
+		}
+	}
+}
+
+func TestContiguousIsSTMeets(t *testing.T) {
+	spec := ContiguousSpec()
+	if spec.Class() != GloballyContiguous {
+		t.Errorf("ContiguousSpec class = %v", spec.Class())
+	}
+	// Contiguous shifts: each interval ends exactly where the next starts.
+	shifts := mkIStamps(
+		10, 0, 8,
+		20, 8, 16,
+		30, 16, 24,
+	)
+	if err := spec.CheckAll(shifts); err != nil {
+		t.Errorf("contiguous shifts rejected: %v", err)
+	}
+	gap := mkIStamps(
+		10, 0, 8,
+		20, 9, 16,
+	)
+	if err := spec.CheckAll(gap); err == nil {
+		t.Error("gapped shifts accepted as contiguous")
+	}
+}
+
+func TestInterIntervalLastElementExempt(t *testing.T) {
+	// The tt-latest element needs no successor.
+	spec := SuccessiveTTSpec(interval.Before)
+	single := mkIStamps(10, 0, 5)
+	if err := spec.CheckAll(single); err != nil {
+		t.Errorf("singleton rejected: %v", err)
+	}
+}
+
+func TestInterIntervalEqualTTGroups(t *testing.T) {
+	// Two elements stored by one transaction: each earlier element must
+	// relate to some member of the next group.
+	spec := SuccessiveTTSpec(interval.Before)
+	ok := mkIStamps(
+		10, 0, 5,
+		20, 10, 15,
+		20, 6, 9, // same tt as previous; [0,5) before both
+	)
+	if err := spec.CheckAll(ok); err != nil {
+		t.Errorf("group chain rejected: %v", err)
+	}
+	bad := mkIStamps(
+		10, 0, 5,
+		20, 3, 9, // overlaps, not before
+	)
+	if err := spec.CheckAll(bad); err == nil {
+		t.Error("non-before successor accepted")
+	}
+}
+
+func TestInterIntervalCheckerMatchesBatch(t *testing.T) {
+	specs := []InterIntervalSpec{
+		NonDecreasingIntervalsSpec(), NonIncreasingIntervalsSpec(),
+		SequentialIntervalsSpec(),
+		SuccessiveTTSpec(interval.Before), SuccessiveTTSpec(interval.Meets),
+		SuccessiveTTSpec(interval.Overlaps), SuccessiveTTSpec(interval.After),
+	}
+	streams := [][]int64{
+		{5, 10, 17, 12, 17, 24, 19, 24, 31},
+		{5, 10, 17, 14, 17, 24, 21, 24, 31},
+		{10, 800, 900, 20, 600, 700},
+		{10, 0, 10, 20, 20, 30, 30, 40, 50},
+		{10, 0, 10, 20, 5, 15},
+		{10, 0, 10, 20, 0, 10},
+		{10, 40, 50, 20, 20, 30, 30, 0, 10},
+	}
+	for _, spec := range specs {
+		for _, raw := range streams {
+			stream := mkIStamps(raw...)
+			ck := spec.NewChecker()
+			incOK := true
+			for _, st := range stream {
+				if err := ck.Check(st); err != nil {
+					incOK = false
+					break
+				}
+				ck.Note(st)
+			}
+			batchOK := true
+			for i := 1; i <= len(stream); i++ {
+				if spec.CheckAll(stream[:i]) != nil {
+					batchOK = false
+					break
+				}
+			}
+			if incOK != batchOK {
+				t.Errorf("%v: incremental=%v batch=%v for %v", spec, incOK, batchOK, raw)
+			}
+		}
+	}
+}
+
+func TestInterIntervalCheckerOutOfOrder(t *testing.T) {
+	ck := NonDecreasingIntervalsSpec().NewChecker()
+	ck.Note(mkIStamps(100, 0, 5)[0])
+	if err := ck.Check(mkIStamps(50, 10, 15)[0]); err == nil {
+		t.Error("out-of-order tt accepted")
+	}
+	if ck.Spec().Class() != GloballyNonDecreasingIntervals {
+		t.Error("Spec accessor wrong")
+	}
+}
+
+func TestInterIntervalWrongClass(t *testing.T) {
+	bad := InterIntervalSpec{class: Retroactive}
+	if err := bad.CheckAll(mkIStamps(1, 0, 1, 2, 1, 2)); err == nil {
+		t.Error("non-inter-interval class accepted")
+	}
+	if err := bad.NewChecker().Check(mkIStamps(5, 0, 1)[0]); err != nil {
+		t.Error("first stamp should always pass")
+	}
+}
+
+func TestIntervalStampsOf(t *testing.T) {
+	es := elems(
+		intervalElem(10, 100, 0, 5),
+		eventElem(20, 100, 3), // skipped: event-stamped
+		intervalElem(30, int64(forever()), 10, 15),
+	)
+	ins := IntervalStampsOf(es, TTInsertion)
+	if len(ins) != 2 || ins[0].TT != 10 || ins[1].TT != 30 {
+		t.Errorf("insertion stamps = %v", ins)
+	}
+	del := IntervalStampsOf(es, TTDeletion)
+	if len(del) != 1 || del[0].TT != 100 {
+		t.Errorf("deletion stamps = %v", del)
+	}
+}
+
+func forever() int64 { return int64(1)<<62 - 1 }
+
+func TestInterIntervalViolationMessage(t *testing.T) {
+	spec := SequentialIntervalsSpec()
+	err := spec.CheckAll(mkIStamps(10, 20, 30, 15, 0, 5))
+	if err == nil {
+		t.Fatal("expected violation")
+	}
+	if !strings.Contains(err.Error(), "globally sequential") {
+		t.Errorf("message %q lacks class name", err.Error())
+	}
+	var v *InterIntervalViolation
+	if vv, ok := err.(*InterIntervalViolation); ok {
+		v = vv
+	}
+	if v == nil {
+		t.Errorf("error type %T", err)
+	}
+}

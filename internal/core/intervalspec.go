@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/chronon"
+	"repro/internal/element"
+)
+
+// EndpointSpec applies an isolated-event specialization to one valid-time
+// endpoint of an interval relation, under a transaction-time basis (§3.3):
+// "if an interval is stored as soon as it terminates, a designer may state
+// that the interval relation is vt⊢-retroactive and vt⊣-degenerate." A
+// relation that satisfies the same event specialization on both endpoints
+// may simply be termed by the event class name (e.g. "retroactive").
+type EndpointSpec struct {
+	Event    EventSpec
+	Basis    TTBasis
+	Endpoint VTEndpoint
+}
+
+// String renders the spec, e.g. "vt⊢-retroactive (insertion basis)".
+func (s EndpointSpec) String() string {
+	return fmt.Sprintf("%v-%v (%v basis)", s.Endpoint, s.Event, s.Basis)
+}
+
+// Check tests one element. Elements with no stamp under the basis (e.g.
+// current elements under the deletion basis) vacuously satisfy the spec.
+func (s EndpointSpec) Check(e *element.Element) error {
+	st, ok := StampOf(e, s.Basis, s.Endpoint)
+	if !ok {
+		return nil
+	}
+	return s.Event.Check(st)
+}
+
+// CheckAll tests an extension, returning the first violation.
+func (s EndpointSpec) CheckAll(es []*element.Element) error {
+	for _, e := range es {
+		if err := s.Check(e); err != nil {
+			return fmt.Errorf("core: %v: %w", s.Endpoint, err)
+		}
+	}
+	return nil
+}
+
+// BothEndpoints builds the pair of endpoint specs for an event class
+// applied to vt⊢ and vt⊣ alike — the paper's shorthand "if the relation is
+// vt⊢-retroactive and vt⊣-retroactive, it may simply be termed retroactive."
+func BothEndpoints(ev EventSpec, basis TTBasis) [2]EndpointSpec {
+	return [2]EndpointSpec{
+		{Event: ev, Basis: basis, Endpoint: VTStart},
+		{Event: ev, Basis: basis, Endpoint: VTEnd},
+	}
+}
+
+// IntervalRegularSpec is an isolated-interval regularity specialization of
+// §3.3: the duration of each element's transaction-time and/or valid-time
+// interval is an integral multiple of the time unit (or exactly the unit,
+// for the strict variants). Unlike event regularity these properties
+// "concern durations rather than starting events", so the unit may be
+// calendric-specific, e.g. one month — covering the company-policy example
+// where hires and terminations take effect on the first or fifteenth of a
+// month.
+type IntervalRegularSpec struct {
+	class Class
+	unit  chronon.Duration
+}
+
+// Class reports the specialization's class.
+func (s IntervalRegularSpec) Class() Class { return s.class }
+
+// Unit reports the time unit.
+func (s IntervalRegularSpec) Unit() chronon.Duration { return s.unit }
+
+// String renders the spec.
+func (s IntervalRegularSpec) String() string {
+	return fmt.Sprintf("%s (Δt=%v)", s.class, s.unit)
+}
+
+func intervalRegular(class Class, unit chronon.Duration) (IntervalRegularSpec, error) {
+	if unit.IsZero() || unit.Negative() || unit.Seconds < 0 || unit.Months < 0 {
+		return IntervalRegularSpec{}, fmt.Errorf("core: %v: time unit %v must be positive", class, unit)
+	}
+	return IntervalRegularSpec{class: class, unit: unit}, nil
+}
+
+// TTIntervalRegularSpec restricts every (closed) existence interval
+// [tt⊢, tt⊣) to last an integral multiple of the unit.
+func TTIntervalRegularSpec(unit chronon.Duration) (IntervalRegularSpec, error) {
+	return intervalRegular(TTIntervalRegular, unit)
+}
+
+// VTIntervalRegularSpec restricts every valid-time interval to last an
+// integral multiple of the unit.
+func VTIntervalRegularSpec(unit chronon.Duration) (IntervalRegularSpec, error) {
+	return intervalRegular(VTIntervalRegular, unit)
+}
+
+// TemporalIntervalRegularSpec restricts both interval durations to
+// multiples of one unit.
+func TemporalIntervalRegularSpec(unit chronon.Duration) (IntervalRegularSpec, error) {
+	return intervalRegular(TemporalIntervalRegular, unit)
+}
+
+// StrictTTIntervalRegularSpec restricts every existence interval to last
+// exactly the unit (the multiple k fixed at 1).
+func StrictTTIntervalRegularSpec(unit chronon.Duration) (IntervalRegularSpec, error) {
+	return intervalRegular(StrictTTIntervalRegular, unit)
+}
+
+// StrictVTIntervalRegularSpec restricts every valid interval to last
+// exactly the unit.
+func StrictVTIntervalRegularSpec(unit chronon.Duration) (IntervalRegularSpec, error) {
+	return intervalRegular(StrictVTIntervalRegular, unit)
+}
+
+// StrictTemporalIntervalRegularSpec restricts both intervals to last
+// exactly the unit.
+func StrictTemporalIntervalRegularSpec(unit chronon.Duration) (IntervalRegularSpec, error) {
+	return intervalRegular(StrictTemporalIntervalRegular, unit)
+}
+
+// IntervalViolation reports an element whose interval duration breaks the
+// regularity.
+type IntervalViolation struct {
+	Spec   IntervalRegularSpec
+	Reason string
+}
+
+func (v *IntervalViolation) Error() string {
+	return fmt.Sprintf("core: %s violated: %s", v.Spec, v.Reason)
+}
+
+// maxCalendricSteps bounds the search when verifying that a calendric unit
+// tiles an interval; 120,000 months is ten millennia.
+const maxCalendricSteps = 120000
+
+// spansExactly reports whether repeatedly adding the unit to start reaches
+// end after exactly one step (strict) or after any positive number of steps.
+func (s IntervalRegularSpec) spansExactly(start, end chronon.Chronon, strict bool) bool {
+	if end <= start {
+		return false
+	}
+	if secs, ok := s.unit.FixedSeconds(); ok {
+		d := end.Sub(start)
+		if strict {
+			return d == secs
+		}
+		return d%secs == 0
+	}
+	c := start
+	for steps := 0; steps < maxCalendricSteps; steps++ {
+		c = s.unit.AddTo(c)
+		if c == end {
+			return !strict || steps == 0
+		}
+		if c > end {
+			return false
+		}
+	}
+	return false
+}
+
+// Check tests one element. Transaction-time regularity applies only once
+// the element has been logically deleted (the restriction concerns the
+// closed existence interval); current elements vacuously satisfy it.
+func (s IntervalRegularSpec) Check(e *element.Element) error {
+	strict := s.class >= StrictTTIntervalRegular
+	checkTT := s.class == TTIntervalRegular || s.class == TemporalIntervalRegular ||
+		s.class == StrictTTIntervalRegular || s.class == StrictTemporalIntervalRegular
+	checkVT := s.class == VTIntervalRegular || s.class == TemporalIntervalRegular ||
+		s.class == StrictVTIntervalRegular || s.class == StrictTemporalIntervalRegular
+	if checkTT && !e.Current() {
+		if !s.spansExactly(e.TTStart, e.TTEnd, strict) {
+			return &IntervalViolation{Spec: s, Reason: fmt.Sprintf(
+				"existence interval [%v, %v) is not %s of %v",
+				e.TTStart, e.TTEnd, multiplePhrase(strict), s.unit)}
+		}
+	}
+	if checkVT {
+		iv, ok := e.VT.Interval()
+		if !ok {
+			return &IntervalViolation{Spec: s, Reason: "element is event-stamped, not interval-stamped"}
+		}
+		if !s.spansExactly(iv.Start, iv.End, strict) {
+			return &IntervalViolation{Spec: s, Reason: fmt.Sprintf(
+				"valid interval %v is not %s of %v", iv, multiplePhrase(strict), s.unit)}
+		}
+	}
+	return nil
+}
+
+func multiplePhrase(strict bool) string {
+	if strict {
+		return "exactly one unit"
+	}
+	return "an integral multiple"
+}
+
+// CheckAll tests an extension, returning the first violation.
+func (s IntervalRegularSpec) CheckAll(es []*element.Element) error {
+	for _, e := range es {
+		if err := s.Check(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

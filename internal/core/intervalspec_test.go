@@ -1,0 +1,219 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/chronon"
+)
+
+func mustIR(s IntervalRegularSpec, err error) IntervalRegularSpec {
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func TestEndpointSpec(t *testing.T) {
+	// "If an interval is stored as soon as it terminates, the relation is
+	// vt⊢-retroactive and vt⊣-degenerate."
+	e := intervalElem(200, int64(chronon.Forever), 100, 200)
+	startRetro := EndpointSpec{Event: RetroactiveSpec(), Endpoint: VTStart}
+	endDegen := EndpointSpec{Event: mustSpec(DegenerateSpec(chronon.Second)), Endpoint: VTEnd}
+	if err := startRetro.Check(e); err != nil {
+		t.Errorf("vt⊢-retroactive: %v", err)
+	}
+	if err := endDegen.Check(e); err != nil {
+		t.Errorf("vt⊣-degenerate: %v", err)
+	}
+	// An interval stored before it begins fails vt⊢-retroactive.
+	future := intervalElem(50, int64(chronon.Forever), 100, 200)
+	if err := startRetro.Check(future); err == nil {
+		t.Error("future interval should fail vt⊢-retroactive")
+	}
+}
+
+func TestEndpointSpecDeletionBasis(t *testing.T) {
+	spec := EndpointSpec{Event: RetroactiveSpec(), Basis: TTDeletion, Endpoint: VTEnd}
+	cur := intervalElem(10, int64(chronon.Forever), 0, 5)
+	if err := spec.Check(cur); err != nil {
+		t.Errorf("current element should vacuously pass deletion-basis: %v", err)
+	}
+	deleted := intervalElem(10, 20, 0, 5)
+	if err := spec.Check(deleted); err != nil {
+		t.Errorf("deleted element with vt⊣ ≤ tt⊣: %v", err)
+	}
+	lateValid := intervalElem(10, 20, 0, 25)
+	if err := spec.Check(lateValid); err == nil {
+		t.Error("vt⊣ after deletion time should fail deletion-retroactive")
+	}
+}
+
+func TestBothEndpoints(t *testing.T) {
+	pair := BothEndpoints(RetroactiveSpec(), TTInsertion)
+	if pair[0].Endpoint != VTStart || pair[1].Endpoint != VTEnd {
+		t.Error("BothEndpoints endpoints wrong")
+	}
+	// "If the relation is vt⊢-retroactive and vt⊣-retroactive, it may
+	// simply be termed retroactive."
+	e := intervalElem(300, int64(chronon.Forever), 100, 200)
+	for _, s := range pair {
+		if err := s.Check(e); err != nil {
+			t.Errorf("%v: %v", s, err)
+		}
+	}
+}
+
+func TestEndpointSpecCheckAllAndString(t *testing.T) {
+	spec := EndpointSpec{Event: RetroactiveSpec(), Endpoint: VTStart}
+	good := elems(intervalElem(200, int64(chronon.Forever), 100, 300))
+	if err := spec.CheckAll(good); err != nil {
+		t.Errorf("CheckAll: %v", err)
+	}
+	bad := elems(intervalElem(50, int64(chronon.Forever), 100, 300))
+	if err := spec.CheckAll(bad); err == nil {
+		t.Error("CheckAll accepted a violation")
+	}
+	if got := spec.String(); got != "vt⊢-retroactive (insertion basis)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestVTIntervalRegular(t *testing.T) {
+	week := mustIR(VTIntervalRegularSpec(chronon.Weeks(1)))
+	one := intervalElem(0, int64(chronon.Forever), 0, 7*86400)
+	three := intervalElem(0, int64(chronon.Forever), 0, 3*7*86400)
+	ragged := intervalElem(0, int64(chronon.Forever), 0, 8*86400)
+	if err := week.Check(one); err != nil {
+		t.Errorf("one-week interval: %v", err)
+	}
+	if err := week.Check(three); err != nil {
+		t.Errorf("three-week interval: %v", err)
+	}
+	if err := week.Check(ragged); err == nil {
+		t.Error("eight-day interval accepted at weekly unit")
+	}
+	strict := mustIR(StrictVTIntervalRegularSpec(chronon.Weeks(1)))
+	if err := strict.Check(one); err != nil {
+		t.Errorf("strict one-week: %v", err)
+	}
+	if err := strict.Check(three); err == nil {
+		t.Error("strict accepted a three-week interval")
+	}
+}
+
+func TestVTIntervalRegularCalendric(t *testing.T) {
+	// The hires-and-terminations example: effective periods lasting whole
+	// calendar months.
+	mo := mustIR(VTIntervalRegularSpec(chronon.Months(1)))
+	jan := intervalElem(0, int64(chronon.Forever),
+		int64(chronon.Date(1992, 1, 1)), int64(chronon.Date(1992, 2, 1)))
+	q1 := intervalElem(0, int64(chronon.Forever),
+		int64(chronon.Date(1992, 1, 1)), int64(chronon.Date(1992, 4, 1)))
+	broken := intervalElem(0, int64(chronon.Forever),
+		int64(chronon.Date(1992, 1, 1)), int64(chronon.Date(1992, 2, 15)))
+	if err := mo.Check(jan); err != nil {
+		t.Errorf("January: %v", err)
+	}
+	if err := mo.Check(q1); err != nil {
+		t.Errorf("Q1: %v", err)
+	}
+	if err := mo.Check(broken); err == nil {
+		t.Error("six-week interval accepted at monthly unit")
+	}
+	strict := mustIR(StrictVTIntervalRegularSpec(chronon.Months(1)))
+	if err := strict.Check(jan); err != nil {
+		t.Errorf("strict January: %v", err)
+	}
+	if err := strict.Check(q1); err == nil {
+		t.Error("strict accepted a quarter")
+	}
+}
+
+func TestTTIntervalRegular(t *testing.T) {
+	day := mustIR(TTIntervalRegularSpec(chronon.Days(1)))
+	// Current elements vacuously satisfy transaction-time regularity.
+	cur := intervalElem(0, int64(chronon.Forever), 0, 100)
+	if err := day.Check(cur); err != nil {
+		t.Errorf("current element: %v", err)
+	}
+	deleted := intervalElem(0, 2*86400, 0, 100)
+	if err := day.Check(deleted); err != nil {
+		t.Errorf("two-day existence: %v", err)
+	}
+	ragged := intervalElem(0, 86400+1, 0, 100)
+	if err := day.Check(ragged); err == nil {
+		t.Error("ragged existence accepted")
+	}
+}
+
+func TestTemporalIntervalRegular(t *testing.T) {
+	spec := mustIR(TemporalIntervalRegularSpec(chronon.Days(1)))
+	both := intervalElem(0, 86400, 0, 2*86400)
+	if err := spec.Check(both); err != nil {
+		t.Errorf("both regular: %v", err)
+	}
+	vtOnly := intervalElem(0, 86400+5, 0, 2*86400)
+	if err := spec.Check(vtOnly); err == nil {
+		t.Error("irregular existence accepted by temporal interval regular")
+	}
+	ttOnly := intervalElem(0, 86400, 0, 86400+5)
+	if err := spec.Check(ttOnly); err == nil {
+		t.Error("irregular valid interval accepted by temporal interval regular")
+	}
+	strict := mustIR(StrictTemporalIntervalRegularSpec(chronon.Days(1)))
+	exact := intervalElem(0, 86400, 100, 100+86400)
+	if err := strict.Check(exact); err != nil {
+		t.Errorf("strict exact: %v", err)
+	}
+	if err := strict.Check(both); err == nil {
+		t.Error("strict accepted a two-day valid interval")
+	}
+}
+
+func TestIntervalRegularOnEventElement(t *testing.T) {
+	spec := mustIR(VTIntervalRegularSpec(chronon.Days(1)))
+	if err := spec.Check(eventElem(0, int64(chronon.Forever), 5)); err == nil {
+		t.Error("event-stamped element accepted by interval regularity")
+	}
+}
+
+func TestIntervalRegularValidation(t *testing.T) {
+	if _, err := VTIntervalRegularSpec(chronon.Duration{}); err == nil {
+		t.Error("zero unit accepted")
+	}
+	if _, err := TTIntervalRegularSpec(chronon.Seconds(-1)); err == nil {
+		t.Error("negative unit accepted")
+	}
+	if _, err := VTIntervalRegularSpec(chronon.Months(-1)); err == nil {
+		t.Error("negative calendric unit accepted")
+	}
+	if _, err := VTIntervalRegularSpec(chronon.Months(1)); err != nil {
+		t.Error("calendric unit should be allowed for interval regularity")
+	}
+}
+
+func TestIntervalRegularCheckAllAndStrings(t *testing.T) {
+	spec := mustIR(VTIntervalRegularSpec(chronon.Days(1)))
+	if spec.Class() != VTIntervalRegular {
+		t.Error("Class wrong")
+	}
+	if spec.Unit() != chronon.Days(1) {
+		t.Error("Unit wrong")
+	}
+	if !strings.Contains(spec.String(), "valid time interval regular") {
+		t.Errorf("String = %q", spec.String())
+	}
+	good := elems(intervalElem(0, int64(chronon.Forever), 0, 86400))
+	if err := spec.CheckAll(good); err != nil {
+		t.Errorf("CheckAll: %v", err)
+	}
+	bad := append(good, intervalElem(0, int64(chronon.Forever), 0, 100))
+	err := spec.CheckAll(bad)
+	if err == nil {
+		t.Fatal("CheckAll accepted irregular interval")
+	}
+	if _, ok := err.(*IntervalViolation); !ok {
+		t.Errorf("error type %T", err)
+	}
+}

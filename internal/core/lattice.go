@@ -1,0 +1,215 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The generalization/specialization structure of the taxonomy (Figures 2,
+// 3, 4, and 5). An edge parent → child means child is a specialization of
+// parent: "a relation type can be specialized into any of the successor
+// relation types, and a relation type inherits all the properties of its
+// predecessor relation types."
+//
+// Figure 2 includes only undetermined relation types; determined
+// counterparts exist for every node (attach a Mapping via DeterminedSpec).
+// Figure 5 as printed draws a representative subset of the successive-
+// transaction-time classes; here the full thirteen are placed under the
+// ordering classes their Allen relation implies (X forces vt⊢_e ≤ vt⊢_e'
+// and/or vt⊢_e ≥ vt⊢_e' for successive elements, which by transitivity
+// yields the global ordering when transaction times are unique).
+var latticeChildren = map[Class][]Class{
+	// Figure 2 — isolated events.
+	General:                      {RetroactivelyBounded, PredictivelyBounded},
+	RetroactivelyBounded:         {Predictive, StronglyBounded},
+	PredictivelyBounded:          {StronglyBounded, Retroactive},
+	Predictive:                   {EarlyPredictive, StronglyPredictivelyBounded},
+	StronglyBounded:              {StronglyPredictivelyBounded, StronglyRetroactivelyBounded},
+	Retroactive:                  {StronglyRetroactivelyBounded, DelayedRetroactive},
+	EarlyPredictive:              {EarlyStronglyPredictivelyBounded},
+	StronglyPredictivelyBounded:  {EarlyStronglyPredictivelyBounded, Degenerate},
+	StronglyRetroactivelyBounded: {Degenerate, DelayedStronglyRetroactivelyBounded},
+	DelayedRetroactive:           {DelayedStronglyRetroactivelyBounded},
+
+	// Figure 3 — inter-event orderings.
+	GloballyNonDecreasingEvents: {GloballySequentialEvents},
+
+	// Figure 4 — inter-event regularity.
+	TTEventRegular:       {TemporalEventRegular, StrictTTEventRegular},
+	VTEventRegular:       {TemporalEventRegular, StrictVTEventRegular},
+	TemporalEventRegular: {StrictTemporalEventRegular},
+	StrictTTEventRegular: {StrictTemporalEventRegular},
+	StrictVTEventRegular: {StrictTemporalEventRegular},
+
+	// §3.3 — isolated-interval regularity ("the structure is identical to
+	// that of the previous section, with 'event' replaced by 'interval'").
+	TTIntervalRegular:       {TemporalIntervalRegular, StrictTTIntervalRegular},
+	VTIntervalRegular:       {TemporalIntervalRegular, StrictVTIntervalRegular},
+	TemporalIntervalRegular: {StrictTemporalIntervalRegular},
+	StrictTTIntervalRegular: {StrictTemporalIntervalRegular},
+	StrictVTIntervalRegular: {StrictTemporalIntervalRegular},
+
+	// Figure 5 — inter-interval. Successive-transaction-time classes whose
+	// Allen relation forces starts forward sit under non-decreasing; those
+	// forcing starts backward sit under non-increasing; the equal-start
+	// relations sit under both.
+	GloballyNonDecreasingIntervals: {
+		GloballySequentialIntervals,
+		STBefore, STMeets, STOverlaps, STContains, STFinishedBy,
+		STStarts, STStartedBy, STEqual,
+	},
+	GloballyNonIncreasingIntervals: {
+		STAfter, STMetBy, STOverlappedBy, STDuring, STFinishes,
+		STStarts, STStartedBy, STEqual,
+	},
+}
+
+// latticeExtraGeneralChildren lists the roots of the non-event taxonomies,
+// all of which specialize the general relation directly.
+var latticeExtraGeneralChildren = []Class{
+	GloballyNonDecreasingEvents, GloballyNonIncreasingEvents,
+	TTEventRegular, VTEventRegular,
+	TTIntervalRegular, VTIntervalRegular,
+	GloballyNonDecreasingIntervals, GloballyNonIncreasingIntervals,
+}
+
+// Children returns the immediate specializations of a class.
+func Children(c Class) []Class {
+	out := append([]Class(nil), latticeChildren[c]...)
+	if c == General {
+		out = append(out, latticeExtraGeneralChildren...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Parents returns the immediate generalizations of a class.
+func Parents(c Class) []Class {
+	var out []Class
+	for _, p := range Classes() {
+		for _, ch := range Children(p) {
+			if ch == c {
+				out = append(out, p)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Ancestors returns every strict generalization of c, in ascending class
+// order.
+func Ancestors(c Class) []Class {
+	seen := make(map[Class]bool)
+	var walk func(Class)
+	walk = func(x Class) {
+		for _, p := range Parents(x) {
+			if !seen[p] {
+				seen[p] = true
+				walk(p)
+			}
+		}
+	}
+	walk(c)
+	return setToSlice(seen)
+}
+
+// Descendants returns every strict specialization of c, in ascending class
+// order.
+func Descendants(c Class) []Class {
+	seen := make(map[Class]bool)
+	var walk func(Class)
+	walk = func(x Class) {
+		for _, ch := range Children(x) {
+			if !seen[ch] {
+				seen[ch] = true
+				walk(ch)
+			}
+		}
+	}
+	walk(c)
+	return setToSlice(seen)
+}
+
+// IsSpecializationOf reports whether c is (reflexively, transitively) a
+// specialization of p: an extension of class c has every property of p.
+func IsSpecializationOf(c, p Class) bool {
+	if c == p {
+		return true
+	}
+	for _, a := range Ancestors(c) {
+		if a == p {
+			return true
+		}
+	}
+	return false
+}
+
+// MostSpecific filters a set of satisfied classes down to the ones with no
+// satisfied strict specialization — the tightest description of an
+// extension within the taxonomy.
+func MostSpecific(classes []Class) []Class {
+	in := make(map[Class]bool, len(classes))
+	for _, c := range classes {
+		in[c] = true
+	}
+	var out []Class
+	for _, c := range classes {
+		dominated := false
+		for _, d := range Descendants(c) {
+			if in[d] {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func setToSlice(seen map[Class]bool) []Class {
+	out := make([]Class, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RenderLattice renders the generalization/specialization structure of one
+// category as an indented tree rooted at General, reproducing the figure
+// for that category (Figure 2, 3, 4, or 5; CategoryIntervalRegular renders
+// the §3.3 structure).
+func RenderLattice(cat Category) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s taxonomy\n", cat)
+	expanded := make(map[Class]bool)
+	var walk func(c Class, depth int)
+	walk = func(c Class, depth int) {
+		indent := strings.Repeat("  ", depth)
+		if expanded[c] {
+			// Diamond in the lattice: the node was expanded under an
+			// earlier parent; show it again without repeating its subtree.
+			fmt.Fprintf(&b, "%s%s ^\n", indent, c)
+			return
+		}
+		expanded[c] = true
+		fmt.Fprintf(&b, "%s%s\n", indent, c)
+		for _, ch := range Children(c) {
+			if ch.Category() == cat {
+				walk(ch, depth+1)
+			}
+		}
+	}
+	fmt.Fprintln(&b, "general")
+	for _, ch := range Children(General) {
+		if ch.Category() == cat {
+			walk(ch, 1)
+		}
+	}
+	return b.String()
+}

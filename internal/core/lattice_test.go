@@ -1,0 +1,224 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/chronon"
+)
+
+func TestFigure2Edges(t *testing.T) {
+	// The generalization/specialization structure of the event-based
+	// taxonomy, exactly as Figure 2 draws it.
+	edges := map[Class][]Class{
+		General:                      {RetroactivelyBounded, PredictivelyBounded},
+		RetroactivelyBounded:         {Predictive, StronglyBounded},
+		PredictivelyBounded:          {StronglyBounded, Retroactive},
+		Predictive:                   {EarlyPredictive, StronglyPredictivelyBounded},
+		StronglyBounded:              {StronglyPredictivelyBounded, StronglyRetroactivelyBounded},
+		Retroactive:                  {StronglyRetroactivelyBounded, DelayedRetroactive},
+		EarlyPredictive:              {EarlyStronglyPredictivelyBounded},
+		StronglyPredictivelyBounded:  {EarlyStronglyPredictivelyBounded, Degenerate},
+		StronglyRetroactivelyBounded: {Degenerate, DelayedStronglyRetroactivelyBounded},
+		DelayedRetroactive:           {DelayedStronglyRetroactivelyBounded},
+	}
+	for parent, children := range edges {
+		got := Children(parent)
+		for _, want := range children {
+			found := false
+			for _, c := range got {
+				if c == want {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("Children(%v) lacks %v", parent, want)
+			}
+		}
+	}
+	// Leaves of Figure 2 have no event-class children.
+	for _, leaf := range []Class{EarlyStronglyPredictivelyBounded, Degenerate, DelayedStronglyRetroactivelyBounded} {
+		for _, c := range Children(leaf) {
+			if c.Category() == CategoryIsolatedEvent {
+				t.Errorf("leaf %v has event child %v", leaf, c)
+			}
+		}
+	}
+}
+
+func TestLatticeEdgesAreSemanticallySound(t *testing.T) {
+	// Every Figure 2 edge parent → child must be a true implication: any
+	// stamp satisfying the child spec satisfies the parent spec *for
+	// suitably related parameters*. The parameters below nest correctly:
+	// inner bounds at 10s, outer bounds at 30s, so each child's region is
+	// contained in every ancestor's region.
+	specs := map[Class]EventSpec{
+		General:                             GeneralSpec(),
+		Retroactive:                         RetroactiveSpec(),
+		Predictive:                          PredictiveSpec(),
+		DelayedRetroactive:                  mustSpec(DelayedRetroactiveSpec(chronon.Seconds(10))),
+		EarlyPredictive:                     mustSpec(EarlyPredictiveSpec(chronon.Seconds(10))),
+		RetroactivelyBounded:                mustSpec(RetroactivelyBoundedSpec(chronon.Seconds(30))),
+		PredictivelyBounded:                 mustSpec(PredictivelyBoundedSpec(chronon.Seconds(30))),
+		StronglyRetroactivelyBounded:        mustSpec(StronglyRetroactivelyBoundedSpec(chronon.Seconds(30))),
+		StronglyPredictivelyBounded:         mustSpec(StronglyPredictivelyBoundedSpec(chronon.Seconds(30))),
+		DelayedStronglyRetroactivelyBounded: mustSpec(DelayedStronglyRetroactivelyBoundedSpec(chronon.Seconds(10), chronon.Seconds(30))),
+		EarlyStronglyPredictivelyBounded:    mustSpec(EarlyStronglyPredictivelyBoundedSpec(chronon.Seconds(10), chronon.Seconds(30))),
+		StronglyBounded:                     mustSpec(StronglyBoundedSpec(chronon.Seconds(30), chronon.Seconds(30))),
+		Degenerate:                          mustSpec(DegenerateSpec(chronon.Second)),
+	}
+	for child, spec := range specs {
+		for _, parent := range Ancestors(child) {
+			pSpec, ok := specs[parent]
+			if !ok || parent.Category() != CategoryIsolatedEvent {
+				continue
+			}
+			for off := int64(-60); off <= 60; off++ {
+				st := Stamp{TT: 1000, VT: chronon.Chronon(1000 + off)}
+				if spec.Check(st) == nil && pSpec.Check(st) != nil {
+					t.Errorf("edge unsound: %v passes %v but fails ancestor %v at offset %d",
+						st, child, parent, off)
+				}
+			}
+		}
+	}
+}
+
+func TestAncestorsDescendants(t *testing.T) {
+	anc := Ancestors(Degenerate)
+	wantAnc := []Class{General, Retroactive, Predictive, RetroactivelyBounded,
+		StronglyRetroactivelyBounded, PredictivelyBounded,
+		StronglyPredictivelyBounded, StronglyBounded}
+	if len(anc) != len(wantAnc) {
+		t.Fatalf("Ancestors(Degenerate) = %v, want %v", anc, wantAnc)
+	}
+	for i, a := range wantAnc {
+		if anc[i] != a {
+			t.Errorf("Ancestors(Degenerate)[%d] = %v, want %v", i, anc[i], a)
+		}
+	}
+	desc := Descendants(Retroactive)
+	wantDesc := map[Class]bool{
+		DelayedRetroactive: true, StronglyRetroactivelyBounded: true,
+		Degenerate: true, DelayedStronglyRetroactivelyBounded: true,
+	}
+	if len(desc) != len(wantDesc) {
+		t.Fatalf("Descendants(Retroactive) = %v", desc)
+	}
+	for _, d := range desc {
+		if !wantDesc[d] {
+			t.Errorf("unexpected descendant %v", d)
+		}
+	}
+}
+
+func TestIsSpecializationOf(t *testing.T) {
+	cases := []struct {
+		c, p Class
+		want bool
+	}{
+		{Degenerate, General, true},
+		{Degenerate, Retroactive, true},
+		{Degenerate, Predictive, true},
+		{Degenerate, Degenerate, true},
+		{Retroactive, Predictive, false},
+		{General, Degenerate, false},
+		{GloballySequentialEvents, GloballyNonDecreasingEvents, true},
+		{GloballySequentialEvents, GloballyNonIncreasingEvents, false},
+		{StrictTemporalEventRegular, TTEventRegular, true},
+		{StrictTemporalEventRegular, VTEventRegular, true},
+		{TemporalEventRegular, StrictTTEventRegular, false},
+		{StrictTemporalIntervalRegular, VTIntervalRegular, true},
+		{STMeets, GloballyNonDecreasingIntervals, true},
+		{STAfter, GloballyNonIncreasingIntervals, true},
+		{STEqual, GloballyNonDecreasingIntervals, true},
+		{STEqual, GloballyNonIncreasingIntervals, true},
+		{GloballySequentialIntervals, GloballyNonDecreasingIntervals, true},
+		{STBefore, GloballyNonIncreasingIntervals, false},
+	}
+	for _, c := range cases {
+		if got := IsSpecializationOf(c.c, c.p); got != c.want {
+			t.Errorf("IsSpecializationOf(%v, %v) = %v, want %v", c.c, c.p, got, c.want)
+		}
+	}
+}
+
+func TestEveryClassDescendsFromGeneral(t *testing.T) {
+	for _, c := range Classes() {
+		if c == General {
+			continue
+		}
+		if !IsSpecializationOf(c, General) {
+			t.Errorf("%v does not descend from general", c)
+		}
+	}
+}
+
+func TestLatticeIsAcyclic(t *testing.T) {
+	for _, c := range Classes() {
+		for _, d := range Descendants(c) {
+			if d == c {
+				t.Errorf("cycle through %v", c)
+			}
+		}
+	}
+}
+
+func TestMostSpecific(t *testing.T) {
+	got := MostSpecific([]Class{General, Retroactive, StronglyRetroactivelyBounded, PredictivelyBounded})
+	if len(got) != 1 || got[0] != StronglyRetroactivelyBounded {
+		t.Errorf("MostSpecific = %v", got)
+	}
+	// Two incomparable classes both survive.
+	got = MostSpecific([]Class{General, Retroactive, GloballySequentialEvents})
+	want := map[Class]bool{Retroactive: true, GloballySequentialEvents: true}
+	if len(got) != 2 {
+		t.Fatalf("MostSpecific = %v", got)
+	}
+	for _, c := range got {
+		if !want[c] {
+			t.Errorf("unexpected %v", c)
+		}
+	}
+	if got := MostSpecific(nil); len(got) != 0 {
+		t.Errorf("MostSpecific(nil) = %v", got)
+	}
+}
+
+func TestParentsInverseOfChildren(t *testing.T) {
+	for _, p := range Classes() {
+		for _, c := range Children(p) {
+			found := false
+			for _, q := range Parents(c) {
+				if q == p {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("Parents(%v) lacks %v", c, p)
+			}
+		}
+	}
+}
+
+func TestRenderLattice(t *testing.T) {
+	for _, cat := range []Category{CategoryIsolatedEvent, CategoryInterEventOrder,
+		CategoryInterEventRegular, CategoryIntervalRegular, CategoryInterInterval} {
+		out := RenderLattice(cat)
+		if !strings.Contains(out, "general") {
+			t.Errorf("%v lattice lacks general root:\n%s", cat, out)
+		}
+	}
+	ev := RenderLattice(CategoryIsolatedEvent)
+	for _, want := range []string{"retroactively bounded", "degenerate", "strongly bounded"} {
+		if !strings.Contains(ev, want) {
+			t.Errorf("event lattice lacks %q:\n%s", want, ev)
+		}
+	}
+	ii := RenderLattice(CategoryInterInterval)
+	if !strings.Contains(ii, "globally contiguous") {
+		t.Errorf("inter-interval lattice lacks contiguous:\n%s", ii)
+	}
+}

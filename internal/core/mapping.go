@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/chronon"
+	"repro/internal/element"
+)
+
+// Mapping is the paper's mapping function m (§3.1): it computes a valid
+// time-stamp from an element's other attributes — "excluding vt, but
+// including the surrogate and transaction time-stamp attributes". A
+// temporal relation is determined when such a function correctly computes
+// the valid time-stamps of all its elements; the database can then derive
+// vt instead of storing it.
+type Mapping struct {
+	// Name identifies the mapping in diagnostics, e.g. "m1(Δt=30s)".
+	Name string
+	// Fn computes the valid time from the element. Implementations must
+	// not read e.VT.
+	Fn func(e *element.Element) chronon.Chronon
+}
+
+// M1 is the paper's m1(e) = tt⊢ + Δt: valid after a fixed delay.
+func M1(dt chronon.Duration) Mapping {
+	return Mapping{
+		Name: fmt.Sprintf("m1(Δt=%v)", dt),
+		Fn:   func(e *element.Element) chronon.Chronon { return dt.AddTo(e.TTStart) },
+	}
+}
+
+// M2 is the paper's m2(e) = ⌊tt⊢ − Δt⌋ʰʳˢ: valid from the most recent hour
+// (before a fixed offset).
+func M2(dt chronon.Duration) Mapping {
+	return Mapping{
+		Name: fmt.Sprintf("m2(Δt=%v)", dt),
+		Fn: func(e *element.Element) chronon.Chronon {
+			return chronon.Hour.Truncate(dt.SubFrom(e.TTStart))
+		},
+	}
+}
+
+// M3 is the paper's m3(e) = ⌈tt⊢⌉ᵈᵃʸ + 8ʰʳˢ: valid from the next closest
+// 8:00 a.m. — relevant to banking deposits effective the next business day.
+func M3() Mapping {
+	return Mapping{
+		Name: "m3",
+		Fn: func(e *element.Element) chronon.Chronon {
+			return chronon.Day.Ceil(e.TTStart).Add(8 * 3600)
+		},
+	}
+}
+
+// DeterminedSpec is a determined specialization of §3.1: the relation's
+// valid time-stamps are exactly those computed by the mapping function, and
+// the computed stamps additionally satisfy the base event specialization.
+// With Base = GeneralSpec() this is the plain "determined" relation; with
+// Base = RetroactiveSpec() it is "retroactively determined"
+// (vt = m(e) ∧ m(e) ≤ tt), and so on for every event class — the paper's
+// "determined counterparts for all the undetermined specialized temporal
+// relations".
+type DeterminedSpec struct {
+	M        Mapping
+	Base     EventSpec
+	Basis    TTBasis
+	Endpoint VTEndpoint
+}
+
+// String renders the spec.
+func (s DeterminedSpec) String() string {
+	if s.Base.Class() == General {
+		return fmt.Sprintf("determined with %s", s.M.Name)
+	}
+	return fmt.Sprintf("%s determined with %s", s.Base, s.M.Name)
+}
+
+// Check verifies that the element's valid time equals the mapping's output
+// and that the output satisfies the base specialization relative to the
+// element's transaction time under the chosen basis.
+func (s DeterminedSpec) Check(e *element.Element) error {
+	st, ok := StampOf(e, s.Basis, s.Endpoint)
+	if !ok {
+		return nil // no stamp under this basis yet (e.g. not deleted)
+	}
+	want := s.M.Fn(e)
+	if st.VT != want {
+		return &DeterminedViolation{Spec: s, Got: st.VT, Want: want}
+	}
+	if err := s.Base.Check(Stamp{TT: st.TT, VT: want}); err != nil {
+		return fmt.Errorf("core: determined base violated: %w", err)
+	}
+	return nil
+}
+
+// CheckAll verifies an extension, returning the first violation.
+func (s DeterminedSpec) CheckAll(es []*element.Element) error {
+	for _, e := range es {
+		if err := s.Check(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Determine infers whether a candidate mapping determines the extension:
+// it returns nil if vt = m(e) for every element (under the spec's basis and
+// endpoint). A relation is undetermined if no such function exists; in
+// practice one tests the candidates the application suggests.
+func Determine(m Mapping, es []*element.Element, basis TTBasis, p VTEndpoint) error {
+	return DeterminedSpec{M: m, Base: GeneralSpec(), Basis: basis, Endpoint: p}.CheckAll(es)
+}
+
+// DeterminedViolation reports an element whose stored valid time disagrees
+// with the mapping function.
+type DeterminedViolation struct {
+	Spec DeterminedSpec
+	Got  chronon.Chronon
+	Want chronon.Chronon
+}
+
+func (v *DeterminedViolation) Error() string {
+	return fmt.Sprintf("core: %s violated: stored vt %v, computed %v", v.Spec, v.Got, v.Want)
+}

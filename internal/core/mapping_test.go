@@ -1,0 +1,116 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/chronon"
+)
+
+func TestMappingM1(t *testing.T) {
+	m := M1(chronon.Seconds(30))
+	e := eventElem(100, int64(chronon.Forever), 0)
+	if got := m.Fn(e); got != 130 {
+		t.Errorf("m1 = %v, want 130", got)
+	}
+	if !strings.Contains(m.Name, "m1") {
+		t.Errorf("name %q", m.Name)
+	}
+}
+
+func TestMappingM2(t *testing.T) {
+	// m2(e) = ⌊tt⊢ − Δt⌋ hours: valid from the most recent hour.
+	m := M2(chronon.Seconds(600))
+	e := eventElem(int64(chronon.DateTime(1992, 1, 1, 10, 30, 0)), int64(chronon.Forever), 0)
+	want := chronon.DateTime(1992, 1, 1, 10, 0, 0) // 10:20 floored to the hour
+	if got := m.Fn(e); got != want {
+		t.Errorf("m2 = %v, want %v", got, want)
+	}
+}
+
+func TestMappingM3(t *testing.T) {
+	// m3(e) = ⌈tt⊢⌉ day + 8h: the next closest 8:00 a.m.
+	m := M3()
+	e := eventElem(int64(chronon.DateTime(1992, 1, 1, 15, 0, 0)), int64(chronon.Forever), 0)
+	want := chronon.DateTime(1992, 1, 2, 8, 0, 0)
+	if got := m.Fn(e); got != want {
+		t.Errorf("m3 = %v, want %v", got, want)
+	}
+	// A deposit at exactly midnight is valid the same day at 8:00.
+	e2 := eventElem(int64(chronon.Date(1992, 1, 5)), int64(chronon.Forever), 0)
+	want2 := chronon.DateTime(1992, 1, 5, 8, 0, 0)
+	if got := m.Fn(e2); got != want2 {
+		t.Errorf("m3 at midnight = %v, want %v", got, want2)
+	}
+}
+
+func TestDeterminedSpecCheck(t *testing.T) {
+	m := M1(chronon.Seconds(30))
+	spec := DeterminedSpec{M: m, Base: GeneralSpec()}
+	good := eventElem(100, int64(chronon.Forever), 130)
+	if err := spec.Check(good); err != nil {
+		t.Errorf("determined element rejected: %v", err)
+	}
+	bad := eventElem(100, int64(chronon.Forever), 131)
+	err := spec.Check(bad)
+	if err == nil {
+		t.Fatal("non-determined element accepted")
+	}
+	if _, ok := err.(*DeterminedViolation); !ok {
+		t.Errorf("error type %T", err)
+	}
+}
+
+func TestDeterminedWithBase(t *testing.T) {
+	// Predictively determined: vt = m(e) ∧ m(e) ≥ tt. M1 with positive
+	// delay is predictive by construction; M2 (past hour) is retroactive.
+	predictive := DeterminedSpec{M: M1(chronon.Seconds(30)), Base: PredictiveSpec()}
+	if err := predictive.Check(eventElem(100, int64(chronon.Forever), 130)); err != nil {
+		t.Errorf("predictively determined rejected: %v", err)
+	}
+	retro := DeterminedSpec{M: M2(chronon.Seconds(0)), Base: RetroactiveSpec()}
+	tt := chronon.DateTime(1992, 1, 1, 10, 30, 0)
+	vt := chronon.DateTime(1992, 1, 1, 10, 0, 0)
+	if err := retro.Check(eventElem(int64(tt), int64(chronon.Forever), int64(vt))); err != nil {
+		t.Errorf("retroactively determined rejected: %v", err)
+	}
+	// A mapping violating the base: m1 under a retroactive base.
+	wrongBase := DeterminedSpec{M: M1(chronon.Seconds(30)), Base: RetroactiveSpec()}
+	if err := wrongBase.Check(eventElem(100, int64(chronon.Forever), 130)); err == nil {
+		t.Error("base violation accepted")
+	}
+}
+
+func TestDeterminedCheckAllAndDetermine(t *testing.T) {
+	m := M1(chronon.Seconds(10))
+	es := elems(
+		eventElem(100, int64(chronon.Forever), 110),
+		eventElem(200, int64(chronon.Forever), 210),
+	)
+	if err := Determine(m, es, TTInsertion, VTStart); err != nil {
+		t.Errorf("Determine: %v", err)
+	}
+	es = append(es, eventElem(300, int64(chronon.Forever), 999))
+	if err := Determine(m, es, TTInsertion, VTStart); err == nil {
+		t.Error("undetermined extension accepted")
+	}
+}
+
+func TestDeterminedDeletionBasisSkipsCurrent(t *testing.T) {
+	spec := DeterminedSpec{M: M1(chronon.Seconds(0)), Base: GeneralSpec(), Basis: TTDeletion}
+	cur := eventElem(100, int64(chronon.Forever), 42)
+	if err := spec.Check(cur); err != nil {
+		t.Errorf("current element should vacuously satisfy deletion-basis spec: %v", err)
+	}
+}
+
+func TestDeterminedString(t *testing.T) {
+	plain := DeterminedSpec{M: M3(), Base: GeneralSpec()}
+	if got := plain.String(); got != "determined with m3" {
+		t.Errorf("String = %q", got)
+	}
+	based := DeterminedSpec{M: M3(), Base: PredictiveSpec()}
+	if got := based.String(); got != "predictive determined with m3" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/chronon"
+)
+
+// TestEventSpecMatchesRegionArithmetic cross-checks every bounded event
+// predicate against direct offset arithmetic: for fixed bounds, Check must
+// accept exactly lower ≤ vt−tt ≤ upper.
+func TestEventSpecMatchesRegionArithmetic(t *testing.T) {
+	specs := allEventSpecs(t)
+	f := func(ttRaw int32, offRaw int16) bool {
+		tt := chronon.Chronon(int64(ttRaw))
+		off := int64(offRaw) % 100
+		st := Stamp{TT: tt, VT: tt.Add(off)}
+		for cls, spec := range specs {
+			if cls == Degenerate {
+				if (spec.Check(st) == nil) != (off == 0) {
+					return false
+				}
+				continue
+			}
+			lower, upper := spec.Bounds()
+			want := true
+			if lower != nil {
+				lo, _ := lower.FixedSeconds()
+				want = want && off >= lo
+			}
+			if upper != nil {
+				hi, _ := upper.FixedSeconds()
+				want = want && off <= hi
+			}
+			if (spec.Check(st) == nil) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMostSpecificIdempotent: filtering twice changes nothing, and the
+// result is an antichain (no member specializes another).
+func TestMostSpecificIdempotent(t *testing.T) {
+	f := func(raw []uint8) bool {
+		var classes []Class
+		for _, r := range raw {
+			classes = append(classes, Class(int(r)%int(numClasses)))
+		}
+		once := MostSpecific(classes)
+		twice := MostSpecific(once)
+		if len(once) != len(twice) {
+			return false
+		}
+		for i := range once {
+			if once[i] != twice[i] {
+				return false
+			}
+		}
+		for _, a := range once {
+			for _, b := range once {
+				if a != b && IsSpecializationOf(a, b) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAncestorsDescendantsDual: b ∈ Ancestors(a) iff a ∈ Descendants(b).
+func TestAncestorsDescendantsDual(t *testing.T) {
+	for _, a := range Classes() {
+		for _, b := range Ancestors(a) {
+			found := false
+			for _, d := range Descendants(b) {
+				if d == a {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("%v ∈ Ancestors(%v) but %v ∉ Descendants(%v)", b, a, a, b)
+			}
+		}
+	}
+}
+
+// TestInferenceSoundness: every class Classify reports is actually
+// satisfied by the extension, checked against the batch predicates with
+// the synthesized parameters where the class is parameterless.
+func TestInferenceSoundness(t *testing.T) {
+	f := func(seed int64) bool {
+		// Build a random monotone-tt extension.
+		n := 20
+		stamps := make([]Stamp, n)
+		x := seed
+		next := func() int64 {
+			x = x*6364136223846793005 + 1442695040888963407
+			return x >> 33
+		}
+		tt := chronon.Chronon(0)
+		for i := range stamps {
+			tt = tt.Add(1 + (next()%50+50)%50)
+			stamps[i] = Stamp{TT: tt, VT: tt.Add((next() % 200) - 100)}
+		}
+		got := InferEventClasses(stamps, chronon.Second)
+		for _, fi := range got {
+			switch fi.Class {
+			case Retroactive:
+				if RetroactiveSpec().CheckAll(stamps) != nil {
+					return false
+				}
+			case Predictive:
+				if PredictiveSpec().CheckAll(stamps) != nil {
+					return false
+				}
+			case General, Degenerate:
+			}
+		}
+		inter := InferInterEventClasses(stamps)
+		for _, fi := range inter {
+			switch fi.Class {
+			case GloballySequentialEvents:
+				if SequentialEventsSpec().CheckAll(stamps) != nil {
+					return false
+				}
+			case GloballyNonDecreasingEvents:
+				if NonDecreasingEventsSpec().CheckAll(stamps) != nil {
+					return false
+				}
+			case GloballyNonIncreasingEvents:
+				if NonIncreasingEventsSpec().CheckAll(stamps) != nil {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

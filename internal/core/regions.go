@@ -1,0 +1,243 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/chronon"
+)
+
+// This file models Figure 1 — the regions of the two-dimensional
+// (transaction time, valid time) space that the isolated-event
+// specializations restrict stamps to — and the completeness argument of
+// §3.1: under the paper's five assumptions (undetermined relationships,
+// boundaries parallel to the line vt = tt, relative restrictions only,
+// ≤-versions, connected regions), at most two boundary lines describe any
+// region, yielding exactly eleven specialized relations plus the general
+// one.
+
+// BoundSign classifies a boundary line vt = tt + δ by the sign of its
+// offset δ — the three kinds of line of §3.1: (1) δ > 0, (2) δ = 0,
+// (3) δ < 0.
+type BoundSign int8
+
+// The three line types.
+const (
+	OffsetNegative BoundSign = -1 // vt = tt − δ, δ > 0
+	OffsetZero     BoundSign = 0  // vt = tt
+	OffsetPositive BoundSign = 1  // vt = tt + δ, δ > 0
+)
+
+// String names the line type.
+func (s BoundSign) String() string {
+	switch s {
+	case OffsetNegative:
+		return "vt = tt − Δt"
+	case OffsetZero:
+		return "vt = tt"
+	case OffsetPositive:
+		return "vt = tt + Δt"
+	}
+	return fmt.Sprintf("BoundSign(%d)", int8(s))
+}
+
+// Region is a connected region of the (tt, vt) plane bounded by at most two
+// lines parallel to vt = tt: { (tt, vt) : lo ≤ vt − tt ≤ hi }, where either
+// bound may be absent and only the signs of lo and hi matter for
+// classification.
+type Region struct {
+	HasLower bool
+	Lower    BoundSign // sign of lo when HasLower
+	HasUpper bool
+	Upper    BoundSign // sign of hi when HasUpper
+}
+
+// Lines reports how many boundary lines the region uses.
+func (r Region) Lines() int {
+	n := 0
+	if r.HasLower {
+		n++
+	}
+	if r.HasUpper {
+		n++
+	}
+	return n
+}
+
+// Feasible reports whether the region is non-degenerate: with two bounds it
+// must admit lo < hi, which the sign pair must not contradict. Two lines of
+// the same non-zero sign are feasible (two distinct parallel lines on the
+// same side of vt = tt); two zero lines are not (they coincide).
+func (r Region) Feasible() bool {
+	if !r.HasLower || !r.HasUpper {
+		return true
+	}
+	if r.Lower > r.Upper {
+		return false
+	}
+	if r.Lower == r.Upper {
+		return r.Lower != OffsetZero
+	}
+	return true
+}
+
+// Class maps a feasible region to its specialization class, reproducing the
+// §3.1 case analysis: zero lines give the general relation; one line gives
+// six classes (two sides × three line types); two lines give five.
+func (r Region) Class() (Class, bool) {
+	if !r.Feasible() {
+		return 0, false
+	}
+	switch {
+	case !r.HasLower && !r.HasUpper:
+		return General, true
+	case r.HasLower && !r.HasUpper:
+		switch r.Lower {
+		case OffsetPositive:
+			return EarlyPredictive, true
+		case OffsetZero:
+			return Predictive, true
+		default:
+			return RetroactivelyBounded, true
+		}
+	case !r.HasLower && r.HasUpper:
+		switch r.Upper {
+		case OffsetPositive:
+			return PredictivelyBounded, true
+		case OffsetZero:
+			return Retroactive, true
+		default:
+			return DelayedRetroactive, true
+		}
+	}
+	switch [2]BoundSign{r.Lower, r.Upper} {
+	case [2]BoundSign{OffsetPositive, OffsetPositive}:
+		return EarlyStronglyPredictivelyBounded, true
+	case [2]BoundSign{OffsetZero, OffsetPositive}:
+		return StronglyPredictivelyBounded, true
+	case [2]BoundSign{OffsetNegative, OffsetPositive}:
+		return StronglyBounded, true
+	case [2]BoundSign{OffsetNegative, OffsetZero}:
+		return StronglyRetroactivelyBounded, true
+	case [2]BoundSign{OffsetNegative, OffsetNegative}:
+		return DelayedStronglyRetroactivelyBounded, true
+	}
+	return 0, false
+}
+
+// Region reports the Figure 1 region of an event specialization. Degenerate
+// has no two-dimensional region: it is the limiting line vt = tt itself and
+// lies outside the completeness enumeration; ok is false for it.
+func (s EventSpec) Region() (Region, bool) {
+	if s.class == Degenerate {
+		return Region{}, false
+	}
+	var r Region
+	if s.lower != nil {
+		r.HasLower = true
+		r.Lower = offsetSign(*s.lower)
+	}
+	if s.upper != nil {
+		r.HasUpper = true
+		r.Upper = offsetSign(*s.upper)
+	}
+	return r, true
+}
+
+func offsetSign(d chronon.Duration) BoundSign {
+	switch {
+	case d.IsZero():
+		return OffsetZero
+	case d.Negative():
+		return OffsetNegative
+	default:
+		return OffsetPositive
+	}
+}
+
+// Completeness is the result of enumerating all feasible regions: the count
+// per number of boundary lines and the classes realized.
+type Completeness struct {
+	ZeroLines int
+	OneLine   int
+	TwoLines  int
+	Classes   []Class
+}
+
+// Specializations reports the number of specialized (non-general) relation
+// types realized — the paper's "total of eleven types".
+func (c Completeness) Specializations() int {
+	return c.ZeroLines + c.OneLine + c.TwoLines - 1
+}
+
+// EnumerateRegions performs the completeness enumeration of §3.1:
+// it generates every region describable with zero, one, or two boundary
+// lines drawn from the three line types, discards infeasible sign pairs,
+// and maps the survivors to classes. The paper's count — 1 (general) +
+// 6 (one line) + 5 (two lines) = 12 region types, i.e. eleven specialized
+// relations — falls out of the enumeration.
+func EnumerateRegions() Completeness {
+	signs := []BoundSign{OffsetNegative, OffsetZero, OffsetPositive}
+	var regions []Region
+	// Zero lines.
+	regions = append(regions, Region{})
+	// One line, used as a lower or an upper bound.
+	for _, s := range signs {
+		regions = append(regions,
+			Region{HasLower: true, Lower: s},
+			Region{HasUpper: true, Upper: s})
+	}
+	// Two lines.
+	for _, lo := range signs {
+		for _, hi := range signs {
+			regions = append(regions, Region{HasLower: true, Lower: lo, HasUpper: true, Upper: hi})
+		}
+	}
+
+	var out Completeness
+	seen := make(map[Class]bool)
+	for _, r := range regions {
+		cls, ok := r.Class()
+		if !ok {
+			continue
+		}
+		if seen[cls] {
+			continue // the same class cannot arise from two region shapes
+		}
+		seen[cls] = true
+		out.Classes = append(out.Classes, cls)
+		switch r.Lines() {
+		case 0:
+			out.ZeroLines++
+		case 1:
+			out.OneLine++
+		default:
+			out.TwoLines++
+		}
+	}
+	return out
+}
+
+// RenderRegion draws the specialization's region as an ASCII plot over a
+// size×size corner of the (tt, vt) plane — a textual reproduction of one
+// panel of Figure 1. '#' marks permitted stamps, '·' forbidden ones; the
+// horizontal axis is tt, the vertical axis vt (increasing upward).
+func RenderRegion(s EventSpec, size int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", s)
+	for vt := size - 1; vt >= 0; vt-- {
+		b.WriteString("vt ")
+		for tt := 0; tt < size; tt++ {
+			if s.Check(Stamp{TT: chronon.Chronon(tt), VT: chronon.Chronon(vt)}) == nil {
+				b.WriteByte('#')
+			} else {
+				b.WriteString("·")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("   ")
+	b.WriteString(strings.Repeat("-", size))
+	b.WriteString(" tt\n")
+	return b.String()
+}

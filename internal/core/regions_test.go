@@ -1,0 +1,181 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/chronon"
+)
+
+func TestCompletenessEnumeration(t *testing.T) {
+	// Claim C1, the paper's completeness argument: "With zero lines ... a
+	// general temporal event relation. With one line, there are two
+	// distinct regions for each of the three line-types, resulting in six
+	// distinct specialized temporal event relations ... With two lines,
+	// there are five possibilities ... The result is a total of eleven
+	// types of specialized temporal relations."
+	c := EnumerateRegions()
+	if c.ZeroLines != 1 {
+		t.Errorf("zero-line regions = %d, want 1", c.ZeroLines)
+	}
+	if c.OneLine != 6 {
+		t.Errorf("one-line regions = %d, want 6", c.OneLine)
+	}
+	if c.TwoLines != 5 {
+		t.Errorf("two-line regions = %d, want 5", c.TwoLines)
+	}
+	if got := c.Specializations(); got != 11 {
+		t.Errorf("specializations = %d, want 11", got)
+	}
+	if len(c.Classes) != 12 {
+		t.Errorf("distinct classes = %d, want 12", len(c.Classes))
+	}
+	// The twelve classes are exactly the event classes minus degenerate.
+	want := make(map[Class]bool)
+	for _, cls := range EventClasses() {
+		if cls != Degenerate {
+			want[cls] = true
+		}
+	}
+	for _, cls := range c.Classes {
+		if !want[cls] {
+			t.Errorf("unexpected class %v in enumeration", cls)
+		}
+		delete(want, cls)
+	}
+	for cls := range want {
+		t.Errorf("class %v missing from enumeration", cls)
+	}
+}
+
+func TestRegionFeasibility(t *testing.T) {
+	cases := []struct {
+		r    Region
+		want bool
+	}{
+		{Region{}, true},
+		{Region{HasLower: true, Lower: OffsetZero}, true},
+		{Region{HasLower: true, Lower: OffsetNegative, HasUpper: true, Upper: OffsetPositive}, true},
+		{Region{HasLower: true, Lower: OffsetNegative, HasUpper: true, Upper: OffsetNegative}, true},
+		{Region{HasLower: true, Lower: OffsetPositive, HasUpper: true, Upper: OffsetPositive}, true},
+		{Region{HasLower: true, Lower: OffsetZero, HasUpper: true, Upper: OffsetZero}, false},
+		{Region{HasLower: true, Lower: OffsetPositive, HasUpper: true, Upper: OffsetZero}, false},
+		{Region{HasLower: true, Lower: OffsetPositive, HasUpper: true, Upper: OffsetNegative}, false},
+		{Region{HasLower: true, Lower: OffsetZero, HasUpper: true, Upper: OffsetNegative}, false},
+	}
+	for _, c := range cases {
+		if got := c.r.Feasible(); got != c.want {
+			t.Errorf("Feasible(%+v) = %v, want %v", c.r, got, c.want)
+		}
+	}
+	if _, ok := (Region{HasLower: true, Lower: OffsetPositive, HasUpper: true, Upper: OffsetZero}).Class(); ok {
+		t.Error("infeasible region classified")
+	}
+}
+
+func TestSpecRegionsMatchClassifier(t *testing.T) {
+	// Every event spec's region must classify back to the spec's own class.
+	specs := allEventSpecs(t)
+	for cls, spec := range specs {
+		r, ok := spec.Region()
+		if cls == Degenerate {
+			if ok {
+				t.Error("degenerate should have no 2D region")
+			}
+			continue
+		}
+		if !ok {
+			t.Errorf("%v has no region", cls)
+			continue
+		}
+		got, ok := r.Class()
+		if !ok || got != cls {
+			t.Errorf("region of %v classifies to %v (ok=%v)", cls, got, ok)
+		}
+	}
+}
+
+func TestBoundSignString(t *testing.T) {
+	if OffsetZero.String() != "vt = tt" {
+		t.Errorf("OffsetZero = %q", OffsetZero.String())
+	}
+	if !strings.Contains(OffsetNegative.String(), "−") || !strings.Contains(OffsetPositive.String(), "+") {
+		t.Error("offset line names wrong")
+	}
+	if BoundSign(5).String() != "BoundSign(5)" {
+		t.Error("fallback name wrong")
+	}
+}
+
+func TestRegionLines(t *testing.T) {
+	if (Region{}).Lines() != 0 {
+		t.Error("empty region has lines")
+	}
+	if (Region{HasLower: true}).Lines() != 1 {
+		t.Error("one-bound region line count wrong")
+	}
+	if (Region{HasLower: true, HasUpper: true}).Lines() != 2 {
+		t.Error("two-bound region line count wrong")
+	}
+}
+
+func TestRenderRegion(t *testing.T) {
+	// The retroactive panel of Figure 1: everything on or below vt = tt.
+	out := RenderRegion(RetroactiveSpec(), 4)
+	if !strings.Contains(out, "retroactive") {
+		t.Errorf("render lacks title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// lines[0] title, lines[1..4] vt=3..0, lines[5] axis.
+	if len(lines) != 6 {
+		t.Fatalf("render has %d lines:\n%s", len(lines), out)
+	}
+	// At vt=0 (bottom row) every tt ≥ 0 passes.
+	if got := strings.Count(lines[4], "#"); got != 4 {
+		t.Errorf("bottom row has %d #, want 4:\n%s", got, out)
+	}
+	// At vt=3 (top row) only tt=3 passes.
+	if got := strings.Count(lines[1], "#"); got != 1 {
+		t.Errorf("top row has %d #, want 1:\n%s", got, out)
+	}
+	// The general panel is all '#'.
+	gen := RenderRegion(GeneralSpec(), 3)
+	if strings.Contains(gen, "·") {
+		t.Errorf("general region has forbidden cells:\n%s", gen)
+	}
+}
+
+func TestRenderRegionAllClasses(t *testing.T) {
+	// Smoke-test every panel of Figure 1 (and the degenerate limit): each
+	// must contain at least one permitted and, except general, one
+	// forbidden cell over a 30×30 grid (Δt values are 10 and 30).
+	for cls, spec := range allEventSpecs(t) {
+		out := RenderRegion(spec, 31)
+		hasAllowed := strings.Contains(out, "#")
+		hasForbidden := strings.Contains(out, "·")
+		if !hasAllowed {
+			t.Errorf("%v panel has no permitted cells", cls)
+		}
+		if cls != General && !hasForbidden {
+			t.Errorf("%v panel has no forbidden cells", cls)
+		}
+	}
+}
+
+func TestOffsetSign(t *testing.T) {
+	if offsetSign(chronon.Duration{}) != OffsetZero {
+		t.Error("zero offset sign wrong")
+	}
+	if offsetSign(chronon.Seconds(-5)) != OffsetNegative {
+		t.Error("negative offset sign wrong")
+	}
+	if offsetSign(chronon.Seconds(5)) != OffsetPositive {
+		t.Error("positive offset sign wrong")
+	}
+	if offsetSign(chronon.Months(1)) != OffsetPositive {
+		t.Error("calendric positive offset sign wrong")
+	}
+	if offsetSign(chronon.Months(-1)) != OffsetNegative {
+		t.Error("calendric negative offset sign wrong")
+	}
+}

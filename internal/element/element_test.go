@@ -1,0 +1,144 @@
+package element
+
+import (
+	"testing"
+
+	"repro/internal/chronon"
+	"repro/internal/interval"
+)
+
+func TestTimestampEvent(t *testing.T) {
+	ts := EventAt(42)
+	if !ts.IsEvent() || ts.Kind() != EventStamp {
+		t.Error("EventAt should build an event stamp")
+	}
+	if c, ok := ts.Event(); !ok || c != 42 {
+		t.Errorf("Event = %v, %v", c, ok)
+	}
+	if _, ok := ts.Interval(); ok {
+		t.Error("Interval on event stamp should fail")
+	}
+	if ts.Start() != 42 || ts.End() != 42 {
+		t.Errorf("Start/End = %v/%v", ts.Start(), ts.End())
+	}
+	if !ts.Covers(42) || ts.Covers(43) {
+		t.Error("Covers misbehaves for events")
+	}
+}
+
+func TestTimestampInterval(t *testing.T) {
+	ts := SpanOf(10, 20)
+	if ts.IsEvent() || ts.Kind() != IntervalStamp {
+		t.Error("SpanOf should build an interval stamp")
+	}
+	if iv, ok := ts.Interval(); !ok || iv != interval.Of(10, 20) {
+		t.Errorf("Interval = %v, %v", iv, ok)
+	}
+	if _, ok := ts.Event(); ok {
+		t.Error("Event on interval stamp should fail")
+	}
+	if ts.Start() != 10 || ts.End() != 20 {
+		t.Errorf("Start/End = %v/%v", ts.Start(), ts.End())
+	}
+	if !ts.Covers(10) || !ts.Covers(19) || ts.Covers(20) || ts.Covers(9) {
+		t.Error("Covers misbehaves for intervals")
+	}
+}
+
+func TestSpanEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty span should panic")
+		}
+	}()
+	SpanOf(5, 5)
+}
+
+func TestTimestampKindString(t *testing.T) {
+	if EventStamp.String() != "event" || IntervalStamp.String() != "interval" {
+		t.Error("kind names wrong")
+	}
+	if TimestampKind(9).String() != "TimestampKind(9)" {
+		t.Error("out-of-range kind name wrong")
+	}
+}
+
+func TestElementExistenceAndPresence(t *testing.T) {
+	e := &Element{ES: 1, OS: 2, TTStart: 100, TTEnd: chronon.Forever, VT: EventAt(50)}
+	if !e.Current() {
+		t.Error("element with Forever end should be current")
+	}
+	if !e.PresentAt(100) || !e.PresentAt(1<<40) || e.PresentAt(99) {
+		t.Error("PresentAt misbehaves for current element")
+	}
+	e.TTEnd = 200
+	if e.Current() {
+		t.Error("deleted element reported current")
+	}
+	if !e.PresentAt(199) || e.PresentAt(200) {
+		t.Error("PresentAt misbehaves at deletion boundary")
+	}
+	if got := e.Existence(); got != interval.Of(100, 200) {
+		t.Errorf("Existence = %v", got)
+	}
+}
+
+func TestElementValidAt(t *testing.T) {
+	ev := &Element{VT: EventAt(50)}
+	if !ev.ValidAt(50) || ev.ValidAt(51) {
+		t.Error("ValidAt misbehaves for event element")
+	}
+	iv := &Element{VT: SpanOf(10, 20)}
+	if !iv.ValidAt(15) || iv.ValidAt(20) {
+		t.Error("ValidAt misbehaves for interval element")
+	}
+}
+
+func TestElementClone(t *testing.T) {
+	e := &Element{
+		ES: 1, OS: 2, TTStart: 10, TTEnd: chronon.Forever,
+		VT:        SpanOf(0, 5),
+		Invariant: []Value{String_("ssn-1")},
+		Varying:   []Value{Int(7)},
+		UserTimes: []chronon.Chronon{99},
+	}
+	c := e.Clone()
+	if c == e {
+		t.Fatal("Clone returned the same pointer")
+	}
+	c.Invariant[0] = String_("changed")
+	c.Varying[0] = Int(8)
+	c.UserTimes[0] = 1
+	if s, _ := e.Invariant[0].Str(); s != "ssn-1" {
+		t.Error("Clone shares invariant slice")
+	}
+	if i, _ := e.Varying[0].IntVal(); i != 7 {
+		t.Error("Clone shares varying slice")
+	}
+	if e.UserTimes[0] != 99 {
+		t.Error("Clone shares user-times slice")
+	}
+}
+
+func TestElementString(t *testing.T) {
+	e := &Element{ES: 1, OS: 2, TTStart: 0, TTEnd: chronon.Forever, VT: EventAt(0),
+		Invariant: []Value{Int(1)}, Varying: []Value{Int(2)}}
+	s := e.String()
+	if s == "" {
+		t.Error("String empty")
+	}
+	for _, want := range []string{"σ1", "σ2", "forever", "inv=", "var="} {
+		if !contains(s, want) {
+			t.Errorf("String %q missing %q", s, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

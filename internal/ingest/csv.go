@@ -1,0 +1,87 @@
+// Package ingest parses external descriptions of relation extensions —
+// the CSV format consumed by cmd/classify. One element per line:
+//
+//	tt,vt          an event element
+//	tt,vts,vte     an interval element (half-open valid interval)
+//
+// Times are integer chronons or "YYYY-MM-DD[ HH:MM:SS]" date-times. Lines
+// starting with '#' and blank lines are skipped. An optional leading
+// "os=<n>" column assigns the element to an object partition.
+package ingest
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/chronon"
+	"repro/internal/element"
+	"repro/internal/surrogate"
+)
+
+// CSV parses an extension. It returns the elements in input order and the
+// per-surrogate partitioning.
+func CSV(r io.Reader) ([]*element.Element, map[surrogate.Surrogate][]*element.Element, error) {
+	sc := bufio.NewScanner(r)
+	var elems []*element.Element
+	parts := make(map[surrogate.Surrogate][]*element.Element)
+	var es uint64
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		os := surrogate.Surrogate(1)
+		if strings.HasPrefix(strings.TrimSpace(fields[0]), "os=") {
+			n, err := strconv.ParseUint(strings.TrimPrefix(strings.TrimSpace(fields[0]), "os="), 10, 64)
+			if err != nil || n == 0 {
+				return nil, nil, fmt.Errorf("ingest: line %d: bad object surrogate %q", lineNo, fields[0])
+			}
+			os = surrogate.Surrogate(n)
+			fields = fields[1:]
+		}
+		times := make([]chronon.Chronon, 0, 3)
+		for _, f := range fields {
+			c, err := Time(strings.TrimSpace(f))
+			if err != nil {
+				return nil, nil, fmt.Errorf("ingest: line %d: %v", lineNo, err)
+			}
+			times = append(times, c)
+		}
+		es++
+		e := &element.Element{ES: surrogate.Surrogate(es), OS: os, TTEnd: chronon.Forever}
+		switch len(times) {
+		case 2:
+			e.TTStart = times[0]
+			e.VT = element.EventAt(times[1])
+		case 3:
+			if times[2] <= times[1] {
+				return nil, nil, fmt.Errorf("ingest: line %d: empty or inverted interval [%v, %v)", lineNo, times[1], times[2])
+			}
+			e.TTStart = times[0]
+			e.VT = element.SpanOf(times[1], times[2])
+		default:
+			return nil, nil, fmt.Errorf("ingest: line %d: want 2 or 3 time columns, got %d", lineNo, len(times))
+		}
+		elems = append(elems, e)
+		parts[os] = append(parts[os], e)
+	}
+	return elems, parts, sc.Err()
+}
+
+// Time parses an integer chronon or a civil date-time.
+func Time(s string) (chronon.Chronon, error) {
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return chronon.Chronon(n), nil
+	}
+	cv, err := chronon.ParseCivil(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad time %q", s)
+	}
+	return cv.Chronon(), nil
+}

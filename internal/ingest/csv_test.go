@@ -1,0 +1,122 @@
+package ingest
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/chronon"
+)
+
+func TestCSVEvents(t *testing.T) {
+	in := `
+# monitoring trace
+100,95
+200,190
+
+300,280
+`
+	elems, parts, err := CSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(elems) != 3 {
+		t.Fatalf("elements = %d", len(elems))
+	}
+	if elems[0].TTStart != 100 {
+		t.Errorf("tt = %v", elems[0].TTStart)
+	}
+	if vt, ok := elems[0].VT.Event(); !ok || vt != 95 {
+		t.Errorf("vt = %v, %v", vt, ok)
+	}
+	if len(parts) != 1 || len(parts[1]) != 3 {
+		t.Errorf("partitions = %v", parts)
+	}
+	// Surrogates unique and sequential.
+	for i, e := range elems {
+		if int(e.ES) != i+1 {
+			t.Errorf("es[%d] = %v", i, e.ES)
+		}
+		if !e.Current() {
+			t.Errorf("element %d not current", i)
+		}
+	}
+}
+
+func TestCSVIntervalsAndPartitions(t *testing.T) {
+	in := `os=7,100,0,50
+os=8,200,50,100
+os=7,300,50,100`
+	elems, parts, err := CSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(elems) != 3 || len(parts) != 2 {
+		t.Fatalf("elems %d, parts %d", len(elems), len(parts))
+	}
+	iv, ok := elems[0].VT.Interval()
+	if !ok || iv.Start != 0 || iv.End != 50 {
+		t.Errorf("interval = %v, %v", iv, ok)
+	}
+	if len(parts[7]) != 2 || len(parts[8]) != 1 {
+		t.Errorf("partition sizes wrong")
+	}
+}
+
+func TestCSVDateTimes(t *testing.T) {
+	in := `1992-02-03,1992-02-03 00:00:30
+1992-02-04,1992-02-03 23:59:00`
+	elems, _, err := CSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elems[0].TTStart != chronon.Date(1992, 2, 3) {
+		t.Errorf("tt = %v", elems[0].TTStart)
+	}
+	if vt, _ := elems[0].VT.Event(); vt != chronon.DateTime(1992, 2, 3, 0, 0, 30) {
+		t.Errorf("vt = %v", vt)
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	bad := []string{
+		"100",
+		"100,200,300,400",
+		"x,200",
+		"100,y",
+		"os=zero,100,200",
+		"os=0,100,200",
+		"100,50,50",
+		"100,60,50",
+		"1992-13-01,5",
+	}
+	for _, in := range bad {
+		if _, _, err := CSV(strings.NewReader(in)); err == nil {
+			t.Errorf("CSV(%q) succeeded", in)
+		}
+	}
+}
+
+func TestCSVEmptyInput(t *testing.T) {
+	elems, parts, err := CSV(strings.NewReader("# only comments\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(elems) != 0 || len(parts) != 0 {
+		t.Errorf("empty input produced %d elements", len(elems))
+	}
+}
+
+func TestTimeParser(t *testing.T) {
+	if c, err := Time("42"); err != nil || c != 42 {
+		t.Errorf("Time(42) = %v, %v", c, err)
+	}
+	if c, err := Time("-42"); err != nil || c != -42 {
+		t.Errorf("Time(-42) = %v, %v", c, err)
+	}
+	if c, err := Time("1970-01-02"); err != nil || c != 86400 {
+		t.Errorf("Time(date) = %v, %v", c, err)
+	}
+	if _, err := Time("not-a-time"); err == nil {
+		t.Error("garbage accepted")
+	}
+}

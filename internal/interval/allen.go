@@ -1,0 +1,205 @@
+package interval
+
+import "fmt"
+
+// Relation is one of Allen's thirteen qualitative relations between two
+// intervals [All83], as enumerated in §3.4 of the paper: "before, meets,
+// overlaps, during, starts, finishes, equal, and the inverse relationships
+// for all but equal".
+//
+// The relations here are defined over non-empty half-open intervals. With
+// half-open intervals, a Meets b means a.End == b.Start (the end of one
+// element coincides with the start of the next — the paper's "globally
+// contiguous" property).
+type Relation uint8
+
+// The thirteen relations. The first six have inverses obtained by adding
+// the inverse offset; Equal is its own inverse.
+const (
+	Before   Relation = iota // a entirely precedes b, with a gap
+	Meets                    // a ends exactly where b starts
+	Overlaps                 // a starts first, they overlap, b ends last
+	Starts                   // same start, a ends first
+	During                   // a strictly inside b
+	Finishes                 // same end, a starts last
+	Equal                    // identical endpoints
+
+	After        // inverse of Before
+	MetBy        // inverse of Meets
+	OverlappedBy // inverse of Overlaps
+	StartedBy    // inverse of Starts
+	Contains     // inverse of During
+	FinishedBy   // inverse of Finishes
+
+	NumRelations = 13
+)
+
+var relationNames = [NumRelations]string{
+	"before", "meets", "overlaps", "starts", "during", "finishes", "equal",
+	"after", "met-by", "overlapped-by", "started-by", "contains", "finished-by",
+}
+
+// String names the relation as in the paper ("before", "meets", ..., with
+// the inverses hyphenated: "met-by", "overlapped-by", ...).
+func (r Relation) String() string {
+	if r >= NumRelations {
+		return fmt.Sprintf("Relation(%d)", uint8(r))
+	}
+	return relationNames[r]
+}
+
+// ParseRelation parses a relation name as produced by String. The paper's
+// "inverse X" phrasing ("inverse before") is also accepted.
+func ParseRelation(s string) (Relation, error) {
+	for r, name := range relationNames {
+		if s == name {
+			return Relation(r), nil
+		}
+	}
+	if len(s) > 8 && s[:8] == "inverse " {
+		base, err := ParseRelation(s[8:])
+		if err == nil {
+			return base.Inverse(), nil
+		}
+	}
+	return 0, fmt.Errorf("interval: unknown Allen relation %q", s)
+}
+
+// Inverse returns the converse relation: a R b iff b R.Inverse() a.
+func (r Relation) Inverse() Relation {
+	switch {
+	case r == Equal:
+		return Equal
+	case r < Equal:
+		return r + 7
+	default:
+		return r - 7
+	}
+}
+
+// Relations lists all thirteen relations in enumeration order.
+func Relations() []Relation {
+	rs := make([]Relation, NumRelations)
+	for i := range rs {
+		rs[i] = Relation(i)
+	}
+	return rs
+}
+
+// Relate classifies the pair (a, b) into exactly one of the thirteen
+// relations. Both intervals must be non-empty; Relate panics otherwise,
+// since Allen's algebra is undefined for empty intervals.
+func Relate(a, b Interval) Relation {
+	if a.Empty() || b.Empty() {
+		panic("interval: Relate on empty interval")
+	}
+	switch {
+	case a.End < b.Start:
+		return Before
+	case a.End == b.Start:
+		return Meets
+	case b.End < a.Start:
+		return After
+	case b.End == a.Start:
+		return MetBy
+	}
+	// The intervals share at least one chronon.
+	ss := a.Start.Compare(b.Start)
+	ee := a.End.Compare(b.End)
+	switch {
+	case ss == 0 && ee == 0:
+		return Equal
+	case ss == 0 && ee < 0:
+		return Starts
+	case ss == 0: // ee > 0
+		return StartedBy
+	case ee == 0 && ss > 0:
+		return Finishes
+	case ee == 0: // ss < 0
+		return FinishedBy
+	case ss > 0 && ee < 0:
+		return During
+	case ss < 0 && ee > 0:
+		return Contains
+	case ss < 0: // ee < 0, overlapping
+		return Overlaps
+	default: // ss > 0, ee > 0
+		return OverlappedBy
+	}
+}
+
+// Holds reports whether a r b.
+func Holds(r Relation, a, b Interval) bool { return Relate(a, b) == r }
+
+// RelationSet is a bit set of Allen relations, used for composition results
+// (composing two relations generally yields a disjunction of relations).
+type RelationSet uint16
+
+// SetOf builds a set from individual relations.
+func SetOf(rs ...Relation) RelationSet {
+	var s RelationSet
+	for _, r := range rs {
+		s |= 1 << r
+	}
+	return s
+}
+
+// FullSet is the set of all thirteen relations.
+const FullSet RelationSet = 1<<NumRelations - 1
+
+// Has reports whether the set contains r.
+func (s RelationSet) Has(r Relation) bool { return s&(1<<r) != 0 }
+
+// Add returns the set with r included.
+func (s RelationSet) Add(r Relation) RelationSet { return s | 1<<r }
+
+// Union returns the union of the two sets.
+func (s RelationSet) Union(t RelationSet) RelationSet { return s | t }
+
+// Intersect returns the intersection of the two sets.
+func (s RelationSet) Intersect(t RelationSet) RelationSet { return s & t }
+
+// Len returns the number of relations in the set.
+func (s RelationSet) Len() int {
+	n := 0
+	for r := Relation(0); r < NumRelations; r++ {
+		if s.Has(r) {
+			n++
+		}
+	}
+	return n
+}
+
+// Inverse returns the set of inverses of the members of s.
+func (s RelationSet) Inverse() RelationSet {
+	var out RelationSet
+	for r := Relation(0); r < NumRelations; r++ {
+		if s.Has(r) {
+			out = out.Add(r.Inverse())
+		}
+	}
+	return out
+}
+
+// Members lists the relations in the set in enumeration order.
+func (s RelationSet) Members() []Relation {
+	var out []Relation
+	for r := Relation(0); r < NumRelations; r++ {
+		if s.Has(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// String renders the set as "{before, meets}".
+func (s RelationSet) String() string {
+	out := "{"
+	for i, r := range s.Members() {
+		if i > 0 {
+			out += ", "
+		}
+		out += r.String()
+	}
+	return out + "}"
+}

@@ -1,0 +1,245 @@
+package interval
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// The canonical examples for each of the thirteen relations, with a = the
+// first interval and b = the second.
+var relationExamples = []struct {
+	r    Relation
+	a, b Interval
+}{
+	{Before, Of(0, 2), Of(4, 6)},
+	{Meets, Of(0, 4), Of(4, 6)},
+	{Overlaps, Of(0, 4), Of(2, 6)},
+	{Starts, Of(0, 2), Of(0, 6)},
+	{During, Of(2, 4), Of(0, 6)},
+	{Finishes, Of(4, 6), Of(0, 6)},
+	{Equal, Of(0, 6), Of(0, 6)},
+	{After, Of(4, 6), Of(0, 2)},
+	{MetBy, Of(4, 6), Of(0, 4)},
+	{OverlappedBy, Of(2, 6), Of(0, 4)},
+	{StartedBy, Of(0, 6), Of(0, 2)},
+	{Contains, Of(0, 6), Of(2, 4)},
+	{FinishedBy, Of(0, 6), Of(4, 6)},
+}
+
+func TestRelateExamples(t *testing.T) {
+	for _, ex := range relationExamples {
+		if got := Relate(ex.a, ex.b); got != ex.r {
+			t.Errorf("Relate(%v, %v) = %v, want %v", ex.a, ex.b, got, ex.r)
+		}
+		if !Holds(ex.r, ex.a, ex.b) {
+			t.Errorf("Holds(%v, %v, %v) = false", ex.r, ex.a, ex.b)
+		}
+	}
+}
+
+func TestRelateIsTotalAndExclusive(t *testing.T) {
+	// Every pair of non-empty intervals satisfies exactly one relation.
+	const points = 8
+	for as := int64(0); as < points; as++ {
+		for ae := as + 1; ae <= points; ae++ {
+			for bs := int64(0); bs < points; bs++ {
+				for be := bs + 1; be <= points; be++ {
+					a, b := Of(as, ae), Of(bs, be)
+					r := Relate(a, b)
+					count := 0
+					for _, s := range Relations() {
+						if Holds(s, a, b) {
+							count++
+						}
+					}
+					if count != 1 {
+						t.Fatalf("Relate(%v, %v): %d relations hold, want 1 (%v)", a, b, count, r)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestInverseInvolution(t *testing.T) {
+	for _, r := range Relations() {
+		if got := r.Inverse().Inverse(); got != r {
+			t.Errorf("%v.Inverse().Inverse() = %v", r, got)
+		}
+	}
+	if Equal.Inverse() != Equal {
+		t.Error("Equal must be its own inverse")
+	}
+	pairs := map[Relation]Relation{
+		Before: After, Meets: MetBy, Overlaps: OverlappedBy,
+		Starts: StartedBy, During: Contains, Finishes: FinishedBy,
+	}
+	for r, inv := range pairs {
+		if r.Inverse() != inv {
+			t.Errorf("%v.Inverse() = %v, want %v", r, r.Inverse(), inv)
+		}
+	}
+}
+
+func TestRelateInverseProperty(t *testing.T) {
+	f := func(as, al, bs, bl uint8) bool {
+		a := Of(int64(as), int64(as)+int64(al%32)+1)
+		b := Of(int64(bs), int64(bs)+int64(bl%32)+1)
+		return Relate(a, b).Inverse() == Relate(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRelateEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Relate on empty interval should panic")
+		}
+	}()
+	Relate(Of(1, 1), Of(0, 5))
+}
+
+func TestRelationString(t *testing.T) {
+	cases := map[Relation]string{
+		Before: "before", Meets: "meets", OverlappedBy: "overlapped-by",
+		Equal: "equal", FinishedBy: "finished-by",
+	}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", r, got, want)
+		}
+	}
+	if got := Relation(42).String(); got != "Relation(42)" {
+		t.Errorf("out-of-range String = %q", got)
+	}
+}
+
+func TestParseRelation(t *testing.T) {
+	for _, r := range Relations() {
+		got, err := ParseRelation(r.String())
+		if err != nil || got != r {
+			t.Errorf("ParseRelation(%q) = %v, %v", r.String(), got, err)
+		}
+	}
+	// The paper's "inverse X" phrasing.
+	if got, err := ParseRelation("inverse before"); err != nil || got != After {
+		t.Errorf("ParseRelation(inverse before) = %v, %v", got, err)
+	}
+	if got, err := ParseRelation("inverse finishes"); err != nil || got != FinishedBy {
+		t.Errorf("ParseRelation(inverse finishes) = %v, %v", got, err)
+	}
+	if _, err := ParseRelation("sideways"); err == nil {
+		t.Error("ParseRelation(sideways) should fail")
+	}
+}
+
+func TestRelationSetOps(t *testing.T) {
+	s := SetOf(Before, Meets)
+	if !s.Has(Before) || !s.Has(Meets) || s.Has(After) {
+		t.Error("SetOf membership wrong")
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	s2 := s.Add(After)
+	if !s2.Has(After) || s2.Len() != 3 {
+		t.Error("Add failed")
+	}
+	if got := s.Union(SetOf(After)); got != s2 {
+		t.Error("Union failed")
+	}
+	if got := s2.Intersect(SetOf(After, Equal)); got != SetOf(After) {
+		t.Error("Intersect failed")
+	}
+	if got := SetOf(Before, Starts).Inverse(); got != SetOf(After, StartedBy) {
+		t.Errorf("set Inverse = %v", got)
+	}
+	if FullSet.Len() != NumRelations {
+		t.Errorf("FullSet.Len() = %d", FullSet.Len())
+	}
+	if got := SetOf(Before, Meets).String(); got != "{before, meets}" {
+		t.Errorf("set String = %q", got)
+	}
+	members := SetOf(Equal, Before).Members()
+	if len(members) != 2 || members[0] != Before || members[1] != Equal {
+		t.Errorf("Members = %v", members)
+	}
+}
+
+func TestComposeIdentity(t *testing.T) {
+	// Equal is the identity of the algebra: compose(Equal, r) = {r}.
+	for _, r := range Relations() {
+		if got := Compose(Equal, r); got != SetOf(r) {
+			t.Errorf("Compose(equal, %v) = %v, want {%v}", r, got, r)
+		}
+		if got := Compose(r, Equal); got != SetOf(r) {
+			t.Errorf("Compose(%v, equal) = %v, want {%v}", r, got, r)
+		}
+	}
+}
+
+func TestComposeKnownEntries(t *testing.T) {
+	// Classic entries from Allen's table.
+	if got := Compose(Before, Before); got != SetOf(Before) {
+		t.Errorf("before;before = %v", got)
+	}
+	if got := Compose(Meets, Meets); got != SetOf(Before) {
+		t.Errorf("meets;meets = %v", got)
+	}
+	if got := Compose(During, During); got != SetOf(During) {
+		t.Errorf("during;during = %v", got)
+	}
+	if got := Compose(Before, After); got != FullSet {
+		t.Errorf("before;after = %v, want full set", got)
+	}
+	if got := Compose(Overlaps, Overlaps); got != SetOf(Before, Meets, Overlaps) {
+		t.Errorf("overlaps;overlaps = %v", got)
+	}
+	if got := Compose(Meets, During); got != SetOf(Overlaps, Starts, During) {
+		t.Errorf("meets;during = %v", got)
+	}
+}
+
+func TestComposeSoundAndComplete(t *testing.T) {
+	// Soundness: for random triples with a r b and b s c, Relate(a, c) must
+	// be in Compose(r, s). Completeness over a domain is established by
+	// construction (the table is built by enumeration); this test guards the
+	// construction with an independent random check on a wider domain.
+	rng := rand.New(rand.NewSource(7))
+	iv := func() Interval {
+		s := int64(rng.Intn(100))
+		return Of(s, s+1+int64(rng.Intn(40)))
+	}
+	for i := 0; i < 20000; i++ {
+		a, b, c := iv(), iv(), iv()
+		r, s := Relate(a, b), Relate(b, c)
+		if !Compose(r, s).Has(Relate(a, c)) {
+			t.Fatalf("compose unsound: a=%v b=%v c=%v r=%v s=%v rel(a,c)=%v set=%v",
+				a, b, c, r, s, Relate(a, c), Compose(r, s))
+		}
+	}
+}
+
+func TestComposeInverseLaw(t *testing.T) {
+	// inv(r ; s) == inv(s) ; inv(r)
+	for _, r := range Relations() {
+		for _, s := range Relations() {
+			if got, want := Compose(r, s).Inverse(), Compose(s.Inverse(), r.Inverse()); got != want {
+				t.Errorf("inverse law fails for (%v, %v): %v vs %v", r, s, got, want)
+			}
+		}
+	}
+}
+
+func TestComposeNonEmpty(t *testing.T) {
+	for _, r := range Relations() {
+		for _, s := range Relations() {
+			if Compose(r, s) == 0 {
+				t.Errorf("Compose(%v, %v) is empty", r, s)
+			}
+		}
+	}
+}

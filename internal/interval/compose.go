@@ -1,0 +1,40 @@
+package interval
+
+import "sync"
+
+// Compose returns Allen's composition of r and s: the set of relations that
+// can hold between intervals a and c given that a r b and b s c for some
+// interval b. The full 13x13 composition table is derived once, on first
+// use, by exhaustive enumeration of endpoint configurations.
+//
+// Three intervals have at most six distinct endpoints, so enumerating all
+// interval triples over a ten-point domain realizes every qualitative
+// configuration and therefore yields the exact table.
+func Compose(r, s Relation) RelationSet {
+	composeOnce.Do(buildComposeTable)
+	return composeTable[r][s]
+}
+
+var (
+	composeOnce  sync.Once
+	composeTable [NumRelations][NumRelations]RelationSet
+)
+
+func buildComposeTable() {
+	const points = 10
+	var ivs []Interval
+	for s := int64(0); s < points; s++ {
+		for e := s + 1; e <= points; e++ {
+			ivs = append(ivs, Of(s, e))
+		}
+	}
+	for _, a := range ivs {
+		for _, b := range ivs {
+			r := Relate(a, b)
+			for _, c := range ivs {
+				s := Relate(b, c)
+				composeTable[r][s] = composeTable[r][s].Add(Relate(a, c))
+			}
+		}
+	}
+}

@@ -1,0 +1,92 @@
+// Package interval implements half-open time intervals over the chronon
+// domain together with Allen's thirteen interval relations.
+//
+// The inter-interval taxonomy of the paper (§3.4) distinguishes temporal
+// relations where elements successive in transaction time have valid-time
+// intervals related "in one of the 13 possible ways of ordering two
+// intervals" [All83]. This package provides those thirteen relations, their
+// inverses, and the composition algebra, so the taxonomy's
+// successive-transaction-time-X classes can be expressed for any X.
+package interval
+
+import (
+	"fmt"
+
+	"repro/internal/chronon"
+)
+
+// Interval is a half-open span of time [Start, End). The paper's valid-time
+// interval time-stamp [vt⊢, vt⊣) uses exactly this convention, as does the
+// transaction-time existence interval [tt⊢, tt⊣).
+type Interval struct {
+	Start chronon.Chronon // inclusive
+	End   chronon.Chronon // exclusive
+}
+
+// Make constructs the interval [start, end). It panics if end < start; an
+// empty interval (start == end) is permitted but relates to nothing.
+func Make(start, end chronon.Chronon) Interval {
+	if end < start {
+		panic(fmt.Sprintf("interval: end %v before start %v", end, start))
+	}
+	return Interval{Start: start, End: end}
+}
+
+// Of is a convenience constructor from raw chronon values.
+func Of(start, end int64) Interval {
+	return Make(chronon.Chronon(start), chronon.Chronon(end))
+}
+
+// Empty reports whether the interval contains no chronons.
+func (iv Interval) Empty() bool { return iv.Start >= iv.End }
+
+// Valid reports whether the interval is well formed (Start <= End).
+func (iv Interval) Valid() bool { return iv.Start <= iv.End }
+
+// Duration returns the length of the interval in chronons (seconds).
+func (iv Interval) Duration() int64 { return iv.End.Sub(iv.Start) }
+
+// Contains reports whether the chronon c lies within [Start, End).
+func (iv Interval) Contains(c chronon.Chronon) bool {
+	return iv.Start <= c && c < iv.End
+}
+
+// Overlaps reports whether the two intervals share at least one chronon.
+// (This is plain set intersection, not Allen's "overlaps" relation; use
+// Relate for the latter.)
+func (iv Interval) Overlaps(other Interval) bool {
+	return iv.Start < other.End && other.Start < iv.End
+}
+
+// Intersect returns the common sub-interval of iv and other and whether it
+// is non-empty.
+func (iv Interval) Intersect(other Interval) (Interval, bool) {
+	s := chronon.Max(iv.Start, other.Start)
+	e := chronon.Min(iv.End, other.End)
+	if s >= e {
+		return Interval{}, false
+	}
+	return Interval{Start: s, End: e}, true
+}
+
+// Hull returns the smallest interval covering both iv and other.
+func (iv Interval) Hull(other Interval) Interval {
+	return Interval{
+		Start: chronon.Min(iv.Start, other.Start),
+		End:   chronon.Max(iv.End, other.End),
+	}
+}
+
+// Equal reports whether the two intervals have identical endpoints.
+func (iv Interval) Equal(other Interval) bool { return iv == other }
+
+// String renders the interval as "[start, end)".
+func (iv Interval) String() string {
+	return fmt.Sprintf("[%v, %v)", iv.Start, iv.End)
+}
+
+// At returns the degenerate "instant" interval [c, c+1) covering exactly one
+// chronon.
+func At(c chronon.Chronon) Interval {
+	return Interval{Start: c, End: c.Add(1)}
+}

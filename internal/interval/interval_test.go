@@ -1,0 +1,94 @@
+package interval
+
+import (
+	"testing"
+
+	"repro/internal/chronon"
+)
+
+func TestMakePanicsOnInverted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Make(5, 3) should panic")
+		}
+	}()
+	Of(5, 3)
+}
+
+func TestEmptyAndValid(t *testing.T) {
+	if !Of(3, 3).Empty() {
+		t.Error("[3,3) should be empty")
+	}
+	if Of(3, 4).Empty() {
+		t.Error("[3,4) should be non-empty")
+	}
+	if !Of(3, 3).Valid() || !Of(3, 9).Valid() {
+		t.Error("well-formed intervals reported invalid")
+	}
+	if (Interval{Start: 5, End: 3}).Valid() {
+		t.Error("inverted interval reported valid")
+	}
+}
+
+func TestDuration(t *testing.T) {
+	if got := Of(10, 40).Duration(); got != 30 {
+		t.Errorf("Duration = %d, want 30", got)
+	}
+	if got := Of(10, 10).Duration(); got != 0 {
+		t.Errorf("Duration = %d, want 0", got)
+	}
+}
+
+func TestContains(t *testing.T) {
+	iv := Of(10, 20)
+	cases := []struct {
+		c    chronon.Chronon
+		want bool
+	}{
+		{9, false}, {10, true}, {15, true}, {19, true}, {20, false}, {21, false},
+	}
+	for _, c := range cases {
+		if got := iv.Contains(c.c); got != c.want {
+			t.Errorf("Contains(%d) = %v, want %v", c.c, got, c.want)
+		}
+	}
+}
+
+func TestOverlapsIntersectHull(t *testing.T) {
+	a := Of(0, 10)
+	b := Of(5, 15)
+	c := Of(10, 20)
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("a and b should overlap")
+	}
+	if a.Overlaps(c) {
+		t.Error("half-open adjacency is not overlap")
+	}
+	if got, ok := a.Intersect(b); !ok || got != Of(5, 10) {
+		t.Errorf("Intersect = %v, %v", got, ok)
+	}
+	if _, ok := a.Intersect(c); ok {
+		t.Error("adjacent intervals should not intersect")
+	}
+	if got := a.Hull(c); got != Of(0, 20) {
+		t.Errorf("Hull = %v", got)
+	}
+	if !a.Equal(Of(0, 10)) || a.Equal(b) {
+		t.Error("Equal misbehaves")
+	}
+}
+
+func TestAt(t *testing.T) {
+	iv := At(7)
+	if iv.Empty() || !iv.Contains(7) || iv.Contains(8) {
+		t.Errorf("At(7) = %v", iv)
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	got := Of(0, 86400).String()
+	want := "[1970-01-01 00:00:00, 1970-01-02 00:00:00)"
+	if got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,182 @@
+package interval
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/chronon"
+)
+
+// Set is a finite union of disjoint, non-adjacent, non-empty half-open
+// intervals in increasing order — the "temporal element" of Gadia's
+// homogeneous model [Gad88], which §2 of the paper cites as one physical
+// representation of time-stamps ("tuples containing attributes
+// time-stamped with one or more finite unions of intervals").
+//
+// The zero Set is empty. Sets are immutable: operations return new sets.
+type Set struct {
+	ivs []Interval // canonical: sorted, disjoint, gaps > 0, none empty
+}
+
+// NewSet builds a set from arbitrary intervals, normalizing them: empty
+// intervals are dropped; overlapping and adjacent intervals are coalesced.
+func NewSet(ivs ...Interval) Set {
+	tmp := make([]Interval, 0, len(ivs))
+	for _, iv := range ivs {
+		if !iv.Valid() {
+			panic("interval: malformed interval in NewSet")
+		}
+		if !iv.Empty() {
+			tmp = append(tmp, iv)
+		}
+	}
+	if len(tmp) == 0 {
+		return Set{}
+	}
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i].Start < tmp[j].Start })
+	out := tmp[:1]
+	for _, iv := range tmp[1:] {
+		last := &out[len(out)-1]
+		if iv.Start <= last.End { // overlap or adjacency: coalesce
+			if iv.End > last.End {
+				last.End = iv.End
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return Set{ivs: append([]Interval(nil), out...)}
+}
+
+// Intervals returns the canonical intervals. The slice must not be
+// modified.
+func (s Set) Intervals() []Interval { return s.ivs }
+
+// Empty reports whether the set contains no chronons.
+func (s Set) Empty() bool { return len(s.ivs) == 0 }
+
+// Len reports the number of maximal intervals.
+func (s Set) Len() int { return len(s.ivs) }
+
+// Duration returns the total number of chronons covered.
+func (s Set) Duration() int64 {
+	var d int64
+	for _, iv := range s.ivs {
+		d += iv.Duration()
+	}
+	return d
+}
+
+// Contains reports whether chronon c is covered. Binary search over the
+// canonical order.
+func (s Set) Contains(c chronon.Chronon) bool {
+	i := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].End > c })
+	return i < len(s.ivs) && s.ivs[i].Contains(c)
+}
+
+// Hull returns the smallest single interval covering the set (the empty
+// interval for an empty set).
+func (s Set) Hull() Interval {
+	if s.Empty() {
+		return Interval{}
+	}
+	return Interval{Start: s.ivs[0].Start, End: s.ivs[len(s.ivs)-1].End}
+}
+
+// Equal reports whether two sets cover exactly the same chronons.
+func (s Set) Equal(t Set) bool {
+	if len(s.ivs) != len(t.ivs) {
+		return false
+	}
+	for i := range s.ivs {
+		if s.ivs[i] != t.ivs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns the set of chronons in s or t.
+func (s Set) Union(t Set) Set {
+	return NewSet(append(append([]Interval(nil), s.ivs...), t.ivs...)...)
+}
+
+// Intersect returns the set of chronons in both s and t. Linear merge over
+// the two canonical sequences.
+func (s Set) Intersect(t Set) Set {
+	var out []Interval
+	i, j := 0, 0
+	for i < len(s.ivs) && j < len(t.ivs) {
+		if common, ok := s.ivs[i].Intersect(t.ivs[j]); ok {
+			out = append(out, common)
+		}
+		if s.ivs[i].End < t.ivs[j].End {
+			i++
+		} else {
+			j++
+		}
+	}
+	return Set{ivs: out} // pieces of canonical sets are already canonical
+}
+
+// Subtract returns the set of chronons in s but not in t.
+func (s Set) Subtract(t Set) Set {
+	var out []Interval
+	j := 0
+	for _, iv := range s.ivs {
+		cur := iv
+		for j < len(t.ivs) && t.ivs[j].End <= cur.Start {
+			j++
+		}
+		k := j
+		for k < len(t.ivs) && t.ivs[k].Start < cur.End {
+			hole := t.ivs[k]
+			if hole.Start > cur.Start {
+				out = append(out, Interval{Start: cur.Start, End: hole.Start})
+			}
+			if hole.End >= cur.End {
+				cur = Interval{Start: cur.End, End: cur.End} // fully consumed
+				break
+			}
+			cur = Interval{Start: hole.End, End: cur.End}
+			k++
+		}
+		if !cur.Empty() {
+			out = append(out, cur)
+		}
+	}
+	return Set{ivs: out}
+}
+
+// Complement returns the set of chronons in [lo, hi) not covered by s.
+func (s Set) Complement(lo, hi chronon.Chronon) Set {
+	return NewSet(Interval{Start: lo, End: hi}).Subtract(s)
+}
+
+// Overlaps reports whether the two sets share any chronon.
+func (s Set) Overlaps(t Set) bool {
+	i, j := 0, 0
+	for i < len(s.ivs) && j < len(t.ivs) {
+		if s.ivs[i].Overlaps(t.ivs[j]) {
+			return true
+		}
+		if s.ivs[i].End < t.ivs[j].End {
+			i++
+		} else {
+			j++
+		}
+	}
+	return false
+}
+
+// String renders the set as "{[a, b), [c, d)}".
+func (s Set) String() string {
+	if s.Empty() {
+		return "{}"
+	}
+	parts := make([]string, len(s.ivs))
+	for i, iv := range s.ivs {
+		parts[i] = iv.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}

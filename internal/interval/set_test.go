@@ -1,0 +1,198 @@
+package interval
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/chronon"
+)
+
+func TestNewSetNormalizes(t *testing.T) {
+	s := NewSet(Of(5, 10), Of(0, 3), Of(9, 12), Of(3, 4), Of(20, 20))
+	want := []Interval{Of(0, 4), Of(5, 12)}
+	got := s.Intervals()
+	if len(got) != len(want) {
+		t.Fatalf("Intervals = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Intervals[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if s.Len() != 2 || s.Empty() {
+		t.Error("Len/Empty wrong")
+	}
+	if s.Duration() != 4+7 {
+		t.Errorf("Duration = %d", s.Duration())
+	}
+}
+
+func TestNewSetAdjacentCoalesce(t *testing.T) {
+	s := NewSet(Of(0, 5), Of(5, 10))
+	if s.Len() != 1 || s.Intervals()[0] != Of(0, 10) {
+		t.Errorf("adjacent intervals not coalesced: %v", s)
+	}
+}
+
+func TestNewSetPanicsOnMalformed(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("malformed interval should panic")
+		}
+	}()
+	NewSet(Interval{Start: 5, End: 3})
+}
+
+func TestSetContains(t *testing.T) {
+	s := NewSet(Of(0, 5), Of(10, 15))
+	cases := map[chronon.Chronon]bool{
+		-1: false, 0: true, 4: true, 5: false, 7: false, 10: true, 14: true, 15: false,
+	}
+	for c, want := range cases {
+		if got := s.Contains(c); got != want {
+			t.Errorf("Contains(%d) = %v, want %v", c, got, want)
+		}
+	}
+	if (Set{}).Contains(0) {
+		t.Error("empty set contains something")
+	}
+}
+
+func TestSetHull(t *testing.T) {
+	s := NewSet(Of(3, 5), Of(10, 20))
+	if s.Hull() != Of(3, 20) {
+		t.Errorf("Hull = %v", s.Hull())
+	}
+	if !(Set{}).Hull().Empty() {
+		t.Error("empty hull should be empty")
+	}
+}
+
+func TestSetUnionIntersectSubtract(t *testing.T) {
+	a := NewSet(Of(0, 10), Of(20, 30))
+	b := NewSet(Of(5, 25))
+	if got := a.Union(b); !got.Equal(NewSet(Of(0, 30))) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Intersect(b); !got.Equal(NewSet(Of(5, 10), Of(20, 25))) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Subtract(b); !got.Equal(NewSet(Of(0, 5), Of(25, 30))) {
+		t.Errorf("Subtract = %v", got)
+	}
+	if got := b.Subtract(a); !got.Equal(NewSet(Of(10, 20))) {
+		t.Errorf("Subtract = %v", got)
+	}
+}
+
+func TestSetSubtractEdgeCases(t *testing.T) {
+	a := NewSet(Of(0, 10))
+	if got := a.Subtract(NewSet(Of(0, 10))); !got.Empty() {
+		t.Errorf("self subtract = %v", got)
+	}
+	if got := a.Subtract(Set{}); !got.Equal(a) {
+		t.Errorf("subtract empty = %v", got)
+	}
+	if got := (Set{}).Subtract(a); !got.Empty() {
+		t.Errorf("empty minus a = %v", got)
+	}
+	// Hole strictly inside.
+	if got := a.Subtract(NewSet(Of(3, 7))); !got.Equal(NewSet(Of(0, 3), Of(7, 10))) {
+		t.Errorf("punch hole = %v", got)
+	}
+	// Multiple holes in one interval.
+	if got := a.Subtract(NewSet(Of(1, 2), Of(4, 5), Of(9, 12))); !got.Equal(NewSet(Of(0, 1), Of(2, 4), Of(5, 9))) {
+		t.Errorf("multi holes = %v", got)
+	}
+}
+
+func TestSetComplement(t *testing.T) {
+	s := NewSet(Of(2, 4), Of(6, 8))
+	if got := s.Complement(0, 10); !got.Equal(NewSet(Of(0, 2), Of(4, 6), Of(8, 10))) {
+		t.Errorf("Complement = %v", got)
+	}
+	if got := (Set{}).Complement(0, 5); !got.Equal(NewSet(Of(0, 5))) {
+		t.Errorf("Complement of empty = %v", got)
+	}
+}
+
+func TestSetOverlaps(t *testing.T) {
+	a := NewSet(Of(0, 5), Of(10, 15))
+	if !a.Overlaps(NewSet(Of(4, 6))) {
+		t.Error("should overlap")
+	}
+	if a.Overlaps(NewSet(Of(5, 10))) {
+		t.Error("gap-filling set should not overlap")
+	}
+	if a.Overlaps(Set{}) {
+		t.Error("empty overlaps nothing")
+	}
+}
+
+func TestSetString(t *testing.T) {
+	if (Set{}).String() != "{}" {
+		t.Error("empty set string wrong")
+	}
+	s := NewSet(Of(0, 1))
+	if s.String() == "" || s.String() == "{}" {
+		t.Error("set string wrong")
+	}
+}
+
+// TestSetAlgebraAgainstBitmap cross-checks the interval-set algebra against
+// a brute-force bitmap model over a small universe.
+func TestSetAlgebraAgainstBitmap(t *testing.T) {
+	const universe = 64
+	rng := rand.New(rand.NewSource(99))
+	randomSet := func() (Set, [universe]bool) {
+		var ivs []Interval
+		var bits [universe]bool
+		for k := 0; k < 4; k++ {
+			s := int64(rng.Intn(universe))
+			e := s + int64(rng.Intn(universe-int(s)))
+			ivs = append(ivs, Of(s, e))
+			for c := s; c < e; c++ {
+				bits[c] = true
+			}
+		}
+		return NewSet(ivs...), bits
+	}
+	for trial := 0; trial < 500; trial++ {
+		a, ab := randomSet()
+		b, bb := randomSet()
+		union, inter, sub := a.Union(b), a.Intersect(b), a.Subtract(b)
+		comp := a.Complement(0, universe)
+		for c := 0; c < universe; c++ {
+			cc := chronon.Chronon(c)
+			if union.Contains(cc) != (ab[c] || bb[c]) {
+				t.Fatalf("trial %d: union wrong at %d", trial, c)
+			}
+			if inter.Contains(cc) != (ab[c] && bb[c]) {
+				t.Fatalf("trial %d: intersect wrong at %d", trial, c)
+			}
+			if sub.Contains(cc) != (ab[c] && !bb[c]) {
+				t.Fatalf("trial %d: subtract wrong at %d", trial, c)
+			}
+			if comp.Contains(cc) != !ab[c] {
+				t.Fatalf("trial %d: complement wrong at %d", trial, c)
+			}
+			if a.Contains(cc) != ab[c] {
+				t.Fatalf("trial %d: contains wrong at %d", trial, c)
+			}
+		}
+		if a.Overlaps(b) != !inter.Empty() {
+			t.Fatalf("trial %d: overlaps inconsistent", trial)
+		}
+		// Canonical form invariants.
+		prevEnd := chronon.MinChronon
+		for _, iv := range union.Intervals() {
+			if iv.Empty() {
+				t.Fatalf("trial %d: empty interval in canonical set", trial)
+			}
+			if prevEnd != chronon.MinChronon && iv.Start <= prevEnd {
+				t.Fatalf("trial %d: intervals not disjoint/ordered", trial)
+			}
+			prevEnd = iv.End
+		}
+	}
+}

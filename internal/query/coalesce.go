@@ -1,0 +1,84 @@
+package query
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/element"
+	"repro/internal/interval"
+)
+
+// CoalescedFact is the result of temporal coalescing: one group of
+// value-equivalent elements with the canonical set of chronons during
+// which the fact holds.
+type CoalescedFact struct {
+	// Representative is the first element (in valid-time order) of the
+	// group; its attribute values represent the whole group.
+	Representative *element.Element
+	// When is the union of the group's valid times, as a canonical
+	// interval set (adjacent and overlapping spans merged).
+	When interval.Set
+}
+
+// Coalesce performs temporal coalescing — the canonical-form operation of
+// temporal algebras: elements whose values are equivalent under the key
+// function are merged, and their valid times are unioned into maximal
+// intervals. The paper's conceptual model stores one element per stored
+// fact; coalescing recovers the value-oriented view ([Gad88]'s homogeneous
+// tuples, whose attributes carry finite unions of intervals).
+//
+// key maps an element to its grouping key; a nil key groups by the
+// rendering of the time-invariant and time-varying values. The result is
+// ordered by each group's earliest valid chronon.
+func Coalesce(es []*element.Element, key func(*element.Element) string) []CoalescedFact {
+	if key == nil {
+		key = defaultKey
+	}
+	type group struct {
+		rep *element.Element
+		ivs []interval.Interval
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for _, e := range es {
+		k := key(e)
+		g, ok := groups[k]
+		if !ok {
+			g = &group{rep: e}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.ivs = append(g.ivs, validSpan(e))
+		if validSpan(e).Start < validSpan(g.rep).Start {
+			g.rep = e
+		}
+	}
+	out := make([]CoalescedFact, 0, len(groups))
+	for _, k := range order {
+		g := groups[k]
+		out = append(out, CoalescedFact{
+			Representative: g.rep,
+			When:           interval.NewSet(g.ivs...),
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].When.Hull().Start < out[j].When.Hull().Start
+	})
+	return out
+}
+
+// defaultKey renders an element's attribute values (not its time-stamps or
+// surrogates) as a grouping key.
+func defaultKey(e *element.Element) string {
+	var b strings.Builder
+	for _, v := range e.Invariant {
+		b.WriteString(v.String())
+		b.WriteByte('\x1f')
+	}
+	b.WriteByte('\x1e')
+	for _, v := range e.Varying {
+		b.WriteString(v.String())
+		b.WriteByte('\x1f')
+	}
+	return b.String()
+}

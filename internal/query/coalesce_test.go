@@ -1,0 +1,95 @@
+package query
+
+import (
+	"testing"
+
+	"repro/internal/element"
+	"repro/internal/interval"
+)
+
+func named(name string, vs, ve int64) *element.Element {
+	e := ivElem(vs, ve)
+	e.Varying = []element.Value{element.String_(name)}
+	return e
+}
+
+func TestCoalesceMergesAdjacentAndOverlapping(t *testing.T) {
+	es := []*element.Element{
+		named("apollo", 0, 10),
+		named("apollo", 10, 20), // adjacent: merge
+		named("apollo", 15, 30), // overlapping: merge
+		named("apollo", 50, 60), // gap: second span
+		named("dune", 5, 25),    // different value: own group
+	}
+	facts := Coalesce(es, nil)
+	if len(facts) != 2 {
+		t.Fatalf("facts = %d", len(facts))
+	}
+	ap := facts[0]
+	if v, _ := ap.Representative.Varying[0].Str(); v != "apollo" {
+		t.Fatalf("first group = %q", v)
+	}
+	want := interval.NewSet(interval.Of(0, 30), interval.Of(50, 60))
+	if !ap.When.Equal(want) {
+		t.Errorf("apollo When = %v, want %v", ap.When, want)
+	}
+	du := facts[1]
+	if !du.When.Equal(interval.NewSet(interval.Of(5, 25))) {
+		t.Errorf("dune When = %v", du.When)
+	}
+}
+
+func TestCoalesceCustomKey(t *testing.T) {
+	a := named("x", 0, 10)
+	a.OS = 1
+	b := named("y", 10, 20)
+	b.OS = 1
+	c := named("x", 5, 15)
+	c.OS = 2
+	byObject := func(e *element.Element) string { return e.OS.String() }
+	facts := Coalesce([]*element.Element{a, b, c}, byObject)
+	if len(facts) != 2 {
+		t.Fatalf("facts = %d", len(facts))
+	}
+	if !facts[0].When.Equal(interval.NewSet(interval.Of(0, 20))) {
+		t.Errorf("object 1 When = %v", facts[0].When)
+	}
+}
+
+func TestCoalesceEvents(t *testing.T) {
+	es := []*element.Element{}
+	for _, vt := range []int64{5, 6, 7, 20} {
+		e := evElem(vt)
+		e.Varying = []element.Value{element.String_("ping")}
+		es = append(es, e)
+	}
+	facts := Coalesce(es, nil)
+	if len(facts) != 1 {
+		t.Fatalf("facts = %d", len(facts))
+	}
+	want := interval.NewSet(interval.Of(5, 8), interval.Of(20, 21))
+	if !facts[0].When.Equal(want) {
+		t.Errorf("When = %v, want %v", facts[0].When, want)
+	}
+}
+
+func TestCoalesceOrderAndRepresentative(t *testing.T) {
+	late := named("late", 100, 110)
+	early := named("early", 0, 10)
+	facts := Coalesce([]*element.Element{late, early}, nil)
+	if v, _ := facts[0].Representative.Varying[0].Str(); v != "early" {
+		t.Errorf("first fact = %q, want earliest", v)
+	}
+	// The representative is the group's earliest element.
+	second := named("early", -5, 0)
+	facts = Coalesce([]*element.Element{early, second}, nil)
+	if facts[0].Representative != second {
+		t.Error("representative should be the earliest element of the group")
+	}
+}
+
+func TestCoalesceEmpty(t *testing.T) {
+	if got := Coalesce(nil, nil); len(got) != 0 {
+		t.Errorf("Coalesce(nil) = %v", got)
+	}
+}

@@ -1,0 +1,92 @@
+package query
+
+import (
+	"sort"
+
+	"repro/internal/element"
+	"repro/internal/interval"
+)
+
+// JoinedPair is one result of a valid-time join: two elements whose facts
+// hold simultaneously, with the span of chronons during which both hold.
+type JoinedPair struct {
+	Left    *element.Element
+	Right   *element.Element
+	Overlap interval.Interval
+}
+
+// validSpan returns the half-open span an element's facts cover.
+func validSpan(e *element.Element) interval.Interval {
+	if c, ok := e.VT.Event(); ok {
+		return interval.Interval{Start: c, End: c.Add(1)}
+	}
+	iv, _ := e.VT.Interval()
+	return iv
+}
+
+// joinItem is one sweep entry of TemporalJoin.
+type joinItem struct {
+	e     *element.Element
+	span  interval.Interval
+	right bool
+}
+
+// TemporalJoin computes the valid-time join of two extensions: every pair
+// (l, r) with l from left and r from right whose valid times intersect and
+// for which the match predicate holds, together with the intersection
+// span. Pass nil to match every overlapping pair (a pure temporal cross
+// join). This is the standard valid-time join of temporal algebras (e.g.
+// [Gad88], [Sno87]).
+//
+// The implementation sweeps both sides in valid-start order, keeping
+// active sets, so the cost is O((n+m) log(n+m) + pairs examined).
+func TemporalJoin(left, right []*element.Element, match func(l, r *element.Element) bool) []JoinedPair {
+	items := make([]joinItem, 0, len(left)+len(right))
+	for _, e := range left {
+		items = append(items, joinItem{e: e, span: validSpan(e)})
+	}
+	for _, e := range right {
+		items = append(items, joinItem{e: e, span: validSpan(e), right: true})
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].span.Start != items[j].span.Start {
+			return items[i].span.Start < items[j].span.Start
+		}
+		// Lefts before rights at equal starts, for deterministic output.
+		return !items[i].right && items[j].right
+	})
+	var out []JoinedPair
+	var activeL, activeR []joinItem
+	for _, it := range items {
+		activeL = expireJoinItems(activeL, it)
+		activeR = expireJoinItems(activeR, it)
+		if it.right {
+			for _, l := range activeL {
+				if ov, ok := l.span.Intersect(it.span); ok && (match == nil || match(l.e, it.e)) {
+					out = append(out, JoinedPair{Left: l.e, Right: it.e, Overlap: ov})
+				}
+			}
+			activeR = append(activeR, it)
+		} else {
+			for _, r := range activeR {
+				if ov, ok := it.span.Intersect(r.span); ok && (match == nil || match(it.e, r.e)) {
+					out = append(out, JoinedPair{Left: it.e, Right: r.e, Overlap: ov})
+				}
+			}
+			activeL = append(activeL, it)
+		}
+	}
+	return out
+}
+
+// expireJoinItems drops items whose span ends at or before the sweep
+// position (they can no longer overlap anything starting now or later).
+func expireJoinItems(active []joinItem, cur joinItem) []joinItem {
+	kept := active[:0]
+	for _, a := range active {
+		if a.span.End > cur.span.Start {
+			kept = append(kept, a)
+		}
+	}
+	return kept
+}

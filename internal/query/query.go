@@ -1,0 +1,171 @@
+// Package query executes the three kinds of queries the paper requires of
+// temporal relations (§1) — current, historical (time-slice), and rollback
+// — over a physical store chosen by the storage advisor, and reports which
+// strategy each query used and how much data it touched. The contrast
+// between plans on specialized vs. general organizations is the measurable
+// form of the paper's claim that specializations enable better "query
+// processing strategies".
+package query
+
+import (
+	"fmt"
+
+	"repro/internal/chronon"
+	"repro/internal/core"
+	"repro/internal/element"
+	"repro/internal/relation"
+	"repro/internal/storage"
+)
+
+// Result is a query answer together with its plan and cost.
+type Result struct {
+	Elements []*element.Element
+	// Plan names the strategy used, e.g. "binary search (vt-ordered log)".
+	Plan string
+	// Touched is the number of stored elements examined.
+	Touched int
+}
+
+// Engine executes temporal queries over a store.
+type Engine struct {
+	store   storage.Store
+	classes []core.Class
+	stats   Stats
+
+	// Bounded-specialization pushdown: when the relation is declared with
+	// a two-sided fixed bound lo ≤ vt − tt ≤ hi, a valid-time predicate
+	// converts to the transaction-time window [vt − hi, vt − lo], which the
+	// tt-ordered log binary-searches. Set via UseVTOffsetBounds.
+	boundLo, boundHi int64
+	hasBounds        bool
+}
+
+// UseVTOffsetBounds enables bounded-specialization pushdown with the given
+// fixed offsets (lo ≤ vt − tt ≤ hi), typically obtained from a declared
+// EventSpec's OffsetBounds. It has effect only over a tt-ordered store.
+func (en *Engine) UseVTOffsetBounds(lo, hi int64) {
+	if lo > hi {
+		panic("query: inverted offset bounds")
+	}
+	en.boundLo, en.boundHi, en.hasBounds = lo, hi, true
+}
+
+// Stats accumulates engine-lifetime counters.
+type Stats struct {
+	Queries int
+	Touched int
+}
+
+// New builds an engine over a store built for the given declared classes.
+func New(store storage.Store, classes []core.Class) *Engine {
+	return &Engine{store: store, classes: classes}
+}
+
+// ForRelation builds an engine for a relation: it asks the advisor for the
+// right store given the declared classes, loads the relation's versions
+// into it, and returns the engine with the advice.
+func ForRelation(r *relation.Relation, classes []core.Class) (*Engine, storage.Advice, error) {
+	advice := storage.Advise(classes, r.Schema().ValidTime)
+	st := advice.New()
+	for _, e := range r.Versions() {
+		if err := st.Insert(e); err != nil {
+			return nil, advice, fmt.Errorf("query: loading %s store: %w", advice.Store, err)
+		}
+	}
+	return New(st, classes), advice, nil
+}
+
+// Store exposes the underlying store.
+func (en *Engine) Store() storage.Store { return en.store }
+
+// Stats reports engine-lifetime counters.
+func (en *Engine) Stats() Stats { return en.stats }
+
+func (en *Engine) record(touched int) {
+	en.stats.Queries++
+	en.stats.Touched += touched
+}
+
+func (en *Engine) planName(indexed bool) string {
+	if indexed {
+		return fmt.Sprintf("binary search (%v)", en.store.Kind())
+	}
+	return fmt.Sprintf("full scan (%v)", en.store.Kind())
+}
+
+// Timeslice answers the historical query: current elements valid at vt.
+func (en *Engine) Timeslice(vt chronon.Chronon) Result {
+	if res, ok := en.boundedWindow(vt, vt.Add(1)); ok {
+		return res
+	}
+	es, touched := en.store.Timeslice(vt)
+	en.record(touched)
+	return Result{Elements: es, Plan: en.planName(en.store.Kind() == storage.VTOrdered), Touched: touched}
+}
+
+// VTRange answers a historical range query: current elements valid during
+// any part of [lo, hi).
+func (en *Engine) VTRange(lo, hi chronon.Chronon) Result {
+	if res, ok := en.boundedWindow(lo, hi); ok {
+		return res
+	}
+	es, touched := en.store.VTRange(lo, hi)
+	en.record(touched)
+	return Result{Elements: es, Plan: en.planName(en.store.Kind() == storage.VTOrdered), Touched: touched}
+}
+
+// boundedWindow answers a valid-time query through the bounded-
+// specialization pushdown when it applies: event elements satisfying
+// lo ≤ vt − tt ≤ hi and valid in [vlo, vhi) were necessarily inserted with
+// tt ∈ [vlo − hi, vhi − 1 − lo], a window the tt log binary-searches.
+func (en *Engine) boundedWindow(vlo, vhi chronon.Chronon) (Result, bool) {
+	tlog, ok := en.store.(*storage.TTLogStore)
+	if !ok || !en.hasBounds {
+		return Result{}, false
+	}
+	cands, touched := tlog.TTWindow(vlo.Add(-en.boundHi), vhi.Add(-1-en.boundLo))
+	var out []*element.Element
+	for _, e := range cands {
+		if e.Current() && validInRange(e, vlo, vhi) {
+			out = append(out, e)
+		}
+	}
+	en.record(touched)
+	return Result{
+		Elements: out,
+		Plan:     "tt-window binary search (bounded specialization)",
+		Touched:  touched,
+	}, true
+}
+
+// validInRange reports whether the element's valid time intersects
+// [lo, hi).
+func validInRange(e *element.Element, lo, hi chronon.Chronon) bool {
+	if c, ok := e.VT.Event(); ok {
+		return lo <= c && c < hi
+	}
+	iv, _ := e.VT.Interval()
+	return iv.Start < hi && lo < iv.End
+}
+
+// Rollback answers the rollback query: elements present at transaction
+// time tt.
+func (en *Engine) Rollback(tt chronon.Chronon) Result {
+	es, touched := en.store.Rollback(tt)
+	en.record(touched)
+	return Result{Elements: es, Plan: en.planName(en.store.Kind() != storage.Heap), Touched: touched}
+}
+
+// Current answers the conventional query: the elements of the current
+// state. Every organization answers it with a scan of live elements.
+func (en *Engine) Current() Result {
+	var out []*element.Element
+	touched := en.store.Scan(func(e *element.Element) bool {
+		if e.Current() {
+			out = append(out, e)
+		}
+		return true
+	})
+	en.record(touched)
+	return Result{Elements: out, Plan: en.planName(false), Touched: touched}
+}

@@ -1,0 +1,100 @@
+package query
+
+import (
+	"sort"
+
+	"repro/internal/chronon"
+	"repro/internal/element"
+	"repro/internal/interval"
+)
+
+// TimelineStep is one piece of a step function over valid time: Count
+// facts are valid throughout Span.
+type TimelineStep struct {
+	Span  interval.Interval
+	Count int
+}
+
+// Timeline computes the valid-time profile of an extension: a step
+// function giving, for every chronon, how many of the supplied elements
+// are valid then — the classic temporal aggregation (COUNT over valid
+// time). Events contribute the single chronon [vt, vt+1); intervals their
+// span. Zero-count gaps between steps are omitted.
+//
+// The sweep is O(n log n) in the number of elements and independent of the
+// time line's extent.
+func Timeline(es []*element.Element) []TimelineStep {
+	type edge struct {
+		at    chronon.Chronon
+		delta int
+	}
+	edges := make([]edge, 0, 2*len(es))
+	for _, e := range es {
+		var lo, hi chronon.Chronon
+		if c, ok := e.VT.Event(); ok {
+			lo, hi = c, c.Add(1)
+		} else {
+			iv, _ := e.VT.Interval()
+			lo, hi = iv.Start, iv.End
+		}
+		edges = append(edges, edge{at: lo, delta: 1}, edge{at: hi, delta: -1})
+	}
+	if len(edges) == 0 {
+		return nil
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].at < edges[j].at })
+
+	var out []TimelineStep
+	count := 0
+	prev := edges[0].at
+	i := 0
+	for i < len(edges) {
+		at := edges[i].at
+		if count > 0 && at > prev {
+			// Coalesce with the previous step when the count is unchanged
+			// across an edge position that nets to zero (e.g. contiguous
+			// intervals meeting).
+			if n := len(out); n > 0 && out[n-1].Count == count && out[n-1].Span.End == prev {
+				out[n-1].Span.End = at
+			} else {
+				out = append(out, TimelineStep{Span: interval.Interval{Start: prev, End: at}, Count: count})
+			}
+		}
+		for i < len(edges) && edges[i].at == at {
+			count += edges[i].delta
+			i++
+		}
+		prev = at
+	}
+	return out
+}
+
+// CoverageSet returns the set of chronons during which at least one of the
+// elements is valid, as a canonical interval set (a temporal element in
+// the [Gad88] sense).
+func CoverageSet(es []*element.Element) interval.Set {
+	ivs := make([]interval.Interval, 0, len(es))
+	for _, e := range es {
+		if c, ok := e.VT.Event(); ok {
+			ivs = append(ivs, interval.Interval{Start: c, End: c.Add(1)})
+		} else {
+			iv, _ := e.VT.Interval()
+			ivs = append(ivs, iv)
+		}
+	}
+	return interval.NewSet(ivs...)
+}
+
+// MaxConcurrent reports the largest step count in the timeline (0 for an
+// empty extension) and one span where it occurs.
+func MaxConcurrent(es []*element.Element) (int, interval.Interval) {
+	best := 0
+	var span interval.Interval
+	for _, st := range Timeline(es) {
+		if st.Count > best {
+			best = st.Count
+			span = st.Span
+		}
+	}
+	return best, span
+}

@@ -1,0 +1,243 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/chronon"
+	"repro/internal/element"
+	"repro/internal/interval"
+	"repro/internal/surrogate"
+)
+
+var testES uint64
+
+func evElem(vt int64) *element.Element {
+	testES++
+	return &element.Element{ES: surrogate.Surrogate(testES), OS: 1,
+		TTStart: chronon.Chronon(testES), TTEnd: chronon.Forever,
+		VT: element.EventAt(chronon.Chronon(vt))}
+}
+
+func ivElem(vs, ve int64) *element.Element {
+	testES++
+	return &element.Element{ES: surrogate.Surrogate(testES), OS: 1,
+		TTStart: chronon.Chronon(testES), TTEnd: chronon.Forever,
+		VT: element.SpanOf(chronon.Chronon(vs), chronon.Chronon(ve))}
+}
+
+func TestTimelineBasic(t *testing.T) {
+	es := []*element.Element{ivElem(0, 10), ivElem(5, 15), ivElem(20, 25)}
+	steps := Timeline(es)
+	want := []TimelineStep{
+		{Span: interval.Of(0, 5), Count: 1},
+		{Span: interval.Of(5, 10), Count: 2},
+		{Span: interval.Of(10, 15), Count: 1},
+		{Span: interval.Of(20, 25), Count: 1},
+	}
+	if len(steps) != len(want) {
+		t.Fatalf("steps = %v", steps)
+	}
+	for i, w := range want {
+		if steps[i] != w {
+			t.Errorf("step %d = %v, want %v", i, steps[i], w)
+		}
+	}
+}
+
+func TestTimelineEvents(t *testing.T) {
+	es := []*element.Element{evElem(5), evElem(5), evElem(6)}
+	steps := Timeline(es)
+	want := []TimelineStep{
+		{Span: interval.Of(5, 6), Count: 2},
+		{Span: interval.Of(6, 7), Count: 1},
+	}
+	if len(steps) != len(want) {
+		t.Fatalf("steps = %v", steps)
+	}
+	for i, w := range want {
+		if steps[i] != w {
+			t.Errorf("step %d = %v, want %v", i, steps[i], w)
+		}
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	if got := Timeline(nil); got != nil {
+		t.Errorf("Timeline(nil) = %v", got)
+	}
+}
+
+func TestTimelineAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var es []*element.Element
+	for i := 0; i < 60; i++ {
+		s := int64(rng.Intn(80))
+		es = append(es, ivElem(s, s+1+int64(rng.Intn(20))))
+	}
+	steps := Timeline(es)
+	// Steps must tile: positive counts, non-overlapping, increasing.
+	prevEnd := chronon.MinChronon
+	for _, st := range steps {
+		if st.Count <= 0 {
+			t.Fatalf("non-positive step %v", st)
+		}
+		if st.Span.Start < prevEnd {
+			t.Fatalf("overlapping steps at %v", st)
+		}
+		prevEnd = st.Span.End
+	}
+	// Point-check against brute force.
+	for c := int64(-2); c < 110; c++ {
+		want := 0
+		for _, e := range es {
+			if e.ValidAt(chronon.Chronon(c)) {
+				want++
+			}
+		}
+		got := 0
+		for _, st := range steps {
+			if st.Span.Contains(chronon.Chronon(c)) {
+				got = st.Count
+				break
+			}
+		}
+		if got != want {
+			t.Fatalf("count at %d = %d, want %d", c, got, want)
+		}
+	}
+}
+
+func TestCoverageSet(t *testing.T) {
+	es := []*element.Element{ivElem(0, 10), ivElem(5, 15), evElem(20)}
+	cov := CoverageSet(es)
+	want := interval.NewSet(interval.Of(0, 15), interval.Of(20, 21))
+	if !cov.Equal(want) {
+		t.Errorf("CoverageSet = %v, want %v", cov, want)
+	}
+	if !CoverageSet(nil).Empty() {
+		t.Error("empty coverage not empty")
+	}
+}
+
+func TestMaxConcurrent(t *testing.T) {
+	es := []*element.Element{ivElem(0, 10), ivElem(5, 15), ivElem(7, 9)}
+	n, span := MaxConcurrent(es)
+	if n != 3 {
+		t.Fatalf("max = %d", n)
+	}
+	if span != interval.Of(7, 9) {
+		t.Errorf("span = %v", span)
+	}
+	if n, _ := MaxConcurrent(nil); n != 0 {
+		t.Errorf("empty max = %d", n)
+	}
+}
+
+func TestTemporalJoinBasic(t *testing.T) {
+	// Shifts vs incidents: which incident happened during whose shift?
+	shifts := []*element.Element{ivElem(0, 100), ivElem(100, 200)}
+	incidents := []*element.Element{evElem(50), evElem(150), evElem(250)}
+	pairs := TemporalJoin(shifts, incidents, nil)
+	if len(pairs) != 2 {
+		t.Fatalf("pairs = %d", len(pairs))
+	}
+	for _, p := range pairs {
+		span := validSpan(p.Left)
+		c, _ := p.Right.VT.Event()
+		if !span.Contains(c) {
+			t.Errorf("joined pair does not overlap: %v vs %v", span, c)
+		}
+		if p.Overlap.Duration() != 1 {
+			t.Errorf("overlap = %v", p.Overlap)
+		}
+	}
+}
+
+func TestTemporalJoinWithPredicate(t *testing.T) {
+	a := ivElem(0, 100)
+	a.OS = 7
+	b := ivElem(50, 150)
+	b.OS = 7
+	c := ivElem(50, 150)
+	c.OS = 8
+	sameObject := func(l, r *element.Element) bool { return l.OS == r.OS }
+	pairs := TemporalJoin([]*element.Element{a}, []*element.Element{b, c}, sameObject)
+	if len(pairs) != 1 || pairs[0].Right != b {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	if pairs[0].Overlap != interval.Of(50, 100) {
+		t.Errorf("overlap = %v", pairs[0].Overlap)
+	}
+}
+
+func TestTemporalJoinAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	mk := func(n int) []*element.Element {
+		var out []*element.Element
+		for i := 0; i < n; i++ {
+			s := int64(rng.Intn(100))
+			out = append(out, ivElem(s, s+1+int64(rng.Intn(30))))
+		}
+		return out
+	}
+	left, right := mk(40), mk(40)
+	got := TemporalJoin(left, right, nil)
+	want := 0
+	for _, l := range left {
+		for _, r := range right {
+			if _, ok := validSpan(l).Intersect(validSpan(r)); ok {
+				want++
+			}
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("join produced %d pairs, brute force %d", len(got), want)
+	}
+	seen := make(map[[2]*element.Element]bool)
+	for _, p := range got {
+		key := [2]*element.Element{p.Left, p.Right}
+		if seen[key] {
+			t.Fatalf("duplicate pair %v", key)
+		}
+		seen[key] = true
+		ov, ok := validSpan(p.Left).Intersect(validSpan(p.Right))
+		if !ok || ov != p.Overlap {
+			t.Fatalf("wrong overlap: %v vs %v", ov, p.Overlap)
+		}
+	}
+}
+
+func TestTemporalJoinEmptySides(t *testing.T) {
+	if got := TemporalJoin(nil, []*element.Element{evElem(1)}, nil); len(got) != 0 {
+		t.Error("join with empty left produced pairs")
+	}
+	if got := TemporalJoin([]*element.Element{evElem(1)}, nil, nil); len(got) != 0 {
+		t.Error("join with empty right produced pairs")
+	}
+}
+
+func TestTimelineCoalescesContiguous(t *testing.T) {
+	// Contiguous intervals with equal counts collapse into one step.
+	es := []*element.Element{ivElem(0, 10), ivElem(10, 20), ivElem(20, 30)}
+	steps := Timeline(es)
+	if len(steps) != 1 || steps[0].Span != interval.Of(0, 30) || steps[0].Count != 1 {
+		t.Fatalf("steps = %v", steps)
+	}
+	// A count change still splits.
+	es = append(es, ivElem(10, 20))
+	steps = Timeline(es)
+	want := []TimelineStep{
+		{Span: interval.Of(0, 10), Count: 1},
+		{Span: interval.Of(10, 20), Count: 2},
+		{Span: interval.Of(20, 30), Count: 1},
+	}
+	if len(steps) != len(want) {
+		t.Fatalf("steps = %v", steps)
+	}
+	for i, w := range want {
+		if steps[i] != w {
+			t.Errorf("step %d = %v, want %v", i, steps[i], w)
+		}
+	}
+}

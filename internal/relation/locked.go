@@ -1,0 +1,110 @@
+package relation
+
+import (
+	"sync"
+
+	"repro/internal/chronon"
+	"repro/internal/element"
+	"repro/internal/surrogate"
+)
+
+// Locked wraps a Relation for concurrent use: writes take an exclusive
+// lock, queries a shared one. The underlying relation (and its guards'
+// incremental checkers) are single-threaded by design; Locked serializes
+// access so multiple goroutines can share one relation safely.
+//
+// Query results reference live elements; treat them as immutable snapshots
+// of identity — their TTEnd advances when a later transaction deletes
+// them, exactly as for the unlocked API.
+type Locked struct {
+	mu sync.RWMutex
+	r  *Relation
+}
+
+// NewLocked wraps an existing relation. The caller must not use the bare
+// relation concurrently afterwards.
+func NewLocked(r *Relation) *Locked { return &Locked{r: r} }
+
+// Unwrap returns the underlying relation for single-threaded phases (e.g.
+// bulk loading before serving). The caller is responsible for exclusion.
+func (l *Locked) Unwrap() *Relation { return l.r }
+
+// Insert stores a new element as a single transaction.
+func (l *Locked) Insert(ins Insertion) (*element.Element, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Insert(ins)
+}
+
+// Delete logically removes an element.
+func (l *Locked) Delete(es surrogate.Surrogate) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Delete(es)
+}
+
+// Modify replaces an element's valid time and varying values.
+func (l *Locked) Modify(es surrogate.Surrogate, vt element.Timestamp, varying []element.Value) (*element.Element, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Modify(es, vt, varying)
+}
+
+// Vacuum discards history before the horizon.
+func (l *Locked) Vacuum(horizon chronon.Chronon) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Vacuum(horizon)
+}
+
+// NewObject issues a fresh object surrogate.
+func (l *Locked) NewObject() surrogate.Surrogate {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.NewObject()
+}
+
+// Current returns the current historical state.
+func (l *Locked) Current() []*element.Element {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.r.Current()
+}
+
+// Rollback reconstructs the historical state at tt.
+func (l *Locked) Rollback(tt chronon.Chronon) []*element.Element {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.r.Rollback(tt)
+}
+
+// Timeslice answers the historical query at vt.
+func (l *Locked) Timeslice(vt chronon.Chronon) []*element.Element {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.r.Timeslice(vt)
+}
+
+// TimesliceAsOf answers the bitemporal query.
+func (l *Locked) TimesliceAsOf(vt, tt chronon.Chronon) []*element.Element {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.r.TimesliceAsOf(vt, tt)
+}
+
+// History returns an object's life-line.
+func (l *Locked) History(os surrogate.Surrogate) []*element.Element {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.r.History(os)
+}
+
+// Len reports the number of stored element versions.
+func (l *Locked) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.r.Len()
+}
+
+// Schema returns the relation's schema (immutable; no lock needed).
+func (l *Locked) Schema() Schema { return l.r.Schema() }

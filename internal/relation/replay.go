@@ -1,0 +1,94 @@
+package relation
+
+import (
+	"fmt"
+
+	"repro/internal/chronon"
+	"repro/internal/surrogate"
+	"repro/internal/tx"
+)
+
+// Replay reconstructs a relation from a persisted backlog: the append-only
+// journal of insertions and logical deletions is the authoritative history
+// (the backlog representation of [JMRS90] cited in §2), so replaying it
+// rebuilds every historical state. The records must be in non-decreasing
+// transaction-time order with internally consistent surrogates; Replay
+// validates as it goes and rejects corrupt histories.
+//
+// Replayed elements keep their original surrogates and transaction times;
+// the relation's generators are advanced past the replayed maxima so new
+// transactions cannot collide. If the clock supports AdvanceTo (as
+// tx.LogicalClock does) it is advanced to the last replayed transaction
+// time, keeping future transaction times monotone.
+//
+// Guards are not consulted during replay: the history was validated when
+// it was first stored. Attach enforcers after replaying.
+func Replay(schema Schema, clock tx.Clock, records []LogRecord) (*Relation, error) {
+	r := New(schema, clock)
+	lastTT := chronon.MinChronon
+	var maxES, maxOS uint64
+	for i, rec := range records {
+		if rec.TT < lastTT {
+			return nil, fmt.Errorf("relation: replay record %d: tt %v before %v", i, rec.TT, lastTT)
+		}
+		lastTT = rec.TT
+		switch rec.Op {
+		case OpInsert:
+			e := rec.Elem
+			if e == nil {
+				return nil, fmt.Errorf("relation: replay record %d: insert without element", i)
+			}
+			if e.ES.IsNone() || e.OS.IsNone() {
+				return nil, fmt.Errorf("relation: replay record %d: missing surrogate", i)
+			}
+			if _, dup := r.byES[e.ES]; dup {
+				return nil, fmt.Errorf("relation: replay record %d: duplicate element surrogate %v", i, e.ES)
+			}
+			if e.VT.Kind() != schema.ValidTime {
+				return nil, fmt.Errorf("relation: replay record %d: %v stamp in %v relation", i, e.VT.Kind(), schema.ValidTime)
+			}
+			if err := checkValues(schema.Name, "time-invariant", schema.Invariant, e.Invariant); err != nil {
+				return nil, fmt.Errorf("relation: replay record %d: %w", i, err)
+			}
+			if err := checkValues(schema.Name, "time-varying", schema.Varying, e.Varying); err != nil {
+				return nil, fmt.Errorf("relation: replay record %d: %w", i, err)
+			}
+			cp := e.Clone()
+			cp.TTStart = rec.TT
+			cp.TTEnd = chronon.Forever
+			r.applyInsert(cp)
+			if u := uint64(cp.ES); u > maxES {
+				maxES = u
+			}
+			if u := uint64(cp.OS); u > maxOS {
+				maxOS = u
+			}
+		case OpDelete:
+			if rec.Elem == nil {
+				return nil, fmt.Errorf("relation: replay record %d: delete without element", i)
+			}
+			target, ok := r.byES[rec.Elem.ES]
+			if !ok {
+				return nil, fmt.Errorf("relation: replay record %d: delete of unknown element %v", i, rec.Elem.ES)
+			}
+			if !target.Current() {
+				return nil, fmt.Errorf("relation: replay record %d: delete of already-deleted element %v", i, rec.Elem.ES)
+			}
+			r.applyDelete(target, rec.TT)
+		default:
+			return nil, fmt.Errorf("relation: replay record %d: unknown op %d", i, rec.Op)
+		}
+	}
+	r.esGen.Reserve(maxES)
+	r.osGen.Reserve(maxOS)
+	if adv, ok := clock.(interface{ AdvanceTo(chronon.Chronon) }); ok && lastTT != chronon.MinChronon {
+		adv.AdvanceTo(lastTT)
+	}
+	return r, nil
+}
+
+// ReservedSurrogates reports the highest element and object surrogates in
+// use, for persistence metadata.
+func (r *Relation) ReservedSurrogates() (es, os surrogate.Surrogate) {
+	return surrogate.Surrogate(r.esGen.Issued()), surrogate.Surrogate(r.osGen.Issued())
+}

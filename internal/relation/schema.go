@@ -1,0 +1,90 @@
+// Package relation implements the temporal relation of the paper's
+// conceptual model (§2): a sequence of historical states indexed by
+// transaction time, holding temporal elements with both transaction and
+// valid time-stamps. It supports the three kinds of queries the paper
+// requires of temporal relations — current, historical (time-slice), and
+// rollback — plus per-surrogate partitioning into life-lines.
+package relation
+
+import (
+	"fmt"
+
+	"repro/internal/chronon"
+	"repro/internal/element"
+)
+
+// Column describes one attribute of a relation.
+type Column struct {
+	Name string
+	Type element.ValueKind
+}
+
+// Schema describes a temporal relation: its name, whether its elements are
+// event- or interval-stamped, the valid time-stamp granularity, and its
+// attribute layout. Per §2, attributes divide into time-invariant values
+// (e.g. the time-invariant key: social-security, account, or membership
+// numbers), time-varying values (e.g. title and salary), and user-defined
+// times, to which the system gives no temporal semantics.
+type Schema struct {
+	Name        string
+	ValidTime   element.TimestampKind
+	Granularity chronon.Granularity
+	Invariant   []Column // time-invariant attributes
+	Varying     []Column // time-varying attributes
+	UserTimes   []string // names of user-defined time attributes
+}
+
+// Validate reports whether the schema is well formed.
+func (s Schema) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("relation: schema has no name")
+	}
+	if !s.Granularity.Valid() {
+		return fmt.Errorf("relation %s: invalid granularity %d", s.Name, s.Granularity)
+	}
+	seen := make(map[string]bool)
+	check := func(group string, names []string) error {
+		for _, n := range names {
+			if n == "" {
+				return fmt.Errorf("relation %s: empty %s attribute name", s.Name, group)
+			}
+			if seen[n] {
+				return fmt.Errorf("relation %s: duplicate attribute %q", s.Name, n)
+			}
+			seen[n] = true
+		}
+		return nil
+	}
+	var inv, vary []string
+	for _, c := range s.Invariant {
+		inv = append(inv, c.Name)
+	}
+	for _, c := range s.Varying {
+		vary = append(vary, c.Name)
+	}
+	if err := check("time-invariant", inv); err != nil {
+		return err
+	}
+	if err := check("time-varying", vary); err != nil {
+		return err
+	}
+	return check("user-defined time", s.UserTimes)
+}
+
+// checkValues verifies that the supplied attribute values match the columns
+// in arity and type (null is accepted anywhere).
+func checkValues(rel, group string, cols []Column, vals []element.Value) error {
+	if len(vals) != len(cols) {
+		return fmt.Errorf("relation %s: %d %s values for %d columns", rel, len(vals), group, len(cols))
+	}
+	for i, v := range vals {
+		if v.IsNull() {
+			continue
+		}
+		if v.Kind() != cols[i].Type {
+			return fmt.Errorf("relation %s: %s attribute %q: got %v, want %v",
+				rel, group, cols[i].Name, v.Kind(), cols[i].Type)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package relation
+
+import (
+	"testing"
+
+	"repro/internal/chronon"
+	"repro/internal/element"
+)
+
+func eventSchema() Schema {
+	return Schema{
+		Name:        "readings",
+		ValidTime:   element.EventStamp,
+		Granularity: chronon.Second,
+		Invariant:   []Column{{Name: "sensor", Type: element.KindString}},
+		Varying:     []Column{{Name: "temp", Type: element.KindFloat}},
+	}
+}
+
+func intervalSchema() Schema {
+	return Schema{
+		Name:        "assignments",
+		ValidTime:   element.IntervalStamp,
+		Granularity: chronon.Second,
+		Invariant:   []Column{{Name: "emp", Type: element.KindString}},
+		Varying:     []Column{{Name: "project", Type: element.KindString}},
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	if err := eventSchema().Validate(); err != nil {
+		t.Errorf("valid schema rejected: %v", err)
+	}
+	bad := []Schema{
+		{},
+		{Name: "x", Granularity: 0},
+		{Name: "x", Granularity: chronon.Second,
+			Invariant: []Column{{Name: "", Type: element.KindInt}}},
+		{Name: "x", Granularity: chronon.Second,
+			Invariant: []Column{{Name: "a", Type: element.KindInt}},
+			Varying:   []Column{{Name: "a", Type: element.KindInt}}},
+		{Name: "x", Granularity: chronon.Second,
+			Varying:   []Column{{Name: "a", Type: element.KindInt}},
+			UserTimes: []string{"a"}},
+		{Name: "x", Granularity: chronon.Second, UserTimes: []string{""}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad schema %d accepted", i)
+		}
+	}
+}
+
+func TestSchemaValueChecking(t *testing.T) {
+	cols := []Column{{Name: "a", Type: element.KindInt}, {Name: "b", Type: element.KindString}}
+	if err := checkValues("r", "test", cols, []element.Value{element.Int(1), element.String_("x")}); err != nil {
+		t.Errorf("matching values rejected: %v", err)
+	}
+	if err := checkValues("r", "test", cols, []element.Value{element.Null(), element.Null()}); err != nil {
+		t.Errorf("nulls rejected: %v", err)
+	}
+	if err := checkValues("r", "test", cols, []element.Value{element.Int(1)}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if err := checkValues("r", "test", cols, []element.Value{element.String_("x"), element.String_("y")}); err == nil {
+		t.Error("type mismatch accepted")
+	}
+}

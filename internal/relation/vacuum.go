@@ -1,0 +1,95 @@
+package relation
+
+import (
+	"fmt"
+
+	"repro/internal/chronon"
+	"repro/internal/element"
+	"repro/internal/surrogate"
+)
+
+// Vacuum physically discards element versions that were logically deleted
+// at or before the horizon, together with their backlog records. Temporal
+// relations are append-only in principle, but practical systems bound the
+// history they retain; vacuuming trades away the ability to roll back to
+// states before the horizon.
+//
+// After Vacuum(h):
+//
+//   - Current, Timeslice, and every query at transaction times ≥ h are
+//     unchanged;
+//   - Rollback(tt) for tt < h is no longer faithful (it reports only the
+//     surviving elements) — callers should consult VacuumHorizon first;
+//   - the backlog reflects the surviving history only, and insert records
+//     of vacuumed elements are gone.
+//
+// Vacuum returns the number of element versions discarded. The horizon
+// must not regress: vacuuming to an earlier horizon than a previous call
+// is an error.
+func (r *Relation) Vacuum(horizon chronon.Chronon) (int, error) {
+	if horizon < r.vacuumedTo {
+		return 0, fmt.Errorf("relation %s: vacuum horizon %v before existing horizon %v",
+			r.schema.Name, horizon, r.vacuumedTo)
+	}
+	r.vacuumedTo = horizon
+
+	dead := func(e *element.Element) bool { return e.TTEnd <= horizon }
+
+	removed := 0
+	keptVersions := r.versions[:0]
+	for _, e := range r.versions {
+		if dead(e) {
+			removed++
+			delete(r.byES, e.ES)
+			continue
+		}
+		keptVersions = append(keptVersions, e)
+	}
+	if removed == 0 {
+		return 0, nil
+	}
+	r.versions = keptVersions
+
+	keptLog := r.log[:0]
+	for _, rec := range r.log {
+		if dead(rec.Elem) {
+			continue
+		}
+		keptLog = append(keptLog, rec)
+	}
+	r.log = keptLog
+
+	keptOrder := r.osOrder[:0]
+	for _, os := range r.osOrder {
+		line := r.byOS[os]
+		keptLine := line[:0]
+		for _, e := range line {
+			if !dead(e) {
+				keptLine = append(keptLine, e)
+			}
+		}
+		if len(keptLine) == 0 {
+			delete(r.byOS, os)
+			continue
+		}
+		r.byOS[os] = keptLine
+		keptOrder = append(keptOrder, os)
+	}
+	r.osOrder = keptOrder
+	return removed, nil
+}
+
+// VacuumHorizon reports the transaction time up to which history has been
+// vacuumed (MinChronon if never). Rollback queries strictly before the
+// horizon are not faithful.
+func (r *Relation) VacuumHorizon() chronon.Chronon { return r.vacuumedTo }
+
+// CanRollbackTo reports whether a rollback to tt reproduces the historical
+// state faithfully.
+func (r *Relation) CanRollbackTo(tt chronon.Chronon) bool {
+	return tt >= r.vacuumedTo
+}
+
+// LiveObjects reports the object surrogates that still have versions after
+// vacuuming, in first-seen order.
+func (r *Relation) LiveObjects() []surrogate.Surrogate { return r.osOrder }

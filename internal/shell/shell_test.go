@@ -1,0 +1,302 @@
+package shell
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runScript executes a sequence of commands in a fresh session and returns
+// the combined output.
+func runScript(t *testing.T, lines ...string) (*Session, string) {
+	t.Helper()
+	var sb strings.Builder
+	s := New(&sb)
+	s.Run(strings.NewReader(strings.Join(lines, "\n")), false)
+	return s, sb.String()
+}
+
+func TestCreateInsertQuery(t *testing.T) {
+	_, out := runScript(t,
+		"create temps event second",
+		"insert temps vt=5",
+		"insert temps vt=15",
+		"current temps",
+		"timeslice temps 5",
+		"rollback temps 10",
+	)
+	for _, want := range []string{
+		"created temps",
+		"inserted σ1",
+		"inserted σ2",
+		"2 element(s)",
+		"1 element(s)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDeclareAndReject(t *testing.T) {
+	_, out := runScript(t,
+		"create temps event second",
+		"declare temps per-relation retroactive sequential",
+		"insert temps vt=5",
+		"insert temps vt=9999999",
+	)
+	if !strings.Contains(out, "declared retroactive") {
+		t.Errorf("missing declaration echo:\n%s", out)
+	}
+	if !strings.Contains(out, "error:") || !strings.Contains(out, "retroactive violated") {
+		t.Errorf("violation not reported:\n%s", out)
+	}
+}
+
+func TestDeclareAllSpecKinds(t *testing.T) {
+	s, out := runScript(t,
+		"create ev event second",
+		"declare ev per-relation delayed-retroactive 30s",
+		"declare ev per-relation early-predictive 1d",
+		"declare ev per-relation retro-bounded 1mo",
+		"declare ev per-relation pred-bounded 30d",
+		"declare ev per-relation strongly-retro-bounded 2d",
+		"declare ev per-relation strongly-pred-bounded 2d",
+		"declare ev per-relation strongly-bounded 1d 2d",
+		"declare ev per-relation degenerate",
+		"declare ev per-relation non-decreasing non-increasing",
+		"declare ev per-relation tt-regular 60s vt-regular 60s temporal-regular 60s",
+		"create iv interval second",
+		"declare iv per-partition contiguous",
+		"declare iv per-relation st-before",
+		"declare iv per-relation sequential-intervals",
+		"declare iv per-relation vt-interval-regular 1w",
+	)
+	if strings.Contains(out, "error:") {
+		t.Fatalf("declaration errors:\n%s", out)
+	}
+	if _, ok := s.Relation("ev"); !ok {
+		t.Fatal("relation lost")
+	}
+}
+
+func TestDeclareErrors(t *testing.T) {
+	_, out := runScript(t,
+		"create ev event second",
+		"declare ev per-relation sideways",
+		"declare ev somewhere retroactive",
+		"declare ev per-relation delayed-retroactive",
+		"declare ev per-relation",
+		"declare ghost per-relation retroactive",
+		"declare ev per-relation st-diagonal",
+	)
+	if got := strings.Count(out, "error:"); got != 6 {
+		t.Errorf("expected 6 errors, saw %d:\n%s", got, out)
+	}
+}
+
+func TestIntervalInsertAndAllenQuery(t *testing.T) {
+	_, out := runScript(t,
+		"create shifts interval second",
+		"insert shifts vt=[0,100)",
+		"insert shifts vt=[100,200)",
+		"select * from shifts when meets [100, 150)",
+	)
+	if !strings.Contains(out, "(1 row(s))") {
+		t.Errorf("Allen select wrong:\n%s", out)
+	}
+}
+
+func TestObjectSurrogates(t *testing.T) {
+	s, out := runScript(t,
+		"create ev event second",
+		"insert ev os=7 vt=1",
+		"insert ev os=7 vt=2",
+		"classify ev",
+	)
+	r, _ := s.Relation("ev")
+	if got := len(r.Objects()); got != 1 {
+		t.Errorf("objects = %d, want 1", got)
+	}
+	if !strings.Contains(out, "most specific:") {
+		t.Errorf("classify output missing:\n%s", out)
+	}
+}
+
+func TestAdviseAndClock(t *testing.T) {
+	_, out := runScript(t,
+		"create ev event second",
+		"insert ev vt=10",
+		"clock ev advance 1000",
+		"insert ev vt=500",
+		"advise ev",
+	)
+	if !strings.Contains(out, "storage advice:") {
+		t.Errorf("advise output missing:\n%s", out)
+	}
+	if !strings.Contains(out, "clock now") {
+		t.Errorf("clock output missing:\n%s", out)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ev.tsbl")
+	s, out := runScript(t,
+		"create ev event second",
+		"insert ev vt=5",
+		"insert ev vt=15",
+		"delete ev 1",
+		"save ev "+path,
+		"load ev2 "+path,
+		"current ev2",
+	)
+	if !strings.Contains(out, "saved ev (3 backlog records, 0 declarations)") {
+		t.Errorf("save output wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "loaded ev2: 2 element version(s), 0 declaration(s) re-attached") {
+		t.Errorf("load output wrong:\n%s", out)
+	}
+	r2, ok := s.Relation("ev2")
+	if !ok || len(r2.Current()) != 1 {
+		t.Fatal("restored relation wrong")
+	}
+	// Loading over an existing name fails.
+	if err := s.Exec("load ev2 " + path); err == nil {
+		t.Error("load over existing relation accepted")
+	}
+}
+
+func TestVacuumCommand(t *testing.T) {
+	s, out := runScript(t,
+		"create ev event second",
+		"insert ev vt=1",
+		"insert ev vt=2",
+		"delete ev 1",
+		"vacuum ev 100",
+	)
+	if !strings.Contains(out, "vacuumed 1 version(s)") {
+		t.Errorf("vacuum output wrong:\n%s", out)
+	}
+	r, _ := s.Relation("ev")
+	if r.Len() != 1 {
+		t.Errorf("Len after vacuum = %d", r.Len())
+	}
+	if err := s.Exec("vacuum ev 50"); err == nil {
+		t.Error("regressing vacuum accepted")
+	}
+}
+
+func TestDateTimeArguments(t *testing.T) {
+	_, out := runScript(t,
+		"create ev event day",
+		"clock ev advance 700000000",
+		"insert ev vt=1992-02-03",
+		"timeslice ev 1992-02-03",
+	)
+	if !strings.Contains(out, "1 element(s)") {
+		t.Errorf("date-time args failed:\n%s", out)
+	}
+}
+
+func TestErrorsAndHelp(t *testing.T) {
+	_, out := runScript(t,
+		"help",
+		"frobnicate",
+		"create",
+		"create ev sideways second",
+		"create ev event second",
+		"create ev event second", // duplicate
+		"insert ghost vt=1",
+		"insert ev",
+		"insert ev vt=[5,2)",
+		"insert ev novalue",
+		"delete ev σ99",
+		"delete ev notanumber",
+		"current ghost",
+		"timeslice ev",
+		"rollback ev notatime",
+		"classify ev",
+		"clock ev advance -5",
+		"clock ev backward 5",
+		"dump ghost",
+		"select * from ghost",
+	)
+	if !strings.Contains(out, "commands:") {
+		t.Error("help missing")
+	}
+	// Count only genuine failures; `classify ev` fails because the
+	// relation is empty.
+	if got := strings.Count(out, "error:"); got < 15 {
+		t.Errorf("expected many errors, saw %d:\n%s", got, out)
+	}
+}
+
+func TestCommentsAndBlankLinesSkipped(t *testing.T) {
+	_, out := runScript(t,
+		"# a comment",
+		"",
+		"create ev event second",
+		"   ",
+		"quit",
+		"create never event second",
+	)
+	if strings.Contains(out, "created never") {
+		t.Error("commands after quit executed")
+	}
+	if !strings.Contains(out, "created ev") {
+		t.Error("session did not run")
+	}
+}
+
+func TestDumpShowsVersions(t *testing.T) {
+	_, out := runScript(t,
+		"create ev event second",
+		"insert ev vt=1",
+		"delete ev 1",
+		"dump ev",
+	)
+	if !strings.Contains(out, "1 stored element version(s)") {
+		t.Errorf("dump output wrong:\n%s", out)
+	}
+}
+
+func TestInteractiveBanner(t *testing.T) {
+	var sb strings.Builder
+	s := New(&sb)
+	s.Run(strings.NewReader("create ev event second\n"), true)
+	if !strings.Contains(sb.String(), "tsdb — temporal specialization shell") {
+		t.Error("banner missing")
+	}
+	if !strings.Contains(sb.String(), "tsdb>") {
+		t.Error("prompt missing")
+	}
+}
+
+func TestSaveLoadDeclarationsRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "decl.tsbl")
+	s, out := runScript(t,
+		"create ev event second",
+		"declare ev per-relation retroactive sequential",
+		"insert ev vt=5",
+		"insert ev vt=15",
+		"save ev "+path,
+		"load ev2 "+path,
+		// The restored relation must still enforce both declarations.
+		"insert ev2 vt=99999999",
+		"insert ev2 vt=10",
+		"insert ev2 vt=25",
+	)
+	if !strings.Contains(out, "2 declarations)") {
+		t.Errorf("save did not persist declarations:\n%s", out)
+	}
+	if !strings.Contains(out, "2 declaration(s) re-attached") {
+		t.Errorf("load did not restore declarations:\n%s", out)
+	}
+	if got := strings.Count(out, "error:"); got != 2 {
+		t.Errorf("expected 2 enforcement rejections after load, saw %d:\n%s", got, out)
+	}
+	r2, _ := s.Relation("ev2")
+	if len(r2.Current()) != 3 {
+		t.Errorf("valid continuation missing: %d current", len(r2.Current()))
+	}
+}

@@ -1,0 +1,82 @@
+package storage
+
+import (
+	"repro/internal/core"
+	"repro/internal/element"
+)
+
+// Advice is the advisor's physical-design recommendation for a relation
+// with the given declared specializations.
+type Advice struct {
+	Store   Kind
+	Reasons []string
+}
+
+// New instantiates the advised store.
+func (a Advice) New() Store {
+	switch a.Store {
+	case VTOrdered:
+		return NewVTLog()
+	case TTOrdered:
+		return NewTTLog()
+	}
+	return NewHeap()
+}
+
+// Advise maps declared specialization classes to a physical organization,
+// following the paper's optimization remarks:
+//
+//   - A degenerate relation is append-only in a single shared order
+//     (vt = tt), so one vt-ordered log serves every query kind (§3.1).
+//   - A globally sequential or non-decreasing relation is entered in valid
+//     time-stamp order, so the arrival log is simultaneously vt-ordered and
+//     historical queries can binary-search it (§3.2). Interval relations
+//     need sequentiality (non-overlap); mere non-decrease only orders the
+//     starts, which suffices for events.
+//   - Any other relation still benefits from the tt-ordered arrival log
+//     for rollback queries, but valid-time queries must scan (or maintain
+//     a separate index, whose cost the general design pays and the
+//     specialized ones avoid).
+//
+// stampKind says whether the relation is event- or interval-stamped.
+func Advise(classes []core.Class, stampKind element.TimestampKind) Advice {
+	has := make(map[core.Class]bool, len(classes))
+	for _, c := range classes {
+		has[c] = true
+		// Declaring a specialization implies every generalization of it.
+		for _, a := range core.Ancestors(c) {
+			has[a] = true
+		}
+	}
+	switch {
+	case has[core.Degenerate]:
+		return Advice{Store: VTOrdered, Reasons: []string{
+			"degenerate: vt = tt, so the relation is append-only in a single shared order",
+			"treat as a rollback relation; the tt log doubles as a vt index",
+		}}
+	case stampKind == element.EventStamp && has[core.GloballySequentialEvents]:
+		return Advice{Store: VTOrdered, Reasons: []string{
+			"globally sequential: valid time approximates transaction time",
+			"append-only log supports historical as well as rollback queries",
+		}}
+	case stampKind == element.EventStamp && has[core.GloballyNonDecreasingEvents]:
+		return Advice{Store: VTOrdered, Reasons: []string{
+			"globally non-decreasing: elements arrive in valid time-stamp order",
+		}}
+	case stampKind == element.IntervalStamp && has[core.GloballySequentialIntervals]:
+		return Advice{Store: VTOrdered, Reasons: []string{
+			"globally sequential intervals: non-overlapping and entered in order",
+			"interval starts and ends are both non-decreasing; binary search is sound",
+		}}
+	default:
+		reasons := []string{
+			"no valid-time ordering declared: valid-time queries must scan",
+			"tt-ordered arrival log still accelerates rollback",
+		}
+		if stampKind == element.EventStamp && has[core.StronglyBounded] {
+			reasons = append(reasons,
+				"two-sided bound declared: enable tt-window pushdown for valid-time queries (EnableBoundedPushdown)")
+		}
+		return Advice{Store: TTOrdered, Reasons: reasons}
+	}
+}

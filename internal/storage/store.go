@@ -1,0 +1,330 @@
+// Package storage provides physical organizations for temporal relations
+// and an advisor that selects among them based on declared temporal
+// specializations.
+//
+// This realizes the paper's claimed benefit (§1): "The additional
+// semantics, when captured by an appropriately extended database system,
+// may be used for selecting appropriate storage structures, indexing
+// techniques, and query processing strategies" — and the concrete §3.1
+// observation that "at the implementation level, a degenerate temporal
+// relation can be advantageously treated as a rollback relation due to the
+// fact that relations are append-only and elements are entered in
+// time-stamp order", plus the §3.2 observation that in globally sequential
+// relations "valid time can be approximated with transaction time,
+// yielding an append-only relation that can support historical (as well as
+// transaction time) queries."
+//
+// Every access path reports how many elements it touched, so the benefit
+// of a specialized organization is directly measurable.
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/chronon"
+	"repro/internal/element"
+)
+
+// Kind identifies a physical organization.
+type Kind uint8
+
+const (
+	// Heap stores elements in arrival order and assumes nothing: every
+	// query scans the whole store. This is the only safe organization for
+	// a general temporal relation without auxiliary indexes.
+	Heap Kind = iota
+	// TTOrdered keeps elements ordered by insertion transaction time
+	// (which the engine produces naturally): rollback queries binary-
+	// search the prefix; valid-time queries still scan.
+	TTOrdered
+	// VTOrdered additionally relies on a declared non-decreasing
+	// specialization: elements arrive in valid-time order, so the store
+	// is simultaneously tt- and vt-ordered and valid-time queries
+	// binary-search. Interval relations additionally need sequentiality
+	// (non-overlap) for point lookups to be complete.
+	VTOrdered
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Heap:
+		return "heap"
+	case TTOrdered:
+		return "tt-ordered log"
+	case VTOrdered:
+		return "vt-ordered log"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Store is a physical organization of a temporal relation's elements.
+// Implementations are not safe for concurrent mutation.
+type Store interface {
+	Kind() Kind
+	Len() int
+	// Insert appends a newly stored element. Elements must arrive in
+	// non-decreasing tt⊢ order (the engine's natural order); VTOrdered
+	// additionally requires non-decreasing valid-time order and returns an
+	// error when the assumption its specialization promised is broken.
+	Insert(e *element.Element) error
+	// Scan visits every element; it returns the number touched.
+	Scan(visit func(*element.Element) bool) int
+	// Timeslice returns the current elements valid at vt and the number of
+	// elements touched to find them.
+	Timeslice(vt chronon.Chronon) ([]*element.Element, int)
+	// VTRange returns the current elements whose valid time intersects
+	// [lo, hi) and the number touched.
+	VTRange(lo, hi chronon.Chronon) ([]*element.Element, int)
+	// Rollback returns the elements present at transaction time tt and the
+	// number touched.
+	Rollback(tt chronon.Chronon) ([]*element.Element, int)
+}
+
+// exclusiveEnd returns the first chronon after the element's valid time:
+// end for intervals, the event chronon plus one for events.
+func exclusiveEnd(e *element.Element) chronon.Chronon {
+	if c, ok := e.VT.Event(); ok {
+		return c.Add(1)
+	}
+	return e.VT.End()
+}
+
+// validAtRange reports whether the element's valid time intersects [lo, hi).
+func validAtRange(e *element.Element, lo, hi chronon.Chronon) bool {
+	if c, ok := e.VT.Event(); ok {
+		return lo <= c && c < hi
+	}
+	iv, _ := e.VT.Interval()
+	return iv.Start < hi && lo < iv.End
+}
+
+// HeapStore is the general-purpose organization: arrival order, full scans.
+type HeapStore struct {
+	elems []*element.Element
+}
+
+// NewHeap returns an empty heap store.
+func NewHeap() *HeapStore { return &HeapStore{} }
+
+// Kind reports Heap.
+func (s *HeapStore) Kind() Kind { return Heap }
+
+// Len reports the number of stored elements.
+func (s *HeapStore) Len() int { return len(s.elems) }
+
+// Insert appends the element.
+func (s *HeapStore) Insert(e *element.Element) error {
+	s.elems = append(s.elems, e)
+	return nil
+}
+
+// Scan visits every element.
+func (s *HeapStore) Scan(visit func(*element.Element) bool) int {
+	for i, e := range s.elems {
+		if !visit(e) {
+			return i + 1
+		}
+	}
+	return len(s.elems)
+}
+
+// Timeslice scans the whole store.
+func (s *HeapStore) Timeslice(vt chronon.Chronon) ([]*element.Element, int) {
+	return s.VTRange(vt, vt.Add(1))
+}
+
+// VTRange scans the whole store.
+func (s *HeapStore) VTRange(lo, hi chronon.Chronon) ([]*element.Element, int) {
+	var out []*element.Element
+	for _, e := range s.elems {
+		if e.Current() && validAtRange(e, lo, hi) {
+			out = append(out, e)
+		}
+	}
+	return out, len(s.elems)
+}
+
+// Rollback scans the whole store.
+func (s *HeapStore) Rollback(tt chronon.Chronon) ([]*element.Element, int) {
+	var out []*element.Element
+	for _, e := range s.elems {
+		if e.PresentAt(tt) {
+			out = append(out, e)
+		}
+	}
+	return out, len(s.elems)
+}
+
+// TTLogStore keeps elements in tt⊢ order (the engine's arrival order) and
+// exploits it for rollback: the candidates are exactly the prefix with
+// tt⊢ ≤ tt, found by binary search.
+type TTLogStore struct {
+	elems []*element.Element
+}
+
+// NewTTLog returns an empty tt-ordered log store.
+func NewTTLog() *TTLogStore { return &TTLogStore{} }
+
+// Kind reports TTOrdered.
+func (s *TTLogStore) Kind() Kind { return TTOrdered }
+
+// Len reports the number of stored elements.
+func (s *TTLogStore) Len() int { return len(s.elems) }
+
+// Insert appends the element, verifying tt order.
+func (s *TTLogStore) Insert(e *element.Element) error {
+	if n := len(s.elems); n > 0 && e.TTStart < s.elems[n-1].TTStart {
+		return fmt.Errorf("storage: tt-ordered insert out of order (%v after %v)",
+			e.TTStart, s.elems[n-1].TTStart)
+	}
+	s.elems = append(s.elems, e)
+	return nil
+}
+
+// Scan visits every element.
+func (s *TTLogStore) Scan(visit func(*element.Element) bool) int {
+	for i, e := range s.elems {
+		if !visit(e) {
+			return i + 1
+		}
+	}
+	return len(s.elems)
+}
+
+// Timeslice scans the whole store: tt order says nothing about vt.
+func (s *TTLogStore) Timeslice(vt chronon.Chronon) ([]*element.Element, int) {
+	return s.VTRange(vt, vt.Add(1))
+}
+
+// VTRange scans the whole store.
+func (s *TTLogStore) VTRange(lo, hi chronon.Chronon) ([]*element.Element, int) {
+	var out []*element.Element
+	for _, e := range s.elems {
+		if e.Current() && validAtRange(e, lo, hi) {
+			out = append(out, e)
+		}
+	}
+	return out, len(s.elems)
+}
+
+// Rollback binary-searches for the prefix with tt⊢ ≤ tt and filters it for
+// elements still present at tt. Touched is the prefix length.
+func (s *TTLogStore) Rollback(tt chronon.Chronon) ([]*element.Element, int) {
+	n := sort.Search(len(s.elems), func(i int) bool { return s.elems[i].TTStart > tt })
+	var out []*element.Element
+	for _, e := range s.elems[:n] {
+		if e.PresentAt(tt) {
+			out = append(out, e)
+		}
+	}
+	return out, n
+}
+
+// TTWindow returns the elements with lo ≤ tt⊢ ≤ hi, found by binary search
+// on the insertion order. The touched count is the window size plus the
+// probe. This is the access path that bounded specializations unlock: a
+// declared lo ≤ vt − tt ≤ hi turns a valid-time predicate into exactly
+// such a transaction-time window.
+func (s *TTLogStore) TTWindow(lo, hi chronon.Chronon) ([]*element.Element, int) {
+	start := sort.Search(len(s.elems), func(i int) bool { return s.elems[i].TTStart >= lo })
+	var out []*element.Element
+	touched := 1
+	for i := start; i < len(s.elems) && s.elems[i].TTStart <= hi; i++ {
+		out = append(out, s.elems[i])
+		touched++
+	}
+	return out, touched
+}
+
+// VTLogStore relies on a declared non-decreasing specialization: arrival
+// order is simultaneously tt order and valid-time order, so one append-only
+// structure serves transaction-time and valid-time queries alike — the
+// paper's append-only relation "that can support historical (as well as
+// transaction time) queries". Insert enforces the promised order and fails
+// loudly if the declaration was wrong.
+type VTLogStore struct {
+	elems []*element.Element
+}
+
+// NewVTLog returns an empty vt-ordered log store.
+func NewVTLog() *VTLogStore { return &VTLogStore{} }
+
+// Kind reports VTOrdered.
+func (s *VTLogStore) Kind() Kind { return VTOrdered }
+
+// Len reports the number of stored elements.
+func (s *VTLogStore) Len() int { return len(s.elems) }
+
+// Insert appends the element, verifying both orders.
+func (s *VTLogStore) Insert(e *element.Element) error {
+	if n := len(s.elems); n > 0 {
+		last := s.elems[n-1]
+		if e.TTStart < last.TTStart {
+			return fmt.Errorf("storage: vt-ordered insert out of tt order (%v after %v)",
+				e.TTStart, last.TTStart)
+		}
+		if e.VT.Start() < last.VT.Start() {
+			return fmt.Errorf("storage: vt-ordered insert out of vt order (%v after %v); "+
+				"the non-decreasing declaration is violated", e.VT.Start(), last.VT.Start())
+		}
+	}
+	s.elems = append(s.elems, e)
+	return nil
+}
+
+// Scan visits every element.
+func (s *VTLogStore) Scan(visit func(*element.Element) bool) int {
+	for i, e := range s.elems {
+		if !visit(e) {
+			return i + 1
+		}
+	}
+	return len(s.elems)
+}
+
+// Timeslice binary-searches the valid-time order.
+func (s *VTLogStore) Timeslice(vt chronon.Chronon) ([]*element.Element, int) {
+	return s.VTRange(vt, vt.Add(1))
+}
+
+// VTRange binary-searches for the first element that could intersect
+// [lo, hi) and walks forward until starts pass hi. For interval elements
+// the walk starts at the beginning of the run of intervals that may still
+// cover lo; with a sequential (non-overlapping) relation that run has
+// length ≤ 1, keeping the touched count near the answer size.
+func (s *VTLogStore) VTRange(lo, hi chronon.Chronon) ([]*element.Element, int) {
+	n := len(s.elems)
+	// First index whose valid time may reach past lo. An event at c covers
+	// the half-open [c, c+1), so its exclusive end is c+1; an interval's
+	// end is already exclusive. For sequential intervals ends are
+	// non-decreasing, so the predicate is monotone and binary search is
+	// sound.
+	start := sort.Search(n, func(i int) bool { return exclusiveEnd(s.elems[i]) > lo })
+	var out []*element.Element
+	touched := 0
+	for i := start; i < n; i++ {
+		e := s.elems[i]
+		touched++
+		if e.VT.Start() >= hi {
+			break
+		}
+		if e.Current() && validAtRange(e, lo, hi) {
+			out = append(out, e)
+		}
+	}
+	return out, touched + 1 // +1 accounts for the binary-search probe cost
+}
+
+// Rollback binary-searches the tt order (shared with arrival order).
+func (s *VTLogStore) Rollback(tt chronon.Chronon) ([]*element.Element, int) {
+	n := sort.Search(len(s.elems), func(i int) bool { return s.elems[i].TTStart > tt })
+	var out []*element.Element
+	for _, e := range s.elems[:n] {
+		if e.PresentAt(tt) {
+			out = append(out, e)
+		}
+	}
+	return out, n
+}

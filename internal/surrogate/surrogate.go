@@ -1,0 +1,63 @@
+// Package surrogate provides system-generated surrogate identifiers.
+//
+// The paper's conceptual model (§2) gives each temporal element an element
+// surrogate — "a system-generated, unique identifier of an element that can
+// be referenced and compared for equality, but not displayed to the user" —
+// and each modeled real-world object an object surrogate that partitions a
+// relation into life-lines (the per-surrogate partitioning).
+package surrogate
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Surrogate is an opaque unique identifier. The zero value None denotes
+// "no surrogate". Surrogates support only equality comparison and use as
+// map keys; their numeric content is an implementation detail and is never
+// shown to end users (String renders a debugging form only).
+type Surrogate uint64
+
+// None is the absent surrogate.
+const None Surrogate = 0
+
+// IsNone reports whether the surrogate is absent.
+func (s Surrogate) IsNone() bool { return s == None }
+
+// String renders a debugging form. Per the paper, surrogates are not
+// displayed to users; this form exists for logs and tests only.
+func (s Surrogate) String() string {
+	if s == None {
+		return "⊥"
+	}
+	return fmt.Sprintf("σ%d", uint64(s))
+}
+
+// Generator produces unique surrogates. It is safe for concurrent use.
+type Generator struct {
+	last atomic.Uint64
+}
+
+// NewGenerator returns a generator whose first surrogate is 1.
+func NewGenerator() *Generator { return &Generator{} }
+
+// Next returns a fresh surrogate, distinct from all previously returned by
+// this generator.
+func (g *Generator) Next() Surrogate {
+	return Surrogate(g.last.Add(1))
+}
+
+// Issued returns how many surrogates the generator has handed out.
+func (g *Generator) Issued() uint64 { return g.last.Load() }
+
+// Reserve advances the generator past n, so that surrogates up to and
+// including n are never issued again. Used when replaying a persisted
+// backlog whose elements already carry surrogates.
+func (g *Generator) Reserve(n uint64) {
+	for {
+		cur := g.last.Load()
+		if cur >= n || g.last.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}

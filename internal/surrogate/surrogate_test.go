@@ -1,0 +1,97 @@
+package surrogate
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGeneratorUnique(t *testing.T) {
+	g := NewGenerator()
+	seen := make(map[Surrogate]bool)
+	for i := 0; i < 1000; i++ {
+		s := g.Next()
+		if s.IsNone() {
+			t.Fatal("generator issued None")
+		}
+		if seen[s] {
+			t.Fatalf("duplicate surrogate %v", s)
+		}
+		seen[s] = true
+	}
+	if g.Issued() != 1000 {
+		t.Errorf("Issued = %d, want 1000", g.Issued())
+	}
+}
+
+func TestGeneratorConcurrent(t *testing.T) {
+	g := NewGenerator()
+	const workers, per = 8, 500
+	out := make([][]Surrogate, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				out[w] = append(out[w], g.Next())
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[Surrogate]bool)
+	for _, batch := range out {
+		for _, s := range batch {
+			if seen[s] {
+				t.Fatalf("duplicate surrogate %v under concurrency", s)
+			}
+			seen[s] = true
+		}
+	}
+	if len(seen) != workers*per {
+		t.Errorf("got %d surrogates, want %d", len(seen), workers*per)
+	}
+}
+
+func TestNone(t *testing.T) {
+	if !None.IsNone() {
+		t.Error("None should be none")
+	}
+	if None.String() != "⊥" {
+		t.Errorf("None.String() = %q", None.String())
+	}
+	if Surrogate(3).String() != "σ3" {
+		t.Errorf("String = %q", Surrogate(3).String())
+	}
+}
+
+func TestReserve(t *testing.T) {
+	g := NewGenerator()
+	g.Reserve(100)
+	if s := g.Next(); s != Surrogate(101) {
+		t.Errorf("Next after Reserve(100) = %v, want σ101", s)
+	}
+	// Reserving below the watermark is a no-op.
+	g.Reserve(50)
+	if s := g.Next(); s != Surrogate(102) {
+		t.Errorf("Next after backward Reserve = %v, want σ102", s)
+	}
+	if g.Issued() != 102 {
+		t.Errorf("Issued = %d", g.Issued())
+	}
+}
+
+func TestReserveConcurrent(t *testing.T) {
+	g := NewGenerator()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(n uint64) {
+			defer wg.Done()
+			g.Reserve(n)
+		}(uint64(100 * (w + 1)))
+	}
+	wg.Wait()
+	if s := g.Next(); s != Surrogate(801) {
+		t.Errorf("Next after concurrent reserves = %v, want σ801", s)
+	}
+}

@@ -1,0 +1,51 @@
+package tsql
+
+import (
+	"testing"
+
+	"repro/internal/chronon"
+	"repro/internal/element"
+	"repro/internal/relation"
+	"repro/internal/tx"
+)
+
+// FuzzParse checks the query parser never panics and that parsed queries
+// evaluate without panicking against a small fixture relation.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"select * from emp",
+		"select name, salary from emp as of 25 when valid at 100 where salary > 150",
+		"select who from shifts when meets [100, 120)",
+		"select a from b where c == 'x' and d != 5",
+		"select x from y when valid during ['1992-01-01', '1992-02-01')",
+		"select",
+		"select * from emp where a ==",
+		"select * from emp when overlapped-by [5, 1)",
+		"'",
+		"select * from emp where v == -3.5",
+	} {
+		f.Add(seed)
+	}
+	r := relation.New(relation.Schema{
+		Name: "emp", ValidTime: element.EventStamp, Granularity: chronon.Second,
+		Invariant: []relation.Column{{Name: "name", Type: element.KindString}},
+		Varying:   []relation.Column{{Name: "salary", Type: element.KindFloat}},
+	}, tx.NewLogicalClock(0, 10))
+	for i := 0; i < 5; i++ {
+		if _, err := r.Insert(relation.Insertion{
+			VT:        element.EventAt(chronon.Chronon(i * 10)),
+			Invariant: []element.Value{element.String_("x")},
+			Varying:   []element.Value{element.Float(float64(i))},
+		}); err != nil {
+			f.Fatal(err)
+		}
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Whatever parses must evaluate or fail cleanly — never panic.
+		_, _ = Eval(q, r)
+	})
+}

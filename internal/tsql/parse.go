@@ -1,0 +1,354 @@
+package tsql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/chronon"
+	"repro/internal/interval"
+)
+
+// Query is a parsed temporal query.
+type Query struct {
+	Columns []string // empty means *
+	Rel     string
+
+	HasAsOf bool
+	AsOf    chronon.Chronon
+
+	When *WhenClause
+
+	Where []Pred
+
+	OrderBy   string // column name; empty for no ordering
+	OrderDesc bool
+	HasLimit  bool
+	Limit     int
+}
+
+// WhenKind discriminates valid-time clauses.
+type WhenKind uint8
+
+const (
+	// WhenValidAt restricts to facts valid at an instant.
+	WhenValidAt WhenKind = iota
+	// WhenValidDuring restricts to facts valid sometime in a window.
+	WhenValidDuring
+	// WhenAllen restricts interval facts whose valid interval relates to
+	// the window by a specific Allen relation.
+	WhenAllen
+)
+
+// WhenClause is the valid-time restriction of a query.
+type WhenClause struct {
+	Kind   WhenKind
+	At     chronon.Chronon   // WhenValidAt
+	Window interval.Interval // WhenValidDuring, WhenAllen
+	Rel    interval.Relation // WhenAllen
+}
+
+// Pred is one WHERE conjunct: column op literal.
+type Pred struct {
+	Col string
+	Op  string // ==, !=, <, <=, >, >=
+	Lit Literal
+}
+
+// LiteralKind discriminates WHERE literals.
+type LiteralKind uint8
+
+const (
+	// LitNumber is an integer or float literal.
+	LitNumber LiteralKind = iota
+	// LitString is a quoted string (or date-time, resolved at evaluation).
+	LitString
+	// LitBool is true or false.
+	LitBool
+)
+
+// Literal is a WHERE comparison value.
+type Literal struct {
+	Kind   LiteralKind
+	Number float64
+	Int    int64
+	IsInt  bool
+	Str    string
+	Bool   bool
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) take() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(t token, format string, args ...any) error {
+	return fmt.Errorf("tsql: at offset %d: %s", t.pos, fmt.Sprintf(format, args...))
+}
+
+// keyword consumes an identifier token matching word (case-insensitive).
+func (p *parser) keyword(word string) error {
+	t := p.take()
+	if t.kind != tokIdent || !strings.EqualFold(t.text, word) {
+		return p.errf(t, "expected %q, got %q", word, t.text)
+	}
+	return nil
+}
+
+func (p *parser) peekKeyword(word string) bool {
+	t := p.peek()
+	return t.kind == tokIdent && strings.EqualFold(t.text, word)
+}
+
+// Parse parses a query string.
+func Parse(src string) (*Query, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q := &Query{}
+	if err := p.keyword("select"); err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tokStar {
+		p.take()
+	} else {
+		for {
+			t := p.take()
+			if t.kind != tokIdent {
+				return nil, p.errf(t, "expected column name, got %q", t.text)
+			}
+			q.Columns = append(q.Columns, t.text)
+			if p.peek().kind != tokComma {
+				break
+			}
+			p.take()
+		}
+	}
+	if err := p.keyword("from"); err != nil {
+		return nil, err
+	}
+	t := p.take()
+	if t.kind != tokIdent {
+		return nil, p.errf(t, "expected relation name, got %q", t.text)
+	}
+	q.Rel = t.text
+
+	for {
+		switch {
+		case p.peekKeyword("as"):
+			p.take()
+			if err := p.keyword("of"); err != nil {
+				return nil, err
+			}
+			c, err := p.parseTime()
+			if err != nil {
+				return nil, err
+			}
+			if q.HasAsOf {
+				return nil, p.errf(p.peek(), "duplicate AS OF")
+			}
+			q.HasAsOf = true
+			q.AsOf = c
+		case p.peekKeyword("when"):
+			p.take()
+			if q.When != nil {
+				return nil, p.errf(p.peek(), "duplicate WHEN")
+			}
+			w, err := p.parseWhen()
+			if err != nil {
+				return nil, err
+			}
+			q.When = w
+		case p.peekKeyword("where"):
+			p.take()
+			for {
+				pred, err := p.parsePred()
+				if err != nil {
+					return nil, err
+				}
+				q.Where = append(q.Where, pred)
+				if !p.peekKeyword("and") {
+					break
+				}
+				p.take()
+			}
+		case p.peekKeyword("order"):
+			p.take()
+			if err := p.keyword("by"); err != nil {
+				return nil, err
+			}
+			col := p.take()
+			if col.kind != tokIdent {
+				return nil, p.errf(col, "expected column name, got %q", col.text)
+			}
+			if q.OrderBy != "" {
+				return nil, p.errf(col, "duplicate ORDER BY")
+			}
+			q.OrderBy = col.text
+			switch {
+			case p.peekKeyword("desc"):
+				p.take()
+				q.OrderDesc = true
+			case p.peekKeyword("asc"):
+				p.take()
+			}
+		case p.peekKeyword("limit"):
+			p.take()
+			t := p.take()
+			if t.kind != tokNumber {
+				return nil, p.errf(t, "expected row count, got %q", t.text)
+			}
+			n, err := strconv.ParseInt(t.text, 10, 32)
+			if err != nil || n < 0 {
+				return nil, p.errf(t, "bad limit %q", t.text)
+			}
+			if q.HasLimit {
+				return nil, p.errf(t, "duplicate LIMIT")
+			}
+			q.HasLimit = true
+			q.Limit = int(n)
+		default:
+			t := p.take()
+			if t.kind != tokEOF {
+				return nil, p.errf(t, "unexpected %q", t.text)
+			}
+			return q, nil
+		}
+	}
+}
+
+func (p *parser) parseWhen() (*WhenClause, error) {
+	switch {
+	case p.peekKeyword("valid"):
+		p.take()
+		switch {
+		case p.peekKeyword("at"):
+			p.take()
+			c, err := p.parseTime()
+			if err != nil {
+				return nil, err
+			}
+			return &WhenClause{Kind: WhenValidAt, At: c}, nil
+		case p.peekKeyword("during"):
+			p.take()
+			iv, err := p.parseWindow()
+			if err != nil {
+				return nil, err
+			}
+			return &WhenClause{Kind: WhenValidDuring, Window: iv}, nil
+		}
+		return nil, p.errf(p.peek(), "expected AT or DURING after VALID")
+	default:
+		t := p.take()
+		if t.kind != tokIdent {
+			return nil, p.errf(t, "expected VALID or an Allen relation, got %q", t.text)
+		}
+		rel, err := interval.ParseRelation(strings.ToLower(t.text))
+		if err != nil {
+			return nil, p.errf(t, "unknown Allen relation %q", t.text)
+		}
+		iv, err := p.parseWindow()
+		if err != nil {
+			return nil, err
+		}
+		return &WhenClause{Kind: WhenAllen, Rel: rel, Window: iv}, nil
+	}
+}
+
+// parseWindow parses "[a, b)".
+func (p *parser) parseWindow() (interval.Interval, error) {
+	if t := p.take(); t.kind != tokLBracket {
+		return interval.Interval{}, p.errf(t, "expected '[', got %q", t.text)
+	}
+	lo, err := p.parseTime()
+	if err != nil {
+		return interval.Interval{}, err
+	}
+	if t := p.take(); t.kind != tokComma {
+		return interval.Interval{}, p.errf(t, "expected ',', got %q", t.text)
+	}
+	hi, err := p.parseTime()
+	if err != nil {
+		return interval.Interval{}, err
+	}
+	if t := p.take(); t.kind != tokRParen {
+		return interval.Interval{}, p.errf(t, "expected ')', got %q", t.text)
+	}
+	if hi <= lo {
+		return interval.Interval{}, fmt.Errorf("tsql: empty window [%v, %v)", lo, hi)
+	}
+	return interval.Make(lo, hi), nil
+}
+
+// parseTime accepts an integer chronon or a quoted civil date-time.
+func (p *parser) parseTime() (chronon.Chronon, error) {
+	t := p.take()
+	switch t.kind {
+	case tokNumber:
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return 0, p.errf(t, "bad chronon %q", t.text)
+		}
+		return chronon.Chronon(n), nil
+	case tokString:
+		cv, err := chronon.ParseCivil(t.text)
+		if err != nil {
+			return 0, p.errf(t, "%v", err)
+		}
+		return cv.Chronon(), nil
+	}
+	return 0, p.errf(t, "expected a time, got %q", t.text)
+}
+
+func (p *parser) parsePred() (Pred, error) {
+	col := p.take()
+	if col.kind != tokIdent {
+		return Pred{}, p.errf(col, "expected column name, got %q", col.text)
+	}
+	op := p.take()
+	if op.kind != tokOp {
+		return Pred{}, p.errf(op, "expected comparison operator, got %q", op.text)
+	}
+	opText := op.text
+	if opText == "=" {
+		opText = "=="
+	}
+	lit := p.take()
+	var l Literal
+	switch lit.kind {
+	case tokNumber:
+		if n, err := strconv.ParseInt(lit.text, 10, 64); err == nil {
+			l = Literal{Kind: LitNumber, Int: n, IsInt: true, Number: float64(n)}
+		} else if f, err := strconv.ParseFloat(lit.text, 64); err == nil {
+			l = Literal{Kind: LitNumber, Number: f}
+		} else {
+			return Pred{}, p.errf(lit, "bad number %q", lit.text)
+		}
+	case tokString:
+		l = Literal{Kind: LitString, Str: lit.text}
+	case tokIdent:
+		switch strings.ToLower(lit.text) {
+		case "true":
+			l = Literal{Kind: LitBool, Bool: true}
+		case "false":
+			l = Literal{Kind: LitBool, Bool: false}
+		default:
+			return Pred{}, p.errf(lit, "expected literal, got %q", lit.text)
+		}
+	default:
+		return Pred{}, p.errf(lit, "expected literal, got %q", lit.text)
+	}
+	return Pred{Col: col.text, Op: opText, Lit: l}, nil
+}

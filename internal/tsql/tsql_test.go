@@ -1,0 +1,409 @@
+package tsql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/chronon"
+	"repro/internal/element"
+	"repro/internal/interval"
+	"repro/internal/relation"
+	"repro/internal/tx"
+)
+
+// fixture builds an employee relation with history:
+//
+//	tt=10  insert ann  vt=100  salary 100  (es 1)
+//	tt=20  insert bob  vt=200  salary 200  (es 2)
+//	tt=30  modify ann: vt=300, salary 150  (deletes es 1, inserts es 3)
+//	tt=40  delete bob                      (es 2 gone)
+func fixture(t *testing.T) *relation.Relation {
+	t.Helper()
+	r := relation.New(relation.Schema{
+		Name:        "emp",
+		ValidTime:   element.EventStamp,
+		Granularity: chronon.Second,
+		Invariant:   []relation.Column{{Name: "name", Type: element.KindString}},
+		Varying: []relation.Column{
+			{Name: "salary", Type: element.KindFloat},
+			{Name: "active", Type: element.KindBool},
+		},
+	}, tx.NewLogicalClock(0, 10))
+	ann, err := r.Insert(relation.Insertion{
+		VT:        element.EventAt(100),
+		Invariant: []element.Value{element.String_("ann")},
+		Varying:   []element.Value{element.Float(100), element.Bool(true)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := r.Insert(relation.Insertion{
+		VT:        element.EventAt(200),
+		Invariant: []element.Value{element.String_("bob")},
+		Varying:   []element.Value{element.Float(200), element.Bool(true)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Modify(ann.ES, element.EventAt(300),
+		[]element.Value{element.Float(150), element.Bool(true)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Delete(bob.ES); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func run(t *testing.T, r *relation.Relation, src string) *Result {
+	t.Helper()
+	res, err := Run(src, func(string) (*relation.Relation, bool) { return r, true })
+	if err != nil {
+		t.Fatalf("%s: %v", src, err)
+	}
+	return res
+}
+
+func names(res *Result, col int) []string {
+	var out []string
+	for _, row := range res.Rows {
+		s, _ := row[col].Str()
+		out = append(out, s)
+	}
+	return out
+}
+
+func TestSelectCurrent(t *testing.T) {
+	r := fixture(t)
+	res := run(t, r, "select name, salary from emp")
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if got := names(res, 0); got[0] != "ann" {
+		t.Errorf("name = %q", got[0])
+	}
+	if f, _ := res.Rows[0][1].FloatVal(); f != 150 {
+		t.Errorf("salary = %v", f)
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	r := fixture(t)
+	res := run(t, r, "select * from emp")
+	wantCols := []string{"es", "os", "tt_start", "tt_end", "vt", "name", "salary", "active"}
+	if len(res.Columns) != len(wantCols) {
+		t.Fatalf("columns = %v", res.Columns)
+	}
+	for i, c := range wantCols {
+		if res.Columns[i] != c {
+			t.Errorf("column %d = %q, want %q", i, res.Columns[i], c)
+		}
+	}
+}
+
+func TestAsOfRollback(t *testing.T) {
+	r := fixture(t)
+	// At tt=25 both originals were stored.
+	res := run(t, r, "select name, salary from emp as of 25")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	got := names(res, 0)
+	if got[0] != "ann" || got[1] != "bob" {
+		t.Errorf("names = %v", got)
+	}
+	if f, _ := res.Rows[0][1].FloatVal(); f != 100 {
+		t.Errorf("ann's salary as of 25 = %v, want the pre-modification 100", f)
+	}
+	// At tt=5 nothing existed.
+	if res := run(t, r, "select name from emp as of 5"); len(res.Rows) != 0 {
+		t.Errorf("rows before any insert = %d", len(res.Rows))
+	}
+}
+
+func TestWhenValidAt(t *testing.T) {
+	r := fixture(t)
+	if res := run(t, r, "select name from emp when valid at 300"); len(res.Rows) != 1 {
+		t.Errorf("valid-at-300 rows = %d", len(res.Rows))
+	}
+	// 100 is the *old* version of ann; the current state has vt 300.
+	if res := run(t, r, "select name from emp when valid at 100"); len(res.Rows) != 0 {
+		t.Errorf("valid-at-100 rows = %d", len(res.Rows))
+	}
+	// ...but the bitemporal query sees it.
+	res := run(t, r, "select name, salary from emp as of 15 when valid at 100")
+	if len(res.Rows) != 1 {
+		t.Fatalf("bitemporal rows = %d", len(res.Rows))
+	}
+	if f, _ := res.Rows[0][1].FloatVal(); f != 100 {
+		t.Errorf("bitemporal salary = %v", f)
+	}
+}
+
+func TestWhenValidDuring(t *testing.T) {
+	r := fixture(t)
+	res := run(t, r, "select name from emp as of 25 when valid during [150, 250)")
+	if len(res.Rows) != 1 || names(res, 0)[0] != "bob" {
+		t.Errorf("during rows = %v", names(res, 0))
+	}
+}
+
+func TestWhere(t *testing.T) {
+	r := fixture(t)
+	cases := []struct {
+		q    string
+		want int
+	}{
+		{"select name from emp as of 25 where salary > 150", 1},
+		{"select name from emp as of 25 where salary >= 100", 2},
+		{"select name from emp as of 25 where name == 'ann'", 1},
+		{"select name from emp as of 25 where name != 'ann'", 1},
+		{"select name from emp as of 25 where name = 'ann' and salary < 150", 1},
+		{"select name from emp as of 25 where active == true", 2},
+		{"select name from emp as of 25 where active == false", 0},
+		{"select name from emp as of 25 where tt_start == 10", 1},
+	}
+	for _, c := range cases {
+		if res := run(t, r, c.q); len(res.Rows) != c.want {
+			t.Errorf("%s: rows = %d, want %d", c.q, len(res.Rows), c.want)
+		}
+	}
+}
+
+func TestWhereDateLiteral(t *testing.T) {
+	r := relation.New(relation.Schema{
+		Name: "ev", ValidTime: element.EventStamp, Granularity: chronon.Second,
+	}, tx.NewLogicalClock(chronon.Date(1992, 1, 1), 86400))
+	if _, err := r.Insert(relation.Insertion{VT: element.EventAt(chronon.Date(1992, 3, 15))}); err != nil {
+		t.Fatal(err)
+	}
+	res := run(t, r, "select es from ev where vt >= '1992-03-01'")
+	if len(res.Rows) != 1 {
+		t.Errorf("date-literal rows = %d", len(res.Rows))
+	}
+	res = run(t, r, "select es from ev where vt < '1992-03-01'")
+	if len(res.Rows) != 0 {
+		t.Errorf("date-literal rows = %d", len(res.Rows))
+	}
+}
+
+func intervalFixture(t *testing.T) *relation.Relation {
+	t.Helper()
+	r := relation.New(relation.Schema{
+		Name:        "shifts",
+		ValidTime:   element.IntervalStamp,
+		Granularity: chronon.Second,
+		Invariant:   []relation.Column{{Name: "who", Type: element.KindString}},
+	}, tx.NewLogicalClock(0, 10))
+	mk := func(who string, a, b int64) {
+		if _, err := r.Insert(relation.Insertion{
+			VT:        element.SpanOf(chronon.Chronon(a), chronon.Chronon(b)),
+			Invariant: []element.Value{element.String_(who)},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("ann", 0, 100)
+	mk("bob", 100, 200)
+	mk("cod", 150, 250)
+	return r
+}
+
+func TestWhenAllen(t *testing.T) {
+	r := intervalFixture(t)
+	cases := []struct {
+		q    string
+		want []string
+	}{
+		{"select who from shifts when meets [100, 120)", []string{"ann"}},
+		{"select who from shifts when equal [100, 200)", []string{"bob"}},
+		{"select who from shifts when overlaps [200, 300)", []string{"cod"}},
+		{"select who from shifts when before [300, 400)", []string{"ann", "bob", "cod"}},
+		{"select who from shifts when met-by [-50, 0)", []string{"ann"}},
+		{"select who from shifts when valid during [120, 160)", []string{"bob", "cod"}},
+		{"select who from shifts when valid at 175", []string{"bob", "cod"}},
+	}
+	for _, c := range cases {
+		res := run(t, r, c.q)
+		got := names(res, 0)
+		if len(got) != len(c.want) {
+			t.Errorf("%s: got %v, want %v", c.q, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%s: got %v, want %v", c.q, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestAllenOnEventRelationFails(t *testing.T) {
+	r := fixture(t)
+	_, err := Run("select name from emp when meets [0, 10)",
+		func(string) (*relation.Relation, bool) { return r, true })
+	if err == nil {
+		t.Error("Allen clause on event relation accepted")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"selec name from emp",
+		"select from emp",
+		"select name emp",
+		"select name from",
+		"select name from emp as 5",
+		"select name from emp as of",
+		"select name from emp as of 5 as of 6",
+		"select name from emp when",
+		"select name from emp when valid",
+		"select name from emp when valid at",
+		"select name from emp when sideways [0, 5)",
+		"select name from emp when valid during [5, 5)",
+		"select name from emp when valid during [5, 4)",
+		"select name from emp when valid during (5, 6)",
+		"select name from emp where",
+		"select name from emp where name",
+		"select name from emp where name ~ 'x'",
+		"select name from emp where name == ",
+		"select name from emp where name == 'unterminated",
+		"select name from emp trailing",
+		"select name from emp where salary == 1 and",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) succeeded", q)
+		}
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	r := fixture(t)
+	lookup := func(string) (*relation.Relation, bool) { return r, true }
+	for _, q := range []string{
+		"select ghost from emp",
+		"select name from emp where ghost == 1",
+		"select name from emp where name == 1",
+		"select name from emp where salary == 'x'",
+		"select name from emp where active == 1",
+	} {
+		if _, err := Run(q, lookup); err == nil {
+			t.Errorf("Run(%q) succeeded", q)
+		}
+	}
+	if _, err := Run("select * from nope", func(string) (*relation.Relation, bool) { return nil, false }); err == nil {
+		t.Error("missing relation accepted")
+	}
+}
+
+func TestNullNeverMatches(t *testing.T) {
+	r := relation.New(relation.Schema{
+		Name: "n", ValidTime: element.EventStamp, Granularity: chronon.Second,
+		Varying: []relation.Column{{Name: "x", Type: element.KindInt}},
+	}, tx.NewLogicalClock(0, 10))
+	if _, err := r.Insert(relation.Insertion{
+		VT: element.EventAt(1), Varying: []element.Value{element.Null()},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{
+		"select x from n where x == 0",
+		"select x from n where x != 0",
+	} {
+		if res := run(t, r, q); len(res.Rows) != 0 {
+			t.Errorf("%s matched a null", q)
+		}
+	}
+}
+
+func TestFormat(t *testing.T) {
+	r := fixture(t)
+	res := run(t, r, "select name, salary from emp")
+	out := res.Format()
+	for _, want := range []string{"name", "salary", `"ann"`, "150", "(1 row(s))"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCaseInsensitiveKeywords(t *testing.T) {
+	r := fixture(t)
+	res := run(t, r, "SELECT name FROM emp AS OF 25 WHERE salary > 150")
+	if len(res.Rows) != 1 {
+		t.Errorf("uppercase query rows = %d", len(res.Rows))
+	}
+}
+
+func TestAllenWindowParse(t *testing.T) {
+	q, err := Parse("select who from shifts when overlapped-by [10, 20)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.When == nil || q.When.Kind != WhenAllen || q.When.Rel != interval.OverlappedBy {
+		t.Errorf("parsed WHEN = %+v", q.When)
+	}
+	if q.When.Window != interval.Of(10, 20) {
+		t.Errorf("window = %v", q.When.Window)
+	}
+}
+
+func TestOrderByAndLimit(t *testing.T) {
+	r := fixture(t)
+	// As of 25 both ann (100) and bob (200) are present.
+	res := run(t, r, "select name from emp as of 25 order by salary desc")
+	if got := names(res, 0); len(got) != 2 || got[0] != "bob" || got[1] != "ann" {
+		t.Errorf("desc order = %v", got)
+	}
+	res = run(t, r, "select name from emp as of 25 order by salary asc")
+	if got := names(res, 0); got[0] != "ann" {
+		t.Errorf("asc order = %v", got)
+	}
+	// Ordering by a non-projected column works.
+	res = run(t, r, "select name from emp as of 25 order by vt desc")
+	if got := names(res, 0); got[0] != "bob" {
+		t.Errorf("order by vt = %v", got)
+	}
+	// LIMIT truncates.
+	res = run(t, r, "select name from emp as of 25 order by salary desc limit 1")
+	if got := names(res, 0); len(got) != 1 || got[0] != "bob" {
+		t.Errorf("limit = %v", got)
+	}
+	if res := run(t, r, "select name from emp as of 25 limit 0"); len(res.Rows) != 0 {
+		t.Errorf("limit 0 rows = %d", len(res.Rows))
+	}
+	// LIMIT larger than the result set is harmless.
+	if res := run(t, r, "select name from emp as of 25 limit 99"); len(res.Rows) != 2 {
+		t.Errorf("big limit rows = %d", len(res.Rows))
+	}
+}
+
+func TestOrderByStringColumn(t *testing.T) {
+	r := fixture(t)
+	res := run(t, r, "select name from emp as of 25 order by name desc")
+	if got := names(res, 0); got[0] != "bob" || got[1] != "ann" {
+		t.Errorf("string order = %v", got)
+	}
+}
+
+func TestOrderByLimitParseErrors(t *testing.T) {
+	for _, q := range []string{
+		"select name from emp order",
+		"select name from emp order by",
+		"select name from emp order by 5",
+		"select name from emp order by a order by b",
+		"select name from emp limit",
+		"select name from emp limit x",
+		"select name from emp limit -1",
+		"select name from emp limit 1 limit 2",
+		"select name from emp order by ghost", // eval-time error
+	} {
+		_, err := Run(q, func(string) (*relation.Relation, bool) { return fixture(t), true })
+		if err == nil {
+			t.Errorf("%q succeeded", q)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package tx
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/chronon"
+)
+
+func TestLogicalClockMonotone(t *testing.T) {
+	c := NewLogicalClock(0, 5)
+	prev := chronon.MinChronon
+	for i := 0; i < 100; i++ {
+		now := c.Next()
+		if now <= prev {
+			t.Fatalf("clock not strictly increasing: %v after %v", now, prev)
+		}
+		prev = now
+	}
+	if c.Now() != prev {
+		t.Errorf("Now = %v, want %v", c.Now(), prev)
+	}
+}
+
+func TestLogicalClockStep(t *testing.T) {
+	c := NewLogicalClock(100, 7)
+	if got := c.Next(); got != 107 {
+		t.Errorf("first Next = %v, want 107", got)
+	}
+	if got := c.Next(); got != 114 {
+		t.Errorf("second Next = %v, want 114", got)
+	}
+}
+
+func TestLogicalClockAdvance(t *testing.T) {
+	c := NewLogicalClock(0, 1)
+	c.Advance(100)
+	if got := c.Next(); got != 101 {
+		t.Errorf("Next after Advance = %v, want 101", got)
+	}
+	c.AdvanceTo(50) // earlier than now: no-op
+	if c.Now() != 101 {
+		t.Errorf("AdvanceTo went backwards: %v", c.Now())
+	}
+	c.AdvanceTo(500)
+	if c.Now() != 500 {
+		t.Errorf("AdvanceTo = %v, want 500", c.Now())
+	}
+}
+
+func TestLogicalClockAdvancePanics(t *testing.T) {
+	c := NewLogicalClock(0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Advance(-1) should panic")
+		}
+	}()
+	c.Advance(-1)
+}
+
+func TestNewLogicalClockBadStep(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero step should panic")
+		}
+	}()
+	NewLogicalClock(0, 0)
+}
+
+func TestLogicalClockConcurrentUnique(t *testing.T) {
+	c := NewLogicalClock(0, 1)
+	const workers, per = 8, 200
+	var mu sync.Mutex
+	seen := make(map[chronon.Chronon]bool)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				now := c.Next()
+				mu.Lock()
+				if seen[now] {
+					t.Errorf("duplicate transaction time %v", now)
+				}
+				seen[now] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestScriptedClock(t *testing.T) {
+	c := NewScriptedClock(10, 20, 35)
+	if c.Now() != chronon.MinChronon {
+		t.Errorf("initial Now = %v", c.Now())
+	}
+	if c.Remaining() != 3 {
+		t.Errorf("Remaining = %d", c.Remaining())
+	}
+	for _, want := range []chronon.Chronon{10, 20, 35} {
+		if got := c.Next(); got != want {
+			t.Errorf("Next = %v, want %v", got, want)
+		}
+	}
+	if c.Now() != 35 {
+		t.Errorf("final Now = %v", c.Now())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("exhausted scripted clock should panic")
+		}
+	}()
+	c.Next()
+}
+
+func TestScriptedClockOutOfOrder(t *testing.T) {
+	c := NewScriptedClock(10, 10)
+	c.Next()
+	defer func() {
+		if recover() == nil {
+			t.Error("non-increasing script should panic")
+		}
+	}()
+	c.Next()
+}

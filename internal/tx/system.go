@@ -1,0 +1,56 @@
+package tx
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/chronon"
+)
+
+// SystemClock is a Clock backed by the operating-system wall clock, with
+// uniqueness enforced: if two transactions land in the same second (the
+// chronon resolution), or the wall clock steps backwards, the issued
+// transaction time is bumped past the previous one — preserving the
+// paper's requirement that "each historical state has an associated
+// unique transaction time" under any wall-clock behaviour.
+type SystemClock struct {
+	mu   sync.Mutex
+	last chronon.Chronon
+	// now is injectable for tests; defaults to time.Now.
+	now func() time.Time
+}
+
+// NewSystemClock returns a wall-clock-backed transaction-time source.
+func NewSystemClock() *SystemClock {
+	return &SystemClock{last: chronon.MinChronon, now: time.Now}
+}
+
+// newSystemClockAt builds a SystemClock with an injected time source, for
+// tests.
+func newSystemClockAt(now func() time.Time) *SystemClock {
+	return &SystemClock{last: chronon.MinChronon, now: now}
+}
+
+func (c *SystemClock) wall() chronon.Chronon {
+	return chronon.Chronon(c.now().Unix())
+}
+
+// Next issues a strictly increasing transaction time at or after the wall
+// clock.
+func (c *SystemClock) Next() chronon.Chronon {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.wall()
+	if t <= c.last {
+		t = c.last.Add(1)
+	}
+	c.last = t
+	return t
+}
+
+// Now reports the later of the wall clock and the last issued stamp.
+func (c *SystemClock) Now() chronon.Chronon {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return chronon.Max(c.wall(), c.last)
+}

@@ -1,0 +1,68 @@
+package tx
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/chronon"
+)
+
+func TestSystemClockMonotoneUnderCollisions(t *testing.T) {
+	// A frozen wall clock: every Next lands in the same second, so
+	// uniqueness must come from bumping.
+	frozen := time.Unix(1000, 0)
+	c := newSystemClockAt(func() time.Time { return frozen })
+	prev := chronon.MinChronon
+	for i := 0; i < 100; i++ {
+		now := c.Next()
+		if now <= prev {
+			t.Fatalf("not strictly increasing: %v after %v", now, prev)
+		}
+		prev = now
+	}
+	if prev != chronon.Chronon(1000+99) {
+		t.Errorf("final stamp = %v, want 1099", prev)
+	}
+}
+
+func TestSystemClockBackwardsStep(t *testing.T) {
+	// The wall clock steps backwards (NTP correction): stamps keep
+	// advancing anyway.
+	times := []time.Time{time.Unix(2000, 0), time.Unix(1500, 0), time.Unix(2500, 0)}
+	i := 0
+	c := newSystemClockAt(func() time.Time { t := times[i%len(times)]; i++; return t })
+	a := c.Next() // 2000
+	b := c.Next() // wall says 1500: bump to 2001
+	d := c.Next() // wall says 2500: take it
+	if a != 2000 || b != 2001 || d != 2500 {
+		t.Errorf("stamps = %v, %v, %v", a, b, d)
+	}
+	if c.Now() < d {
+		t.Errorf("Now %v regressed below last stamp %v", c.Now(), d)
+	}
+}
+
+func TestSystemClockConcurrentUnique(t *testing.T) {
+	c := NewSystemClock()
+	const workers, per = 8, 100
+	var mu sync.Mutex
+	seen := make(map[chronon.Chronon]bool)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				now := c.Next()
+				mu.Lock()
+				if seen[now] {
+					t.Errorf("duplicate stamp %v", now)
+				}
+				seen[now] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}

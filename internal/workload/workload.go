@@ -1,0 +1,325 @@
+// Package workload generates deterministic synthetic workloads for the
+// motivating applications of the paper — process monitoring, direct-deposit
+// payroll, accounting, order entry, employee assignments, and archaeology —
+// plus parameterized generators covering every isolated-event region of
+// Figure 1. The paper has no published traces (it has no evaluation at
+// all), so these seeded generators are the substitution: each produces
+// exactly the joint (tt, vt) distribution its specialization describes,
+// which is all the definitions depend on.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/chronon"
+	"repro/internal/constraint"
+	"repro/internal/core"
+	"repro/internal/element"
+	"repro/internal/relation"
+	"repro/internal/surrogate"
+	"repro/internal/tx"
+)
+
+// Config parameterizes a generator.
+type Config struct {
+	Seed  int64           // PRNG seed; equal seeds give equal workloads
+	N     int             // number of insert transactions
+	Start chronon.Chronon // clock origin (first tt is Start + Step)
+	Step  int64           // seconds between transactions (> 0)
+}
+
+func (c Config) normalize() Config {
+	if c.N <= 0 {
+		c.N = 1000
+	}
+	if c.Step <= 0 {
+		c.Step = 60
+	}
+	return c
+}
+
+func (c Config) rng() *rand.Rand { return rand.New(rand.NewSource(c.Seed)) }
+
+// EventStamps generates n stamps lying inside the Figure 1 region of the
+// given isolated-event class, with representative bounds: Δt = 30s for the
+// inner bound and Δt₂ = 300s for the outer. Transaction times advance by
+// Step per element. It panics on non-event classes, which is a programming
+// error.
+func EventStamps(class core.Class, cfg Config) []core.Stamp {
+	cfg = cfg.normalize()
+	rng := cfg.rng()
+	out := make([]core.Stamp, 0, cfg.N)
+	const inner, outer = 30, 300
+	for i := 0; i < cfg.N; i++ {
+		tt := cfg.Start.Add(int64(i+1) * cfg.Step)
+		var off int64
+		switch class {
+		case core.General:
+			off = rng.Int63n(2*outer+1) - outer
+		case core.Retroactive:
+			off = -rng.Int63n(outer + 1)
+		case core.DelayedRetroactive:
+			off = -inner - rng.Int63n(outer-inner+1)
+		case core.Predictive:
+			off = rng.Int63n(outer + 1)
+		case core.EarlyPredictive:
+			off = inner + rng.Int63n(outer-inner+1)
+		case core.RetroactivelyBounded:
+			off = rng.Int63n(inner+outer+1) - inner
+		case core.StronglyRetroactivelyBounded:
+			off = -rng.Int63n(inner + 1)
+		case core.DelayedStronglyRetroactivelyBounded:
+			off = -inner - rng.Int63n(outer-inner+1)
+		case core.PredictivelyBounded:
+			off = inner - rng.Int63n(inner+outer+1)
+		case core.StronglyPredictivelyBounded:
+			off = rng.Int63n(inner + 1)
+		case core.EarlyStronglyPredictivelyBounded:
+			off = inner + rng.Int63n(outer-inner+1)
+		case core.StronglyBounded:
+			off = rng.Int63n(2*inner+1) - inner
+		case core.Degenerate:
+			off = 0
+		default:
+			panic(fmt.Sprintf("workload: %v is not an isolated-event class", class))
+		}
+		out = append(out, core.Stamp{TT: tt, VT: tt.Add(off)})
+	}
+	return out
+}
+
+// Bounds returns the representative bounds EventStamps generates within,
+// for building the matching EventSpec.
+func Bounds() (inner, outer chronon.Duration) {
+	return chronon.Seconds(30), chronon.Seconds(300)
+}
+
+func eventSchema(name string) relation.Schema {
+	return relation.Schema{
+		Name:        name,
+		ValidTime:   element.EventStamp,
+		Granularity: chronon.Second,
+		Invariant:   []relation.Column{{Name: "id", Type: element.KindString}},
+		Varying:     []relation.Column{{Name: "value", Type: element.KindFloat}},
+	}
+}
+
+// Monitoring builds the chemical-plant relation of §1 and §3.1:
+// temperatures sampled periodically and stored after a transmission delay
+// that always exceeds 30 seconds (delayed retroactive) but never 300
+// (delayed strongly retroactively bounded), with enforcement attached.
+func Monitoring(cfg Config) (*relation.Relation, error) {
+	cfg = cfg.normalize()
+	if cfg.Step <= 301 {
+		cfg.Step = 360 // keep samples sequential despite the delay spread
+	}
+	rng := cfg.rng()
+	r := relation.New(eventSchema("plant_temps"), tx.NewLogicalClock(cfg.Start, cfg.Step))
+	spec, err := core.DelayedStronglyRetroactivelyBoundedSpec(chronon.Seconds(30), chronon.Seconds(300))
+	if err != nil {
+		return nil, err
+	}
+	constraint.Attach(r, constraint.PerRelation,
+		constraint.Event{Spec: spec},
+		constraint.InterEvent{Spec: core.SequentialEventsSpec()},
+	)
+	sensor := r.NewObject()
+	next := cfg.Start
+	for i := 0; i < cfg.N; i++ {
+		next = next.Add(cfg.Step)
+		delay := 31 + rng.Int63n(269)
+		if _, err := r.Insert(relation.Insertion{
+			Object:    sensor,
+			VT:        element.EventAt(next.Add(-delay)),
+			Invariant: []element.Value{element.String_("reactor-1")},
+			Varying:   []element.Value{element.Float(20 + rng.Float64()*10)},
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// Payroll builds the direct-deposit relation of §3.1: checks recorded at
+// least three days and at most one week before they become valid (early
+// strongly predictively bounded).
+func Payroll(cfg Config) (*relation.Relation, error) {
+	cfg = cfg.normalize()
+	rng := cfg.rng()
+	day := int64(86400)
+	r := relation.New(eventSchema("payroll"), tx.NewLogicalClock(cfg.Start, cfg.Step))
+	spec, err := core.EarlyStronglyPredictivelyBoundedSpec(chronon.Days(3), chronon.Days(7))
+	if err != nil {
+		return nil, err
+	}
+	constraint.Attach(r, constraint.PerRelation, constraint.Event{Spec: spec})
+	emp := r.NewObject()
+	next := cfg.Start
+	for i := 0; i < cfg.N; i++ {
+		next = next.Add(cfg.Step)
+		lead := 3*day + rng.Int63n(4*day+1)
+		if _, err := r.Insert(relation.Insertion{
+			Object:    emp,
+			VT:        element.EventAt(next.Add(lead)),
+			Invariant: []element.Value{element.String_(fmt.Sprintf("acct-%d", i%100))},
+			Varying:   []element.Value{element.Float(1000 + rng.Float64()*4000)},
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// Accounting builds the §3.1 accounting relation: only the current month's
+// transactions, with corrections to the recent past entered as compensating
+// entries and near-future entries allowed (strongly bounded).
+func Accounting(cfg Config) (*relation.Relation, error) {
+	cfg = cfg.normalize()
+	rng := cfg.rng()
+	day := int64(86400)
+	r := relation.New(eventSchema("ledger"), tx.NewLogicalClock(cfg.Start, cfg.Step))
+	spec, err := core.StronglyBoundedSpec(chronon.Days(31), chronon.Days(31))
+	if err != nil {
+		return nil, err
+	}
+	constraint.Attach(r, constraint.PerRelation, constraint.Event{Spec: spec})
+	book := r.NewObject()
+	next := cfg.Start
+	for i := 0; i < cfg.N; i++ {
+		next = next.Add(cfg.Step)
+		off := rng.Int63n(2*31*day+1) - 31*day
+		if _, err := r.Insert(relation.Insertion{
+			Object:    book,
+			VT:        element.EventAt(next.Add(off)),
+			Invariant: []element.Value{element.String_(fmt.Sprintf("entry-%d", i))},
+			Varying:   []element.Value{element.Float(rng.Float64()*1e4 - 5e3)},
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// Orders builds the §3.1 order relation: filled past orders alongside
+// pending orders constrained by company policy to at most 30 days in the
+// future (predictively bounded).
+func Orders(cfg Config) (*relation.Relation, error) {
+	cfg = cfg.normalize()
+	rng := cfg.rng()
+	day := int64(86400)
+	r := relation.New(eventSchema("orders"), tx.NewLogicalClock(cfg.Start, cfg.Step))
+	spec, err := core.PredictivelyBoundedSpec(chronon.Days(30))
+	if err != nil {
+		return nil, err
+	}
+	constraint.Attach(r, constraint.PerRelation, constraint.Event{Spec: spec})
+	next := cfg.Start
+	for i := 0; i < cfg.N; i++ {
+		next = next.Add(cfg.Step)
+		// Two-thirds past orders, one-third pending.
+		var off int64
+		if rng.Intn(3) < 2 {
+			off = -rng.Int63n(90 * day)
+		} else {
+			off = rng.Int63n(30*day + 1)
+		}
+		if _, err := r.Insert(relation.Insertion{
+			VT:        element.EventAt(next.Add(off)),
+			Invariant: []element.Value{element.String_(fmt.Sprintf("order-%d", i))},
+			Varying:   []element.Value{element.Float(rng.Float64() * 1e3)},
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+func intervalSchema(name string) relation.Schema {
+	return relation.Schema{
+		Name:        name,
+		ValidTime:   element.IntervalStamp,
+		Granularity: chronon.Second,
+		Invariant:   []relation.Column{{Name: "emp", Type: element.KindString}},
+		Varying:     []relation.Column{{Name: "project", Type: element.KindString}},
+	}
+}
+
+// Assignments builds the §3.4 weekly-assignments relation: per employee,
+// contiguous week-long assignments recorded during the weekend before each
+// week commences — per-surrogate contiguous, per-surrogate sequential, and
+// strict valid time interval regular. Employees is the number of parallel
+// life-lines; N is the number of weeks per employee.
+func Assignments(cfg Config, employees int) (*relation.Relation, error) {
+	cfg = cfg.normalize()
+	if employees <= 0 {
+		employees = 3
+	}
+	rng := cfg.rng()
+	week := int64(7 * 86400)
+	r := relation.New(intervalSchema("assignments"), tx.NewLogicalClock(cfg.Start, 1))
+	vtReg, err := core.StrictVTIntervalRegularSpec(chronon.Weeks(1))
+	if err != nil {
+		return nil, err
+	}
+	constraint.Attach(r, constraint.PerPartition,
+		constraint.InterInterval{Spec: core.ContiguousSpec()},
+	)
+	constraint.Attach(r, constraint.PerRelation,
+		constraint.IntervalRegular{Spec: vtReg},
+	)
+	projects := []string{"apollo", "borealis", "cascade", "dune"}
+	names := []string{"ann", "bob", "cod", "dee", "eva", "fay", "gus", "hal"}
+	type worker struct {
+		os   surrogate.Surrogate
+		name string
+	}
+	workers := make([]worker, employees)
+	for i := range workers {
+		workers[i] = worker{os: r.NewObject(), name: names[i%len(names)]}
+	}
+	// Week w runs [base + w·week, base + (w+1)·week); assignments for week
+	// w are recorded during the preceding weekend, interleaved across
+	// employees.
+	base := cfg.Start.Add(week)
+	for w := 0; w < cfg.N; w++ {
+		for _, wk := range workers {
+			if _, err := r.Insert(relation.Insertion{
+				Object:    wk.os,
+				VT:        element.SpanOf(base.Add(int64(w)*week), base.Add(int64(w+1)*week)),
+				Invariant: []element.Value{element.String_(wk.name)},
+				Varying:   []element.Value{element.String_(projects[rng.Intn(len(projects))])},
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return r, nil
+}
+
+// Archaeology builds the §3.2 excavation relation: as digging proceeds,
+// later transactions record information about progressively earlier
+// periods (globally non-increasing).
+func Archaeology(cfg Config) (*relation.Relation, error) {
+	cfg = cfg.normalize()
+	rng := cfg.rng()
+	year := int64(365 * 86400)
+	r := relation.New(eventSchema("strata"), tx.NewLogicalClock(cfg.Start, cfg.Step))
+	constraint.Attach(r, constraint.PerRelation,
+		constraint.InterEvent{Spec: core.NonIncreasingEventsSpec()})
+	site := r.NewObject()
+	// Start a thousand years back and dig further into the past.
+	vt := cfg.Start.Add(-1000 * year)
+	for i := 0; i < cfg.N; i++ {
+		vt = vt.Add(-rng.Int63n(50*year) - 1)
+		if _, err := r.Insert(relation.Insertion{
+			Object:    site,
+			VT:        element.EventAt(vt),
+			Invariant: []element.Value{element.String_(fmt.Sprintf("stratum-%d", i))},
+			Varying:   []element.Value{element.Float(float64(rng.Intn(100)))},
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}

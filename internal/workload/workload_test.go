@@ -1,0 +1,194 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/chronon"
+	"repro/internal/core"
+)
+
+func TestEventStampsSatisfyTheirClass(t *testing.T) {
+	inner, outer := Bounds()
+	specs := map[core.Class]core.EventSpec{
+		core.General:     core.GeneralSpec(),
+		core.Retroactive: core.RetroactiveSpec(),
+		core.Predictive:  core.PredictiveSpec(),
+	}
+	must := func(s core.EventSpec, err error) core.EventSpec {
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	specs[core.DelayedRetroactive] = must(core.DelayedRetroactiveSpec(inner))
+	specs[core.EarlyPredictive] = must(core.EarlyPredictiveSpec(inner))
+	specs[core.RetroactivelyBounded] = must(core.RetroactivelyBoundedSpec(inner))
+	specs[core.StronglyRetroactivelyBounded] = must(core.StronglyRetroactivelyBoundedSpec(inner))
+	specs[core.DelayedStronglyRetroactivelyBounded] = must(core.DelayedStronglyRetroactivelyBoundedSpec(inner, outer))
+	specs[core.PredictivelyBounded] = must(core.PredictivelyBoundedSpec(inner))
+	specs[core.StronglyPredictivelyBounded] = must(core.StronglyPredictivelyBoundedSpec(inner))
+	specs[core.EarlyStronglyPredictivelyBounded] = must(core.EarlyStronglyPredictivelyBoundedSpec(inner, outer))
+	specs[core.StronglyBounded] = must(core.StronglyBoundedSpec(inner, inner))
+	specs[core.Degenerate] = must(core.DegenerateSpec(chronon.Second))
+
+	for cls, spec := range specs {
+		stamps := EventStamps(cls, Config{Seed: 7, N: 500})
+		if len(stamps) != 500 {
+			t.Fatalf("%v: %d stamps", cls, len(stamps))
+		}
+		if err := spec.CheckAll(stamps); err != nil {
+			t.Errorf("%v stamps violate their own spec: %v", cls, err)
+		}
+	}
+}
+
+func TestEventStampsDeterministic(t *testing.T) {
+	a := EventStamps(core.Retroactive, Config{Seed: 42, N: 50})
+	b := EventStamps(core.Retroactive, Config{Seed: 42, N: 50})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded generator not deterministic at %d", i)
+		}
+	}
+	c := EventStamps(core.Retroactive, Config{Seed: 43, N: 50})
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds gave identical workloads")
+	}
+}
+
+func TestEventStampsPanicsOnWrongClass(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-event class should panic")
+		}
+	}()
+	EventStamps(core.GloballySequentialEvents, Config{N: 1})
+}
+
+func TestMonitoringWorkload(t *testing.T) {
+	r, err := Monitoring(Config{Seed: 1, N: 200})
+	if err != nil {
+		t.Fatalf("Monitoring: %v", err)
+	}
+	if r.Len() != 200 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	rep := core.Classify(r.Versions(), core.TTInsertion, chronon.Second)
+	for _, want := range []core.Class{core.Retroactive, core.DelayedRetroactive,
+		core.DelayedStronglyRetroactivelyBounded, core.GloballySequentialEvents} {
+		if !rep.Has(want) {
+			t.Errorf("monitoring relation not %v", want)
+		}
+	}
+}
+
+func TestPayrollWorkload(t *testing.T) {
+	r, err := Payroll(Config{Seed: 2, N: 200})
+	if err != nil {
+		t.Fatalf("Payroll: %v", err)
+	}
+	rep := core.Classify(r.Versions(), core.TTInsertion, chronon.Second)
+	for _, want := range []core.Class{core.Predictive, core.EarlyPredictive,
+		core.EarlyStronglyPredictivelyBounded} {
+		if !rep.Has(want) {
+			t.Errorf("payroll relation not %v", want)
+		}
+	}
+	if rep.Has(core.Retroactive) {
+		t.Error("payroll misclassified retroactive")
+	}
+}
+
+func TestAccountingWorkload(t *testing.T) {
+	r, err := Accounting(Config{Seed: 3, N: 300})
+	if err != nil {
+		t.Fatalf("Accounting: %v", err)
+	}
+	rep := core.Classify(r.Versions(), core.TTInsertion, chronon.Second)
+	if !rep.Has(core.StronglyBounded) {
+		t.Error("ledger not strongly bounded")
+	}
+	// The mix spans both sides of tt, so neither one-sided class holds.
+	if rep.Has(core.Retroactive) || rep.Has(core.Predictive) {
+		t.Error("ledger misclassified one-sided")
+	}
+}
+
+func TestOrdersWorkload(t *testing.T) {
+	r, err := Orders(Config{Seed: 4, N: 300})
+	if err != nil {
+		t.Fatalf("Orders: %v", err)
+	}
+	rep := core.Classify(r.Versions(), core.TTInsertion, chronon.Second)
+	if !rep.Has(core.PredictivelyBounded) {
+		t.Error("orders not predictively bounded")
+	}
+}
+
+func TestAssignmentsWorkload(t *testing.T) {
+	r, err := Assignments(Config{Seed: 5, N: 20}, 4)
+	if err != nil {
+		t.Fatalf("Assignments: %v", err)
+	}
+	if r.Len() != 80 {
+		t.Fatalf("Len = %d, want 80", r.Len())
+	}
+	if got := len(r.Objects()); got != 4 {
+		t.Fatalf("%d life-lines, want 4", got)
+	}
+	rep := core.ClassifyPerPartition(r.Partitions(), core.TTInsertion, chronon.Second)
+	for _, want := range []core.Class{core.GloballyContiguous, core.GloballyNonDecreasingIntervals} {
+		if !rep.Has(want) {
+			t.Errorf("assignments not per-partition %v: %v", want, rep.Findings)
+		}
+	}
+	full := core.Classify(r.Versions(), core.TTInsertion, chronon.Second)
+	if !full.Has(core.StrictVTIntervalRegular) {
+		t.Error("assignments not strict vt interval regular")
+	}
+}
+
+func TestArchaeologyWorkload(t *testing.T) {
+	r, err := Archaeology(Config{Seed: 6, N: 150})
+	if err != nil {
+		t.Fatalf("Archaeology: %v", err)
+	}
+	rep := core.Classify(r.Versions(), core.TTInsertion, chronon.Second)
+	if !rep.Has(core.GloballyNonIncreasingEvents) {
+		t.Error("strata not non-increasing")
+	}
+	if rep.Has(core.GloballyNonDecreasingEvents) {
+		t.Error("strata misclassified non-decreasing")
+	}
+}
+
+func TestWorkloadsDeterministic(t *testing.T) {
+	a, err := Monitoring(Config{Seed: 11, N: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Monitoring(Config{Seed: 11, N: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	av, bv := a.Versions(), b.Versions()
+	for i := range av {
+		if av[i].TTStart != bv[i].TTStart || av[i].VT != bv[i].VT {
+			t.Fatalf("monitoring workload not deterministic at %d", i)
+		}
+	}
+}
+
+func TestConfigNormalization(t *testing.T) {
+	stamps := EventStamps(core.General, Config{})
+	if len(stamps) != 1000 {
+		t.Errorf("default N = %d, want 1000", len(stamps))
+	}
+}

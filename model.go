@@ -1,0 +1,131 @@
+package temporalspec
+
+import (
+	"repro/internal/element"
+	"repro/internal/relation"
+	"repro/internal/surrogate"
+	"repro/internal/tx"
+)
+
+// Surrogate is an opaque system-generated identifier (element or object).
+type Surrogate = surrogate.Surrogate
+
+// Value is a single attribute value (string, int, float, bool, time, or
+// null).
+type Value = element.Value
+
+// ValueKind discriminates attribute value types.
+type ValueKind = element.ValueKind
+
+// Attribute value kinds.
+const (
+	KindNull   = element.KindNull
+	KindString = element.KindString
+	KindInt    = element.KindInt
+	KindFloat  = element.KindFloat
+	KindBool   = element.KindBool
+	KindTime   = element.KindTime
+)
+
+// Value constructors.
+func Null() Value               { return element.Null() }
+func String(s string) Value     { return element.String_(s) }
+func Int(i int64) Value         { return element.Int(i) }
+func Float(f float64) Value     { return element.Float(f) }
+func Bool(b bool) Value         { return element.Bool(b) }
+func TimeValue(c Chronon) Value { return element.Time(c) }
+
+// Timestamp is a valid time-stamp: an event or an interval.
+type Timestamp = element.Timestamp
+
+// TimestampKind discriminates event- from interval-stamped relations.
+type TimestampKind = element.TimestampKind
+
+// Valid time-stamp kinds.
+const (
+	EventStamp    = element.EventStamp
+	IntervalStamp = element.IntervalStamp
+)
+
+// EventAt builds an event valid time-stamp.
+func EventAt(c Chronon) Timestamp { return element.EventAt(c) }
+
+// SpanOf builds an interval valid time-stamp [start, end).
+func SpanOf(start, end Chronon) Timestamp { return element.SpanOf(start, end) }
+
+// Element is a temporal element: the unit of storage, carrying surrogates,
+// the transaction-time existence interval, the valid time-stamp, and
+// attribute values.
+type Element = element.Element
+
+// Column describes one attribute of a relation schema.
+type Column = relation.Column
+
+// Schema describes a temporal relation.
+type Schema = relation.Schema
+
+// Relation is an in-memory bitemporal relation.
+type Relation = relation.Relation
+
+// Insertion describes the user-supplied part of an insert.
+type Insertion = relation.Insertion
+
+// Op identifies a backlog operation (insert or logical delete).
+type Op = relation.Op
+
+// Backlog operation kinds.
+const (
+	OpInsert = relation.OpInsert
+	OpDelete = relation.OpDelete
+)
+
+// LogRecord is one backlog entry.
+type LogRecord = relation.LogRecord
+
+// Guard validates transactions before they are applied.
+type Guard = relation.Guard
+
+// Clock is a monotonically increasing transaction-time source.
+type Clock = tx.Clock
+
+// LogicalClock is a deterministic clock advancing a fixed step per
+// transaction.
+type LogicalClock = tx.LogicalClock
+
+// NewLogicalClock returns a clock whose first transaction time is
+// origin+step.
+func NewLogicalClock(origin Chronon, step int64) *LogicalClock {
+	return tx.NewLogicalClock(origin, step)
+}
+
+// NewScriptedClock returns a clock replaying an explicit stamp sequence.
+func NewScriptedClock(stamps ...Chronon) *tx.ScriptedClock {
+	return tx.NewScriptedClock(stamps...)
+}
+
+// NewRelation creates an empty relation with the given schema and clock.
+func NewRelation(schema Schema, clock Clock) *Relation {
+	return relation.New(schema, clock)
+}
+
+// Relation operation errors.
+var (
+	ErrNoSuchElement  = relation.ErrNoSuchElement
+	ErrAlreadyDeleted = relation.ErrAlreadyDeleted
+	ErrWrongStampKind = relation.ErrWrongStampKind
+)
+
+// LockedRelation wraps a relation for safe concurrent use: writes take an
+// exclusive lock, queries a shared one.
+type LockedRelation = relation.Locked
+
+// NewLockedRelation wraps an existing relation; do not use the bare
+// relation concurrently afterwards.
+func NewLockedRelation(r *Relation) *LockedRelation { return relation.NewLocked(r) }
+
+// SystemClock is a wall-clock-backed transaction-time source with
+// uniqueness enforced under same-second collisions and backwards steps.
+type SystemClock = tx.SystemClock
+
+// NewSystemClock returns a wall-clock-backed transaction-time source.
+func NewSystemClock() *SystemClock { return tx.NewSystemClock() }

@@ -1,0 +1,291 @@
+package temporalspec
+
+import (
+	"repro/internal/core"
+)
+
+// Class identifies a specialization in the taxonomy of §3.
+type Class = core.Class
+
+// The isolated-event classes (§3.1, Figures 1 and 2).
+const (
+	General                             = core.General
+	Retroactive                         = core.Retroactive
+	DelayedRetroactive                  = core.DelayedRetroactive
+	Predictive                          = core.Predictive
+	EarlyPredictive                     = core.EarlyPredictive
+	RetroactivelyBounded                = core.RetroactivelyBounded
+	StronglyRetroactivelyBounded        = core.StronglyRetroactivelyBounded
+	DelayedStronglyRetroactivelyBounded = core.DelayedStronglyRetroactivelyBounded
+	PredictivelyBounded                 = core.PredictivelyBounded
+	StronglyPredictivelyBounded         = core.StronglyPredictivelyBounded
+	EarlyStronglyPredictivelyBounded    = core.EarlyStronglyPredictivelyBounded
+	StronglyBounded                     = core.StronglyBounded
+	Degenerate                          = core.Degenerate
+)
+
+// The inter-event classes (§3.2, Figures 3 and 4).
+const (
+	GloballyNonDecreasingEvents = core.GloballyNonDecreasingEvents
+	GloballyNonIncreasingEvents = core.GloballyNonIncreasingEvents
+	GloballySequentialEvents    = core.GloballySequentialEvents
+
+	TTEventRegular             = core.TTEventRegular
+	VTEventRegular             = core.VTEventRegular
+	TemporalEventRegular       = core.TemporalEventRegular
+	StrictTTEventRegular       = core.StrictTTEventRegular
+	StrictVTEventRegular       = core.StrictVTEventRegular
+	StrictTemporalEventRegular = core.StrictTemporalEventRegular
+)
+
+// The isolated-interval regularity classes (§3.3).
+const (
+	TTIntervalRegular             = core.TTIntervalRegular
+	VTIntervalRegular             = core.VTIntervalRegular
+	TemporalIntervalRegular       = core.TemporalIntervalRegular
+	StrictTTIntervalRegular       = core.StrictTTIntervalRegular
+	StrictVTIntervalRegular       = core.StrictVTIntervalRegular
+	StrictTemporalIntervalRegular = core.StrictTemporalIntervalRegular
+)
+
+// The inter-interval classes (§3.4, Figure 5).
+const (
+	GloballyNonDecreasingIntervals = core.GloballyNonDecreasingIntervals
+	GloballyNonIncreasingIntervals = core.GloballyNonIncreasingIntervals
+	GloballySequentialIntervals    = core.GloballySequentialIntervals
+	GloballyContiguous             = core.GloballyContiguous
+	STBefore                       = core.STBefore
+	STMeets                        = core.STMeets
+	STOverlaps                     = core.STOverlaps
+	STStarts                       = core.STStarts
+	STDuring                       = core.STDuring
+	STFinishes                     = core.STFinishes
+	STEqual                        = core.STEqual
+	STAfter                        = core.STAfter
+	STMetBy                        = core.STMetBy
+	STOverlappedBy                 = core.STOverlappedBy
+	STStartedBy                    = core.STStartedBy
+	STContains                     = core.STContains
+	STFinishedBy                   = core.STFinishedBy
+)
+
+// Category groups classes by the taxonomy section defining them.
+type Category = core.Category
+
+// Categories.
+const (
+	CategoryIsolatedEvent     = core.CategoryIsolatedEvent
+	CategoryInterEventOrder   = core.CategoryInterEventOrder
+	CategoryInterEventRegular = core.CategoryInterEventRegular
+	CategoryIntervalRegular   = core.CategoryIntervalRegular
+	CategoryInterInterval     = core.CategoryInterInterval
+)
+
+// Classes lists every class in the taxonomy.
+func Classes() []Class { return core.Classes() }
+
+// EventClasses lists the isolated-event classes.
+func EventClasses() []Class { return core.EventClasses() }
+
+// TTBasis selects which transaction time an isolated property is relative
+// to (insertion or deletion).
+type TTBasis = core.TTBasis
+
+// Transaction-time bases.
+const (
+	TTInsertion = core.TTInsertion
+	TTDeletion  = core.TTDeletion
+)
+
+// VTEndpoint selects the valid-time endpoint an event property applies to
+// on an interval relation.
+type VTEndpoint = core.VTEndpoint
+
+// Valid-time endpoints.
+const (
+	VTStart = core.VTStart
+	VTEnd   = core.VTEnd
+)
+
+// Stamp is the (transaction time, valid time) pair of one element.
+type Stamp = core.Stamp
+
+// IntervalStampPair is the (transaction time, valid interval) pair of one
+// element of an interval relation.
+type IntervalStampPair = core.IntervalStamp
+
+// EventSpec is an isolated-event specialization (a Figure 1 region).
+type EventSpec = core.EventSpec
+
+// Isolated-event spec constructors (§3.1).
+func GeneralSpec() EventSpec     { return core.GeneralSpec() }
+func RetroactiveSpec() EventSpec { return core.RetroactiveSpec() }
+func PredictiveSpec() EventSpec  { return core.PredictiveSpec() }
+
+func DelayedRetroactiveSpec(dt Duration) (EventSpec, error) {
+	return core.DelayedRetroactiveSpec(dt)
+}
+func EarlyPredictiveSpec(dt Duration) (EventSpec, error) {
+	return core.EarlyPredictiveSpec(dt)
+}
+func RetroactivelyBoundedSpec(dt Duration) (EventSpec, error) {
+	return core.RetroactivelyBoundedSpec(dt)
+}
+func StronglyRetroactivelyBoundedSpec(dt Duration) (EventSpec, error) {
+	return core.StronglyRetroactivelyBoundedSpec(dt)
+}
+func DelayedStronglyRetroactivelyBoundedSpec(minDelay, maxDelay Duration) (EventSpec, error) {
+	return core.DelayedStronglyRetroactivelyBoundedSpec(minDelay, maxDelay)
+}
+func PredictivelyBoundedSpec(dt Duration) (EventSpec, error) {
+	return core.PredictivelyBoundedSpec(dt)
+}
+func StronglyPredictivelyBoundedSpec(dt Duration) (EventSpec, error) {
+	return core.StronglyPredictivelyBoundedSpec(dt)
+}
+func EarlyStronglyPredictivelyBoundedSpec(minLead, maxLead Duration) (EventSpec, error) {
+	return core.EarlyStronglyPredictivelyBoundedSpec(minLead, maxLead)
+}
+func StronglyBoundedSpec(dt1, dt2 Duration) (EventSpec, error) {
+	return core.StronglyBoundedSpec(dt1, dt2)
+}
+func DegenerateSpec(g Granularity) (EventSpec, error) {
+	return core.DegenerateSpec(g)
+}
+
+// Mapping is a mapping function for determined relations.
+type Mapping = core.Mapping
+
+// The paper's sample mapping functions.
+func M1(dt Duration) Mapping { return core.M1(dt) }
+func M2(dt Duration) Mapping { return core.M2(dt) }
+func M3() Mapping            { return core.M3() }
+
+// DeterminedSpec is a determined specialization: vt = m(e), with m's output
+// additionally satisfying a base event class.
+type DeterminedSpec = core.DeterminedSpec
+
+// InterEventSpec is an inter-event specialization (§3.2).
+type InterEventSpec = core.InterEventSpec
+
+// Inter-event spec constructors.
+func SequentialEventsSpec() InterEventSpec    { return core.SequentialEventsSpec() }
+func NonDecreasingEventsSpec() InterEventSpec { return core.NonDecreasingEventsSpec() }
+func NonIncreasingEventsSpec() InterEventSpec { return core.NonIncreasingEventsSpec() }
+
+func TTEventRegularSpec(unit Duration) (InterEventSpec, error) {
+	return core.TTEventRegularSpec(unit)
+}
+func VTEventRegularSpec(unit Duration) (InterEventSpec, error) {
+	return core.VTEventRegularSpec(unit)
+}
+func TemporalEventRegularSpec(unit Duration) (InterEventSpec, error) {
+	return core.TemporalEventRegularSpec(unit)
+}
+func StrictTTEventRegularSpec(unit Duration) (InterEventSpec, error) {
+	return core.StrictTTEventRegularSpec(unit)
+}
+func StrictVTEventRegularSpec(unit Duration) (InterEventSpec, error) {
+	return core.StrictVTEventRegularSpec(unit)
+}
+func StrictTemporalEventRegularSpec(unit Duration) (InterEventSpec, error) {
+	return core.StrictTemporalEventRegularSpec(unit)
+}
+
+// EndpointSpec applies an event specialization to one valid-time endpoint
+// of an interval relation (§3.3).
+type EndpointSpec = core.EndpointSpec
+
+// IntervalRegularSpec is an isolated-interval regularity specialization
+// (§3.3).
+type IntervalRegularSpec = core.IntervalRegularSpec
+
+// Interval regularity spec constructors.
+func TTIntervalRegularSpec(unit Duration) (IntervalRegularSpec, error) {
+	return core.TTIntervalRegularSpec(unit)
+}
+func VTIntervalRegularSpec(unit Duration) (IntervalRegularSpec, error) {
+	return core.VTIntervalRegularSpec(unit)
+}
+func TemporalIntervalRegularSpec(unit Duration) (IntervalRegularSpec, error) {
+	return core.TemporalIntervalRegularSpec(unit)
+}
+func StrictTTIntervalRegularSpec(unit Duration) (IntervalRegularSpec, error) {
+	return core.StrictTTIntervalRegularSpec(unit)
+}
+func StrictVTIntervalRegularSpec(unit Duration) (IntervalRegularSpec, error) {
+	return core.StrictVTIntervalRegularSpec(unit)
+}
+func StrictTemporalIntervalRegularSpec(unit Duration) (IntervalRegularSpec, error) {
+	return core.StrictTemporalIntervalRegularSpec(unit)
+}
+
+// InterIntervalSpec is an inter-interval specialization (§3.4).
+type InterIntervalSpec = core.InterIntervalSpec
+
+// Inter-interval spec constructors.
+func SequentialIntervalsSpec() InterIntervalSpec    { return core.SequentialIntervalsSpec() }
+func NonDecreasingIntervalsSpec() InterIntervalSpec { return core.NonDecreasingIntervalsSpec() }
+func NonIncreasingIntervalsSpec() InterIntervalSpec { return core.NonIncreasingIntervalsSpec() }
+func ContiguousSpec() InterIntervalSpec             { return core.ContiguousSpec() }
+
+// SuccessiveTTSpec restricts tt-successive elements' valid intervals to
+// relate by the given Allen relation.
+func SuccessiveTTSpec(rel AllenRelation) InterIntervalSpec {
+	return core.SuccessiveTTSpec(rel)
+}
+
+// Lattice queries (Figures 2-5).
+func Children(c Class) []Class               { return core.Children(c) }
+func Parents(c Class) []Class                { return core.Parents(c) }
+func Ancestors(c Class) []Class              { return core.Ancestors(c) }
+func Descendants(c Class) []Class            { return core.Descendants(c) }
+func IsSpecializationOf(c, p Class) bool     { return core.IsSpecializationOf(c, p) }
+func MostSpecificClasses(cs []Class) []Class { return core.MostSpecific(cs) }
+
+// RenderLattice renders a category's generalization/specialization
+// structure as an indented tree.
+func RenderLattice(cat Category) string { return core.RenderLattice(cat) }
+
+// Region is a Figure 1 region of the (tt, vt) plane.
+type Region = core.Region
+
+// Completeness is the result of the §3.1 completeness enumeration.
+type Completeness = core.Completeness
+
+// EnumerateRegions performs the completeness enumeration: eleven
+// specialized isolated-event relations plus the general one.
+func EnumerateRegions() Completeness { return core.EnumerateRegions() }
+
+// RenderRegion draws a specialization's Figure 1 panel as ASCII art.
+func RenderRegion(s EventSpec, size int) string { return core.RenderRegion(s, size) }
+
+// Finding is one specialization an extension satisfies, with synthesized
+// parameters.
+type Finding = core.Finding
+
+// Report is the classification of an extension.
+type Report = core.Report
+
+// Classify infers every specialization an extension satisfies under the
+// given basis.
+func Classify(es []*Element, basis TTBasis, gran Granularity) Report {
+	return core.Classify(es, basis, gran)
+}
+
+// ClassifyPerPartition classifies each partition separately and reports
+// the classes every partition satisfies (§3's per-partition basis).
+func ClassifyPerPartition(parts map[Surrogate][]*Element, basis TTBasis, gran Granularity) Report {
+	return core.ClassifyPerPartition(parts, basis, gran)
+}
+
+// StampsOf extracts (tt, vt) stamps from an extension.
+func StampsOf(es []*Element, b TTBasis, p VTEndpoint) []Stamp {
+	return core.StampsOf(es, b, p)
+}
+
+// Determine verifies that a candidate mapping function determines the
+// extension's valid times.
+func Determine(m Mapping, es []*Element, basis TTBasis, p VTEndpoint) error {
+	return core.Determine(m, es, basis, p)
+}

@@ -1,0 +1,140 @@
+// Package temporalspec is a bitemporal relation engine with declarable,
+// enforced, and inferable temporal specializations, reproducing
+//
+//	C. S. Jensen and R. T. Snodgrass, "Temporal Specialization",
+//	Proc. 8th International Conference on Data Engineering (ICDE), 1992.
+//
+// A temporal relation carries two system-interpreted times per stored
+// element: valid time (when a fact is true in the modeled reality) and
+// transaction time (when the fact was stored). The paper's contribution is
+// a taxonomy of *specialized* temporal relations, whose extensions are
+// restricted to limited regions of the two-dimensional (transaction time,
+// valid time) space or whose elements interrelate in restricted ways — a
+// retroactive relation stores facts only after they become true, a
+// predictive one only before, a degenerate one exactly as they do, and so
+// on through thirty-odd classes.
+//
+// This package provides:
+//
+//   - the time domain (Chronon, Duration, Granularity) with a proleptic
+//     Gregorian calendar for calendric bounds such as "one month";
+//   - half-open intervals and Allen's thirteen interval relations with
+//     their composition algebra;
+//   - the temporal relation engine: elements with surrogates, backlog,
+//     historical states, and the current/historical/rollback query kinds;
+//   - the taxonomy itself: specialization classes, parameterized specs,
+//     the generalization/specialization lattice of Figures 2-5, the
+//     region model and completeness enumeration of Figure 1;
+//   - enforcement: declared specializations validated on every
+//     transaction, per relation or per partition;
+//   - inference: classification of an extension into the taxonomy with
+//     tightest-parameter synthesis;
+//   - exploitation: a storage advisor and query engine that turn declared
+//     specializations into better physical designs, as the paper proposes;
+//   - deterministic workload generators for the paper's motivating
+//     applications.
+//
+// The facade in this package re-exports the full public API; see the
+// examples directory for runnable programs.
+package temporalspec
+
+import (
+	"repro/internal/chronon"
+	"repro/internal/interval"
+)
+
+// Chronon is a point on the discrete time line (seconds since 1970-01-01
+// on the proleptic Gregorian calendar).
+type Chronon = chronon.Chronon
+
+// Duration is a fixed or calendric span of time, used for specialization
+// bounds (Δt) and regularity units.
+type Duration = chronon.Duration
+
+// Granularity is the tick length at which a relation quantizes its
+// time-stamps.
+type Granularity = chronon.Granularity
+
+// Civil is a broken-down calendar date-time.
+type Civil = chronon.Civil
+
+// Distinguished chronons and named granularities.
+const (
+	MinChronon = chronon.MinChronon
+	MaxChronon = chronon.MaxChronon
+	Forever    = chronon.Forever
+	Epoch      = chronon.Epoch
+
+	Second = chronon.Second
+	Minute = chronon.Minute
+	Hour   = chronon.Hour
+	Day    = chronon.Day
+	Week   = chronon.Week
+)
+
+// Date builds the chronon for a calendar date at midnight.
+func Date(y, m, d int) Chronon { return chronon.Date(y, m, d) }
+
+// DateTime builds the chronon for a calendar date and time of day.
+func DateTime(y, mo, d, h, mi, s int) Chronon { return chronon.DateTime(y, mo, d, h, mi, s) }
+
+// ParseCivil parses "YYYY-MM-DD" or "YYYY-MM-DD HH:MM:SS".
+func ParseCivil(s string) (Civil, error) { return chronon.ParseCivil(s) }
+
+// Duration constructors.
+func Seconds(n int64) Duration { return chronon.Seconds(n) }
+func Minutes(n int64) Duration { return chronon.Minutes(n) }
+func Hours(n int64) Duration   { return chronon.Hours(n) }
+func Days(n int64) Duration    { return chronon.Days(n) }
+func Weeks(n int64) Duration   { return chronon.Weeks(n) }
+func Months(n int64) Duration  { return chronon.Months(n) }
+func Years(n int64) Duration   { return chronon.Years(n) }
+
+// ParseDuration parses a compact duration such as "30s", "1mo", or "1mo2d".
+func ParseDuration(s string) (Duration, error) { return chronon.ParseDuration(s) }
+
+// ParseGranularity parses a granularity name or literal tick length.
+func ParseGranularity(s string) (Granularity, error) { return chronon.ParseGranularity(s) }
+
+// GCD returns the greatest common divisor of two second counts — the unit
+// composition of the paper's regularity claim (§3.2).
+func GCD(a, b int64) int64 { return chronon.GCD(a, b) }
+
+// Interval is a half-open span of time [Start, End).
+type Interval = interval.Interval
+
+// AllenRelation is one of Allen's thirteen relations between two intervals.
+type AllenRelation = interval.Relation
+
+// AllenRelationSet is a set of Allen relations (composition results).
+type AllenRelationSet = interval.RelationSet
+
+// The thirteen Allen relations.
+const (
+	Before       = interval.Before
+	Meets        = interval.Meets
+	Overlaps     = interval.Overlaps
+	Starts       = interval.Starts
+	During       = interval.During
+	Finishes     = interval.Finishes
+	Equal        = interval.Equal
+	After        = interval.After
+	MetBy        = interval.MetBy
+	OverlappedBy = interval.OverlappedBy
+	StartedBy    = interval.StartedBy
+	Contains     = interval.Contains
+	FinishedBy   = interval.FinishedBy
+)
+
+// MakeInterval constructs [start, end); it panics if end < start.
+func MakeInterval(start, end Chronon) Interval { return interval.Make(start, end) }
+
+// Relate classifies a pair of non-empty intervals into exactly one Allen
+// relation.
+func Relate(a, b Interval) AllenRelation { return interval.Relate(a, b) }
+
+// Compose returns Allen's composition of two relations.
+func Compose(r, s AllenRelation) AllenRelationSet { return interval.Compose(r, s) }
+
+// AllenRelations lists the thirteen relations.
+func AllenRelations() []AllenRelation { return interval.Relations() }
