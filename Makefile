@@ -1,0 +1,38 @@
+GO ?= go
+
+# Packages whose tests exercise shared mutable state across goroutines;
+# these run a second time under the race detector in `make ci`.
+RACE_PKGS = ./internal/relation ./internal/catalog ./internal/server ./internal/tx ./client
+
+.PHONY: ci build vet test race fuzz bench clean
+
+# ci is the tier-1 gate: everything must build, vet clean, pass tests, and
+# pass the race detector on the concurrency-bearing packages.
+ci: vet build test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+# Short smoke runs of the server decode fuzzers (they run as plain tests in
+# `make test`; this gives the mutation engine a little time on each).
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzDecodeTransaction -fuzztime=20s ./internal/server
+	$(GO) test -run=NONE -fuzz=FuzzDecodeQuery -fuzztime=20s ./internal/server
+
+# Regenerate every figure/claim table plus the serving benchmark
+# (writes BENCH_serving.json in the working directory).
+bench:
+	$(GO) run ./cmd/benchrunner
+
+clean:
+	rm -f BENCH_*.json
+	$(GO) clean ./...

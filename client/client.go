@@ -1,0 +1,297 @@
+// Package client is the typed Go client for tsdbd, the temporal-
+// specialization database server. It mirrors the server's wire vocabulary
+// (repro/internal/wire is re-exported through type aliases here so callers
+// never import an internal package) and turns structured error responses
+// back into *APIError values that carry the HTTP status and machine-
+// readable code — a caller can distinguish a specialization-violating
+// transaction (code "rejected") from a concurrency conflict or a bad
+// request without string matching.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Wire vocabulary re-exports: the client speaks exactly the server's types.
+type (
+	Value           = wire.Value
+	Timestamp       = wire.Timestamp
+	Element         = wire.Element
+	Column          = wire.Column
+	Schema          = wire.Schema
+	Duration        = wire.Duration
+	Descriptor      = wire.Descriptor
+	InsertRequest   = wire.InsertRequest
+	QueryRequest    = wire.QueryRequest
+	QueryResponse   = wire.QueryResponse
+	SelectResponse  = wire.SelectResponse
+	RelationSummary = wire.RelationSummary
+	RelationInfo    = wire.RelationInfo
+	ClassifyResponse = wire.ClassifyResponse
+	HealthResponse  = wire.HealthResponse
+	MetricsResponse = wire.MetricsResponse
+	DeclareResponse = wire.DeclareResponse
+)
+
+// Value constructors, re-exported for ergonomic insert payloads.
+var (
+	Null   = wire.Null
+	String = wire.String
+	Int    = wire.Int
+	Float  = wire.Float
+	Bool   = wire.Bool
+	Time   = wire.Time
+
+	EventAt = wire.EventAt
+	SpanOf  = wire.SpanOf
+)
+
+// Query kinds.
+const (
+	QueryCurrent   = wire.QueryCurrent
+	QueryTimeslice = wire.QueryTimeslice
+	QueryRollback  = wire.QueryRollback
+	QueryAsOf      = wire.QueryAsOf
+)
+
+// Error codes a server may return in an APIError.
+const (
+	CodeBadRequest = wire.CodeBadRequest
+	CodeNotFound   = wire.CodeNotFound
+	CodeConflict   = wire.CodeConflict
+	CodeRejected   = wire.CodeRejected
+	CodeTooLarge   = wire.CodeTooLarge
+	CodeInternal   = wire.CodeInternal
+)
+
+// APIError is a structured error response from the server.
+type APIError struct {
+	Status  int    // HTTP status
+	Code    string // machine-readable code, e.g. "rejected"
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("tsdbd: %s (%s, http %d)", e.Message, e.Code, e.Status)
+}
+
+// IsRejected reports whether err is a transaction rejection by a declared
+// specialization — the expected failure mode under enforcement.
+func IsRejected(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Code == CodeRejected
+}
+
+// IsNotFound reports whether err is a missing relation or element.
+func IsNotFound(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Code == CodeNotFound
+}
+
+// Client talks to one tsdbd server.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (e.g. for
+// httptest servers or custom transports).
+func WithHTTPClient(h *http.Client) Option {
+	return func(c *Client) { c.http = h }
+}
+
+// New builds a client for the server at base, e.g. "http://127.0.0.1:7070".
+func New(base string, opts ...Option) *Client {
+	c := &Client{
+		base: strings.TrimRight(base, "/"),
+		http: &http.Client{Timeout: 30 * time.Second},
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// do issues one request and decodes the JSON response into out (when out is
+// non-nil). Non-2xx responses become *APIError.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("tsdbd: encoding request: %w", err)
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("tsdbd: building request: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("tsdbd: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return fmt.Errorf("tsdbd: reading response: %w", err)
+	}
+	if resp.StatusCode >= 300 {
+		var eb wire.ErrorBody
+		if json.Unmarshal(payload, &eb) == nil && eb.Error.Code != "" {
+			return &APIError{Status: resp.StatusCode, Code: eb.Error.Code, Message: eb.Error.Message}
+		}
+		return &APIError{
+			Status:  resp.StatusCode,
+			Code:    CodeInternal,
+			Message: strings.TrimSpace(string(payload)),
+		}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(payload, out); err != nil {
+		return fmt.Errorf("tsdbd: decoding response: %w", err)
+	}
+	return nil
+}
+
+// Health probes the server.
+func (c *Client) Health(ctx context.Context) (HealthResponse, error) {
+	var out HealthResponse
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &out)
+	return out, err
+}
+
+// Metrics fetches the server's request metrics.
+func (c *Client) Metrics(ctx context.Context) (MetricsResponse, error) {
+	var out MetricsResponse
+	err := c.do(ctx, http.MethodGet, "/metrics", nil, &out)
+	return out, err
+}
+
+// List enumerates the relations in the catalog.
+func (c *Client) List(ctx context.Context) ([]RelationSummary, error) {
+	var out wire.ListResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/relations", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Relations, nil
+}
+
+// Create makes a new relation from the schema.
+func (c *Client) Create(ctx context.Context, schema Schema) (RelationInfo, error) {
+	var out RelationInfo
+	err := c.do(ctx, http.MethodPost, "/v1/relations", wire.CreateRequest{Schema: schema}, &out)
+	return out, err
+}
+
+// Info fetches a relation's schema, declarations, and storage advice.
+func (c *Client) Info(ctx context.Context, name string) (RelationInfo, error) {
+	var out RelationInfo
+	err := c.do(ctx, http.MethodGet, "/v1/relations/"+name, nil, &out)
+	return out, err
+}
+
+// Declare attaches specialization constraints to a relation. The server
+// validates the relation's existing history against each declaration and
+// rejects (409, code "rejected") any the history already violates.
+func (c *Client) Declare(ctx context.Context, name string, descs ...Descriptor) (DeclareResponse, error) {
+	var out DeclareResponse
+	err := c.do(ctx, http.MethodPost, "/v1/relations/"+name+"/declare",
+		wire.DeclareRequest{Constraints: descs}, &out)
+	return out, err
+}
+
+// Insert runs one insert transaction against the relation.
+func (c *Client) Insert(ctx context.Context, name string, req InsertRequest) (Element, error) {
+	var out wire.ElementResponse
+	err := c.do(ctx, http.MethodPost, "/v1/relations/"+name+"/insert", req, &out)
+	return out.Element, err
+}
+
+// Delete runs one logical-delete transaction against the element.
+func (c *Client) Delete(ctx context.Context, name string, es uint64) error {
+	return c.do(ctx, http.MethodPost, "/v1/relations/"+name+"/delete",
+		wire.DeleteRequest{ES: es}, nil)
+}
+
+// Modify rewrites an element's valid time and varying attributes as a
+// delete+insert pair under one transaction.
+func (c *Client) Modify(ctx context.Context, name string, es uint64, vt Timestamp, varying []Value) (Element, error) {
+	var out wire.ElementResponse
+	err := c.do(ctx, http.MethodPost, "/v1/relations/"+name+"/modify",
+		wire.ModifyRequest{ES: es, VT: vt, Varying: varying}, &out)
+	return out.Element, err
+}
+
+// Query runs one of the four temporal query kinds.
+func (c *Client) Query(ctx context.Context, name string, req QueryRequest) (QueryResponse, error) {
+	var out QueryResponse
+	err := c.do(ctx, http.MethodPost, "/v1/relations/"+name+"/query", req, &out)
+	return out, err
+}
+
+// Current answers the conventional query: the relation's current state.
+func (c *Client) Current(ctx context.Context, name string) (QueryResponse, error) {
+	return c.Query(ctx, name, QueryRequest{Kind: QueryCurrent})
+}
+
+// Timeslice answers the historical query: current elements valid at vt.
+func (c *Client) Timeslice(ctx context.Context, name string, vt int64) (QueryResponse, error) {
+	return c.Query(ctx, name, QueryRequest{Kind: QueryTimeslice, VT: vt})
+}
+
+// Rollback answers the rollback query: elements present at transaction
+// time tt.
+func (c *Client) Rollback(ctx context.Context, name string, tt int64) (QueryResponse, error) {
+	return c.Query(ctx, name, QueryRequest{Kind: QueryRollback, TT: tt})
+}
+
+// TimesliceAsOf answers the bitemporal query: elements valid at vt as the
+// database stood at transaction time tt.
+func (c *Client) TimesliceAsOf(ctx context.Context, name string, vt, tt int64) (QueryResponse, error) {
+	return c.Query(ctx, name, QueryRequest{Kind: QueryAsOf, VT: vt, TT: tt})
+}
+
+// Select runs a raw tsql SELECT, e.g.
+// "SELECT name, salary FROM emp WHEN AT 1500".
+func (c *Client) Select(ctx context.Context, query string) (SelectResponse, error) {
+	var out SelectResponse
+	err := c.do(ctx, http.MethodPost, "/v1/select", wire.SelectRequest{Query: query}, &out)
+	return out, err
+}
+
+// Classify infers which specializations the relation's stored history
+// satisfies.
+func (c *Client) Classify(ctx context.Context, name string) (ClassifyResponse, error) {
+	var out ClassifyResponse
+	err := c.do(ctx, http.MethodGet, "/v1/relations/"+name+"/classify", nil, &out)
+	return out, err
+}
+
+// Snapshot asks the server to flush dirty relations to its data directory;
+// it returns how many were written.
+func (c *Client) Snapshot(ctx context.Context) (int, error) {
+	var out wire.SnapshotResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/snapshot", nil, &out); err != nil {
+		return 0, err
+	}
+	return out.Saved, nil
+}

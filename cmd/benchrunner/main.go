@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "run only this experiment (F1-F5, C1-C6)")
+	exp := flag.String("exp", "", "run only this experiment (F1-F5, C1-C6, A1-A2, S1)")
 	n := flag.Int("n", 20000, "workload size for quantitative experiments")
 	flag.Parse()
 
@@ -43,6 +43,7 @@ func main() {
 		{"C6", "Claim C6 — specialization-driven physical design", runC6},
 		{"A1", "Ablation — order sharing vs a separate B-tree index", runA1},
 		{"A2", "Ablation — bounded-specialization pushdown (vt→tt window)", runA2},
+		{"S1", "Serving — concurrent clients vs tsdbd over loopback HTTP", runS1},
 	}
 	failed := false
 	for _, e := range all {

@@ -1,0 +1,179 @@
+package main
+
+// S1 — the serving path end to end: an in-process tsdbd (real catalog,
+// real HTTP server on a loopback listener) hammered by N concurrent
+// clients mixing insert transactions and time-slice queries through the
+// typed client package. The result is both printed and written to
+// BENCH_serving.json so runs can be compared across changes.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/client"
+	"repro/internal/catalog"
+	"repro/internal/server"
+)
+
+// servingResult is the BENCH_serving.json document.
+type servingResult struct {
+	Experiment   string  `json:"experiment"`
+	Clients      int     `json:"clients"`
+	Inserts      int     `json:"inserts"`
+	Timeslices   int     `json:"timeslices"`
+	DurationMS   int64   `json:"duration_ms"`
+	InsertsPerS  float64 `json:"inserts_per_sec"`
+	QueriesPerS  float64 `json:"queries_per_sec"`
+	MeanInsertUS int64   `json:"mean_insert_us"`
+	MeanQueryUS  int64   `json:"mean_query_us"`
+	// Server-side accounting, read back from /metrics.
+	ServerRequests uint64 `json:"server_requests"`
+	ServerErrors   uint64 `json:"server_errors"`
+	ServerTouched  uint64 `json:"server_elements_touched"`
+	Snapshotted    int    `json:"relations_snapshotted"`
+}
+
+// runS1 boots the server, runs the workload, verifies the books balance,
+// and writes BENCH_serving.json.
+func runS1(n int) error {
+	const clients = 8
+	// The serving path is request-bound, not data-bound; cap the per-run
+	// volume so S1 stays a seconds-scale experiment at any -n.
+	inserts := n
+	if inserts > 4000 {
+		inserts = 4000
+	}
+	perClient := inserts / clients
+	inserts = perClient * clients
+	timeslices := inserts // one query per insert, interleaved
+
+	dir, err := os.MkdirTemp("", "tsdbd-bench-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	cat := catalog.New(catalog.Config{Dir: dir})
+	if err := cat.Open(); err != nil {
+		return err
+	}
+	srv := server.New(server.Config{Catalog: cat})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+	}()
+
+	ctx := context.Background()
+	admin := client.New("http://" + ln.Addr().String())
+	if _, err := admin.Create(ctx, client.Schema{
+		Name: "stream", ValidTime: "event", Granularity: 1,
+	}); err != nil {
+		return err
+	}
+
+	var (
+		wg          sync.WaitGroup
+		insertNanos atomic.Int64
+		queryNanos  atomic.Int64
+		failures    atomic.Int64
+	)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cli := client.New("http://" + ln.Addr().String())
+			for i := 0; i < perClient; i++ {
+				vt := int64(c*perClient + i)
+				t0 := time.Now()
+				_, err := cli.Insert(ctx, "stream", client.InsertRequest{VT: client.EventAt(vt)})
+				insertNanos.Add(int64(time.Since(t0)))
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				t0 = time.Now()
+				_, err = cli.Timeslice(ctx, "stream", vt)
+				queryNanos.Add(int64(time.Since(t0)))
+				if err != nil {
+					failures.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if f := failures.Load(); f > 0 {
+		return fmt.Errorf("%d request(s) failed", f)
+	}
+
+	// The books must balance: every insert landed exactly once and the
+	// server counted every request.
+	cur, err := admin.Current(ctx, "stream")
+	if err != nil {
+		return err
+	}
+	if len(cur.Elements) != inserts {
+		return fmt.Errorf("server holds %d elements, want %d", len(cur.Elements), inserts)
+	}
+	m, err := admin.Metrics(ctx)
+	if err != nil {
+		return err
+	}
+	if got := m.Endpoints["insert"].Requests; got != uint64(inserts) {
+		return fmt.Errorf("server counted %d inserts, want %d", got, inserts)
+	}
+	saved, err := admin.Snapshot(ctx)
+	if err != nil {
+		return err
+	}
+
+	var touched uint64
+	for _, ep := range m.Endpoints {
+		touched += ep.Touched
+	}
+	res := servingResult{
+		Experiment:     "S1",
+		Clients:        clients,
+		Inserts:        inserts,
+		Timeslices:     timeslices,
+		DurationMS:     elapsed.Milliseconds(),
+		InsertsPerS:    float64(inserts) / elapsed.Seconds(),
+		QueriesPerS:    float64(timeslices) / elapsed.Seconds(),
+		MeanInsertUS:   insertNanos.Load() / int64(inserts) / 1000,
+		MeanQueryUS:    queryNanos.Load() / int64(timeslices) / 1000,
+		ServerRequests: m.Requests,
+		ServerErrors:   m.Errors,
+		ServerTouched:  touched,
+		Snapshotted:    saved,
+	}
+	fmt.Printf("%d clients, %d inserts + %d timeslices over loopback HTTP in %v\n",
+		res.Clients, res.Inserts, res.Timeslices, elapsed.Round(time.Millisecond))
+	fmt.Printf("%-22s %10.0f req/s  (mean %d µs)\n", "insert throughput", res.InsertsPerS, res.MeanInsertUS)
+	fmt.Printf("%-22s %10.0f req/s  (mean %d µs)\n", "timeslice throughput", res.QueriesPerS, res.MeanQueryUS)
+	fmt.Printf("server: %d requests, %d errors, %d elements touched, %d relation(s) snapshotted\n",
+		res.ServerRequests, res.ServerErrors, touched, saved)
+
+	doc, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_serving.json", append(doc, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_serving.json")
+	return nil
+}

@@ -1,0 +1,566 @@
+// Package catalog is the server's concurrent relation catalog: a sharded
+// map of named relation.Locked instances, each carrying its declaration
+// catalog and a query engine over the storage advisor's chosen physical
+// organization. It is the layer that turns the single-user engine into a
+// multi-relation, multi-client database: name resolution, per-relation
+// locking, declaration-aware physical design, and durability.
+//
+// Durability follows the backlog model (§2's [JMRS90] representation): each
+// relation persists as one checksummed backlog file with its declaration
+// catalog (backlog.SaveWithDeclarations), written atomically via a
+// temp-file rename. Snapshot saves every dirty relation; Open reloads the
+// data directory on boot, replaying each backlog and re-attaching the
+// persisted declarations as enforcers, so a restarted server validates new
+// transactions exactly as the original did.
+package catalog
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/backlog"
+	"repro/internal/chronon"
+	"repro/internal/constraint"
+	"repro/internal/core"
+	"repro/internal/element"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/storage"
+	"repro/internal/surrogate"
+	"repro/internal/tsql"
+	"repro/internal/tx"
+)
+
+// Catalog errors.
+var (
+	// ErrNotFound reports a lookup of a relation the catalog does not hold.
+	ErrNotFound = fmt.Errorf("catalog: no such relation")
+	// ErrExists reports a create of a name already in use.
+	ErrExists = fmt.Errorf("catalog: relation already exists")
+	// ErrBadName reports a relation name unusable as a catalog key (and
+	// data-dir file name).
+	ErrBadName = fmt.Errorf("catalog: invalid relation name")
+)
+
+// nameRE constrains relation names so they are safe as file names in the
+// data directory and unambiguous in URLs.
+var nameRE = regexp.MustCompile(`^[A-Za-z_][A-Za-z0-9_-]{0,63}$`)
+
+// fileSuffix is the persisted-backlog file extension.
+const fileSuffix = ".tsbl"
+
+// shardCount is the number of independent locks the name map is split
+// across. Lookups hash the name, so unrelated relations never contend.
+const shardCount = 16
+
+// Config parameterizes a catalog.
+type Config struct {
+	// Dir is the data directory for snapshots; empty disables persistence.
+	Dir string
+	// NewClock supplies the transaction-time source for each relation
+	// (created or loaded). Nil defaults to tx.NewSystemClock.
+	NewClock func() tx.Clock
+}
+
+type shard struct {
+	mu      sync.RWMutex
+	entries map[string]*Entry
+}
+
+// Catalog is a concurrent set of named relations.
+type Catalog struct {
+	cfg    Config
+	shards [shardCount]shard
+}
+
+// New creates an empty catalog. Call Open to load the data directory.
+func New(cfg Config) *Catalog {
+	c := &Catalog{cfg: cfg}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string]*Entry)
+	}
+	return c
+}
+
+func (c *Catalog) newClock() tx.Clock {
+	if c.cfg.NewClock != nil {
+		return c.cfg.NewClock()
+	}
+	return tx.NewSystemClock()
+}
+
+func (c *Catalog) shardFor(name string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return &c.shards[h.Sum32()%shardCount]
+}
+
+// Open loads every persisted relation from the data directory. Missing
+// directories are created; a corrupt backlog aborts the boot rather than
+// serving partial state.
+func (c *Catalog) Open() error {
+	if c.cfg.Dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(c.cfg.Dir, 0o755); err != nil {
+		return fmt.Errorf("catalog: data dir: %w", err)
+	}
+	des, err := os.ReadDir(c.cfg.Dir)
+	if err != nil {
+		return fmt.Errorf("catalog: data dir: %w", err)
+	}
+	for _, de := range des {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), fileSuffix) {
+			continue
+		}
+		name := strings.TrimSuffix(de.Name(), fileSuffix)
+		path := filepath.Join(c.cfg.Dir, de.Name())
+		r, decls, err := backlog.LoadWithDeclarations(path, c.newClock())
+		if err != nil {
+			return fmt.Errorf("catalog: loading %s: %w", path, err)
+		}
+		if r.Schema().Name != name {
+			return fmt.Errorf("catalog: %s holds relation %q, want %q", path, r.Schema().Name, name)
+		}
+		e := newEntry(name, relation.NewLocked(r), decls)
+		sh := c.shardFor(name)
+		sh.mu.Lock()
+		if _, dup := sh.entries[name]; dup {
+			sh.mu.Unlock()
+			return fmt.Errorf("catalog: duplicate relation %q in data dir", name)
+		}
+		sh.entries[name] = e
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
+// Create adds an empty relation under schema.Name. The name must satisfy
+// the catalog's naming rule so it can double as the snapshot file name.
+func (c *Catalog) Create(schema relation.Schema) (*Entry, error) {
+	name := schema.Name
+	if !nameRE.MatchString(name) {
+		return nil, fmt.Errorf("%w: %q (want %s)", ErrBadName, name, nameRE)
+	}
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	r := relation.New(schema, c.newClock())
+	e := newEntry(name, relation.NewLocked(r), nil)
+	e.dirty.Store(true) // persist even if never written to
+	sh := c.shardFor(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, dup := sh.entries[name]; dup {
+		return nil, fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	sh.entries[name] = e
+	return e, nil
+}
+
+// Get resolves a relation by name.
+func (c *Catalog) Get(name string) (*Entry, error) {
+	sh := c.shardFor(name)
+	sh.mu.RLock()
+	e, ok := sh.entries[name]
+	sh.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return e, nil
+}
+
+// Names lists the catalog's relation names in sorted order.
+func (c *Catalog) Names() []string {
+	var out []string
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		for n := range sh.entries {
+			out = append(out, n)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len reports the number of relations.
+func (c *Catalog) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		n += len(sh.entries)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Snapshot persists every dirty relation to the data directory, each
+// written atomically (temp file + rename). It returns the number of
+// relations saved. Writers to a relation block only while that relation is
+// being serialized, not for the whole sweep.
+func (c *Catalog) Snapshot() (int, error) {
+	if c.cfg.Dir == "" {
+		return 0, nil
+	}
+	saved := 0
+	for _, name := range c.Names() {
+		e, err := c.Get(name)
+		if err != nil {
+			continue // dropped concurrently; nothing to save
+		}
+		ok, err := e.snapshotTo(filepath.Join(c.cfg.Dir, name+fileSuffix))
+		if err != nil {
+			return saved, fmt.Errorf("catalog: snapshot %q: %w", name, err)
+		}
+		if ok {
+			saved++
+		}
+	}
+	return saved, nil
+}
+
+// Close flushes the catalog. The caller must have stopped serving first.
+func (c *Catalog) Close() error {
+	_, err := c.Snapshot()
+	return err
+}
+
+// Entry is one named relation with its declaration catalog and the query
+// engine over the advisor-chosen physical organization. All mutable state
+// hangs off the relation's own reader-writer lock: writes and declaration
+// changes run under the exclusive lock, queries and snapshots under the
+// shared lock, so many readers proceed in parallel and writers serialize.
+type Entry struct {
+	name   string
+	locked *relation.Locked
+
+	// Guarded by locked's lock (mutated under Exclusive only):
+	decls  []constraint.Descriptor
+	engine *query.Engine
+	advice storage.Advice
+
+	// dirty marks unsaved changes; atomic so snapshots (shared lock) can
+	// clear it while other readers run.
+	dirty atomic.Bool
+}
+
+func newEntry(name string, l *relation.Locked, decls []constraint.Descriptor) *Entry {
+	e := &Entry{name: name, locked: l, decls: decls}
+	_ = l.Exclusive(func(r *relation.Relation) error {
+		e.rebuildEngine(r)
+		return nil
+	})
+	return e
+}
+
+// Name returns the catalog key.
+func (e *Entry) Name() string { return e.name }
+
+// Schema returns the relation schema (immutable).
+func (e *Entry) Schema() relation.Schema { return e.locked.Schema() }
+
+// Locked exposes the underlying locked relation for callers (tests, the
+// in-process shell) that need direct access.
+func (e *Entry) Locked() *relation.Locked { return e.locked }
+
+// perRelationClasses lists the classes declared with per-relation scope —
+// the only ones that license a global physical ordering. A per-partition
+// sequentiality says nothing about the interleaving of partitions, so it
+// must not steer the advisor toward a globally vt-ordered store.
+func perRelationClasses(decls []constraint.Descriptor) []core.Class {
+	var out []core.Class
+	for _, d := range decls {
+		if d.Scope == constraint.PerRelation {
+			out = append(out, d.Class)
+		}
+	}
+	return out
+}
+
+// rebuildEngine reloads the advisor-chosen store from the relation's
+// versions. Caller holds the exclusive lock.
+func (e *Entry) rebuildEngine(r *relation.Relation) {
+	classes := perRelationClasses(e.decls)
+	advice := storage.Advise(classes, r.Schema().ValidTime)
+	st := advice.New()
+	for _, el := range r.Versions() {
+		if err := st.Insert(el); err != nil {
+			// The history predates the ordering promise (or the promise is
+			// unenforceable); fall back to the general organization, which
+			// only assumes tt order and cannot fail.
+			advice = storage.Advise(nil, r.Schema().ValidTime)
+			advice.Reasons = append(advice.Reasons,
+				fmt.Sprintf("fell back: existing history violates the declared order (%v)", err))
+			st = advice.New()
+			for _, el2 := range r.Versions() {
+				_ = st.Insert(el2)
+			}
+			break
+		}
+	}
+	en := query.New(st, classes)
+	// A declared two-sided fixed bound turns valid-time predicates into
+	// transaction-time windows over the tt-ordered log (§3.1's query
+	// strategies); enable the pushdown when a per-relation event
+	// declaration carries one.
+	if advice.Store == storage.TTOrdered && r.Schema().ValidTime == element.EventStamp {
+		for _, d := range e.decls {
+			if d.Scope != constraint.PerRelation || d.Kind != constraint.DescEvent {
+				continue
+			}
+			c, err := d.Build()
+			if err != nil {
+				continue
+			}
+			ev, ok := c.(constraint.Event)
+			if !ok {
+				continue
+			}
+			if lo, hi, ok := ev.Spec.OffsetBounds(); ok {
+				en.UseVTOffsetBounds(lo, hi)
+				break
+			}
+		}
+	}
+	e.engine, e.advice = en, advice
+}
+
+// Insert stores a new element as one transaction and feeds it to the
+// physical store, atomically with respect to queries.
+func (e *Entry) Insert(ins relation.Insertion) (*element.Element, error) {
+	var out *element.Element
+	err := e.locked.Exclusive(func(r *relation.Relation) error {
+		el, err := r.Insert(ins)
+		if err != nil {
+			return err
+		}
+		out = el
+		if serr := e.engine.Store().Insert(el); serr != nil {
+			// Ordering promise broken despite enforcement (e.g. constraint
+			// declared on a different endpoint); degrade to the general
+			// organization rather than lose the committed element.
+			e.decls2general(r, serr)
+		}
+		e.dirty.Store(true)
+		return nil
+	})
+	return out, err
+}
+
+func (e *Entry) decls2general(r *relation.Relation, cause error) {
+	saved := e.decls
+	e.decls = nil
+	e.rebuildEngine(r)
+	e.decls = saved
+	e.advice.Reasons = append(e.advice.Reasons,
+		fmt.Sprintf("fell back: committed element violates the store order (%v)", cause))
+}
+
+// Delete logically removes an element. The physical stores share element
+// pointers with the relation, so the tt⊣ update is visible to them without
+// restructuring.
+func (e *Entry) Delete(es surrogate.Surrogate) error {
+	return e.locked.Exclusive(func(r *relation.Relation) error {
+		if err := r.Delete(es); err != nil {
+			return err
+		}
+		e.dirty.Store(true)
+		return nil
+	})
+}
+
+// Modify replaces an element's valid time and varying values (a logical
+// delete plus an insert at one transaction time).
+func (e *Entry) Modify(es surrogate.Surrogate, vt element.Timestamp, varying []element.Value) (*element.Element, error) {
+	var out *element.Element
+	err := e.locked.Exclusive(func(r *relation.Relation) error {
+		el, err := r.Modify(es, vt, varying)
+		if err != nil {
+			return err
+		}
+		out = el
+		if serr := e.engine.Store().Insert(el); serr != nil {
+			e.decls2general(r, serr)
+		}
+		e.dirty.Store(true)
+		return nil
+	})
+	return out, err
+}
+
+// Declare attaches the descriptors' constraints as enforcers, one per
+// scope. The existing extension is validated first: a declaration the
+// stored history already violates is rejected whole, leaving the relation
+// unguarded by it (the paper's intensional definition — all extensions of
+// a typed schema must satisfy the type). On success the declaration
+// catalog grows and the physical design is re-advised.
+func (e *Entry) Declare(descs []constraint.Descriptor) error {
+	if len(descs) == 0 {
+		return fmt.Errorf("catalog: no constraints to declare")
+	}
+	byScope, err := constraint.BuildAll(descs)
+	if err != nil {
+		return err
+	}
+	return e.locked.Exclusive(func(r *relation.Relation) error {
+		var enforcers []*constraint.Enforcer
+		for scope, cs := range byScope {
+			en := constraint.NewEnforcer(scope, cs...)
+			// Replay the backlog through the fresh enforcer, checking each
+			// operation as if it were arriving now; the incremental
+			// checkers end warm for the next live transaction.
+			for _, rec := range r.Backlog() {
+				switch rec.Op {
+				case relation.OpInsert:
+					if err := en.CheckInsert(r, rec.Elem); err != nil {
+						return fmt.Errorf("catalog: existing extension violates declaration: %w", err)
+					}
+				case relation.OpDelete:
+					if err := en.CheckDelete(r, rec.Elem, rec.TT); err != nil {
+						return fmt.Errorf("catalog: existing extension violates declaration: %w", err)
+					}
+				}
+				en.Applied(r, rec.Op, rec.Elem, rec.TT)
+			}
+			enforcers = append(enforcers, en)
+		}
+		for _, en := range enforcers {
+			r.AddGuard(en)
+		}
+		e.decls = append(e.decls, descs...)
+		e.rebuildEngine(r)
+		e.dirty.Store(true)
+		return nil
+	})
+}
+
+// QueryResult is a catalog query answer with its access-path accounting.
+type QueryResult struct {
+	Elements []*element.Element
+	Plan     string
+	Touched  int
+}
+
+// Current answers the conventional query.
+func (e *Entry) Current() QueryResult {
+	var res query.Result
+	_ = e.locked.View(func(*relation.Relation) error {
+		res = e.engine.Current()
+		return nil
+	})
+	return QueryResult(res)
+}
+
+// Timeslice answers the historical query at vt.
+func (e *Entry) Timeslice(vt chronon.Chronon) QueryResult {
+	var res query.Result
+	_ = e.locked.View(func(*relation.Relation) error {
+		res = e.engine.Timeslice(vt)
+		return nil
+	})
+	return QueryResult(res)
+}
+
+// Rollback answers the rollback query at tt.
+func (e *Entry) Rollback(tt chronon.Chronon) QueryResult {
+	var res query.Result
+	_ = e.locked.View(func(*relation.Relation) error {
+		res = e.engine.Rollback(tt)
+		return nil
+	})
+	return QueryResult(res)
+}
+
+// TimesliceAsOf answers the bitemporal query: elements valid at vt as
+// stored at tt. No physical organization indexes both dimensions, so this
+// scans the relation.
+func (e *Entry) TimesliceAsOf(vt, tt chronon.Chronon) QueryResult {
+	var out QueryResult
+	_ = e.locked.View(func(r *relation.Relation) error {
+		out.Elements = r.TimesliceAsOf(vt, tt)
+		out.Plan = "full scan (bitemporal)"
+		out.Touched = r.Len()
+		return nil
+	})
+	return out
+}
+
+// Select evaluates a parsed tsql query against the relation under the
+// shared lock. The query's Rel must name this entry.
+func (e *Entry) Select(q *tsql.Query) (*tsql.Result, int, error) {
+	var res *tsql.Result
+	touched := 0
+	err := e.locked.View(func(r *relation.Relation) error {
+		var err error
+		res, err = tsql.Eval(q, r)
+		touched = r.Len()
+		return err
+	})
+	return res, touched, err
+}
+
+// Classify infers the extension's specializations under the insertion
+// basis at the schema granularity.
+func (e *Entry) Classify() (core.Report, error) {
+	var rep core.Report
+	err := e.locked.View(func(r *relation.Relation) error {
+		if r.Len() == 0 {
+			return fmt.Errorf("catalog: relation %q is empty", e.name)
+		}
+		rep = core.Classify(r.Versions(), core.TTInsertion, r.Schema().Granularity)
+		return nil
+	})
+	return rep, err
+}
+
+// Info is a consistent snapshot of the entry's metadata.
+type Info struct {
+	Schema       relation.Schema
+	Versions     int
+	Declarations []constraint.Descriptor
+	Advice       storage.Advice
+}
+
+// Info reports the entry's schema, size, declarations, and current advice.
+func (e *Entry) Info() Info {
+	var info Info
+	_ = e.locked.View(func(r *relation.Relation) error {
+		info = Info{
+			Schema:       r.Schema(),
+			Versions:     r.Len(),
+			Declarations: append([]constraint.Descriptor(nil), e.decls...),
+			Advice:       e.advice,
+		}
+		return nil
+	})
+	return info
+}
+
+// snapshotTo saves the relation if dirty; reports whether a save happened.
+// The shared lock is held for the whole serialization, so the file is a
+// consistent cut and writers simply queue behind it.
+func (e *Entry) snapshotTo(path string) (bool, error) {
+	saved := false
+	err := e.locked.View(func(r *relation.Relation) error {
+		if !e.dirty.Swap(false) {
+			return nil
+		}
+		if err := backlog.SaveWithDeclarations(path, r, e.decls); err != nil {
+			e.dirty.Store(true) // retry on the next snapshot
+			return err
+		}
+		saved = true
+		return nil
+	})
+	return saved, err
+}

@@ -29,7 +29,10 @@ type CoalescedFact struct {
 //
 // key maps an element to its grouping key; a nil key groups by the
 // rendering of the time-invariant and time-varying values. The result is
-// ordered by each group's earliest valid chronon.
+// ordered by each group's earliest valid chronon; groups starting together
+// order by their hull's end, then by representative element surrogate, so
+// the output is a pure function of the element set — the same facts in any
+// input order coalesce to the same sequence.
 func Coalesce(es []*element.Element, key func(*element.Element) string) []CoalescedFact {
 	if key == nil {
 		key = defaultKey
@@ -49,7 +52,8 @@ func Coalesce(es []*element.Element, key func(*element.Element) string) []Coales
 			order = append(order, k)
 		}
 		g.ivs = append(g.ivs, validSpan(e))
-		if validSpan(e).Start < validSpan(g.rep).Start {
+		if s, rs := validSpan(e), validSpan(g.rep); s.Start < rs.Start ||
+			(s.Start == rs.Start && e.ES < g.rep.ES) {
 			g.rep = e
 		}
 	}
@@ -62,7 +66,14 @@ func Coalesce(es []*element.Element, key func(*element.Element) string) []Coales
 		})
 	}
 	sort.SliceStable(out, func(i, j int) bool {
-		return out[i].When.Hull().Start < out[j].When.Hull().Start
+		hi, hj := out[i].When.Hull(), out[j].When.Hull()
+		if hi.Start != hj.Start {
+			return hi.Start < hj.Start
+		}
+		if hi.End != hj.End {
+			return hi.End < hj.End
+		}
+		return out[i].Representative.ES < out[j].Representative.ES
 	})
 	return out
 }

@@ -93,3 +93,53 @@ func TestCoalesceEmpty(t *testing.T) {
 		t.Errorf("Coalesce(nil) = %v", got)
 	}
 }
+
+// TestCoalesceDeterministicOrder is the regression test for the ordering
+// contract: the coalesced sequence is a pure function of the element set.
+// Groups share a hull start here, so without explicit tie-breaking the
+// order would leak the input permutation.
+func TestCoalesceDeterministicOrder(t *testing.T) {
+	build := func() []*element.Element {
+		a := named("short", 0, 10)
+		a.ES = 1
+		b := named("long", 0, 40)
+		b.ES = 2
+		c := named("late", 20, 30)
+		c.ES = 3
+		return []*element.Element{a, b, c}
+	}
+	perms := [][]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+	want := []string{"short", "long", "late"} // start 0 end 10, start 0 end 40, start 20
+	for _, p := range perms {
+		base := build()
+		es := []*element.Element{base[p[0]], base[p[1]], base[p[2]]}
+		facts := Coalesce(es, nil)
+		if len(facts) != len(want) {
+			t.Fatalf("perm %v: facts = %d, want %d", p, len(facts), len(want))
+		}
+		for i, f := range facts {
+			if v, _ := f.Representative.Varying[0].Str(); v != want[i] {
+				t.Errorf("perm %v: facts[%d] = %q, want %q", p, i, v, want[i])
+			}
+		}
+	}
+}
+
+// TestCoalesceRepresentativeTieBreak pins the representative choice when a
+// group has several elements starting at the same chronon: the lowest
+// element surrogate wins regardless of input order.
+func TestCoalesceRepresentativeTieBreak(t *testing.T) {
+	a := named("v", 0, 10)
+	a.ES = 7
+	b := named("v", 0, 20)
+	b.ES = 2
+	for _, es := range [][]*element.Element{{a, b}, {b, a}} {
+		facts := Coalesce(es, nil)
+		if len(facts) != 1 {
+			t.Fatalf("facts = %d, want 1", len(facts))
+		}
+		if facts[0].Representative.ES != 2 {
+			t.Errorf("representative ES = %v, want 2", facts[0].Representative.ES)
+		}
+	}
+}

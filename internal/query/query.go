@@ -9,6 +9,7 @@ package query
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/chronon"
 	"repro/internal/core"
@@ -26,11 +27,15 @@ type Result struct {
 	Touched int
 }
 
-// Engine executes temporal queries over a store.
+// Engine executes temporal queries over a store. Queries are safe to run
+// concurrently as long as the store is not being mutated (the catalog layer
+// serializes writers against readers); the lifetime counters are atomic so
+// concurrent readers never race.
 type Engine struct {
 	store   storage.Store
 	classes []core.Class
-	stats   Stats
+	queries atomic.Int64
+	touched atomic.Int64
 
 	// Bounded-specialization pushdown: when the relation is declared with
 	// a two-sided fixed bound lo ≤ vt − tt ≤ hi, a valid-time predicate
@@ -79,11 +84,13 @@ func ForRelation(r *relation.Relation, classes []core.Class) (*Engine, storage.A
 func (en *Engine) Store() storage.Store { return en.store }
 
 // Stats reports engine-lifetime counters.
-func (en *Engine) Stats() Stats { return en.stats }
+func (en *Engine) Stats() Stats {
+	return Stats{Queries: int(en.queries.Load()), Touched: int(en.touched.Load())}
+}
 
 func (en *Engine) record(touched int) {
-	en.stats.Queries++
-	en.stats.Touched += touched
+	en.queries.Add(1)
+	en.touched.Add(int64(touched))
 }
 
 func (en *Engine) planName(indexed bool) string {

@@ -108,3 +108,22 @@ func (l *Locked) Len() int {
 
 // Schema returns the relation's schema (immutable; no lock needed).
 func (l *Locked) Schema() Schema { return l.r.Schema() }
+
+// View runs fn with the shared lock held. fn must not mutate the relation
+// or retain it past the call; it may read the backlog, run queries, or
+// serialize a consistent snapshot.
+func (l *Locked) View(fn func(*Relation) error) error {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return fn(l.r)
+}
+
+// Exclusive runs fn with the exclusive lock held, for compound operations
+// that must be atomic with respect to other relation access — attaching
+// enforcers, rebuilding derived stores, or multi-statement transactions.
+// fn must not retain the relation past the call.
+func (l *Locked) Exclusive(fn func(*Relation) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return fn(l.r)
+}

@@ -1,0 +1,383 @@
+package shell
+
+// Remote mode: `connect <addr>` switches the session from the embedded
+// engine to a tsdbd server reached through the typed client. The same
+// command surface applies where it makes sense — create, declare, insert,
+// delete, the temporal queries, select, classify, advise — with `save`
+// mapped to a server snapshot and `list`/`dump` backed by the server's
+// catalog. Commands that only make sense against in-process state (load,
+// clock, vacuum) report an error instead of silently doing the wrong
+// thing.
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	ts "repro"
+	"repro/client"
+	"repro/internal/wire"
+)
+
+// remoteSession is the connected half of a Session.
+type remoteSession struct {
+	addr string
+	cli  *client.Client
+}
+
+func (s *Session) connect(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: connect <addr>   (e.g. connect localhost:7070)")
+	}
+	addr := args[0]
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	cli := client.New(addr)
+	ctx, cancel := s.remoteCtx()
+	defer cancel()
+	h, err := cli.Health(ctx)
+	if err != nil {
+		return fmt.Errorf("connecting to %s: %w", addr, err)
+	}
+	s.rem = &remoteSession{addr: addr, cli: cli}
+	fmt.Fprintf(s.out, "connected to %s (%s, %d relation(s))\n", addr, h.Status, h.Relations)
+	return nil
+}
+
+func (s *Session) disconnect() error {
+	if s.rem == nil {
+		return fmt.Errorf("not connected")
+	}
+	fmt.Fprintf(s.out, "disconnected from %s\n", s.rem.addr)
+	s.rem = nil
+	return nil
+}
+
+func (s *Session) remoteCtx() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), 10*time.Second)
+}
+
+// execRemote routes one command line to the connected server.
+func (s *Session) execRemote(cmd string, args []string, line string) error {
+	ctx, cancel := s.remoteCtx()
+	defer cancel()
+	switch cmd {
+	case "create":
+		return s.remoteCreate(ctx, args)
+	case "declare":
+		return s.remoteDeclare(ctx, args)
+	case "insert":
+		return s.remoteInsert(ctx, args)
+	case "delete":
+		return s.remoteDelete(ctx, args)
+	case "current", "rollback", "timeslice":
+		return s.remoteQuery(ctx, cmd, args)
+	case "classify":
+		return s.remoteClassify(ctx, args)
+	case "advise", "dump":
+		return s.remoteInfo(ctx, args)
+	case "list":
+		return s.remoteList(ctx)
+	case "select":
+		return s.remoteSelect(ctx, line)
+	case "save":
+		return s.remoteSnapshot(ctx)
+	case "metrics":
+		return s.remoteMetrics(ctx)
+	case "load", "clock", "vacuum":
+		return fmt.Errorf("%q is not available in remote mode (the server owns persistence and clocks); 'disconnect' to work locally", cmd)
+	}
+	return fmt.Errorf("unknown command %q (try 'help')", cmd)
+}
+
+func (s *Session) remoteCreate(ctx context.Context, args []string) error {
+	if len(args) != 3 {
+		return fmt.Errorf("usage: create <rel> event|interval <granularity>")
+	}
+	if args[1] != "event" && args[1] != "interval" {
+		return fmt.Errorf("unknown stamp kind %q", args[1])
+	}
+	gran, err := ts.ParseGranularity(args[2])
+	if err != nil {
+		return err
+	}
+	info, err := s.rem.cli.Create(ctx, client.Schema{
+		Name:        args[0],
+		ValidTime:   args[1],
+		Granularity: int64(gran),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "created %s (%s-stamped, granularity %v) on %s\n",
+		info.Schema.Name, info.Schema.ValidTime, gran, s.rem.addr)
+	return nil
+}
+
+func (s *Session) remoteDeclare(ctx context.Context, args []string) error {
+	if len(args) < 3 {
+		return fmt.Errorf("usage: declare <rel> per-relation|per-partition <spec>...")
+	}
+	var scope ts.Scope
+	switch args[1] {
+	case "per-relation":
+		scope = ts.PerRelation
+	case "per-partition":
+		scope = ts.PerPartition
+	default:
+		return fmt.Errorf("unknown scope %q", args[1])
+	}
+	cs, err := parseConstraints(args[2:])
+	if err != nil {
+		return err
+	}
+	var descs []client.Descriptor
+	for _, c := range cs {
+		d, ok := ts.DescribeConstraint(c, scope)
+		if !ok {
+			return fmt.Errorf("%v cannot be sent over the wire", c)
+		}
+		descs = append(descs, wire.FromDescriptor(d))
+	}
+	resp, err := s.rem.cli.Declare(ctx, args[0], descs...)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "declared %d specialization(s); %s now enforces:\n", resp.Declared, args[0])
+	for _, d := range resp.Declarations {
+		fmt.Fprintf(s.out, "  %s\n", d.Name)
+	}
+	return nil
+}
+
+func (s *Session) remoteInsert(ctx context.Context, args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("usage: insert <rel> [os=<n>] vt=<t> | vt=[<t>,<t>)")
+	}
+	req := client.InsertRequest{}
+	for _, a := range args[1:] {
+		switch {
+		case strings.HasPrefix(a, "os="):
+			n, err := strconv.ParseUint(a[3:], 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad object surrogate: %v", err)
+			}
+			req.Object = n
+		case strings.HasPrefix(a, "vt=["):
+			body := strings.TrimSuffix(strings.TrimPrefix(a, "vt=["), ")")
+			parts := strings.Split(body, ",")
+			if len(parts) != 2 {
+				return fmt.Errorf("bad interval %q", a)
+			}
+			lo, err := parseTime(parts[0])
+			if err != nil {
+				return err
+			}
+			hi, err := parseTime(parts[1])
+			if err != nil {
+				return err
+			}
+			if hi <= lo {
+				return fmt.Errorf("empty or inverted interval %q", a)
+			}
+			req.VT = client.SpanOf(int64(lo), int64(hi))
+		case strings.HasPrefix(a, "vt="):
+			c, err := parseTime(a[3:])
+			if err != nil {
+				return err
+			}
+			req.VT = client.EventAt(int64(c))
+		default:
+			return fmt.Errorf("unknown argument %q", a)
+		}
+	}
+	el, err := s.rem.cli.Insert(ctx, args[0], req)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "inserted σ%d at tt %d (vt %s)\n", el.ES, el.TTStart, formatWireVT(el.VT))
+	return nil
+}
+
+func (s *Session) remoteDelete(ctx context.Context, args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: delete <rel> <element-surrogate>")
+	}
+	n, err := strconv.ParseUint(strings.TrimPrefix(args[1], "σ"), 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad element surrogate %q", args[1])
+	}
+	if err := s.rem.cli.Delete(ctx, args[0], n); err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "deleted σ%d\n", n)
+	return nil
+}
+
+func (s *Session) remoteQuery(ctx context.Context, kind string, args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: %s <rel> [time]", kind)
+	}
+	var (
+		resp client.QueryResponse
+		err  error
+	)
+	switch kind {
+	case "current":
+		resp, err = s.rem.cli.Current(ctx, args[0])
+	case "rollback", "timeslice":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: %s <rel> <time>", kind)
+		}
+		var t ts.Chronon
+		if t, err = parseTime(args[1]); err != nil {
+			return err
+		}
+		if kind == "rollback" {
+			resp, err = s.rem.cli.Rollback(ctx, args[0], int64(t))
+		} else {
+			resp, err = s.rem.cli.Timeslice(ctx, args[0], int64(t))
+		}
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "%d element(s)  [%s, touched %d]\n", len(resp.Elements), resp.Plan, resp.Touched)
+	for _, e := range resp.Elements {
+		fmt.Fprintf(s.out, "  %s\n", formatWireElement(e))
+	}
+	return nil
+}
+
+func (s *Session) remoteClassify(ctx context.Context, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: classify <rel>")
+	}
+	rep, err := s.rem.cli.Classify(ctx, args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(s.out, "satisfied specializations:")
+	for _, f := range rep.Findings {
+		fmt.Fprintf(s.out, "  %s\n", f)
+	}
+	fmt.Fprintln(s.out, "most specific:")
+	for _, f := range rep.MostSpecific {
+		fmt.Fprintf(s.out, "  %s\n", f)
+	}
+	return nil
+}
+
+func (s *Session) remoteInfo(ctx context.Context, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: advise|dump <rel>")
+	}
+	info, err := s.rem.cli.Info(ctx, args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "%s: %s-stamped, %d element version(s)\n",
+		info.Schema.Name, info.Schema.ValidTime, info.Versions)
+	if len(info.Declarations) > 0 {
+		fmt.Fprintln(s.out, "declared:")
+		for _, d := range info.Declarations {
+			fmt.Fprintf(s.out, "  %s\n", d.Name)
+		}
+	}
+	fmt.Fprintf(s.out, "storage advice: %s\n", info.Advice.Store)
+	for _, reason := range info.Advice.Reasons {
+		fmt.Fprintf(s.out, "  - %s\n", reason)
+	}
+	return nil
+}
+
+func (s *Session) remoteList(ctx context.Context) error {
+	rels, err := s.rem.cli.List(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "%d relation(s)\n", len(rels))
+	for _, r := range rels {
+		fmt.Fprintf(s.out, "  %s  %s-stamped, %d version(s), %d declaration(s)\n",
+			r.Name, r.ValidTime, r.Versions, r.Declarations)
+	}
+	return nil
+}
+
+func (s *Session) remoteSelect(ctx context.Context, line string) error {
+	res, err := s.rem.cli.Select(ctx, line)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(s.out, strings.Join(res.Columns, "\t"))
+	for _, row := range res.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = formatWireValue(v)
+		}
+		fmt.Fprintln(s.out, strings.Join(cells, "\t"))
+	}
+	fmt.Fprintf(s.out, "(%d row(s), touched %d)\n", len(res.Rows), res.Touched)
+	return nil
+}
+
+func (s *Session) remoteSnapshot(ctx context.Context) error {
+	n, err := s.rem.cli.Snapshot(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "server snapshotted %d relation(s)\n", n)
+	return nil
+}
+
+func (s *Session) remoteMetrics(ctx context.Context) error {
+	m, err := s.rem.cli.Metrics(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "uptime %ds, %d request(s), %d error(s)\n", m.UptimeSeconds, m.Requests, m.Errors)
+	for name, ep := range m.Endpoints {
+		fmt.Fprintf(s.out, "  %-10s %6d req  %5d err  mean %dµs  touched %d\n",
+			name, ep.Requests, ep.Errors, ep.MeanUS, ep.Touched)
+	}
+	return nil
+}
+
+func formatWireVT(t client.Timestamp) string {
+	if t.Event != nil {
+		return strconv.FormatInt(*t.Event, 10)
+	}
+	if t.Start != nil && t.End != nil {
+		return fmt.Sprintf("[%d, %d)", *t.Start, *t.End)
+	}
+	return "?"
+}
+
+func formatWireElement(e client.Element) string {
+	status := "current"
+	if !e.Current {
+		status = fmt.Sprintf("deleted at %d", e.TTEnd)
+	}
+	return fmt.Sprintf("σ%d (object ω%d) vt %s, tt %d, %s",
+		e.ES, e.OS, formatWireVT(e.VT), e.TTStart, status)
+}
+
+func formatWireValue(v client.Value) string {
+	switch v.Kind {
+	case "string":
+		return v.Str
+	case "int":
+		return strconv.FormatInt(v.Int, 10)
+	case "float":
+		return strconv.FormatFloat(v.Float, 'g', -1, 64)
+	case "bool":
+		return strconv.FormatBool(v.Bool)
+	case "time":
+		return strconv.FormatInt(v.Time, 10)
+	default:
+		return "∅"
+	}
+}

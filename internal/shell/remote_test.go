@@ -1,0 +1,95 @@
+package shell
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/server"
+	"repro/internal/tx"
+)
+
+// startRemote boots an in-process tsdbd handler and returns its host:port.
+func startRemote(t *testing.T) string {
+	t.Helper()
+	cat := catalog.New(catalog.Config{
+		NewClock: func() tx.Clock { return tx.NewLogicalClock(0, 10) },
+	})
+	srv := server.New(server.Config{Catalog: cat})
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	return strings.TrimPrefix(hs.URL, "http://")
+}
+
+func TestRemoteModeSession(t *testing.T) {
+	addr := startRemote(t)
+	_, out := runScript(t,
+		"connect "+addr,
+		"create emp event second",
+		"declare emp per-relation retroactive sequential",
+		"insert emp vt=5",
+		"insert emp vt=15",
+		"insert emp vt=12", // violates sequential: rejected server-side
+		"current emp",
+		"timeslice emp 5",
+		"select * from emp",
+		"classify emp",
+		"advise emp",
+		"list",
+		"metrics",
+		"save",
+		"disconnect",
+	)
+	for _, want := range []string{
+		"connected to http://" + addr,
+		"created emp (event-stamped",
+		"declared 2 specialization(s)",
+		"inserted σ1 at tt 10 (vt 5)",
+		"inserted σ2 at tt 20 (vt 15)",
+		"error: tsdbd:", // the rejected insert surfaces as a structured error
+		"rejected",
+		"2 element(s)",
+		"1 element(s)",
+		"satisfied specializations:",
+		"storage advice:",
+		"1 relation(s)",
+		"request(s)",
+		"server snapshotted",
+		"disconnected from http://" + addr,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Rejected transaction must not have landed.
+	if strings.Contains(out, "3 element(s)") {
+		t.Errorf("rejected insert appears in query results:\n%s", out)
+	}
+}
+
+func TestRemoteModeGuardsLocalOnlyCommands(t *testing.T) {
+	addr := startRemote(t)
+	_, out := runScript(t,
+		"connect "+addr,
+		"load emp somewhere.tsbl",
+		"clock emp advance 5",
+		"vacuum emp 100",
+	)
+	if got := strings.Count(out, "not available in remote mode"); got != 3 {
+		t.Errorf("local-only guard fired %d times, want 3:\n%s", got, out)
+	}
+}
+
+func TestRemoteModeConnectFailure(t *testing.T) {
+	_, out := runScript(t,
+		"connect 127.0.0.1:1", // nothing listens on port 1
+		"current emp",         // still local mode: unknown relation, not a remote call
+	)
+	if !strings.Contains(out, "error: connecting to http://127.0.0.1:1") {
+		t.Errorf("missing connect failure:\n%s", out)
+	}
+	if !strings.Contains(out, `no relation "emp"`) {
+		t.Errorf("session did not stay in local mode:\n%s", out)
+	}
+}

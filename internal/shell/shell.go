@@ -21,6 +21,7 @@ type Session struct {
 	rels  map[string]*ts.Relation
 	decls map[string][]ts.ConstraintDescriptor
 	out   *bufio.Writer
+	rem   *remoteSession // non-nil while connected to a tsdbd server
 }
 
 // New creates a session writing to out.
@@ -79,6 +80,15 @@ func (s *Session) Exec(line string) error {
 	case "help":
 		s.help()
 		return nil
+	case "connect":
+		return s.connect(args)
+	case "disconnect":
+		return s.disconnect()
+	}
+	if s.rem != nil {
+		return s.execRemote(cmd, args, line)
+	}
+	switch cmd {
 	case "create":
 		return s.create(args)
 	case "declare":
@@ -139,6 +149,9 @@ func (s *Session) help() {
   clock <rel> advance <seconds>
   vacuum <rel> <horizon-tt>
   dump <rel>
+  connect <addr> | disconnect        (remote mode against a tsdbd server;
+      create/declare/insert/delete/queries/select/classify run server-side,
+      'save' snapshots the server catalog, 'list' and 'metrics' inspect it)
   quit
 `)
 }

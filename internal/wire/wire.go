@@ -1,0 +1,558 @@
+// Package wire defines the JSON vocabulary of the tsdbd network protocol:
+// the request and response shapes exchanged between the server
+// (internal/server) and the typed Go client (client). Every type here is a
+// plain serializable struct with converters to and from the engine's
+// internal representations, so the HTTP layer stays free of translation
+// logic and the client package never imports engine internals beyond this
+// package.
+//
+// Conventions:
+//
+//   - Chronons travel as int64 seconds (the engine's discrete time line).
+//   - Attribute values are tagged unions discriminated by "kind".
+//   - Specialization descriptors use the same numeric class/basis/endpoint
+//     codes the binary catalog persists (internal/backlog), so a wire
+//     descriptor and a persisted one never disagree; human-readable names
+//     are attached by the server for display only.
+//   - Errors are {"error":{"code":..., "message":...}} with an HTTP status.
+package wire
+
+import (
+	"fmt"
+
+	"repro/internal/chronon"
+	"repro/internal/constraint"
+	"repro/internal/core"
+	"repro/internal/element"
+	"repro/internal/relation"
+)
+
+// Value is one attribute value as a tagged union. Kind selects which of
+// the payload fields is meaningful; the others are ignored.
+type Value struct {
+	Kind  string  `json:"kind"` // "null", "string", "int", "float", "bool", "time"
+	Str   string  `json:"str,omitempty"`
+	Int   int64   `json:"int,omitempty"`
+	Float float64 `json:"float,omitempty"`
+	Bool  bool    `json:"bool,omitempty"`
+	Time  int64   `json:"time,omitempty"`
+}
+
+// Value constructors for client code.
+func Null() Value            { return Value{Kind: "null"} }
+func String(s string) Value  { return Value{Kind: "string", Str: s} }
+func Int(i int64) Value      { return Value{Kind: "int", Int: i} }
+func Float(f float64) Value  { return Value{Kind: "float", Float: f} }
+func Bool(b bool) Value      { return Value{Kind: "bool", Bool: b} }
+func Time(c int64) Value     { return Value{Kind: "time", Time: c} }
+
+// ToValue converts a wire value into an engine value.
+func (v Value) ToValue() (element.Value, error) {
+	switch v.Kind {
+	case "null", "":
+		return element.Null(), nil
+	case "string":
+		return element.String_(v.Str), nil
+	case "int":
+		return element.Int(v.Int), nil
+	case "float":
+		return element.Float(v.Float), nil
+	case "bool":
+		return element.Bool(v.Bool), nil
+	case "time":
+		return element.Time(chronon.Chronon(v.Time)), nil
+	}
+	return element.Value{}, fmt.Errorf("wire: unknown value kind %q", v.Kind)
+}
+
+// FromValue converts an engine value into its wire form.
+func FromValue(v element.Value) Value {
+	switch v.Kind() {
+	case element.KindString:
+		s, _ := v.Str()
+		return String(s)
+	case element.KindInt:
+		i, _ := v.IntVal()
+		return Int(i)
+	case element.KindFloat:
+		f, _ := v.FloatVal()
+		return Float(f)
+	case element.KindBool:
+		b, _ := v.BoolVal()
+		return Bool(b)
+	case element.KindTime:
+		c, _ := v.TimeVal()
+		return Time(int64(c))
+	}
+	return Null()
+}
+
+// ToValues converts a slice of wire values.
+func ToValues(vs []Value) ([]element.Value, error) {
+	if len(vs) == 0 {
+		return nil, nil
+	}
+	out := make([]element.Value, len(vs))
+	for i, v := range vs {
+		ev, err := v.ToValue()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ev
+	}
+	return out, nil
+}
+
+// FromValues converts a slice of engine values.
+func FromValues(vs []element.Value) []Value {
+	if len(vs) == 0 {
+		return nil
+	}
+	out := make([]Value, len(vs))
+	for i, v := range vs {
+		out[i] = FromValue(v)
+	}
+	return out
+}
+
+// Timestamp is a valid time-stamp: exactly one of Event (an event chronon)
+// or Start/End (a half-open interval) is set.
+type Timestamp struct {
+	Event *int64 `json:"event,omitempty"`
+	Start *int64 `json:"start,omitempty"`
+	End   *int64 `json:"end,omitempty"`
+}
+
+// EventAt builds an event wire time-stamp.
+func EventAt(c int64) Timestamp { return Timestamp{Event: &c} }
+
+// SpanOf builds an interval wire time-stamp [start, end).
+func SpanOf(start, end int64) Timestamp { return Timestamp{Start: &start, End: &end} }
+
+// ToTimestamp converts a wire time-stamp into an engine time-stamp.
+func (t Timestamp) ToTimestamp() (element.Timestamp, error) {
+	switch {
+	case t.Event != nil && t.Start == nil && t.End == nil:
+		return element.EventAt(chronon.Chronon(*t.Event)), nil
+	case t.Event == nil && t.Start != nil && t.End != nil:
+		if *t.End <= *t.Start {
+			return element.Timestamp{}, fmt.Errorf("wire: empty or inverted interval [%d,%d)", *t.Start, *t.End)
+		}
+		return element.SpanOf(chronon.Chronon(*t.Start), chronon.Chronon(*t.End)), nil
+	}
+	return element.Timestamp{}, fmt.Errorf("wire: timestamp needs either event or start+end")
+}
+
+// FromTimestamp converts an engine time-stamp into its wire form.
+func FromTimestamp(ts element.Timestamp) Timestamp {
+	if c, ok := ts.Event(); ok {
+		return EventAt(int64(c))
+	}
+	iv, _ := ts.Interval()
+	return SpanOf(int64(iv.Start), int64(iv.End))
+}
+
+// Element is one stored element version.
+type Element struct {
+	ES        uint64    `json:"es"`
+	OS        uint64    `json:"os"`
+	TTStart   int64     `json:"tt_start"`
+	TTEnd     int64     `json:"tt_end"` // chronon.Forever while current
+	Current   bool      `json:"current"`
+	VT        Timestamp `json:"vt"`
+	Invariant []Value   `json:"invariant,omitempty"`
+	Varying   []Value   `json:"varying,omitempty"`
+	UserTimes []int64   `json:"user_times,omitempty"`
+}
+
+// FromElement converts an engine element into its wire form.
+func FromElement(e *element.Element) Element {
+	var uts []int64
+	if len(e.UserTimes) > 0 {
+		uts = make([]int64, len(e.UserTimes))
+		for i, c := range e.UserTimes {
+			uts[i] = int64(c)
+		}
+	}
+	return Element{
+		ES:        uint64(e.ES),
+		OS:        uint64(e.OS),
+		TTStart:   int64(e.TTStart),
+		TTEnd:     int64(e.TTEnd),
+		Current:   e.Current(),
+		VT:        FromTimestamp(e.VT),
+		Invariant: FromValues(e.Invariant),
+		Varying:   FromValues(e.Varying),
+		UserTimes: uts,
+	}
+}
+
+// FromElements converts a result set.
+func FromElements(es []*element.Element) []Element {
+	out := make([]Element, len(es))
+	for i, e := range es {
+		out[i] = FromElement(e)
+	}
+	return out
+}
+
+// Column describes one schema attribute.
+type Column struct {
+	Name string `json:"name"`
+	Type string `json:"type"` // element.ValueKind name: "string", "int", ...
+}
+
+// Schema describes a relation.
+type Schema struct {
+	Name        string   `json:"name"`
+	ValidTime   string   `json:"valid_time"`  // "event" or "interval"
+	Granularity int64    `json:"granularity"` // tick length in seconds
+	Invariant   []Column `json:"invariant,omitempty"`
+	Varying     []Column `json:"varying,omitempty"`
+	UserTimes   []string `json:"user_times,omitempty"`
+}
+
+func parseKind(s string) (element.ValueKind, error) {
+	for _, k := range []element.ValueKind{
+		element.KindNull, element.KindString, element.KindInt,
+		element.KindFloat, element.KindBool, element.KindTime,
+	} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("wire: unknown column type %q", s)
+}
+
+func toColumns(cols []Column) ([]relation.Column, error) {
+	if len(cols) == 0 {
+		return nil, nil
+	}
+	out := make([]relation.Column, len(cols))
+	for i, c := range cols {
+		k, err := parseKind(c.Type)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = relation.Column{Name: c.Name, Type: k}
+	}
+	return out, nil
+}
+
+func fromColumns(cols []relation.Column) []Column {
+	if len(cols) == 0 {
+		return nil
+	}
+	out := make([]Column, len(cols))
+	for i, c := range cols {
+		out[i] = Column{Name: c.Name, Type: c.Type.String()}
+	}
+	return out
+}
+
+// ToSchema converts a wire schema into an engine schema and validates it.
+func (s Schema) ToSchema() (relation.Schema, error) {
+	var kind element.TimestampKind
+	switch s.ValidTime {
+	case "event":
+		kind = element.EventStamp
+	case "interval":
+		kind = element.IntervalStamp
+	default:
+		return relation.Schema{}, fmt.Errorf("wire: unknown valid_time %q (want \"event\" or \"interval\")", s.ValidTime)
+	}
+	g := chronon.Granularity(s.Granularity)
+	if !g.Valid() {
+		return relation.Schema{}, fmt.Errorf("wire: invalid granularity %d", s.Granularity)
+	}
+	inv, err := toColumns(s.Invariant)
+	if err != nil {
+		return relation.Schema{}, err
+	}
+	vary, err := toColumns(s.Varying)
+	if err != nil {
+		return relation.Schema{}, err
+	}
+	schema := relation.Schema{
+		Name:        s.Name,
+		ValidTime:   kind,
+		Granularity: g,
+		Invariant:   inv,
+		Varying:     vary,
+		UserTimes:   s.UserTimes,
+	}
+	if err := schema.Validate(); err != nil {
+		return relation.Schema{}, err
+	}
+	return schema, nil
+}
+
+// FromSchema converts an engine schema into its wire form.
+func FromSchema(s relation.Schema) Schema {
+	vt := "event"
+	if s.ValidTime == element.IntervalStamp {
+		vt = "interval"
+	}
+	return Schema{
+		Name:        s.Name,
+		ValidTime:   vt,
+		Granularity: int64(s.Granularity),
+		Invariant:   fromColumns(s.Invariant),
+		Varying:     fromColumns(s.Varying),
+		UserTimes:   s.UserTimes,
+	}
+}
+
+// Duration is a specialization bound: a fixed number of seconds plus a
+// calendric number of months.
+type Duration struct {
+	Seconds int64 `json:"seconds,omitempty"`
+	Months  int64 `json:"months,omitempty"`
+}
+
+// Descriptor is one declared specialization in wire form. Kind, Class,
+// Scope, Basis, and Endpoint carry the same numeric codes the binary
+// catalog persists; Name is filled by the server on responses for display.
+type Descriptor struct {
+	Kind        uint8      `json:"kind"`
+	Class       uint8      `json:"class"`
+	Scope       uint8      `json:"scope"` // 0 per-relation, 1 per-partition
+	Basis       uint8      `json:"basis,omitempty"`
+	Endpoint    uint8      `json:"endpoint,omitempty"`
+	Bounds      []Duration `json:"bounds,omitempty"`
+	Granularity int64      `json:"granularity,omitempty"` // degenerate class only
+	Name        string     `json:"name,omitempty"`        // display only, server-filled
+}
+
+// ToDescriptor converts a wire descriptor into a constraint descriptor and
+// verifies it reconstructs, so malformed declarations fail at the protocol
+// boundary rather than at the first transaction.
+func (d Descriptor) ToDescriptor() (constraint.Descriptor, error) {
+	out := constraint.Descriptor{
+		Kind:        constraint.DescriptorKind(d.Kind),
+		Class:       core.Class(d.Class),
+		Scope:       constraint.Scope(d.Scope),
+		Basis:       core.TTBasis(d.Basis),
+		Endpoint:    core.VTEndpoint(d.Endpoint),
+		Granularity: chronon.Granularity(d.Granularity),
+	}
+	if d.Scope > uint8(constraint.PerPartition) {
+		return constraint.Descriptor{}, fmt.Errorf("wire: unknown scope %d", d.Scope)
+	}
+	for _, b := range d.Bounds {
+		out.Bounds = append(out.Bounds, chronon.Duration{Seconds: b.Seconds, Months: b.Months})
+	}
+	if _, err := out.Build(); err != nil {
+		return constraint.Descriptor{}, err
+	}
+	return out, nil
+}
+
+// FromDescriptor converts a constraint descriptor into its wire form,
+// naming it for display.
+func FromDescriptor(d constraint.Descriptor) Descriptor {
+	out := Descriptor{
+		Kind:        uint8(d.Kind),
+		Class:       uint8(d.Class),
+		Scope:       uint8(d.Scope),
+		Basis:       uint8(d.Basis),
+		Endpoint:    uint8(d.Endpoint),
+		Granularity: int64(d.Granularity),
+		Name:        d.String(),
+	}
+	for _, b := range d.Bounds {
+		out.Bounds = append(out.Bounds, Duration{Seconds: b.Seconds, Months: b.Months})
+	}
+	return out
+}
+
+// FromDescriptors converts a declaration catalog.
+func FromDescriptors(ds []constraint.Descriptor) []Descriptor {
+	if len(ds) == 0 {
+		return nil
+	}
+	out := make([]Descriptor, len(ds))
+	for i, d := range ds {
+		out[i] = FromDescriptor(d)
+	}
+	return out
+}
+
+// ToDescriptors converts and validates a wire declaration list.
+func ToDescriptors(ds []Descriptor) ([]constraint.Descriptor, error) {
+	out := make([]constraint.Descriptor, 0, len(ds))
+	for i, d := range ds {
+		cd, err := d.ToDescriptor()
+		if err != nil {
+			return nil, fmt.Errorf("constraint %d: %w", i, err)
+		}
+		out = append(out, cd)
+	}
+	return out, nil
+}
+
+// CreateRequest asks the server to create a relation.
+type CreateRequest struct {
+	Schema Schema `json:"schema"`
+}
+
+// DeclareRequest attaches specializations to a relation. All descriptors
+// must share one scope per request (the engine enforces one enforcer per
+// scope); mixed scopes are split by the server.
+type DeclareRequest struct {
+	Constraints []Descriptor `json:"constraints"`
+}
+
+// DeclareResponse reports the relation's full declaration catalog after
+// the new constraints were attached.
+type DeclareResponse struct {
+	Declared     int          `json:"declared"`
+	Declarations []Descriptor `json:"declarations"`
+}
+
+// InsertRequest stores one new element.
+type InsertRequest struct {
+	Object    uint64    `json:"object,omitempty"` // 0 allocates a new object surrogate
+	VT        Timestamp `json:"vt"`
+	Invariant []Value   `json:"invariant,omitempty"`
+	Varying   []Value   `json:"varying,omitempty"`
+	UserTimes []int64   `json:"user_times,omitempty"`
+}
+
+// DeleteRequest logically deletes one element.
+type DeleteRequest struct {
+	ES uint64 `json:"es"`
+}
+
+// ModifyRequest replaces an element's valid time and varying values.
+type ModifyRequest struct {
+	ES      uint64    `json:"es"`
+	VT      Timestamp `json:"vt"`
+	Varying []Value   `json:"varying,omitempty"`
+}
+
+// ElementResponse returns the element a transaction stored.
+type ElementResponse struct {
+	Element Element `json:"element"`
+}
+
+// Query kinds accepted by QueryRequest.
+const (
+	QueryCurrent   = "current"
+	QueryTimeslice = "timeslice"
+	QueryRollback  = "rollback"
+	QueryAsOf      = "asof" // bitemporal: valid at VT as stored at TT
+)
+
+// QueryRequest runs one of the engine's query kinds.
+type QueryRequest struct {
+	Kind string `json:"kind"`
+	VT   int64  `json:"vt,omitempty"`
+	TT   int64  `json:"tt,omitempty"`
+}
+
+// QueryResponse carries the result set with the access-path accounting the
+// storage advisor's organization produced.
+type QueryResponse struct {
+	Elements []Element `json:"elements"`
+	Plan     string    `json:"plan,omitempty"`
+	Touched  int       `json:"touched"`
+}
+
+// SelectRequest runs a raw tsql SELECT statement.
+type SelectRequest struct {
+	Query string `json:"query"`
+}
+
+// SelectResponse is a tabular query result.
+type SelectResponse struct {
+	Columns []string  `json:"columns"`
+	Rows    [][]Value `json:"rows"`
+	Touched int       `json:"touched"`
+}
+
+// RelationSummary is one row of the relation listing.
+type RelationSummary struct {
+	Name         string `json:"name"`
+	ValidTime    string `json:"valid_time"`
+	Versions     int    `json:"versions"`
+	Declarations int    `json:"declarations"`
+}
+
+// ListResponse lists the catalog.
+type ListResponse struct {
+	Relations []RelationSummary `json:"relations"`
+}
+
+// Advice is the storage advisor's recommendation.
+type Advice struct {
+	Store   string   `json:"store"`
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+// RelationInfo describes one relation in full.
+type RelationInfo struct {
+	Schema       Schema       `json:"schema"`
+	Versions     int          `json:"versions"`
+	Declarations []Descriptor `json:"declarations,omitempty"`
+	Advice       Advice       `json:"advice"`
+}
+
+// ClassifyResponse reports the inferred specializations of an extension.
+type ClassifyResponse struct {
+	Findings     []string `json:"findings"`
+	MostSpecific []string `json:"most_specific"`
+}
+
+// SnapshotResponse reports a catalog flush.
+type SnapshotResponse struct {
+	Saved int `json:"saved"`
+}
+
+// HealthResponse is the liveness probe body.
+type HealthResponse struct {
+	Status        string `json:"status"`
+	Relations     int    `json:"relations"`
+	UptimeSeconds int64  `json:"uptime_seconds"`
+}
+
+// ErrorBody is the uniform error envelope.
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail carries a machine-readable code and a human message.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error codes used by the server.
+const (
+	CodeBadRequest = "bad_request"
+	CodeNotFound   = "not_found"
+	CodeConflict   = "conflict"
+	CodeRejected   = "rejected" // transaction rejected by a declared specialization
+	CodeTooLarge   = "too_large"
+	CodeInternal   = "internal"
+)
+
+// EndpointMetrics aggregates one endpoint's request accounting.
+type EndpointMetrics struct {
+	Requests   uint64 `json:"requests"`
+	Errors     uint64 `json:"errors"`
+	LatencyUS  int64  `json:"latency_total_us"`
+	MinUS      int64  `json:"latency_min_us"`
+	MaxUS      int64  `json:"latency_max_us"`
+	MeanUS     int64  `json:"latency_mean_us"`
+	Touched    uint64 `json:"elements_touched"`
+}
+
+// MetricsResponse is the /metrics body: per-endpoint request counts,
+// latency summaries, and elements-touched counters.
+type MetricsResponse struct {
+	UptimeSeconds int64                      `json:"uptime_seconds"`
+	Requests      uint64                     `json:"requests"`
+	Errors        uint64                     `json:"errors"`
+	Endpoints     map[string]EndpointMetrics `json:"endpoints"`
+}
