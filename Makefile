@@ -4,11 +4,16 @@ GO ?= go
 # these run a second time under the race detector in `make ci`.
 RACE_PKGS = ./internal/relation ./internal/catalog ./internal/server ./internal/tx ./client
 
-.PHONY: ci build vet test race fuzz bench clean
+.PHONY: ci build vet fmt test race fuzz fuzz-smoke bench clean
 
-# ci is the tier-1 gate: everything must build, vet clean, pass tests, and
-# pass the race detector on the concurrency-bearing packages.
-ci: vet build test race
+# ci is the tier-1 gate: everything must build, vet and gofmt clean, pass
+# tests, and pass the race detector on the concurrency-bearing packages.
+ci: vet fmt build test race
+
+# fmt fails if any file needs gofmt (prints the offenders).
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 build:
 	$(GO) build ./...
@@ -27,6 +32,19 @@ race:
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzDecodeTransaction -fuzztime=20s ./internal/server
 	$(GO) test -run=NONE -fuzz=FuzzDecodeQuery -fuzztime=20s ./internal/server
+
+# fuzz-smoke gives every fuzz target in the repo 5s of mutation each —
+# cheap enough to run before a release. Anchored patterns: go test allows
+# one -fuzz target per package invocation.
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz='^FuzzDecodeTransaction$$' -fuzztime=5s ./internal/server
+	$(GO) test -run=NONE -fuzz='^FuzzDecodeQuery$$' -fuzztime=5s ./internal/server
+	$(GO) test -run=NONE -fuzz='^FuzzParse$$' -fuzztime=5s ./internal/tsql
+	$(GO) test -run=NONE -fuzz='^FuzzParseExplain$$' -fuzztime=5s ./internal/tsql
+	$(GO) test -run=NONE -fuzz='^FuzzParseDuration$$' -fuzztime=5s ./internal/chronon
+	$(GO) test -run=NONE -fuzz='^FuzzParseCivil$$' -fuzztime=5s ./internal/chronon
+	$(GO) test -run=NONE -fuzz='^FuzzParseGranularity$$' -fuzztime=5s ./internal/chronon
+	$(GO) test -run=NONE -fuzz='^FuzzRead$$' -fuzztime=5s ./internal/backlog
 
 # Regenerate every figure/claim table plus the serving benchmark
 # (writes BENCH_serving.json in the working directory).

@@ -24,23 +24,26 @@ import (
 
 // Wire vocabulary re-exports: the client speaks exactly the server's types.
 type (
-	Value           = wire.Value
-	Timestamp       = wire.Timestamp
-	Element         = wire.Element
-	Column          = wire.Column
-	Schema          = wire.Schema
-	Duration        = wire.Duration
-	Descriptor      = wire.Descriptor
-	InsertRequest   = wire.InsertRequest
-	QueryRequest    = wire.QueryRequest
-	QueryResponse   = wire.QueryResponse
-	SelectResponse  = wire.SelectResponse
-	RelationSummary = wire.RelationSummary
-	RelationInfo    = wire.RelationInfo
+	Value            = wire.Value
+	Timestamp        = wire.Timestamp
+	Element          = wire.Element
+	Column           = wire.Column
+	Schema           = wire.Schema
+	Duration         = wire.Duration
+	Descriptor       = wire.Descriptor
+	InsertRequest    = wire.InsertRequest
+	QueryRequest     = wire.QueryRequest
+	QueryResponse    = wire.QueryResponse
+	SelectResponse   = wire.SelectResponse
+	PlanNode         = wire.PlanNode
+	PlanMetrics      = wire.PlanMetrics
+	ExplainResponse  = wire.ExplainResponse
+	RelationSummary  = wire.RelationSummary
+	RelationInfo     = wire.RelationInfo
 	ClassifyResponse = wire.ClassifyResponse
-	HealthResponse  = wire.HealthResponse
-	MetricsResponse = wire.MetricsResponse
-	DeclareResponse = wire.DeclareResponse
+	HealthResponse   = wire.HealthResponse
+	MetricsResponse  = wire.MetricsResponse
+	DeclareResponse  = wire.DeclareResponse
 )
 
 // Value constructors, re-exported for ergonomic insert payloads.
@@ -124,6 +127,9 @@ func New(base string, opts ...Option) *Client {
 	}
 	return c
 }
+
+// BaseURL reports the server base URL the client was built with.
+func (c *Client) BaseURL() string { return c.base }
 
 // do issues one request and decodes the JSON response into out (when out is
 // non-nil). Non-2xx responses become *APIError.
@@ -274,6 +280,27 @@ func (c *Client) TimesliceAsOf(ctx context.Context, name string, vt, tt int64) (
 // "SELECT name, salary FROM emp WHEN AT 1500".
 func (c *Client) Select(ctx context.Context, query string) (SelectResponse, error) {
 	var out SelectResponse
+	err := c.do(ctx, http.MethodPost, "/v1/select", wire.SelectRequest{Query: query}, &out)
+	return out, err
+}
+
+// Explain plans one of the four temporal query kinds against the
+// relation without executing it, returning the structured plan tree.
+func (c *Client) Explain(ctx context.Context, name string, req QueryRequest) (ExplainResponse, error) {
+	var out ExplainResponse
+	path := fmt.Sprintf("/v1/relations/%s/explain?kind=%s&vt=%d&tt=%d",
+		name, req.Kind, req.VT, req.TT)
+	err := c.do(ctx, http.MethodGet, path, nil, &out)
+	return out, err
+}
+
+// ExplainSelect plans a tsql statement without executing it. The
+// statement may, but need not, start with EXPLAIN.
+func (c *Client) ExplainSelect(ctx context.Context, query string) (ExplainResponse, error) {
+	if !strings.HasPrefix(strings.ToLower(strings.TrimSpace(query)), "explain") {
+		query = "explain " + query
+	}
+	var out ExplainResponse
 	err := c.do(ctx, http.MethodPost, "/v1/select", wire.SelectRequest{Query: query}, &out)
 	return out, err
 }

@@ -1,0 +1,69 @@
+package main
+
+// P1 — the planner itself: how long does it take to build and cost a typed
+// plan, and does the chosen access path stay stable across store sizes?
+// The planner runs on every query of every relation, so its cost must stay
+// in the tens of nanoseconds — far below a single binary-search probe.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/plan"
+)
+
+// runP1 times plan.Build for each (store capability, query kind) pair at
+// n ∈ {1k, 10k, 100k} and checks the chosen strategy never degrades as the
+// store grows.
+func runP1(int) error {
+	shapes := []struct {
+		name   string
+		access func(n int) plan.Access
+	}{
+		{"heap", func(n int) plan.Access { return plan.Access{Org: plan.OrgHeap, N: n} }},
+		{"tt-log", func(n int) plan.Access { return plan.Access{Org: plan.OrgTTLog, N: n} }},
+		{"tt-log+bounds", func(n int) plan.Access {
+			return plan.Access{Org: plan.OrgTTLog, N: n, HasOffsetBounds: true, OffsetLo: -300, OffsetHi: -30}
+		}},
+		{"vt-log", func(n int) plan.Access { return plan.Access{Org: plan.OrgVTLog, N: n} }},
+		{"heap+vt-index", func(n int) plan.Access { return plan.Access{Org: plan.OrgHeap, N: n, VTIndex: true} }},
+	}
+	queries := []plan.Query{
+		{Kind: plan.QCurrent},
+		{Kind: plan.QTimeslice, VTLo: 500, VTHi: 501},
+		{Kind: plan.QVTRange, VTLo: 500, VTHi: 600},
+		{Kind: plan.QRollback, TT: 500},
+		{Kind: plan.QAsOf, VTLo: 500, TT: 500},
+	}
+	const rounds = 200_000
+	fmt.Printf("%-15s %-10s %12s %12s  %s\n", "store", "query", "n", "ns/plan", "chosen leaf")
+	for _, shape := range shapes {
+		for _, q := range queries {
+			var prevLeaf plan.NodeKind
+			for i, n := range []int{1_000, 10_000, 100_000} {
+				a := shape.access(n)
+				node := plan.Build(a, q)
+				leaf := node.Leaf().Kind
+				if node.Est > a.N {
+					return fmt.Errorf("%s/%v n=%d: estimate %d exceeds the scan bound %d",
+						shape.name, q.Kind, n, node.Est, a.N)
+				}
+				// A plan chosen at 1k must not flip at 100k: the capability,
+				// not the size, licenses the strategy.
+				if i > 0 && leaf != prevLeaf {
+					return fmt.Errorf("%s/%v: leaf flipped from %v at n=%d to %v at n=%d",
+						shape.name, q.Kind, prevLeaf, n/10, leaf, n)
+				}
+				prevLeaf = leaf
+				t0 := time.Now()
+				for r := 0; r < rounds; r++ {
+					node = plan.Build(a, q)
+				}
+				perPlan := time.Since(t0).Nanoseconds() / rounds
+				_ = node
+				fmt.Printf("%-15s %-10v %12d %12d  %v\n", shape.name, q.Kind, n, perPlan, leaf)
+			}
+		}
+	}
+	return nil
+}

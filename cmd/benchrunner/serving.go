@@ -38,6 +38,9 @@ type servingResult struct {
 	ServerErrors   uint64 `json:"server_errors"`
 	ServerTouched  uint64 `json:"server_elements_touched"`
 	Snapshotted    int    `json:"relations_snapshotted"`
+	// PlanMix is the per-plan-kind query count from /metrics, verified
+	// against the plan nodes the clients saw on their own responses.
+	PlanMix map[string]uint64 `json:"plan_mix"`
 }
 
 // runS1 boots the server, runs the workload, verifies the books balance,
@@ -89,7 +92,25 @@ func runS1(n int) error {
 		insertNanos atomic.Int64
 		queryNanos  atomic.Int64
 		failures    atomic.Int64
+		// Client-side plan books: every query response carries its plan
+		// node; count queries and touched per access-path kind so the
+		// server's /metrics breakdown can be audited against what the
+		// clients actually observed.
+		bookMu      sync.Mutex
+		planQueries = map[string]uint64{}
+		planTouched = map[string]uint64{}
 	)
+	book := func(resp client.QueryResponse) {
+		if resp.PlanNode == nil {
+			failures.Add(1)
+			return
+		}
+		kind := resp.PlanNode.Leaf().Kind
+		bookMu.Lock()
+		planQueries[kind]++
+		planTouched[kind] += uint64(resp.Touched)
+		bookMu.Unlock()
+	}
 	start := time.Now()
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
@@ -106,11 +127,13 @@ func runS1(n int) error {
 					continue
 				}
 				t0 = time.Now()
-				_, err = cli.Timeslice(ctx, "stream", vt)
+				resp, err := cli.Timeslice(ctx, "stream", vt)
 				queryNanos.Add(int64(time.Since(t0)))
 				if err != nil {
 					failures.Add(1)
+					continue
 				}
+				book(resp)
 			}
 		}(c)
 	}
@@ -129,12 +152,31 @@ func runS1(n int) error {
 	if len(cur.Elements) != inserts {
 		return fmt.Errorf("server holds %d elements, want %d", len(cur.Elements), inserts)
 	}
+	book(cur) // the audit query flows through the same plan accounting
 	m, err := admin.Metrics(ctx)
 	if err != nil {
 		return err
 	}
 	if got := m.Endpoints["insert"].Requests; got != uint64(inserts) {
 		return fmt.Errorf("server counted %d inserts, want %d", got, inserts)
+	}
+	// The plan books must balance: for every access-path kind, the server's
+	// /metrics breakdown matches the queries and touched counts the clients
+	// saw on their own responses — no query ran with an unreported plan.
+	if len(m.Plans) != len(planQueries) {
+		return fmt.Errorf("server reports %d plan kind(s), clients saw %d", len(m.Plans), len(planQueries))
+	}
+	for kind, want := range planQueries {
+		got, ok := m.Plans[kind]
+		if !ok {
+			return fmt.Errorf("plan kind %q missing from /metrics", kind)
+		}
+		if got.Requests != want {
+			return fmt.Errorf("plan %q: server counted %d quer(y/ies), clients saw %d", kind, got.Requests, want)
+		}
+		if got.Touched != planTouched[kind] {
+			return fmt.Errorf("plan %q: server touched %d, clients saw %d", kind, got.Touched, planTouched[kind])
+		}
 	}
 	saved, err := admin.Snapshot(ctx)
 	if err != nil {
@@ -144,6 +186,10 @@ func runS1(n int) error {
 	var touched uint64
 	for _, ep := range m.Endpoints {
 		touched += ep.Touched
+	}
+	planMix := make(map[string]uint64, len(m.Plans))
+	for kind, pm := range m.Plans {
+		planMix[kind] = pm.Requests
 	}
 	res := servingResult{
 		Experiment:     "S1",
@@ -159,6 +205,7 @@ func runS1(n int) error {
 		ServerErrors:   m.Errors,
 		ServerTouched:  touched,
 		Snapshotted:    saved,
+		PlanMix:        planMix,
 	}
 	fmt.Printf("%d clients, %d inserts + %d timeslices over loopback HTTP in %v\n",
 		res.Clients, res.Inserts, res.Timeslices, elapsed.Round(time.Millisecond))
@@ -166,6 +213,10 @@ func runS1(n int) error {
 	fmt.Printf("%-22s %10.0f req/s  (mean %d µs)\n", "timeslice throughput", res.QueriesPerS, res.MeanQueryUS)
 	fmt.Printf("server: %d requests, %d errors, %d elements touched, %d relation(s) snapshotted\n",
 		res.ServerRequests, res.ServerErrors, touched, saved)
+	for kind, pm := range m.Plans {
+		fmt.Printf("plan %-20s %6d quer(y/ies), %d touched (balanced against client books)\n",
+			kind, pm.Requests, pm.Touched)
+	}
 
 	doc, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {

@@ -136,6 +136,5 @@ func EnableBoundedPushdown(en *QueryEngine, r *Relation, spec EventSpec) error {
 	if !ok {
 		return fmt.Errorf("temporalspec: %v has no fixed two-sided offset bounds", spec)
 	}
-	en.UseVTOffsetBounds(lo, hi)
-	return nil
+	return en.UseVTOffsetBounds(lo, hi)
 }

@@ -30,6 +30,7 @@ import (
 	"repro/internal/constraint"
 	"repro/internal/core"
 	"repro/internal/element"
+	"repro/internal/plan"
 	"repro/internal/query"
 	"repro/internal/relation"
 	"repro/internal/storage"
@@ -252,12 +253,19 @@ type Entry struct {
 	// dirty marks unsaved changes; atomic so snapshots (shared lock) can
 	// clear it while other readers run.
 	dirty atomic.Bool
+
+	// plans counts queries and touched elements per plan kind over the
+	// entry's lifetime. It lives here rather than on the engine because
+	// declarations rebuild the engine; the counters must survive that.
+	plans plan.Recorder
 }
 
 func newEntry(name string, l *relation.Locked, decls []constraint.Descriptor) *Entry {
 	e := &Entry{name: name, locked: l, decls: decls}
 	_ = l.Exclusive(func(r *relation.Relation) error {
-		e.rebuildEngine(r)
+		// A bounds error here means a persisted declaration carries
+		// inverted offsets; the engine still works, just without pushdown.
+		_ = e.rebuildEngine(r)
 		return nil
 	})
 	return e
@@ -288,8 +296,10 @@ func perRelationClasses(decls []constraint.Descriptor) []core.Class {
 }
 
 // rebuildEngine reloads the advisor-chosen store from the relation's
-// versions. Caller holds the exclusive lock.
-func (e *Entry) rebuildEngine(r *relation.Relation) {
+// versions. Caller holds the exclusive lock. The returned error reports
+// only unusable declared offset bounds; the engine is valid either way
+// (it just runs without the pushdown).
+func (e *Entry) rebuildEngine(r *relation.Relation) error {
 	classes := perRelationClasses(e.decls)
 	advice := storage.Advise(classes, r.Schema().ValidTime)
 	st := advice.New()
@@ -309,6 +319,7 @@ func (e *Entry) rebuildEngine(r *relation.Relation) {
 		}
 	}
 	en := query.New(st, classes)
+	e.engine, e.advice = en, advice
 	// A declared two-sided fixed bound turns valid-time predicates into
 	// transaction-time windows over the tt-ordered log (§3.1's query
 	// strategies); enable the pushdown when a per-relation event
@@ -327,12 +338,14 @@ func (e *Entry) rebuildEngine(r *relation.Relation) {
 				continue
 			}
 			if lo, hi, ok := ev.Spec.OffsetBounds(); ok {
-				en.UseVTOffsetBounds(lo, hi)
+				if err := en.UseVTOffsetBounds(lo, hi); err != nil {
+					return fmt.Errorf("catalog: unusable offset bounds in declaration: %w", err)
+				}
 				break
 			}
 		}
 	}
-	e.engine, e.advice = en, advice
+	return nil
 }
 
 // Insert stores a new element as one transaction and feeds it to the
@@ -360,7 +373,7 @@ func (e *Entry) Insert(ins relation.Insertion) (*element.Element, error) {
 func (e *Entry) decls2general(r *relation.Relation, cause error) {
 	saved := e.decls
 	e.decls = nil
-	e.rebuildEngine(r)
+	_ = e.rebuildEngine(r) // nil decls: no bounds to reject
 	e.decls = saved
 	e.advice.Reasons = append(e.advice.Reasons,
 		fmt.Sprintf("fell back: committed element violates the store order (%v)", cause))
@@ -438,7 +451,12 @@ func (e *Entry) Declare(descs []constraint.Descriptor) error {
 			r.AddGuard(en)
 		}
 		e.decls = append(e.decls, descs...)
-		e.rebuildEngine(r)
+		if err := e.rebuildEngine(r); err != nil {
+			// The declaration stands (its enforcer is sound) but its bounds
+			// cannot drive the pushdown; surface the bug to the caller.
+			e.dirty.Store(true)
+			return err
+		}
 		e.dirty.Store(true)
 		return nil
 	})
@@ -448,7 +466,16 @@ func (e *Entry) Declare(descs []constraint.Descriptor) error {
 type QueryResult struct {
 	Elements []*element.Element
 	Plan     string
-	Touched  int
+	// Node is the typed plan the engine executed; Plan is its rendering.
+	Node    *plan.Node
+	Touched int
+}
+
+func (e *Entry) toResult(res query.Result) QueryResult {
+	if res.Node != nil {
+		e.plans.Record(res.Node.Leaf().Kind, res.Touched)
+	}
+	return QueryResult{Elements: res.Elements, Plan: res.Plan, Node: res.Node, Touched: res.Touched}
 }
 
 // Current answers the conventional query.
@@ -458,7 +485,7 @@ func (e *Entry) Current() QueryResult {
 		res = e.engine.Current()
 		return nil
 	})
-	return QueryResult(res)
+	return e.toResult(res)
 }
 
 // Timeslice answers the historical query at vt.
@@ -468,7 +495,7 @@ func (e *Entry) Timeslice(vt chronon.Chronon) QueryResult {
 		res = e.engine.Timeslice(vt)
 		return nil
 	})
-	return QueryResult(res)
+	return e.toResult(res)
 }
 
 // Rollback answers the rollback query at tt.
@@ -478,36 +505,87 @@ func (e *Entry) Rollback(tt chronon.Chronon) QueryResult {
 		res = e.engine.Rollback(tt)
 		return nil
 	})
-	return QueryResult(res)
+	return e.toResult(res)
 }
 
 // TimesliceAsOf answers the bitemporal query: elements valid at vt as
-// stored at tt. No physical organization indexes both dimensions, so this
-// scans the relation.
+// stored at tt. No physical organization indexes both dimensions — the
+// planner prices it as the bitemporal full scan — so this scans the
+// relation.
 func (e *Entry) TimesliceAsOf(vt, tt chronon.Chronon) QueryResult {
 	var out QueryResult
 	_ = e.locked.View(func(r *relation.Relation) error {
+		node := e.engine.Plan(plan.Query{Kind: plan.QAsOf, VTLo: int64(vt), TT: int64(tt)})
 		out.Elements = r.TimesliceAsOf(vt, tt)
-		out.Plan = "full scan (bitemporal)"
+		out.Plan = node.String()
+		out.Node = node
 		out.Touched = r.Len()
 		return nil
 	})
+	e.plans.Record(out.Node.Leaf().Kind, out.Touched)
 	return out
 }
 
 // Select evaluates a parsed tsql query against the relation under the
-// shared lock. The query's Rel must name this entry.
-func (e *Entry) Select(q *tsql.Query) (*tsql.Result, int, error) {
+// shared lock. The query's Rel must name this entry. The statement is
+// compiled onto the engine's planned access path: when the plan's leaf is
+// a specialized strategy (vt binary search, tt-window pushdown, index
+// seek), the engine produces the candidate set and only it is evaluated;
+// otherwise the relation's backlog is scanned as before. The returned
+// node is the executed plan; touched is its access-path cost.
+func (e *Entry) Select(q *tsql.Query) (*tsql.Result, *plan.Node, int, error) {
 	var res *tsql.Result
+	var node *plan.Node
 	touched := 0
 	err := e.locked.View(func(r *relation.Relation) error {
+		node = tsql.Compile(q, e.engine.Access())
 		var err error
-		res, err = tsql.Eval(q, r)
-		touched = r.Len()
+		switch node.Leaf().Kind {
+		case plan.VTBinarySearch, plan.TTWindowPushdown, plan.BTreeIndexSeek:
+			pq := tsql.PlanQuery(q)
+			qres := e.engine.VTRange(chronon.Chronon(pq.VTLo), chronon.Chronon(pq.VTHi))
+			// Element surrogates are assigned in insertion order, so an
+			// ES sort restores the backlog scan's row order exactly.
+			cands := append([]*element.Element(nil), qres.Elements...)
+			sort.Slice(cands, func(i, j int) bool { return cands[i].ES < cands[j].ES })
+			res, err = tsql.EvalOn(q, r.Schema(), cands)
+			touched = qres.Touched
+		default:
+			res, err = tsql.Eval(q, r)
+			touched = r.Len()
+		}
 		return err
 	})
-	return res, touched, err
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	e.plans.Record(node.Leaf().Kind, touched)
+	return res, node, touched, nil
 }
+
+// Explain compiles the plan a SELECT would execute, without running it.
+func (e *Entry) Explain(q *tsql.Query) *plan.Node {
+	var node *plan.Node
+	_ = e.locked.View(func(*relation.Relation) error {
+		node = tsql.Compile(q, e.engine.Access())
+		return nil
+	})
+	return node
+}
+
+// PlanFor builds the plan for one of the engine's query shapes, without
+// executing it.
+func (e *Entry) PlanFor(pq plan.Query) *plan.Node {
+	var node *plan.Node
+	_ = e.locked.View(func(*relation.Relation) error {
+		node = e.engine.Plan(pq)
+		return nil
+	})
+	return node
+}
+
+// PlanStats reports the entry's lifetime per-plan-kind counters.
+func (e *Entry) PlanStats() map[string]plan.KindStats { return e.plans.Snapshot() }
 
 // Classify infers the extension's specializations under the insertion
 // basis at the schema granularity.
@@ -529,9 +607,12 @@ type Info struct {
 	Versions     int
 	Declarations []constraint.Descriptor
 	Advice       storage.Advice
+	// Plans is the entry's lifetime query count per plan kind.
+	Plans map[string]plan.KindStats
 }
 
-// Info reports the entry's schema, size, declarations, and current advice.
+// Info reports the entry's schema, size, declarations, current advice,
+// and per-plan-kind query counters.
 func (e *Entry) Info() Info {
 	var info Info
 	_ = e.locked.View(func(r *relation.Relation) error {
@@ -540,6 +621,7 @@ func (e *Entry) Info() Info {
 			Versions:     r.Len(),
 			Declarations: append([]constraint.Descriptor(nil), e.decls...),
 			Advice:       e.advice,
+			Plans:        e.plans.Snapshot(),
 		}
 		return nil
 	})

@@ -1,0 +1,41 @@
+package plan
+
+import "sync/atomic"
+
+// KindStats is one plan kind's lifetime accounting.
+type KindStats struct {
+	Queries int64
+	Touched int64
+}
+
+// Recorder accumulates per-plan-kind query and touched counts. The zero
+// value is ready to use, and Record is safe for concurrent callers — the
+// catalog records under its shared (read) lock.
+type Recorder struct {
+	stats [nKinds]struct {
+		queries atomic.Int64
+		touched atomic.Int64
+	}
+}
+
+// Record accounts one executed plan against its access-path leaf kind.
+func (r *Recorder) Record(k NodeKind, touched int) {
+	if int(k) >= nKinds {
+		return
+	}
+	r.stats[k].queries.Add(1)
+	r.stats[k].touched.Add(int64(touched))
+}
+
+// Snapshot returns the non-zero kinds keyed by their slugs.
+func (r *Recorder) Snapshot() map[string]KindStats {
+	out := make(map[string]KindStats)
+	for k := 0; k < nKinds; k++ {
+		q := r.stats[k].queries.Load()
+		if q == 0 {
+			continue
+		}
+		out[NodeKind(k).String()] = KindStats{Queries: q, Touched: r.stats[k].touched.Load()}
+	}
+	return out
+}

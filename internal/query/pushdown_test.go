@@ -111,12 +111,23 @@ func TestBoundedPushdownOnlyOnTTLog(t *testing.T) {
 
 func TestUseVTOffsetBoundsValidation(t *testing.T) {
 	en := New(storage.NewTTLog(), nil)
-	defer func() {
-		if recover() == nil {
-			t.Error("inverted bounds accepted")
-		}
-	}()
-	en.UseVTOffsetBounds(5, -5)
+	err := en.UseVTOffsetBounds(5, -5)
+	if err == nil {
+		t.Fatal("inverted bounds accepted")
+	}
+	if !strings.Contains(err.Error(), "inverted offset bounds") {
+		t.Errorf("error = %q, want it to name the inverted bounds", err)
+	}
+	// Inverted bounds must not arm the pushdown.
+	if a := en.Access(); a.HasOffsetBounds {
+		t.Error("inverted bounds armed the pushdown")
+	}
+	if err := en.UseVTOffsetBounds(-5, 5); err != nil {
+		t.Fatalf("valid bounds refused: %v", err)
+	}
+	if a := en.Access(); !a.HasOffsetBounds || a.OffsetLo != -5 || a.OffsetHi != 5 {
+		t.Errorf("Access() = %+v after valid bounds", en.Access())
+	}
 }
 
 func sameSet(a, b []*element.Element) bool {

@@ -1,10 +1,13 @@
 // Package query executes the three kinds of queries the paper requires of
 // temporal relations (§1) — current, historical (time-slice), and rollback
 // — over a physical store chosen by the storage advisor, and reports which
-// strategy each query used and how much data it touched. The contrast
-// between plans on specialized vs. general organizations is the measurable
-// form of the paper's claim that specializations enable better "query
-// processing strategies".
+// strategy each query used and how much data it touched. Strategy selection
+// is delegated to the shared planner (internal/plan): the engine describes
+// its store's capabilities as a plan.Access, the planner picks the cheapest
+// sound access path, and the engine executes the resulting typed plan tree.
+// The contrast between plans on specialized vs. general organizations is
+// the measurable form of the paper's claim that specializations enable
+// better "query processing strategies".
 package query
 
 import (
@@ -14,6 +17,7 @@ import (
 	"repro/internal/chronon"
 	"repro/internal/core"
 	"repro/internal/element"
+	"repro/internal/plan"
 	"repro/internal/relation"
 	"repro/internal/storage"
 )
@@ -22,7 +26,10 @@ import (
 type Result struct {
 	Elements []*element.Element
 	// Plan names the strategy used, e.g. "binary search (vt-ordered log)".
+	// It is the one-line rendering of Node and is golden-pinned by tests.
 	Plan string
+	// Node is the typed plan tree the engine executed.
+	Node *plan.Node
 	// Touched is the number of stored elements examined.
 	Touched int
 }
@@ -36,6 +43,7 @@ type Engine struct {
 	classes []core.Class
 	queries atomic.Int64
 	touched atomic.Int64
+	plans   plan.Recorder
 
 	// Bounded-specialization pushdown: when the relation is declared with
 	// a two-sided fixed bound lo ≤ vt − tt ≤ hi, a valid-time predicate
@@ -48,11 +56,13 @@ type Engine struct {
 // UseVTOffsetBounds enables bounded-specialization pushdown with the given
 // fixed offsets (lo ≤ vt − tt ≤ hi), typically obtained from a declared
 // EventSpec's OffsetBounds. It has effect only over a tt-ordered store.
-func (en *Engine) UseVTOffsetBounds(lo, hi int64) {
+// Inverted bounds are a declaration bug and are rejected with an error.
+func (en *Engine) UseVTOffsetBounds(lo, hi int64) error {
 	if lo > hi {
-		panic("query: inverted offset bounds")
+		return fmt.Errorf("query: inverted offset bounds [%d, %d]", lo, hi)
 	}
 	en.boundLo, en.boundHi, en.hasBounds = lo, hi, true
+	return nil
 }
 
 // Stats accumulates engine-lifetime counters.
@@ -88,61 +98,95 @@ func (en *Engine) Stats() Stats {
 	return Stats{Queries: int(en.queries.Load()), Touched: int(en.touched.Load())}
 }
 
-func (en *Engine) record(touched int) {
-	en.queries.Add(1)
-	en.touched.Add(int64(touched))
+// PlanStats reports engine-lifetime touched counts per plan kind.
+func (en *Engine) PlanStats() map[string]plan.KindStats { return en.plans.Snapshot() }
+
+// Access describes the store's capabilities to the planner.
+func (en *Engine) Access() plan.Access {
+	a := plan.Access{N: en.store.Len()}
+	switch en.store.Kind() {
+	case storage.TTOrdered:
+		a.Org = plan.OrgTTLog
+	case storage.VTOrdered:
+		a.Org = plan.OrgVTLog
+	default:
+		a.Org = plan.OrgHeap
+	}
+	if _, ok := en.store.(*storage.IndexedEventStore); ok {
+		a.VTIndex = true
+	}
+	if en.hasBounds {
+		a.HasOffsetBounds, a.OffsetLo, a.OffsetHi = true, en.boundLo, en.boundHi
+	}
+	return a
 }
 
-func (en *Engine) planName(indexed bool) string {
-	if indexed {
-		return fmt.Sprintf("binary search (%v)", en.store.Kind())
+// Plan builds, without executing, the plan the engine would run for q —
+// the EXPLAIN entry point.
+func (en *Engine) Plan(q plan.Query) *plan.Node { return plan.Build(en.Access(), q) }
+
+func (en *Engine) record(n *plan.Node, touched int) {
+	en.queries.Add(1)
+	en.touched.Add(int64(touched))
+	en.plans.Record(n.Leaf().Kind, touched)
+}
+
+// run plans the query, executes the chosen access path, and accounts it.
+func (en *Engine) run(q plan.Query) Result {
+	node := plan.Build(en.Access(), q)
+	els, touched := en.execute(node, q)
+	en.record(node, touched)
+	return Result{Elements: els, Plan: node.String(), Node: node, Touched: touched}
+}
+
+// execute runs the plan's access-path leaf against the store. The leaf's
+// result already satisfies the query's temporal predicates (the stores
+// filter as they read), so decorators need no separate pass here.
+func (en *Engine) execute(node *plan.Node, q plan.Query) ([]*element.Element, int) {
+	leaf := node.Leaf()
+	switch leaf.Kind {
+	case plan.TTWindowPushdown:
+		tlog := en.store.(*storage.TTLogStore)
+		cands, touched := tlog.TTWindow(chronon.Chronon(leaf.WinLo), chronon.Chronon(leaf.WinHi))
+		var out []*element.Element
+		for _, e := range cands {
+			if e.Current() && validInRange(e, chronon.Chronon(q.VTLo), chronon.Chronon(q.VTHi)) {
+				out = append(out, e)
+			}
+		}
+		return out, touched
+	case plan.TTBinarySearch:
+		return en.store.Rollback(chronon.Chronon(q.TT))
+	case plan.VTBinarySearch, plan.BTreeIndexSeek:
+		return en.store.VTRange(chronon.Chronon(q.VTLo), chronon.Chronon(q.VTHi))
 	}
-	return fmt.Sprintf("full scan (%v)", en.store.Kind())
+	// Full scan, shaped by the query kind.
+	switch q.Kind {
+	case plan.QCurrent:
+		var out []*element.Element
+		touched := en.store.Scan(func(e *element.Element) bool {
+			if e.Current() {
+				out = append(out, e)
+			}
+			return true
+		})
+		return out, touched
+	case plan.QRollback:
+		return en.store.Rollback(chronon.Chronon(q.TT))
+	default:
+		return en.store.VTRange(chronon.Chronon(q.VTLo), chronon.Chronon(q.VTHi))
+	}
 }
 
 // Timeslice answers the historical query: current elements valid at vt.
 func (en *Engine) Timeslice(vt chronon.Chronon) Result {
-	if res, ok := en.boundedWindow(vt, vt.Add(1)); ok {
-		return res
-	}
-	es, touched := en.store.Timeslice(vt)
-	en.record(touched)
-	return Result{Elements: es, Plan: en.planName(en.store.Kind() == storage.VTOrdered), Touched: touched}
+	return en.run(plan.Query{Kind: plan.QTimeslice, VTLo: int64(vt), VTHi: int64(vt) + 1})
 }
 
 // VTRange answers a historical range query: current elements valid during
 // any part of [lo, hi).
 func (en *Engine) VTRange(lo, hi chronon.Chronon) Result {
-	if res, ok := en.boundedWindow(lo, hi); ok {
-		return res
-	}
-	es, touched := en.store.VTRange(lo, hi)
-	en.record(touched)
-	return Result{Elements: es, Plan: en.planName(en.store.Kind() == storage.VTOrdered), Touched: touched}
-}
-
-// boundedWindow answers a valid-time query through the bounded-
-// specialization pushdown when it applies: event elements satisfying
-// lo ≤ vt − tt ≤ hi and valid in [vlo, vhi) were necessarily inserted with
-// tt ∈ [vlo − hi, vhi − 1 − lo], a window the tt log binary-searches.
-func (en *Engine) boundedWindow(vlo, vhi chronon.Chronon) (Result, bool) {
-	tlog, ok := en.store.(*storage.TTLogStore)
-	if !ok || !en.hasBounds {
-		return Result{}, false
-	}
-	cands, touched := tlog.TTWindow(vlo.Add(-en.boundHi), vhi.Add(-1-en.boundLo))
-	var out []*element.Element
-	for _, e := range cands {
-		if e.Current() && validInRange(e, vlo, vhi) {
-			out = append(out, e)
-		}
-	}
-	en.record(touched)
-	return Result{
-		Elements: out,
-		Plan:     "tt-window binary search (bounded specialization)",
-		Touched:  touched,
-	}, true
+	return en.run(plan.Query{Kind: plan.QVTRange, VTLo: int64(lo), VTHi: int64(hi)})
 }
 
 // validInRange reports whether the element's valid time intersects
@@ -158,21 +202,11 @@ func validInRange(e *element.Element, lo, hi chronon.Chronon) bool {
 // Rollback answers the rollback query: elements present at transaction
 // time tt.
 func (en *Engine) Rollback(tt chronon.Chronon) Result {
-	es, touched := en.store.Rollback(tt)
-	en.record(touched)
-	return Result{Elements: es, Plan: en.planName(en.store.Kind() != storage.Heap), Touched: touched}
+	return en.run(plan.Query{Kind: plan.QRollback, TT: int64(tt)})
 }
 
 // Current answers the conventional query: the elements of the current
 // state. Every organization answers it with a scan of live elements.
 func (en *Engine) Current() Result {
-	var out []*element.Element
-	touched := en.store.Scan(func(e *element.Element) bool {
-		if e.Current() {
-			out = append(out, e)
-		}
-		return true
-	})
-	en.record(touched)
-	return Result{Elements: out, Plan: en.planName(false), Touched: touched}
+	return en.run(plan.Query{Kind: plan.QCurrent})
 }

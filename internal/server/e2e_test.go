@@ -10,8 +10,11 @@ package server_test
 
 import (
 	"context"
+	"errors"
 	"net"
 	"net/http"
+	"net/url"
+	"strings"
 	"testing"
 	"time"
 
@@ -231,4 +234,126 @@ func TestEndToEndServerLifecycle(t *testing.T) {
 	if m2.Requests == 0 {
 		t.Fatal("restarted metrics report zero requests")
 	}
+}
+
+// TestExplainOverTheWire drives the explain surfaces end to end: EXPLAIN
+// SELECT through /v1/select, the kind-based GET endpoint, the structured
+// plan attached to real query responses, and the per-plan-kind /metrics
+// aggregation — before and after a declaration flips the chosen plan.
+func TestExplainOverTheWire(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	cli, stop := bootServer(t, dir)
+	defer stop()
+
+	if _, err := cli.Create(ctx, empSchema()); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	for i, vt := range []int64{5, 15, 25} {
+		if _, err := cli.Insert(ctx, "emp", insertReq(vt, "w", int64(1000*(i+1)))); err != nil {
+			t.Fatalf("insert vt=%d: %v", vt, err)
+		}
+	}
+
+	// Undeclared: the advisor keeps the general tt-ordered log, and a
+	// timeslice can only plan as a full scan under current-state.
+	exp, err := cli.ExplainSelect(ctx, "SELECT * FROM emp WHEN VALID AT 15")
+	if err != nil {
+		t.Fatalf("ExplainSelect: %v", err)
+	}
+	if exp.Relation != "emp" || exp.Store != "tt-ordered log" {
+		t.Fatalf("ExplainSelect = rel %q store %q, want emp / tt-ordered log", exp.Relation, exp.Store)
+	}
+	if exp.Plan == nil {
+		t.Fatal("ExplainSelect returned no structured plan")
+	}
+	if leaf := exp.Plan.Leaf(); leaf.Kind != "full-scan" || leaf.Org != "tt-ordered log" {
+		t.Fatalf("leaf = %s on %s, want full-scan on tt-ordered log", leaf.Kind, leaf.Org)
+	}
+	for _, want := range []string{"current-state", "full-scan on tt-ordered log"} {
+		if !strings.Contains(exp.Rendered, want) {
+			t.Errorf("Rendered missing %q:\n%s", want, exp.Rendered)
+		}
+	}
+
+	// The kind-based endpoint must agree with the statement form.
+	exp2, err := cli.Explain(ctx, "emp", client.QueryRequest{Kind: client.QueryTimeslice, VT: 15})
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	if exp2.Plan == nil || exp2.Plan.Leaf().Kind != "full-scan" {
+		t.Fatalf("kind-based Explain leaf = %+v, want full-scan", exp2.Plan)
+	}
+
+	// Declaring globally non-decreasing events re-advises to the
+	// vt-ordered log; the same EXPLAIN now shows a vt binary search.
+	nd := mustDescriptor(t, constraint.InterEvent{Spec: core.NonDecreasingEventsSpec()})
+	if _, err := cli.Declare(ctx, "emp", nd); err != nil {
+		t.Fatalf("Declare: %v", err)
+	}
+	exp3, err := cli.ExplainSelect(ctx, "explain select name from emp when valid at 15")
+	if err != nil {
+		t.Fatalf("ExplainSelect after declare: %v", err)
+	}
+	if exp3.Store != "vt-ordered log" {
+		t.Fatalf("store after declare = %q, want vt-ordered log", exp3.Store)
+	}
+	if leaf := exp3.Plan.Leaf(); leaf.Kind != "vt-binary-search" {
+		t.Fatalf("leaf after declare = %s, want vt-binary-search", leaf.Kind)
+	}
+
+	// Running the query for real returns the same plan both ways: the
+	// legacy one-liner and the structured tree.
+	qr, err := cli.Timeslice(ctx, "emp", 15)
+	if err != nil {
+		t.Fatalf("Timeslice: %v", err)
+	}
+	if qr.Plan != "binary search (vt-ordered log)" {
+		t.Fatalf("Timeslice plan = %q, want binary search (vt-ordered log)", qr.Plan)
+	}
+	if qr.PlanNode == nil || qr.PlanNode.Leaf().Kind != "vt-binary-search" {
+		t.Fatalf("Timeslice plan node = %+v, want vt-binary-search leaf", qr.PlanNode)
+	}
+	if len(qr.Elements) != 1 {
+		t.Fatalf("Timeslice(15) = %d elements, want 1", len(qr.Elements))
+	}
+	sr, err := cli.Select(ctx, "SELECT * FROM emp WHEN VALID AT 15")
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	if sr.Plan == nil || sr.Plan.Leaf().Kind != "vt-binary-search" {
+		t.Fatalf("Select plan = %+v, want vt-binary-search leaf", sr.Plan)
+	}
+
+	// /metrics aggregates touched-counts per plan kind; the two executed
+	// vt-binary-search queries above must both be booked.
+	m, err := cli.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("Metrics: %v", err)
+	}
+	vbs, ok := m.Plans["vt-binary-search"]
+	if !ok || vbs.Requests < 2 {
+		t.Fatalf("metrics plans = %+v, want vt-binary-search with >= 2 requests", m.Plans)
+	}
+
+	// Error shapes: an unknown ?kind= and a statement addressed to the
+	// wrong relation are both structured bad requests.
+	if _, err := cli.Explain(ctx, "emp", client.QueryRequest{Kind: "bogus"}); !isBadRequest(err) {
+		t.Fatalf("bogus kind: err = %v, want bad_request", err)
+	}
+	base := cli.BaseURL()
+	resp, err := http.Get(base + "/v1/relations/emp/explain?query=" + url.QueryEscape("SELECT * FROM other"))
+	if err != nil {
+		t.Fatalf("raw explain GET: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("mismatched relation explain status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func isBadRequest(err error) bool {
+	var ae *client.APIError
+	return errors.As(err, &ae) && ae.Code == client.CodeBadRequest
 }

@@ -20,7 +20,8 @@
 //	POST /v1/relations/{name}/modify         modify transaction
 //	POST /v1/relations/{name}/query          current/timeslice/rollback/asof
 //	GET  /v1/relations/{name}/classify       infer specializations
-//	POST /v1/select                          raw tsql SELECT
+//	GET  /v1/relations/{name}/explain        plan a query without running it
+//	POST /v1/select                          raw tsql SELECT (or EXPLAIN SELECT)
 //	POST /v1/snapshot                        flush dirty relations to disk
 package server
 
@@ -30,12 +31,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/chronon"
 	"repro/internal/element"
+	"repro/internal/plan"
 	"repro/internal/relation"
 	"repro/internal/surrogate"
 	"repro/internal/tsql"
@@ -85,6 +88,7 @@ func New(cfg Config) *Server {
 	mux.Handle("POST /v1/relations/{name}/modify", s.wrap("modify", s.handleModify))
 	mux.Handle("POST /v1/relations/{name}/query", s.wrap("query", s.handleQuery))
 	mux.Handle("GET /v1/relations/{name}/classify", s.wrap("classify", s.handleClassify))
+	mux.Handle("GET /v1/relations/{name}/explain", s.wrap("explain", s.handleExplain))
 	mux.Handle("POST /v1/select", s.wrap("select", s.handleSelect))
 	mux.Handle("POST /v1/snapshot", s.wrap("snapshot", s.handleSnapshot))
 	mux.Handle("/", s.wrap("unknown", func(*http.Request) (*response, *apiError) {
@@ -249,7 +253,7 @@ func (s *Server) handleList(*http.Request) (*response, *apiError) {
 
 func infoBody(e *catalog.Entry) wire.RelationInfo {
 	info := e.Info()
-	return wire.RelationInfo{
+	out := wire.RelationInfo{
 		Schema:       wire.FromSchema(info.Schema),
 		Versions:     info.Versions,
 		Declarations: wire.FromDescriptors(info.Declarations),
@@ -258,6 +262,16 @@ func infoBody(e *catalog.Entry) wire.RelationInfo {
 			Reasons: info.Advice.Reasons,
 		},
 	}
+	if len(info.Plans) > 0 {
+		out.Plans = make(map[string]wire.PlanMetrics, len(info.Plans))
+		for kind, ks := range info.Plans {
+			out.Plans[kind] = wire.PlanMetrics{
+				Requests: uint64(ks.Queries),
+				Touched:  uint64(ks.Touched),
+			}
+		}
+	}
+	return out
 }
 
 func (s *Server) handleCreate(r *http.Request) (*response, *apiError) {
@@ -425,14 +439,88 @@ func (s *Server) handleQuery(r *http.Request) (*response, *apiError) {
 		return nil, errBadRequest("unknown query kind %q (want %s|%s|%s|%s)",
 			req.Kind, wire.QueryCurrent, wire.QueryTimeslice, wire.QueryRollback, wire.QueryAsOf)
 	}
+	if res.Node != nil {
+		s.metrics.RecordPlan(res.Node.Leaf().Kind.String(), res.Touched)
+	}
 	return &response{
 		body: wire.QueryResponse{
 			Elements: wire.FromElements(res.Elements),
 			Plan:     res.Plan,
+			PlanNode: wire.FromPlanNode(res.Node),
 			Touched:  res.Touched,
 		},
 		touched: res.Touched,
 	}, nil
+}
+
+// handleExplain plans a query without running it. The query is given
+// either as a full statement (?query=SELECT ...) or as the engine
+// vocabulary (?kind=current|timeslice|rollback|asof&vt=...&tt=...).
+func (s *Server) handleExplain(r *http.Request) (*response, *apiError) {
+	e, aerr := s.entry(r)
+	if aerr != nil {
+		return nil, aerr
+	}
+	name := r.PathValue("name")
+	params := r.URL.Query()
+
+	var node *plan.Node
+	var echo string
+	if src := params.Get("query"); src != "" {
+		q, err := tsql.Parse(src)
+		if err != nil {
+			return nil, errBadRequest("%s", err.Error())
+		}
+		if q.Rel != name {
+			return nil, errBadRequest("statement queries %q, endpoint addresses %q", q.Rel, name)
+		}
+		node = e.Explain(q)
+		echo = src
+	} else {
+		kind := params.Get("kind")
+		parse := func(key string) (int64, *apiError) {
+			v := params.Get(key)
+			if v == "" {
+				return 0, nil
+			}
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return 0, errBadRequest("bad %s %q", key, v)
+			}
+			return n, nil
+		}
+		vt, aerr := parse("vt")
+		if aerr != nil {
+			return nil, aerr
+		}
+		tt, aerr := parse("tt")
+		if aerr != nil {
+			return nil, aerr
+		}
+		var pq plan.Query
+		switch kind {
+		case wire.QueryCurrent:
+			pq = plan.Query{Kind: plan.QCurrent}
+		case wire.QueryTimeslice:
+			pq = plan.Query{Kind: plan.QTimeslice, VTLo: vt, VTHi: vt + 1}
+		case wire.QueryRollback:
+			pq = plan.Query{Kind: plan.QRollback, TT: tt}
+		case wire.QueryAsOf:
+			pq = plan.Query{Kind: plan.QAsOf, VTLo: vt, TT: tt}
+		default:
+			return nil, errBadRequest("need ?query=... or ?kind=%s|%s|%s|%s",
+				wire.QueryCurrent, wire.QueryTimeslice, wire.QueryRollback, wire.QueryAsOf)
+		}
+		node = e.PlanFor(pq)
+		echo = fmt.Sprintf("kind=%s vt=%d tt=%d", kind, vt, tt)
+	}
+	return &response{body: wire.ExplainResponse{
+		Relation: name,
+		Query:    echo,
+		Store:    e.Info().Advice.Store.String(),
+		Plan:     wire.FromPlanNode(node),
+		Rendered: node.Render(),
+	}}, nil
 }
 
 func (s *Server) handleClassify(r *http.Request) (*response, *apiError) {
@@ -467,16 +555,34 @@ func (s *Server) handleSelect(r *http.Request) (*response, *apiError) {
 	if err != nil {
 		return nil, mapError(err)
 	}
-	res, touched, err := e.Select(q)
+	if q.Explain {
+		node := e.Explain(q)
+		return &response{body: wire.ExplainResponse{
+			Relation: q.Rel,
+			Query:    req.Query,
+			Store:    e.Info().Advice.Store.String(),
+			Plan:     wire.FromPlanNode(node),
+			Rendered: node.Render(),
+		}}, nil
+	}
+	res, node, touched, err := e.Select(q)
 	if err != nil {
 		return nil, errBadRequest("%s", err.Error())
+	}
+	if node != nil {
+		s.metrics.RecordPlan(node.Leaf().Kind.String(), touched)
 	}
 	rows := make([][]wire.Value, len(res.Rows))
 	for i, row := range res.Rows {
 		rows[i] = wire.FromValues(row)
 	}
 	return &response{
-		body:    wire.SelectResponse{Columns: res.Columns, Rows: rows, Touched: touched},
+		body: wire.SelectResponse{
+			Columns: res.Columns,
+			Rows:    rows,
+			Plan:    wire.FromPlanNode(node),
+			Touched: touched,
+		},
 		touched: touched,
 	}, nil
 }

@@ -83,6 +83,8 @@ func (s *Session) execRemote(cmd string, args []string, line string) error {
 		return s.remoteList(ctx)
 	case "select":
 		return s.remoteSelect(ctx, line)
+	case "explain":
+		return s.remoteExplain(ctx, line)
 	case "save":
 		return s.remoteSnapshot(ctx)
 	case "metrics":
@@ -324,6 +326,16 @@ func (s *Session) remoteSelect(ctx context.Context, line string) error {
 	return nil
 }
 
+func (s *Session) remoteExplain(ctx context.Context, line string) error {
+	res, err := s.rem.cli.ExplainSelect(ctx, line)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "%s (store: %s)\n", res.Relation, res.Store)
+	fmt.Fprintln(s.out, res.Rendered)
+	return nil
+}
+
 func (s *Session) remoteSnapshot(ctx context.Context) error {
 	n, err := s.rem.cli.Snapshot(ctx)
 	if err != nil {
@@ -342,6 +354,13 @@ func (s *Session) remoteMetrics(ctx context.Context) error {
 	for name, ep := range m.Endpoints {
 		fmt.Fprintf(s.out, "  %-10s %6d req  %5d err  mean %dµs  touched %d\n",
 			name, ep.Requests, ep.Errors, ep.MeanUS, ep.Touched)
+	}
+	if len(m.Plans) > 0 {
+		fmt.Fprintln(s.out, "plans:")
+		for kind, ps := range m.Plans {
+			fmt.Fprintf(s.out, "  %-20s %6d quer(y/ies)  touched %d\n",
+				kind, ps.Requests, ps.Touched)
+		}
 	}
 	return nil
 }

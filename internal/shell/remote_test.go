@@ -34,6 +34,7 @@ func TestRemoteModeSession(t *testing.T) {
 		"current emp",
 		"timeslice emp 5",
 		"select * from emp",
+		"explain select * from emp when valid at 5",
 		"classify emp",
 		"advise emp",
 		"list",
@@ -51,6 +52,8 @@ func TestRemoteModeSession(t *testing.T) {
 		"rejected",
 		"2 element(s)",
 		"1 element(s)",
+		"emp (store: vt-ordered log)", // declared sequential: advisor picked the vt log
+		"vt-binary-search on vt-ordered log",
 		"satisfied specializations:",
 		"storage advice:",
 		"1 relation(s)",

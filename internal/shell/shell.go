@@ -111,7 +111,7 @@ func (s *Session) Exec(line string) error {
 		return s.clock(args)
 	case "dump":
 		return s.dump(args)
-	case "select":
+	case "select", "explain":
 		return s.selectQuery(line)
 	case "save":
 		return s.save(args)
@@ -145,6 +145,8 @@ func (s *Session) help() {
       select name, salary from emp as of 25 when valid at 100 where salary > 150
       select who from shifts when meets [100, 120)
       select name from emp order by salary desc limit 10
+  explain select ...   show the typed query plan instead of running it, e.g.:
+      explain select * from temps when valid at 100
   save <rel> <file> | load <rel> <file>   (checksummed backlog format)
   clock <rel> advance <seconds>
   vacuum <rel> <horizon-tt>

@@ -300,3 +300,24 @@ func TestSaveLoadDeclarationsRoundTrip(t *testing.T) {
 		t.Errorf("valid continuation missing: %d current", len(r2.Current()))
 	}
 }
+
+func TestLocalExplain(t *testing.T) {
+	_, out := runScript(t,
+		"create temps event second",
+		"insert temps vt=5",
+		"insert temps vt=15",
+		"explain select * from temps when valid at 5",
+	)
+	// Local relations sit on the general heap: a timeslice plans as a
+	// full scan under current-state, rendered as a one-column result.
+	for _, want := range []string{
+		"plan",
+		"current-state",
+		"-> full-scan on heap (est. touched 2)",
+		"row(s))",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
+	}
+}

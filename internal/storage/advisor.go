@@ -3,6 +3,7 @@ package storage
 import (
 	"repro/internal/core"
 	"repro/internal/element"
+	"repro/internal/plan"
 )
 
 // Advice is the advisor's physical-design recommendation for a relation
@@ -23,6 +24,50 @@ func (a Advice) New() Store {
 	return NewHeap()
 }
 
+// PlanOrg maps the storage kind onto the planner's organization
+// vocabulary.
+func (k Kind) PlanOrg() plan.Org {
+	switch k {
+	case TTOrdered:
+		return plan.OrgTTLog
+	case VTOrdered:
+		return plan.OrgVTLog
+	}
+	return plan.OrgHeap
+}
+
+// adviseN is the representative relation size the advisor costs candidate
+// organizations at. Any size large enough to separate logarithmic from
+// linear access paths yields the same ranking.
+const adviseN = 1 << 17
+
+// nominalBoundSpan stands in for the (unknown at advise time) width of a
+// declared offset bound's tt window: narrow enough that the pushdown beats
+// a scan, wide enough that it never beats a true valid-time order.
+const nominalBoundSpan = 1 << 10
+
+// candidate is one physical organization the declarations license, with
+// the paper's reasons for it.
+type candidate struct {
+	store   Kind
+	reasons []string
+	bounded bool // tt-window pushdown available (declared two-sided bound)
+}
+
+// mixCost prices the advisor's representative query mix — one historical
+// time-slice plus one rollback — on the candidate via the shared planner,
+// so the advice is derived from the very cost model the engine executes
+// against and the two can never drift.
+func (c candidate) mixCost() int {
+	a := plan.Access{Org: c.store.PlanOrg(), N: adviseN}
+	if c.bounded {
+		a.HasOffsetBounds, a.OffsetLo, a.OffsetHi = true, 0, nominalBoundSpan
+	}
+	ts := plan.Build(a, plan.Query{Kind: plan.QTimeslice, VTLo: 0, VTHi: 1})
+	rb := plan.Build(a, plan.Query{Kind: plan.QRollback})
+	return ts.Leaf().Est + rb.Leaf().Est
+}
+
 // Advise maps declared specialization classes to a physical organization,
 // following the paper's optimization remarks:
 //
@@ -38,7 +83,11 @@ func (a Advice) New() Store {
 //     a separate index, whose cost the general design pays and the
 //     specialized ones avoid).
 //
-// stampKind says whether the relation is event- or interval-stamped.
+// The declarations determine which organizations are sound; the choice
+// among the sound ones is made by pricing a representative query mix with
+// the planner's cost estimator (internal/plan), ties keeping the earlier,
+// more specialized candidate. stampKind says whether the relation is
+// event- or interval-stamped.
 func Advise(classes []core.Class, stampKind element.TimestampKind) Advice {
 	has := make(map[core.Class]bool, len(classes))
 	for _, c := range classes {
@@ -48,35 +97,50 @@ func Advise(classes []core.Class, stampKind element.TimestampKind) Advice {
 			has[a] = true
 		}
 	}
+	var cands []candidate
+	// At most one declaration rule licenses the vt-ordered log; the rule
+	// that fires carries its own reasons.
 	switch {
 	case has[core.Degenerate]:
-		return Advice{Store: VTOrdered, Reasons: []string{
+		cands = append(cands, candidate{store: VTOrdered, reasons: []string{
 			"degenerate: vt = tt, so the relation is append-only in a single shared order",
 			"treat as a rollback relation; the tt log doubles as a vt index",
-		}}
+		}})
 	case stampKind == element.EventStamp && has[core.GloballySequentialEvents]:
-		return Advice{Store: VTOrdered, Reasons: []string{
+		cands = append(cands, candidate{store: VTOrdered, reasons: []string{
 			"globally sequential: valid time approximates transaction time",
 			"append-only log supports historical as well as rollback queries",
-		}}
+		}})
 	case stampKind == element.EventStamp && has[core.GloballyNonDecreasingEvents]:
-		return Advice{Store: VTOrdered, Reasons: []string{
+		cands = append(cands, candidate{store: VTOrdered, reasons: []string{
 			"globally non-decreasing: elements arrive in valid time-stamp order",
-		}}
+		}})
 	case stampKind == element.IntervalStamp && has[core.GloballySequentialIntervals]:
-		return Advice{Store: VTOrdered, Reasons: []string{
+		cands = append(cands, candidate{store: VTOrdered, reasons: []string{
 			"globally sequential intervals: non-overlapping and entered in order",
 			"interval starts and ends are both non-decreasing; binary search is sound",
-		}}
-	default:
-		reasons := []string{
-			"no valid-time ordering declared: valid-time queries must scan",
-			"tt-ordered arrival log still accelerates rollback",
-		}
-		if stampKind == element.EventStamp && has[core.StronglyBounded] {
-			reasons = append(reasons,
-				"two-sided bound declared: enable tt-window pushdown for valid-time queries (EnableBoundedPushdown)")
-		}
-		return Advice{Store: TTOrdered, Reasons: reasons}
+		}})
 	}
+	// The general organizations are always sound: the tt-ordered arrival
+	// log (with the pushdown when a two-sided bound is declared) and the
+	// heap.
+	general := candidate{store: TTOrdered, reasons: []string{
+		"no valid-time ordering declared: valid-time queries must scan",
+		"tt-ordered arrival log still accelerates rollback",
+	}}
+	if stampKind == element.EventStamp && has[core.StronglyBounded] {
+		general.bounded = true
+		general.reasons = append(general.reasons,
+			"two-sided bound declared: enable tt-window pushdown for valid-time queries (EnableBoundedPushdown)")
+	}
+	cands = append(cands, general, candidate{store: Heap})
+
+	best := cands[0]
+	bestCost := best.mixCost()
+	for _, c := range cands[1:] {
+		if cost := c.mixCost(); cost < bestCost {
+			best, bestCost = c, cost
+		}
+	}
+	return Advice{Store: best.store, Reasons: best.reasons}
 }

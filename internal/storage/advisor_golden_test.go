@@ -1,0 +1,121 @@
+package storage_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/element"
+	"repro/internal/storage"
+)
+
+// referenceAdvise is a frozen transcription of the advisor's original
+// declaration-driven switch. The advisor now derives its choice from the
+// planner's cost model; this reference pins the decision (store and
+// reasons) so a cost-model change that silently flips any advice fails
+// loudly here instead of surfacing as a plan regression downstream.
+func referenceAdvise(classes []core.Class, stampKind element.TimestampKind) storage.Advice {
+	has := make(map[core.Class]bool, len(classes))
+	for _, c := range classes {
+		has[c] = true
+		for _, a := range core.Ancestors(c) {
+			has[a] = true
+		}
+	}
+	switch {
+	case has[core.Degenerate]:
+		return storage.Advice{Store: storage.VTOrdered, Reasons: []string{
+			"degenerate: vt = tt, so the relation is append-only in a single shared order",
+			"treat as a rollback relation; the tt log doubles as a vt index",
+		}}
+	case stampKind == element.EventStamp && has[core.GloballySequentialEvents]:
+		return storage.Advice{Store: storage.VTOrdered, Reasons: []string{
+			"globally sequential: valid time approximates transaction time",
+			"append-only log supports historical as well as rollback queries",
+		}}
+	case stampKind == element.EventStamp && has[core.GloballyNonDecreasingEvents]:
+		return storage.Advice{Store: storage.VTOrdered, Reasons: []string{
+			"globally non-decreasing: elements arrive in valid time-stamp order",
+		}}
+	case stampKind == element.IntervalStamp && has[core.GloballySequentialIntervals]:
+		return storage.Advice{Store: storage.VTOrdered, Reasons: []string{
+			"globally sequential intervals: non-overlapping and entered in order",
+			"interval starts and ends are both non-decreasing; binary search is sound",
+		}}
+	}
+	reasons := []string{
+		"no valid-time ordering declared: valid-time queries must scan",
+		"tt-ordered arrival log still accelerates rollback",
+	}
+	if stampKind == element.EventStamp && has[core.StronglyBounded] {
+		reasons = append(reasons,
+			"two-sided bound declared: enable tt-window pushdown for valid-time queries (EnableBoundedPushdown)")
+	}
+	return storage.Advice{Store: storage.TTOrdered, Reasons: reasons}
+}
+
+// TestAdviseGolden walks the powerset of the classes that drive the
+// advisor's decision — plus a few that must not — crossed with both stamp
+// kinds, and requires the cost-driven advisor to reproduce the reference
+// decision exactly.
+func TestAdviseGolden(t *testing.T) {
+	drivers := []core.Class{
+		core.Degenerate,
+		core.StronglyBounded,
+		core.GloballySequentialEvents,
+		core.GloballyNonDecreasingEvents,
+		core.GloballySequentialIntervals,
+	}
+	// Inert passengers: these never change the advice on their own but
+	// ride along to prove set membership, not set size, drives the choice.
+	passengers := [][]core.Class{
+		nil,
+		{core.Retroactive},
+		{core.TTEventRegular, core.STMeets},
+	}
+	for mask := 0; mask < 1<<len(drivers); mask++ {
+		var base []core.Class
+		for i, c := range drivers {
+			if mask&(1<<i) != 0 {
+				base = append(base, c)
+			}
+		}
+		for _, extra := range passengers {
+			classes := append(append([]core.Class{}, base...), extra...)
+			for _, stamp := range []element.TimestampKind{element.EventStamp, element.IntervalStamp} {
+				name := fmt.Sprintf("mask=%05b/extra=%d/stamp=%v", mask, len(extra), stamp)
+				t.Run(name, func(t *testing.T) {
+					got := storage.Advise(classes, stamp)
+					want := referenceAdvise(classes, stamp)
+					if got.Store != want.Store {
+						t.Fatalf("Advise(%v, %v).Store = %v, want %v", classes, stamp, got.Store, want.Store)
+					}
+					if !reflect.DeepEqual(got.Reasons, want.Reasons) {
+						t.Errorf("Advise(%v, %v).Reasons =\n  %q\nwant\n  %q", classes, stamp, got.Reasons, want.Reasons)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestAdviseSpecializationImplication checks that declaring a class
+// specialized below a driver still triggers the driver's rule: the
+// delayed strongly-retroactively-bounded class generalizes to strongly
+// bounded, which licenses the pushdown on the general store.
+func TestAdviseSpecializationImplication(t *testing.T) {
+	a := storage.Advise([]core.Class{core.DelayedStronglyRetroactivelyBounded}, element.EventStamp)
+	if a.Store != storage.TTOrdered {
+		t.Fatalf("store = %v, want %v", a.Store, storage.TTOrdered)
+	}
+	found := false
+	for _, r := range a.Reasons {
+		if r == "two-sided bound declared: enable tt-window pushdown for valid-time queries (EnableBoundedPushdown)" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("pushdown reason missing from %q", a.Reasons)
+	}
+}

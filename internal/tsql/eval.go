@@ -8,6 +8,7 @@ import (
 	"repro/internal/chronon"
 	"repro/internal/element"
 	"repro/internal/interval"
+	"repro/internal/plan"
 	"repro/internal/relation"
 )
 
@@ -23,7 +24,14 @@ var pseudoColumns = []string{"es", "os", "tt_start", "tt_end", "vt", "vt_start",
 // Eval runs the query against the relation. The caller resolves the
 // relation by name (the query's Rel field) before calling.
 func Eval(q *Query, r *relation.Relation) (*Result, error) {
-	schema := r.Schema()
+	return EvalOn(q, r.Schema(), r.Versions())
+}
+
+// EvalOn runs the query over an explicit version list — either a
+// relation's full backlog or the candidate set a planned access path
+// produced. Every clause is (re-)applied, so a caller may pass a superset
+// of the answer; the predicates are idempotent.
+func EvalOn(q *Query, schema relation.Schema, versions []*element.Element) (*Result, error) {
 	cols := q.Columns
 	if len(cols) == 0 {
 		// SELECT *: surrogates, stamps, then attributes in schema order.
@@ -71,7 +79,7 @@ func Eval(q *Query, r *relation.Relation) (*Result, error) {
 
 	res := &Result{Columns: cols}
 	var keys []element.Value
-	for _, e := range r.Versions() {
+	for _, e := range versions {
 		// Transaction-time selection: AS OF tt, else the current state.
 		if q.HasAsOf {
 			if !e.PresentAt(q.AsOf) {
@@ -320,7 +328,10 @@ func cmpFloat(a, b float64) int {
 }
 
 // Run parses and evaluates a query in one step, resolving the relation
-// through the lookup function.
+// through the lookup function. An EXPLAIN statement returns the rendered
+// plan as a one-column result instead of executing. Standalone relations
+// carry no advisor-chosen store, so the plan is built for a heap of the
+// relation's size — evaluation here is always a scan of the backlog.
 func Run(src string, lookup func(name string) (*relation.Relation, bool)) (*Result, error) {
 	q, err := Parse(src)
 	if err != nil {
@@ -330,7 +341,21 @@ func Run(src string, lookup func(name string) (*relation.Relation, bool)) (*Resu
 	if !ok {
 		return nil, fmt.Errorf("tsql: no relation %q", q.Rel)
 	}
+	if q.Explain {
+		node := Compile(q, plan.Access{Org: plan.OrgHeap, N: r.Len()})
+		return ExplainResult(node), nil
+	}
 	return Eval(q, r)
+}
+
+// ExplainResult renders a compiled plan as a one-column result, so every
+// surface that formats query results can show EXPLAIN output unchanged.
+func ExplainResult(node *plan.Node) *Result {
+	res := &Result{Columns: []string{"plan"}}
+	for _, line := range strings.Split(node.Render(), "\n") {
+		res.Rows = append(res.Rows, []element.Value{element.String_(line)})
+	}
+	return res
 }
 
 // Format renders a result as an aligned text table.

@@ -1,10 +1,12 @@
 package tsql
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/chronon"
 	"repro/internal/element"
+	"repro/internal/plan"
 	"repro/internal/relation"
 	"repro/internal/tx"
 )
@@ -47,5 +49,60 @@ func FuzzParse(f *testing.F) {
 		}
 		// Whatever parses must evaluate or fail cleanly — never panic.
 		_, _ = Eval(q, r)
+	})
+}
+
+// FuzzParseExplain drives the EXPLAIN path: anything that parses must
+// compile to a plan and render without panicking, for every combination of
+// store capability the planner distinguishes, and the rendered tree must
+// agree with the one-line plan name on its access path.
+func FuzzParseExplain(f *testing.F) {
+	for _, seed := range []string{
+		"explain select * from emp",
+		"explain select * from emp when valid at 100",
+		"explain select name from emp as of 25 when valid at 100 where salary > 150",
+		"explain select who from shifts when meets [100, 120)",
+		"explain select x from y when valid during [5, 50) order by x limit 3",
+		"explain explain select * from emp",
+		"explain",
+		"select * from emp when valid at 100",
+	} {
+		f.Add(seed)
+	}
+	accesses := []plan.Access{
+		{Org: plan.OrgHeap, N: 100},
+		{Org: plan.OrgHeap, N: 100, VTIndex: true},
+		{Org: plan.OrgTTLog, N: 100},
+		{Org: plan.OrgTTLog, N: 100, HasOffsetBounds: true, OffsetLo: -10, OffsetHi: 10},
+		{Org: plan.OrgVTLog, N: 100},
+		{Org: plan.OrgVTLog, N: 0},
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		for _, a := range accesses {
+			node := Compile(q, a)
+			if node == nil {
+				t.Fatalf("Compile(%q, %+v) returned nil", src, a)
+			}
+			rendered := node.Render()
+			if rendered == "" {
+				t.Fatalf("empty rendering for %q", src)
+			}
+			res := ExplainResult(node)
+			if len(res.Columns) != 1 || len(res.Rows) == 0 {
+				t.Fatalf("ExplainResult shape: %d column(s), %d row(s)", len(res.Columns), len(res.Rows))
+			}
+			// The one-line name and the rendered tree describe the same leaf.
+			if !strings.Contains(node.String(), node.Leaf().Org.String()) &&
+				!node.Leaf().Bitemporal &&
+				node.Leaf().Kind != plan.TTWindowPushdown &&
+				node.Leaf().Kind != plan.BTreeIndexSeek {
+				t.Fatalf("plan name %q does not name the leaf organization %q",
+					node.String(), node.Leaf().Org)
+			}
+		}
 	})
 }

@@ -11,6 +11,10 @@ import (
 
 // Query is a parsed temporal query.
 type Query struct {
+	// Explain marks an EXPLAIN SELECT: compile and render the plan
+	// instead of executing it.
+	Explain bool
+
 	Columns []string // empty means *
 	Rel     string
 
@@ -118,6 +122,10 @@ func Parse(src string) (*Query, error) {
 	}
 	p := &parser{toks: toks}
 	q := &Query{}
+	if p.peekKeyword("explain") {
+		p.take()
+		q.Explain = true
+	}
 	if err := p.keyword("select"); err != nil {
 		return nil, err
 	}

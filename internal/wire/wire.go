@@ -24,6 +24,7 @@ import (
 	"repro/internal/constraint"
 	"repro/internal/core"
 	"repro/internal/element"
+	"repro/internal/plan"
 	"repro/internal/relation"
 )
 
@@ -39,12 +40,12 @@ type Value struct {
 }
 
 // Value constructors for client code.
-func Null() Value            { return Value{Kind: "null"} }
-func String(s string) Value  { return Value{Kind: "string", Str: s} }
-func Int(i int64) Value      { return Value{Kind: "int", Int: i} }
-func Float(f float64) Value  { return Value{Kind: "float", Float: f} }
-func Bool(b bool) Value      { return Value{Kind: "bool", Bool: b} }
-func Time(c int64) Value     { return Value{Kind: "time", Time: c} }
+func Null() Value           { return Value{Kind: "null"} }
+func String(s string) Value { return Value{Kind: "string", Str: s} }
+func Int(i int64) Value     { return Value{Kind: "int", Int: i} }
+func Float(f float64) Value { return Value{Kind: "float", Float: f} }
+func Bool(b bool) Value     { return Value{Kind: "bool", Bool: b} }
+func Time(c int64) Value    { return Value{Kind: "time", Time: c} }
 
 // ToValue converts a wire value into an engine value.
 func (v Value) ToValue() (element.Value, error) {
@@ -452,11 +453,79 @@ type QueryRequest struct {
 }
 
 // QueryResponse carries the result set with the access-path accounting the
-// storage advisor's organization produced.
+// storage advisor's organization produced. Plan is the legacy one-line
+// rendering; PlanNode is the structured tree it renders.
 type QueryResponse struct {
 	Elements []Element `json:"elements"`
 	Plan     string    `json:"plan,omitempty"`
+	PlanNode *PlanNode `json:"plan_node,omitempty"`
 	Touched  int       `json:"touched"`
+}
+
+// PlanNode is the structured form of a typed query plan: one access-path
+// leaf under zero or more decorators, innermost via Input.
+type PlanNode struct {
+	Kind string `json:"kind"` // plan.NodeKind slug, e.g. "vt-binary-search"
+	// Org is the organization an access-path leaf reads ("heap",
+	// "tt-ordered log", "vt-ordered log", or "bitemporal" for the
+	// two-dimension scan).
+	Org string `json:"org,omitempty"`
+	// WinLo, WinHi carry a tt-window pushdown's inclusive window.
+	WinLo *int64 `json:"win_lo,omitempty"`
+	WinHi *int64 `json:"win_hi,omitempty"`
+	// Note annotates filter decorators; Count is a limit's row cap.
+	Note  string `json:"note,omitempty"`
+	Count int    `json:"count,omitempty"`
+	// Est is the planner's estimated touched count.
+	Est   int       `json:"est"`
+	Input *PlanNode `json:"input,omitempty"`
+}
+
+// FromPlanNode converts a typed plan tree for the wire.
+func FromPlanNode(n *plan.Node) *PlanNode {
+	if n == nil {
+		return nil
+	}
+	out := &PlanNode{
+		Kind:  n.Kind.String(),
+		Note:  n.Note,
+		Count: n.Count,
+		Est:   n.Est,
+		Input: FromPlanNode(n.Input),
+	}
+	if n.Input == nil { // access-path leaf
+		if n.Bitemporal {
+			out.Org = "bitemporal"
+		} else {
+			out.Org = n.Org.String()
+		}
+	}
+	if n.Kind == plan.TTWindowPushdown {
+		lo, hi := n.WinLo, n.WinHi
+		out.WinLo, out.WinHi = &lo, &hi
+	}
+	return out
+}
+
+// Leaf walks to the access-path leaf.
+func (n *PlanNode) Leaf() *PlanNode {
+	for n.Input != nil {
+		n = n.Input
+	}
+	return n
+}
+
+// ExplainResponse is a structured plan for a statement or query kind,
+// returned without executing it.
+type ExplainResponse struct {
+	Relation string `json:"relation"`
+	// Query echoes the statement (or synthesized kind) that was planned.
+	Query string `json:"query"`
+	// Store is the advisor-chosen physical organization the plan targets.
+	Store string    `json:"store"`
+	Plan  *PlanNode `json:"plan"`
+	// Rendered is the human-readable tree (one line per node).
+	Rendered string `json:"rendered"`
 }
 
 // SelectRequest runs a raw tsql SELECT statement.
@@ -464,10 +533,11 @@ type SelectRequest struct {
 	Query string `json:"query"`
 }
 
-// SelectResponse is a tabular query result.
+// SelectResponse is a tabular query result with the executed plan.
 type SelectResponse struct {
 	Columns []string  `json:"columns"`
 	Rows    [][]Value `json:"rows"`
+	Plan    *PlanNode `json:"plan,omitempty"`
 	Touched int       `json:"touched"`
 }
 
@@ -492,10 +562,11 @@ type Advice struct {
 
 // RelationInfo describes one relation in full.
 type RelationInfo struct {
-	Schema       Schema       `json:"schema"`
-	Versions     int          `json:"versions"`
-	Declarations []Descriptor `json:"declarations,omitempty"`
-	Advice       Advice       `json:"advice"`
+	Schema       Schema                 `json:"schema"`
+	Versions     int                    `json:"versions"`
+	Declarations []Descriptor           `json:"declarations,omitempty"`
+	Advice       Advice                 `json:"advice"`
+	Plans        map[string]PlanMetrics `json:"plans,omitempty"`
 }
 
 // ClassifyResponse reports the inferred specializations of an extension.
@@ -539,20 +610,28 @@ const (
 
 // EndpointMetrics aggregates one endpoint's request accounting.
 type EndpointMetrics struct {
-	Requests   uint64 `json:"requests"`
-	Errors     uint64 `json:"errors"`
-	LatencyUS  int64  `json:"latency_total_us"`
-	MinUS      int64  `json:"latency_min_us"`
-	MaxUS      int64  `json:"latency_max_us"`
-	MeanUS     int64  `json:"latency_mean_us"`
-	Touched    uint64 `json:"elements_touched"`
+	Requests  uint64 `json:"requests"`
+	Errors    uint64 `json:"errors"`
+	LatencyUS int64  `json:"latency_total_us"`
+	MinUS     int64  `json:"latency_min_us"`
+	MaxUS     int64  `json:"latency_max_us"`
+	MeanUS    int64  `json:"latency_mean_us"`
+	Touched   uint64 `json:"elements_touched"`
+}
+
+// PlanMetrics aggregates one plan kind's query accounting.
+type PlanMetrics struct {
+	Requests uint64 `json:"requests"`
+	Touched  uint64 `json:"elements_touched"`
 }
 
 // MetricsResponse is the /metrics body: per-endpoint request counts,
-// latency summaries, and elements-touched counters.
+// latency summaries, elements-touched counters, and the per-plan-kind
+// breakdown of query work (keyed by plan.NodeKind slugs).
 type MetricsResponse struct {
 	UptimeSeconds int64                      `json:"uptime_seconds"`
 	Requests      uint64                     `json:"requests"`
 	Errors        uint64                     `json:"errors"`
 	Endpoints     map[string]EndpointMetrics `json:"endpoints"`
+	Plans         map[string]PlanMetrics     `json:"plans,omitempty"`
 }
