@@ -2,7 +2,7 @@ GO ?= go
 
 # Packages whose tests exercise shared mutable state across goroutines;
 # these run a second time under the race detector in `make ci`.
-RACE_PKGS = ./internal/relation ./internal/catalog ./internal/server ./internal/tx ./client
+RACE_PKGS = ./internal/relation ./internal/catalog ./internal/server ./internal/tx ./internal/wal ./client
 
 .PHONY: ci build vet fmt test race fuzz fuzz-smoke bench clean
 
@@ -45,9 +45,10 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz='^FuzzParseCivil$$' -fuzztime=5s ./internal/chronon
 	$(GO) test -run=NONE -fuzz='^FuzzParseGranularity$$' -fuzztime=5s ./internal/chronon
 	$(GO) test -run=NONE -fuzz='^FuzzRead$$' -fuzztime=5s ./internal/backlog
+	$(GO) test -run=NONE -fuzz='^FuzzWALReplay$$' -fuzztime=5s ./internal/wal
 
-# Regenerate every figure/claim table plus the serving benchmark
-# (writes BENCH_serving.json in the working directory).
+# Regenerate every figure/claim table plus the serving and durability
+# benchmarks (writes BENCH_*.json in the working directory).
 bench:
 	$(GO) run ./cmd/benchrunner
 

@@ -43,6 +43,7 @@ type (
 	ClassifyResponse = wire.ClassifyResponse
 	HealthResponse   = wire.HealthResponse
 	MetricsResponse  = wire.MetricsResponse
+	WALMetrics       = wire.WALMetrics
 	DeclareResponse  = wire.DeclareResponse
 )
 

@@ -4,9 +4,15 @@
 // (POST /v1/snapshot), and flushes the whole catalog atomically on
 // SIGINT/SIGTERM before exiting.
 //
+// Mutations are write-ahead logged by default (-wal-dir, defaulting to
+// <data>/wal): each insert, delete, modify, declare, and create is appended
+// and made durable per -wal-sync before the request is acknowledged, and the
+// log is replayed over the snapshots on boot, so a kill -9 loses nothing
+// acknowledged. Pass -wal-dir off for the pre-WAL snapshot-only behavior.
+//
 // Usage:
 //
-//	tsdbd -addr :7070 -data ./tsdb-data -snapshot-interval 30s
+//	tsdbd -addr :7070 -data ./tsdb-data -snapshot-interval 30s -wal-sync group
 //
 // Quickstart against a running server:
 //
@@ -33,11 +39,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/server"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -48,23 +56,46 @@ func main() {
 		reqTimeout  = flag.Duration("request-timeout", 15*time.Second, "per-request handling timeout")
 		maxBody     = flag.Int64("max-body", 1<<20, "maximum request body size in bytes")
 		idleTimeout = flag.Duration("idle-timeout", 60*time.Second, "keep-alive idle timeout")
+		walDir      = flag.String("wal-dir", "", "write-ahead log directory (default <data>/wal; \"off\" disables durability logging)")
+		walSync     = flag.String("wal-sync", "group", "WAL sync policy: always, group, or interval")
+		walSegBytes = flag.Int64("wal-segment-bytes", 64<<20, "WAL segment roll threshold in bytes")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *dataDir, *snapEvery, *reqTimeout, *maxBody, *idleTimeout); err != nil {
+	if err := run(*addr, *dataDir, *snapEvery, *reqTimeout, *maxBody, *idleTimeout, *walDir, *walSync, *walSegBytes); err != nil {
 		log.Fatalf("tsdbd: %v", err)
 	}
 }
 
-func run(addr, dataDir string, snapEvery, reqTimeout time.Duration, maxBody int64, idleTimeout time.Duration) error {
+func run(addr, dataDir string, snapEvery, reqTimeout time.Duration, maxBody int64, idleTimeout time.Duration, walDir, walSync string, walSegBytes int64) error {
 	if err := os.MkdirAll(dataDir, 0o755); err != nil {
 		return fmt.Errorf("creating data dir: %w", err)
 	}
-	cat := catalog.New(catalog.Config{Dir: dataDir})
+	var wlog *wal.Log
+	if walDir == "" {
+		walDir = filepath.Join(dataDir, "wal")
+	}
+	if walDir != "off" {
+		policy, err := wal.ParseSyncPolicy(walSync)
+		if err != nil {
+			return err
+		}
+		wlog, err = wal.Open(wal.Options{Dir: walDir, Sync: policy, SegmentBytes: walSegBytes})
+		if err != nil {
+			return fmt.Errorf("opening wal: %w", err)
+		}
+		defer wlog.Close()
+	}
+	cat := catalog.New(catalog.Config{Dir: dataDir, WAL: wlog})
 	if err := cat.Open(); err != nil {
 		return fmt.Errorf("opening catalog: %w", err)
 	}
 	log.Printf("catalog: %d relation(s) loaded from %s", cat.Len(), dataDir)
+	if wlog != nil {
+		st := wlog.Stats()
+		log.Printf("wal: %s (%s sync), %d segment(s), %d record(s) replayed in %s",
+			walDir, walSync, st.Segments, st.Replayed, st.ReplayDuration.Round(time.Microsecond))
+	}
 
 	srv := server.New(server.Config{
 		Catalog:        cat,

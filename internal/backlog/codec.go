@@ -37,9 +37,11 @@ import (
 const (
 	magic = "TSBL"
 	// Format versions: 1 = schema + records; 2 adds a declarations block
-	// (the constraint catalog) between the schema and the records. Version
-	// 1 streams remain readable.
-	formatVersion = 2
+	// (the constraint catalog) between the schema and the records; 3 adds
+	// a state block (the applied write-ahead-log LSN) after the
+	// declarations, which makes WAL replay after a snapshot idempotent.
+	// Version 1 and 2 streams remain readable.
+	formatVersion = 3
 	// maxBody bounds a single record body; a record holds one element, so
 	// anything larger indicates corruption.
 	maxBody = 1 << 24
@@ -60,6 +62,13 @@ func Write(w io.Writer, r *relation.Relation) error {
 // WriteWithDeclarations serializes the relation's schema, its declared
 // specializations (the constraint catalog), and its backlog to w.
 func WriteWithDeclarations(w io.Writer, r *relation.Relation, decls []constraint.Descriptor) error {
+	return WriteWithState(w, r, decls, 0)
+}
+
+// WriteWithState is WriteWithDeclarations plus the relation's applied
+// write-ahead-log LSN: every WAL record at or below walLSN is reflected in
+// the stream, so boot-time replay can skip them.
+func WriteWithState(w io.Writer, r *relation.Relation, decls []constraint.Descriptor, walLSN uint64) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(magic); err != nil {
 		return err
@@ -71,6 +80,10 @@ func WriteWithDeclarations(w io.Writer, r *relation.Relation, decls []constraint
 		return err
 	}
 	if err := writeBlock(bw, encodeDeclarations(decls)); err != nil {
+		return err
+	}
+	state := binary.LittleEndian.AppendUint64(nil, walLSN)
+	if err := writeBlock(bw, state); err != nil {
 		return err
 	}
 	records := r.Backlog()
@@ -98,8 +111,15 @@ func Read(rd io.Reader) (relation.Schema, []relation.LogRecord, error) {
 // ReadWithDeclarations deserializes a schema, declaration catalog, and
 // backlog from rd. Version-1 streams yield an empty catalog.
 func ReadWithDeclarations(rd io.Reader) (relation.Schema, []constraint.Descriptor, []relation.LogRecord, error) {
-	fail := func(err error) (relation.Schema, []constraint.Descriptor, []relation.LogRecord, error) {
-		return relation.Schema{}, nil, nil, err
+	schema, decls, records, _, err := ReadWithState(rd)
+	return schema, decls, records, err
+}
+
+// ReadWithState is ReadWithDeclarations plus the applied write-ahead-log
+// LSN. Streams older than version 3 yield zero (no WAL coverage claimed).
+func ReadWithState(rd io.Reader) (relation.Schema, []constraint.Descriptor, []relation.LogRecord, uint64, error) {
+	fail := func(err error) (relation.Schema, []constraint.Descriptor, []relation.LogRecord, uint64, error) {
+		return relation.Schema{}, nil, nil, 0, err
 	}
 	br := bufio.NewReader(rd)
 	head := make([]byte, len(magic)+2)
@@ -110,7 +130,7 @@ func ReadWithDeclarations(rd io.Reader) (relation.Schema, []constraint.Descripto
 		return fail(fmt.Errorf("%w: bad magic", ErrCorrupt))
 	}
 	version := binary.LittleEndian.Uint16(head[len(magic):])
-	if version != 1 && version != formatVersion {
+	if version < 1 || version > formatVersion {
 		return fail(fmt.Errorf("backlog: unsupported format version %d", version))
 	}
 	schemaBody, err := readBlock(br)
@@ -132,6 +152,17 @@ func ReadWithDeclarations(rd io.Reader) (relation.Schema, []constraint.Descripto
 			return fail(err)
 		}
 	}
+	var walLSN uint64
+	if version >= 3 {
+		stateBody, err := readBlock(br)
+		if err != nil {
+			return fail(err)
+		}
+		if len(stateBody) != 8 {
+			return fail(fmt.Errorf("%w: bad state block", ErrCorrupt))
+		}
+		walLSN = binary.LittleEndian.Uint64(stateBody)
+	}
 	var records []relation.LogRecord
 	for {
 		// The trailer is exactly the last 12 bytes of the stream, so the
@@ -149,7 +180,7 @@ func ReadWithDeclarations(rd io.Reader) (relation.Schema, []constraint.Descripto
 			if count != uint64(len(records)) {
 				return fail(fmt.Errorf("%w: trailer records %d, read %d", ErrCorrupt, count, len(records)))
 			}
-			return schema, decls, records, nil
+			return schema, decls, records, walLSN, nil
 		}
 		body, err := readBlock(br)
 		if err != nil {

@@ -73,12 +73,25 @@ func decodeDeclarations(b []byte) ([]constraint.Descriptor, error) {
 // SaveWithDeclarations writes the relation and its constraint catalog to a
 // file atomically.
 func SaveWithDeclarations(path string, r *relation.Relation, decls []constraint.Descriptor) error {
+	return SaveWithState(path, r, decls, 0)
+}
+
+// SaveWithState is SaveWithDeclarations plus the relation's applied
+// write-ahead-log LSN. The write is atomic (temp file + rename) and
+// fsynced before the rename, so a snapshot claiming WAL coverage is never
+// less durable than the log records it lets the catalog skip.
+func SaveWithState(path string, r *relation.Relation, decls []constraint.Descriptor, walLSN uint64) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	if err := WriteWithDeclarations(f, r, decls); err != nil {
+	if err := WriteWithState(f, r, decls, walLSN); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
@@ -95,22 +108,29 @@ func SaveWithDeclarations(path string, r *relation.Relation, decls []constraint.
 // transactions are validated against the restored declarations exactly as
 // they were against the originals.
 func LoadWithDeclarations(path string, clock tx.Clock) (*relation.Relation, []constraint.Descriptor, error) {
+	r, decls, _, err := LoadWithState(path, clock)
+	return r, decls, err
+}
+
+// LoadWithState is LoadWithDeclarations plus the applied write-ahead-log
+// LSN the snapshot recorded (zero for pre-WAL streams).
+func LoadWithState(path string, clock tx.Clock) (*relation.Relation, []constraint.Descriptor, uint64, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	defer f.Close()
-	schema, decls, records, err := ReadWithDeclarations(f)
+	schema, decls, records, walLSN, err := ReadWithState(f)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	r, err := relation.Replay(schema, clock, records)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	byScope, err := constraint.BuildAll(decls)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	for scope, cs := range byScope {
 		en := constraint.NewEnforcer(scope, cs...)
@@ -121,5 +141,5 @@ func LoadWithDeclarations(path string, clock tx.Clock) (*relation.Relation, []co
 		}
 		r.AddGuard(en)
 	}
-	return r, decls, nil
+	return r, decls, walLSN, nil
 }

@@ -15,6 +15,7 @@
 package catalog
 
 import (
+	"encoding/binary"
 	"fmt"
 	"hash/fnv"
 	"os"
@@ -24,6 +25,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/backlog"
 	"repro/internal/chronon"
@@ -37,6 +39,7 @@ import (
 	"repro/internal/surrogate"
 	"repro/internal/tsql"
 	"repro/internal/tx"
+	"repro/internal/wal"
 )
 
 // Catalog errors.
@@ -68,7 +71,22 @@ type Config struct {
 	// NewClock supplies the transaction-time source for each relation
 	// (created or loaded). Nil defaults to tx.NewSystemClock.
 	NewClock func() tx.Clock
+	// WAL, when set, makes every mutation crash-safe: it is appended to
+	// the log and made durable per the log's sync policy before the call
+	// acknowledges. Open replays the log's recovered records over the
+	// snapshots, and Snapshot truncates segments the sweep has covered.
+	WAL *wal.Log
 }
+
+// WAL record kinds. These values are replayed from disk, so they must
+// stay stable across releases.
+const (
+	walCreate  wal.Kind = 1
+	walDeclare wal.Kind = 2
+	walInsert  wal.Kind = 3
+	walDelete  wal.Kind = 4
+	walModify  wal.Kind = 5
+)
 
 type shard struct {
 	mu      sync.RWMutex
@@ -103,44 +121,194 @@ func (c *Catalog) shardFor(name string) *shard {
 	return &c.shards[h.Sum32()%shardCount]
 }
 
-// Open loads every persisted relation from the data directory. Missing
-// directories are created; a corrupt backlog aborts the boot rather than
-// serving partial state.
+// Open loads every persisted relation from the data directory, then
+// replays the write-ahead log's recovered records over the snapshots.
+// Missing directories are created; a corrupt backlog or log aborts the
+// boot rather than serving partial state.
 func (c *Catalog) Open() error {
-	if c.cfg.Dir == "" {
-		return nil
-	}
-	if err := os.MkdirAll(c.cfg.Dir, 0o755); err != nil {
-		return fmt.Errorf("catalog: data dir: %w", err)
-	}
-	des, err := os.ReadDir(c.cfg.Dir)
-	if err != nil {
-		return fmt.Errorf("catalog: data dir: %w", err)
-	}
-	for _, de := range des {
-		if de.IsDir() || !strings.HasSuffix(de.Name(), fileSuffix) {
-			continue
+	if c.cfg.Dir != "" {
+		if err := os.MkdirAll(c.cfg.Dir, 0o755); err != nil {
+			return fmt.Errorf("catalog: data dir: %w", err)
 		}
-		name := strings.TrimSuffix(de.Name(), fileSuffix)
-		path := filepath.Join(c.cfg.Dir, de.Name())
-		r, decls, err := backlog.LoadWithDeclarations(path, c.newClock())
+		des, err := os.ReadDir(c.cfg.Dir)
 		if err != nil {
-			return fmt.Errorf("catalog: loading %s: %w", path, err)
+			return fmt.Errorf("catalog: data dir: %w", err)
 		}
-		if r.Schema().Name != name {
-			return fmt.Errorf("catalog: %s holds relation %q, want %q", path, r.Schema().Name, name)
-		}
-		e := newEntry(name, relation.NewLocked(r), decls)
-		sh := c.shardFor(name)
-		sh.mu.Lock()
-		if _, dup := sh.entries[name]; dup {
+		for _, de := range des {
+			if de.IsDir() || !strings.HasSuffix(de.Name(), fileSuffix) {
+				continue
+			}
+			name := strings.TrimSuffix(de.Name(), fileSuffix)
+			path := filepath.Join(c.cfg.Dir, de.Name())
+			r, decls, walLSN, err := backlog.LoadWithState(path, c.newClock())
+			if err != nil {
+				return fmt.Errorf("catalog: loading %s: %w", path, err)
+			}
+			if r.Schema().Name != name {
+				return fmt.Errorf("catalog: %s holds relation %q, want %q", path, r.Schema().Name, name)
+			}
+			e := newEntry(name, relation.NewLocked(r), decls)
+			e.wal = c.cfg.WAL
+			e.walLSN.Store(walLSN)
+			sh := c.shardFor(name)
+			sh.mu.Lock()
+			if _, dup := sh.entries[name]; dup {
+				sh.mu.Unlock()
+				return fmt.Errorf("catalog: duplicate relation %q in data dir", name)
+			}
+			sh.entries[name] = e
 			sh.mu.Unlock()
-			return fmt.Errorf("catalog: duplicate relation %q in data dir", name)
 		}
-		sh.entries[name] = e
-		sh.mu.Unlock()
+	}
+	if w := c.cfg.WAL; w != nil {
+		start := time.Now()
+		touched := make(map[*Entry]bool)
+		for _, rec := range w.TakeRecovered() {
+			e, err := c.applyWALRecord(rec)
+			if err != nil {
+				return fmt.Errorf("catalog: wal replay, lsn %d: %w", rec.LSN, err)
+			}
+			if e != nil {
+				touched[e] = true
+			}
+		}
+		// One engine rebuild per touched relation, after all its records
+		// landed — the store reload is O(versions), not O(versions²).
+		for e := range touched {
+			_ = e.locked.Exclusive(func(r *relation.Relation) error {
+				_ = e.rebuildEngine(r)
+				return nil
+			})
+			e.dirty.Store(true)
+		}
+		w.AddReplayDuration(time.Since(start))
 	}
 	return nil
+}
+
+// applyWALRecord redoes one recovered log record. Records a snapshot
+// already covers (LSN at or below the relation's persisted watermark) are
+// skipped, which is what makes replay idempotent across partially
+// truncated logs. Returns the touched entry, or nil when skipped.
+func (c *Catalog) applyWALRecord(rec wal.Record) (*Entry, error) {
+	if rec.Kind == walCreate {
+		schema, err := backlog.DecodeSchema(rec.Payload)
+		if err != nil {
+			return nil, err
+		}
+		if schema.Name != rec.Rel {
+			return nil, fmt.Errorf("create record for %q holds schema %q", rec.Rel, schema.Name)
+		}
+		sh := c.shardFor(rec.Rel)
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		if _, dup := sh.entries[rec.Rel]; dup {
+			return nil, nil // the snapshot file already restored it
+		}
+		e := newEntry(rec.Rel, relation.NewLocked(relation.New(schema, c.newClock())), nil)
+		e.wal = c.cfg.WAL
+		e.walLSN.Store(rec.LSN)
+		e.dirty.Store(true)
+		sh.entries[rec.Rel] = e
+		return e, nil
+	}
+	e, err := c.Get(rec.Rel)
+	if err != nil {
+		return nil, err
+	}
+	if rec.LSN <= e.walLSN.Load() {
+		return nil, nil
+	}
+	var applyErr error
+	_ = e.locked.Exclusive(func(r *relation.Relation) error {
+		switch rec.Kind {
+		case walInsert, walDelete:
+			lrec, err := backlog.DecodeRecord(rec.Payload)
+			if err != nil {
+				applyErr = err
+				return nil
+			}
+			applyErr = r.ApplyLog(lrec)
+		case walModify:
+			del, ins, err := decodeModify(rec.Payload)
+			if err != nil {
+				applyErr = err
+				return nil
+			}
+			if applyErr = r.ApplyLog(del); applyErr != nil {
+				return nil
+			}
+			applyErr = r.ApplyLog(ins)
+		case walDeclare:
+			descs, err := backlog.DecodeDeclarations(rec.Payload)
+			if err != nil {
+				applyErr = err
+				return nil
+			}
+			byScope, err := constraint.BuildAll(descs)
+			if err != nil {
+				applyErr = err
+				return nil
+			}
+			for scope, cs := range byScope {
+				en := constraint.NewEnforcer(scope, cs...)
+				// The history was validated when the declaration was first
+				// accepted; warm the enforcer without re-checking.
+				for _, brec := range r.Backlog() {
+					en.Applied(r, brec.Op, brec.Elem, brec.TT)
+				}
+				r.AddGuard(en)
+			}
+			e.decls = append(e.decls, descs...)
+		default:
+			applyErr = fmt.Errorf("unknown record kind %d", rec.Kind)
+		}
+		return nil
+	})
+	if applyErr != nil {
+		return nil, applyErr
+	}
+	e.walLSN.Store(rec.LSN)
+	return e, nil
+}
+
+// encodeModify frames a modification's delete and insert records (one
+// transaction time) into a single WAL payload, so the pair replays
+// atomically: recovery never sees the delete without the insert.
+func encodeModify(del, ins relation.LogRecord) []byte {
+	db := backlog.EncodeRecord(del)
+	ib := backlog.EncodeRecord(ins)
+	out := make([]byte, 0, 8+len(db)+len(ib))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(db)))
+	out = append(out, db...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(ib)))
+	return append(out, ib...)
+}
+
+func decodeModify(b []byte) (del, ins relation.LogRecord, err error) {
+	next := func() (relation.LogRecord, error) {
+		if len(b) < 4 {
+			return relation.LogRecord{}, fmt.Errorf("short modify payload")
+		}
+		n := int(binary.LittleEndian.Uint32(b))
+		b = b[4:]
+		if n < 0 || n > len(b) {
+			return relation.LogRecord{}, fmt.Errorf("bad modify payload framing")
+		}
+		rec, err := backlog.DecodeRecord(b[:n])
+		b = b[n:]
+		return rec, err
+	}
+	if del, err = next(); err != nil {
+		return del, ins, err
+	}
+	if ins, err = next(); err != nil {
+		return del, ins, err
+	}
+	if len(b) != 0 {
+		return del, ins, fmt.Errorf("trailing modify payload bytes")
+	}
+	return del, ins, nil
 }
 
 // Create adds an empty relation under schema.Name. The name must satisfy
@@ -155,16 +323,39 @@ func (c *Catalog) Create(schema relation.Schema) (*Entry, error) {
 	}
 	r := relation.New(schema, c.newClock())
 	e := newEntry(name, relation.NewLocked(r), nil)
+	e.wal = c.cfg.WAL
 	e.dirty.Store(true) // persist even if never written to
 	sh := c.shardFor(name)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	if _, dup := sh.entries[name]; dup {
+		sh.mu.Unlock()
 		return nil, fmt.Errorf("%w: %q", ErrExists, name)
 	}
+	var lsn uint64
+	if w := c.cfg.WAL; w != nil {
+		var werr error
+		// Logged under the shard lock so the create's WAL position matches
+		// its catalog visibility order; creates are rare.
+		lsn, werr = w.Write(walCreate, name, backlog.EncodeSchema(schema))
+		if werr != nil {
+			sh.mu.Unlock()
+			return nil, fmt.Errorf("catalog: wal: %w", werr)
+		}
+		e.walLSN.Store(lsn)
+	}
 	sh.entries[name] = e
+	sh.mu.Unlock()
+	if w := c.cfg.WAL; w != nil {
+		if err := w.WaitDurable(lsn); err != nil {
+			return nil, fmt.Errorf("catalog: wal: %w", err)
+		}
+	}
 	return e, nil
 }
+
+// WAL exposes the catalog's write-ahead log (nil when disabled), for the
+// server's metrics endpoint.
+func (c *Catalog) WAL() *wal.Log { return c.cfg.WAL }
 
 // Get resolves a relation by name.
 func (c *Catalog) Get(name string) (*Entry, error) {
@@ -209,9 +400,29 @@ func (c *Catalog) Len() int {
 // written atomically (temp file + rename). It returns the number of
 // relations saved. Writers to a relation block only while that relation is
 // being serialized, not for the whole sweep.
+//
+// Truncation protocol: the sweep first reads the WAL's durable watermark.
+// Every record at or below it was applied to memory before the sweep's
+// per-relation locks were taken (the catalog appends and applies under one
+// exclusive section), so after a fully successful sweep each such record
+// is either inside a fresh snapshot or inside a file an earlier snapshot
+// wrote and the relation has not dirtied since. Only then are segments
+// wholly at or below the watermark deleted. A partially failed sweep
+// truncates nothing.
 func (c *Catalog) Snapshot() (int, error) {
 	if c.cfg.Dir == "" {
 		return 0, nil
+	}
+	w := c.cfg.WAL
+	var cut uint64
+	if w != nil {
+		if err := w.Err(); err != nil {
+			// The log is poisoned (fail-stop): a snapshot now could persist
+			// writes that were never acknowledged. Refuse; the operator
+			// restarts the server, which recovers the durable prefix.
+			return 0, fmt.Errorf("catalog: wal unhealthy, refusing snapshot: %w", err)
+		}
+		cut = w.DurableLSN()
 	}
 	saved := 0
 	for _, name := range c.Names() {
@@ -225,6 +436,11 @@ func (c *Catalog) Snapshot() (int, error) {
 		}
 		if ok {
 			saved++
+		}
+	}
+	if w != nil {
+		if _, err := w.TruncateBelow(cut); err != nil {
+			return saved, fmt.Errorf("catalog: wal truncation: %w", err)
 		}
 	}
 	return saved, nil
@@ -253,6 +469,12 @@ type Entry struct {
 	// dirty marks unsaved changes; atomic so snapshots (shared lock) can
 	// clear it while other readers run.
 	dirty atomic.Bool
+
+	// wal is the catalog's write-ahead log (nil when disabled). walLSN is
+	// the LSN of the relation's latest logged mutation; snapshots persist
+	// it so boot-time replay can skip records the snapshot covers.
+	wal    *wal.Log
+	walLSN atomic.Uint64
 
 	// plans counts queries and touched elements per plan kind over the
 	// entry's lifetime. It lives here rather than on the engine because
@@ -350,13 +572,32 @@ func (e *Entry) rebuildEngine(r *relation.Relation) error {
 
 // Insert stores a new element as one transaction and feeds it to the
 // physical store, atomically with respect to queries.
+//
+// With a WAL attached the transaction is write-ahead logged: it is staged
+// (validated and transaction-stamped), framed into the log, and only then
+// applied to memory, all under the relation's exclusive lock so the log's
+// per-relation order is the commit order. The acknowledgment then waits
+// for the record to be durable per the log's sync policy; a failed wait
+// surfaces as an error and the log's fail-stop poisoning keeps the
+// not-yet-durable tail out of every future snapshot.
 func (e *Entry) Insert(ins relation.Insertion) (*element.Element, error) {
 	var out *element.Element
+	var lsn uint64
 	err := e.locked.Exclusive(func(r *relation.Relation) error {
-		el, err := r.Insert(ins)
+		el, err := r.StageInsert(ins)
 		if err != nil {
 			return err
 		}
+		if e.wal != nil {
+			rec := relation.LogRecord{Op: relation.OpInsert, TT: el.TTStart, Elem: el}
+			l, werr := e.wal.Write(walInsert, e.name, backlog.EncodeRecord(rec))
+			if werr != nil {
+				return fmt.Errorf("catalog: wal: %w", werr)
+			}
+			lsn = l
+			e.walLSN.Store(lsn)
+		}
+		r.CommitInsert(el)
 		out = el
 		if serr := e.engine.Store().Insert(el); serr != nil {
 			// Ordering promise broken despite enforcement (e.g. constraint
@@ -367,7 +608,26 @@ func (e *Entry) Insert(ins relation.Insertion) (*element.Element, error) {
 		e.dirty.Store(true)
 		return nil
 	})
-	return out, err
+	if err != nil {
+		return nil, err
+	}
+	if err := e.waitDurable(lsn); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// waitDurable blocks until the entry's latest logged mutation is durable.
+// Called outside the relation lock, so concurrent committers on other
+// relations (and later ones on this relation) share the group fsync.
+func (e *Entry) waitDurable(lsn uint64) error {
+	if e.wal == nil {
+		return nil
+	}
+	if err := e.wal.WaitDurable(lsn); err != nil {
+		return fmt.Errorf("catalog: wal: %w", err)
+	}
+	return nil
 }
 
 func (e *Entry) decls2general(r *relation.Relation, cause error) {
@@ -381,34 +641,74 @@ func (e *Entry) decls2general(r *relation.Relation, cause error) {
 
 // Delete logically removes an element. The physical stores share element
 // pointers with the relation, so the tt⊣ update is visible to them without
-// restructuring.
+// restructuring. Write-ahead logged like Insert.
 func (e *Entry) Delete(es surrogate.Surrogate) error {
-	return e.locked.Exclusive(func(r *relation.Relation) error {
-		if err := r.Delete(es); err != nil {
-			return err
-		}
-		e.dirty.Store(true)
-		return nil
-	})
-}
-
-// Modify replaces an element's valid time and varying values (a logical
-// delete plus an insert at one transaction time).
-func (e *Entry) Modify(es surrogate.Surrogate, vt element.Timestamp, varying []element.Value) (*element.Element, error) {
-	var out *element.Element
+	var lsn uint64
 	err := e.locked.Exclusive(func(r *relation.Relation) error {
-		el, err := r.Modify(es, vt, varying)
+		el, tt, err := r.StageDelete(es)
 		if err != nil {
 			return err
 		}
-		out = el
-		if serr := e.engine.Store().Insert(el); serr != nil {
+		if e.wal != nil {
+			// The element still carries tt⊣ = forever here; replay only needs
+			// its surrogate and the record's transaction time.
+			rec := relation.LogRecord{Op: relation.OpDelete, TT: tt, Elem: el}
+			l, werr := e.wal.Write(walDelete, e.name, backlog.EncodeRecord(rec))
+			if werr != nil {
+				return fmt.Errorf("catalog: wal: %w", werr)
+			}
+			lsn = l
+			e.walLSN.Store(lsn)
+		}
+		r.CommitDelete(el, tt)
+		e.dirty.Store(true)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return e.waitDurable(lsn)
+}
+
+// Modify replaces an element's valid time and varying values (a logical
+// delete plus an insert at one transaction time). The pair is logged as a
+// single WAL record so recovery applies both or neither.
+func (e *Entry) Modify(es surrogate.Surrogate, vt element.Timestamp, varying []element.Value) (*element.Element, error) {
+	var out *element.Element
+	var lsn uint64
+	err := e.locked.Exclusive(func(r *relation.Relation) error {
+		old, repl, tt, err := r.StageModify(es, vt, varying)
+		if err != nil {
+			return err
+		}
+		if e.wal != nil {
+			payload := encodeModify(
+				relation.LogRecord{Op: relation.OpDelete, TT: tt, Elem: old},
+				relation.LogRecord{Op: relation.OpInsert, TT: tt, Elem: repl},
+			)
+			l, werr := e.wal.Write(walModify, e.name, payload)
+			if werr != nil {
+				return fmt.Errorf("catalog: wal: %w", werr)
+			}
+			lsn = l
+			e.walLSN.Store(lsn)
+		}
+		r.CommitDelete(old, tt)
+		r.CommitInsert(repl)
+		out = repl
+		if serr := e.engine.Store().Insert(repl); serr != nil {
 			e.decls2general(r, serr)
 		}
 		e.dirty.Store(true)
 		return nil
 	})
-	return out, err
+	if err != nil {
+		return nil, err
+	}
+	if err := e.waitDurable(lsn); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Declare attaches the descriptors' constraints as enforcers, one per
@@ -425,7 +725,8 @@ func (e *Entry) Declare(descs []constraint.Descriptor) error {
 	if err != nil {
 		return err
 	}
-	return e.locked.Exclusive(func(r *relation.Relation) error {
+	var lsn uint64
+	err = e.locked.Exclusive(func(r *relation.Relation) error {
 		var enforcers []*constraint.Enforcer
 		for scope, cs := range byScope {
 			en := constraint.NewEnforcer(scope, cs...)
@@ -447,6 +748,15 @@ func (e *Entry) Declare(descs []constraint.Descriptor) error {
 			}
 			enforcers = append(enforcers, en)
 		}
+		if e.wal != nil {
+			// Validation passed; log the declaration before attaching it.
+			l, werr := e.wal.Write(walDeclare, e.name, backlog.EncodeDeclarations(descs))
+			if werr != nil {
+				return fmt.Errorf("catalog: wal: %w", werr)
+			}
+			lsn = l
+			e.walLSN.Store(lsn)
+		}
 		for _, en := range enforcers {
 			r.AddGuard(en)
 		}
@@ -460,6 +770,10 @@ func (e *Entry) Declare(descs []constraint.Descriptor) error {
 		e.dirty.Store(true)
 		return nil
 	})
+	if err != nil {
+		return err
+	}
+	return e.waitDurable(lsn)
 }
 
 // QueryResult is a catalog query answer with its access-path accounting.
@@ -637,7 +951,7 @@ func (e *Entry) snapshotTo(path string) (bool, error) {
 		if !e.dirty.Swap(false) {
 			return nil
 		}
-		if err := backlog.SaveWithDeclarations(path, r, e.decls); err != nil {
+		if err := backlog.SaveWithState(path, r, e.decls, e.walLSN.Load()); err != nil {
 			e.dirty.Store(true) // retry on the next snapshot
 			return err
 		}

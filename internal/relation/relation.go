@@ -131,38 +131,22 @@ type Insertion struct {
 // is quantized to the schema granularity. On a guard rejection the relation
 // is unchanged and the error wraps the guard's.
 func (r *Relation) Insert(ins Insertion) (*element.Element, error) {
-	e, err := r.buildElement(ins)
+	e, err := r.StageInsert(ins)
 	if err != nil {
 		return nil, err
 	}
-	e.TTStart = r.clock.Next()
-	e.TTEnd = chronon.Forever
-	for _, g := range r.guards {
-		if err := g.CheckInsert(r, e); err != nil {
-			return nil, fmt.Errorf("relation %s: insert rejected: %w", r.schema.Name, err)
-		}
-	}
-	r.applyInsert(e)
+	r.CommitInsert(e)
 	return e, nil
 }
 
 // Delete logically removes the element with the given element surrogate as
 // a single transaction, setting its tt⊣ to the transaction time.
 func (r *Relation) Delete(es surrogate.Surrogate) error {
-	e, ok := r.byES[es]
-	if !ok {
-		return fmt.Errorf("relation %s: delete %v: %w", r.schema.Name, es, ErrNoSuchElement)
+	e, tt, err := r.StageDelete(es)
+	if err != nil {
+		return err
 	}
-	if !e.Current() {
-		return fmt.Errorf("relation %s: delete %v: %w", r.schema.Name, es, ErrAlreadyDeleted)
-	}
-	tt := r.clock.Next()
-	for _, g := range r.guards {
-		if err := g.CheckDelete(r, e, tt); err != nil {
-			return fmt.Errorf("relation %s: delete rejected: %w", r.schema.Name, err)
-		}
-	}
-	r.applyDelete(e, tt)
+	r.CommitDelete(e, tt)
 	return nil
 }
 
@@ -172,36 +156,12 @@ func (r *Relation) Delete(es surrogate.Surrogate) error {
 // the old object surrogate and time-invariant values; the valid time-stamp
 // and time-varying values are replaced.
 func (r *Relation) Modify(es surrogate.Surrogate, vt element.Timestamp, varying []element.Value) (*element.Element, error) {
-	old, ok := r.byES[es]
-	if !ok {
-		return nil, fmt.Errorf("relation %s: modify %v: %w", r.schema.Name, es, ErrNoSuchElement)
-	}
-	if !old.Current() {
-		return nil, fmt.Errorf("relation %s: modify %v: %w", r.schema.Name, es, ErrAlreadyDeleted)
-	}
-	repl, err := r.buildElement(Insertion{
-		Object:    old.OS,
-		VT:        vt,
-		Invariant: old.Invariant,
-		Varying:   varying,
-		UserTimes: old.UserTimes,
-	})
+	old, repl, tt, err := r.StageModify(es, vt, varying)
 	if err != nil {
 		return nil, err
 	}
-	tt := r.clock.Next()
-	repl.TTStart = tt
-	repl.TTEnd = chronon.Forever
-	for _, g := range r.guards {
-		if err := g.CheckDelete(r, old, tt); err != nil {
-			return nil, fmt.Errorf("relation %s: modify rejected: %w", r.schema.Name, err)
-		}
-		if err := g.CheckInsert(r, repl); err != nil {
-			return nil, fmt.Errorf("relation %s: modify rejected: %w", r.schema.Name, err)
-		}
-	}
-	r.applyDelete(old, tt)
-	r.applyInsert(repl)
+	r.CommitDelete(old, tt)
+	r.CommitInsert(repl)
 	return repl, nil
 }
 

@@ -230,7 +230,23 @@ func (s *Server) handleHealth(*http.Request) (*response, *apiError) {
 }
 
 func (s *Server) handleMetrics(*http.Request) (*response, *apiError) {
-	return &response{body: s.metrics.Report()}, nil
+	rep := s.metrics.Report()
+	if w := s.cat.WAL(); w != nil {
+		st := w.Stats()
+		rep.WAL = &wire.WALMetrics{
+			AppendedRecords:   st.Appended,
+			Fsyncs:            st.Fsyncs,
+			MeanBatch:         st.MeanBatch(),
+			MaxBatch:          st.MaxBatch,
+			ReplayedRecords:   st.Replayed,
+			LastReplayUS:      st.ReplayDuration.Microseconds(),
+			Segments:          st.Segments,
+			LastLSN:           st.LastLSN,
+			DurableLSN:        st.DurableLSN,
+			TruncatedSegments: st.TruncatedSegments,
+		}
+	}
+	return &response{body: rep}, nil
 }
 
 func (s *Server) handleList(*http.Request) (*response, *apiError) {

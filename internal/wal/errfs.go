@@ -1,0 +1,242 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Fault selects what ErrFS does when the armed operation count is reached.
+type Fault uint8
+
+const (
+	// FaultNone leaves the operation untouched.
+	FaultNone Fault = iota
+	// FaultError fails the armed operation once with ErrInjected; nothing
+	// is persisted by it and later operations proceed normally.
+	FaultError
+	// FaultShortWrite persists a prefix of the armed write, then fails it
+	// with ErrInjected (a torn frame on disk). Later operations proceed.
+	FaultShortWrite
+	// FaultCrash simulates the process dying at the armed operation: it and
+	// every later operation fail with ErrCrashed, and all bytes that were
+	// written but never fsynced are lost at CrashRecover.
+	FaultCrash
+)
+
+// Errors the fault-injecting file system returns.
+var (
+	ErrInjected = errors.New("errfs: injected fault")
+	ErrCrashed  = errors.New("errfs: simulated crash")
+)
+
+// ErrFS is an in-memory FS that models the durability boundary precisely:
+// each file splits into synced bytes (survive a crash) and pending bytes
+// (written but not fsynced; a crash discards them). FailAt arms a fault at
+// the k-th subsequent Write or Sync, so a test can kill the log at every
+// I/O boundary and assert what recovery sees.
+type ErrFS struct {
+	mu      sync.Mutex
+	files   map[string]*memFile
+	ops     int
+	armAt   int
+	armMode Fault
+	crashed bool
+}
+
+type memFile struct {
+	synced  []byte
+	pending []byte
+}
+
+// NewErrFS returns an empty fault-injecting file system.
+func NewErrFS() *ErrFS { return &ErrFS{files: make(map[string]*memFile)} }
+
+// FailAt arms a fault: counting from now, the k-th Write or Sync (1-based)
+// triggers mode. A zero k disarms.
+func (e *ErrFS) FailAt(k int, mode Fault) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if k <= 0 {
+		e.armAt, e.armMode = 0, FaultNone
+		return
+	}
+	e.armAt, e.armMode = e.ops+k, mode
+}
+
+// Ops reports how many Write/Sync operations have run so far.
+func (e *ErrFS) Ops() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ops
+}
+
+// Crashed reports whether a FaultCrash has triggered.
+func (e *ErrFS) Crashed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.crashed
+}
+
+// CrashRecover simulates the reboot after a crash: every file keeps only
+// its synced bytes, the operation counter restarts, and faults disarm.
+func (e *ErrFS) CrashRecover() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, f := range e.files {
+		f.pending = nil
+	}
+	e.ops, e.armAt, e.armMode, e.crashed = 0, 0, FaultNone, false
+}
+
+// Install seeds a file with raw bytes as if fully synced — the hook the
+// replay fuzzer uses to present arbitrary streams to Open.
+func (e *ErrFS) Install(name string, data []byte) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.files[name] = &memFile{synced: append([]byte(nil), data...)}
+}
+
+// step counts one Write/Sync and returns the fault to apply to it.
+// Caller holds e.mu.
+func (e *ErrFS) step() Fault {
+	if e.crashed {
+		return FaultCrash
+	}
+	e.ops++
+	if e.armAt != 0 && e.ops == e.armAt {
+		mode := e.armMode
+		if mode == FaultCrash {
+			e.crashed = true
+		} else {
+			e.armAt, e.armMode = 0, FaultNone
+		}
+		return mode
+	}
+	return FaultNone
+}
+
+func (e *ErrFS) List() ([]string, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.crashed {
+		return nil, ErrCrashed
+	}
+	out := make([]string, 0, len(e.files))
+	for n := range e.files {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func (e *ErrFS) ReadFile(name string) ([]byte, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.crashed {
+		return nil, ErrCrashed
+	}
+	f, ok := e.files[name]
+	if !ok {
+		return nil, fmt.Errorf("errfs: %s: no such file", name)
+	}
+	out := make([]byte, 0, len(f.synced)+len(f.pending))
+	out = append(out, f.synced...)
+	out = append(out, f.pending...)
+	return out, nil
+}
+
+func (e *ErrFS) Create(name string) (File, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.crashed {
+		return nil, ErrCrashed
+	}
+	// The name becomes durable at create (DirFS fsyncs the directory);
+	// the contents do not until Sync.
+	f := &memFile{}
+	e.files[name] = f
+	return &memHandle{fs: e, f: f}, nil
+}
+
+func (e *ErrFS) OpenAppend(name string, size int64) (File, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.crashed {
+		return nil, ErrCrashed
+	}
+	f, ok := e.files[name]
+	if !ok {
+		return nil, fmt.Errorf("errfs: %s: no such file", name)
+	}
+	data := append(append([]byte(nil), f.synced...), f.pending...)
+	if int64(len(data)) < size {
+		return nil, fmt.Errorf("errfs: %s: truncate beyond end", name)
+	}
+	f.synced, f.pending = data[:size], nil
+	return &memHandle{fs: e, f: f}, nil
+}
+
+func (e *ErrFS) Remove(name string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.crashed {
+		return ErrCrashed
+	}
+	if _, ok := e.files[name]; !ok {
+		return fmt.Errorf("errfs: %s: no such file", name)
+	}
+	delete(e.files, name)
+	return nil
+}
+
+type memHandle struct {
+	fs     *ErrFS
+	f      *memFile
+	closed bool
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, errors.New("errfs: write on closed file")
+	}
+	switch h.fs.step() {
+	case FaultError:
+		return 0, ErrInjected
+	case FaultShortWrite:
+		n := len(p) / 2
+		h.f.pending = append(h.f.pending, p[:n]...)
+		return n, ErrInjected
+	case FaultCrash:
+		return 0, ErrCrashed
+	}
+	h.f.pending = append(h.f.pending, p...)
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return errors.New("errfs: sync on closed file")
+	}
+	switch h.fs.step() {
+	case FaultError, FaultShortWrite:
+		return ErrInjected
+	case FaultCrash:
+		return ErrCrashed
+	}
+	h.f.synced = append(h.f.synced, h.f.pending...)
+	h.f.pending = nil
+	return nil
+}
+
+func (h *memHandle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.closed = true
+	return nil
+}

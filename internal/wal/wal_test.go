@@ -1,0 +1,338 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// payloads the tests append; each is distinct so replay order is checkable.
+func testPayload(i int) []byte { return []byte(fmt.Sprintf("payload-%04d", i)) }
+
+func mustOpen(t *testing.T, opts Options) *Log {
+	t.Helper()
+	l, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l
+}
+
+func appendN(t *testing.T, l *Log, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := l.Append(Kind(1), "rel", testPayload(i)); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+}
+
+func TestWALAppendReplayRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, Options{Dir: dir, Sync: SyncAlways})
+	for i := 0; i < 5; i++ {
+		lsn, err := l.Append(Kind(byte(i+1)), fmt.Sprintf("rel-%d", i), testPayload(i))
+		if err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		if lsn != uint64(i+1) {
+			t.Fatalf("Append %d: lsn = %d, want %d", i, lsn, i+1)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2 := mustOpen(t, Options{Dir: dir, Sync: SyncAlways})
+	defer l2.Close()
+	recs := l2.TakeRecovered()
+	if len(recs) != 5 {
+		t.Fatalf("recovered %d records, want 5", len(recs))
+	}
+	for i, r := range recs {
+		if r.LSN != uint64(i+1) || r.Kind != Kind(byte(i+1)) ||
+			r.Rel != fmt.Sprintf("rel-%d", i) || string(r.Payload) != string(testPayload(i)) {
+			t.Fatalf("record %d = %+v", i, r)
+		}
+	}
+	if got := l2.TakeRecovered(); got != nil {
+		t.Fatalf("second TakeRecovered = %v, want nil", got)
+	}
+	// Appending continues the LSN sequence.
+	lsn, err := l2.Append(Kind(9), "rel", nil)
+	if err != nil || lsn != 6 {
+		t.Fatalf("post-recovery Append = %d, %v; want 6", lsn, err)
+	}
+}
+
+func TestWALSegmentRollingAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, Options{Dir: dir, Sync: SyncAlways, SegmentBytes: 128})
+	appendN(t, l, 20)
+	st := l.Stats()
+	if st.Segments < 3 {
+		t.Fatalf("Segments = %d, want several (roll threshold 128B)", st.Segments)
+	}
+	if st.LastLSN != 20 || st.DurableLSN != 20 || st.Appended != 20 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2 := mustOpen(t, Options{Dir: dir, Sync: SyncAlways, SegmentBytes: 128})
+	defer l2.Close()
+	recs := l2.TakeRecovered()
+	if len(recs) != 20 {
+		t.Fatalf("recovered %d records, want 20", len(recs))
+	}
+	for i, r := range recs {
+		if r.LSN != uint64(i+1) || string(r.Payload) != string(testPayload(i)) {
+			t.Fatalf("record %d = %+v", i, r)
+		}
+	}
+}
+
+func TestWALTruncateBelow(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, Options{Dir: dir, Sync: SyncAlways, SegmentBytes: 128})
+	appendN(t, l, 20)
+	before := l.Stats().Segments
+	cut := l.DurableLSN()
+	removed, err := l.TruncateBelow(cut)
+	if err != nil {
+		t.Fatalf("TruncateBelow: %v", err)
+	}
+	if removed != before-1 {
+		t.Fatalf("removed %d segments, want %d (all but the active one)", removed, before-1)
+	}
+	if st := l.Stats(); st.Segments != 1 || st.TruncatedSegments != uint64(removed) {
+		t.Fatalf("stats after truncation = %+v", st)
+	}
+	// Appends continue and a reopen starts from the surviving segment.
+	if _, err := l.Append(Kind(1), "rel", testPayload(20)); err != nil {
+		t.Fatalf("Append after truncation: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	l2 := mustOpen(t, Options{Dir: dir, Sync: SyncAlways, SegmentBytes: 128})
+	defer l2.Close()
+	recs := l2.TakeRecovered()
+	if len(recs) == 0 || recs[len(recs)-1].LSN != 21 {
+		t.Fatalf("recovered %d records, last %v; want tail through lsn 21", len(recs), recs)
+	}
+	// Only the records the truncation kept (a suffix) are recovered.
+	if recs[0].LSN == 1 {
+		t.Fatal("truncated records reappeared on reopen")
+	}
+}
+
+func TestWALSyncPolicies(t *testing.T) {
+	for _, policy := range []SyncPolicy{SyncAlways, SyncGroup, SyncInterval} {
+		t.Run(policy.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			l := mustOpen(t, Options{Dir: dir, Sync: policy})
+			appendN(t, l, 10)
+			if err := l.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			l2 := mustOpen(t, Options{Dir: dir, Sync: policy})
+			defer l2.Close()
+			if n := len(l2.TakeRecovered()); n != 10 {
+				t.Fatalf("recovered %d records, want 10", n)
+			}
+		})
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for s, want := range map[string]SyncPolicy{"always": SyncAlways, "group": SyncGroup, "interval": SyncInterval} {
+		got, err := ParseSyncPolicy(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, %v", s, got, err)
+		}
+		if got.String() != s {
+			t.Fatalf("%v.String() = %q, want %q", got, got.String(), s)
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Fatal("ParseSyncPolicy(sometimes) succeeded")
+	}
+}
+
+func TestWALFailStopOnWriteError(t *testing.T) {
+	fs := NewErrFS()
+	l := mustOpen(t, Options{FS: fs, Sync: SyncAlways})
+	appendN(t, l, 3)
+	fs.FailAt(1, FaultError)
+	if _, err := l.Append(Kind(1), "rel", testPayload(3)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Append under fault = %v, want ErrInjected", err)
+	}
+	// The log is poisoned: later appends fail without touching the file.
+	if _, err := l.Append(Kind(1), "rel", testPayload(4)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Append after poison = %v, want sticky ErrInjected", err)
+	}
+	if err := l.Err(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Err = %v, want ErrInjected", err)
+	}
+	l.Close()
+
+	// Recovery sees exactly the acknowledged records.
+	l2 := mustOpen(t, Options{FS: fs, Sync: SyncAlways})
+	if n := len(l2.TakeRecovered()); n != 3 {
+		t.Fatalf("recovered %d records, want 3", n)
+	}
+	l2.Close()
+}
+
+func TestWALShortWriteTornFrame(t *testing.T) {
+	fs := NewErrFS()
+	l := mustOpen(t, Options{FS: fs, Sync: SyncAlways})
+	appendN(t, l, 3)
+	fs.FailAt(1, FaultShortWrite)
+	if _, err := l.Append(Kind(1), "rel", testPayload(3)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Append under short write = %v, want ErrInjected", err)
+	}
+	l.Close()
+
+	// The half-written frame is a torn tail; replay stops at record 3.
+	l2 := mustOpen(t, Options{FS: fs, Sync: SyncAlways})
+	defer l2.Close()
+	recs := l2.TakeRecovered()
+	if len(recs) != 3 {
+		t.Fatalf("recovered %d records, want 3", len(recs))
+	}
+	// And the log can append again past the discarded tail.
+	if lsn, err := l2.Append(Kind(1), "rel", testPayload(9)); err != nil || lsn != 4 {
+		t.Fatalf("Append after torn-tail recovery = %d, %v; want 4", lsn, err)
+	}
+}
+
+func TestWALGroupCommitBatches(t *testing.T) {
+	fs := NewErrFS()
+	l := mustOpen(t, Options{FS: fs, Sync: SyncGroup})
+	defer l.Close()
+	// Write a burst without waiting, then one WaitDurable for the last LSN:
+	// the elected leader must cover the whole burst with few fsyncs.
+	var last uint64
+	for i := 0; i < 50; i++ {
+		lsn, err := l.Write(Kind(1), "rel", testPayload(i))
+		if err != nil {
+			t.Fatalf("Write %d: %v", i, err)
+		}
+		last = lsn
+	}
+	if err := l.WaitDurable(last); err != nil {
+		t.Fatalf("WaitDurable: %v", err)
+	}
+	st := l.Stats()
+	if st.DurableLSN < last {
+		t.Fatalf("DurableLSN = %d, want >= %d", st.DurableLSN, last)
+	}
+	if st.MaxBatch < 2 {
+		t.Fatalf("MaxBatch = %d, want a batched fsync", st.MaxBatch)
+	}
+	if st.MeanBatch() <= 1 {
+		t.Fatalf("MeanBatch = %v, want > 1", st.MeanBatch())
+	}
+}
+
+func TestWALCorruptSealedSegmentRejected(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, Options{Dir: dir, Sync: SyncAlways, SegmentBytes: 128})
+	appendN(t, l, 20)
+	if l.Stats().Segments < 2 {
+		t.Fatal("test needs at least one sealed segment")
+	}
+	l.Close()
+
+	// Flip a payload byte in the FIRST (sealed) segment.
+	names, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(names) < 2 {
+		t.Fatalf("segments on disk = %v", names)
+	}
+	data, err := os.ReadFile(names[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-6] ^= 0xff
+	if err := os.WriteFile(names[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{Dir: dir, Sync: SyncAlways}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open over corrupt sealed segment = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestWALDamagedFinalHeaderRecreated(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, Options{Dir: dir, Sync: SyncAlways, SegmentBytes: 128})
+	appendN(t, l, 20)
+	segs := l.Stats().Segments
+	if segs < 2 {
+		t.Fatal("test needs a sealed segment")
+	}
+	l.Close()
+
+	// Mangle the FINAL segment's header: the crash-interrupted-roll case.
+	names, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	final := names[len(names)-1]
+	data, err := os.ReadFile(final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] ^= 0xff
+	if err := os.WriteFile(final, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := mustOpen(t, Options{Dir: dir, Sync: SyncAlways, SegmentBytes: 128})
+	defer l2.Close()
+	recs := l2.TakeRecovered()
+	if len(recs) == 0 || len(recs) >= 20 {
+		t.Fatalf("recovered %d records, want the sealed prefix only", len(recs))
+	}
+	for i, r := range recs {
+		if r.LSN != uint64(i+1) {
+			t.Fatalf("record %d has lsn %d", i, r.LSN)
+		}
+	}
+	// The active segment was recreated; the log accepts appends at the
+	// next LSN after the surviving prefix.
+	lsn, err := l2.Append(Kind(1), "rel", nil)
+	if err != nil || lsn != uint64(len(recs)+1) {
+		t.Fatalf("Append = %d, %v; want %d", lsn, err, len(recs)+1)
+	}
+}
+
+func TestWALClosedRejects(t *testing.T) {
+	l := mustOpen(t, Options{FS: NewErrFS(), Sync: SyncAlways})
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := l.Append(Kind(1), "rel", nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after Close = %v, want ErrClosed", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestWALRecordTooLarge(t *testing.T) {
+	l := mustOpen(t, Options{FS: NewErrFS(), Sync: SyncAlways})
+	defer l.Close()
+	if _, err := l.Append(Kind(1), "rel", make([]byte, maxFrame)); err == nil {
+		t.Fatal("oversized Append succeeded")
+	}
+	// The rejection is a validation error, not an I/O failure: the log
+	// stays healthy.
+	if err := l.Err(); err != nil {
+		t.Fatalf("Err after oversized append = %v, want nil", err)
+	}
+	if _, err := l.Append(Kind(1), "rel", []byte("ok")); err != nil {
+		t.Fatalf("Append after rejection: %v", err)
+	}
+}

@@ -625,13 +625,31 @@ type PlanMetrics struct {
 	Touched  uint64 `json:"elements_touched"`
 }
 
+// WALMetrics reports the write-ahead log's lifetime counters: append and
+// fsync volume (whose ratio is the group-commit batching factor), boot-time
+// replay accounting, and the current segment/LSN watermarks.
+type WALMetrics struct {
+	AppendedRecords   uint64  `json:"appended_records"`
+	Fsyncs            uint64  `json:"fsyncs"`
+	MeanBatch         float64 `json:"mean_batch"`
+	MaxBatch          uint64  `json:"max_batch"`
+	ReplayedRecords   uint64  `json:"replayed_records"`
+	LastReplayUS      int64   `json:"last_replay_us"`
+	Segments          int     `json:"segments"`
+	LastLSN           uint64  `json:"last_lsn"`
+	DurableLSN        uint64  `json:"durable_lsn"`
+	TruncatedSegments uint64  `json:"truncated_segments"`
+}
+
 // MetricsResponse is the /metrics body: per-endpoint request counts,
-// latency summaries, elements-touched counters, and the per-plan-kind
-// breakdown of query work (keyed by plan.NodeKind slugs).
+// latency summaries, elements-touched counters, the per-plan-kind
+// breakdown of query work (keyed by plan.NodeKind slugs), and the
+// write-ahead log gauges when durability is enabled.
 type MetricsResponse struct {
 	UptimeSeconds int64                      `json:"uptime_seconds"`
 	Requests      uint64                     `json:"requests"`
 	Errors        uint64                     `json:"errors"`
 	Endpoints     map[string]EndpointMetrics `json:"endpoints"`
 	Plans         map[string]PlanMetrics     `json:"plans,omitempty"`
+	WAL           *WALMetrics                `json:"wal,omitempty"`
 }
