@@ -4,7 +4,7 @@ GO ?= go
 # these run a second time under the race detector in `make ci`.
 RACE_PKGS = ./internal/relation ./internal/catalog ./internal/server ./internal/tx ./internal/wal ./client
 
-.PHONY: ci build vet fmt test race fuzz fuzz-smoke bench clean
+.PHONY: ci build vet fmt test race chaos fuzz fuzz-smoke bench clean
 
 # ci is the tier-1 gate: everything must build, vet and gofmt clean, pass
 # tests, and pass the race detector on the concurrency-bearing packages.
@@ -21,11 +21,19 @@ build:
 vet:
 	$(GO) vet ./...
 
+# -shuffle=on randomizes test order within each package so accidental
+# inter-test state dependence surfaces in CI instead of in the field.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race $(RACE_PKGS)
+	$(GO) test -race -shuffle=on $(RACE_PKGS)
+
+# The resilience acceptance tests: idempotent retry through connection
+# resets, WAL poisoning to read-only, crash recovery to exactly the acked
+# set, and graceful drain — all under the race detector.
+chaos:
+	$(GO) test -race -run 'Chaos|Drain' -v ./internal/server
 
 # Short smoke runs of the server decode fuzzers (they run as plain tests in
 # `make test`; this gives the mutation engine a little time on each).
@@ -46,9 +54,10 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz='^FuzzParseGranularity$$' -fuzztime=5s ./internal/chronon
 	$(GO) test -run=NONE -fuzz='^FuzzRead$$' -fuzztime=5s ./internal/backlog
 	$(GO) test -run=NONE -fuzz='^FuzzWALReplay$$' -fuzztime=5s ./internal/wal
+	$(GO) test -run=NONE -fuzz='^FuzzDecodeKeyed$$' -fuzztime=5s ./internal/catalog
 
-# Regenerate every figure/claim table plus the serving and durability
-# benchmarks (writes BENCH_*.json in the working directory).
+# Regenerate every figure/claim table plus the serving, durability, and
+# overload benchmarks (writes BENCH_*.json in the working directory).
 bench:
 	$(GO) run ./cmd/benchrunner
 

@@ -11,11 +11,15 @@ package client
 import (
 	"bytes"
 	"context"
+	crand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	mrand "math/rand/v2"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -42,6 +46,7 @@ type (
 	RelationInfo     = wire.RelationInfo
 	ClassifyResponse = wire.ClassifyResponse
 	HealthResponse   = wire.HealthResponse
+	ReadyResponse    = wire.ReadyResponse
 	MetricsResponse  = wire.MetricsResponse
 	WALMetrics       = wire.WALMetrics
 	DeclareResponse  = wire.DeclareResponse
@@ -70,12 +75,15 @@ const (
 
 // Error codes a server may return in an APIError.
 const (
-	CodeBadRequest = wire.CodeBadRequest
-	CodeNotFound   = wire.CodeNotFound
-	CodeConflict   = wire.CodeConflict
-	CodeRejected   = wire.CodeRejected
-	CodeTooLarge   = wire.CodeTooLarge
-	CodeInternal   = wire.CodeInternal
+	CodeBadRequest  = wire.CodeBadRequest
+	CodeNotFound    = wire.CodeNotFound
+	CodeConflict    = wire.CodeConflict
+	CodeRejected    = wire.CodeRejected
+	CodeTooLarge    = wire.CodeTooLarge
+	CodeInternal    = wire.CodeInternal
+	CodeOverloaded  = wire.CodeOverloaded
+	CodeUnavailable = wire.CodeUnavailable
+	CodeReadOnly    = wire.CodeReadOnly
 )
 
 // APIError is a structured error response from the server.
@@ -83,6 +91,9 @@ type APIError struct {
 	Status  int    // HTTP status
 	Code    string // machine-readable code, e.g. "rejected"
 	Message string
+	// RetryAfter is the server's Retry-After hint, when it sent one
+	// (shed and unavailable responses do). Zero means no hint.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -102,10 +113,79 @@ func IsNotFound(err error) bool {
 	return errors.As(err, &ae) && ae.Code == CodeNotFound
 }
 
+// IsOverloaded reports whether err is an admission-control shed: the
+// server bounced the request on arrival because the class's wait queue
+// was full. Retryable after backoff.
+func IsOverloaded(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Code == CodeOverloaded
+}
+
+// IsUnavailable reports whether err is a clean pre-execution refusal —
+// the server is draining, or the request waited out its admission
+// budget. Retryable (possibly against another replica).
+func IsUnavailable(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Code == CodeUnavailable
+}
+
+// IsReadOnly reports whether err is the degraded read-only mode: the
+// server's WAL has poisoned and mutations are refused until an operator
+// restarts it. Not retryable against the same process.
+func IsReadOnly(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Code == CodeReadOnly
+}
+
+// RetryPolicy configures automatic retries for requests that fail with
+// a retryable signal: typed "overloaded"/"unavailable" responses always;
+// transport errors only for reads and for mutations carrying an
+// idempotency key (which the client attaches automatically, so a replay
+// of an already-applied mutation returns the original element instead
+// of minting a second event in transaction time).
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first.
+	// <= 1 disables retries.
+	MaxAttempts int
+	// BaseBackoff seeds the exponential backoff (doubled per attempt,
+	// then full-jittered). Default 50ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps a single backoff sleep. Default 2s.
+	MaxBackoff time.Duration
+	// Budget bounds the total time spent across all attempts of one
+	// call, backoffs included. Default 15s.
+	Budget time.Duration
+}
+
+// DefaultRetryPolicy is a sensible starting point: 4 attempts, 50ms
+// base backoff with full jitter capped at 2s, 15s total budget.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 4,
+		BaseBackoff: 50 * time.Millisecond,
+		MaxBackoff:  2 * time.Second,
+		Budget:      15 * time.Second,
+	}
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 50 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 2 * time.Second
+	}
+	if p.Budget <= 0 {
+		p.Budget = 15 * time.Second
+	}
+	return p
+}
+
 // Client talks to one tsdbd server.
 type Client struct {
-	base string
-	http *http.Client
+	base  string
+	http  *http.Client
+	retry RetryPolicy
 }
 
 // Option customizes a Client.
@@ -115,6 +195,13 @@ type Option func(*Client)
 // httptest servers or custom transports).
 func WithHTTPClient(h *http.Client) Option {
 	return func(c *Client) { c.http = h }
+}
+
+// WithRetry enables automatic retries under the policy. Without this
+// option every call makes exactly one attempt (idempotency keys are
+// still attached to mutations, so a caller-level retry is safe too).
+func WithRetry(p RetryPolicy) Option {
+	return func(c *Client) { c.retry = p.withDefaults() }
 }
 
 // New builds a client for the server at base, e.g. "http://127.0.0.1:7070".
@@ -132,23 +219,131 @@ func New(base string, opts ...Option) *Client {
 // BaseURL reports the server base URL the client was built with.
 func (c *Client) BaseURL() string { return c.base }
 
-// do issues one request and decodes the JSON response into out (when out is
-// non-nil). Non-2xx responses become *APIError.
+// callOpts classifies one call for the retry layer.
+type callOpts struct {
+	// idemKey, when non-empty, is sent as the Idempotency-Key header;
+	// the server dedups replays, making transport-error retries safe.
+	idemKey string
+	// safe marks calls with no server-side effect (reads, probes),
+	// retryable on transport errors even without a key.
+	safe bool
+}
+
+// newIdemKey mints a 128-bit random idempotency key. One key is minted
+// per logical mutation and reused verbatim across its retries.
+func newIdemKey() string {
+	var b [16]byte
+	crand.Read(b[:])
+	return hex.EncodeToString(b[:])
+}
+
+// do issues a single-effect request (reads and probes) with the default
+// safe retry classification.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+	return c.call(ctx, method, path, in, out, callOpts{safe: true})
+}
+
+// doIdem issues a mutation carrying a fresh idempotency key, held
+// constant across retries.
+func (c *Client) doIdem(ctx context.Context, method, path string, in, out any) error {
+	return c.call(ctx, method, path, in, out, callOpts{idemKey: newIdemKey()})
+}
+
+// call runs the request under the client's retry policy: typed
+// overloaded/unavailable responses retry after jittered backoff
+// (honoring the server's Retry-After hint); transport errors retry only
+// when the call is safe or idempotency-keyed; everything else returns
+// immediately.
+func (c *Client) call(ctx context.Context, method, path string, in, out any, o callOpts) error {
+	var body []byte
 	if in != nil {
-		buf, err := json.Marshal(in)
-		if err != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
 			return fmt.Errorf("tsdbd: encoding request: %w", err)
 		}
-		body = bytes.NewReader(buf)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	attempts := c.retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var budget time.Time // zero when retries are off
+	if attempts > 1 {
+		budget = time.Now().Add(c.retry.Budget)
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			d := c.backoff(attempt, lastErr)
+			if !budget.IsZero() && time.Now().Add(d).After(budget) {
+				break // would blow the budget; return the last error
+			}
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				return fmt.Errorf("tsdbd: %s %s: %w", method, path, ctx.Err())
+			}
+		}
+		lastErr = c.once(ctx, method, path, body, out, o)
+		if lastErr == nil || !retryable(lastErr, o) || ctx.Err() != nil {
+			return lastErr
+		}
+	}
+	return lastErr
+}
+
+// backoff computes the sleep before retry #attempt: exponential from
+// BaseBackoff, capped at MaxBackoff, full jitter, floored at the
+// server's Retry-After hint when the last error carried one.
+func (c *Client) backoff(attempt int, lastErr error) time.Duration {
+	d := c.retry.BaseBackoff << (attempt - 1)
+	if d <= 0 || d > c.retry.MaxBackoff {
+		d = c.retry.MaxBackoff
+	}
+	d = time.Duration(mrand.Int64N(int64(d) + 1))
+	var ae *APIError
+	if errors.As(lastErr, &ae) && ae.RetryAfter > d {
+		d = ae.RetryAfter
+	}
+	return d
+}
+
+// retryable decides whether one failed attempt may be replayed.
+func retryable(err error, o callOpts) bool {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		// A typed shed/unavailable is a pre-execution refusal: always
+		// retryable. read_only, conflicts, rejections etc. are not.
+		return ae.Code == CodeOverloaded || ae.Code == CodeUnavailable
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	// Transport error: the request may or may not have executed. Reads
+	// are harmless to replay; mutations only when idempotency-keyed.
+	return o.safe || o.idemKey != ""
+}
+
+// once issues exactly one HTTP attempt and decodes the JSON response
+// into out (when out is non-nil). Non-2xx responses become *APIError.
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any, o callOpts) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
 		return fmt.Errorf("tsdbd: building request: %w", err)
 	}
-	if in != nil {
+	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if o.idemKey != "" {
+		req.Header.Set(wire.HeaderIdempotencyKey, o.idemKey)
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if ms := time.Until(dl).Milliseconds(); ms > 0 {
+			req.Header.Set(wire.HeaderDeadline, strconv.FormatInt(ms, 10))
+		}
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
@@ -160,14 +355,21 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		return fmt.Errorf("tsdbd: reading response: %w", err)
 	}
 	if resp.StatusCode >= 300 {
+		var ra time.Duration
+		if s := resp.Header.Get(wire.HeaderRetryAfter); s != "" {
+			if secs, perr := strconv.Atoi(s); perr == nil && secs > 0 {
+				ra = time.Duration(secs) * time.Second
+			}
+		}
 		var eb wire.ErrorBody
 		if json.Unmarshal(payload, &eb) == nil && eb.Error.Code != "" {
-			return &APIError{Status: resp.StatusCode, Code: eb.Error.Code, Message: eb.Error.Message}
+			return &APIError{Status: resp.StatusCode, Code: eb.Error.Code, Message: eb.Error.Message, RetryAfter: ra}
 		}
 		return &APIError{
-			Status:  resp.StatusCode,
-			Code:    CodeInternal,
-			Message: strings.TrimSpace(string(payload)),
+			Status:     resp.StatusCode,
+			Code:       CodeInternal,
+			Message:    strings.TrimSpace(string(payload)),
+			RetryAfter: ra,
 		}
 	}
 	if out == nil {
@@ -186,6 +388,32 @@ func (c *Client) Health(ctx context.Context) (HealthResponse, error) {
 	return out, err
 }
 
+// Ready probes /readyz. Unlike the other calls a not-ready server is
+// not an error: the server answers 503 with the same ReadyResponse
+// body, and Ready returns it with a nil error so callers can inspect
+// Status and Reasons. The error is non-nil only for transport or
+// decoding failures.
+func (c *Client) Ready(ctx context.Context) (ReadyResponse, error) {
+	var out ReadyResponse
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/readyz", nil)
+	if err != nil {
+		return out, fmt.Errorf("tsdbd: building request: %w", err)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return out, fmt.Errorf("tsdbd: GET /readyz: %w", err)
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return out, fmt.Errorf("tsdbd: reading response: %w", err)
+	}
+	if err := json.Unmarshal(payload, &out); err != nil {
+		return out, fmt.Errorf("tsdbd: decoding /readyz: %w", err)
+	}
+	return out, nil
+}
+
 // Metrics fetches the server's request metrics.
 func (c *Client) Metrics(ctx context.Context) (MetricsResponse, error) {
 	var out MetricsResponse
@@ -202,10 +430,12 @@ func (c *Client) List(ctx context.Context) ([]RelationSummary, error) {
 	return out.Relations, nil
 }
 
-// Create makes a new relation from the schema.
+// Create makes a new relation from the schema. Not retried on transport
+// errors (creation is not idempotency-keyed); typed shed responses
+// still retry under the client's policy.
 func (c *Client) Create(ctx context.Context, schema Schema) (RelationInfo, error) {
 	var out RelationInfo
-	err := c.do(ctx, http.MethodPost, "/v1/relations", wire.CreateRequest{Schema: schema}, &out)
+	err := c.call(ctx, http.MethodPost, "/v1/relations", wire.CreateRequest{Schema: schema}, &out, callOpts{})
 	return out, err
 }
 
@@ -221,29 +451,33 @@ func (c *Client) Info(ctx context.Context, name string) (RelationInfo, error) {
 // rejects (409, code "rejected") any the history already violates.
 func (c *Client) Declare(ctx context.Context, name string, descs ...Descriptor) (DeclareResponse, error) {
 	var out DeclareResponse
-	err := c.do(ctx, http.MethodPost, "/v1/relations/"+name+"/declare",
-		wire.DeclareRequest{Constraints: descs}, &out)
+	err := c.call(ctx, http.MethodPost, "/v1/relations/"+name+"/declare",
+		wire.DeclareRequest{Constraints: descs}, &out, callOpts{})
 	return out, err
 }
 
-// Insert runs one insert transaction against the relation.
+// Insert runs one insert transaction against the relation. The client
+// attaches a fresh idempotency key, held constant across retries, so a
+// replay of an already-applied insert returns the original element.
 func (c *Client) Insert(ctx context.Context, name string, req InsertRequest) (Element, error) {
 	var out wire.ElementResponse
-	err := c.do(ctx, http.MethodPost, "/v1/relations/"+name+"/insert", req, &out)
+	err := c.doIdem(ctx, http.MethodPost, "/v1/relations/"+name+"/insert", req, &out)
 	return out.Element, err
 }
 
 // Delete runs one logical-delete transaction against the element.
+// Idempotency-keyed like Insert.
 func (c *Client) Delete(ctx context.Context, name string, es uint64) error {
-	return c.do(ctx, http.MethodPost, "/v1/relations/"+name+"/delete",
+	return c.doIdem(ctx, http.MethodPost, "/v1/relations/"+name+"/delete",
 		wire.DeleteRequest{ES: es}, nil)
 }
 
 // Modify rewrites an element's valid time and varying attributes as a
-// delete+insert pair under one transaction.
+// delete+insert pair under one transaction. Idempotency-keyed like
+// Insert.
 func (c *Client) Modify(ctx context.Context, name string, es uint64, vt Timestamp, varying []Value) (Element, error) {
 	var out wire.ElementResponse
-	err := c.do(ctx, http.MethodPost, "/v1/relations/"+name+"/modify",
+	err := c.doIdem(ctx, http.MethodPost, "/v1/relations/"+name+"/modify",
 		wire.ModifyRequest{ES: es, VT: vt, Varying: varying}, &out)
 	return out.Element, err
 }

@@ -49,25 +49,63 @@ import (
 )
 
 func main() {
-	var (
-		addr        = flag.String("addr", ":7070", "listen address")
-		dataDir     = flag.String("data", "tsdb-data", "data directory for persisted relations")
-		snapEvery   = flag.Duration("snapshot-interval", 30*time.Second, "how often to flush dirty relations (0 disables)")
-		reqTimeout  = flag.Duration("request-timeout", 15*time.Second, "per-request handling timeout")
-		maxBody     = flag.Int64("max-body", 1<<20, "maximum request body size in bytes")
-		idleTimeout = flag.Duration("idle-timeout", 60*time.Second, "keep-alive idle timeout")
-		walDir      = flag.String("wal-dir", "", "write-ahead log directory (default <data>/wal; \"off\" disables durability logging)")
-		walSync     = flag.String("wal-sync", "group", "WAL sync policy: always, group, or interval")
-		walSegBytes = flag.Int64("wal-segment-bytes", 64<<20, "WAL segment roll threshold in bytes")
-	)
+	var o options
+	flag.StringVar(&o.addr, "addr", ":7070", "listen address")
+	flag.StringVar(&o.dataDir, "data", "tsdb-data", "data directory for persisted relations")
+	flag.DurationVar(&o.snapEvery, "snapshot-interval", 30*time.Second, "how often to flush dirty relations (0 disables)")
+	flag.DurationVar(&o.reqTimeout, "request-timeout", 15*time.Second, "per-request handling timeout")
+	flag.Int64Var(&o.maxBody, "max-body", 1<<20, "maximum request body size in bytes")
+	flag.DurationVar(&o.readTimeout, "read-timeout", 30*time.Second, "maximum time to read one request, body included (0 disables)")
+	flag.DurationVar(&o.writeTimeout, "write-timeout", 30*time.Second, "maximum time to write one response (0 disables)")
+	flag.DurationVar(&o.idleTimeout, "idle-timeout", 60*time.Second, "keep-alive idle timeout")
+	flag.StringVar(&o.walDir, "wal-dir", "", "write-ahead log directory (default <data>/wal; \"off\" disables durability logging)")
+	flag.StringVar(&o.walSync, "wal-sync", "group", "WAL sync policy: always, group, or interval")
+	flag.Int64Var(&o.walSegBytes, "wal-segment-bytes", 64<<20, "WAL segment roll threshold in bytes")
+	flag.IntVar(&o.admitReads, "admit-reads", 0, "concurrent read-class requests admitted (0 = default 64; -1 disables admission control)")
+	flag.IntVar(&o.admitWrites, "admit-writes", 0, "concurrent write-class requests admitted (0 = default 16)")
+	flag.IntVar(&o.admitAdmin, "admit-admin", 0, "concurrent admin-class requests admitted (0 = default 2)")
+	flag.IntVar(&o.admitQueue, "admit-queue", 0, "bounded wait-queue depth per class (0 = class default)")
+	flag.DurationVar(&o.admitMaxWait, "admit-max-wait", 0, "longest a queued request may wait for admission (0 = class default)")
 	flag.Parse()
 
-	if err := run(*addr, *dataDir, *snapEvery, *reqTimeout, *maxBody, *idleTimeout, *walDir, *walSync, *walSegBytes); err != nil {
+	if err := run(o); err != nil {
 		log.Fatalf("tsdbd: %v", err)
 	}
 }
 
-func run(addr, dataDir string, snapEvery, reqTimeout time.Duration, maxBody int64, idleTimeout time.Duration, walDir, walSync string, walSegBytes int64) error {
+// options carries the parsed command line into run.
+type options struct {
+	addr, dataDir             string
+	snapEvery, reqTimeout     time.Duration
+	maxBody                   int64
+	readTimeout, writeTimeout time.Duration
+	idleTimeout               time.Duration
+	walDir, walSync           string
+	walSegBytes               int64
+	admitReads, admitWrites   int
+	admitAdmin, admitQueue    int
+	admitMaxWait              time.Duration
+}
+
+// admission maps the flags onto the server's admission config.
+// -admit-reads=-1 turns the controller off entirely.
+func (o options) admission() server.AdmissionConfig {
+	if o.admitReads < 0 {
+		return server.AdmissionConfig{Disabled: true}
+	}
+	lim := func(n int) server.ClassLimit {
+		return server.ClassLimit{Limit: n, Queue: o.admitQueue, MaxWait: o.admitMaxWait}
+	}
+	return server.AdmissionConfig{
+		Read:  lim(o.admitReads),
+		Write: lim(o.admitWrites),
+		Admin: lim(o.admitAdmin),
+	}
+}
+
+func run(o options) error {
+	addr, dataDir, snapEvery := o.addr, o.dataDir, o.snapEvery
+	walDir, walSync, walSegBytes := o.walDir, o.walSync, o.walSegBytes
 	if err := os.MkdirAll(dataDir, 0o755); err != nil {
 		return fmt.Errorf("creating data dir: %w", err)
 	}
@@ -99,8 +137,9 @@ func run(addr, dataDir string, snapEvery, reqTimeout time.Duration, maxBody int6
 
 	srv := server.New(server.Config{
 		Catalog:        cat,
-		RequestTimeout: reqTimeout,
-		MaxBodyBytes:   maxBody,
+		RequestTimeout: o.reqTimeout,
+		MaxBodyBytes:   o.maxBody,
+		Admission:      o.admission(),
 	})
 
 	ln, err := net.Listen("tcp", addr)
@@ -112,7 +151,9 @@ func run(addr, dataDir string, snapEvery, reqTimeout time.Duration, maxBody int6
 	hs := &http.Server{
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
-		IdleTimeout:       idleTimeout,
+		ReadTimeout:       o.readTimeout,
+		WriteTimeout:      o.writeTimeout,
+		IdleTimeout:       o.idleTimeout,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -151,6 +192,9 @@ func run(addr, dataDir string, snapEvery, reqTimeout time.Duration, maxBody int6
 		log.Printf("shutting down")
 	}
 
+	// Drain first: new requests get a typed, retryable "unavailable"
+	// while Shutdown lets in-flight work complete.
+	srv.Drain()
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(shutCtx); err != nil {

@@ -15,6 +15,7 @@
 package catalog
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
@@ -51,6 +52,13 @@ var (
 	// ErrBadName reports a relation name unusable as a catalog key (and
 	// data-dir file name).
 	ErrBadName = fmt.Errorf("catalog: invalid relation name")
+	// ErrReadOnly reports a mutation refused because the write-ahead log
+	// has poisoned (fail-stop): the catalog serves reads in degraded mode
+	// but cannot make new mutations durable. Wraps the poison cause.
+	ErrReadOnly = fmt.Errorf("catalog: read-only (wal poisoned)")
+	// ErrIdemReuse reports an idempotency key reused across different
+	// operation kinds — a client bug, not a retry.
+	ErrIdemReuse = fmt.Errorf("catalog: idempotency key reused for a different operation")
 )
 
 // nameRE constrains relation names so they are safe as file names in the
@@ -79,13 +87,19 @@ type Config struct {
 }
 
 // WAL record kinds. These values are replayed from disk, so they must
-// stay stable across releases.
+// stay stable across releases. The keyed kinds frame an idempotency key
+// ahead of the same payload their unkeyed counterpart carries
+// (encodeKeyed); unkeyed kinds remain written for keyless mutations, so
+// logs from either era replay on either side of this change.
 const (
-	walCreate  wal.Kind = 1
-	walDeclare wal.Kind = 2
-	walInsert  wal.Kind = 3
-	walDelete  wal.Kind = 4
-	walModify  wal.Kind = 5
+	walCreate      wal.Kind = 1
+	walDeclare     wal.Kind = 2
+	walInsert      wal.Kind = 3
+	walDelete      wal.Kind = 4
+	walModify      wal.Kind = 5
+	walInsertKeyed wal.Kind = 6
+	walDeleteKeyed wal.Kind = 7
+	walModifyKeyed wal.Kind = 8
 )
 
 type shard struct {
@@ -219,18 +233,43 @@ func (c *Catalog) applyWALRecord(rec wal.Record) (*Entry, error) {
 	if rec.LSN <= e.walLSN.Load() {
 		return nil, nil
 	}
+	// Keyed records carry "u16 keyLen, key, payload"; strip the frame and
+	// fall through to the shared apply path, remembering the key so the
+	// rebuilt dedup window covers retries that straddle a crash.
+	kind, payload, key := rec.Kind, rec.Payload, ""
+	switch rec.Kind {
+	case walInsertKeyed, walDeleteKeyed, walModifyKeyed:
+		var err error
+		if key, payload, err = decodeKeyed(rec.Payload); err != nil {
+			return nil, err
+		}
+		kind -= walInsertKeyed - walInsert
+	}
 	var applyErr error
 	_ = e.locked.Exclusive(func(r *relation.Relation) error {
-		switch rec.Kind {
+		remember := func(op dedupOp, el *element.Element) {
+			if key != "" {
+				e.dedup.remember(key, op, el)
+			}
+		}
+		switch kind {
 		case walInsert, walDelete:
-			lrec, err := backlog.DecodeRecord(rec.Payload)
+			lrec, err := backlog.DecodeRecord(payload)
 			if err != nil {
 				applyErr = err
 				return nil
 			}
-			applyErr = r.ApplyLog(lrec)
+			if applyErr = r.ApplyLog(lrec); applyErr != nil {
+				return nil
+			}
+			if lrec.Op == relation.OpInsert {
+				el, _ := r.ByES(lrec.Elem.ES)
+				remember(dedupInsert, el)
+			} else {
+				remember(dedupDelete, nil)
+			}
 		case walModify:
-			del, ins, err := decodeModify(rec.Payload)
+			del, ins, err := decodeModify(payload)
 			if err != nil {
 				applyErr = err
 				return nil
@@ -238,7 +277,11 @@ func (c *Catalog) applyWALRecord(rec wal.Record) (*Entry, error) {
 			if applyErr = r.ApplyLog(del); applyErr != nil {
 				return nil
 			}
-			applyErr = r.ApplyLog(ins)
+			if applyErr = r.ApplyLog(ins); applyErr != nil {
+				return nil
+			}
+			el, _ := r.ByES(ins.Elem.ES)
+			remember(dedupModify, el)
 		case walDeclare:
 			descs, err := backlog.DecodeDeclarations(rec.Payload)
 			if err != nil {
@@ -318,6 +361,9 @@ func (c *Catalog) Create(schema relation.Schema) (*Entry, error) {
 	if !nameRE.MatchString(name) {
 		return nil, fmt.Errorf("%w: %q (want %s)", ErrBadName, name, nameRE)
 	}
+	if err := c.Degraded(); err != nil {
+		return nil, err
+	}
 	if err := schema.Validate(); err != nil {
 		return nil, err
 	}
@@ -356,6 +402,30 @@ func (c *Catalog) Create(schema relation.Schema) (*Entry, error) {
 // WAL exposes the catalog's write-ahead log (nil when disabled), for the
 // server's metrics endpoint.
 func (c *Catalog) WAL() *wal.Log { return c.cfg.WAL }
+
+// Degraded reports why the catalog is in read-only degraded mode, or nil
+// while fully writable. The only degradation cause today is a poisoned
+// WAL: its first I/O failure is sticky (fail-stop), reads keep serving
+// from memory, and every mutation fails typed with ErrReadOnly until the
+// operator restarts the server (recovering the durable prefix).
+func (c *Catalog) Degraded() error {
+	if w := c.cfg.WAL; w != nil {
+		if err := w.Err(); err != nil {
+			return fmt.Errorf("%w: %w", ErrReadOnly, err)
+		}
+	}
+	return nil
+}
+
+// writable refuses mutations while the WAL is poisoned.
+func (e *Entry) writable() error {
+	if e.wal != nil {
+		if err := e.wal.Err(); err != nil {
+			return fmt.Errorf("%w: %w", ErrReadOnly, err)
+		}
+	}
+	return nil
+}
 
 // Get resolves a relation by name.
 func (c *Catalog) Get(name string) (*Entry, error) {
@@ -420,7 +490,7 @@ func (c *Catalog) Snapshot() (int, error) {
 			// The log is poisoned (fail-stop): a snapshot now could persist
 			// writes that were never acknowledged. Refuse; the operator
 			// restarts the server, which recovers the durable prefix.
-			return 0, fmt.Errorf("catalog: wal unhealthy, refusing snapshot: %w", err)
+			return 0, fmt.Errorf("%w: refusing snapshot: %w", ErrReadOnly, err)
 		}
 		cut = w.DurableLSN()
 	}
@@ -476,6 +546,10 @@ type Entry struct {
 	wal    *wal.Log
 	walLSN atomic.Uint64
 
+	// dedup is the relation's idempotency window (see dedup.go). Guarded
+	// by locked's exclusive lock, like decls.
+	dedup *dedupWindow
+
 	// plans counts queries and touched elements per plan kind over the
 	// entry's lifetime. It lives here rather than on the engine because
 	// declarations rebuild the engine; the counters must survive that.
@@ -483,7 +557,7 @@ type Entry struct {
 }
 
 func newEntry(name string, l *relation.Locked, decls []constraint.Descriptor) *Entry {
-	e := &Entry{name: name, locked: l, decls: decls}
+	e := &Entry{name: name, locked: l, decls: decls, dedup: newDedupWindow()}
 	_ = l.Exclusive(func(r *relation.Relation) error {
 		// A bounds error here means a persisted declaration carries
 		// inverted offsets; the engine still works, just without pushdown.
@@ -572,32 +646,62 @@ func (e *Entry) rebuildEngine(r *relation.Relation) error {
 
 // Insert stores a new element as one transaction and feeds it to the
 // physical store, atomically with respect to queries.
+func (e *Entry) Insert(ins relation.Insertion) (*element.Element, error) {
+	return e.InsertKeyed(context.Background(), ins, "")
+}
+
+// InsertKeyed is Insert with resilience hooks: the context aborts before
+// any work when the caller has already given up, and a non-empty
+// idempotency key makes the transaction retry-safe — a key the relation's
+// dedup window remembers returns the originally stored element with no
+// new WAL record and no new event.
 //
 // With a WAL attached the transaction is write-ahead logged: it is staged
-// (validated and transaction-stamped), framed into the log, and only then
-// applied to memory, all under the relation's exclusive lock so the log's
-// per-relation order is the commit order. The acknowledgment then waits
-// for the record to be durable per the log's sync policy; a failed wait
-// surfaces as an error and the log's fail-stop poisoning keeps the
-// not-yet-durable tail out of every future snapshot.
-func (e *Entry) Insert(ins relation.Insertion) (*element.Element, error) {
+// (validated and transaction-stamped), framed into the log (keyed frame
+// when an idempotency key rides along), and only then applied to memory,
+// all under the relation's exclusive lock so the log's per-relation order
+// is the commit order. The acknowledgment then waits for the record to be
+// durable per the log's sync policy; a failed wait surfaces as an error
+// and the log's fail-stop poisoning keeps the not-yet-durable tail out of
+// every future snapshot.
+func (e *Entry) InsertKeyed(ctx context.Context, ins relation.Insertion, key string) (*element.Element, error) {
+	if err := e.mutationGate(ctx, key); err != nil {
+		return nil, err
+	}
 	var out *element.Element
 	var lsn uint64
+	deduped := false
 	err := e.locked.Exclusive(func(r *relation.Relation) error {
+		if key != "" {
+			if hit, ok := e.dedup.lookup(key); ok {
+				if hit.op != dedupInsert {
+					return fmt.Errorf("%w: %q first used for %s", ErrIdemReuse, key, hit.op)
+				}
+				out, deduped = hit.elem, true
+				return nil
+			}
+		}
 		el, err := r.StageInsert(ins)
 		if err != nil {
 			return err
 		}
 		if e.wal != nil {
 			rec := relation.LogRecord{Op: relation.OpInsert, TT: el.TTStart, Elem: el}
-			l, werr := e.wal.Write(walInsert, e.name, backlog.EncodeRecord(rec))
+			kind, payload := walInsert, backlog.EncodeRecord(rec)
+			if key != "" {
+				kind, payload = walInsertKeyed, encodeKeyed(key, payload)
+			}
+			l, werr := e.wal.Write(kind, e.name, payload)
 			if werr != nil {
-				return fmt.Errorf("catalog: wal: %w", werr)
+				return e.walErr(werr)
 			}
 			lsn = l
 			e.walLSN.Store(lsn)
 		}
 		r.CommitInsert(el)
+		if key != "" {
+			e.dedup.remember(key, dedupInsert, el)
+		}
 		out = el
 		if serr := e.engine.Store().Insert(el); serr != nil {
 			// Ordering promise broken despite enforcement (e.g. constraint
@@ -611,10 +715,37 @@ func (e *Entry) Insert(ins relation.Insertion) (*element.Element, error) {
 	if err != nil {
 		return nil, err
 	}
+	if deduped {
+		// The original acknowledgment already waited for durability.
+		return out, nil
+	}
 	if err := e.waitDurable(lsn); err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// mutationGate is every mutation's entry check: refuse in read-only
+// degraded mode, refuse oversized idempotency keys before they reach the
+// WAL frame, and stop before any work when the caller's context is done.
+func (e *Entry) mutationGate(ctx context.Context, key string) error {
+	if err := e.writable(); err != nil {
+		return err
+	}
+	if len(key) > maxIdemKeyLen {
+		return fmt.Errorf("catalog: idempotency key exceeds %d bytes", maxIdemKeyLen)
+	}
+	return ctx.Err()
+}
+
+// walErr classifies a WAL append/wait failure: once the log has poisoned
+// the catalog is read-only, so the typed ErrReadOnly (with the cause)
+// tells clients not to retry against this process.
+func (e *Entry) walErr(err error) error {
+	if e.wal != nil && e.wal.Err() != nil {
+		return fmt.Errorf("%w: %w", ErrReadOnly, err)
+	}
+	return fmt.Errorf("catalog: wal: %w", err)
 }
 
 // waitDurable blocks until the entry's latest logged mutation is durable.
@@ -625,7 +756,7 @@ func (e *Entry) waitDurable(lsn uint64) error {
 		return nil
 	}
 	if err := e.wal.WaitDurable(lsn); err != nil {
-		return fmt.Errorf("catalog: wal: %w", err)
+		return e.walErr(err)
 	}
 	return nil
 }
@@ -643,8 +774,29 @@ func (e *Entry) decls2general(r *relation.Relation, cause error) {
 // pointers with the relation, so the tt⊣ update is visible to them without
 // restructuring. Write-ahead logged like Insert.
 func (e *Entry) Delete(es surrogate.Surrogate) error {
+	return e.DeleteKeyed(context.Background(), es, "")
+}
+
+// DeleteKeyed is Delete with the resilience hooks of InsertKeyed. A
+// remembered key means the logical delete already happened; the retry
+// succeeds without a second tt⊣ update (which would fail as
+// already-deleted and make retries look like conflicts).
+func (e *Entry) DeleteKeyed(ctx context.Context, es surrogate.Surrogate, key string) error {
+	if err := e.mutationGate(ctx, key); err != nil {
+		return err
+	}
 	var lsn uint64
+	deduped := false
 	err := e.locked.Exclusive(func(r *relation.Relation) error {
+		if key != "" {
+			if hit, ok := e.dedup.lookup(key); ok {
+				if hit.op != dedupDelete {
+					return fmt.Errorf("%w: %q first used for %s", ErrIdemReuse, key, hit.op)
+				}
+				deduped = true
+				return nil
+			}
+		}
 		el, tt, err := r.StageDelete(es)
 		if err != nil {
 			return err
@@ -653,19 +805,29 @@ func (e *Entry) Delete(es surrogate.Surrogate) error {
 			// The element still carries tt⊣ = forever here; replay only needs
 			// its surrogate and the record's transaction time.
 			rec := relation.LogRecord{Op: relation.OpDelete, TT: tt, Elem: el}
-			l, werr := e.wal.Write(walDelete, e.name, backlog.EncodeRecord(rec))
+			kind, payload := walDelete, backlog.EncodeRecord(rec)
+			if key != "" {
+				kind, payload = walDeleteKeyed, encodeKeyed(key, payload)
+			}
+			l, werr := e.wal.Write(kind, e.name, payload)
 			if werr != nil {
-				return fmt.Errorf("catalog: wal: %w", werr)
+				return e.walErr(werr)
 			}
 			lsn = l
 			e.walLSN.Store(lsn)
 		}
 		r.CommitDelete(el, tt)
+		if key != "" {
+			e.dedup.remember(key, dedupDelete, nil)
+		}
 		e.dirty.Store(true)
 		return nil
 	})
 	if err != nil {
 		return err
+	}
+	if deduped {
+		return nil
 	}
 	return e.waitDurable(lsn)
 }
@@ -674,9 +836,29 @@ func (e *Entry) Delete(es surrogate.Surrogate) error {
 // delete plus an insert at one transaction time). The pair is logged as a
 // single WAL record so recovery applies both or neither.
 func (e *Entry) Modify(es surrogate.Surrogate, vt element.Timestamp, varying []element.Value) (*element.Element, error) {
+	return e.ModifyKeyed(context.Background(), es, vt, varying, "")
+}
+
+// ModifyKeyed is Modify with the resilience hooks of InsertKeyed: a
+// remembered key returns the replacement element the original transaction
+// produced instead of chaining a second delete+insert onto it.
+func (e *Entry) ModifyKeyed(ctx context.Context, es surrogate.Surrogate, vt element.Timestamp, varying []element.Value, key string) (*element.Element, error) {
+	if err := e.mutationGate(ctx, key); err != nil {
+		return nil, err
+	}
 	var out *element.Element
 	var lsn uint64
+	deduped := false
 	err := e.locked.Exclusive(func(r *relation.Relation) error {
+		if key != "" {
+			if hit, ok := e.dedup.lookup(key); ok {
+				if hit.op != dedupModify {
+					return fmt.Errorf("%w: %q first used for %s", ErrIdemReuse, key, hit.op)
+				}
+				out, deduped = hit.elem, true
+				return nil
+			}
+		}
 		old, repl, tt, err := r.StageModify(es, vt, varying)
 		if err != nil {
 			return err
@@ -686,15 +868,22 @@ func (e *Entry) Modify(es surrogate.Surrogate, vt element.Timestamp, varying []e
 				relation.LogRecord{Op: relation.OpDelete, TT: tt, Elem: old},
 				relation.LogRecord{Op: relation.OpInsert, TT: tt, Elem: repl},
 			)
-			l, werr := e.wal.Write(walModify, e.name, payload)
+			kind := walModify
+			if key != "" {
+				kind, payload = walModifyKeyed, encodeKeyed(key, payload)
+			}
+			l, werr := e.wal.Write(kind, e.name, payload)
 			if werr != nil {
-				return fmt.Errorf("catalog: wal: %w", werr)
+				return e.walErr(werr)
 			}
 			lsn = l
 			e.walLSN.Store(lsn)
 		}
 		r.CommitDelete(old, tt)
 		r.CommitInsert(repl)
+		if key != "" {
+			e.dedup.remember(key, dedupModify, repl)
+		}
 		out = repl
 		if serr := e.engine.Store().Insert(repl); serr != nil {
 			e.decls2general(r, serr)
@@ -704,6 +893,9 @@ func (e *Entry) Modify(es surrogate.Surrogate, vt element.Timestamp, varying []e
 	})
 	if err != nil {
 		return nil, err
+	}
+	if deduped {
+		return out, nil
 	}
 	if err := e.waitDurable(lsn); err != nil {
 		return nil, err
@@ -720,6 +912,9 @@ func (e *Entry) Modify(es surrogate.Surrogate, vt element.Timestamp, varying []e
 func (e *Entry) Declare(descs []constraint.Descriptor) error {
 	if len(descs) == 0 {
 		return fmt.Errorf("catalog: no constraints to declare")
+	}
+	if err := e.writable(); err != nil {
+		return err
 	}
 	byScope, err := constraint.BuildAll(descs)
 	if err != nil {
@@ -752,7 +947,7 @@ func (e *Entry) Declare(descs []constraint.Descriptor) error {
 			// Validation passed; log the declaration before attaching it.
 			l, werr := e.wal.Write(walDeclare, e.name, backlog.EncodeDeclarations(descs))
 			if werr != nil {
-				return fmt.Errorf("catalog: wal: %w", werr)
+				return e.walErr(werr)
 			}
 			lsn = l
 			e.walLSN.Store(lsn)
@@ -794,32 +989,57 @@ func (e *Entry) toResult(res query.Result) QueryResult {
 
 // Current answers the conventional query.
 func (e *Entry) Current() QueryResult {
-	var res query.Result
-	_ = e.locked.View(func(*relation.Relation) error {
-		res = e.engine.Current()
-		return nil
-	})
-	return e.toResult(res)
+	out, _ := e.CurrentCtx(context.Background())
+	return out
+}
+
+// CurrentCtx is Current with caller cancellation: a queued reader whose
+// caller has already hung up does no engine work once it gets the lock.
+func (e *Entry) CurrentCtx(ctx context.Context) (QueryResult, error) {
+	return e.viewCtx(ctx, func() query.Result { return e.engine.Current() })
 }
 
 // Timeslice answers the historical query at vt.
 func (e *Entry) Timeslice(vt chronon.Chronon) QueryResult {
-	var res query.Result
-	_ = e.locked.View(func(*relation.Relation) error {
-		res = e.engine.Timeslice(vt)
-		return nil
-	})
-	return e.toResult(res)
+	out, _ := e.TimesliceCtx(context.Background(), vt)
+	return out
+}
+
+// TimesliceCtx is Timeslice with caller cancellation.
+func (e *Entry) TimesliceCtx(ctx context.Context, vt chronon.Chronon) (QueryResult, error) {
+	return e.viewCtx(ctx, func() query.Result { return e.engine.Timeslice(vt) })
 }
 
 // Rollback answers the rollback query at tt.
 func (e *Entry) Rollback(tt chronon.Chronon) QueryResult {
+	out, _ := e.RollbackCtx(context.Background(), tt)
+	return out
+}
+
+// RollbackCtx is Rollback with caller cancellation.
+func (e *Entry) RollbackCtx(ctx context.Context, tt chronon.Chronon) (QueryResult, error) {
+	return e.viewCtx(ctx, func() query.Result { return e.engine.Rollback(tt) })
+}
+
+// viewCtx runs one engine query under the shared lock, checking the
+// caller's context both before queueing for the lock and again after
+// acquiring it (lock waits can outlast short deadlines).
+func (e *Entry) viewCtx(ctx context.Context, run func() query.Result) (QueryResult, error) {
+	if err := ctx.Err(); err != nil {
+		return QueryResult{}, err
+	}
 	var res query.Result
-	_ = e.locked.View(func(*relation.Relation) error {
-		res = e.engine.Rollback(tt)
+	err := e.locked.View(func(*relation.Relation) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		res = run()
 		return nil
 	})
-	return e.toResult(res)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	return e.toResult(res), nil
 }
 
 // TimesliceAsOf answers the bitemporal query: elements valid at vt as
@@ -827,17 +1047,36 @@ func (e *Entry) Rollback(tt chronon.Chronon) QueryResult {
 // planner prices it as the bitemporal full scan — so this scans the
 // relation.
 func (e *Entry) TimesliceAsOf(vt, tt chronon.Chronon) QueryResult {
+	out, _ := e.TimesliceAsOfCtx(context.Background(), vt, tt)
+	return out
+}
+
+// TimesliceAsOfCtx is TimesliceAsOf with caller cancellation. The
+// bitemporal scan is the catalog's most expensive read, so the scan
+// itself is cooperative: it re-checks the context periodically and stops
+// mid-scan when the caller is gone.
+func (e *Entry) TimesliceAsOfCtx(ctx context.Context, vt, tt chronon.Chronon) (QueryResult, error) {
+	if err := ctx.Err(); err != nil {
+		return QueryResult{}, err
+	}
 	var out QueryResult
-	_ = e.locked.View(func(r *relation.Relation) error {
+	err := e.locked.View(func(r *relation.Relation) error {
 		node := e.engine.Plan(plan.Query{Kind: plan.QAsOf, VTLo: int64(vt), TT: int64(tt)})
-		out.Elements = r.TimesliceAsOf(vt, tt)
+		els, err := r.TimesliceAsOfCtx(ctx, vt, tt)
+		if err != nil {
+			return err
+		}
+		out.Elements = els
 		out.Plan = node.String()
 		out.Node = node
 		out.Touched = r.Len()
 		return nil
 	})
+	if err != nil {
+		return QueryResult{}, err
+	}
 	e.plans.Record(out.Node.Leaf().Kind, out.Touched)
-	return out
+	return out, nil
 }
 
 // Select evaluates a parsed tsql query against the relation under the
@@ -848,10 +1087,22 @@ func (e *Entry) TimesliceAsOf(vt, tt chronon.Chronon) QueryResult {
 // otherwise the relation's backlog is scanned as before. The returned
 // node is the executed plan; touched is its access-path cost.
 func (e *Entry) Select(q *tsql.Query) (*tsql.Result, *plan.Node, int, error) {
+	return e.SelectCtx(context.Background(), q)
+}
+
+// SelectCtx is Select with caller cancellation; the full-scan evaluation
+// path is cooperative, re-checking the context periodically mid-scan.
+func (e *Entry) SelectCtx(ctx context.Context, q *tsql.Query) (*tsql.Result, *plan.Node, int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, 0, err
+	}
 	var res *tsql.Result
 	var node *plan.Node
 	touched := 0
 	err := e.locked.View(func(r *relation.Relation) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		node = tsql.Compile(q, e.engine.Access())
 		var err error
 		switch node.Leaf().Kind {
@@ -862,10 +1113,10 @@ func (e *Entry) Select(q *tsql.Query) (*tsql.Result, *plan.Node, int, error) {
 			// ES sort restores the backlog scan's row order exactly.
 			cands := append([]*element.Element(nil), qres.Elements...)
 			sort.Slice(cands, func(i, j int) bool { return cands[i].ES < cands[j].ES })
-			res, err = tsql.EvalOn(q, r.Schema(), cands)
+			res, err = tsql.EvalOnCtx(ctx, q, r.Schema(), cands)
 			touched = qres.Touched
 		default:
-			res, err = tsql.Eval(q, r)
+			res, err = tsql.EvalOnCtx(ctx, q, r.Schema(), r.Versions())
 			touched = r.Len()
 		}
 		return err

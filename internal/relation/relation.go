@@ -1,6 +1,7 @@
 package relation
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -299,13 +300,33 @@ func (r *Relation) Timeslice(vt chronon.Chronon) []*element.Element {
 // historical state as stored at transaction time tt whose facts are valid
 // at vt.
 func (r *Relation) TimesliceAsOf(vt, tt chronon.Chronon) []*element.Element {
+	out, _ := r.TimesliceAsOfCtx(context.Background(), vt, tt)
+	return out
+}
+
+// cancelCheckEvery is how many elements a cooperative scan examines
+// between context checks — frequent enough that a cancelled caller stops
+// burning CPU promptly, rare enough to cost nothing per element.
+const cancelCheckEvery = 1024
+
+// TimesliceAsOfCtx is TimesliceAsOf with cooperative cancellation: the
+// scan re-checks ctx every cancelCheckEvery elements and returns ctx's
+// error mid-scan when the caller has given up. It is the two-dimension
+// full scan no physical organization indexes, hence the catalog's most
+// expensive read and the one worth interrupting.
+func (r *Relation) TimesliceAsOfCtx(ctx context.Context, vt, tt chronon.Chronon) ([]*element.Element, error) {
 	var out []*element.Element
-	for _, e := range r.versions {
+	for i, e := range r.versions {
+		if i%cancelCheckEvery == cancelCheckEvery-1 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if e.PresentAt(tt) && e.ValidAt(vt) {
 			out = append(out, e)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // History returns the life-line of an object: every element version with

@@ -1,0 +1,292 @@
+package server
+
+// Admission control: the server's overload valve. Every endpoint is
+// assigned a class (read, write, admin) and each class owns a gate — a
+// fixed number of execution slots plus a bounded, deadline-aware wait
+// queue. A request that finds a free slot proceeds immediately; one that
+// finds the queue full is shed on arrival with 429 ("overloaded"); one
+// that waits past its deadline budget or the class's maximum queue wait
+// is shed with 503 ("unavailable"). Shedding early and loudly is the
+// point: under sustained overload the server keeps serving at its
+// configured capacity instead of collapsing under unbounded queues, and
+// clients get a typed, retryable signal with a Retry-After hint.
+//
+// Probes (/healthz, /readyz, /metrics) bypass admission entirely — an
+// overloaded server must still answer "I am overloaded".
+
+import (
+	"context"
+	"math/bits"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// AdmissionClass buckets endpoints by the resource they contend for.
+type AdmissionClass int
+
+const (
+	// ClassRead covers queries: info, list, query, select, explain,
+	// classify. They take the shared relation lock.
+	ClassRead AdmissionClass = iota
+	// ClassWrite covers mutations: create, declare, insert, delete,
+	// modify. They take the exclusive relation lock and the WAL.
+	ClassWrite
+	// ClassAdmin covers snapshot — rare, long-held, whole-catalog work.
+	ClassAdmin
+	numClasses
+)
+
+// String returns the class's metrics key.
+func (c AdmissionClass) String() string {
+	switch c {
+	case ClassRead:
+		return "read"
+	case ClassWrite:
+		return "write"
+	case ClassAdmin:
+		return "admin"
+	}
+	return "unknown"
+}
+
+// ClassLimit configures one admission class.
+type ClassLimit struct {
+	// Limit is the number of requests of this class that may execute
+	// concurrently. <= 0 takes the class default.
+	Limit int
+	// Queue bounds how many requests may wait for a slot; arrivals
+	// beyond it are shed immediately with "overloaded". <= 0 takes the
+	// class default.
+	Queue int
+	// MaxWait bounds how long one request may wait queued before it is
+	// shed with "unavailable". The request's own context deadline still
+	// applies when sooner. <= 0 takes the class default.
+	MaxWait time.Duration
+}
+
+// AdmissionConfig configures the server's admission controller.
+type AdmissionConfig struct {
+	Read  ClassLimit
+	Write ClassLimit
+	Admin ClassLimit
+	// Disabled turns admission off entirely (no limits, no queue
+	// accounting); the deadline-budget header still applies.
+	Disabled bool
+}
+
+func withDefaults(l ClassLimit, def ClassLimit) ClassLimit {
+	if l.Limit <= 0 {
+		l.Limit = def.Limit
+	}
+	if l.Queue <= 0 {
+		l.Queue = def.Queue
+	}
+	if l.MaxWait <= 0 {
+		l.MaxWait = def.MaxWait
+	}
+	return l
+}
+
+// Class defaults: reads are cheap and parallel, writes serialize on the
+// relation lock and the WAL, admin work is heavyweight and rare.
+var classDefaults = [numClasses]ClassLimit{
+	ClassRead:  {Limit: 64, Queue: 256, MaxWait: time.Second},
+	ClassWrite: {Limit: 16, Queue: 128, MaxWait: time.Second},
+	ClassAdmin: {Limit: 2, Queue: 8, MaxWait: 5 * time.Second},
+}
+
+// shedCause distinguishes why a request was not admitted.
+type shedCause int
+
+const (
+	shedQueueFull shedCause = iota // bounced on arrival
+	shedWait                       // max queue wait expired
+	shedCanceled                   // caller context done while queued
+)
+
+// gate is one class's semaphore plus its accounting. The semaphore is a
+// buffered channel (slots) guarded by a queue counter; the stats mutex
+// covers only counters, never the wait itself.
+type gate struct {
+	limit    int
+	slots    chan struct{}
+	maxWait  time.Duration
+	queueCap int
+
+	mu        sync.Mutex
+	admitted  uint64
+	sheds     [3]uint64 // by shedCause
+	queued    int
+	maxQueued int
+	// waitHist buckets observed queue waits by power-of-two microseconds
+	// (bucket i covers [2^i, 2^(i+1)) µs; bucket 0 covers [0, 2) µs).
+	waitHist [32]uint64
+}
+
+func newGate(l ClassLimit) *gate {
+	return &gate{
+		limit:    l.Limit,
+		slots:    make(chan struct{}, l.Limit),
+		maxWait:  l.MaxWait,
+		queueCap: l.Queue,
+	}
+}
+
+// acquire admits the request or reports the shed cause. On admission the
+// caller must release().
+func (g *gate) acquire(ctx context.Context) (ok bool, cause shedCause) {
+	// Fast path: a free slot, no queueing.
+	select {
+	case g.slots <- struct{}{}:
+		g.mu.Lock()
+		g.admitted++
+		g.waitHist[0]++
+		g.mu.Unlock()
+		return true, 0
+	default:
+	}
+	// Slow path: join the bounded queue.
+	g.mu.Lock()
+	if g.queued >= g.queueCap {
+		g.sheds[shedQueueFull]++
+		g.mu.Unlock()
+		return false, shedQueueFull
+	}
+	g.queued++
+	if g.queued > g.maxQueued {
+		g.maxQueued = g.queued
+	}
+	g.mu.Unlock()
+
+	start := time.Now()
+	timer := time.NewTimer(g.maxWait)
+	defer timer.Stop()
+	var admitted bool
+	select {
+	case g.slots <- struct{}{}:
+		admitted = true
+	case <-ctx.Done():
+		cause = shedCanceled
+	case <-timer.C:
+		cause = shedWait
+	}
+	wait := time.Since(start)
+
+	g.mu.Lock()
+	g.queued--
+	if admitted {
+		g.admitted++
+		g.waitHist[histBucket(wait)]++
+	} else {
+		g.sheds[cause]++
+	}
+	g.mu.Unlock()
+	return admitted, cause
+}
+
+func (g *gate) release() { <-g.slots }
+
+// histBucket maps a wait to its power-of-two microsecond bucket.
+func histBucket(d time.Duration) int {
+	us := d.Microseconds()
+	if us < 2 {
+		return 0
+	}
+	b := bits.Len64(uint64(us)) - 1
+	if b > 31 {
+		b = 31
+	}
+	return b
+}
+
+// quantile returns the upper bound (µs) of the smallest bucket at which
+// the cumulative count reaches q of the total — an upper estimate of the
+// q-quantile wait, exact to a factor of two.
+func quantile(hist *[32]uint64, q float64) int64 {
+	var total uint64
+	for _, n := range hist {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	want := uint64(float64(total) * q)
+	if want < 1 {
+		want = 1
+	}
+	var cum uint64
+	for i, n := range hist {
+		cum += n
+		if cum >= want {
+			return int64(1) << (i + 1) // bucket upper bound in µs
+		}
+	}
+	return int64(1) << 32
+}
+
+// admission is the per-server controller: one gate per class.
+type admission struct {
+	disabled bool
+	gates    [numClasses]*gate
+}
+
+func newAdmission(cfg AdmissionConfig) *admission {
+	a := &admission{disabled: cfg.Disabled}
+	for c, l := range map[AdmissionClass]ClassLimit{
+		ClassRead:  cfg.Read,
+		ClassWrite: cfg.Write,
+		ClassAdmin: cfg.Admin,
+	} {
+		a.gates[c] = newGate(withDefaults(l, classDefaults[c]))
+	}
+	return a
+}
+
+// saturated reports the classes whose wait queue is at capacity — the
+// readiness signal: new traffic of that class will be shed on arrival.
+func (a *admission) saturated() []string {
+	if a == nil || a.disabled {
+		return nil
+	}
+	var out []string
+	for c := AdmissionClass(0); c < numClasses; c++ {
+		g := a.gates[c]
+		g.mu.Lock()
+		full := g.queued >= g.queueCap
+		g.mu.Unlock()
+		if full {
+			out = append(out, c.String())
+		}
+	}
+	return out
+}
+
+// report renders the controller for /metrics.
+func (a *admission) report() map[string]wire.ClassAdmissionMetrics {
+	if a == nil || a.disabled {
+		return nil
+	}
+	out := make(map[string]wire.ClassAdmissionMetrics, numClasses)
+	for c := AdmissionClass(0); c < numClasses; c++ {
+		g := a.gates[c]
+		g.mu.Lock()
+		m := wire.ClassAdmissionMetrics{
+			Limit:         g.limit,
+			Inflight:      len(g.slots),
+			Admitted:      g.admitted,
+			ShedOverload:  g.sheds[shedQueueFull],
+			ShedTimeout:   g.sheds[shedWait],
+			ShedCanceled:  g.sheds[shedCanceled],
+			QueueDepth:    g.queued,
+			MaxQueueDepth: g.maxQueued,
+			WaitP50US:     quantile(&g.waitHist, 0.50),
+			WaitP95US:     quantile(&g.waitHist, 0.95),
+			WaitP99US:     quantile(&g.waitHist, 0.99),
+		}
+		g.mu.Unlock()
+		out[c.String()] = m
+	}
+	return out
+}

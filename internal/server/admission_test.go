@@ -1,0 +1,167 @@
+package server
+
+// Unit tests for the admission gate: fast-path admission, bounded-queue
+// sheds, max-wait sheds, caller-cancellation sheds, and the wait
+// histogram's quantile arithmetic.
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestGateFastPathAndQueueFull(t *testing.T) {
+	g := newGate(ClassLimit{Limit: 1, Queue: 1, MaxWait: time.Second})
+
+	ok, _ := g.acquire(context.Background())
+	if !ok {
+		t.Fatal("first acquire should take the free slot")
+	}
+
+	// Second request queues; it will be admitted once we release.
+	admitted := make(chan struct{})
+	go func() {
+		ok, _ := g.acquire(context.Background())
+		if ok {
+			close(admitted)
+		}
+	}()
+	// Wait until the second request occupies the queue slot.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		g.mu.Lock()
+		q := g.queued
+		g.mu.Unlock()
+		if q == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("second acquire never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Third request finds the queue full: shed on arrival.
+	ok, cause := g.acquire(context.Background())
+	if ok || cause != shedQueueFull {
+		t.Fatalf("acquire over full queue = (%v, %v), want (false, shedQueueFull)", ok, cause)
+	}
+
+	g.release()
+	select {
+	case <-admitted:
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued request never admitted after release")
+	}
+	g.release()
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.admitted != 2 {
+		t.Fatalf("admitted = %d, want 2", g.admitted)
+	}
+	if g.sheds[shedQueueFull] != 1 {
+		t.Fatalf("sheds[queueFull] = %d, want 1", g.sheds[shedQueueFull])
+	}
+	if g.maxQueued != 1 {
+		t.Fatalf("maxQueued = %d, want 1", g.maxQueued)
+	}
+}
+
+func TestGateMaxWaitShed(t *testing.T) {
+	g := newGate(ClassLimit{Limit: 1, Queue: 4, MaxWait: 10 * time.Millisecond})
+	if ok, _ := g.acquire(context.Background()); !ok {
+		t.Fatal("first acquire failed")
+	}
+	start := time.Now()
+	ok, cause := g.acquire(context.Background())
+	if ok || cause != shedWait {
+		t.Fatalf("acquire = (%v, %v), want (false, shedWait)", ok, cause)
+	}
+	if waited := time.Since(start); waited < 10*time.Millisecond {
+		t.Fatalf("shed after %v, before MaxWait elapsed", waited)
+	}
+	g.release()
+}
+
+func TestGateContextCancelShed(t *testing.T) {
+	g := newGate(ClassLimit{Limit: 1, Queue: 4, MaxWait: time.Minute})
+	if ok, _ := g.acquire(context.Background()); !ok {
+		t.Fatal("first acquire failed")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	ok, cause := g.acquire(ctx)
+	if ok || cause != shedCanceled {
+		t.Fatalf("acquire = (%v, %v), want (false, shedCanceled)", ok, cause)
+	}
+	g.release()
+}
+
+func TestQuantileUpperBounds(t *testing.T) {
+	var hist [32]uint64
+	if got := quantile(&hist, 0.99); got != 0 {
+		t.Fatalf("empty histogram quantile = %d, want 0", got)
+	}
+	// 90 waits in bucket 0 ([0,2)µs), 10 in bucket 10 ([1024,2048)µs).
+	hist[0] = 90
+	hist[10] = 10
+	if got := quantile(&hist, 0.50); got != 2 {
+		t.Fatalf("p50 = %d, want 2 (bucket 0 upper bound)", got)
+	}
+	if got := quantile(&hist, 0.99); got != 2048 {
+		t.Fatalf("p99 = %d, want 2048 (bucket 10 upper bound)", got)
+	}
+}
+
+func TestHistBucket(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{time.Microsecond, 0},
+		{2 * time.Microsecond, 1},
+		{3 * time.Microsecond, 1},
+		{1024 * time.Microsecond, 10},
+		{time.Hour, 31},
+	}
+	for _, c := range cases {
+		if got := histBucket(c.d); got != c.want {
+			t.Fatalf("histBucket(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestAdmissionReportAndSaturated(t *testing.T) {
+	a := newAdmission(AdmissionConfig{Write: ClassLimit{Limit: 1, Queue: 2, MaxWait: time.Second}})
+	rep := a.report()
+	if len(rep) != int(numClasses) {
+		t.Fatalf("report has %d classes, want %d", len(rep), numClasses)
+	}
+	if rep["write"].Limit != 1 {
+		t.Fatalf("write limit = %d, want 1", rep["write"].Limit)
+	}
+	if rep["read"].Limit != classDefaults[ClassRead].Limit {
+		t.Fatalf("read limit = %d, want default %d", rep["read"].Limit, classDefaults[ClassRead].Limit)
+	}
+	if sat := a.saturated(); len(sat) != 0 {
+		t.Fatalf("idle controller saturated = %v, want none", sat)
+	}
+
+	// Fill the write queue to capacity: saturated must name the class.
+	g := a.gates[ClassWrite]
+	g.mu.Lock()
+	g.queued = g.queueCap
+	g.mu.Unlock()
+	sat := a.saturated()
+	if len(sat) != 1 || sat[0] != "write" {
+		t.Fatalf("saturated = %v, want [write]", sat)
+	}
+
+	// Disabled controller reports nothing.
+	d := newAdmission(AdmissionConfig{Disabled: true})
+	if d.report() != nil || d.saturated() != nil {
+		t.Fatal("disabled controller must report nil")
+	}
+}

@@ -9,7 +9,8 @@
 //
 // Endpoints (all JSON):
 //
-//	GET  /healthz                            liveness probe
+//	GET  /healthz                            liveness probe (ok/degraded/draining)
+//	GET  /readyz                             readiness probe (admission + WAL health)
 //	GET  /metrics                            request metrics
 //	GET  /v1/relations                       list relations
 //	POST /v1/relations                       create a relation
@@ -26,6 +27,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -33,6 +35,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/catalog"
@@ -53,6 +56,9 @@ type Config struct {
 	RequestTimeout time.Duration
 	// MaxBodyBytes caps a request body; 0 means 1 MiB.
 	MaxBodyBytes int64
+	// Admission configures the per-class overload valve (admission.go).
+	// The zero value enables it with the class defaults.
+	Admission AdmissionConfig
 }
 
 // Server is the HTTP face of a catalog.
@@ -61,6 +67,10 @@ type Server struct {
 	metrics *Metrics
 	cfg     Config
 	handler http.Handler
+	adm     *admission
+	// draining flips once at the start of graceful shutdown: in-flight
+	// requests complete, new non-probe requests get a clean "unavailable".
+	draining atomic.Bool
 }
 
 // New builds a server over the catalog.
@@ -75,23 +85,29 @@ func New(cfg Config) *Server {
 		cfg.MaxBodyBytes = 1 << 20
 	}
 	s := &Server{cat: cfg.Catalog, metrics: NewMetrics(), cfg: cfg}
+	s.adm = newAdmission(cfg.Admission)
+
+	// classProbe marks endpoints that bypass admission and draining: an
+	// overloaded or shutting-down server must still answer probes.
+	const classProbe = AdmissionClass(-1)
 
 	mux := http.NewServeMux()
-	mux.Handle("GET /healthz", s.wrap("health", s.handleHealth))
-	mux.Handle("GET /metrics", s.wrap("metrics", s.handleMetrics))
-	mux.Handle("GET /v1/relations", s.wrap("list", s.handleList))
-	mux.Handle("POST /v1/relations", s.wrap("create", s.handleCreate))
-	mux.Handle("GET /v1/relations/{name}", s.wrap("info", s.handleInfo))
-	mux.Handle("POST /v1/relations/{name}/declare", s.wrap("declare", s.handleDeclare))
-	mux.Handle("POST /v1/relations/{name}/insert", s.wrap("insert", s.handleInsert))
-	mux.Handle("POST /v1/relations/{name}/delete", s.wrap("delete", s.handleDelete))
-	mux.Handle("POST /v1/relations/{name}/modify", s.wrap("modify", s.handleModify))
-	mux.Handle("POST /v1/relations/{name}/query", s.wrap("query", s.handleQuery))
-	mux.Handle("GET /v1/relations/{name}/classify", s.wrap("classify", s.handleClassify))
-	mux.Handle("GET /v1/relations/{name}/explain", s.wrap("explain", s.handleExplain))
-	mux.Handle("POST /v1/select", s.wrap("select", s.handleSelect))
-	mux.Handle("POST /v1/snapshot", s.wrap("snapshot", s.handleSnapshot))
-	mux.Handle("/", s.wrap("unknown", func(*http.Request) (*response, *apiError) {
+	mux.Handle("GET /healthz", s.wrap("health", classProbe, s.handleHealth))
+	mux.Handle("GET /readyz", s.wrap("ready", classProbe, s.handleReady))
+	mux.Handle("GET /metrics", s.wrap("metrics", classProbe, s.handleMetrics))
+	mux.Handle("GET /v1/relations", s.wrap("list", ClassRead, s.handleList))
+	mux.Handle("POST /v1/relations", s.wrap("create", ClassWrite, s.handleCreate))
+	mux.Handle("GET /v1/relations/{name}", s.wrap("info", ClassRead, s.handleInfo))
+	mux.Handle("POST /v1/relations/{name}/declare", s.wrap("declare", ClassWrite, s.handleDeclare))
+	mux.Handle("POST /v1/relations/{name}/insert", s.wrap("insert", ClassWrite, s.handleInsert))
+	mux.Handle("POST /v1/relations/{name}/delete", s.wrap("delete", ClassWrite, s.handleDelete))
+	mux.Handle("POST /v1/relations/{name}/modify", s.wrap("modify", ClassWrite, s.handleModify))
+	mux.Handle("POST /v1/relations/{name}/query", s.wrap("query", ClassRead, s.handleQuery))
+	mux.Handle("GET /v1/relations/{name}/classify", s.wrap("classify", ClassRead, s.handleClassify))
+	mux.Handle("GET /v1/relations/{name}/explain", s.wrap("explain", ClassRead, s.handleExplain))
+	mux.Handle("POST /v1/select", s.wrap("select", ClassRead, s.handleSelect))
+	mux.Handle("POST /v1/snapshot", s.wrap("snapshot", ClassAdmin, s.handleSnapshot))
+	mux.Handle("/", s.wrap("unknown", classProbe, func(*http.Request) (*response, *apiError) {
 		return nil, errNotFound("no such endpoint")
 	}))
 
@@ -107,6 +123,16 @@ func (s *Server) Handler() http.Handler { return s.handler }
 
 // Metrics exposes the server's metrics registry.
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Drain flips the server into graceful-shutdown mode: requests already
+// executing run to completion, while every new non-probe request is
+// refused with a typed "unavailable" (503 + Retry-After) instead of a
+// hung or reset connection. Call it before http.Server.Shutdown so the
+// listener keeps accepting long enough to answer cleanly.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // response is a handler's successful answer.
 type response struct {
@@ -130,16 +156,29 @@ func errBadRequest(format string, args ...any) *apiError {
 func errNotFound(format string, args ...any) *apiError {
 	return &apiError{http.StatusNotFound, wire.CodeNotFound, fmt.Sprintf(format, args...)}
 }
+func errUnavailable(format string, args ...any) *apiError {
+	return &apiError{http.StatusServiceUnavailable, wire.CodeUnavailable, fmt.Sprintf(format, args...)}
+}
+func errOverloaded(format string, args ...any) *apiError {
+	return &apiError{http.StatusTooManyRequests, wire.CodeOverloaded, fmt.Sprintf(format, args...)}
+}
 
 // mapError classifies an engine or catalog error into its HTTP form.
 // Transactions rejected by a declared specialization are a normal outcome
 // under enforcement — they map to 409 with the distinct "rejected" code so
-// clients can tell a violation from a concurrency conflict.
+// clients can tell a violation from a concurrency conflict. A poisoned
+// WAL maps to 503 "read_only" (mutations are refused until restart), and
+// a caller whose deadline expired mid-request gets 503 "unavailable".
 func mapError(err error) *apiError {
 	switch {
+	case errors.Is(err, catalog.ErrReadOnly):
+		return &apiError{http.StatusServiceUnavailable, wire.CodeReadOnly, err.Error()}
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return errUnavailable("request abandoned: %s", err.Error())
 	case errors.Is(err, catalog.ErrNotFound), errors.Is(err, relation.ErrNoSuchElement):
 		return &apiError{http.StatusNotFound, wire.CodeNotFound, err.Error()}
-	case errors.Is(err, catalog.ErrExists), errors.Is(err, relation.ErrAlreadyDeleted):
+	case errors.Is(err, catalog.ErrExists), errors.Is(err, relation.ErrAlreadyDeleted),
+		errors.Is(err, catalog.ErrIdemReuse):
 		return &apiError{http.StatusConflict, wire.CodeConflict, err.Error()}
 	case errors.Is(err, catalog.ErrBadName), errors.Is(err, relation.ErrWrongStampKind):
 		return &apiError{http.StatusBadRequest, wire.CodeBadRequest, err.Error()}
@@ -151,27 +190,65 @@ func mapError(err error) *apiError {
 	}
 }
 
-// wrap adds the per-endpoint envelope: body size cap, JSON rendering,
-// panic containment, and metrics accounting.
-func (s *Server) wrap(name string, fn func(*http.Request) (*response, *apiError)) http.Handler {
+// wrap adds the per-endpoint envelope: the client's deadline budget, the
+// draining check, class admission, body size cap, JSON rendering, panic
+// containment, and metrics accounting. Probe endpoints (class < 0) skip
+// draining and admission so the server can always describe its own state.
+func (s *Server) wrap(name string, class AdmissionClass, fn func(*http.Request) (*response, *apiError)) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-		res, aerr := func() (res *response, aerr *apiError) {
-			defer func() {
-				if p := recover(); p != nil {
-					res = nil
-					aerr = &apiError{http.StatusInternalServerError, wire.CodeInternal,
-						fmt.Sprintf("internal error: %v", p)}
+
+		// A client-sent deadline budget shrinks the request context, so
+		// catalog scans stop once the caller has given up waiting.
+		if ms, ok := deadlineBudget(r); ok {
+			ctx, cancel := context.WithTimeout(r.Context(), time.Duration(ms)*time.Millisecond)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+
+		var aerr *apiError
+		var res *response
+		switch {
+		case class >= 0 && s.draining.Load():
+			aerr = errUnavailable("server is draining")
+		case class >= 0 && !s.adm.disabled:
+			g := s.adm.gates[class]
+			ok, cause := g.acquire(r.Context())
+			if !ok {
+				switch cause {
+				case shedQueueFull:
+					aerr = errOverloaded("%s admission queue full", class)
+				case shedCanceled:
+					aerr = errUnavailable("deadline expired in %s admission queue", class)
+				default:
+					aerr = errUnavailable("%s admission wait exceeded %s", class, g.maxWait)
 				}
+				break
+			}
+			defer g.release()
+			fallthrough
+		default:
+			res, aerr = func() (res *response, aerr *apiError) {
+				defer func() {
+					if p := recover(); p != nil {
+						res = nil
+						aerr = &apiError{http.StatusInternalServerError, wire.CodeInternal,
+							fmt.Sprintf("internal error: %v", p)}
+					}
+				}()
+				return fn(r)
 			}()
-			return fn(r)
-		}()
+		}
 		touched := 0
 		if res != nil {
 			touched = res.touched
 		}
 		if aerr != nil {
+			// Shed and degraded responses are retryable after a pause; say so.
+			if aerr.status == http.StatusTooManyRequests || aerr.status == http.StatusServiceUnavailable {
+				w.Header().Set(wire.HeaderRetryAfter, "1")
+			}
 			writeJSON(w, aerr.status, wire.ErrorBody{Error: wire.ErrorDetail{
 				Code: aerr.code, Message: aerr.message,
 			}})
@@ -184,6 +261,24 @@ func (s *Server) wrap(name string, fn func(*http.Request) (*response, *apiError)
 		}
 		s.metrics.Record(name, time.Since(start), touched, aerr != nil)
 	})
+}
+
+// deadlineBudget parses the client's remaining-budget header.
+func deadlineBudget(r *http.Request) (int64, bool) {
+	h := r.Header.Get(wire.HeaderDeadline)
+	if h == "" {
+		return 0, false
+	}
+	ms, err := strconv.ParseInt(h, 10, 64)
+	if err != nil || ms <= 0 {
+		return 0, false
+	}
+	return ms, true
+}
+
+// idemKey extracts a mutation's idempotency key (empty when absent).
+func idemKey(r *http.Request) string {
+	return r.Header.Get(wire.HeaderIdempotencyKey)
 }
 
 func writeJSON(w http.ResponseWriter, status int, body any) {
@@ -221,12 +316,58 @@ func (s *Server) entry(r *http.Request) (*catalog.Entry, *apiError) {
 	return e, nil
 }
 
+// handleHealth reports actual liveness state, not an unconditional OK:
+// "draining" once graceful shutdown began, "degraded" while the WAL is
+// poisoned (reads serve, mutations refused), "ok" otherwise. The original
+// fields keep their shape; the state fields are additive and omitted when
+// healthy.
 func (s *Server) handleHealth(*http.Request) (*response, *apiError) {
-	return &response{body: wire.HealthResponse{
+	out := wire.HealthResponse{
 		Status:        "ok",
 		Relations:     s.cat.Len(),
 		UptimeSeconds: int64(time.Since(s.metrics.start) / time.Second),
-	}}, nil
+	}
+	if err := s.cat.Degraded(); err != nil {
+		out.Status = "degraded"
+		out.ReadOnly = true
+		out.WAL = err.Error()
+	}
+	if s.draining.Load() {
+		out.Status = "draining"
+		out.Draining = true
+	}
+	return &response{body: out}, nil
+}
+
+// handleReady is the readiness probe: 200 while the server should keep
+// receiving traffic, 503 (with reasons) when it should be rotated out —
+// draining, WAL poisoned, or an admission queue saturated.
+func (s *Server) handleReady(*http.Request) (*response, *apiError) {
+	out := wire.ReadyResponse{Ready: true, Status: "ok"}
+	if err := s.cat.Degraded(); err != nil {
+		out.Ready = false
+		out.Status = "degraded"
+		out.Reasons = append(out.Reasons, err.Error())
+	}
+	if sat := s.adm.saturated(); len(sat) > 0 {
+		out.Ready = false
+		if out.Status == "ok" {
+			out.Status = "saturated"
+		}
+		for _, c := range sat {
+			out.Reasons = append(out.Reasons, fmt.Sprintf("%s admission queue saturated", c))
+		}
+	}
+	if s.draining.Load() {
+		out.Ready = false
+		out.Status = "draining"
+		out.Reasons = append(out.Reasons, "server is draining")
+	}
+	status := http.StatusOK
+	if !out.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	return &response{status: status, body: out}, nil
 }
 
 func (s *Server) handleMetrics(*http.Request) (*response, *apiError) {
@@ -245,6 +386,10 @@ func (s *Server) handleMetrics(*http.Request) (*response, *apiError) {
 			DurableLSN:        st.DurableLSN,
 			TruncatedSegments: st.TruncatedSegments,
 		}
+	}
+	rep.Admission = s.adm.report()
+	if err := s.cat.Degraded(); err != nil {
+		rep.Degraded = &wire.DegradedMetrics{ReadOnly: true, Cause: err.Error()}
 	}
 	return &response{body: rep}, nil
 }
@@ -350,7 +495,7 @@ func (s *Server) handleInsert(r *http.Request) (*response, *apiError) {
 	if err != nil {
 		return nil, errBadRequest("%s", err.Error())
 	}
-	el, err := e.Insert(ins)
+	el, err := e.InsertKeyed(r.Context(), ins, idemKey(r))
 	if err != nil {
 		return nil, mapError(err)
 	}
@@ -399,7 +544,7 @@ func (s *Server) handleDelete(r *http.Request) (*response, *apiError) {
 	if req.ES == 0 {
 		return nil, errBadRequest("missing element surrogate")
 	}
-	if err := e.Delete(surrogate.Surrogate(req.ES)); err != nil {
+	if err := e.DeleteKeyed(r.Context(), surrogate.Surrogate(req.ES), idemKey(r)); err != nil {
 		return nil, mapError(err)
 	}
 	return &response{body: struct{}{}, touched: 1}, nil
@@ -425,7 +570,7 @@ func (s *Server) handleModify(r *http.Request) (*response, *apiError) {
 	if err != nil {
 		return nil, errBadRequest("%s", err.Error())
 	}
-	el, err := e.Modify(surrogate.Surrogate(req.ES), vt, vary)
+	el, err := e.ModifyKeyed(r.Context(), surrogate.Surrogate(req.ES), vt, vary, idemKey(r))
 	if err != nil {
 		return nil, mapError(err)
 	}
@@ -441,19 +586,24 @@ func (s *Server) handleQuery(r *http.Request) (*response, *apiError) {
 	if aerr := decode(r, &req); aerr != nil {
 		return nil, aerr
 	}
+	ctx := r.Context()
 	var res catalog.QueryResult
+	var err error
 	switch req.Kind {
 	case wire.QueryCurrent:
-		res = e.Current()
+		res, err = e.CurrentCtx(ctx)
 	case wire.QueryTimeslice:
-		res = e.Timeslice(chronon.Chronon(req.VT))
+		res, err = e.TimesliceCtx(ctx, chronon.Chronon(req.VT))
 	case wire.QueryRollback:
-		res = e.Rollback(chronon.Chronon(req.TT))
+		res, err = e.RollbackCtx(ctx, chronon.Chronon(req.TT))
 	case wire.QueryAsOf:
-		res = e.TimesliceAsOf(chronon.Chronon(req.VT), chronon.Chronon(req.TT))
+		res, err = e.TimesliceAsOfCtx(ctx, chronon.Chronon(req.VT), chronon.Chronon(req.TT))
 	default:
 		return nil, errBadRequest("unknown query kind %q (want %s|%s|%s|%s)",
 			req.Kind, wire.QueryCurrent, wire.QueryTimeslice, wire.QueryRollback, wire.QueryAsOf)
+	}
+	if err != nil {
+		return nil, mapError(err)
 	}
 	if res.Node != nil {
 		s.metrics.RecordPlan(res.Node.Leaf().Kind.String(), res.Touched)
@@ -581,9 +731,9 @@ func (s *Server) handleSelect(r *http.Request) (*response, *apiError) {
 			Rendered: node.Render(),
 		}}, nil
 	}
-	res, node, touched, err := e.Select(q)
+	res, node, touched, err := e.SelectCtx(r.Context(), q)
 	if err != nil {
-		return nil, errBadRequest("%s", err.Error())
+		return nil, mapError(err)
 	}
 	if node != nil {
 		s.metrics.RecordPlan(node.Leaf().Kind.String(), touched)
@@ -606,6 +756,9 @@ func (s *Server) handleSelect(r *http.Request) (*response, *apiError) {
 func (s *Server) handleSnapshot(*http.Request) (*response, *apiError) {
 	n, err := s.cat.Snapshot()
 	if err != nil {
+		if errors.Is(err, catalog.ErrReadOnly) {
+			return nil, mapError(err)
+		}
 		return nil, &apiError{http.StatusInternalServerError, wire.CodeInternal, err.Error()}
 	}
 	return &response{body: wire.SnapshotResponse{Saved: n}}, nil

@@ -1,6 +1,7 @@
 package tsql
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -32,6 +33,18 @@ func Eval(q *Query, r *relation.Relation) (*Result, error) {
 // produced. Every clause is (re-)applied, so a caller may pass a superset
 // of the answer; the predicates are idempotent.
 func EvalOn(q *Query, schema relation.Schema, versions []*element.Element) (*Result, error) {
+	return EvalOnCtx(context.Background(), q, schema, versions)
+}
+
+// cancelCheckEvery is how many versions the evaluation loop examines
+// between context checks; see EvalOnCtx.
+const cancelCheckEvery = 1024
+
+// EvalOnCtx is EvalOn with cooperative cancellation: the version loop
+// re-checks ctx every cancelCheckEvery elements, so a caller that has
+// timed out or hung up stops consuming CPU mid-scan instead of computing
+// a result no one will read.
+func EvalOnCtx(ctx context.Context, q *Query, schema relation.Schema, versions []*element.Element) (*Result, error) {
 	cols := q.Columns
 	if len(cols) == 0 {
 		// SELECT *: surrogates, stamps, then attributes in schema order.
@@ -79,7 +92,12 @@ func EvalOn(q *Query, schema relation.Schema, versions []*element.Element) (*Res
 
 	res := &Result{Columns: cols}
 	var keys []element.Value
-	for _, e := range versions {
+	for i, e := range versions {
+		if i%cancelCheckEvery == cancelCheckEvery-1 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		// Transaction-time selection: AS OF tt, else the current state.
 		if q.HasAsOf {
 			if !e.PresentAt(q.AsOf) {

@@ -580,11 +580,31 @@ type SnapshotResponse struct {
 	Saved int `json:"saved"`
 }
 
-// HealthResponse is the liveness probe body.
+// HealthResponse is the liveness probe body. Status is "ok" while the
+// server is fully serving, "degraded" when the WAL has poisoned (reads
+// serve, mutations return read_only), and "draining" during graceful
+// shutdown. The extra fields are omitted when healthy, so pre-existing
+// consumers of the original shape keep working.
 type HealthResponse struct {
 	Status        string `json:"status"`
 	Relations     int    `json:"relations"`
 	UptimeSeconds int64  `json:"uptime_seconds"`
+	// WAL carries the poison cause when the log has failed.
+	WAL string `json:"wal,omitempty"`
+	// Draining reports graceful shutdown in progress.
+	Draining bool `json:"draining,omitempty"`
+	// ReadOnly reports that mutations are being refused.
+	ReadOnly bool `json:"read_only,omitempty"`
+}
+
+// ReadyResponse is the readiness probe body (GET /readyz). Unlike
+// /healthz (liveness), readiness turns false when the server should stop
+// receiving new traffic: WAL poisoned, draining, or an admission queue
+// saturated.
+type ReadyResponse struct {
+	Ready   bool     `json:"ready"`
+	Status  string   `json:"status"` // "ok", "degraded", "draining", "saturated"
+	Reasons []string `json:"reasons,omitempty"`
 }
 
 // ErrorBody is the uniform error envelope.
@@ -606,6 +626,29 @@ const (
 	CodeRejected   = "rejected" // transaction rejected by a declared specialization
 	CodeTooLarge   = "too_large"
 	CodeInternal   = "internal"
+	// CodeOverloaded: the request's admission queue is full (429). The
+	// request was never admitted; retrying after Retry-After is safe.
+	CodeOverloaded = "overloaded"
+	// CodeUnavailable: the request could not be served in its deadline
+	// budget, or the server is draining (503). The request may or may not
+	// have executed; only idempotent requests should be retried blindly.
+	CodeUnavailable = "unavailable"
+	// CodeReadOnly: the WAL has poisoned and the catalog is serving in
+	// read-only degraded mode; mutations are refused until restart (503).
+	CodeReadOnly = "read_only"
+)
+
+// Resilience headers shared by client and server.
+const (
+	// HeaderDeadline carries the client's remaining deadline budget in
+	// milliseconds; the server shrinks the request context to it.
+	HeaderDeadline = "X-Tsdbd-Deadline-Ms"
+	// HeaderIdempotencyKey carries a mutation's idempotency key. A retry
+	// bearing the same key returns the originally stored element instead
+	// of appending a second one.
+	HeaderIdempotencyKey = "Idempotency-Key"
+	// HeaderRetryAfter is the standard backoff hint set on 429/503 sheds.
+	HeaderRetryAfter = "Retry-After"
 )
 
 // EndpointMetrics aggregates one endpoint's request accounting.
@@ -641,15 +684,41 @@ type WALMetrics struct {
 	TruncatedSegments uint64  `json:"truncated_segments"`
 }
 
+// ClassAdmissionMetrics reports one admission class's gate: its
+// configured limit, current occupancy and queue depth, lifetime admit
+// and shed counters (split by cause), and queue-wait quantiles.
+type ClassAdmissionMetrics struct {
+	Limit         int    `json:"limit"`
+	Inflight      int    `json:"inflight"`
+	Admitted      uint64 `json:"admitted"`
+	ShedOverload  uint64 `json:"shed_overload"` // queue full on arrival
+	ShedTimeout   uint64 `json:"shed_timeout"`  // max queue wait expired
+	ShedCanceled  uint64 `json:"shed_canceled"` // caller deadline/cancel while queued
+	QueueDepth    int    `json:"queue_depth"`
+	MaxQueueDepth int    `json:"max_queue_depth"`
+	WaitP50US     int64  `json:"wait_p50_us"`
+	WaitP95US     int64  `json:"wait_p95_us"`
+	WaitP99US     int64  `json:"wait_p99_us"`
+}
+
+// DegradedMetrics reports the catalog's degraded-mode gauge.
+type DegradedMetrics struct {
+	ReadOnly bool   `json:"read_only"`
+	Cause    string `json:"cause,omitempty"`
+}
+
 // MetricsResponse is the /metrics body: per-endpoint request counts,
 // latency summaries, elements-touched counters, the per-plan-kind
-// breakdown of query work (keyed by plan.NodeKind slugs), and the
-// write-ahead log gauges when durability is enabled.
+// breakdown of query work (keyed by plan.NodeKind slugs), the
+// write-ahead log gauges when durability is enabled, per-class admission
+// accounting, and the degraded-mode gauge when the catalog is read-only.
 type MetricsResponse struct {
-	UptimeSeconds int64                      `json:"uptime_seconds"`
-	Requests      uint64                     `json:"requests"`
-	Errors        uint64                     `json:"errors"`
-	Endpoints     map[string]EndpointMetrics `json:"endpoints"`
-	Plans         map[string]PlanMetrics     `json:"plans,omitempty"`
-	WAL           *WALMetrics                `json:"wal,omitempty"`
+	UptimeSeconds int64                            `json:"uptime_seconds"`
+	Requests      uint64                           `json:"requests"`
+	Errors        uint64                           `json:"errors"`
+	Endpoints     map[string]EndpointMetrics       `json:"endpoints"`
+	Plans         map[string]PlanMetrics           `json:"plans,omitempty"`
+	WAL           *WALMetrics                      `json:"wal,omitempty"`
+	Admission     map[string]ClassAdmissionMetrics `json:"admission,omitempty"`
+	Degraded      *DegradedMetrics                 `json:"degraded,omitempty"`
 }
