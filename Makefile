@@ -2,13 +2,14 @@ GO ?= go
 
 # Packages whose tests exercise shared mutable state across goroutines;
 # these run a second time under the race detector in `make ci`.
-RACE_PKGS = ./internal/relation ./internal/catalog ./internal/server ./internal/tx ./internal/wal ./client
+RACE_PKGS = ./internal/relation ./internal/catalog ./internal/server ./internal/storage ./internal/qcache ./internal/tx ./internal/wal ./client
 
-.PHONY: ci build vet fmt test race chaos fuzz fuzz-smoke bench clean
+.PHONY: ci build vet fmt test race chaos fuzz fuzz-smoke bench bench-smoke clean
 
 # ci is the tier-1 gate: everything must build, vet and gofmt clean, pass
-# tests, and pass the race detector on the concurrency-bearing packages.
-ci: vet fmt build test race
+# tests, pass the race detector on the concurrency-bearing packages, and
+# keep the read-path microbenchmarks compiling and running.
+ci: vet fmt build test race bench-smoke
 
 # fmt fails if any file needs gofmt (prints the offenders).
 fmt:
@@ -60,6 +61,12 @@ fuzz-smoke:
 # overload benchmarks (writes BENCH_*.json in the working directory).
 bench:
 	$(GO) run ./cmd/benchrunner
+
+# A trimmed read-path benchmark pass: locked vs snapshot vs cache-hit
+# time-slices at -benchtime=100ms. Fast enough for ci; the full
+# concurrent-reader experiment is `go run ./cmd/benchrunner -exp S4`.
+bench-smoke:
+	$(GO) test -run=NONE -bench='^BenchmarkReadPath' -benchtime=100ms ./internal/catalog
 
 clean:
 	rm -f BENCH_*.json

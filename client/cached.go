@@ -1,0 +1,123 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// CachedResponse is a query answer together with its freshness metadata.
+type CachedResponse struct {
+	QueryResponse
+	// ETag is the server's validator for this result — the relation's
+	// mutation epoch. The client stores it and revalidates with
+	// If-None-Match on the next identical query.
+	ETag string
+	// NotModified reports that the server answered 304 and the body was
+	// served from the client's local cache without the query running.
+	NotModified bool
+}
+
+// cachedEntry is one locally retained result keyed by its request path.
+type cachedEntry struct {
+	etag string
+	resp QueryResponse
+}
+
+// queryCache is the client-side conditional-request cache. It retains the
+// last response per distinct query path plus the server's ETag; entries
+// are only ever used to answer a 304, so a stale entry costs nothing but
+// memory and is overwritten by the next 200.
+type queryCache struct {
+	mu      sync.Mutex
+	entries map[string]cachedEntry
+}
+
+func (qc *queryCache) get(path string) (cachedEntry, bool) {
+	qc.mu.Lock()
+	defer qc.mu.Unlock()
+	ce, ok := qc.entries[path]
+	return ce, ok
+}
+
+func (qc *queryCache) put(path string, ce cachedEntry) {
+	qc.mu.Lock()
+	defer qc.mu.Unlock()
+	if qc.entries == nil {
+		qc.entries = make(map[string]cachedEntry)
+	}
+	qc.entries[path] = ce
+}
+
+// QueryCached runs one of the temporal query kinds through the server's
+// conditional GET endpoint. The first call fetches and remembers the
+// result with its ETag; subsequent identical calls revalidate with
+// If-None-Match, so an unmutated relation answers 304 and the body comes
+// from the client's cache — no query executes and no result set crosses
+// the wire. A mutation changes the relation's epoch, the validator stops
+// matching, and the next call fetches fresh.
+func (c *Client) QueryCached(ctx context.Context, name string, req QueryRequest) (CachedResponse, error) {
+	path := fmt.Sprintf("/v1/relations/%s/query?kind=%s&vt=%d&tt=%d",
+		name, req.Kind, req.VT, req.TT)
+
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return CachedResponse{}, fmt.Errorf("tsdbd: building request: %w", err)
+	}
+	cached, haveCached := c.qcache.get(path)
+	if haveCached {
+		httpReq.Header.Set(wire.HeaderIfNoneMatch, cached.etag)
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if ms := time.Until(dl).Milliseconds(); ms > 0 {
+			httpReq.Header.Set(wire.HeaderDeadline, strconv.FormatInt(ms, 10))
+		}
+	}
+
+	resp, err := c.http.Do(httpReq)
+	if err != nil {
+		return CachedResponse{}, fmt.Errorf("tsdbd: GET %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return CachedResponse{}, fmt.Errorf("tsdbd: reading response: %w", err)
+	}
+
+	switch {
+	case resp.StatusCode == http.StatusNotModified && haveCached:
+		return CachedResponse{
+			QueryResponse: cached.resp,
+			ETag:          resp.Header.Get(wire.HeaderETag),
+			NotModified:   true,
+		}, nil
+	case resp.StatusCode >= 300:
+		var eb wire.ErrorBody
+		if json.Unmarshal(payload, &eb) == nil && eb.Error.Code != "" {
+			return CachedResponse{}, &APIError{Status: resp.StatusCode, Code: eb.Error.Code, Message: eb.Error.Message}
+		}
+		return CachedResponse{}, &APIError{
+			Status:  resp.StatusCode,
+			Code:    CodeInternal,
+			Message: strings.TrimSpace(string(payload)),
+		}
+	}
+
+	var out QueryResponse
+	if err := json.Unmarshal(payload, &out); err != nil {
+		return CachedResponse{}, fmt.Errorf("tsdbd: decoding response: %w", err)
+	}
+	etag := resp.Header.Get(wire.HeaderETag)
+	if etag != "" {
+		c.qcache.put(path, cachedEntry{etag: etag, resp: out})
+	}
+	return CachedResponse{QueryResponse: out, ETag: etag}, nil
+}

@@ -186,6 +186,9 @@ type Client struct {
 	base  string
 	http  *http.Client
 	retry RetryPolicy
+	// qcache holds the conditional-request state for QueryCached: the
+	// last response and ETag per distinct query path.
+	qcache queryCache
 }
 
 // Option customizes a Client.

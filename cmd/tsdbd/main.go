@@ -37,6 +37,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	pprofhttp "net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -66,6 +67,8 @@ func main() {
 	flag.IntVar(&o.admitAdmin, "admit-admin", 0, "concurrent admin-class requests admitted (0 = default 2)")
 	flag.IntVar(&o.admitQueue, "admit-queue", 0, "bounded wait-queue depth per class (0 = class default)")
 	flag.DurationVar(&o.admitMaxWait, "admit-max-wait", 0, "longest a queued request may wait for admission (0 = class default)")
+	flag.Int64Var(&o.cacheBytes, "query-cache", 32<<20, "plan-keyed query result cache budget in bytes (0 disables)")
+	flag.BoolVar(&o.pprof, "pprof", false, "expose /debug/pprof profiling endpoints (bypass admission control)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -85,6 +88,8 @@ type options struct {
 	admitReads, admitWrites   int
 	admitAdmin, admitQueue    int
 	admitMaxWait              time.Duration
+	cacheBytes                int64
+	pprof                     bool
 }
 
 // admission maps the flags onto the server's admission config.
@@ -124,7 +129,7 @@ func run(o options) error {
 		}
 		defer wlog.Close()
 	}
-	cat := catalog.New(catalog.Config{Dir: dataDir, WAL: wlog})
+	cat := catalog.New(catalog.Config{Dir: dataDir, WAL: wlog, CacheBytes: o.cacheBytes})
 	if err := cat.Open(); err != nil {
 		return fmt.Errorf("opening catalog: %w", err)
 	}
@@ -148,8 +153,24 @@ func run(o options) error {
 	}
 	log.Printf("listening on %s", ln.Addr())
 
+	// -pprof mounts the profiler on an outer mux, outside the request
+	// timeout and admission control: profiling an overloaded server is
+	// exactly when the probe must not queue behind the load it inspects.
+	handler := srv.Handler()
+	if o.pprof {
+		outer := http.NewServeMux()
+		outer.HandleFunc("/debug/pprof/", pprofhttp.Index)
+		outer.HandleFunc("/debug/pprof/cmdline", pprofhttp.Cmdline)
+		outer.HandleFunc("/debug/pprof/profile", pprofhttp.Profile)
+		outer.HandleFunc("/debug/pprof/symbol", pprofhttp.Symbol)
+		outer.HandleFunc("/debug/pprof/trace", pprofhttp.Trace)
+		outer.Handle("/", handler)
+		handler = outer
+		log.Printf("pprof: profiling endpoints exposed at /debug/pprof/")
+	}
+
 	hs := &http.Server{
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       o.readTimeout,
 		WriteTimeout:      o.writeTimeout,

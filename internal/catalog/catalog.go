@@ -23,6 +23,7 @@ import (
 	"path/filepath"
 	"regexp"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -34,6 +35,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/element"
 	"repro/internal/plan"
+	"repro/internal/qcache"
 	"repro/internal/query"
 	"repro/internal/relation"
 	"repro/internal/storage"
@@ -84,6 +86,15 @@ type Config struct {
 	// acknowledges. Open replays the log's recovered records over the
 	// snapshots, and Snapshot truncates segments the sweep has covered.
 	WAL *wal.Log
+	// CacheBytes bounds the catalog-wide query-result cache; 0 disables
+	// it. Results are keyed by (relation, fingerprint, mutation epoch), so
+	// any mutation invalidates a relation's cached results for free.
+	CacheBytes int64
+	// LockedReads restores the pre-epoch read path: queries run under the
+	// relation's shared lock against the live engine, with no published
+	// snapshots and no result cache. It exists so the read-scaling
+	// benchmark has an honest baseline; production has no reason to set it.
+	LockedReads bool
 }
 
 // WAL record kinds. These values are replayed from disk, so they must
@@ -111,16 +122,21 @@ type shard struct {
 type Catalog struct {
 	cfg    Config
 	shards [shardCount]shard
+	cache  *qcache.Cache
 }
 
 // New creates an empty catalog. Call Open to load the data directory.
 func New(cfg Config) *Catalog {
-	c := &Catalog{cfg: cfg}
+	c := &Catalog{cfg: cfg, cache: qcache.New(cfg.CacheBytes)}
 	for i := range c.shards {
 		c.shards[i].entries = make(map[string]*Entry)
 	}
 	return c
 }
+
+// Cache exposes the catalog-wide query-result cache (nil when disabled),
+// for the server's metrics endpoint and its EXPLAIN caching.
+func (c *Catalog) Cache() *qcache.Cache { return c.cache }
 
 func (c *Catalog) newClock() tx.Clock {
 	if c.cfg.NewClock != nil {
@@ -161,7 +177,7 @@ func (c *Catalog) Open() error {
 			if r.Schema().Name != name {
 				return fmt.Errorf("catalog: %s holds relation %q, want %q", path, r.Schema().Name, name)
 			}
-			e := newEntry(name, relation.NewLocked(r), decls)
+			e := c.newEntry(name, relation.NewLocked(r), decls)
 			e.wal = c.cfg.WAL
 			e.walLSN.Store(walLSN)
 			sh := c.shardFor(name)
@@ -187,10 +203,13 @@ func (c *Catalog) Open() error {
 			}
 		}
 		// One engine rebuild per touched relation, after all its records
-		// landed — the store reload is O(versions), not O(versions²).
+		// landed — the store reload is O(versions), not O(versions²). The
+		// publish bumps the epoch past the construction-time view, so any
+		// result cached against a pre-replay epoch is dead on arrival.
 		for e := range touched {
 			_ = e.locked.Exclusive(func(r *relation.Relation) error {
 				_ = e.rebuildEngine(r)
+				e.publish()
 				return nil
 			})
 			e.dirty.Store(true)
@@ -219,7 +238,7 @@ func (c *Catalog) applyWALRecord(rec wal.Record) (*Entry, error) {
 		if _, dup := sh.entries[rec.Rel]; dup {
 			return nil, nil // the snapshot file already restored it
 		}
-		e := newEntry(rec.Rel, relation.NewLocked(relation.New(schema, c.newClock())), nil)
+		e := c.newEntry(rec.Rel, relation.NewLocked(relation.New(schema, c.newClock())), nil)
 		e.wal = c.cfg.WAL
 		e.walLSN.Store(rec.LSN)
 		e.dirty.Store(true)
@@ -368,7 +387,7 @@ func (c *Catalog) Create(schema relation.Schema) (*Entry, error) {
 		return nil, err
 	}
 	r := relation.New(schema, c.newClock())
-	e := newEntry(name, relation.NewLocked(r), nil)
+	e := c.newEntry(name, relation.NewLocked(r), nil)
 	e.wal = c.cfg.WAL
 	e.dirty.Store(true) // persist even if never written to
 	sh := c.shardFor(name)
@@ -554,14 +573,67 @@ type Entry struct {
 	// entry's lifetime. It lives here rather than on the engine because
 	// declarations rebuild the engine; the counters must survive that.
 	plans plan.Recorder
+
+	// view is the published immutable read snapshot, swapped atomically by
+	// publish under the exclusive lock on every mutation. Readers pin it
+	// with one atomic load and then run entirely lock-free: the view's
+	// store never mutates (copy-on-close deletes swap clones into the live
+	// structures, leaving the pinned elements exactly as published). Never
+	// nil after newEntry.
+	view atomic.Pointer[readView]
+
+	// cache is the catalog-wide result cache (nil-safe when disabled) and
+	// lockedReads the benchmarking compat mode; both copied from the
+	// catalog at entry construction.
+	cache       *qcache.Cache
+	lockedReads bool
 }
 
-func newEntry(name string, l *relation.Locked, decls []constraint.Descriptor) *Entry {
-	e := &Entry{name: name, locked: l, decls: decls, dedup: newDedupWindow()}
+// readView is one published epoch of a relation: a frozen store snapshot
+// wrapped in its own engine, the elements in arrival (tt⊢) order for the
+// scan paths, and the schema. A reader that pinned a view observes the
+// relation exactly as of the epoch's publication no matter how many
+// writers commit meanwhile.
+type readView struct {
+	epoch  uint64
+	engine *query.Engine
+	elems  []*element.Element
+	schema relation.Schema
+}
+
+// publish stamps the next mutation epoch and swaps in a fresh immutable
+// view of the engine's store. Caller holds the exclusive lock (epochs
+// must be assigned in commit order).
+func (e *Entry) publish() {
+	ep := uint64(1)
+	if old := e.view.Load(); old != nil {
+		ep = old.epoch + 1
+	}
+	en := e.engine.Snapshot()
+	e.view.Store(&readView{
+		epoch:  ep,
+		engine: en,
+		elems:  storage.Elements(en.Store()),
+		schema: e.locked.Schema(),
+	})
+}
+
+// Epoch reports the relation's current mutation epoch — bumped by every
+// insert, delete, modify, declare, vacuum, and boot-time replay. It is
+// the validator the server hands out as an ETag and the cache keys
+// results under.
+func (e *Entry) Epoch() uint64 { return e.view.Load().epoch }
+
+func (c *Catalog) newEntry(name string, l *relation.Locked, decls []constraint.Descriptor) *Entry {
+	e := &Entry{
+		name: name, locked: l, decls: decls, dedup: newDedupWindow(),
+		cache: c.cache, lockedReads: c.cfg.LockedReads,
+	}
 	_ = l.Exclusive(func(r *relation.Relation) error {
 		// A bounds error here means a persisted declaration carries
 		// inverted offsets; the engine still works, just without pushdown.
 		_ = e.rebuildEngine(r)
+		e.publish()
 		return nil
 	})
 	return e
@@ -709,6 +781,7 @@ func (e *Entry) InsertKeyed(ctx context.Context, ins relation.Insertion, key str
 			// organization rather than lose the committed element.
 			e.decls2general(r, serr)
 		}
+		e.publish()
 		e.dirty.Store(true)
 		return nil
 	})
@@ -816,10 +889,15 @@ func (e *Entry) DeleteKeyed(ctx context.Context, es surrogate.Surrogate, key str
 			lsn = l
 			e.walLSN.Store(lsn)
 		}
-		r.CommitDelete(el, tt)
+		// The close lands on a clone (copy-on-close); swap it into the
+		// physical store so the live engine sees the finalized tt⊣ while
+		// pinned read views keep the open original.
+		closed := r.CommitDelete(el, tt)
+		e.engine.Store().Replace(el, closed)
 		if key != "" {
 			e.dedup.remember(key, dedupDelete, nil)
 		}
+		e.publish()
 		e.dirty.Store(true)
 		return nil
 	})
@@ -879,7 +957,8 @@ func (e *Entry) ModifyKeyed(ctx context.Context, es surrogate.Surrogate, vt elem
 			lsn = l
 			e.walLSN.Store(lsn)
 		}
-		r.CommitDelete(old, tt)
+		closed := r.CommitDelete(old, tt)
+		e.engine.Store().Replace(old, closed)
 		r.CommitInsert(repl)
 		if key != "" {
 			e.dedup.remember(key, dedupModify, repl)
@@ -888,6 +967,7 @@ func (e *Entry) ModifyKeyed(ctx context.Context, es surrogate.Surrogate, vt elem
 		if serr := e.engine.Store().Insert(repl); serr != nil {
 			e.decls2general(r, serr)
 		}
+		e.publish()
 		e.dirty.Store(true)
 		return nil
 	})
@@ -959,9 +1039,11 @@ func (e *Entry) Declare(descs []constraint.Descriptor) error {
 		if err := e.rebuildEngine(r); err != nil {
 			// The declaration stands (its enforcer is sound) but its bounds
 			// cannot drive the pushdown; surface the bug to the caller.
+			e.publish()
 			e.dirty.Store(true)
 			return err
 		}
+		e.publish()
 		e.dirty.Store(true)
 		return nil
 	})
@@ -978,6 +1060,9 @@ type QueryResult struct {
 	// Node is the typed plan the engine executed; Plan is its rendering.
 	Node    *plan.Node
 	Touched int
+	// Epoch is the mutation epoch the result was computed against — the
+	// validator the server exposes as an ETag.
+	Epoch uint64
 }
 
 func (e *Entry) toResult(res query.Result) QueryResult {
@@ -993,10 +1078,9 @@ func (e *Entry) Current() QueryResult {
 	return out
 }
 
-// CurrentCtx is Current with caller cancellation: a queued reader whose
-// caller has already hung up does no engine work once it gets the lock.
+// CurrentCtx is Current with caller cancellation.
 func (e *Entry) CurrentCtx(ctx context.Context) (QueryResult, error) {
-	return e.viewCtx(ctx, func() query.Result { return e.engine.Current() })
+	return e.readCtx(ctx, "current", func(en *query.Engine) query.Result { return en.Current() })
 }
 
 // Timeslice answers the historical query at vt.
@@ -1007,7 +1091,8 @@ func (e *Entry) Timeslice(vt chronon.Chronon) QueryResult {
 
 // TimesliceCtx is Timeslice with caller cancellation.
 func (e *Entry) TimesliceCtx(ctx context.Context, vt chronon.Chronon) (QueryResult, error) {
-	return e.viewCtx(ctx, func() query.Result { return e.engine.Timeslice(vt) })
+	return e.readCtx(ctx, "ts:"+strconv.FormatInt(int64(vt), 10),
+		func(en *query.Engine) query.Result { return en.Timeslice(vt) })
 }
 
 // Rollback answers the rollback query at tt.
@@ -1018,28 +1103,64 @@ func (e *Entry) Rollback(tt chronon.Chronon) QueryResult {
 
 // RollbackCtx is Rollback with caller cancellation.
 func (e *Entry) RollbackCtx(ctx context.Context, tt chronon.Chronon) (QueryResult, error) {
-	return e.viewCtx(ctx, func() query.Result { return e.engine.Rollback(tt) })
+	return e.readCtx(ctx, "rb:"+strconv.FormatInt(int64(tt), 10),
+		func(en *query.Engine) query.Result { return en.Rollback(tt) })
 }
 
-// viewCtx runs one engine query under the shared lock, checking the
-// caller's context both before queueing for the lock and again after
-// acquiring it (lock waits can outlast short deadlines).
-func (e *Entry) viewCtx(ctx context.Context, run func() query.Result) (QueryResult, error) {
+// readCtx runs one engine query against the published read view: readers
+// pin the view with a single atomic load and never touch the relation
+// lock, so a steady writer cannot convoy them. Results are memoized in
+// the catalog's cache under (relation, fingerprint, epoch); a hit is
+// returned without any engine work and still counts on the per-plan-kind
+// metrics (with zero touched — nothing was scanned).
+//
+// Compat: with Config.LockedReads the query runs under the shared lock
+// against the live engine — the pre-epoch behavior, kept as the
+// read-scaling baseline — checking the context both before queueing for
+// the lock and after acquiring it (lock waits can outlast deadlines).
+func (e *Entry) readCtx(ctx context.Context, fp string, run func(en *query.Engine) query.Result) (QueryResult, error) {
 	if err := ctx.Err(); err != nil {
 		return QueryResult{}, err
 	}
-	var res query.Result
-	err := e.locked.View(func(*relation.Relation) error {
-		if err := ctx.Err(); err != nil {
-			return err
+	if e.lockedReads {
+		var res query.Result
+		err := e.locked.View(func(*relation.Relation) error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			res = run(e.engine)
+			return nil
+		})
+		if err != nil {
+			return QueryResult{}, err
 		}
-		res = run()
-		return nil
-	})
-	if err != nil {
-		return QueryResult{}, err
+		out := e.toResult(res)
+		out.Epoch = e.Epoch()
+		return out, nil
 	}
-	return e.toResult(res), nil
+	v := e.view.Load()
+	key := qcache.Key{Rel: e.name, Fingerprint: fp, Epoch: v.epoch}
+	if hit, ok := e.cache.Get(key); ok {
+		qr := hit.(QueryResult)
+		e.plans.Record(qr.Node.Leaf().Kind, 0)
+		return qr, nil
+	}
+	out := e.toResult(run(v.engine))
+	out.Epoch = v.epoch
+	e.cache.Put(key, out, resultSize(out))
+	return out, nil
+}
+
+// resultSize approximates a cached result's resident bytes for the
+// cache's byte budget: a fixed element overhead plus its value slices,
+// plus the plan rendering. Precision doesn't matter — the budget only has
+// to scale with the real footprint.
+func resultSize(qr QueryResult) int64 {
+	n := int64(len(qr.Plan)) + 64
+	for _, el := range qr.Elements {
+		n += 128 + 32*int64(len(el.Invariant)+len(el.Varying)+len(el.UserTimes))
+	}
+	return n
 }
 
 // TimesliceAsOf answers the bitemporal query: elements valid at vt as
@@ -1054,28 +1175,74 @@ func (e *Entry) TimesliceAsOf(vt, tt chronon.Chronon) QueryResult {
 // TimesliceAsOfCtx is TimesliceAsOf with caller cancellation. The
 // bitemporal scan is the catalog's most expensive read, so the scan
 // itself is cooperative: it re-checks the context periodically and stops
-// mid-scan when the caller is gone.
+// mid-scan when the caller is gone. Like the other reads it runs against
+// the pinned view — no physical organization indexes both time
+// dimensions, so it scans the view's elements — and memoizes in the
+// result cache, where repeat bitemporal traffic benefits the most.
 func (e *Entry) TimesliceAsOfCtx(ctx context.Context, vt, tt chronon.Chronon) (QueryResult, error) {
 	if err := ctx.Err(); err != nil {
 		return QueryResult{}, err
 	}
-	var out QueryResult
-	err := e.locked.View(func(r *relation.Relation) error {
-		node := e.engine.Plan(plan.Query{Kind: plan.QAsOf, VTLo: int64(vt), TT: int64(tt)})
-		els, err := r.TimesliceAsOfCtx(ctx, vt, tt)
+	if e.lockedReads {
+		var out QueryResult
+		err := e.locked.View(func(r *relation.Relation) error {
+			node := e.engine.Plan(plan.Query{Kind: plan.QAsOf, VTLo: int64(vt), TT: int64(tt)})
+			els, err := r.TimesliceAsOfCtx(ctx, vt, tt)
+			if err != nil {
+				return err
+			}
+			out.Elements = els
+			out.Plan = node.String()
+			out.Node = node
+			out.Touched = r.Len()
+			return nil
+		})
 		if err != nil {
-			return err
+			return QueryResult{}, err
 		}
-		out.Elements = els
-		out.Plan = node.String()
-		out.Node = node
-		out.Touched = r.Len()
-		return nil
-	})
+		out.Epoch = e.Epoch()
+		e.plans.Record(out.Node.Leaf().Kind, out.Touched)
+		return out, nil
+	}
+	v := e.view.Load()
+	fp := "asof:" + strconv.FormatInt(int64(vt), 10) + ":" + strconv.FormatInt(int64(tt), 10)
+	key := qcache.Key{Rel: e.name, Fingerprint: fp, Epoch: v.epoch}
+	if hit, ok := e.cache.Get(key); ok {
+		qr := hit.(QueryResult)
+		e.plans.Record(qr.Node.Leaf().Kind, 0)
+		return qr, nil
+	}
+	node := v.engine.Plan(plan.Query{Kind: plan.QAsOf, VTLo: int64(vt), TT: int64(tt)})
+	els, err := asOfScan(ctx, v.elems, vt, tt)
 	if err != nil {
 		return QueryResult{}, err
 	}
-	e.plans.Record(out.Node.Leaf().Kind, out.Touched)
+	out := QueryResult{
+		Elements: els, Plan: node.String(), Node: node,
+		Touched: len(v.elems), Epoch: v.epoch,
+	}
+	e.plans.Record(node.Leaf().Kind, out.Touched)
+	e.cache.Put(key, out, resultSize(out))
+	return out, nil
+}
+
+// asOfCheckEvery matches the relation layer's cooperative-scan cadence.
+const asOfCheckEvery = 1024
+
+// asOfScan is the bitemporal full scan over a pinned view's elements,
+// cooperative like relation.TimesliceAsOfCtx.
+func asOfScan(ctx context.Context, elems []*element.Element, vt, tt chronon.Chronon) ([]*element.Element, error) {
+	var out []*element.Element
+	for i, el := range elems {
+		if i%asOfCheckEvery == asOfCheckEvery-1 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		if el.PresentAt(tt) && el.ValidAt(vt) {
+			out = append(out, el)
+		}
+	}
 	return out, nil
 }
 
@@ -1090,8 +1257,28 @@ func (e *Entry) Select(q *tsql.Query) (*tsql.Result, *plan.Node, int, error) {
 	return e.SelectCtx(context.Background(), q)
 }
 
+// selectScratch pools candidate slices for SELECTs that must re-sort an
+// index seek's output into insertion order, so the hot path stops
+// allocating a fresh slice per query.
+var selectScratch = sync.Pool{New: func() any { return new([]*element.Element) }}
+
+// esOrdered reports whether the candidates already carry ascending
+// element surrogates. Surrogates are assigned in insertion order and the
+// log organizations yield arrival order, so only the B-tree index seek
+// (vt-key order over a heap) normally fails this and pays the sort.
+func esOrdered(els []*element.Element) bool {
+	for i := 1; i < len(els); i++ {
+		if els[i].ES < els[i-1].ES {
+			return false
+		}
+	}
+	return true
+}
+
 // SelectCtx is Select with caller cancellation; the full-scan evaluation
 // path is cooperative, re-checking the context periodically mid-scan.
+// Like the engine reads it evaluates against the pinned view, lock-free
+// (LockedReads restores the shared-lock path).
 func (e *Entry) SelectCtx(ctx context.Context, q *tsql.Query) (*tsql.Result, *plan.Node, int, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, nil, 0, err
@@ -1099,28 +1286,47 @@ func (e *Entry) SelectCtx(ctx context.Context, q *tsql.Query) (*tsql.Result, *pl
 	var res *tsql.Result
 	var node *plan.Node
 	touched := 0
-	err := e.locked.View(func(r *relation.Relation) error {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		node = tsql.Compile(q, e.engine.Access())
+	eval := func(en *query.Engine, schema relation.Schema, versions []*element.Element) error {
+		node = tsql.Compile(q, en.Access())
 		var err error
 		switch node.Leaf().Kind {
 		case plan.VTBinarySearch, plan.TTWindowPushdown, plan.BTreeIndexSeek:
 			pq := tsql.PlanQuery(q)
-			qres := e.engine.VTRange(chronon.Chronon(pq.VTLo), chronon.Chronon(pq.VTHi))
-			// Element surrogates are assigned in insertion order, so an
-			// ES sort restores the backlog scan's row order exactly.
-			cands := append([]*element.Element(nil), qres.Elements...)
-			sort.Slice(cands, func(i, j int) bool { return cands[i].ES < cands[j].ES })
-			res, err = tsql.EvalOnCtx(ctx, q, r.Schema(), cands)
+			qres := en.VTRange(chronon.Chronon(pq.VTLo), chronon.Chronon(pq.VTHi))
 			touched = qres.Touched
+			if esOrdered(qres.Elements) {
+				// Already the backlog scan's row order; evaluate in place.
+				res, err = tsql.EvalOnCtx(ctx, q, schema, qres.Elements)
+				return err
+			}
+			// An ES sort restores the backlog scan's row order exactly;
+			// sort a pooled scratch copy, never the store's slice.
+			sp := selectScratch.Get().(*[]*element.Element)
+			cands := append((*sp)[:0], qres.Elements...)
+			sort.Slice(cands, func(i, j int) bool { return cands[i].ES < cands[j].ES })
+			res, err = tsql.EvalOnCtx(ctx, q, schema, cands)
+			clear(cands) // drop element references before pooling
+			*sp = cands[:0]
+			selectScratch.Put(sp)
+			return err
 		default:
-			res, err = tsql.EvalOnCtx(ctx, q, r.Schema(), r.Versions())
-			touched = r.Len()
+			res, err = tsql.EvalOnCtx(ctx, q, schema, versions)
+			touched = len(versions)
+			return err
 		}
-		return err
-	})
+	}
+	var err error
+	if e.lockedReads {
+		err = e.locked.View(func(r *relation.Relation) error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			return eval(e.engine, r.Schema(), r.Versions())
+		})
+	} else {
+		v := e.view.Load()
+		err = eval(v.engine, v.schema, v.elems)
+	}
 	if err != nil {
 		return nil, nil, 0, err
 	}
@@ -1129,24 +1335,39 @@ func (e *Entry) SelectCtx(ctx context.Context, q *tsql.Query) (*tsql.Result, *pl
 }
 
 // Explain compiles the plan a SELECT would execute, without running it.
+// It reads the published view's engine — one atomic load, no relation
+// lock — so planning traffic never queues behind writers.
 func (e *Entry) Explain(q *tsql.Query) *plan.Node {
-	var node *plan.Node
-	_ = e.locked.View(func(*relation.Relation) error {
-		node = tsql.Compile(q, e.engine.Access())
-		return nil
-	})
-	return node
+	return tsql.Compile(q, e.view.Load().engine.Access())
 }
 
 // PlanFor builds the plan for one of the engine's query shapes, without
-// executing it.
+// executing it. Lock-free like Explain.
 func (e *Entry) PlanFor(pq plan.Query) *plan.Node {
-	var node *plan.Node
-	_ = e.locked.View(func(*relation.Relation) error {
-		node = e.engine.Plan(pq)
+	return e.view.Load().engine.Plan(pq)
+}
+
+// Vacuum physically removes versions dead at or before the horizon (see
+// relation.Vacuum), rebuilds the physical store over the survivors, and
+// publishes a fresh epoch so pinned views keep serving the pre-vacuum
+// state and every cached result is invalidated. No-op horizons (nothing
+// removed) publish nothing — reads keep their epoch and cache.
+func (e *Entry) Vacuum(horizon chronon.Chronon) (int, error) {
+	removed := 0
+	err := e.locked.Exclusive(func(r *relation.Relation) error {
+		n, err := r.Vacuum(horizon)
+		if err != nil {
+			return err
+		}
+		removed = n
+		if n > 0 {
+			_ = e.rebuildEngine(r)
+			e.publish()
+			e.dirty.Store(true)
+		}
 		return nil
 	})
-	return node
+	return removed, err
 }
 
 // PlanStats reports the entry's lifetime per-plan-kind counters.

@@ -93,6 +93,21 @@ func ForRelation(r *relation.Relation, classes []core.Class) (*Engine, storage.A
 // Store exposes the underlying store.
 func (en *Engine) Store() storage.Store { return en.store }
 
+// Snapshot returns an engine over an immutable snapshot of the store,
+// carrying the same declared classes and pushdown bounds. The snapshot
+// engine is safe for fully concurrent queries (its store never mutates
+// and its counters are atomic); the catalog publishes one per mutation
+// epoch so readers never block behind writers.
+func (en *Engine) Snapshot() *Engine {
+	return &Engine{
+		store:     en.store.Snapshot(),
+		classes:   en.classes,
+		boundLo:   en.boundLo,
+		boundHi:   en.boundHi,
+		hasBounds: en.hasBounds,
+	}
+}
+
 // Stats reports engine-lifetime counters.
 func (en *Engine) Stats() Stats {
 	return Stats{Queries: int(en.queries.Load()), Touched: int(en.touched.Load())}

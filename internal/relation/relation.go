@@ -226,11 +226,51 @@ func (r *Relation) applyInsert(e *element.Element) {
 	}
 }
 
-func (r *Relation) applyDelete(e *element.Element, tt chronon.Chronon) {
-	e.TTEnd = tt
-	r.log = append(r.log, LogRecord{Op: OpDelete, TT: tt, Elem: e})
+// applyDelete closes the element's existence interval by copy-on-close:
+// the element itself is never mutated. A clone with TTEnd finalized is
+// swapped into every live structure and returned; the open original stays
+// exactly as any previously published read snapshot saw it, which is what
+// lets the catalog serve lock-free epoch-stamped reads.
+func (r *Relation) applyDelete(e *element.Element, tt chronon.Chronon) *element.Element {
+	closed := e.Clone()
+	closed.TTEnd = tt
+	r.swapVersion(e, closed)
+	r.log = append(r.log, LogRecord{Op: OpDelete, TT: tt, Elem: closed})
 	for _, g := range r.guards {
-		g.Applied(r, OpDelete, e, tt)
+		g.Applied(r, OpDelete, closed, tt)
+	}
+	return closed
+}
+
+// swapVersion rewires every live structure that references old to repl.
+// versions and log are tt⊢-sorted, so both lookups binary-search to the
+// run sharing old's TTStart and walk it for pointer identity. The backlog
+// insert record must be repointed too: Vacuum decides liveness from
+// rec.Elem.TTEnd, and Declare's warm replay must observe the close.
+func (r *Relation) swapVersion(old, repl *element.Element) {
+	r.byES[old.ES] = repl
+	line := r.byOS[old.OS]
+	for i, e := range line {
+		if e == old {
+			line[i] = repl
+			break
+		}
+	}
+	i := sort.Search(len(r.versions), func(j int) bool {
+		return r.versions[j].TTStart >= old.TTStart
+	})
+	for ; i < len(r.versions) && r.versions[i].TTStart == old.TTStart; i++ {
+		if r.versions[i] == old {
+			r.versions[i] = repl
+			break
+		}
+	}
+	j := sort.Search(len(r.log), func(k int) bool { return r.log[k].TT >= old.TTStart })
+	for ; j < len(r.log) && r.log[j].TT == old.TTStart; j++ {
+		if rec := &r.log[j]; rec.Op == OpInsert && rec.Elem == old {
+			rec.Elem = repl
+			break
+		}
 	}
 }
 

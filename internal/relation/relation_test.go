@@ -129,11 +129,20 @@ func TestDelete(t *testing.T) {
 	if err := r.Delete(e.ES); err != nil {
 		t.Fatalf("Delete: %v", err)
 	}
-	if e.Current() {
+	// Deletion is copy-on-close: the caller's pointer stays open (pinned
+	// snapshots rely on that); the relation now holds the closed clone.
+	if !e.Current() {
+		t.Error("caller's element mutated by delete; copy-on-close broken")
+	}
+	live, ok := r.ByES(e.ES)
+	if !ok {
+		t.Fatal("deleted element vanished from byES")
+	}
+	if live.Current() {
 		t.Error("deleted element still current")
 	}
-	if e.TTEnd != 20 {
-		t.Errorf("TTEnd = %v, want 20", e.TTEnd)
+	if live.TTEnd != 20 {
+		t.Errorf("TTEnd = %v, want 20", live.TTEnd)
 	}
 	if err := r.Delete(e.ES); !errors.Is(err, ErrAlreadyDeleted) {
 		t.Errorf("double delete: %v", err)
@@ -151,8 +160,10 @@ func TestModify(t *testing.T) {
 		t.Fatalf("Modify: %v", err)
 	}
 	// The paper: modification = logical delete + insert with fresh element
-	// surrogate, both at the same transaction time.
-	if e.Current() {
+	// surrogate, both at the same transaction time. The close lands on a
+	// clone (copy-on-close); observe it through the relation.
+	old, _ := r.ByES(e.ES)
+	if old.Current() {
 		t.Error("modified-away element still current")
 	}
 	if !repl.Current() {
@@ -164,8 +175,8 @@ func TestModify(t *testing.T) {
 	if repl.OS != e.OS {
 		t.Error("replacement must keep the object surrogate")
 	}
-	if e.TTEnd != repl.TTStart {
-		t.Errorf("delete tt %v != insert tt %v", e.TTEnd, repl.TTStart)
+	if old.TTEnd != repl.TTStart {
+		t.Errorf("delete tt %v != insert tt %v", old.TTEnd, repl.TTStart)
 	}
 	if s, _ := repl.Invariant[0].Str(); s != "s1" {
 		t.Error("replacement lost time-invariant values")
@@ -190,6 +201,7 @@ func TestCurrentAndRollback(t *testing.T) {
 		t.Fatal(err)
 	}
 	e3 := insertReading(t, r, 3, "s3", 3) // tt=40
+	e1, _ = r.ByES(e1.ES)                 // the closed clone the relation now holds
 
 	cur := r.Current()
 	if len(cur) != 2 || cur[0] != e2 || cur[1] != e3 {
@@ -256,7 +268,9 @@ func TestTimeslice(t *testing.T) {
 	if got := r.Timeslice(50); len(got) != 0 {
 		t.Errorf("Timeslice(50) after delete = %v", got)
 	}
-	// ...but the bitemporal query at an earlier transaction time does.
+	// ...but the bitemporal query at an earlier transaction time does
+	// (answered by the closed clone that replaced e1 on delete).
+	e1, _ = r.ByES(e1.ES)
 	got = r.TimesliceAsOf(50, e1.TTStart)
 	if len(got) != 1 || got[0] != e1 {
 		t.Errorf("TimesliceAsOf = %v", got)

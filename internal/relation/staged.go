@@ -58,8 +58,13 @@ func (r *Relation) StageDelete(es surrogate.Surrogate) (*element.Element, chrono
 	return e, tt, nil
 }
 
-// CommitDelete applies a staged deletion.
-func (r *Relation) CommitDelete(e *element.Element, tt chronon.Chronon) { r.applyDelete(e, tt) }
+// CommitDelete applies a staged deletion. The element is closed by
+// copy-on-close: the returned clone (TTEnd = tt) is what the live relation
+// now holds; e itself is left open for any pinned read snapshot. Callers
+// that maintain a secondary store must Replace e with the clone there too.
+func (r *Relation) CommitDelete(e *element.Element, tt chronon.Chronon) *element.Element {
+	return r.applyDelete(e, tt)
+}
 
 // StageModify validates the paper's modification — a logical delete of
 // the current element plus an insert of its replacement, both at one

@@ -42,6 +42,7 @@ import (
 	"repro/internal/chronon"
 	"repro/internal/element"
 	"repro/internal/plan"
+	"repro/internal/qcache"
 	"repro/internal/relation"
 	"repro/internal/surrogate"
 	"repro/internal/tsql"
@@ -103,6 +104,7 @@ func New(cfg Config) *Server {
 	mux.Handle("POST /v1/relations/{name}/delete", s.wrap("delete", ClassWrite, s.handleDelete))
 	mux.Handle("POST /v1/relations/{name}/modify", s.wrap("modify", ClassWrite, s.handleModify))
 	mux.Handle("POST /v1/relations/{name}/query", s.wrap("query", ClassRead, s.handleQuery))
+	mux.Handle("GET /v1/relations/{name}/query", s.wrap("query", ClassRead, s.handleQueryGet))
 	mux.Handle("GET /v1/relations/{name}/classify", s.wrap("classify", ClassRead, s.handleClassify))
 	mux.Handle("GET /v1/relations/{name}/explain", s.wrap("explain", ClassRead, s.handleExplain))
 	mux.Handle("POST /v1/select", s.wrap("select", ClassRead, s.handleSelect))
@@ -139,6 +141,9 @@ type response struct {
 	status  int // 0 means 200
 	body    any
 	touched int // elements-touched accounting for metrics
+	// etag, when set, is the response's cache validator (the relation's
+	// mutation epoch). A status of 304 sends it with no body.
+	etag string
 }
 
 // apiError is a handler failure with its HTTP mapping.
@@ -257,7 +262,14 @@ func (s *Server) wrap(name string, class AdmissionClass, fn func(*http.Request) 
 			if status == 0 {
 				status = http.StatusOK
 			}
-			writeJSON(w, status, res.body)
+			if res.etag != "" {
+				w.Header().Set(wire.HeaderETag, res.etag)
+			}
+			if status == http.StatusNotModified {
+				w.WriteHeader(status)
+			} else {
+				writeJSON(w, status, res.body)
+			}
 		}
 		s.metrics.Record(name, time.Since(start), touched, aerr != nil)
 	})
@@ -281,10 +293,40 @@ func idemKey(r *http.Request) string {
 	return r.Header.Get(wire.HeaderIdempotencyKey)
 }
 
+// writeJSON renders the body through a pooled buffer, so the hot read path
+// allocates no per-request encoder scratch and every response carries an
+// exact Content-Length.
 func writeJSON(w http.ResponseWriter, status int, body any) {
+	buf := wire.GetBuffer()
+	defer wire.PutBuffer(buf)
+	if err := json.NewEncoder(buf).Encode(body); err != nil {
+		http.Error(w, `{"error":{"code":"internal","message":"response encoding failed"}}`,
+			http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(body)
+	_, _ = w.Write(buf.Bytes())
+}
+
+// queryETag renders a relation's mutation epoch as an HTTP validator.
+func queryETag(name string, epoch uint64) string {
+	return `"` + name + `-` + strconv.FormatUint(epoch, 10) + `"`
+}
+
+// etagMatch implements the If-None-Match comparison: a wildcard or any
+// listed validator equal to the current one.
+func etagMatch(header, etag string) bool {
+	if header == "*" {
+		return true
+	}
+	for _, part := range strings.Split(header, ",") {
+		if strings.TrimSpace(part) == etag {
+			return true
+		}
+	}
+	return false
 }
 
 // decode reads a JSON request body, mapping oversized bodies to 413 and
@@ -390,6 +432,17 @@ func (s *Server) handleMetrics(*http.Request) (*response, *apiError) {
 	rep.Admission = s.adm.report()
 	if err := s.cat.Degraded(); err != nil {
 		rep.Degraded = &wire.DegradedMetrics{ReadOnly: true, Cause: err.Error()}
+	}
+	if c := s.cat.Cache(); c != nil {
+		st := c.Stats()
+		rep.QueryCache = &wire.QueryCacheMetrics{
+			Hits:      st.Hits,
+			Misses:    st.Misses,
+			Evictions: st.Evictions,
+			Entries:   st.Entries,
+			Bytes:     st.Bytes,
+			Capacity:  st.Capacity,
+		}
 	}
 	return &response{body: rep}, nil
 }
@@ -577,6 +630,42 @@ func (s *Server) handleModify(r *http.Request) (*response, *apiError) {
 	return &response{body: wire.ElementResponse{Element: wire.FromElement(el)}, touched: 2}, nil
 }
 
+// runQueryKind dispatches one of the engine's query kinds against an entry.
+func (s *Server) runQueryKind(ctx context.Context, e *catalog.Entry, kind string, vt, tt int64) (catalog.QueryResult, *apiError) {
+	var res catalog.QueryResult
+	var err error
+	switch kind {
+	case wire.QueryCurrent:
+		res, err = e.CurrentCtx(ctx)
+	case wire.QueryTimeslice:
+		res, err = e.TimesliceCtx(ctx, chronon.Chronon(vt))
+	case wire.QueryRollback:
+		res, err = e.RollbackCtx(ctx, chronon.Chronon(tt))
+	case wire.QueryAsOf:
+		res, err = e.TimesliceAsOfCtx(ctx, chronon.Chronon(vt), chronon.Chronon(tt))
+	default:
+		return catalog.QueryResult{}, errBadRequest("unknown query kind %q (want %s|%s|%s|%s)",
+			kind, wire.QueryCurrent, wire.QueryTimeslice, wire.QueryRollback, wire.QueryAsOf)
+	}
+	if err != nil {
+		return catalog.QueryResult{}, mapError(err)
+	}
+	if res.Node != nil {
+		s.metrics.RecordPlan(res.Node.Leaf().Kind.String(), res.Touched)
+	}
+	return res, nil
+}
+
+func queryResponseBody(res catalog.QueryResult) wire.QueryResponse {
+	return wire.QueryResponse{
+		Elements: wire.FromElements(res.Elements),
+		Plan:     res.Plan,
+		PlanNode: wire.FromPlanNode(res.Node),
+		Touched:  res.Touched,
+		Epoch:    res.Epoch,
+	}
+}
+
 func (s *Server) handleQuery(r *http.Request) (*response, *apiError) {
 	e, aerr := s.entry(r)
 	if aerr != nil {
@@ -586,37 +675,58 @@ func (s *Server) handleQuery(r *http.Request) (*response, *apiError) {
 	if aerr := decode(r, &req); aerr != nil {
 		return nil, aerr
 	}
-	ctx := r.Context()
-	var res catalog.QueryResult
-	var err error
-	switch req.Kind {
-	case wire.QueryCurrent:
-		res, err = e.CurrentCtx(ctx)
-	case wire.QueryTimeslice:
-		res, err = e.TimesliceCtx(ctx, chronon.Chronon(req.VT))
-	case wire.QueryRollback:
-		res, err = e.RollbackCtx(ctx, chronon.Chronon(req.TT))
-	case wire.QueryAsOf:
-		res, err = e.TimesliceAsOfCtx(ctx, chronon.Chronon(req.VT), chronon.Chronon(req.TT))
-	default:
-		return nil, errBadRequest("unknown query kind %q (want %s|%s|%s|%s)",
-			req.Kind, wire.QueryCurrent, wire.QueryTimeslice, wire.QueryRollback, wire.QueryAsOf)
+	res, aerr := s.runQueryKind(r.Context(), e, req.Kind, req.VT, req.TT)
+	if aerr != nil {
+		return nil, aerr
 	}
-	if err != nil {
-		return nil, mapError(err)
+	return &response{body: queryResponseBody(res), touched: res.Touched}, nil
+}
+
+// handleQueryGet is the cache-aware form of the query endpoint: the same
+// kinds as POST, addressed by query parameters so intermediaries can cache,
+// with the relation's mutation epoch as the ETag validator. A client whose
+// If-None-Match still names the current epoch gets 304 and no query runs.
+func (s *Server) handleQueryGet(r *http.Request) (*response, *apiError) {
+	e, aerr := s.entry(r)
+	if aerr != nil {
+		return nil, aerr
 	}
-	if res.Node != nil {
-		s.metrics.RecordPlan(res.Node.Leaf().Kind.String(), res.Touched)
+	name := r.PathValue("name")
+	params := r.URL.Query()
+	vt, aerr := parseInt64Param(params.Get("vt"), "vt")
+	if aerr != nil {
+		return nil, aerr
+	}
+	tt, aerr := parseInt64Param(params.Get("tt"), "tt")
+	if aerr != nil {
+		return nil, aerr
+	}
+	if inm := r.Header.Get(wire.HeaderIfNoneMatch); inm != "" {
+		if et := queryETag(name, e.Epoch()); etagMatch(inm, et) {
+			return &response{status: http.StatusNotModified, etag: et}, nil
+		}
+	}
+	res, aerr := s.runQueryKind(r.Context(), e, params.Get("kind"), vt, tt)
+	if aerr != nil {
+		return nil, aerr
 	}
 	return &response{
-		body: wire.QueryResponse{
-			Elements: wire.FromElements(res.Elements),
-			Plan:     res.Plan,
-			PlanNode: wire.FromPlanNode(res.Node),
-			Touched:  res.Touched,
-		},
+		body:    queryResponseBody(res),
 		touched: res.Touched,
+		etag:    queryETag(name, res.Epoch),
 	}, nil
+}
+
+// parseInt64Param parses an optional integer query parameter ("" is 0).
+func parseInt64Param(v, key string) (int64, *apiError) {
+	if v == "" {
+		return 0, nil
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return 0, errBadRequest("bad %s %q", key, v)
+	}
+	return n, nil
 }
 
 // handleExplain plans a query without running it. The query is given
@@ -629,6 +739,21 @@ func (s *Server) handleExplain(r *http.Request) (*response, *apiError) {
 	}
 	name := r.PathValue("name")
 	params := r.URL.Query()
+
+	// Planning is keyed by the raw parameters and the mutation epoch: a
+	// repeat EXPLAIN against an unmutated relation is served from the
+	// result cache (and a client that revalidates with If-None-Match gets
+	// 304 without planning at all).
+	epoch := e.Epoch()
+	etag := queryETag(name, epoch)
+	if inm := r.Header.Get(wire.HeaderIfNoneMatch); inm != "" && etagMatch(inm, etag) {
+		return &response{status: http.StatusNotModified, etag: etag}, nil
+	}
+	cache := s.cat.Cache()
+	ckey := qcache.Key{Rel: name, Fingerprint: "explain:" + params.Encode(), Epoch: epoch}
+	if v, ok := cache.Get(ckey); ok {
+		return &response{body: v.(wire.ExplainResponse), etag: etag}, nil
+	}
 
 	var node *plan.Node
 	var echo string
@@ -644,22 +769,11 @@ func (s *Server) handleExplain(r *http.Request) (*response, *apiError) {
 		echo = src
 	} else {
 		kind := params.Get("kind")
-		parse := func(key string) (int64, *apiError) {
-			v := params.Get(key)
-			if v == "" {
-				return 0, nil
-			}
-			n, err := strconv.ParseInt(v, 10, 64)
-			if err != nil {
-				return 0, errBadRequest("bad %s %q", key, v)
-			}
-			return n, nil
-		}
-		vt, aerr := parse("vt")
+		vt, aerr := parseInt64Param(params.Get("vt"), "vt")
 		if aerr != nil {
 			return nil, aerr
 		}
-		tt, aerr := parse("tt")
+		tt, aerr := parseInt64Param(params.Get("tt"), "tt")
 		if aerr != nil {
 			return nil, aerr
 		}
@@ -680,13 +794,15 @@ func (s *Server) handleExplain(r *http.Request) (*response, *apiError) {
 		node = e.PlanFor(pq)
 		echo = fmt.Sprintf("kind=%s vt=%d tt=%d", kind, vt, tt)
 	}
-	return &response{body: wire.ExplainResponse{
+	body := wire.ExplainResponse{
 		Relation: name,
 		Query:    echo,
 		Store:    e.Info().Advice.Store.String(),
 		Plan:     wire.FromPlanNode(node),
 		Rendered: node.Render(),
-	}}, nil
+	}
+	cache.Put(ckey, body, int64(len(body.Query)+len(body.Rendered))+256)
+	return &response{body: body, etag: etag}, nil
 }
 
 func (s *Server) handleClassify(r *http.Request) (*response, *apiError) {

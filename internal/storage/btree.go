@@ -1,6 +1,8 @@
 package storage
 
 import (
+	"sort"
+
 	"repro/internal/chronon"
 	"repro/internal/element"
 )
@@ -106,6 +108,22 @@ func (n *bnode) insertNonFull(k bkey, e *element.Element) {
 		}
 	}
 	n.children[i].insertNonFull(k, e)
+}
+
+// replace swaps the value stored under k for e. Keys are unique (surrogate
+// tiebreaker) so at most one slot changes; a missing key is a no-op.
+func (t *btree) replace(k bkey, e *element.Element) {
+	for n := t.root; n != nil; {
+		i := sort.Search(len(n.keys), func(j int) bool { return !n.keys[j].less(k) })
+		if i < len(n.keys) && n.keys[i] == k {
+			n.vals[i] = e
+			return
+		}
+		if n.leaf() {
+			return
+		}
+		n = n.children[i]
+	}
 }
 
 // scanRange visits entries with lo ≤ vt < hi in key order, calling visit
@@ -216,4 +234,32 @@ func (s *IndexedEventStore) VTRange(lo, hi chronon.Chronon) ([]*element.Element,
 // of TTLogStore would apply; the heap keeps this store's baseline honest).
 func (s *IndexedEventStore) Rollback(tt chronon.Chronon) ([]*element.Element, int) {
 	return s.heap.Rollback(tt)
+}
+
+// Snapshot shares the heap's backing array O(1) and rebuilds a private
+// B-tree over it. The rebuild is O(n log n), acceptable because the
+// advisor never selects this organization (it exists to price the
+// general-relation alternative); only explicit engine overrides pay it.
+func (s *IndexedEventStore) Snapshot() Store {
+	s.heap.shared = true
+	cp := &IndexedEventStore{
+		heap:  HeapStore{elems: snapTail(s.heap.elems), frozen: true},
+		index: newBtree(),
+	}
+	for _, e := range cp.heap.elems {
+		if vt, ok := e.VT.Event(); ok {
+			cp.index.insert(vt, e)
+		}
+	}
+	return cp
+}
+
+// Replace swaps repl for old in the heap and repoints the index slot in
+// place. Snapshots carry private B-trees, so the in-place index edit is
+// invisible to any pinned view.
+func (s *IndexedEventStore) Replace(old, repl *element.Element) {
+	s.heap.Replace(old, repl)
+	if vt, ok := old.VT.Event(); ok {
+		s.index.replace(bkey{vt: vt, es: uint64(old.ES)}, repl)
+	}
 }

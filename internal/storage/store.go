@@ -80,6 +80,69 @@ type Store interface {
 	// Rollback returns the elements present at transaction time tt and the
 	// number touched.
 	Rollback(tt chronon.Chronon) ([]*element.Element, int)
+	// Snapshot returns an immutable view of the store's current contents.
+	// The snapshot shares the backing array with the live store (O(1) for
+	// the log organizations); subsequent Inserts on the live store append
+	// past the snapshot's bound and subsequent Replaces copy the backing
+	// first, so the snapshot never observes a mutation. Inserting into a
+	// snapshot is an error; Replacing in one panics.
+	Snapshot() Store
+	// Replace substitutes repl for old (matched by pointer identity) in
+	// place. The engine uses it to publish copied-on-close elements: a
+	// logical delete clones the element, finalizes TTEnd on the clone, and
+	// swaps the clone in, leaving the original — still open — for any
+	// pinned snapshot. A missing old is a no-op.
+	Replace(old, repl *element.Element)
+}
+
+// errFrozenInsert rejects appends to a snapshot.
+var errFrozenInsert = fmt.Errorf("storage: insert into a frozen snapshot")
+
+// snapTail full-caps the prefix so a live-side append can never land
+// inside the snapshot's view.
+func snapTail(elems []*element.Element) []*element.Element {
+	n := len(elems)
+	return elems[:n:n]
+}
+
+// replaceShared performs the copy-when-shared pointer swap common to the
+// slice-backed stores. Replacing inside a frozen snapshot is a bug in the
+// caller (snapshots are immutable), so it trips loudly.
+func replaceShared(elems []*element.Element, shared *bool, frozen bool, old, repl *element.Element) []*element.Element {
+	if frozen {
+		panic("storage: replace in a frozen snapshot")
+	}
+	if *shared {
+		elems = append([]*element.Element(nil), elems...)
+		*shared = false
+	}
+	for i, e := range elems {
+		if e == old {
+			elems[i] = repl
+			break
+		}
+	}
+	return elems
+}
+
+// Elements returns the store's elements in arrival order. For the
+// slice-backed organizations this is the backing slice itself — callers
+// must treat it as read-only, which is exactly the contract a Snapshot
+// provides. Unknown implementations fall back to a Scan copy.
+func Elements(st Store) []*element.Element {
+	switch s := st.(type) {
+	case *HeapStore:
+		return s.elems
+	case *TTLogStore:
+		return s.elems
+	case *VTLogStore:
+		return s.elems
+	case *IndexedEventStore:
+		return s.heap.elems
+	}
+	out := make([]*element.Element, 0, st.Len())
+	st.Scan(func(e *element.Element) bool { out = append(out, e); return true })
+	return out
 }
 
 // exclusiveEnd returns the first chronon after the element's valid time:
@@ -102,7 +165,9 @@ func validAtRange(e *element.Element, lo, hi chronon.Chronon) bool {
 
 // HeapStore is the general-purpose organization: arrival order, full scans.
 type HeapStore struct {
-	elems []*element.Element
+	elems  []*element.Element
+	shared bool // backing array visible to a snapshot; copy before in-place edits
+	frozen bool // this store is a snapshot; mutation is a caller bug
 }
 
 // NewHeap returns an empty heap store.
@@ -116,8 +181,23 @@ func (s *HeapStore) Len() int { return len(s.elems) }
 
 // Insert appends the element.
 func (s *HeapStore) Insert(e *element.Element) error {
+	if s.frozen {
+		return errFrozenInsert
+	}
 	s.elems = append(s.elems, e)
 	return nil
+}
+
+// Snapshot shares the backing array, O(1).
+func (s *HeapStore) Snapshot() Store {
+	s.shared = true
+	return &HeapStore{elems: snapTail(s.elems), frozen: true}
+}
+
+// Replace swaps repl for old by pointer identity, copying the backing
+// array first if a snapshot shares it.
+func (s *HeapStore) Replace(old, repl *element.Element) {
+	s.elems = replaceShared(s.elems, &s.shared, s.frozen, old, repl)
 }
 
 // Scan visits every element.
@@ -161,7 +241,9 @@ func (s *HeapStore) Rollback(tt chronon.Chronon) ([]*element.Element, int) {
 // exploits it for rollback: the candidates are exactly the prefix with
 // tt⊢ ≤ tt, found by binary search.
 type TTLogStore struct {
-	elems []*element.Element
+	elems  []*element.Element
+	shared bool
+	frozen bool
 }
 
 // NewTTLog returns an empty tt-ordered log store.
@@ -175,12 +257,27 @@ func (s *TTLogStore) Len() int { return len(s.elems) }
 
 // Insert appends the element, verifying tt order.
 func (s *TTLogStore) Insert(e *element.Element) error {
+	if s.frozen {
+		return errFrozenInsert
+	}
 	if n := len(s.elems); n > 0 && e.TTStart < s.elems[n-1].TTStart {
 		return fmt.Errorf("storage: tt-ordered insert out of order (%v after %v)",
 			e.TTStart, s.elems[n-1].TTStart)
 	}
 	s.elems = append(s.elems, e)
 	return nil
+}
+
+// Snapshot shares the backing array, O(1).
+func (s *TTLogStore) Snapshot() Store {
+	s.shared = true
+	return &TTLogStore{elems: snapTail(s.elems), frozen: true}
+}
+
+// Replace swaps repl for old by pointer identity; tt⊢ order is unchanged
+// because a closed clone keeps its TTStart.
+func (s *TTLogStore) Replace(old, repl *element.Element) {
+	s.elems = replaceShared(s.elems, &s.shared, s.frozen, old, repl)
 }
 
 // Scan visits every element.
@@ -245,7 +342,9 @@ func (s *TTLogStore) TTWindow(lo, hi chronon.Chronon) ([]*element.Element, int) 
 // transaction time) queries". Insert enforces the promised order and fails
 // loudly if the declaration was wrong.
 type VTLogStore struct {
-	elems []*element.Element
+	elems  []*element.Element
+	shared bool
+	frozen bool
 }
 
 // NewVTLog returns an empty vt-ordered log store.
@@ -257,8 +356,23 @@ func (s *VTLogStore) Kind() Kind { return VTOrdered }
 // Len reports the number of stored elements.
 func (s *VTLogStore) Len() int { return len(s.elems) }
 
+// Snapshot shares the backing array, O(1).
+func (s *VTLogStore) Snapshot() Store {
+	s.shared = true
+	return &VTLogStore{elems: snapTail(s.elems), frozen: true}
+}
+
+// Replace swaps repl for old by pointer identity; both orders are
+// unchanged because a closed clone keeps its TTStart and valid time.
+func (s *VTLogStore) Replace(old, repl *element.Element) {
+	s.elems = replaceShared(s.elems, &s.shared, s.frozen, old, repl)
+}
+
 // Insert appends the element, verifying both orders.
 func (s *VTLogStore) Insert(e *element.Element) error {
+	if s.frozen {
+		return errFrozenInsert
+	}
 	if n := len(s.elems); n > 0 {
 		last := s.elems[n-1]
 		if e.TTStart < last.TTStart {

@@ -1,0 +1,30 @@
+package wire
+
+import (
+	"bytes"
+	"sync"
+)
+
+// Response-body buffers are pooled so the hot read path (queries answered
+// from the snapshot view or the result cache) allocates no encoding buffer
+// per request. Buffers that grew past maxPooledBuffer are dropped instead
+// of returned, so one giant rollback response does not pin a megabyte of
+// heap in the pool forever.
+const maxPooledBuffer = 1 << 20
+
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// GetBuffer returns an empty buffer from the pool.
+func GetBuffer() *bytes.Buffer {
+	return bufPool.Get().(*bytes.Buffer)
+}
+
+// PutBuffer resets b and returns it to the pool (oversized buffers are
+// dropped). Callers must not touch b afterwards.
+func PutBuffer(b *bytes.Buffer) {
+	if b == nil || b.Cap() > maxPooledBuffer {
+		return
+	}
+	b.Reset()
+	bufPool.Put(b)
+}

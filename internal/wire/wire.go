@@ -460,6 +460,9 @@ type QueryResponse struct {
 	Plan     string    `json:"plan,omitempty"`
 	PlanNode *PlanNode `json:"plan_node,omitempty"`
 	Touched  int       `json:"touched"`
+	// Epoch is the relation's mutation epoch the result was computed at —
+	// the value the server hands back as the ETag validator on GET queries.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // PlanNode is the structured form of a typed query plan: one access-path
@@ -649,6 +652,11 @@ const (
 	HeaderIdempotencyKey = "Idempotency-Key"
 	// HeaderRetryAfter is the standard backoff hint set on 429/503 sheds.
 	HeaderRetryAfter = "Retry-After"
+	// HeaderETag / HeaderIfNoneMatch implement conditional GET queries:
+	// the server's validator is the relation's mutation epoch, so a 304
+	// means "no mutation since your copy" and costs no query execution.
+	HeaderETag        = "ETag"
+	HeaderIfNoneMatch = "If-None-Match"
 )
 
 // EndpointMetrics aggregates one endpoint's request accounting.
@@ -701,6 +709,17 @@ type ClassAdmissionMetrics struct {
 	WaitP99US     int64  `json:"wait_p99_us"`
 }
 
+// QueryCacheMetrics reports the catalog's plan-keyed result cache: hit
+// and miss counters, LRU evictions, and resident size against capacity.
+type QueryCacheMetrics struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+	Capacity  int64  `json:"capacity"`
+}
+
 // DegradedMetrics reports the catalog's degraded-mode gauge.
 type DegradedMetrics struct {
 	ReadOnly bool   `json:"read_only"`
@@ -721,4 +740,5 @@ type MetricsResponse struct {
 	WAL           *WALMetrics                      `json:"wal,omitempty"`
 	Admission     map[string]ClassAdmissionMetrics `json:"admission,omitempty"`
 	Degraded      *DegradedMetrics                 `json:"degraded,omitempty"`
+	QueryCache    *QueryCacheMetrics               `json:"query_cache,omitempty"`
 }
