@@ -2,14 +2,15 @@ GO ?= go
 
 # Packages whose tests exercise shared mutable state across goroutines;
 # these run a second time under the race detector in `make ci`.
-RACE_PKGS = ./internal/relation ./internal/catalog ./internal/server ./internal/storage ./internal/qcache ./internal/tx ./internal/wal ./client
+RACE_PKGS = ./internal/relation ./internal/catalog ./internal/server ./internal/storage ./internal/qcache ./internal/tx ./internal/wal ./internal/repl ./client
 
-.PHONY: ci build vet fmt test race chaos fuzz fuzz-smoke bench bench-smoke clean
+.PHONY: ci build vet fmt test race chaos e2e-cluster fuzz fuzz-smoke bench bench-smoke clean
 
 # ci is the tier-1 gate: everything must build, vet and gofmt clean, pass
-# tests, pass the race detector on the concurrency-bearing packages, and
-# keep the read-path microbenchmarks compiling and running.
-ci: vet fmt build test race bench-smoke
+# tests, pass the race detector on the concurrency-bearing packages, keep
+# the read-path microbenchmarks compiling and running, and boot a real
+# 1-primary + 2-follower cluster end to end.
+ci: vet fmt build test race bench-smoke e2e-cluster
 
 # fmt fails if any file needs gofmt (prints the offenders).
 fmt:
@@ -35,6 +36,13 @@ race:
 # set, and graceful drain — all under the race detector.
 chaos:
 	$(GO) test -race -run 'Chaos|Drain' -v ./internal/server
+
+# The replication acceptance tests: a WAL-shipping primary with two live
+# followers on ephemeral loopback ports — replicated reads with staleness
+# bounds, typed read-only refusals, fan-out routing, and the
+# kill-and-catch-up chaos path, all under the race detector.
+e2e-cluster:
+	$(GO) test -race -run 'ClusterE2E|FollowerCatchUp' -v ./internal/server
 
 # Short smoke runs of the server decode fuzzers (they run as plain tests in
 # `make test`; this gives the mutation engine a little time on each).

@@ -21,6 +21,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/wire"
@@ -129,12 +130,21 @@ func IsUnavailable(err error) bool {
 	return errors.As(err, &ae) && ae.Code == CodeUnavailable
 }
 
-// IsReadOnly reports whether err is the degraded read-only mode: the
-// server's WAL has poisoned and mutations are refused until an operator
-// restarts it. Not retryable against the same process.
+// IsReadOnly reports whether err is the typed read-only refusal: the
+// process cannot accept writes, because its WAL has poisoned or because
+// it is a follower replica. Not retryable against the same process —
+// route the mutation to the primary instead.
 func IsReadOnly(err error) bool {
 	var ae *APIError
 	return errors.As(err, &ae) && ae.Code == CodeReadOnly
+}
+
+// IsConnRefused reports whether err is a refused TCP connection — the
+// node is down or not yet listening. For reads through a Router this is
+// the signal to try the next node on the ring; nothing reached the
+// server, so nothing executed.
+func IsConnRefused(err error) bool {
+	return errors.Is(err, syscall.ECONNREFUSED)
 }
 
 // RetryPolicy configures automatic retries for requests that fail with
@@ -142,7 +152,10 @@ func IsReadOnly(err error) bool {
 // transport errors only for reads and for mutations carrying an
 // idempotency key (which the client attaches automatically, so a replay
 // of an already-applied mutation returns the original element instead
-// of minting a second event in transaction time).
+// of minting a second event in transaction time). When the client is a
+// node of a Router, a connection-refused read does not retry here at
+// all — it surfaces immediately so the router can retry it against the
+// next node on the ring, where the attempt can actually succeed.
 type RetryPolicy struct {
 	// MaxAttempts is the total number of tries including the first.
 	// <= 1 disables retries.
@@ -230,6 +243,15 @@ type callOpts struct {
 	// safe marks calls with no server-side effect (reads, probes),
 	// retryable on transport errors even without a key.
 	safe bool
+	// hdr, when non-nil, receives the response headers of the decisive
+	// attempt — the router reads the follower staleness bound from it.
+	hdr *http.Header
+	// failFast makes a connection-refused transport error return
+	// immediately instead of burning retry attempts against the same
+	// dead node. The router sets it on per-node reads: the productive
+	// retry for a refused connection is the next node on the ring, not
+	// the same socket after backoff.
+	failFast bool
 }
 
 // newIdemKey mints a 128-bit random idempotency key. One key is minted
@@ -288,6 +310,9 @@ func (c *Client) call(ctx context.Context, method, path string, in, out any, o c
 		}
 		lastErr = c.once(ctx, method, path, body, out, o)
 		if lastErr == nil || !retryable(lastErr, o) || ctx.Err() != nil {
+			return lastErr
+		}
+		if o.failFast && IsConnRefused(lastErr) {
 			return lastErr
 		}
 	}
@@ -353,6 +378,9 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 		return fmt.Errorf("tsdbd: %s %s: %w", method, path, err)
 	}
 	defer resp.Body.Close()
+	if o.hdr != nil {
+		*o.hdr = resp.Header.Clone()
+	}
 	payload, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
 	if err != nil {
 		return fmt.Errorf("tsdbd: reading response: %w", err)

@@ -1,0 +1,177 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// relOwnedBy finds a relation name the ring assigns to the node with
+// base URL url, so a test can aim traffic at a specific node.
+func relOwnedBy(t *testing.T, r *Router, url string) string {
+	t.Helper()
+	for _, rel := range []string{"emp", "dept", "proj", "sal", "mgr", "loc", "grp", "job", "acl", "idx", "log", "tag"} {
+		if r.Owner(rel) == url {
+			return rel
+		}
+	}
+	t.Fatalf("no candidate relation hashes to %s", url)
+	return ""
+}
+
+// queryHandler answers every POST query with a fixed plan marker and,
+// when staleness is non-empty, the follower's staleness header.
+func queryHandler(marker, staleness string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if staleness != "" {
+			w.Header().Set(wire.HeaderStaleness, staleness)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(wire.QueryResponse{Plan: marker})
+	})
+}
+
+func TestRouterOwnerDeterministicAcrossInstances(t *testing.T) {
+	nodes := []string{"http://primary:7070", "http://f1:7071", "http://f2:7072"}
+	a := NewRouter(nodes[0], nodes[1:])
+	b := NewRouter(nodes[0], nodes[1:])
+
+	owned := map[string]int{}
+	for _, rel := range []string{"emp", "dept", "proj", "sal", "mgr", "loc", "grp", "job", "acl", "idx", "log", "tag"} {
+		oa, ob := a.Owner(rel), b.Owner(rel)
+		if oa != ob {
+			t.Fatalf("Owner(%s) differs across instances: %q vs %q", rel, oa, ob)
+		}
+		owned[oa]++
+	}
+	// With 64 vnodes per node, 12 relations should not all land on one
+	// node — the ring actually spreads load.
+	if len(owned) < 2 {
+		t.Fatalf("all relations hash to one node: %v", owned)
+	}
+	// Candidate order is a permutation of all nodes starting at the owner.
+	for _, rel := range []string{"emp", "dept", "proj"} {
+		c := a.candidates(rel)
+		if len(c) != 3 {
+			t.Fatalf("candidates(%s) = %v, want all 3 nodes", rel, c)
+		}
+		if a.nodes[c[0]].BaseURL() != a.Owner(rel) {
+			t.Fatalf("candidates(%s) starts at %s, want owner %s", rel, a.nodes[c[0]].BaseURL(), a.Owner(rel))
+		}
+		seen := map[int]bool{}
+		for _, n := range c {
+			if seen[n] {
+				t.Fatalf("candidates(%s) repeats node %d: %v", rel, n, c)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+// deadAddr reserves a loopback port and closes it, yielding a URL that
+// refuses connections.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return "http://" + addr
+}
+
+func TestRouterConnRefusedFailsOverToNextNode(t *testing.T) {
+	primary := httptest.NewServer(queryHandler("primary", ""))
+	defer primary.Close()
+	dead := deadAddr(t)
+
+	r := NewRouter(primary.URL, []string{dead})
+	rel := relOwnedBy(t, r, dead)
+
+	q, err := r.Query(context.Background(), rel, QueryRequest{Kind: QueryCurrent})
+	if err != nil {
+		t.Fatalf("Query with dead owner = %v, want failover to primary", err)
+	}
+	if q.Plan != "primary" {
+		t.Fatalf("answer came from %q, want primary", q.Plan)
+	}
+}
+
+func TestRouterStaleFollowerFallsBackToPrimary(t *testing.T) {
+	primary := httptest.NewServer(queryHandler("primary", ""))
+	defer primary.Close()
+	// The follower answers, but admits to trailing by 5 seconds.
+	stale := httptest.NewServer(queryHandler("follower", "5000"))
+	defer stale.Close()
+
+	r := NewRouter(primary.URL, []string{stale.URL}, WithMaxStaleness(time.Second))
+	rel := relOwnedBy(t, r, stale.URL)
+
+	q, err := r.Query(context.Background(), rel, QueryRequest{Kind: QueryCurrent})
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if q.Plan != "primary" {
+		t.Fatalf("stale follower answer served from %q, want primary fallback", q.Plan)
+	}
+
+	// A follower that has never synced sends no staleness header at all;
+	// that too falls back, even with no explicit budget.
+	unsynced := httptest.NewServer(queryHandler("follower", ""))
+	defer unsynced.Close()
+	r2 := NewRouter(primary.URL, []string{unsynced.URL})
+	rel2 := relOwnedBy(t, r2, unsynced.URL)
+	if q, err := r2.Query(context.Background(), rel2, QueryRequest{Kind: QueryCurrent}); err != nil || q.Plan != "primary" {
+		t.Fatalf("unsynced follower: plan %q err %v, want primary fallback", q.Plan, err)
+	}
+
+	// Within budget, the follower's answer stands.
+	fresh := httptest.NewServer(queryHandler("follower", "10"))
+	defer fresh.Close()
+	r3 := NewRouter(primary.URL, []string{fresh.URL}, WithMaxStaleness(time.Second))
+	rel3 := relOwnedBy(t, r3, fresh.URL)
+	if q, err := r3.Query(context.Background(), rel3, QueryRequest{Kind: QueryCurrent}); err != nil || q.Plan != "follower" {
+		t.Fatalf("fresh follower: plan %q err %v, want follower answer", q.Plan, err)
+	}
+}
+
+func TestRouterMutationsAlwaysHitPrimary(t *testing.T) {
+	var primaryHits int
+	primary := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		primaryHits++
+		w.Header().Set("Content-Type", "application/json")
+		if strings.HasSuffix(r.URL.Path, "/insert") {
+			json.NewEncoder(w).Encode(wire.ElementResponse{})
+			return
+		}
+		json.NewEncoder(w).Encode(wire.RelationInfo{})
+	}))
+	defer primary.Close()
+	follower := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t.Errorf("mutation reached follower: %s %s", r.Method, r.URL.Path)
+	}))
+	defer follower.Close()
+
+	r := NewRouter(primary.URL, []string{follower.URL})
+	ctx := context.Background()
+	// Aim at relations owned by the follower: mutations must still go to
+	// the primary.
+	rel := relOwnedBy(t, r, follower.URL)
+	if _, err := r.Insert(ctx, rel, InsertRequest{VT: EventAt(1)}); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if _, err := r.Create(ctx, Schema{Name: rel}); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if primaryHits != 2 {
+		t.Fatalf("primary served %d mutations, want 2", primaryHits)
+	}
+}

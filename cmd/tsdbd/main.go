@@ -10,9 +10,18 @@
 // log is replayed over the snapshots on boot, so a kill -9 loses nothing
 // acknowledged. Pass -wal-dir off for the pre-WAL snapshot-only behavior.
 //
+// With -follow the process is a read-only replica instead: it tails the
+// named primary's WAL-shipping feed (/v1/repl/tail), replays the durable
+// frames into its catalog, stamps every response with the staleness bound
+// X-Tsdbd-Staleness-Ms, and rejects mutations with the typed "read_only"
+// error. Followers keep no WAL of their own — their durability is the
+// periodic snapshot, and on restart they resume the tail from the lowest
+// persisted watermark.
+//
 // Usage:
 //
 //	tsdbd -addr :7070 -data ./tsdb-data -snapshot-interval 30s -wal-sync group
+//	tsdbd -addr :7071 -data ./tsdb-follower -follow http://localhost:7070
 //
 // Quickstart against a running server:
 //
@@ -45,6 +54,7 @@ import (
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/repl"
 	"repro/internal/server"
 	"repro/internal/wal"
 )
@@ -69,6 +79,7 @@ func main() {
 	flag.DurationVar(&o.admitMaxWait, "admit-max-wait", 0, "longest a queued request may wait for admission (0 = class default)")
 	flag.Int64Var(&o.cacheBytes, "query-cache", 32<<20, "plan-keyed query result cache budget in bytes (0 disables)")
 	flag.BoolVar(&o.pprof, "pprof", false, "expose /debug/pprof profiling endpoints (bypass admission control)")
+	flag.StringVar(&o.follow, "follow", "", "run as a read-only follower of the given primary URL (disables the local WAL)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -90,6 +101,7 @@ type options struct {
 	admitMaxWait              time.Duration
 	cacheBytes                int64
 	pprof                     bool
+	follow                    string
 }
 
 // admission maps the flags onto the server's admission config.
@@ -118,6 +130,12 @@ func run(o options) error {
 	if walDir == "" {
 		walDir = filepath.Join(dataDir, "wal")
 	}
+	if o.follow != "" {
+		// A follower's history arrives from the primary's log; keeping a
+		// second local WAL would just duplicate it. Durability here is the
+		// snapshot cycle plus the ability to re-tail anything newer.
+		walDir = "off"
+	}
 	if walDir != "off" {
 		policy, err := wal.ParseSyncPolicy(walSync)
 		if err != nil {
@@ -129,7 +147,9 @@ func run(o options) error {
 		}
 		defer wlog.Close()
 	}
-	cat := catalog.New(catalog.Config{Dir: dataDir, WAL: wlog, CacheBytes: o.cacheBytes})
+	cat := catalog.New(catalog.Config{
+		Dir: dataDir, WAL: wlog, CacheBytes: o.cacheBytes, Follower: o.follow != "",
+	})
 	if err := cat.Open(); err != nil {
 		return fmt.Errorf("opening catalog: %w", err)
 	}
@@ -140,11 +160,18 @@ func run(o options) error {
 			walDir, walSync, st.Segments, st.Replayed, st.ReplayDuration.Round(time.Microsecond))
 	}
 
+	var follower *repl.Follower
+	if o.follow != "" {
+		follower = repl.NewFollower(repl.FollowerConfig{Primary: o.follow, Catalog: cat})
+		log.Printf("follower: tailing %s from lsn %d", o.follow, cat.ResumeLSN()+1)
+	}
+
 	srv := server.New(server.Config{
 		Catalog:        cat,
 		RequestTimeout: o.reqTimeout,
 		MaxBodyBytes:   o.maxBody,
 		Admission:      o.admission(),
+		Follower:       follower,
 	})
 
 	ln, err := net.Listen("tcp", addr)
@@ -179,6 +206,19 @@ func run(o options) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// The tail loop reconnects through transient primary outages on its
+	// own; only a fatal condition (retention horizon passed the resume
+	// point, or an apply failure) ends it. The process keeps serving —
+	// reads stay up at a growing, honestly reported staleness, and the
+	// operator decides whether to reseed or retire the node.
+	if follower != nil {
+		go func() {
+			if err := follower.Run(ctx); err != nil {
+				log.Printf("follower: replication stopped: %v", err)
+			}
+		}()
+	}
 
 	// Periodic snapshots: only dirty relations are rewritten, so an idle
 	// server does no disk work.

@@ -54,10 +54,12 @@ var (
 	// ErrBadName reports a relation name unusable as a catalog key (and
 	// data-dir file name).
 	ErrBadName = fmt.Errorf("catalog: invalid relation name")
-	// ErrReadOnly reports a mutation refused because the write-ahead log
-	// has poisoned (fail-stop): the catalog serves reads in degraded mode
-	// but cannot make new mutations durable. Wraps the poison cause.
-	ErrReadOnly = fmt.Errorf("catalog: read-only (wal poisoned)")
+	// ErrReadOnly reports a mutation refused because this process cannot
+	// accept writes: either the write-ahead log has poisoned (fail-stop,
+	// reads keep serving in degraded mode) or the catalog is a follower
+	// replica (mutations belong on the primary). The wrapping error
+	// carries which.
+	ErrReadOnly = fmt.Errorf("catalog: read-only")
 	// ErrIdemReuse reports an idempotency key reused across different
 	// operation kinds — a client bug, not a retry.
 	ErrIdemReuse = fmt.Errorf("catalog: idempotency key reused for a different operation")
@@ -95,6 +97,12 @@ type Config struct {
 	// snapshots and no result cache. It exists so the read-scaling
 	// benchmark has an honest baseline; production has no reason to set it.
 	LockedReads bool
+	// Follower marks the catalog as a read-only replica: the only writer
+	// is ApplyReplicated (replaying WAL frames shipped from a primary),
+	// and every client mutation fails typed with ErrReadOnly — the same
+	// degraded gate a poisoned WAL trips, so clients need one code path
+	// for "this process cannot accept writes". Reads serve normally.
+	Follower bool
 }
 
 // WAL record kinds. These values are replayed from disk, so they must
@@ -380,6 +388,9 @@ func (c *Catalog) Create(schema relation.Schema) (*Entry, error) {
 	if !nameRE.MatchString(name) {
 		return nil, fmt.Errorf("%w: %q (want %s)", ErrBadName, name, nameRE)
 	}
+	if c.cfg.Follower {
+		return nil, errFollowerReadOnly()
+	}
 	if err := c.Degraded(); err != nil {
 		return nil, err
 	}
@@ -436,8 +447,12 @@ func (c *Catalog) Degraded() error {
 	return nil
 }
 
-// writable refuses mutations while the WAL is poisoned.
+// writable refuses mutations while the WAL is poisoned or the catalog is
+// a follower replica.
 func (e *Entry) writable() error {
+	if e.follower {
+		return errFollowerReadOnly()
+	}
 	if e.wal != nil {
 		if err := e.wal.Err(); err != nil {
 			return fmt.Errorf("%w: %w", ErrReadOnly, err)
@@ -582,11 +597,13 @@ type Entry struct {
 	// nil after newEntry.
 	view atomic.Pointer[readView]
 
-	// cache is the catalog-wide result cache (nil-safe when disabled) and
-	// lockedReads the benchmarking compat mode; both copied from the
-	// catalog at entry construction.
+	// cache is the catalog-wide result cache (nil-safe when disabled),
+	// lockedReads the benchmarking compat mode, and follower the
+	// read-only-replica gate; all copied from the catalog at entry
+	// construction.
 	cache       *qcache.Cache
 	lockedReads bool
+	follower    bool
 }
 
 // readView is one published epoch of a relation: a frozen store snapshot
@@ -627,7 +644,7 @@ func (e *Entry) Epoch() uint64 { return e.view.Load().epoch }
 func (c *Catalog) newEntry(name string, l *relation.Locked, decls []constraint.Descriptor) *Entry {
 	e := &Entry{
 		name: name, locked: l, decls: decls, dedup: newDedupWindow(),
-		cache: c.cache, lockedReads: c.cfg.LockedReads,
+		cache: c.cache, lockedReads: c.cfg.LockedReads, follower: c.cfg.Follower,
 	}
 	_ = l.Exclusive(func(r *relation.Relation) error {
 		// A bounds error here means a persisted declaration carries
@@ -1353,6 +1370,11 @@ func (e *Entry) PlanFor(pq plan.Query) *plan.Node {
 // state and every cached result is invalidated. No-op horizons (nothing
 // removed) publish nothing — reads keep their epoch and cache.
 func (e *Entry) Vacuum(horizon chronon.Chronon) (int, error) {
+	// Vacuum is not WAL-logged, so a follower must refuse it: a removal
+	// the primary never shipped would silently diverge the replica.
+	if err := e.writable(); err != nil {
+		return 0, err
+	}
 	removed := 0
 	err := e.locked.Exclusive(func(r *relation.Relation) error {
 		n, err := r.Vacuum(horizon)

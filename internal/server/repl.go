@@ -1,0 +1,116 @@
+package server
+
+// Replication endpoints and gauges: the primary's WAL-shipping feed
+// (segments enumeration + long-polling tail) and the role-aware
+// /metrics replication section. See internal/repl for the protocol
+// invariants; the handlers here only parse, bound, and map errors.
+
+import (
+	"errors"
+	"net/http"
+	"time"
+
+	"repro/internal/repl"
+	"repro/internal/wal"
+	"repro/internal/wire"
+)
+
+// role names what this node is in a replication topology: "follower"
+// when tailing a primary, "primary" when it has a WAL to ship (even
+// with no followers attached yet), empty for a WAL-less standalone.
+func (s *Server) role() string {
+	switch {
+	case s.cat.Follower():
+		return "follower"
+	case s.streamer != nil:
+		return "primary"
+	default:
+		return ""
+	}
+}
+
+// replicationMetrics builds the /metrics replication section, or nil
+// for a WAL-less standalone node.
+func (s *Server) replicationMetrics() *wire.ReplicationMetrics {
+	if f := s.cfg.Follower; f != nil {
+		st := f.Stats()
+		out := &wire.ReplicationMetrics{
+			Role:              "follower",
+			Primary:           st.Primary,
+			AppliedLSN:        st.AppliedLSN,
+			PrimaryDurableLSN: st.PrimaryDurableLSN,
+			Synced:            st.Synced,
+			FramesApplied:     st.FramesApplied,
+			Reconnects:        st.Reconnects,
+			LastError:         st.LastError,
+		}
+		if ms, ok := f.StalenessMs(time.Now()); ok {
+			out.StalenessMs = ms
+		}
+		return out
+	}
+	if s.streamer != nil {
+		st := s.streamer.Stats()
+		return &wire.ReplicationMetrics{
+			Role:          "primary",
+			TailRequests:  st.TailRequests,
+			FramesShipped: st.FramesShipped,
+		}
+	}
+	return nil
+}
+
+// handleReplSegments enumerates the primary's retained WAL segments.
+func (s *Server) handleReplSegments(*http.Request) (*response, *apiError) {
+	if s.streamer == nil {
+		return nil, errUnavailable("replication feed requires a write-ahead log")
+	}
+	return &response{body: s.streamer.Segments()}, nil
+}
+
+// handleReplTail serves one batch of the tailing feed. from_lsn is where
+// to resume, max bounds the batch (capped at 4096 frames), and wait_ms
+// long-polls an empty feed (capped below the request timeout so the
+// poll always answers cleanly rather than tripping the handler
+// timeout). An LSN below the retention horizon maps to 410 "truncated":
+// the follower cannot catch up from the log and must be reseeded.
+func (s *Server) handleReplTail(r *http.Request) (*response, *apiError) {
+	if s.streamer == nil {
+		return nil, errUnavailable("replication feed requires a write-ahead log")
+	}
+	params := r.URL.Query()
+	from, aerr := parseInt64Param(params.Get("from_lsn"), "from_lsn")
+	if aerr != nil {
+		return nil, aerr
+	}
+	if from < 0 {
+		return nil, errBadRequest("bad from_lsn %d", from)
+	}
+	max, aerr := parseInt64Param(params.Get("max"), "max")
+	if aerr != nil {
+		return nil, aerr
+	}
+	if max <= 0 || max > 4096 {
+		max = 4096
+	}
+	waitMS, aerr := parseInt64Param(params.Get("wait_ms"), "wait_ms")
+	if aerr != nil {
+		return nil, aerr
+	}
+	wait := time.Duration(waitMS) * time.Millisecond
+	if lim := s.cfg.RequestTimeout / 2; wait > lim {
+		wait = lim
+	}
+	resp, err := s.streamer.Tail(r.Context(), uint64(from), int(max), wait)
+	switch {
+	case err == nil:
+	case repl.IsTruncated(err):
+		return nil, &apiError{http.StatusGone, wire.CodeTruncated, err.Error()}
+	case errors.Is(err, wal.ErrClosed):
+		return nil, errUnavailable("%s", err.Error())
+	default:
+		return nil, &apiError{http.StatusInternalServerError, wire.CodeInternal, err.Error()}
+	}
+	nframes := len(resp.Frames)
+	return &response{body: resp, touched: nframes}, nil
+}

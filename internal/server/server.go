@@ -44,6 +44,7 @@ import (
 	"repro/internal/plan"
 	"repro/internal/qcache"
 	"repro/internal/relation"
+	"repro/internal/repl"
 	"repro/internal/surrogate"
 	"repro/internal/tsql"
 	"repro/internal/wire"
@@ -60,6 +61,11 @@ type Config struct {
 	// Admission configures the per-class overload valve (admission.go).
 	// The zero value enables it with the class defaults.
 	Admission AdmissionConfig
+	// Follower, when set, marks this server as a read-only replica: every
+	// response carries the X-Tsdbd-Staleness-Ms bound once the follower
+	// has synced, /readyz stays not-ready until that first sync, and
+	// /metrics reports the applying side of replication.
+	Follower *repl.Follower
 }
 
 // Server is the HTTP face of a catalog.
@@ -69,6 +75,8 @@ type Server struct {
 	cfg     Config
 	handler http.Handler
 	adm     *admission
+	// streamer serves the WAL-shipping replication feed; nil without a WAL.
+	streamer *repl.Streamer
 	// draining flips once at the start of graceful shutdown: in-flight
 	// requests complete, new non-probe requests get a clean "unavailable".
 	draining atomic.Bool
@@ -87,6 +95,9 @@ func New(cfg Config) *Server {
 	}
 	s := &Server{cat: cfg.Catalog, metrics: NewMetrics(), cfg: cfg}
 	s.adm = newAdmission(cfg.Admission)
+	if w := cfg.Catalog.WAL(); w != nil {
+		s.streamer = repl.NewStreamer(w)
+	}
 
 	// classProbe marks endpoints that bypass admission and draining: an
 	// overloaded or shutting-down server must still answer probes.
@@ -109,6 +120,11 @@ func New(cfg Config) *Server {
 	mux.Handle("GET /v1/relations/{name}/explain", s.wrap("explain", ClassRead, s.handleExplain))
 	mux.Handle("POST /v1/select", s.wrap("select", ClassRead, s.handleSelect))
 	mux.Handle("POST /v1/snapshot", s.wrap("snapshot", ClassAdmin, s.handleSnapshot))
+	// Replication is infrastructure traffic: a follower must keep catching
+	// up while the primary sheds client load or drains for shutdown, so
+	// the feed rides the probe class.
+	mux.Handle("GET /v1/repl/segments", s.wrap("repl_segments", classProbe, s.handleReplSegments))
+	mux.Handle("GET /v1/repl/tail", s.wrap("repl_tail", classProbe, s.handleReplTail))
 	mux.Handle("/", s.wrap("unknown", classProbe, func(*http.Request) (*response, *apiError) {
 		return nil, errNotFound("no such endpoint")
 	}))
@@ -249,6 +265,15 @@ func (s *Server) wrap(name string, class AdmissionClass, fn func(*http.Request) 
 		if res != nil {
 			touched = res.touched
 		}
+		// A follower stamps its staleness bound on every response (success
+		// or error) once it has synced; before the first catch-up no bound
+		// exists, so no header is sent and routers treat the node as
+		// unboundedly stale.
+		if f := s.cfg.Follower; f != nil {
+			if ms, ok := f.StalenessMs(time.Now()); ok {
+				w.Header().Set(wire.HeaderStaleness, strconv.FormatInt(ms, 10))
+			}
+		}
 		if aerr != nil {
 			// Shed and degraded responses are retryable after a pause; say so.
 			if aerr.status == http.StatusTooManyRequests || aerr.status == http.StatusServiceUnavailable {
@@ -368,11 +393,17 @@ func (s *Server) handleHealth(*http.Request) (*response, *apiError) {
 		Status:        "ok",
 		Relations:     s.cat.Len(),
 		UptimeSeconds: int64(time.Since(s.metrics.start) / time.Second),
+		Role:          s.role(),
 	}
 	if err := s.cat.Degraded(); err != nil {
 		out.Status = "degraded"
 		out.ReadOnly = true
 		out.WAL = err.Error()
+	}
+	if s.cat.Follower() {
+		// Read-only by design, not degraded: the follower is healthy while
+		// it serves reads and tails the primary.
+		out.ReadOnly = true
 	}
 	if s.draining.Load() {
 		out.Status = "draining"
@@ -390,6 +421,15 @@ func (s *Server) handleReady(*http.Request) (*response, *apiError) {
 		out.Ready = false
 		out.Status = "degraded"
 		out.Reasons = append(out.Reasons, err.Error())
+	}
+	// A follower that has never caught up would serve arbitrarily stale
+	// reads with no staleness bound; keep it out of rotation until its
+	// first sync. After that it stays ready even through reconnects — the
+	// staleness header tells clients how stale is stale.
+	if f := s.cfg.Follower; f != nil && !f.Stats().Synced {
+		out.Ready = false
+		out.Status = "syncing"
+		out.Reasons = append(out.Reasons, "follower has not completed its first catch-up")
 	}
 	if sat := s.adm.saturated(); len(sat) > 0 {
 		out.Ready = false
@@ -433,6 +473,7 @@ func (s *Server) handleMetrics(*http.Request) (*response, *apiError) {
 	if err := s.cat.Degraded(); err != nil {
 		rep.Degraded = &wire.DegradedMetrics{ReadOnly: true, Cause: err.Error()}
 	}
+	rep.Replication = s.replicationMetrics()
 	if c := s.cat.Cache(); c != nil {
 		st := c.Stats()
 		rep.QueryCache = &wire.QueryCacheMetrics{

@@ -1,0 +1,114 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrTruncated reports a read from an LSN the log no longer holds: the
+// segment carrying it was deleted by snapshot-coordinated truncation. A
+// follower seeing this cannot catch up from the log alone — it must be
+// reseeded from a snapshot of the primary's data directory.
+var ErrTruncated = errors.New("wal: requested lsn precedes the oldest retained segment")
+
+// SegmentInfo describes one live segment file for the replication read
+// API. Sealed segments are immutable: once a roll fsyncs a segment and
+// opens its successor, no byte of the sealed file is ever rewritten
+// (truncation deletes whole files, never edits them) — which is what
+// makes shipping them to a follower safe without coordination.
+type SegmentInfo struct {
+	Name   string
+	Base   uint64 // LSN of the first record
+	Last   uint64 // LSN of the last record; Base-1 while empty
+	Sealed bool   // false only for the active (append-target) segment
+}
+
+// Segments snapshots the log's live segment directory, oldest first.
+func (l *Log) Segments() []SegmentInfo {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SegmentInfo, len(l.segs))
+	for i, s := range l.segs {
+		out[i] = SegmentInfo{
+			Name:   s.name,
+			Base:   s.base,
+			Last:   s.last,
+			Sealed: i != len(l.segs)-1,
+		}
+	}
+	return out
+}
+
+// OldestLSN reports the smallest LSN the log still holds (the base of the
+// oldest retained segment). A reader asking for anything below it gets
+// ErrTruncated.
+func (l *Log) OldestLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.segs) == 0 {
+		return 1
+	}
+	return l.segs[0].base
+}
+
+// IterateFrom reads up to max records starting at LSN from, in LSN order,
+// never past the durability watermark. The durable bound is the
+// follower-safety invariant: a record is shipped only once an fsync
+// covers it, so replicas can never apply state the primary might lose in
+// a crash. The returned durable value is the watermark the scan was
+// bounded by — at most wait-free staleness metadata for the caller.
+//
+// from below the oldest retained segment returns ErrTruncated; from past
+// the watermark returns an empty batch. A zero from reads from the start.
+func (l *Log) IterateFrom(from uint64, max int) (recs []Record, durable uint64, err error) {
+	if from == 0 {
+		from = 1
+	}
+	if max <= 0 {
+		max = 1 << 10
+	}
+	// Durable first, then the segment snapshot: records the scan sees are
+	// a superset of those the watermark covers, and the filter keeps
+	// exactly the covered prefix.
+	durable = l.DurableLSN()
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil, durable, ErrClosed
+	}
+	segs := make([]SegmentInfo, len(l.segs))
+	for i, s := range l.segs {
+		segs[i] = SegmentInfo{Name: s.name, Base: s.base, Last: s.last}
+	}
+	l.mu.Unlock()
+
+	if len(segs) > 0 && from < segs[0].Base {
+		return nil, durable, fmt.Errorf("%w: want lsn %d, oldest is %d", ErrTruncated, from, segs[0].Base)
+	}
+	for _, seg := range segs {
+		if seg.Last < from || seg.Base > durable {
+			continue
+		}
+		data, rerr := l.fs.ReadFile(seg.Name)
+		if rerr != nil {
+			return nil, durable, fmt.Errorf("wal: reading %s: %w", seg.Name, rerr)
+		}
+		// A concurrent append may leave a torn frame at the active
+		// segment's tail; parseSegment stops at the last whole record,
+		// and the durable filter below drops anything not yet synced.
+		_, segRecs, _, headerOK := parseSegment(data)
+		if !headerOK {
+			return nil, durable, fmt.Errorf("%w: segment %s unreadable", ErrCorrupt, seg.Name)
+		}
+		for _, rec := range segRecs {
+			if rec.LSN < from || rec.LSN > durable {
+				continue
+			}
+			recs = append(recs, rec)
+			if len(recs) >= max {
+				return recs, durable, nil
+			}
+		}
+	}
+	return recs, durable, nil
+}

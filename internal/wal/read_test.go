@@ -1,0 +1,149 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fillSegments appends records until the log holds at least want segments.
+func fillSegments(t *testing.T, l *Log, want int) (appended uint64) {
+	t.Helper()
+	for i := 0; len(l.Segments()) < want; i++ {
+		payload := []byte(fmt.Sprintf("payload-%04d", i))
+		if _, err := l.Append(1, "rel", payload); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+		appended++
+	}
+	return appended
+}
+
+// TestSealedSegmentsNeverMutate is the follower-safety invariant behind
+// WAL shipping: once a segment is sealed by a roll, its bytes on disk
+// never change again, no matter how much the log keeps appending,
+// syncing, or rolling. A follower that fetched a sealed segment holds
+// exactly what the primary will always hold.
+func TestSealedSegmentsNeverMutate(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, Sync: SyncAlways, SegmentBytes: 256})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer l.Close()
+
+	fillSegments(t, l, 4)
+	segs := l.Segments()
+	if len(segs) < 4 {
+		t.Fatalf("want >= 4 segments, got %d", len(segs))
+	}
+	sealed := make(map[string][]byte)
+	for _, s := range segs {
+		if !s.Sealed {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, s.Name))
+		if err != nil {
+			t.Fatalf("reading sealed %s: %v", s.Name, err)
+		}
+		sealed[s.Name] = data
+	}
+	if len(sealed) < 3 {
+		t.Fatalf("want >= 3 sealed segments, got %d", len(sealed))
+	}
+
+	// Keep the log busy: more appends, more rolls, an explicit sync.
+	fillSegments(t, l, len(segs)+3)
+	if err := l.WaitDurable(l.LastLSN()); err != nil {
+		t.Fatalf("wait durable: %v", err)
+	}
+
+	for name, before := range sealed {
+		after, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("re-reading sealed %s: %v", name, err)
+		}
+		if string(before) != string(after) {
+			t.Fatalf("sealed segment %s mutated after sealing", name)
+		}
+	}
+}
+
+func TestIterateFromBoundedByDurable(t *testing.T) {
+	fs := NewErrFS()
+	l, err := Open(Options{FS: fs, Sync: SyncGroup, SegmentBytes: 1 << 20})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer l.Close()
+	// Write 5 records, make only the first 3 durable.
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append(1, "rel", []byte{byte(i)}); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	for i := 3; i < 5; i++ {
+		if _, err := l.Write(1, "rel", []byte{byte(i)}); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	recs, durable, err := l.IterateFrom(1, 100)
+	if err != nil {
+		t.Fatalf("iterate: %v", err)
+	}
+	if durable != 3 {
+		t.Fatalf("durable = %d, want 3", durable)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3 (durable prefix only)", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.LSN != uint64(i+1) || rec.Payload[0] != byte(i) {
+			t.Fatalf("record %d: lsn %d payload %v", i, rec.LSN, rec.Payload)
+		}
+	}
+	// Resume mid-stream.
+	recs, _, err = l.IterateFrom(3, 100)
+	if err != nil {
+		t.Fatalf("iterate from 3: %v", err)
+	}
+	if len(recs) != 1 || recs[0].LSN != 3 {
+		t.Fatalf("iterate from 3: got %v", recs)
+	}
+	// Past the watermark: empty, no error.
+	recs, _, err = l.IterateFrom(4, 100)
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("iterate past durable: recs=%v err=%v", recs, err)
+	}
+}
+
+func TestIterateFromTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, Sync: SyncAlways, SegmentBytes: 256})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer l.Close()
+	fillSegments(t, l, 4)
+	cut := l.Segments()[1].Last
+	if _, err := l.TruncateBelow(cut); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+	if _, _, err := l.IterateFrom(1, 100); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("want ErrTruncated, got %v", err)
+	}
+	oldest := l.OldestLSN()
+	if oldest <= 1 {
+		t.Fatalf("oldest = %d, want > 1 after truncation", oldest)
+	}
+	recs, _, err := l.IterateFrom(oldest, 10000)
+	if err != nil {
+		t.Fatalf("iterate from oldest: %v", err)
+	}
+	if len(recs) == 0 || recs[0].LSN != oldest || recs[len(recs)-1].LSN != l.DurableLSN() {
+		t.Fatalf("iterate from oldest: %d recs, first %d, want first %d last %d",
+			len(recs), recs[0].LSN, oldest, l.DurableLSN())
+	}
+}

@@ -598,6 +598,9 @@ type HealthResponse struct {
 	Draining bool `json:"draining,omitempty"`
 	// ReadOnly reports that mutations are being refused.
 	ReadOnly bool `json:"read_only,omitempty"`
+	// Role is "primary" or "follower" when replication is configured;
+	// empty for a standalone server.
+	Role string `json:"role,omitempty"`
 }
 
 // ReadyResponse is the readiness probe body (GET /readyz). Unlike
@@ -636,9 +639,14 @@ const (
 	// budget, or the server is draining (503). The request may or may not
 	// have executed; only idempotent requests should be retried blindly.
 	CodeUnavailable = "unavailable"
-	// CodeReadOnly: the WAL has poisoned and the catalog is serving in
-	// read-only degraded mode; mutations are refused until restart (503).
+	// CodeReadOnly: the catalog is serving in read-only mode and refuses
+	// mutations (503) — either the WAL has poisoned (restart recovers) or
+	// the process is a follower replica (mutations go to the primary).
 	CodeReadOnly = "read_only"
+	// CodeTruncated: a replication read asked for an LSN the primary's
+	// log no longer retains (410). The follower must be reseeded from a
+	// snapshot of the primary's data directory.
+	CodeTruncated = "truncated"
 )
 
 // Resilience headers shared by client and server.
@@ -657,7 +665,73 @@ const (
 	// means "no mutation since your copy" and costs no query execution.
 	HeaderETag        = "ETag"
 	HeaderIfNoneMatch = "If-None-Match"
+	// HeaderStaleness, set by follower replicas on every response, bounds
+	// how far the node's applied state may trail the primary, in
+	// milliseconds. It is computed from the last moment the follower
+	// observed itself caught up to the primary's durable LSN, so a value
+	// of S means "every mutation durable on the primary more than S ms
+	// ago is visible here". Absent on primaries and on followers that
+	// have never completed an initial sync.
+	HeaderStaleness = "X-Tsdbd-Staleness-Ms"
 )
+
+// ReplSegment describes one live WAL segment on the primary.
+type ReplSegment struct {
+	Name   string `json:"name"`
+	Base   uint64 `json:"base"` // LSN of the first record
+	Last   uint64 `json:"last"` // LSN of the last record; base-1 while empty
+	Sealed bool   `json:"sealed"`
+}
+
+// ReplSegmentsResponse enumerates the primary's retained WAL segments,
+// oldest first, with the LSN bounds a follower needs to plan a catch-up:
+// anything below OldestLSN is gone (reseed from a snapshot), anything up
+// to DurableLSN is fetchable.
+type ReplSegmentsResponse struct {
+	Segments   []ReplSegment `json:"segments"`
+	OldestLSN  uint64        `json:"oldest_lsn"`
+	DurableLSN uint64        `json:"durable_lsn"`
+}
+
+// ReplFrame is one WAL record in wire form. Payload is the raw record
+// payload the catalog framed (base64 over JSON); the follower replays it
+// through the same decoder the primary's boot-time recovery uses.
+type ReplFrame struct {
+	LSN     uint64 `json:"lsn"`
+	Kind    uint8  `json:"kind"`
+	Rel     string `json:"rel"`
+	Payload []byte `json:"payload,omitempty"`
+}
+
+// ReplTailResponse is one batch of the tailing feed: frames in LSN order
+// starting at the requested from_lsn, never past the primary's
+// durability watermark (the follower-safety invariant — a replica never
+// applies state the primary could lose in a crash). DurableLSN is the
+// watermark the batch was bounded by; a follower whose applied LSN
+// reaches it is caught up as of this response.
+type ReplTailResponse struct {
+	Frames     []ReplFrame `json:"frames,omitempty"`
+	DurableLSN uint64      `json:"durable_lsn"`
+	OldestLSN  uint64      `json:"oldest_lsn"`
+}
+
+// ReplicationMetrics is the /metrics replication section. Role selects
+// which gauges are meaningful: a primary reports the shipping side
+// (tail requests served, frames shipped), a follower the applying side
+// (applied LSN vs the primary's durable LSN, staleness, reconnects).
+type ReplicationMetrics struct {
+	Role              string `json:"role"` // "primary" or "follower"
+	TailRequests      uint64 `json:"tail_requests,omitempty"`
+	FramesShipped     uint64 `json:"frames_shipped,omitempty"`
+	Primary           string `json:"primary,omitempty"`
+	AppliedLSN        uint64 `json:"applied_lsn,omitempty"`
+	PrimaryDurableLSN uint64 `json:"primary_durable_lsn,omitempty"`
+	Synced            bool   `json:"synced,omitempty"`
+	StalenessMs       int64  `json:"staleness_ms,omitempty"`
+	FramesApplied     uint64 `json:"frames_applied,omitempty"`
+	Reconnects        uint64 `json:"reconnects,omitempty"`
+	LastError         string `json:"last_error,omitempty"`
+}
 
 // EndpointMetrics aggregates one endpoint's request accounting.
 type EndpointMetrics struct {
@@ -741,4 +815,5 @@ type MetricsResponse struct {
 	Admission     map[string]ClassAdmissionMetrics `json:"admission,omitempty"`
 	Degraded      *DegradedMetrics                 `json:"degraded,omitempty"`
 	QueryCache    *QueryCacheMetrics               `json:"query_cache,omitempty"`
+	Replication   *ReplicationMetrics              `json:"replication,omitempty"`
 }
