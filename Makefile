@@ -2,7 +2,7 @@ GO ?= go
 
 # Packages whose tests exercise shared mutable state across goroutines;
 # these run a second time under the race detector in `make ci`.
-RACE_PKGS = ./internal/relation ./internal/catalog ./internal/server ./internal/storage ./internal/qcache ./internal/tx ./internal/wal ./internal/repl ./client
+RACE_PKGS = ./internal/relation ./internal/catalog ./internal/core ./internal/server ./internal/storage ./internal/qcache ./internal/tx ./internal/wal ./internal/repl ./client
 
 .PHONY: ci build vet fmt test race chaos e2e-cluster fuzz fuzz-smoke bench bench-smoke clean
 
@@ -64,17 +64,20 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz='^FuzzRead$$' -fuzztime=5s ./internal/backlog
 	$(GO) test -run=NONE -fuzz='^FuzzWALReplay$$' -fuzztime=5s ./internal/wal
 	$(GO) test -run=NONE -fuzz='^FuzzDecodeKeyed$$' -fuzztime=5s ./internal/catalog
+	$(GO) test -run=NONE -fuzz='^FuzzDecodeRespecialize$$' -fuzztime=5s ./internal/catalog
+	$(GO) test -run=NONE -fuzz='^FuzzRespecializeReplay$$' -fuzztime=5s ./internal/catalog
 
 # Regenerate every figure/claim table plus the serving, durability, and
 # overload benchmarks (writes BENCH_*.json in the working directory).
 bench:
 	$(GO) run ./cmd/benchrunner
 
-# A trimmed read-path benchmark pass: locked vs snapshot vs cache-hit
-# time-slices at -benchtime=100ms. Fast enough for ci; the full
-# concurrent-reader experiment is `go run ./cmd/benchrunner -exp S4`.
+# A trimmed benchmark pass: locked vs snapshot vs cache-hit time-slices,
+# plus the auto-specialization before/after pair, at -benchtime=100ms.
+# Fast enough for ci; the full concurrent-reader experiment is
+# `go run ./cmd/benchrunner -exp S4`, the physical-design one -exp S6.
 bench-smoke:
-	$(GO) test -run=NONE -bench='^BenchmarkReadPath' -benchtime=100ms ./internal/catalog
+	$(GO) test -run=NONE -bench='^(BenchmarkReadPath|BenchmarkAutoSpecialize)' -benchtime=100ms ./internal/catalog
 
 clean:
 	rm -f BENCH_*.json

@@ -51,6 +51,9 @@ type (
 	MetricsResponse  = wire.MetricsResponse
 	WALMetrics       = wire.WALMetrics
 	DeclareResponse  = wire.DeclareResponse
+	PhysicalInfo     = wire.PhysicalInfo
+	MigrationInfo    = wire.MigrationInfo
+	TrackerInfo      = wire.TrackerInfo
 )
 
 // Value constructors, re-exported for ergonomic insert payloads.
@@ -475,6 +478,20 @@ func (c *Client) Info(ctx context.Context, name string) (RelationInfo, error) {
 	var out RelationInfo
 	err := c.do(ctx, http.MethodGet, "/v1/relations/"+name, nil, &out)
 	return out, err
+}
+
+// Physical fetches a relation's live physical design: its organization
+// with provenance, the declared / inferred / adopted class sets, the
+// migration history, and the compaction gauges.
+func (c *Client) Physical(ctx context.Context, name string) (PhysicalInfo, error) {
+	info, err := c.Info(ctx, name)
+	if err != nil {
+		return PhysicalInfo{}, err
+	}
+	if info.Physical == nil {
+		return PhysicalInfo{}, fmt.Errorf("tsdbd: server reported no physical design for %q", name)
+	}
+	return *info.Physical, nil
 }
 
 // Declare attaches specialization constraints to a relation. The server

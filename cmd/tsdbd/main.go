@@ -80,6 +80,8 @@ func main() {
 	flag.Int64Var(&o.cacheBytes, "query-cache", 32<<20, "plan-keyed query result cache budget in bytes (0 disables)")
 	flag.BoolVar(&o.pprof, "pprof", false, "expose /debug/pprof profiling endpoints (bypass admission control)")
 	flag.StringVar(&o.follow, "follow", "", "run as a read-only follower of the given primary URL (disables the local WAL)")
+	flag.BoolVar(&o.autoSpecialize, "auto-specialize", false, "run the background physical-design advisor: infer specialization classes from the observed extension, migrate stores when the advice changes, and compact append-only relations")
+	flag.DurationVar(&o.adviseEvery, "advise-interval", 15*time.Second, "how often the -auto-specialize advisor re-examines the catalog")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -102,6 +104,8 @@ type options struct {
 	cacheBytes                int64
 	pprof                     bool
 	follow                    string
+	autoSpecialize            bool
+	adviseEvery               time.Duration
 }
 
 // admission maps the flags onto the server's admission config.
@@ -218,6 +222,28 @@ func run(o options) error {
 				log.Printf("follower: replication stopped: %v", err)
 			}
 		}()
+	}
+
+	// The background advisor closes the specialization loop: it infers
+	// classes from each relation's observed extension, migrates stores
+	// when the advice changes (journaled, so followers adopt the same
+	// design), and compacts append-only relations into frozen runs.
+	// Followers never run it — their design replicates from the primary.
+	if o.autoSpecialize && o.follow == "" && o.adviseEvery > 0 {
+		go cat.RunAdvisor(ctx, o.adviseEvery, catalog.DefaultAdvisorConfig(),
+			func(rep catalog.AdvisorReport, err error) {
+				if err != nil {
+					log.Printf("advisor: %v", err)
+					return
+				}
+				for _, m := range rep.Migrations {
+					log.Printf("advisor: migrated to %s (%s) at epoch %d", m.To, m.Source, m.Epoch)
+				}
+				if rep.Sealed > 0 {
+					log.Printf("advisor: sealed %d element(s) into frozen runs", rep.Sealed)
+				}
+			})
+		log.Printf("advisor: auto-specialize enabled, interval %s", o.adviseEvery)
 	}
 
 	// Periodic snapshots: only dirty relations are rewritten, so an idle

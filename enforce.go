@@ -77,6 +77,15 @@ func Advise(classes []Class, stampKind TimestampKind) Advice {
 	return storage.Advise(classes, stampKind)
 }
 
+// AdviseAuto is Advise with a second channel: classes observed in the
+// extension but not declared. Observed classes license the same ordered
+// organizations, but the advice is marked inferred (revocable — a future
+// insert may break the property) and observed bounds never enable
+// pushdowns, which require a declared promise.
+func AdviseAuto(declared, observed []Class, stampKind TimestampKind) Advice {
+	return storage.AdviseAuto(declared, observed, stampKind)
+}
+
 // QueryEngine executes current/historical/rollback queries over a store,
 // reporting plans and touched counts.
 type QueryEngine = query.Engine

@@ -39,9 +39,13 @@ const (
 	// Format versions: 1 = schema + records; 2 adds a declarations block
 	// (the constraint catalog) between the schema and the records; 3 adds
 	// a state block (the applied write-ahead-log LSN) after the
-	// declarations, which makes WAL replay after a snapshot idempotent.
-	// Version 1 and 2 streams remain readable.
-	formatVersion = 3
+	// declarations, which makes WAL replay after a snapshot idempotent;
+	// 4 adds a physical-design block (live organization, advice source,
+	// adopted inferred classes, migration count) after the state block, so
+	// a respecialized relation reboots into the organization it migrated
+	// to even after the WAL frames that chose it are truncated. Streams
+	// older than the current version remain readable.
+	formatVersion = 4
 	// maxBody bounds a single record body; a record holds one element, so
 	// anything larger indicates corruption.
 	maxBody = 1 << 24
@@ -69,6 +73,62 @@ func WriteWithDeclarations(w io.Writer, r *relation.Relation, decls []constraint
 // write-ahead-log LSN: every WAL record at or below walLSN is reflected in
 // the stream, so boot-time replay can skip them.
 func WriteWithState(w io.Writer, r *relation.Relation, decls []constraint.Descriptor, walLSN uint64) error {
+	return WriteWithPhysical(w, r, decls, walLSN, Physical{})
+}
+
+// Physical is the journaled physical-design state of a relation: which
+// organization it lives in, what licensed that choice, and which inferred
+// classes a respecialization adopted. The catalog re-derives the live store
+// from this plus the declarations at load, so the block is tiny — it
+// records decisions, not data.
+type Physical struct {
+	// Org is the live organization as a storage.Kind ordinal.
+	Org uint8
+	// Source is the advice-source token ("declared", "inferred", "default").
+	Source string
+	// Adopted are the observed classes (core.Class ordinals) the last
+	// respecialization committed to; empty when the org follows from
+	// declarations alone.
+	Adopted []uint8
+	// Migrations counts completed store migrations over the relation's
+	// lifetime.
+	Migrations uint64
+}
+
+func encodePhysical(p Physical) []byte {
+	var e enc
+	e.u8(p.Org)
+	e.str(p.Source)
+	e.u16(uint16(len(p.Adopted)))
+	for _, c := range p.Adopted {
+		e.u8(c)
+	}
+	e.u64(p.Migrations)
+	return e.b
+}
+
+func decodePhysical(b []byte) (Physical, error) {
+	d := dec{b: b}
+	var p Physical
+	p.Org = d.u8()
+	p.Source = d.str()
+	n := int(d.u16())
+	for i := 0; i < n && d.err == nil; i++ {
+		p.Adopted = append(p.Adopted, d.u8())
+	}
+	p.Migrations = d.u64()
+	if d.err != nil {
+		return Physical{}, d.err
+	}
+	if len(d.b) != 0 {
+		return Physical{}, fmt.Errorf("%w: trailing physical bytes", ErrCorrupt)
+	}
+	return p, nil
+}
+
+// WriteWithPhysical is WriteWithState plus the relation's physical-design
+// block.
+func WriteWithPhysical(w io.Writer, r *relation.Relation, decls []constraint.Descriptor, walLSN uint64, phys Physical) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(magic); err != nil {
 		return err
@@ -84,6 +144,9 @@ func WriteWithState(w io.Writer, r *relation.Relation, decls []constraint.Descri
 	}
 	state := binary.LittleEndian.AppendUint64(nil, walLSN)
 	if err := writeBlock(bw, state); err != nil {
+		return err
+	}
+	if err := writeBlock(bw, encodePhysical(phys)); err != nil {
 		return err
 	}
 	records := r.Backlog()
@@ -118,8 +181,17 @@ func ReadWithDeclarations(rd io.Reader) (relation.Schema, []constraint.Descripto
 // ReadWithState is ReadWithDeclarations plus the applied write-ahead-log
 // LSN. Streams older than version 3 yield zero (no WAL coverage claimed).
 func ReadWithState(rd io.Reader) (relation.Schema, []constraint.Descriptor, []relation.LogRecord, uint64, error) {
-	fail := func(err error) (relation.Schema, []constraint.Descriptor, []relation.LogRecord, uint64, error) {
-		return relation.Schema{}, nil, nil, 0, err
+	schema, decls, records, walLSN, _, err := ReadWithPhysical(rd)
+	return schema, decls, records, walLSN, err
+}
+
+// ReadWithPhysical is ReadWithState plus the physical-design block.
+// Streams older than version 4 yield the zero Physical (heap organization,
+// no adopted classes) — the catalog then re-advises from declarations as it
+// always did.
+func ReadWithPhysical(rd io.Reader) (relation.Schema, []constraint.Descriptor, []relation.LogRecord, uint64, Physical, error) {
+	fail := func(err error) (relation.Schema, []constraint.Descriptor, []relation.LogRecord, uint64, Physical, error) {
+		return relation.Schema{}, nil, nil, 0, Physical{}, err
 	}
 	br := bufio.NewReader(rd)
 	head := make([]byte, len(magic)+2)
@@ -163,6 +235,17 @@ func ReadWithState(rd io.Reader) (relation.Schema, []constraint.Descriptor, []re
 		}
 		walLSN = binary.LittleEndian.Uint64(stateBody)
 	}
+	var phys Physical
+	if version >= 4 {
+		physBody, err := readBlock(br)
+		if err != nil {
+			return fail(err)
+		}
+		phys, err = decodePhysical(physBody)
+		if err != nil {
+			return fail(err)
+		}
+	}
 	var records []relation.LogRecord
 	for {
 		// The trailer is exactly the last 12 bytes of the stream, so the
@@ -180,7 +263,7 @@ func ReadWithState(rd io.Reader) (relation.Schema, []constraint.Descriptor, []re
 			if count != uint64(len(records)) {
 				return fail(fmt.Errorf("%w: trailer records %d, read %d", ErrCorrupt, count, len(records)))
 			}
-			return schema, decls, records, walLSN, nil
+			return schema, decls, records, walLSN, phys, nil
 		}
 		body, err := readBlock(br)
 		if err != nil {

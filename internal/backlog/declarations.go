@@ -81,12 +81,18 @@ func SaveWithDeclarations(path string, r *relation.Relation, decls []constraint.
 // fsynced before the rename, so a snapshot claiming WAL coverage is never
 // less durable than the log records it lets the catalog skip.
 func SaveWithState(path string, r *relation.Relation, decls []constraint.Descriptor, walLSN uint64) error {
+	return SaveWithPhysical(path, r, decls, walLSN, Physical{})
+}
+
+// SaveWithPhysical is SaveWithState plus the relation's physical-design
+// block.
+func SaveWithPhysical(path string, r *relation.Relation, decls []constraint.Descriptor, walLSN uint64, phys Physical) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	if err := WriteWithState(f, r, decls, walLSN); err != nil {
+	if err := WriteWithPhysical(f, r, decls, walLSN, phys); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
@@ -115,22 +121,32 @@ func LoadWithDeclarations(path string, clock tx.Clock) (*relation.Relation, []co
 // LoadWithState is LoadWithDeclarations plus the applied write-ahead-log
 // LSN the snapshot recorded (zero for pre-WAL streams).
 func LoadWithState(path string, clock tx.Clock) (*relation.Relation, []constraint.Descriptor, uint64, error) {
+	r, decls, walLSN, _, err := LoadWithPhysical(path, clock)
+	return r, decls, walLSN, err
+}
+
+// LoadWithPhysical is LoadWithState plus the physical-design block (zero
+// for pre-v4 streams).
+func LoadWithPhysical(path string, clock tx.Clock) (*relation.Relation, []constraint.Descriptor, uint64, Physical, error) {
+	fail := func(err error) (*relation.Relation, []constraint.Descriptor, uint64, Physical, error) {
+		return nil, nil, 0, Physical{}, err
+	}
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, nil, 0, err
+		return fail(err)
 	}
 	defer f.Close()
-	schema, decls, records, walLSN, err := ReadWithState(f)
+	schema, decls, records, walLSN, phys, err := ReadWithPhysical(f)
 	if err != nil {
-		return nil, nil, 0, err
+		return fail(err)
 	}
 	r, err := relation.Replay(schema, clock, records)
 	if err != nil {
-		return nil, nil, 0, err
+		return fail(err)
 	}
 	byScope, err := constraint.BuildAll(decls)
 	if err != nil {
-		return nil, nil, 0, err
+		return fail(err)
 	}
 	for scope, cs := range byScope {
 		en := constraint.NewEnforcer(scope, cs...)
@@ -141,5 +157,5 @@ func LoadWithState(path string, clock tx.Clock) (*relation.Relation, []constrain
 		}
 		r.AddGuard(en)
 	}
-	return r, decls, walLSN, nil
+	return r, decls, walLSN, phys, nil
 }

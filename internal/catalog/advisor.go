@@ -1,0 +1,141 @@
+package catalog
+
+// Background physical-design advisor: the loop that closes the
+// specialization feedback cycle. Each pass walks the catalog, re-advises
+// any relation whose extension has grown past the re-advising thresholds
+// since its last look, migrates the live store when the advice changed
+// (Entry.Respecialize — journaled, so the design survives restarts and
+// ships to followers), and seals frozen runs on relations whose adopted
+// organization is the append-only vt-ordered log (class-scheduled
+// compaction). Followers never run the loop: their physical design
+// arrives through the replicated walRespecialize frames, keeping replica
+// state a pure function of the primary's log.
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/relation"
+	"repro/internal/storage"
+)
+
+// AdvisorConfig tunes the background advisor's re-advising thresholds. A
+// relation is re-examined when its mutation epoch advanced by at least
+// MinEpochDelta or its store footprint changed by at least MinBytesDelta
+// since the advisor's previous look; a relation the advisor has never
+// seen is always examined.
+type AdvisorConfig struct {
+	MinEpochDelta uint64
+	MinBytesDelta int64
+}
+
+// DefaultAdvisorConfig is the tsdbd default: look again after 64 epochs
+// or 64 KiB of timestamp-column growth, whichever comes first.
+func DefaultAdvisorConfig() AdvisorConfig {
+	return AdvisorConfig{MinEpochDelta: 64, MinBytesDelta: 64 << 10}
+}
+
+// AdvisorReport summarizes one advisor pass.
+type AdvisorReport struct {
+	Examined   int         // relations past their thresholds this pass
+	Migrations []Migration // store migrations performed
+	Sealed     int         // elements newly sealed into frozen runs
+}
+
+// AdvisePass runs one advisor sweep over the catalog. Exported so tests,
+// benchmarks, and operators (via an eventual admin endpoint) can drive a
+// pass deterministically without the ticker.
+func (c *Catalog) AdvisePass(cfg AdvisorConfig) (AdvisorReport, error) {
+	if c.cfg.Follower {
+		return AdvisorReport{}, fmt.Errorf("catalog: advisor pass on a follower (designs replicate from the primary)")
+	}
+	var rep AdvisorReport
+	for _, name := range c.Names() {
+		e, err := c.Get(name)
+		if err != nil {
+			continue // dropped concurrently
+		}
+		if !e.pastAdviseThresholds(cfg) {
+			continue
+		}
+		rep.Examined++
+		mig, migrated, err := e.Respecialize()
+		if err != nil {
+			return rep, fmt.Errorf("catalog: respecialize %q: %w", name, err)
+		}
+		if migrated {
+			rep.Migrations = append(rep.Migrations, mig)
+		}
+		// Class-scheduled compaction: only the vt-ordered log (the
+		// append-only designs) seals runs; general relations keep today's
+		// behavior. Entry.Compact is a no-op on non-sealing stores, but
+		// gating here keeps the sweep from taking their exclusive locks.
+		if e.adviceStore() == storage.VTOrdered {
+			rep.Sealed += e.Compact()
+		}
+	}
+	return rep, nil
+}
+
+// pastAdviseThresholds reports whether the relation changed enough since
+// the advisor's previous look to warrant re-advising, and if so records
+// the current epoch and byte footprint as the new baseline.
+func (e *Entry) pastAdviseThresholds(cfg AdvisorConfig) bool {
+	epoch := e.Epoch()
+	bytes := e.storeBytes()
+	lastE, lastB := e.lastAdviseEpoch.Load(), e.lastAdviseBytes.Load()
+	if lastE != 0 {
+		dE := epoch - lastE
+		dB := bytes - lastB
+		if dB < 0 {
+			dB = -dB
+		}
+		if dE < cfg.MinEpochDelta && dB < cfg.MinBytesDelta {
+			return false
+		}
+	}
+	e.lastAdviseEpoch.Store(epoch)
+	e.lastAdviseBytes.Store(bytes)
+	return true
+}
+
+// storeBytes reads the live store's timestamp-column footprint.
+func (e *Entry) storeBytes() int64 {
+	var n int64
+	_ = e.locked.View(func(*relation.Relation) error {
+		n = storage.StoreBytes(e.engine.Store())
+		return nil
+	})
+	return n
+}
+
+// adviceStore reads the live organization under the shared lock.
+func (e *Entry) adviceStore() storage.Kind {
+	var k storage.Kind
+	_ = e.locked.View(func(*relation.Relation) error {
+		k = e.advice.Store
+		return nil
+	})
+	return k
+}
+
+// RunAdvisor runs AdvisePass every interval until ctx is canceled. Pass
+// errors are reported through report (nil to discard); a failed pass does
+// not stop the loop — the catalog may be transiently read-only (WAL
+// poisoned) and recover.
+func (c *Catalog) RunAdvisor(ctx context.Context, every time.Duration, cfg AdvisorConfig, report func(AdvisorReport, error)) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			rep, err := c.AdvisePass(cfg)
+			if report != nil {
+				report(rep, err)
+			}
+		}
+	}
+}

@@ -119,6 +119,11 @@ const (
 	walInsertKeyed wal.Kind = 6
 	walDeleteKeyed wal.Kind = 7
 	walModifyKeyed wal.Kind = 8
+	// walRespecialize journals a physical-design change: the adopted
+	// observed classes and the organization they licensed. Replaying it
+	// (boot recovery and follower apply alike) restores the adoption, so
+	// the migrated organization survives a crash and ships to replicas.
+	walRespecialize wal.Kind = 9
 )
 
 type shard struct {
@@ -178,14 +183,14 @@ func (c *Catalog) Open() error {
 			}
 			name := strings.TrimSuffix(de.Name(), fileSuffix)
 			path := filepath.Join(c.cfg.Dir, de.Name())
-			r, decls, walLSN, err := backlog.LoadWithState(path, c.newClock())
+			r, decls, walLSN, phys, err := backlog.LoadWithPhysical(path, c.newClock())
 			if err != nil {
 				return fmt.Errorf("catalog: loading %s: %w", path, err)
 			}
 			if r.Schema().Name != name {
 				return fmt.Errorf("catalog: %s holds relation %q, want %q", path, r.Schema().Name, name)
 			}
-			e := c.newEntry(name, relation.NewLocked(r), decls)
+			e := c.newEntry(name, relation.NewLocked(r), decls, phys)
 			e.wal = c.cfg.WAL
 			e.walLSN.Store(walLSN)
 			sh := c.shardFor(name)
@@ -246,7 +251,7 @@ func (c *Catalog) applyWALRecord(rec wal.Record) (*Entry, error) {
 		if _, dup := sh.entries[rec.Rel]; dup {
 			return nil, nil // the snapshot file already restored it
 		}
-		e := c.newEntry(rec.Rel, relation.NewLocked(relation.New(schema, c.newClock())), nil)
+		e := c.newEntry(rec.Rel, relation.NewLocked(relation.New(schema, c.newClock())), nil, backlog.Physical{})
 		e.wal = c.cfg.WAL
 		e.walLSN.Store(rec.LSN)
 		e.dirty.Store(true)
@@ -330,6 +335,21 @@ func (c *Catalog) applyWALRecord(rec wal.Record) (*Entry, error) {
 				r.AddGuard(en)
 			}
 			e.decls = append(e.decls, descs...)
+		case walRespecialize:
+			org, source, adopted, err := decodeRespecialize(rec.Payload)
+			if err != nil {
+				applyErr = err
+				return nil
+			}
+			// Restore the adoption; the caller's per-touched-relation
+			// rebuild re-derives the organization from it (and from the
+			// replayed history), so primaries and followers land on the
+			// same physical design as the journaling process.
+			e.adopted = adopted
+			e.migrations++
+			e.history = append(e.history, Migration{
+				Epoch: e.Epoch(), From: e.advice.Store, To: org, Source: source,
+			})
 		default:
 			applyErr = fmt.Errorf("unknown record kind %d", rec.Kind)
 		}
@@ -381,6 +401,59 @@ func decodeModify(b []byte) (del, ins relation.LogRecord, err error) {
 	return del, ins, nil
 }
 
+// Migration records one physical-design change of a relation: the epoch it
+// happened at, the organizations involved, the advice's provenance, and
+// the advisor's reasons. Live migrations carry full detail; replayed ones
+// carry what the WAL frame preserved.
+type Migration struct {
+	Epoch    uint64
+	From, To storage.Kind
+	Source   string
+	Reasons  []string
+}
+
+// encodeRespecialize frames a physical-design change for the WAL: the
+// target organization, the advice source, and the adopted observed
+// classes. The classes are what replay needs — the organization and source
+// are re-derived deterministically by rebuildEngine, but carrying them
+// makes the frame self-describing for the migration history.
+func encodeRespecialize(org storage.Kind, source string, adopted []core.Class) []byte {
+	out := []byte{uint8(org)}
+	out = append(out, uint8(len(source)))
+	out = append(out, source...)
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(adopted)))
+	for _, c := range adopted {
+		out = append(out, uint8(c))
+	}
+	return out
+}
+
+func decodeRespecialize(b []byte) (org storage.Kind, source string, adopted []core.Class, err error) {
+	fail := func(msg string) (storage.Kind, string, []core.Class, error) {
+		return 0, "", nil, fmt.Errorf("catalog: %s respecialize payload", msg)
+	}
+	if len(b) < 2 {
+		return fail("short")
+	}
+	org = storage.Kind(b[0])
+	sn := int(b[1])
+	b = b[2:]
+	if len(b) < sn+2 {
+		return fail("short")
+	}
+	source = string(b[:sn])
+	b = b[sn:]
+	n := int(binary.LittleEndian.Uint16(b))
+	b = b[2:]
+	if len(b) != n {
+		return fail("bad framing in")
+	}
+	for _, c := range b {
+		adopted = append(adopted, core.Class(c))
+	}
+	return org, source, adopted, nil
+}
+
 // Create adds an empty relation under schema.Name. The name must satisfy
 // the catalog's naming rule so it can double as the snapshot file name.
 func (c *Catalog) Create(schema relation.Schema) (*Entry, error) {
@@ -398,7 +471,7 @@ func (c *Catalog) Create(schema relation.Schema) (*Entry, error) {
 		return nil, err
 	}
 	r := relation.New(schema, c.newClock())
-	e := c.newEntry(name, relation.NewLocked(r), nil)
+	e := c.newEntry(name, relation.NewLocked(r), nil, backlog.Physical{})
 	e.wal = c.cfg.WAL
 	e.dirty.Store(true) // persist even if never written to
 	sh := c.shardFor(name)
@@ -584,6 +657,34 @@ type Entry struct {
 	// by locked's exclusive lock, like decls.
 	dedup *dedupWindow
 
+	// tracker incrementally observes the extension's timestamps (guarded
+	// by locked's exclusive lock): the monotone class properties it still
+	// holds are what the advisor may adopt without a declaration. Rebuilt
+	// alongside the engine so it always reflects the live history.
+	tracker *core.Tracker
+
+	// adopted is the set of observed classes a journaled respecialize
+	// committed to (guarded by the exclusive lock). rebuildEngine
+	// intersects it with the tracker's current classes, so an adoption the
+	// history later violates degrades back to the general organization
+	// instead of serving a broken promise.
+	adopted []core.Class
+
+	// migrations counts journaled physical-design changes; history keeps
+	// their in-memory detail (both guarded by the exclusive lock).
+	migrations uint64
+	history    []Migration
+
+	// lastAdviseEpoch and lastAdviseBytes gate the background advisor's
+	// re-advising thresholds (see advisor.go).
+	lastAdviseEpoch atomic.Uint64
+	lastAdviseBytes atomic.Int64
+
+	// physical is the published physical-design snapshot, recomputed by
+	// publish under the exclusive lock. Readers (the metrics endpoint is
+	// a probe and must never queue behind a writer) load it atomically.
+	physical atomic.Pointer[Physical]
+
 	// plans counts queries and touched elements per plan kind over the
 	// entry's lifetime. It lives here rather than on the engine because
 	// declarations rebuild the engine; the counters must survive that.
@@ -633,6 +734,8 @@ func (e *Entry) publish() {
 		elems:  storage.Elements(en.Store()),
 		schema: e.locked.Schema(),
 	})
+	phys := e.physicalLocked()
+	e.physical.Store(&phys)
 }
 
 // Epoch reports the relation's current mutation epoch — bumped by every
@@ -641,10 +744,33 @@ func (e *Entry) publish() {
 // results under.
 func (e *Entry) Epoch() uint64 { return e.view.Load().epoch }
 
-func (c *Catalog) newEntry(name string, l *relation.Locked, decls []constraint.Descriptor) *Entry {
+// classesToU8 and classesFromU8 convert between the engine's class enum
+// and the backlog's persisted byte form.
+func classesToU8(cs []core.Class) []uint8 {
+	var out []uint8
+	for _, c := range cs {
+		out = append(out, uint8(c))
+	}
+	return out
+}
+
+func classesFromU8(bs []uint8) []core.Class {
+	var out []core.Class
+	for _, b := range bs {
+		out = append(out, core.Class(b))
+	}
+	return out
+}
+
+// newEntry constructs an entry over the locked relation, seeding the
+// persisted physical design (adopted observed classes and migration
+// count) before the first engine rebuild so a restored relation adopts
+// its migrated organization without WAL replay.
+func (c *Catalog) newEntry(name string, l *relation.Locked, decls []constraint.Descriptor, phys backlog.Physical) *Entry {
 	e := &Entry{
 		name: name, locked: l, decls: decls, dedup: newDedupWindow(),
 		cache: c.cache, lockedReads: c.cfg.LockedReads, follower: c.cfg.Follower,
+		adopted: classesFromU8(phys.Adopted), migrations: phys.Migrations,
 	}
 	_ = l.Exclusive(func(r *relation.Relation) error {
 		// A bounds error here means a persisted declaration carries
@@ -680,27 +806,61 @@ func perRelationClasses(decls []constraint.Descriptor) []core.Class {
 	return out
 }
 
+// activeAdopted intersects the entry's adopted observed classes with what
+// the tracker still holds: an adoption the history has since violated
+// stops licensing anything, so the advisor degrades cleanly instead of
+// serving a broken promise. Caller holds the exclusive lock.
+func (e *Entry) activeAdopted() []core.Class {
+	if len(e.adopted) == 0 || e.tracker == nil {
+		return nil
+	}
+	held := make(map[core.Class]bool)
+	for _, c := range e.tracker.Classes() {
+		held[c] = true
+	}
+	var out []core.Class
+	for _, c := range e.adopted {
+		if held[c] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
 // rebuildEngine reloads the advisor-chosen store from the relation's
-// versions. Caller holds the exclusive lock. The returned error reports
-// only unusable declared offset bounds; the engine is valid either way
-// (it just runs without the pushdown).
+// versions, rebuilding the extension tracker over the same walk. Caller
+// holds the exclusive lock. The returned error reports only unusable
+// declared offset bounds; the engine is valid either way (it just runs
+// without the pushdown).
 func (e *Entry) rebuildEngine(r *relation.Relation) error {
-	classes := perRelationClasses(e.decls)
-	advice := storage.Advise(classes, r.Schema().ValidTime)
-	st := advice.New()
+	schema := r.Schema()
+	tr := core.NewTracker(schema.ValidTime, schema.Granularity)
 	for _, el := range r.Versions() {
-		if err := st.Insert(el); err != nil {
-			// The history predates the ordering promise (or the promise is
-			// unenforceable); fall back to the general organization, which
-			// only assumes tt order and cannot fail.
-			advice = storage.Advise(nil, r.Schema().ValidTime)
+		tr.Observe(el)
+	}
+	e.tracker = tr
+	classes := perRelationClasses(e.decls)
+	advice := storage.AdviseAuto(classes, e.activeAdopted(), schema.ValidTime)
+	st := advice.New()
+	if ferr := fillStore(st, r); ferr != nil {
+		// The history predates the ordering promise (or the promise is
+		// unenforceable); fall back to the general organization, which
+		// only assumes tt order.
+		advice = storage.Advise(nil, schema.ValidTime)
+		advice.Reasons = append(advice.Reasons,
+			fmt.Sprintf("fell back: existing history violates the declared order (%v)", ferr))
+		st = advice.New()
+		if ferr := fillStore(st, r); ferr != nil {
+			// Even transaction-time order does not hold — a clock that
+			// restarted behind persisted stamps can commit tt out of order.
+			// The heap assumes nothing, so every committed element stays
+			// queryable; dropping one here would make an acknowledged write
+			// invisible to reads.
+			advice.Store, advice.Source = storage.Heap, storage.SourceDefault
 			advice.Reasons = append(advice.Reasons,
-				fmt.Sprintf("fell back: existing history violates the declared order (%v)", err))
+				fmt.Sprintf("fell back: history violates transaction-time order (%v)", ferr))
 			st = advice.New()
-			for _, el2 := range r.Versions() {
-				_ = st.Insert(el2)
-			}
-			break
+			_ = fillStore(st, r) // heap inserts cannot fail
 		}
 	}
 	en := query.New(st, classes)
@@ -728,6 +888,17 @@ func (e *Entry) rebuildEngine(r *relation.Relation) error {
 				}
 				break
 			}
+		}
+	}
+	return nil
+}
+
+// fillStore loads every version of r into st, stopping at the store's
+// first refusal.
+func fillStore(st storage.Store, r *relation.Relation) error {
+	for _, el := range r.Versions() {
+		if err := st.Insert(el); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -788,6 +959,7 @@ func (e *Entry) InsertKeyed(ctx context.Context, ins relation.Insertion, key str
 			e.walLSN.Store(lsn)
 		}
 		r.CommitInsert(el)
+		e.tracker.Observe(el)
 		if key != "" {
 			e.dedup.remember(key, dedupInsert, el)
 		}
@@ -977,6 +1149,7 @@ func (e *Entry) ModifyKeyed(ctx context.Context, es surrogate.Surrogate, vt elem
 		closed := r.CommitDelete(old, tt)
 		e.engine.Store().Replace(old, closed)
 		r.CommitInsert(repl)
+		e.tracker.Observe(repl)
 		if key != "" {
 			e.dedup.remember(key, dedupModify, repl)
 		}
@@ -1392,6 +1565,124 @@ func (e *Entry) Vacuum(horizon chronon.Chronon) (int, error) {
 	return removed, err
 }
 
+// Respecialize re-advises the relation's physical design from its
+// declarations and its observed extension, and migrates the live store
+// when the advice differs from the current organization. The migration is
+// journaled (walRespecialize) before the store is rebuilt, so the adopted
+// design survives a crash and ships to followers; the rebuild happens
+// under the exclusive lock but readers never block — they keep serving
+// the previously published view until the fresh epoch is swapped in.
+// Returns the migration record and whether one happened.
+func (e *Entry) Respecialize() (Migration, bool, error) {
+	if err := e.writable(); err != nil {
+		return Migration{}, false, err
+	}
+	var mig Migration
+	migrated := false
+	var lsn uint64
+	err := e.locked.Exclusive(func(r *relation.Relation) error {
+		declared := perRelationClasses(e.decls)
+		observed := e.tracker.Classes()
+		cand := storage.AdviseAuto(declared, observed, r.Schema().ValidTime)
+		if cand.Store == e.advice.Store {
+			return nil // the live organization is already the advised one
+		}
+		if e.wal != nil {
+			l, werr := e.wal.Write(walRespecialize, e.name,
+				encodeRespecialize(cand.Store, cand.Source, observed))
+			if werr != nil {
+				return e.walErr(werr)
+			}
+			lsn = l
+			e.walLSN.Store(lsn)
+		}
+		from := e.advice.Store
+		e.adopted = observed
+		_ = e.rebuildEngine(r) // bounds errors only; the engine is valid
+		e.migrations++
+		mig = Migration{
+			Epoch:   e.Epoch() + 1, // the epoch publish is about to stamp
+			From:    from,
+			To:      e.advice.Store,
+			Source:  e.advice.Source,
+			Reasons: append([]string(nil), e.advice.Reasons...),
+		}
+		e.history = append(e.history, mig)
+		e.publish()
+		e.dirty.Store(true)
+		migrated = true
+		return nil
+	})
+	if err != nil || !migrated {
+		return mig, migrated, err
+	}
+	return mig, true, e.waitDurable(lsn)
+}
+
+// Compact seals frozen runs over the live store's stable prefix when the
+// organization supports it, publishing a fresh epoch so subsequent reads
+// see the run metadata. Returns how many elements were newly sealed.
+// Deliberately not WAL-logged: runs are derived state, rebuilt by the
+// advisor loop after a restart.
+func (e *Entry) Compact() int {
+	sealed := 0
+	_ = e.locked.Exclusive(func(r *relation.Relation) error {
+		c, ok := e.engine.Store().(storage.Compacter)
+		if !ok {
+			return nil
+		}
+		if sealed = c.Compact(); sealed > 0 {
+			e.publish()
+		}
+		return nil
+	})
+	return sealed
+}
+
+// Physical is a consistent snapshot of the entry's physical design: the
+// live organization with its provenance, the declared / inferred / adopted
+// class sets, the migration history, and the compaction state.
+type Physical struct {
+	Org     storage.Kind
+	Source  string
+	Reasons []string
+	// Declared are the per-relation declared classes; Inferred the monotone
+	// classes the extension tracker currently holds; Adopted the observed
+	// classes a journaled respecialize committed to.
+	Declared   []core.Class
+	Inferred   []core.Class
+	Adopted    []core.Class
+	Migrations uint64
+	History    []Migration
+	Compaction storage.CompactionStats
+	StoreBytes int64
+	Tracker    core.TrackerStats
+}
+
+// Physical reports the entry's current physical design. It reads the
+// atomically published snapshot — one load, no relation lock — so probe
+// traffic (the metrics endpoint) never queues behind writers.
+func (e *Entry) Physical() Physical {
+	return *e.physical.Load()
+}
+
+// physicalLocked builds the Physical snapshot; caller holds the lock.
+func (e *Entry) physicalLocked() Physical {
+	return Physical{
+		Org:        e.advice.Store,
+		Source:     e.advice.Source,
+		Reasons:    append([]string(nil), e.advice.Reasons...),
+		Declared:   perRelationClasses(e.decls),
+		Inferred:   e.tracker.Classes(),
+		Adopted:    append([]core.Class(nil), e.adopted...),
+		Migrations: e.migrations,
+		History:    append([]Migration(nil), e.history...),
+		Compaction: storage.Compaction(e.engine.Store()),
+		StoreBytes: storage.StoreBytes(e.engine.Store()),
+		Tracker:    e.tracker.Stats(),
+	}
+}
+
 // PlanStats reports the entry's lifetime per-plan-kind counters.
 func (e *Entry) PlanStats() map[string]plan.KindStats { return e.plans.Snapshot() }
 
@@ -1417,10 +1708,12 @@ type Info struct {
 	Advice       storage.Advice
 	// Plans is the entry's lifetime query count per plan kind.
 	Plans map[string]plan.KindStats
+	// Physical is the relation's current physical design.
+	Physical Physical
 }
 
 // Info reports the entry's schema, size, declarations, current advice,
-// and per-plan-kind query counters.
+// physical design, and per-plan-kind query counters.
 func (e *Entry) Info() Info {
 	var info Info
 	_ = e.locked.View(func(r *relation.Relation) error {
@@ -1430,6 +1723,7 @@ func (e *Entry) Info() Info {
 			Declarations: append([]constraint.Descriptor(nil), e.decls...),
 			Advice:       e.advice,
 			Plans:        e.plans.Snapshot(),
+			Physical:     e.physicalLocked(),
 		}
 		return nil
 	})
@@ -1445,7 +1739,13 @@ func (e *Entry) snapshotTo(path string) (bool, error) {
 		if !e.dirty.Swap(false) {
 			return nil
 		}
-		if err := backlog.SaveWithState(path, r, e.decls, e.walLSN.Load()); err != nil {
+		phys := backlog.Physical{
+			Org:        uint8(e.advice.Store),
+			Source:     e.advice.Source,
+			Adopted:    classesToU8(e.adopted),
+			Migrations: e.migrations,
+		}
+		if err := backlog.SaveWithPhysical(path, r, e.decls, e.walLSN.Load(), phys); err != nil {
 			e.dirty.Store(true) // retry on the next snapshot
 			return err
 		}

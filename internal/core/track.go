@@ -1,0 +1,216 @@
+package core
+
+import (
+	"repro/internal/chronon"
+	"repro/internal/element"
+)
+
+// Tracker is the observed-extension inference state for one relation: a
+// constant-space summary of every insertion seen so far, from which the
+// ordering classes of §3.2/§3.4 (and the degenerate limit of §3.1) can be
+// read off in O(1). It is the incremental counterpart of Classify for the
+// classes the storage advisor consumes: instead of re-walking the extension,
+// the catalog feeds each arriving element to Observe and asks Classes when
+// it re-advises.
+//
+// All tracked properties are monotone under observation — once an ordering
+// violation or an overlap is seen it can never be unseen — so the tracker is
+// a sound (never over-claiming) witness of what the extension actually
+// satisfies, with the violation counters preserved as evidence. Physically
+// removing history (vacuum) may re-establish a property; the catalog rebuilds
+// the tracker whenever it rebuilds the store, which re-observes exactly the
+// surviving versions.
+//
+// Elements must be observed in arrival (insertion transaction time) order,
+// which is the order relation.Versions yields. Elements sharing a
+// transaction time form one group and are unconstrained against each other,
+// mirroring the strict tt inequality in every §3.2/§3.4 definition (the
+// deletion and insertion halves of a modification share a tt).
+type Tracker struct {
+	kind element.TimestampKind
+	gran chronon.Granularity
+
+	n int
+
+	// Current equal-tt group aggregates, folded into prev* when a later
+	// transaction time arrives.
+	curTT    chronon.Chronon
+	curMaxVT chronon.Chronon // max vt start in the group
+	curMinVT chronon.Chronon // min vt start in the group
+	curHigh  chronon.Chronon // max(tt, vt end) in the group
+
+	// Aggregates over all strictly earlier groups.
+	prevMaxVT chronon.Chronon
+	prevMinVT chronon.Chronon
+	prevHigh  chronon.Chronon
+
+	// Monotone class flags (true until violated).
+	nonDecreasing bool
+	nonIncreasing bool
+	sequential    bool
+	degenerate    bool // events only: vt = tt at the granularity
+
+	// Violation evidence.
+	ttViolations uint64 // arrival out of tt order (a caller bug, counted loudly)
+	vtViolations uint64 // vt-start order regressions (kills non-decreasing)
+	overlaps     uint64 // begins before a prior element completed (kills sequential)
+
+	// Observed vt − tt offset bounds (event stamps; interval starts for
+	// interval stamps). These are observations, not promises: the advisor
+	// must not drive the bounded tt-window pushdown off them, but they are
+	// the Δt evidence the paper's bounded classes would be declared with.
+	offLo, offHi int64
+
+	// Valid-time regularity delta: the gcd of vt-start differences from the
+	// first observed stamp (0 while all coincide or n < 2) — the largest
+	// unit under which the extension is vt event regular so far.
+	vtAnchor chronon.Chronon
+	vtUnit   int64
+}
+
+// NewTracker returns an empty tracker for a relation with the given stamp
+// kind and granularity (the granularity drives the degenerate test).
+func NewTracker(kind element.TimestampKind, gran chronon.Granularity) *Tracker {
+	return &Tracker{
+		kind:          kind,
+		gran:          gran,
+		nonDecreasing: true,
+		nonIncreasing: true,
+		sequential:    true,
+		degenerate:    kind == element.EventStamp,
+	}
+}
+
+// Observe feeds one stored element (an insertion) to the tracker. Elements
+// must arrive in non-decreasing transaction-time order.
+func (t *Tracker) Observe(e *element.Element) {
+	tt := e.TTStart
+	vtStart := e.VT.Start()
+	vtEnd := vtStart // events: the instant; overwritten for intervals
+	if iv, ok := e.VT.Interval(); ok {
+		vtStart, vtEnd = iv.Start, iv.End
+	}
+
+	if t.n == 0 {
+		t.curTT = tt
+		t.curMaxVT, t.curMinVT = vtStart, vtStart
+		t.curHigh = chronon.Max(tt, vtEnd)
+		t.prevMaxVT, t.prevMinVT = chronon.MinChronon, chronon.MaxChronon
+		t.prevHigh = chronon.MinChronon
+		t.offLo = vtStart.Sub(tt)
+		t.offHi = t.offLo
+		t.vtAnchor = vtStart
+	} else {
+		switch {
+		case tt < t.curTT:
+			// Arrival order broken — the engine never does this, but a
+			// tracker fed out of order must not silently over-claim.
+			t.ttViolations++
+			t.nonDecreasing, t.nonIncreasing, t.sequential = false, false, false
+		case tt > t.curTT:
+			t.foldGroup()
+			t.curTT = tt
+			t.curMaxVT, t.curMinVT = vtStart, vtStart
+			t.curHigh = chronon.Max(tt, vtEnd)
+		default: // same group
+			t.curMaxVT = chronon.Max(t.curMaxVT, vtStart)
+			t.curMinVT = chronon.Min(t.curMinVT, vtStart)
+			t.curHigh = chronon.Max(t.curHigh, chronon.Max(tt, vtEnd))
+		}
+		// Check this stamp against the strictly earlier groups only.
+		if vtStart < t.prevMaxVT {
+			t.vtViolations++
+			t.nonDecreasing = false
+		}
+		if vtStart > t.prevMinVT {
+			t.nonIncreasing = false
+		}
+		if chronon.Min(tt, vtStart) < t.prevHigh {
+			t.overlaps++
+			t.sequential = false
+		}
+		if off := vtStart.Sub(tt); off < t.offLo {
+			t.offLo = off
+		} else if off > t.offHi {
+			t.offHi = off
+		}
+		t.vtUnit = chronon.GCD(t.vtUnit, vtStart.Sub(t.vtAnchor))
+	}
+	if t.degenerate && !t.gran.SameTick(vtStart, tt) {
+		t.degenerate = false
+	}
+	t.n++
+}
+
+// foldGroup merges the current equal-tt group into the earlier-group
+// aggregates.
+func (t *Tracker) foldGroup() {
+	t.prevMaxVT = chronon.Max(t.prevMaxVT, t.curMaxVT)
+	t.prevMinVT = chronon.Min(t.prevMinVT, t.curMinVT)
+	t.prevHigh = chronon.Max(t.prevHigh, t.curHigh)
+}
+
+// Len reports how many elements have been observed.
+func (t *Tracker) Len() int { return t.n }
+
+// Classes lists the specializations the observed extension satisfies, among
+// those the storage advisor consumes: Degenerate and the global orderings.
+// An empty extension claims nothing — there is no evidence yet.
+func (t *Tracker) Classes() []Class {
+	if t.n == 0 {
+		return nil
+	}
+	var out []Class
+	if t.kind == element.EventStamp {
+		if t.degenerate {
+			out = append(out, Degenerate)
+		}
+		if t.sequential {
+			out = append(out, GloballySequentialEvents)
+		}
+		if t.nonDecreasing {
+			out = append(out, GloballyNonDecreasingEvents)
+		}
+		if t.nonIncreasing {
+			out = append(out, GloballyNonIncreasingEvents)
+		}
+	} else {
+		if t.sequential {
+			out = append(out, GloballySequentialIntervals)
+		}
+		if t.nonDecreasing {
+			out = append(out, GloballyNonDecreasingIntervals)
+		}
+		if t.nonIncreasing {
+			out = append(out, GloballyNonIncreasingIntervals)
+		}
+	}
+	return out
+}
+
+// TrackerStats is the tracker's evidence, for metrics and the shell.
+type TrackerStats struct {
+	Elements     int
+	TTViolations uint64
+	VTViolations uint64
+	Overlaps     uint64
+	// OffsetLo/OffsetHi are the observed vt − tt bounds in chronons
+	// (meaningless while Elements is 0).
+	OffsetLo, OffsetHi int64
+	// VTUnit is the observed valid-time regularity delta in chronons: the
+	// gcd of vt differences (0 while all observed vt coincide).
+	VTUnit int64
+}
+
+// Stats reports the tracker's evidence counters and synthesized bounds.
+func (t *Tracker) Stats() TrackerStats {
+	return TrackerStats{
+		Elements:     t.n,
+		TTViolations: t.ttViolations,
+		VTViolations: t.vtViolations,
+		Overlaps:     t.overlaps,
+		OffsetLo:     t.offLo,
+		OffsetHi:     t.offHi,
+		VTUnit:       t.vtUnit,
+	}
+}

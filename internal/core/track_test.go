@@ -1,0 +1,199 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/chronon"
+	"repro/internal/element"
+	"repro/internal/surrogate"
+)
+
+func trackEv(es uint64, tt, vt int64) *element.Element {
+	return &element.Element{
+		ES: surrogate.Surrogate(es), OS: 1,
+		TTStart: chronon.Chronon(tt), TTEnd: chronon.Forever,
+		VT: element.EventAt(chronon.Chronon(vt)),
+	}
+}
+
+func trackIv(es uint64, tt, vs, ve int64) *element.Element {
+	return &element.Element{
+		ES: surrogate.Surrogate(es), OS: 1,
+		TTStart: chronon.Chronon(tt), TTEnd: chronon.Forever,
+		VT: element.SpanOf(chronon.Chronon(vs), chronon.Chronon(ve)),
+	}
+}
+
+// The tracker must agree exactly with the batch specs (the declaration
+// enforcers) on every ordering class it claims, over random event extensions
+// — including equal-tt groups, duplicates, and adversarial mixes.
+func TestTrackerMatchesBatchSpecsEvents(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 400; trial++ {
+		n := rng.Intn(24)
+		tr := NewTracker(element.EventStamp, chronon.Second)
+		es := make([]*element.Element, 0, n)
+		tt := int64(rng.Intn(4))
+		for i := 0; i < n; i++ {
+			// Non-decreasing arrival tt with occasional equal-tt groups.
+			if rng.Intn(3) > 0 {
+				tt += int64(rng.Intn(3))
+			}
+			var vt int64
+			switch rng.Intn(4) {
+			case 0:
+				vt = tt // degenerate-ish
+			case 1:
+				vt = tt + int64(rng.Intn(4)) // near future
+			case 2:
+				vt = tt - int64(rng.Intn(4)) // near past
+			default:
+				vt = int64(rng.Intn(40)) // anywhere
+			}
+			e := trackEv(uint64(i+1), tt, vt)
+			es = append(es, e)
+			tr.Observe(e)
+		}
+
+		stamps := StampsOf(es, TTInsertion, VTStart)
+		want := map[Class]bool{
+			GloballySequentialEvents:    SequentialEventsSpec().CheckAll(stamps) == nil,
+			GloballyNonDecreasingEvents: NonDecreasingEventsSpec().CheckAll(stamps) == nil,
+			GloballyNonIncreasingEvents: NonIncreasingEventsSpec().CheckAll(stamps) == nil,
+		}
+		deg := true
+		for _, st := range stamps {
+			if !chronon.Second.SameTick(st.VT, st.TT) {
+				deg = false
+				break
+			}
+		}
+		want[Degenerate] = deg
+
+		got := map[Class]bool{}
+		for _, c := range tr.Classes() {
+			got[c] = true
+		}
+		if n == 0 {
+			if len(got) != 0 {
+				t.Fatalf("trial %d: empty extension claimed %v", trial, tr.Classes())
+			}
+			continue
+		}
+		for c, w := range want {
+			if got[c] != w {
+				t.Fatalf("trial %d (n=%d): class %v: tracker=%v batch=%v\nstamps=%v",
+					trial, n, c, got[c], w, stamps)
+			}
+		}
+	}
+}
+
+func TestTrackerMatchesBatchSpecsIntervals(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 400; trial++ {
+		n := rng.Intn(20)
+		tr := NewTracker(element.IntervalStamp, chronon.Second)
+		es := make([]*element.Element, 0, n)
+		tt := int64(rng.Intn(4))
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) > 0 {
+				tt += int64(rng.Intn(3))
+			}
+			vs := tt + int64(rng.Intn(9)) - 4
+			ve := vs + 1 + int64(rng.Intn(5))
+			e := trackIv(uint64(i+1), tt, vs, ve)
+			es = append(es, e)
+			tr.Observe(e)
+		}
+
+		stamps := IntervalStampsOf(es, TTInsertion)
+		want := map[Class]bool{
+			GloballySequentialIntervals:    SequentialIntervalsSpec().CheckAll(stamps) == nil,
+			GloballyNonDecreasingIntervals: NonDecreasingIntervalsSpec().CheckAll(stamps) == nil,
+			GloballyNonIncreasingIntervals: NonIncreasingIntervalsSpec().CheckAll(stamps) == nil,
+		}
+		got := map[Class]bool{}
+		for _, c := range tr.Classes() {
+			got[c] = true
+		}
+		if n == 0 {
+			if len(got) != 0 {
+				t.Fatalf("trial %d: empty extension claimed %v", trial, tr.Classes())
+			}
+			continue
+		}
+		for c, w := range want {
+			if got[c] != w {
+				t.Fatalf("trial %d (n=%d): class %v: tracker=%v batch=%v",
+					trial, n, c, got[c], w)
+			}
+		}
+	}
+}
+
+// Tracked properties are monotone: once a class drops out of Classes it never
+// reappears under further observation.
+func TestTrackerMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := NewTracker(element.EventStamp, chronon.Second)
+	lost := map[Class]bool{}
+	tt := int64(0)
+	for i := 0; i < 300; i++ {
+		tt += int64(rng.Intn(2))
+		e := trackEv(uint64(i+1), tt, int64(rng.Intn(50)))
+		tr.Observe(e)
+		have := map[Class]bool{}
+		for _, c := range tr.Classes() {
+			have[c] = true
+		}
+		for c := range lost {
+			if have[c] {
+				t.Fatalf("step %d: class %v reappeared after being lost", i, c)
+			}
+		}
+		for _, c := range []Class{Degenerate, GloballySequentialEvents,
+			GloballyNonDecreasingEvents, GloballyNonIncreasingEvents} {
+			if !have[c] {
+				lost[c] = true
+			}
+		}
+	}
+}
+
+// Out-of-order arrival must be counted and must poison the ordering claims
+// rather than silently over-claiming.
+func TestTrackerArrivalViolation(t *testing.T) {
+	tr := NewTracker(element.EventStamp, chronon.Second)
+	tr.Observe(trackEv(1, 10, 10))
+	tr.Observe(trackEv(2, 5, 5)) // tt regression
+	st := tr.Stats()
+	if st.TTViolations != 1 {
+		t.Fatalf("TTViolations = %d, want 1", st.TTViolations)
+	}
+	for _, c := range tr.Classes() {
+		if c == GloballySequentialEvents || c == GloballyNonDecreasingEvents ||
+			c == GloballyNonIncreasingEvents {
+			t.Fatalf("ordering class %v claimed after tt regression", c)
+		}
+	}
+}
+
+func TestTrackerStatsBounds(t *testing.T) {
+	tr := NewTracker(element.EventStamp, chronon.Second)
+	tr.Observe(trackEv(1, 100, 97))  // off −3
+	tr.Observe(trackEv(2, 110, 115)) // off +5
+	tr.Observe(trackEv(3, 120, 121)) // off +1
+	st := tr.Stats()
+	if st.OffsetLo != -3 || st.OffsetHi != 5 {
+		t.Fatalf("offsets = [%d, %d], want [-3, 5]", st.OffsetLo, st.OffsetHi)
+	}
+	// vt deltas from anchor 97: 18, 24 → gcd 6.
+	if st.VTUnit != 6 {
+		t.Fatalf("VTUnit = %d, want 6", st.VTUnit)
+	}
+	if st.Elements != 3 || st.VTViolations != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

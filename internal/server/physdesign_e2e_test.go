@@ -1,0 +1,152 @@
+package server_test
+
+// Acceptance for the closed specialization loop over the wire: a
+// degenerate workload arrives undeclared, the advisor infers the class
+// and migrates the live store, the new design shows up in EXPLAIN,
+// /metrics, and the typed client, it survives killing and restarting
+// the primary (WAL replay), and a follower booted afterwards adopts the
+// same organization from the replicated frames — with zero result
+// divergence at every step.
+
+import (
+	"context"
+	"testing"
+
+	"repro/client"
+	"repro/internal/catalog"
+	"repro/internal/storage"
+)
+
+func TestClusterE2EAutoSpecializationSurvivesRestartAndReplicates(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	purl, pcat, pstop := bootPrimary(t, dir)
+	pcli := client.New(purl)
+
+	if _, err := pcli.Create(ctx, namedSchema("mon")); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	// Degenerate workload, never declared: vt equals the tt the logical
+	// clock issues (10, 20, ...).
+	const n = 32
+	for j := 0; j < n; j++ {
+		if _, err := pcli.Insert(ctx, "mon", insertReq(int64(10*(j+1)), "sensor", int64(j))); err != nil {
+			t.Fatalf("insert %d: %v", j, err)
+		}
+	}
+
+	before, err := pcli.Physical(ctx, "mon")
+	if err != nil {
+		t.Fatalf("Physical before: %v", err)
+	}
+	if before.Org == storage.VTOrdered.String() {
+		t.Fatalf("org already %q before any advisor pass", before.Org)
+	}
+	curBefore, err := pcli.Current(ctx, "mon")
+	if err != nil {
+		t.Fatalf("Current before: %v", err)
+	}
+
+	// One advisor pass — what the -auto-specialize loop runs per tick.
+	rep, err := pcat.AdvisePass(catalog.DefaultAdvisorConfig())
+	if err != nil {
+		t.Fatalf("AdvisePass: %v", err)
+	}
+	if len(rep.Migrations) != 1 {
+		t.Fatalf("advisor migrated %d relations, want 1", len(rep.Migrations))
+	}
+
+	phys, err := pcli.Physical(ctx, "mon")
+	if err != nil {
+		t.Fatalf("Physical after: %v", err)
+	}
+	if phys.Org != storage.VTOrdered.String() || phys.Source != storage.SourceInferred {
+		t.Fatalf("post-migration design %q (%q), want %q (%q)",
+			phys.Org, phys.Source, storage.VTOrdered.String(), storage.SourceInferred)
+	}
+	if phys.Migrations != 1 || len(phys.History) != 1 {
+		t.Fatalf("migrations %d, history %d; want 1 and 1", phys.Migrations, len(phys.History))
+	}
+	found := false
+	for _, cl := range phys.Inferred {
+		if cl == "degenerate" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("inferred classes %v lack \"degenerate\"", phys.Inferred)
+	}
+
+	// EXPLAIN carries the provenance; /metrics exposes the per-relation
+	// design for scrapers.
+	exp, err := pcli.ExplainSelect(ctx, "select * from mon")
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	if exp.StoreSource != storage.SourceInferred {
+		t.Fatalf("EXPLAIN store source %q, want %q", exp.StoreSource, storage.SourceInferred)
+	}
+	met, err := pcli.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("Metrics: %v", err)
+	}
+	if mp, ok := met.Physical["mon"]; !ok || mp.Org != storage.VTOrdered.String() {
+		t.Fatalf("metrics physical[mon] = %+v (present %v)", met.Physical["mon"], ok)
+	}
+
+	curAfter, err := pcli.Current(ctx, "mon")
+	if err != nil {
+		t.Fatalf("Current after: %v", err)
+	}
+	if len(curAfter.Elements) != len(curBefore.Elements) {
+		t.Fatalf("migration changed results: %d -> %d elements",
+			len(curBefore.Elements), len(curAfter.Elements))
+	}
+
+	// Kill the primary and bring it back on the same directory: the
+	// journaled migration must be re-adopted from WAL replay.
+	pstop()
+	purl2, pcat2, pstop2 := bootPrimary(t, dir)
+	defer pstop2()
+	pcli2 := client.New(purl2)
+	phys2, err := pcli2.Physical(ctx, "mon")
+	if err != nil {
+		t.Fatalf("Physical after restart: %v", err)
+	}
+	if phys2.Org != phys.Org || phys2.Source != phys.Source || phys2.Migrations != phys.Migrations {
+		t.Fatalf("restart lost the design: %q (%q) migrations %d, want %q (%q) %d",
+			phys2.Org, phys2.Source, phys2.Migrations, phys.Org, phys.Source, phys.Migrations)
+	}
+	cur2, err := pcli2.Current(ctx, "mon")
+	if err != nil {
+		t.Fatalf("Current after restart: %v", err)
+	}
+	if len(cur2.Elements) != n {
+		t.Fatalf("restarted primary serves %d elements, want %d", len(cur2.Elements), n)
+	}
+
+	// A follower booted against the restarted primary adopts the same
+	// organization purely from the replicated frames.
+	durable := pcat2.WAL().DurableLSN()
+	f := bootFollower(t, t.TempDir(), purl2)
+	defer f.stop()
+	fcli := client.New(f.url)
+	waitUntil(t, "follower caught up", func() bool {
+		return f.fol.Stats().AppliedLSN >= durable
+	})
+	fphys, err := fcli.Physical(ctx, "mon")
+	if err != nil {
+		t.Fatalf("follower Physical: %v", err)
+	}
+	if fphys.Org != phys.Org || fphys.Source != phys.Source || fphys.Migrations != phys.Migrations {
+		t.Fatalf("follower design %q (%q) migrations %d, want %q (%q) %d",
+			fphys.Org, fphys.Source, fphys.Migrations, phys.Org, phys.Source, phys.Migrations)
+	}
+	fcur, err := fcli.Current(ctx, "mon")
+	if err != nil {
+		t.Fatalf("follower Current: %v", err)
+	}
+	if len(fcur.Elements) != n {
+		t.Fatalf("follower serves %d elements, want %d", len(fcur.Elements), n)
+	}
+}

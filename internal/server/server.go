@@ -40,6 +40,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/chronon"
+	"repro/internal/core"
 	"repro/internal/element"
 	"repro/internal/plan"
 	"repro/internal/qcache"
@@ -474,6 +475,16 @@ func (s *Server) handleMetrics(*http.Request) (*response, *apiError) {
 		rep.Degraded = &wire.DegradedMetrics{ReadOnly: true, Cause: err.Error()}
 	}
 	rep.Replication = s.replicationMetrics()
+	for _, name := range s.cat.Names() {
+		e, err := s.cat.Get(name)
+		if err != nil {
+			continue
+		}
+		if rep.Physical == nil {
+			rep.Physical = make(map[string]wire.PhysicalInfo)
+		}
+		rep.Physical[name] = physicalBody(e.Physical())
+	}
 	if c := s.cat.Cache(); c != nil {
 		st := c.Stats()
 		rep.QueryCache = &wire.QueryCacheMetrics{
@@ -506,8 +517,57 @@ func (s *Server) handleList(*http.Request) (*response, *apiError) {
 	return &response{body: out}, nil
 }
 
+// classNames renders a class set for the wire.
+func classNames(cs []core.Class) []string {
+	if len(cs) == 0 {
+		return nil
+	}
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = c.String()
+	}
+	return out
+}
+
+// physicalBody converts a catalog physical-design snapshot for the wire.
+func physicalBody(p catalog.Physical) wire.PhysicalInfo {
+	out := wire.PhysicalInfo{
+		Org:            p.Org.String(),
+		Source:         p.Source,
+		Reasons:        p.Reasons,
+		Declared:       classNames(p.Declared),
+		Inferred:       classNames(p.Inferred),
+		Adopted:        classNames(p.Adopted),
+		Migrations:     p.Migrations,
+		StoreBytes:     p.StoreBytes,
+		SealedRuns:     p.Compaction.Runs,
+		SealedElements: p.Compaction.Sealed,
+		PackedBytes:    p.Compaction.PackedBytes,
+		Tracker: &wire.TrackerInfo{
+			Elements:     p.Tracker.Elements,
+			TTViolations: p.Tracker.TTViolations,
+			VTViolations: p.Tracker.VTViolations,
+			Overlaps:     p.Tracker.Overlaps,
+			OffsetLo:     p.Tracker.OffsetLo,
+			OffsetHi:     p.Tracker.OffsetHi,
+			VTUnit:       p.Tracker.VTUnit,
+		},
+	}
+	for _, m := range p.History {
+		out.History = append(out.History, wire.MigrationInfo{
+			Epoch:   m.Epoch,
+			From:    m.From.String(),
+			To:      m.To.String(),
+			Source:  m.Source,
+			Reasons: m.Reasons,
+		})
+	}
+	return out
+}
+
 func infoBody(e *catalog.Entry) wire.RelationInfo {
 	info := e.Info()
+	phys := physicalBody(info.Physical)
 	out := wire.RelationInfo{
 		Schema:       wire.FromSchema(info.Schema),
 		Versions:     info.Versions,
@@ -515,7 +575,9 @@ func infoBody(e *catalog.Entry) wire.RelationInfo {
 		Advice: wire.Advice{
 			Store:   info.Advice.Store.String(),
 			Reasons: info.Advice.Reasons,
+			Source:  info.Advice.Source,
 		},
+		Physical: &phys,
 	}
 	if len(info.Plans) > 0 {
 		out.Plans = make(map[string]wire.PlanMetrics, len(info.Plans))
@@ -835,12 +897,14 @@ func (s *Server) handleExplain(r *http.Request) (*response, *apiError) {
 		node = e.PlanFor(pq)
 		echo = fmt.Sprintf("kind=%s vt=%d tt=%d", kind, vt, tt)
 	}
+	advice := e.Info().Advice
 	body := wire.ExplainResponse{
-		Relation: name,
-		Query:    echo,
-		Store:    e.Info().Advice.Store.String(),
-		Plan:     wire.FromPlanNode(node),
-		Rendered: node.Render(),
+		Relation:    name,
+		Query:       echo,
+		Store:       advice.Store.String(),
+		StoreSource: advice.Source,
+		Plan:        wire.FromPlanNode(node),
+		Rendered:    node.Render(),
 	}
 	cache.Put(ckey, body, int64(len(body.Query)+len(body.Rendered))+256)
 	return &response{body: body, etag: etag}, nil
@@ -880,12 +944,14 @@ func (s *Server) handleSelect(r *http.Request) (*response, *apiError) {
 	}
 	if q.Explain {
 		node := e.Explain(q)
+		advice := e.Info().Advice
 		return &response{body: wire.ExplainResponse{
-			Relation: q.Rel,
-			Query:    req.Query,
-			Store:    e.Info().Advice.Store.String(),
-			Plan:     wire.FromPlanNode(node),
-			Rendered: node.Render(),
+			Relation:    q.Rel,
+			Query:       req.Query,
+			Store:       advice.Store.String(),
+			StoreSource: advice.Source,
+			Plan:        wire.FromPlanNode(node),
+			Rendered:    node.Render(),
 		}}, nil
 	}
 	res, node, touched, err := e.SelectCtx(r.Context(), q)

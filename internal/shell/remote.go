@@ -79,6 +79,8 @@ func (s *Session) execRemote(cmd string, args []string, line string) error {
 		return s.remoteClassify(ctx, args)
 	case "advise", "dump":
 		return s.remoteInfo(ctx, args)
+	case "physical":
+		return s.remotePhysical(ctx, args)
 	case "list":
 		return s.remoteList(ctx)
 	case "select":
@@ -292,6 +294,49 @@ func (s *Session) remoteInfo(ctx context.Context, args []string) error {
 	fmt.Fprintf(s.out, "storage advice: %s\n", info.Advice.Store)
 	for _, reason := range info.Advice.Reasons {
 		fmt.Fprintf(s.out, "  - %s\n", reason)
+	}
+	return nil
+}
+
+// remotePhysical renders the server's live physical design for a
+// relation: the organization with its provenance, declared vs inferred
+// classes, advisor reasons, compaction gauges, and migration history.
+func (s *Session) remotePhysical(ctx context.Context, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: physical <rel>")
+	}
+	p, err := s.rem.cli.Physical(ctx, args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "organization: %s (%s)\n", p.Org, p.Source)
+	if len(p.Declared) > 0 {
+		fmt.Fprintf(s.out, "declared classes: %s\n", strings.Join(p.Declared, ", "))
+	}
+	if len(p.Inferred) > 0 {
+		fmt.Fprintf(s.out, "inferred classes: %s\n", strings.Join(p.Inferred, ", "))
+	}
+	if len(p.Adopted) > 0 {
+		fmt.Fprintf(s.out, "adopted (journaled): %s\n", strings.Join(p.Adopted, ", "))
+	}
+	for _, reason := range p.Reasons {
+		fmt.Fprintf(s.out, "  - %s\n", reason)
+	}
+	fmt.Fprintf(s.out, "store bytes: %d", p.StoreBytes)
+	if p.SealedRuns > 0 {
+		fmt.Fprintf(s.out, " (%d element(s) sealed in %d run(s), %d packed byte(s))",
+			p.SealedElements, p.SealedRuns, p.PackedBytes)
+	}
+	fmt.Fprintln(s.out)
+	if t := p.Tracker; t != nil && (t.TTViolations > 0 || t.VTViolations > 0 || t.Overlaps > 0) {
+		fmt.Fprintf(s.out, "tracker: %d tt / %d vt violation(s), %d overlap(s) observed\n",
+			t.TTViolations, t.VTViolations, t.Overlaps)
+	}
+	if p.Migrations > 0 {
+		fmt.Fprintf(s.out, "migrations: %d\n", p.Migrations)
+		for _, m := range p.History {
+			fmt.Fprintf(s.out, "  epoch %d: %s -> %s (%s)\n", m.Epoch, m.From, m.To, m.Source)
+		}
 	}
 	return nil
 }

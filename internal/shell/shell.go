@@ -107,6 +107,8 @@ func (s *Session) Exec(line string) error {
 		return s.classify(args)
 	case "advise":
 		return s.advise(args)
+	case "physical":
+		return s.physical(args)
 	case "clock":
 		return s.clock(args)
 	case "dump":
@@ -140,6 +142,8 @@ func (s *Session) help() {
   delete <rel> <element-surrogate>
   current <rel> | rollback <rel> <tt> | timeslice <rel> <vt>
   classify <rel> | advise <rel>
+  physical <rel>   show the live physical design: organization, declared
+      vs inferred classes, advisor reasons, and (remote) migration history
   select ...  temporal query, e.g.:
       select * from temps
       select name, salary from emp as of 25 when valid at 100 where salary > 150
@@ -499,6 +503,50 @@ func (s *Session) advise(args []string) error {
 	}
 	a := ts.Advise(classes, r.Schema().ValidTime)
 	fmt.Fprintf(s.out, "storage advice: %v\n", a.Store)
+	for _, reason := range a.Reasons {
+		fmt.Fprintf(s.out, "  - %s\n", reason)
+	}
+	return nil
+}
+
+// physical shows the relation's physical design as the advisor sees it:
+// what the declarations license, what the observed extension would
+// license without a declaration, and which organization wins. The local
+// shell has no catalog, so there is no migration history here — connect
+// to a tsdbd server for the live view.
+func (s *Session) physical(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: physical <rel>")
+	}
+	name := args[0]
+	r, err := s.rel(name)
+	if err != nil {
+		return err
+	}
+	var declared []ts.Class
+	for _, d := range s.decls[name] {
+		if d.Scope == ts.PerRelation {
+			declared = append(declared, d.Class)
+		}
+	}
+	var observed []ts.Class
+	if r.Len() > 0 {
+		observed = ts.Classify(r.Versions(), ts.TTInsertion, r.Schema().Granularity).Classes()
+	}
+	a := ts.AdviseAuto(declared, observed, r.Schema().ValidTime)
+	fmt.Fprintf(s.out, "organization: %v (%s)\n", a.Store, a.Source)
+	if len(declared) > 0 {
+		fmt.Fprintln(s.out, "declared classes:")
+		for _, c := range declared {
+			fmt.Fprintf(s.out, "  %v\n", c)
+		}
+	}
+	if len(observed) > 0 {
+		fmt.Fprintln(s.out, "inferred from the extension:")
+		for _, c := range observed {
+			fmt.Fprintf(s.out, "  %v\n", c)
+		}
+	}
 	for _, reason := range a.Reasons {
 		fmt.Fprintf(s.out, "  - %s\n", reason)
 	}

@@ -7,11 +7,23 @@ import (
 )
 
 // Advice is the advisor's physical-design recommendation for a relation
-// with the given declared specializations.
+// with the given specializations. Source records what licensed the choice:
+// "declared" (a declaration promises the ordering, the store may enforce
+// it), "inferred" (only the observed extension exhibits it — sound for the
+// data already stored, revocable by a future insert), or "default" (no
+// specialization helped; the general organization won on cost alone).
 type Advice struct {
 	Store   Kind
 	Reasons []string
+	Source  string
 }
+
+// Advice sources.
+const (
+	SourceDeclared = "declared"
+	SourceInferred = "inferred"
+	SourceDefault  = "default"
+)
 
 // New instantiates the advised store.
 func (a Advice) New() Store {
@@ -49,9 +61,10 @@ const nominalBoundSpan = 1 << 10
 // candidate is one physical organization the declarations license, with
 // the paper's reasons for it.
 type candidate struct {
-	store   Kind
-	reasons []string
-	bounded bool // tt-window pushdown available (declared two-sided bound)
+	store    Kind
+	reasons  []string
+	bounded  bool // tt-window pushdown available (declared two-sided bound)
+	inferred bool // licensed only by the observed extension, not a declaration
 }
 
 // mixCost prices the advisor's representative query mix — one historical
@@ -89,37 +102,67 @@ func (c candidate) mixCost() int {
 // more specialized candidate. stampKind says whether the relation is
 // event- or interval-stamped.
 func Advise(classes []core.Class, stampKind element.TimestampKind) Advice {
+	return AdviseAuto(classes, nil, stampKind)
+}
+
+// closure expands a class list into the set it implies: each class plus
+// every generalization of it in the lattice.
+func closure(classes []core.Class) map[core.Class]bool {
 	has := make(map[core.Class]bool, len(classes))
 	for _, c := range classes {
 		has[c] = true
-		// Declaring a specialization implies every generalization of it.
 		for _, a := range core.Ancestors(c) {
 			has[a] = true
 		}
 	}
+	return has
+}
+
+// AdviseAuto is Advise with a second evidence channel: observed classes the
+// extension tracker has verified hold for every element actually stored,
+// without having been declared. Observed evidence licenses the same ordered
+// organizations a declaration would — the data on hand provably satisfies
+// the order — but it is weaker in two ways the result records: the advice is
+// marked SourceInferred (a future insert may break the property, at which
+// point the catalog re-advises and migrates back), and observed offset
+// bounds never enable the tt-window pushdown, because a pushdown driven by
+// a non-promise would silently miss out-of-bound elements.
+func AdviseAuto(declared, observed []core.Class, stampKind element.TimestampKind) Advice {
+	decl := closure(declared)
+	has := closure(append(append([]core.Class{}, declared...), observed...))
+	// spec builds the specialized candidate for the first rule that fires,
+	// marking it inferred when no declaration licenses that rule's class.
+	spec := func(c core.Class, reasons ...string) candidate {
+		cand := candidate{store: VTOrdered, reasons: reasons, inferred: !decl[c]}
+		if cand.inferred {
+			cand.reasons = append(cand.reasons,
+				"licensed by the observed extension, not a declaration (revocable)")
+		}
+		return cand
+	}
 	var cands []candidate
-	// At most one declaration rule licenses the vt-ordered log; the rule
-	// that fires carries its own reasons.
+	// At most one rule licenses the vt-ordered log; the rule that fires
+	// carries its own reasons.
 	switch {
 	case has[core.Degenerate]:
-		cands = append(cands, candidate{store: VTOrdered, reasons: []string{
+		cands = append(cands, spec(core.Degenerate,
 			"degenerate: vt = tt, so the relation is append-only in a single shared order",
 			"treat as a rollback relation; the tt log doubles as a vt index",
-		}})
+		))
 	case stampKind == element.EventStamp && has[core.GloballySequentialEvents]:
-		cands = append(cands, candidate{store: VTOrdered, reasons: []string{
+		cands = append(cands, spec(core.GloballySequentialEvents,
 			"globally sequential: valid time approximates transaction time",
 			"append-only log supports historical as well as rollback queries",
-		}})
+		))
 	case stampKind == element.EventStamp && has[core.GloballyNonDecreasingEvents]:
-		cands = append(cands, candidate{store: VTOrdered, reasons: []string{
+		cands = append(cands, spec(core.GloballyNonDecreasingEvents,
 			"globally non-decreasing: elements arrive in valid time-stamp order",
-		}})
+		))
 	case stampKind == element.IntervalStamp && has[core.GloballySequentialIntervals]:
-		cands = append(cands, candidate{store: VTOrdered, reasons: []string{
+		cands = append(cands, spec(core.GloballySequentialIntervals,
 			"globally sequential intervals: non-overlapping and entered in order",
 			"interval starts and ends are both non-decreasing; binary search is sound",
-		}})
+		))
 	}
 	// The general organizations are always sound: the tt-ordered arrival
 	// log (with the pushdown when a two-sided bound is declared) and the
@@ -128,7 +171,7 @@ func Advise(classes []core.Class, stampKind element.TimestampKind) Advice {
 		"no valid-time ordering declared: valid-time queries must scan",
 		"tt-ordered arrival log still accelerates rollback",
 	}}
-	if stampKind == element.EventStamp && has[core.StronglyBounded] {
+	if stampKind == element.EventStamp && decl[core.StronglyBounded] {
 		general.bounded = true
 		general.reasons = append(general.reasons,
 			"two-sided bound declared: enable tt-window pushdown for valid-time queries (EnableBoundedPushdown)")
@@ -142,5 +185,12 @@ func Advise(classes []core.Class, stampKind element.TimestampKind) Advice {
 			best, bestCost = c, cost
 		}
 	}
-	return Advice{Store: best.store, Reasons: best.reasons}
+	source := SourceDefault
+	switch {
+	case best.inferred:
+		source = SourceInferred
+	case len(best.reasons) > 0 && best.store == VTOrdered, best.bounded:
+		source = SourceDeclared
+	}
+	return Advice{Store: best.store, Reasons: best.reasons, Source: source}
 }

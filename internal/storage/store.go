@@ -46,7 +46,10 @@ const (
 	VTOrdered
 )
 
-// String names the kind.
+// String names the kind. Unknown values yield the stable token "unknown"
+// rather than a formatted ordinal, so the name can cross the wire and come
+// back through ParseKind without the two ends having to agree on the enum's
+// width.
 func (k Kind) String() string {
 	switch k {
 	case Heap:
@@ -56,7 +59,22 @@ func (k Kind) String() string {
 	case VTOrdered:
 		return "vt-ordered log"
 	}
-	return fmt.Sprintf("Kind(%d)", uint8(k))
+	return "unknown"
+}
+
+// Kinds lists every physical organization, in preference-neutral order.
+func Kinds() []Kind { return []Kind{Heap, TTOrdered, VTOrdered} }
+
+// ParseKind inverts String: it maps a wire token back to the kind. The
+// "unknown" token (and anything else unrecognized) is an error — a client
+// must not mistake a newer server's organization for one it knows.
+func ParseKind(s string) (Kind, error) {
+	for _, k := range Kinds() {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return Heap, fmt.Errorf("storage: unknown organization %q", s)
 }
 
 // Store is a physical organization of a temporal relation's elements.
@@ -244,6 +262,9 @@ type TTLogStore struct {
 	elems  []*element.Element
 	shared bool
 	frozen bool
+	// runs are sealed, delta-encoded prefixes produced by Compact; their
+	// min/max metadata lets queries skip whole runs (see compact.go).
+	runs []runMeta
 }
 
 // NewTTLog returns an empty tt-ordered log store.
@@ -268,10 +289,12 @@ func (s *TTLogStore) Insert(e *element.Element) error {
 	return nil
 }
 
-// Snapshot shares the backing array, O(1).
+// Snapshot shares the backing array, O(1). Sealed runs carry over (full-
+// capped, so a later Compact on the live store appends past the snapshot's
+// view): the published read path keeps the run-skipping benefit.
 func (s *TTLogStore) Snapshot() Store {
 	s.shared = true
-	return &TTLogStore{elems: snapTail(s.elems), frozen: true}
+	return &TTLogStore{elems: snapTail(s.elems), frozen: true, runs: snapRuns(s.runs)}
 }
 
 // Replace swaps repl for old by pointer identity; tt⊢ order is unchanged
@@ -295,28 +318,38 @@ func (s *TTLogStore) Timeslice(vt chronon.Chronon) ([]*element.Element, int) {
 	return s.VTRange(vt, vt.Add(1))
 }
 
-// VTRange scans the whole store.
+// VTRange scans the store; sealed runs act as zone maps — a run whose
+// recorded valid-time envelope misses [lo, hi), or that held no current
+// element when sealed, is skipped at the cost of one metadata probe.
 func (s *TTLogStore) VTRange(lo, hi chronon.Chronon) ([]*element.Element, int) {
-	var out []*element.Element
-	for _, e := range s.elems {
-		if e.Current() && validAtRange(e, lo, hi) {
-			out = append(out, e)
+	if len(s.runs) == 0 {
+		var out []*element.Element
+		for _, e := range s.elems {
+			if e.Current() && validAtRange(e, lo, hi) {
+				out = append(out, e)
+			}
 		}
+		return out, len(s.elems)
 	}
-	return out, len(s.elems)
+	return vtRangeZoneMap(s.elems, s.runs, lo, hi)
 }
 
 // Rollback binary-searches for the prefix with tt⊢ ≤ tt and filters it for
-// elements still present at tt. Touched is the prefix length.
+// elements still present at tt. Without runs, touched is the prefix length;
+// sealed runs whose every element was already closed by tt are skipped for
+// one metadata probe each.
 func (s *TTLogStore) Rollback(tt chronon.Chronon) ([]*element.Element, int) {
 	n := sort.Search(len(s.elems), func(i int) bool { return s.elems[i].TTStart > tt })
-	var out []*element.Element
-	for _, e := range s.elems[:n] {
-		if e.PresentAt(tt) {
-			out = append(out, e)
+	if len(s.runs) == 0 {
+		var out []*element.Element
+		for _, e := range s.elems[:n] {
+			if e.PresentAt(tt) {
+				out = append(out, e)
+			}
 		}
+		return out, n
 	}
-	return out, n
+	return rollbackWithRuns(s.elems, s.runs, tt, n)
 }
 
 // TTWindow returns the elements with lo ≤ tt⊢ ≤ hi, found by binary search
@@ -345,6 +378,10 @@ type VTLogStore struct {
 	elems  []*element.Element
 	shared bool
 	frozen bool
+	// runs are sealed, delta-encoded prefixes produced by Compact; both the
+	// tt and vt envelopes are valid binary-search keys here because the
+	// store enforces both orders (see compact.go).
+	runs []runMeta
 }
 
 // NewVTLog returns an empty vt-ordered log store.
@@ -356,10 +393,10 @@ func (s *VTLogStore) Kind() Kind { return VTOrdered }
 // Len reports the number of stored elements.
 func (s *VTLogStore) Len() int { return len(s.elems) }
 
-// Snapshot shares the backing array, O(1).
+// Snapshot shares the backing array, O(1); sealed runs carry over.
 func (s *VTLogStore) Snapshot() Store {
 	s.shared = true
-	return &VTLogStore{elems: snapTail(s.elems), frozen: true}
+	return &VTLogStore{elems: snapTail(s.elems), frozen: true, runs: snapRuns(s.runs)}
 }
 
 // Replace swaps repl for old by pointer identity; both orders are
@@ -409,6 +446,9 @@ func (s *VTLogStore) Timeslice(vt chronon.Chronon) ([]*element.Element, int) {
 // cover lo; with a sequential (non-overlapping) relation that run has
 // length ≤ 1, keeping the touched count near the answer size.
 func (s *VTLogStore) VTRange(lo, hi chronon.Chronon) ([]*element.Element, int) {
+	if len(s.runs) > 0 {
+		return vtRangeOrderedRuns(s.elems, s.runs, lo, hi)
+	}
 	n := len(s.elems)
 	// First index whose valid time may reach past lo. An event at c covers
 	// the half-open [c, c+1), so its exclusive end is c+1; an interval's
@@ -431,14 +471,18 @@ func (s *VTLogStore) VTRange(lo, hi chronon.Chronon) ([]*element.Element, int) {
 	return out, touched + 1 // +1 accounts for the binary-search probe cost
 }
 
-// Rollback binary-searches the tt order (shared with arrival order).
+// Rollback binary-searches the tt order (shared with arrival order),
+// skipping sealed runs that were wholly dead by tt.
 func (s *VTLogStore) Rollback(tt chronon.Chronon) ([]*element.Element, int) {
 	n := sort.Search(len(s.elems), func(i int) bool { return s.elems[i].TTStart > tt })
-	var out []*element.Element
-	for _, e := range s.elems[:n] {
-		if e.PresentAt(tt) {
-			out = append(out, e)
+	if len(s.runs) == 0 {
+		var out []*element.Element
+		for _, e := range s.elems[:n] {
+			if e.PresentAt(tt) {
+				out = append(out, e)
+			}
 		}
+		return out, n
 	}
-	return out, n
+	return rollbackWithRuns(s.elems, s.runs, tt, n)
 }

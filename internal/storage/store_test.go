@@ -215,8 +215,20 @@ func TestKindStrings(t *testing.T) {
 	if Heap.String() != "heap" || TTOrdered.String() != "tt-ordered log" || VTOrdered.String() != "vt-ordered log" {
 		t.Error("kind names wrong")
 	}
-	if Kind(9).String() != "Kind(9)" {
+	if Kind(9).String() != "unknown" {
 		t.Error("fallback name wrong")
+	}
+	for _, k := range Kinds() {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v", k.String(), got, err, k)
+		}
+	}
+	if _, err := ParseKind("unknown"); err == nil {
+		t.Error("ParseKind accepted the unknown token")
+	}
+	if _, err := ParseKind("b-tree forest"); err == nil {
+		t.Error("ParseKind accepted garbage")
 	}
 }
 

@@ -54,3 +54,16 @@ func (c *SystemClock) Now() chronon.Chronon {
 	defer c.mu.Unlock()
 	return chronon.Max(c.wall(), c.last)
 }
+
+// AdvanceTo moves the clock's floor to at least t without issuing a
+// transaction time. Replay calls this with the last persisted stamp:
+// rapid mutations bump transaction times ahead of the wall clock (one
+// chronon per transaction within a second), so after a restart the wall
+// clock alone could re-issue stamps below history already on disk.
+func (c *SystemClock) AdvanceTo(t chronon.Chronon) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t > c.last {
+		c.last = t
+	}
+}

@@ -66,3 +66,23 @@ func TestSystemClockConcurrentUnique(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+func TestSystemClockAdvanceTo(t *testing.T) {
+	// A restart scenario: rapid pre-crash transactions pushed stamps to
+	// wall+N, so the reopened clock must not re-issue times at or below
+	// the persisted maximum even though its wall clock reads earlier.
+	wall := time.Unix(1000, 0)
+	c := newSystemClockAt(func() time.Time { return wall })
+	c.AdvanceTo(chronon.Chronon(1020)) // max persisted tt, 20s ahead of wall
+	if got := c.Next(); got <= 1020 {
+		t.Fatalf("Next after AdvanceTo(1020) = %v, want > 1020", got)
+	}
+	if c.Now() < 1020 {
+		t.Fatalf("Now = %v, want >= 1020", c.Now())
+	}
+	// AdvanceTo never moves the floor backwards.
+	c.AdvanceTo(chronon.Chronon(5))
+	if got := c.Next(); got <= 1021 {
+		t.Fatalf("Next after backwards AdvanceTo = %v, want > 1021", got)
+	}
+}

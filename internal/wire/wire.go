@@ -524,9 +524,13 @@ type ExplainResponse struct {
 	Relation string `json:"relation"`
 	// Query echoes the statement (or synthesized kind) that was planned.
 	Query string `json:"query"`
-	// Store is the advisor-chosen physical organization the plan targets.
-	Store string    `json:"store"`
-	Plan  *PlanNode `json:"plan"`
+	// Store is the advisor-chosen physical organization the plan targets;
+	// StoreSource is its provenance — "declared" when a constraint
+	// licensed it, "inferred" when the observed extension did, "default"
+	// otherwise.
+	Store       string    `json:"store"`
+	StoreSource string    `json:"store_source,omitempty"`
+	Plan        *PlanNode `json:"plan"`
 	// Rendered is the human-readable tree (one line per node).
 	Rendered string `json:"rendered"`
 }
@@ -561,6 +565,55 @@ type ListResponse struct {
 type Advice struct {
 	Store   string   `json:"store"`
 	Reasons []string `json:"reasons,omitempty"`
+	// Source is the advice's provenance: "declared" (a constraint
+	// licensed it), "inferred" (the observed extension licensed it —
+	// revocable), or "default".
+	Source string `json:"source,omitempty"`
+}
+
+// MigrationInfo is one physical-design change of a relation.
+type MigrationInfo struct {
+	Epoch   uint64   `json:"epoch"`
+	From    string   `json:"from"`
+	To      string   `json:"to"`
+	Source  string   `json:"source,omitempty"`
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+// TrackerInfo reports the extension tracker's observed statistics: what
+// the inference machinery has seen and how the history has (or has not)
+// violated the monotone class properties.
+type TrackerInfo struct {
+	Elements     int    `json:"elements"`
+	TTViolations uint64 `json:"tt_violations,omitempty"`
+	VTViolations uint64 `json:"vt_violations,omitempty"`
+	Overlaps     uint64 `json:"overlaps,omitempty"`
+	OffsetLo     int64  `json:"offset_lo,omitempty"`
+	OffsetHi     int64  `json:"offset_hi,omitempty"`
+	VTUnit       int64  `json:"vt_unit,omitempty"`
+}
+
+// PhysicalInfo describes a relation's live physical design: the
+// organization with its provenance, the declared / inferred / adopted
+// specialization classes, the migration history, and the compaction and
+// footprint gauges.
+type PhysicalInfo struct {
+	Org        string          `json:"org"`
+	Source     string          `json:"source"` // "declared", "inferred", or "default"
+	Reasons    []string        `json:"reasons,omitempty"`
+	Declared   []string        `json:"declared,omitempty"`
+	Inferred   []string        `json:"inferred,omitempty"`
+	Adopted    []string        `json:"adopted,omitempty"`
+	Migrations uint64          `json:"migrations,omitempty"`
+	History    []MigrationInfo `json:"history,omitempty"`
+	StoreBytes int64           `json:"store_bytes"`
+	// SealedRuns/SealedElements/PackedBytes report class-scheduled
+	// compaction: how much of the store is sealed into frozen runs and
+	// the delta-encoded size of their timestamp columns.
+	SealedRuns     int          `json:"sealed_runs,omitempty"`
+	SealedElements int          `json:"sealed_elements,omitempty"`
+	PackedBytes    int64        `json:"packed_bytes,omitempty"`
+	Tracker        *TrackerInfo `json:"tracker,omitempty"`
 }
 
 // RelationInfo describes one relation in full.
@@ -570,6 +623,7 @@ type RelationInfo struct {
 	Declarations []Descriptor           `json:"declarations,omitempty"`
 	Advice       Advice                 `json:"advice"`
 	Plans        map[string]PlanMetrics `json:"plans,omitempty"`
+	Physical     *PhysicalInfo          `json:"physical,omitempty"`
 }
 
 // ClassifyResponse reports the inferred specializations of an extension.
@@ -816,4 +870,8 @@ type MetricsResponse struct {
 	Degraded      *DegradedMetrics                 `json:"degraded,omitempty"`
 	QueryCache    *QueryCacheMetrics               `json:"query_cache,omitempty"`
 	Replication   *ReplicationMetrics              `json:"replication,omitempty"`
+	// Physical reports each relation's live physical design: its
+	// organization, the advice provenance, migration count, and the
+	// inferred classes the extension tracker currently holds.
+	Physical map[string]PhysicalInfo `json:"physical,omitempty"`
 }
