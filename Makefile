@@ -2,7 +2,7 @@ GO ?= go
 
 # Packages whose tests exercise shared mutable state across goroutines;
 # these run a second time under the race detector in `make ci`.
-RACE_PKGS = ./internal/relation ./internal/catalog ./internal/core ./internal/server ./internal/storage ./internal/qcache ./internal/tx ./internal/wal ./internal/repl ./client
+RACE_PKGS = ./internal/relation ./internal/catalog ./internal/core ./internal/server ./internal/storage ./internal/qcache ./internal/tx ./internal/wal ./internal/repl ./internal/vec ./client
 
 .PHONY: ci build vet fmt test race chaos e2e-cluster fuzz fuzz-smoke bench bench-smoke clean
 
@@ -66,6 +66,8 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz='^FuzzDecodeKeyed$$' -fuzztime=5s ./internal/catalog
 	$(GO) test -run=NONE -fuzz='^FuzzDecodeRespecialize$$' -fuzztime=5s ./internal/catalog
 	$(GO) test -run=NONE -fuzz='^FuzzRespecializeReplay$$' -fuzztime=5s ./internal/catalog
+	$(GO) test -run=NONE -fuzz='^FuzzParseAggregate$$' -fuzztime=5s ./internal/tsql
+	$(GO) test -run=NONE -fuzz='^FuzzColumnarRunDecode$$' -fuzztime=5s ./internal/storage
 
 # Regenerate every figure/claim table plus the serving, durability, and
 # overload benchmarks (writes BENCH_*.json in the working directory).
@@ -73,11 +75,14 @@ bench:
 	$(GO) run ./cmd/benchrunner
 
 # A trimmed benchmark pass: locked vs snapshot vs cache-hit time-slices,
-# plus the auto-specialization before/after pair, at -benchtime=100ms.
-# Fast enough for ci; the full concurrent-reader experiment is
-# `go run ./cmd/benchrunner -exp S4`, the physical-design one -exp S6.
+# the auto-specialization before/after pair, and the columnar batch
+# scan/aggregate microbenchmarks, at -benchtime=100ms. Fast enough for
+# ci; the full concurrent-reader experiment is
+# `go run ./cmd/benchrunner -exp S4`, the physical-design one -exp S6,
+# the batch-execution one -exp S7.
 bench-smoke:
 	$(GO) test -run=NONE -bench='^(BenchmarkReadPath|BenchmarkAutoSpecialize)' -benchtime=100ms ./internal/catalog
+	$(GO) test -run=NONE -bench='^(BenchmarkColumnarScan|BenchmarkTemporalAggregate)' -benchtime=100ms ./internal/storage
 
 clean:
 	rm -f BENCH_*.json

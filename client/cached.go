@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"sync"
@@ -55,6 +56,110 @@ func (qc *queryCache) put(path string, ce cachedEntry) {
 		qc.entries = make(map[string]cachedEntry)
 	}
 	qc.entries[path] = ce
+}
+
+// CachedSelectResponse is a SELECT answer together with its freshness
+// metadata, mirroring CachedResponse for the statement endpoint.
+type CachedSelectResponse struct {
+	SelectResponse
+	// ETag is the server's validator — the relation's mutation epoch.
+	ETag string
+	// NotModified reports a 304 served from the client's local cache.
+	NotModified bool
+}
+
+// cachedSelectEntry is one locally retained SELECT result.
+type cachedSelectEntry struct {
+	etag string
+	resp SelectResponse
+}
+
+// selectCache is the conditional-request cache for SelectCached, keyed by
+// the full request path (relation + statement).
+type selectCache struct {
+	mu      sync.Mutex
+	entries map[string]cachedSelectEntry
+}
+
+func (sc *selectCache) get(path string) (cachedSelectEntry, bool) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	ce, ok := sc.entries[path]
+	return ce, ok
+}
+
+func (sc *selectCache) put(path string, ce cachedSelectEntry) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if sc.entries == nil {
+		sc.entries = make(map[string]cachedSelectEntry)
+	}
+	sc.entries[path] = ce
+}
+
+// SelectCached runs a tsql SELECT through the server's conditional GET
+// endpoint. Like QueryCached, the first call fetches and remembers the
+// result with its ETag; repeats revalidate with If-None-Match and an
+// unmutated relation answers 304 from the local copy. Window aggregates
+// are the intended tenant: their result sets are small (windows, not
+// elements) but recomputation folds the whole relation, so a 304 saves
+// the most where it matters. rel must name the relation the statement
+// queries; the server rejects a mismatch.
+func (c *Client) SelectCached(ctx context.Context, rel, query string) (CachedSelectResponse, error) {
+	path := "/v1/relations/" + rel + "/select?query=" + url.QueryEscape(query)
+
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return CachedSelectResponse{}, fmt.Errorf("tsdbd: building request: %w", err)
+	}
+	cached, haveCached := c.scache.get(path)
+	if haveCached {
+		httpReq.Header.Set(wire.HeaderIfNoneMatch, cached.etag)
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if ms := time.Until(dl).Milliseconds(); ms > 0 {
+			httpReq.Header.Set(wire.HeaderDeadline, strconv.FormatInt(ms, 10))
+		}
+	}
+
+	resp, err := c.http.Do(httpReq)
+	if err != nil {
+		return CachedSelectResponse{}, fmt.Errorf("tsdbd: GET %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return CachedSelectResponse{}, fmt.Errorf("tsdbd: reading response: %w", err)
+	}
+
+	switch {
+	case resp.StatusCode == http.StatusNotModified && haveCached:
+		return CachedSelectResponse{
+			SelectResponse: cached.resp,
+			ETag:           resp.Header.Get(wire.HeaderETag),
+			NotModified:    true,
+		}, nil
+	case resp.StatusCode >= 300:
+		var eb wire.ErrorBody
+		if json.Unmarshal(payload, &eb) == nil && eb.Error.Code != "" {
+			return CachedSelectResponse{}, &APIError{Status: resp.StatusCode, Code: eb.Error.Code, Message: eb.Error.Message}
+		}
+		return CachedSelectResponse{}, &APIError{
+			Status:  resp.StatusCode,
+			Code:    CodeInternal,
+			Message: strings.TrimSpace(string(payload)),
+		}
+	}
+
+	var out SelectResponse
+	if err := json.Unmarshal(payload, &out); err != nil {
+		return CachedSelectResponse{}, fmt.Errorf("tsdbd: decoding response: %w", err)
+	}
+	etag := resp.Header.Get(wire.HeaderETag)
+	if etag != "" {
+		c.scache.put(path, cachedSelectEntry{etag: etag, resp: out})
+	}
+	return CachedSelectResponse{SelectResponse: out, ETag: etag}, nil
 }
 
 // QueryCached runs one of the temporal query kinds through the server's

@@ -205,6 +205,8 @@ type Client struct {
 	// qcache holds the conditional-request state for QueryCached: the
 	// last response and ETag per distinct query path.
 	qcache queryCache
+	// scache does the same for SelectCached, per distinct statement.
+	scache selectCache
 }
 
 // Option customizes a Client.

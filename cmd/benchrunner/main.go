@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "run only this experiment (F1-F5, C1-C6, A1-A2, S1-S6, P1)")
+	exp := flag.String("exp", "", "run only this experiment (F1-F5, C1-C6, A1-A2, S1-S7, P1)")
 	n := flag.Int("n", 20000, "workload size for quantitative experiments")
 	flag.Parse()
 
@@ -49,6 +49,7 @@ func main() {
 		{"S4", "Read path — snapshot reads under a steady writer; cache-hit latency", runS4},
 		{"S5", "Cluster — follower catch-up and routed read scaling 1→3 nodes", runS5},
 		{"S6", "Physical design — inferred re-specialization and class-scheduled compaction", runS6},
+		{"S7", "Batch execution — columnar vs row window aggregation on frozen relations", runS7},
 		{"P1", "Planner — plan build/cost latency and choice stability", runP1},
 	}
 	failed := false

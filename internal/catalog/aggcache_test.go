@@ -1,0 +1,102 @@
+package catalog
+
+// Aggregate read-path tests: window-aggregate results are memoized under
+// (relation, "agg:"+fingerprint, epoch), so a repeat SELECT hits the cache
+// and any mutation's epoch bump invalidates it; the batch-operator
+// counters account executed engines, not cache replays.
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/tsql"
+)
+
+func mustAggSelect(t *testing.T, e *Entry, src string) *tsql.Result {
+	t.Helper()
+	q, err := tsql.Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	res, _, _, err := e.SelectCtx(context.Background(), q)
+	if err != nil {
+		t.Fatalf("SelectCtx(%q): %v", src, err)
+	}
+	return res
+}
+
+func TestAggregateCacheEpochInvalidation(t *testing.T) {
+	c := New(cachedConfig(t.TempDir()))
+	e, err := c.Create(eventSchema("m"))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	for i := 0; i < 50; i++ {
+		mustInsert(t, e, int64(i))
+	}
+	const src = "select count(*) from m group by window(10)"
+
+	res1 := mustAggSelect(t, e, src)
+	before := c.Cache().Stats()
+	res2 := mustAggSelect(t, e, src)
+	after := c.Cache().Stats()
+	if after.Hits != before.Hits+1 {
+		t.Fatalf("repeat aggregate missed the cache: hits %d -> %d", before.Hits, after.Hits)
+	}
+	if !reflect.DeepEqual(res1, res2) {
+		t.Fatalf("cached replay differs:\nfirst:  %+v\nreplay: %+v", res1, res2)
+	}
+	if n, _ := res1.Rows[0][2].IntVal(); n != 10 {
+		t.Fatalf("window [0,10) count = %d, want 10", n)
+	}
+
+	// A mutation bumps the epoch: the same statement re-executes and the
+	// fresh result sees the new row — a stale cached window would not.
+	ep := e.Epoch()
+	mustInsert(t, e, 5)
+	if e.Epoch() <= ep {
+		t.Fatalf("insert did not bump the epoch past %d", ep)
+	}
+	res3 := mustAggSelect(t, e, src)
+	if n, _ := res3.Rows[0][2].IntVal(); n != 11 {
+		t.Fatalf("post-insert window [0,10) count = %d, want 11", n)
+	}
+	if c.Cache().Stats().Hits != after.Hits {
+		t.Fatal("post-mutation aggregate served from the stale epoch's cache entry")
+	}
+
+	// Row- and columnar-hinted forms fingerprint (and therefore cache)
+	// separately, but must agree.
+	rowRes := mustAggSelect(t, e, src+" using row")
+	colRes := mustAggSelect(t, e, src+" using columnar")
+	if !reflect.DeepEqual(rowRes, colRes) {
+		t.Fatalf("hinted engines disagree:\nrow:      %+v\ncolumnar: %+v", rowRes, colRes)
+	}
+}
+
+func TestBatchStatsCounters(t *testing.T) {
+	c := New(testConfig(t.TempDir()))
+	e, err := c.Create(eventSchema("m"))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	for i := 0; i < 300; i++ {
+		mustInsert(t, e, int64(i))
+	}
+	if st := e.BatchStats(); st != (BatchStats{}) {
+		t.Fatalf("fresh entry has nonzero batch stats: %+v", st)
+	}
+	mustAggSelect(t, e, "select count(*) from m group by window(50) using columnar")
+	st := e.BatchStats()
+	if st.ColumnarPicks != 1 || st.RowPicks != 0 {
+		t.Fatalf("picks after columnar run: %+v", st)
+	}
+	if st.Batches == 0 || st.Rows != 300 {
+		t.Fatalf("columnar run consumed %d batches / %d rows, want >0 / 300", st.Batches, st.Rows)
+	}
+	mustAggSelect(t, e, "select count(*) from m group by window(50) using row")
+	if st := e.BatchStats(); st.RowPicks != 1 {
+		t.Fatalf("picks after row run: %+v", st)
+	}
+}

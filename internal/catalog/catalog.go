@@ -690,6 +690,15 @@ type Entry struct {
 	// declarations rebuild the engine; the counters must survive that.
 	plans plan.Recorder
 
+	// Batch-operator counters, recorded on the lock-free aggregate read
+	// path (hence atomic): batches/batchRows count what the columnar
+	// engine consumed; colPicks/rowPicks count the planner's engine
+	// choice per executed aggregate (cache hits execute nothing).
+	batches   atomic.Int64
+	batchRows atomic.Int64
+	colPicks  atomic.Int64
+	rowPicks  atomic.Int64
+
 	// view is the published immutable read snapshot, swapped atomically by
 	// publish under the exclusive lock on every mutation. Readers pin it
 	// with one atomic load and then run entirely lock-free: the view's
@@ -1472,6 +1481,9 @@ func esOrdered(els []*element.Element) bool {
 func (e *Entry) SelectCtx(ctx context.Context, q *tsql.Query) (*tsql.Result, *plan.Node, int, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, nil, 0, err
+	}
+	if q.Group != nil {
+		return e.selectAggregate(ctx, q)
 	}
 	var res *tsql.Result
 	var node *plan.Node

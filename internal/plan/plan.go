@@ -61,6 +61,17 @@ type Access struct {
 	// into transaction-time windows over a tt-ordered log.
 	HasOffsetBounds    bool
 	OffsetLo, OffsetHi int64
+	// Sealed is how many leading elements sit inside the compactor's
+	// delta-encoded frozen runs, and Runs how many runs hold them; both
+	// are zero for stores the compactor never sealed.
+	Sealed int
+	Runs   int
+	// HasVTExtent reports the store's observed valid-time span
+	// [VTMin, VTMax) — an estimate the aggregate costing uses to judge
+	// what fraction of the store a valid-time clamp covers. Exact for
+	// vt-ordered stores, absent otherwise.
+	HasVTExtent  bool
+	VTMin, VTMax int64
 }
 
 // QueryKind discriminates the temporal query shapes the planner knows.
@@ -132,6 +143,13 @@ const (
 	Filter
 	// Limit truncates the result to the first Count rows.
 	Limit
+	// ColumnarScan is the batch leaf: it reads sealed delta-encoded runs
+	// column-at-a-time (and gathers the unsealed tail), pruning whole
+	// runs by their zone-map envelopes.
+	ColumnarScan
+	// WindowAggregate folds its input into temporal windows (GROUP BY
+	// WINDOW): tumbling, rolling, or cumulative over valid time.
+	WindowAggregate
 )
 
 // String returns the kind's stable slug, used as the per-plan-kind metrics
@@ -154,12 +172,16 @@ func (k NodeKind) String() string {
 		return "filter"
 	case Limit:
 		return "limit"
+	case ColumnarScan:
+		return "columnar-scan"
+	case WindowAggregate:
+		return "window-aggregate"
 	}
 	return "unknown"
 }
 
 // nKinds bounds NodeKind for dense per-kind counters.
-const nKinds = int(Limit) + 1
+const nKinds = int(WindowAggregate) + 1
 
 // Node is one plan-tree node. Leaves (access paths) have a nil Input;
 // decorators wrap exactly one Input.
@@ -202,6 +224,8 @@ func (n *Node) String() string {
 		return fmt.Sprintf("binary search (%v)", leaf.Org)
 	case BTreeIndexSeek:
 		return "b-tree index seek (vt index)"
+	case ColumnarScan:
+		return fmt.Sprintf("columnar scan (%v)", leaf.Org)
 	}
 	if leaf.Bitemporal {
 		return "full scan (bitemporal)"
@@ -236,6 +260,12 @@ func (n *Node) line() string {
 		return fmt.Sprintf("tt-window-pushdown tt in [%d, %d] (est. touched %d)", n.WinLo, n.WinHi, n.Est)
 	case BTreeIndexSeek:
 		return fmt.Sprintf("btree-index-seek on vt index (est. touched %d)", n.Est)
+	case WindowAggregate:
+		return fmt.Sprintf("window-aggregate %s (est. touched %d)", n.Note, n.Est)
+	case ColumnarScan:
+		if n.Note != "" {
+			return fmt.Sprintf("columnar-scan on %s (%s, est. touched %d)", n.Org, n.Note, n.Est)
+		}
 	}
 	target := n.Org.String()
 	if n.Bitemporal {

@@ -133,6 +133,21 @@ func (en *Engine) Access() plan.Access {
 	if en.hasBounds {
 		a.HasOffsetBounds, a.OffsetLo, a.OffsetHi = true, en.boundLo, en.boundHi
 	}
+	a.Sealed, a.Runs = storage.SealedInfo(en.store)
+	if a.Org == plan.OrgVTLog && a.N > 0 {
+		// The vt-ordered log's first and last elements bound its observed
+		// valid-time extent (starts are sorted; the last end is an
+		// estimate), which the aggregate costing uses for clamp coverage.
+		els := storage.Elements(en.store)
+		first, last := els[0], els[len(els)-1]
+		a.VTMin = int64(first.VT.Start())
+		if c, ok := last.VT.Event(); ok {
+			a.VTMax = int64(c) + 1
+		} else {
+			a.VTMax = int64(last.VT.End())
+		}
+		a.HasVTExtent = a.VTMax > a.VTMin
+	}
 	return a
 }
 

@@ -1,0 +1,126 @@
+package server_test
+
+// End-to-end acceptance for the batch-execution surface: window
+// aggregates over the wire report which engine served them, the
+// conditional-GET select endpoint serves aggregates with epoch ETags (a
+// replay is a 304, a mutation invalidates), and /metrics exposes the
+// per-batch-operator counters and the columnar plan kind.
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestAggregateBatchOverTheWire(t *testing.T) {
+	ctx := context.Background()
+	cli, stop := bootServer(t, t.TempDir())
+	defer stop()
+
+	if _, err := cli.Create(ctx, empSchema()); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	// vt = 5i for i in [0, 40): two width-100 windows of 20 events each.
+	for i := 0; i < 40; i++ {
+		if _, err := cli.Insert(ctx, "emp", insertReq(int64(5*i), "w", int64(i))); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+
+	const stmt = "select count(*), sum(salary) from emp group by window(100)"
+
+	// The response names the engine that served it, and the two engines
+	// agree on the payload.
+	col, err := cli.Select(ctx, stmt+" using columnar")
+	if err != nil {
+		t.Fatalf("Select columnar: %v", err)
+	}
+	if col.Engine != "columnar" {
+		t.Fatalf("engine = %q, want columnar", col.Engine)
+	}
+	row, err := cli.Select(ctx, stmt+" using row")
+	if err != nil {
+		t.Fatalf("Select row: %v", err)
+	}
+	if row.Engine != "row" {
+		t.Fatalf("engine = %q, want row", row.Engine)
+	}
+	if !reflect.DeepEqual(col.Columns, row.Columns) || !reflect.DeepEqual(col.Rows, row.Rows) {
+		t.Fatalf("engines disagree over the wire:\ncolumnar: %+v\nrow:      %+v", col, row)
+	}
+	if len(col.Rows) != 2 {
+		t.Fatalf("%d windows, want 2", len(col.Rows))
+	}
+	if v := col.Rows[0][2]; v.Kind != "int" || v.Int != 20 {
+		t.Fatalf("window [0,100) count = %+v, want 20", v)
+	}
+	if v := col.Rows[1][3]; v.Kind != "int" || v.Int != 590 {
+		t.Fatalf("window [100,200) sum = %+v, want 590", v)
+	}
+
+	// EXPLAIN renders the aggregate operator chain.
+	exp, err := cli.ExplainSelect(ctx, "explain "+stmt)
+	if err != nil {
+		t.Fatalf("ExplainSelect: %v", err)
+	}
+	if !strings.Contains(exp.Rendered, "window-aggregate") {
+		t.Fatalf("EXPLAIN misses the aggregate operator:\n%s", exp.Rendered)
+	}
+
+	// The conditional-GET path: first read returns a body and an epoch
+	// ETag, a replay is served 304 from the client cache, and a mutation
+	// rotates the ETag and recomputes.
+	c1, err := cli.SelectCached(ctx, "emp", stmt)
+	if err != nil {
+		t.Fatalf("SelectCached: %v", err)
+	}
+	if c1.NotModified || c1.ETag == "" {
+		t.Fatalf("first cached read: notModified=%v etag=%q", c1.NotModified, c1.ETag)
+	}
+	if !reflect.DeepEqual(c1.Rows, col.Rows) {
+		t.Fatalf("cached read differs from POST select:\n%+v\n%+v", c1.Rows, col.Rows)
+	}
+	c2, err := cli.SelectCached(ctx, "emp", stmt)
+	if err != nil {
+		t.Fatalf("SelectCached replay: %v", err)
+	}
+	if !c2.NotModified || c2.ETag != c1.ETag {
+		t.Fatalf("replay not served 304: notModified=%v etag=%q vs %q", c2.NotModified, c2.ETag, c1.ETag)
+	}
+	if !reflect.DeepEqual(c2.Rows, c1.Rows) {
+		t.Fatal("304 replay lost the cached body")
+	}
+	if _, err := cli.Insert(ctx, "emp", insertReq(7, "w", 1000)); err != nil {
+		t.Fatalf("invalidating insert: %v", err)
+	}
+	c3, err := cli.SelectCached(ctx, "emp", stmt)
+	if err != nil {
+		t.Fatalf("SelectCached after insert: %v", err)
+	}
+	if c3.NotModified || c3.ETag == c1.ETag {
+		t.Fatalf("mutation did not rotate the ETag: notModified=%v etag=%q", c3.NotModified, c3.ETag)
+	}
+	if v := c3.Rows[0][2]; v.Kind != "int" || v.Int != 21 {
+		t.Fatalf("post-insert window [0,100) count = %+v, want 21", v)
+	}
+
+	// /metrics surfaces the batch-operator counters and the columnar plan
+	// kind alongside the row picks.
+	m, err := cli.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("Metrics: %v", err)
+	}
+	if m.Batch == nil {
+		t.Fatal("metrics missing the batch section after aggregate traffic")
+	}
+	if m.Batch.ColumnarPicks < 1 || m.Batch.RowPicks < 1 {
+		t.Fatalf("batch picks = %+v, want both engines represented", m.Batch)
+	}
+	if m.Batch.Batches < 1 || m.Batch.Rows < 40 || m.Batch.MeanRowsPerBatch <= 0 {
+		t.Fatalf("batch counters = %+v", m.Batch)
+	}
+	if _, ok := m.Plans["columnar-scan"]; !ok {
+		t.Fatalf("plan metrics missing columnar-scan: %v", m.Plans)
+	}
+}

@@ -23,6 +23,7 @@
 //	GET  /v1/relations/{name}/classify       infer specializations
 //	GET  /v1/relations/{name}/explain        plan a query without running it
 //	POST /v1/select                          raw tsql SELECT (or EXPLAIN SELECT)
+//	GET  /v1/relations/{name}/select         cacheable SELECT (?query=..., epoch ETag)
 //	POST /v1/snapshot                        flush dirty relations to disk
 package server
 
@@ -120,6 +121,7 @@ func New(cfg Config) *Server {
 	mux.Handle("GET /v1/relations/{name}/classify", s.wrap("classify", ClassRead, s.handleClassify))
 	mux.Handle("GET /v1/relations/{name}/explain", s.wrap("explain", ClassRead, s.handleExplain))
 	mux.Handle("POST /v1/select", s.wrap("select", ClassRead, s.handleSelect))
+	mux.Handle("GET /v1/relations/{name}/select", s.wrap("select", ClassRead, s.handleSelectGet))
 	mux.Handle("POST /v1/snapshot", s.wrap("snapshot", ClassAdmin, s.handleSnapshot))
 	// Replication is infrastructure traffic: a follower must keep catching
 	// up while the primary sheds client load or drains for shutdown, so
@@ -475,6 +477,7 @@ func (s *Server) handleMetrics(*http.Request) (*response, *apiError) {
 		rep.Degraded = &wire.DegradedMetrics{ReadOnly: true, Cause: err.Error()}
 	}
 	rep.Replication = s.replicationMetrics()
+	var batch wire.BatchMetrics
 	for _, name := range s.cat.Names() {
 		e, err := s.cat.Get(name)
 		if err != nil {
@@ -484,6 +487,17 @@ func (s *Server) handleMetrics(*http.Request) (*response, *apiError) {
 			rep.Physical = make(map[string]wire.PhysicalInfo)
 		}
 		rep.Physical[name] = physicalBody(e.Physical())
+		bs := e.BatchStats()
+		batch.Batches += bs.Batches
+		batch.Rows += bs.Rows
+		batch.ColumnarPicks += bs.ColumnarPicks
+		batch.RowPicks += bs.RowPicks
+	}
+	if batch.ColumnarPicks > 0 || batch.RowPicks > 0 {
+		if batch.Batches > 0 {
+			batch.MeanRowsPerBatch = float64(batch.Rows) / float64(batch.Batches)
+		}
+		rep.Batch = &batch
 	}
 	if c := s.cat.Cache(); c != nil {
 		st := c.Stats()
@@ -961,18 +975,76 @@ func (s *Server) handleSelect(r *http.Request) (*response, *apiError) {
 	if node != nil {
 		s.metrics.RecordPlan(node.Leaf().Kind.String(), touched)
 	}
+	return &response{body: selectBody(q, res, node, touched), touched: touched}, nil
+}
+
+// selectBody renders a SELECT result for the wire. Aggregate statements
+// also report which engine executed (the plan's leaf tells: a
+// ColumnarScan leaf ran batch-at-a-time, anything else ran the row fold).
+func selectBody(q *tsql.Query, res *tsql.Result, node *plan.Node, touched int) wire.SelectResponse {
 	rows := make([][]wire.Value, len(res.Rows))
 	for i, row := range res.Rows {
 		rows[i] = wire.FromValues(row)
 	}
+	out := wire.SelectResponse{
+		Columns: res.Columns,
+		Rows:    rows,
+		Plan:    wire.FromPlanNode(node),
+		Touched: touched,
+	}
+	if q.Group != nil && node != nil {
+		if node.Leaf().Kind == plan.ColumnarScan {
+			out.Engine = "columnar"
+		} else {
+			out.Engine = "row"
+		}
+	}
+	return out
+}
+
+// handleSelectGet is the cache-aware form of SELECT: the statement rides a
+// query parameter so intermediaries can cache, with the relation's mutation
+// epoch as the ETag validator — the same protocol as the GET query endpoint.
+// A client whose If-None-Match still names the current epoch gets 304 and no
+// query runs; aggregates are the intended tenant (their results are windows,
+// not elements, so they are cheap to revalidate and expensive to recompute).
+func (s *Server) handleSelectGet(r *http.Request) (*response, *apiError) {
+	e, aerr := s.entry(r)
+	if aerr != nil {
+		return nil, aerr
+	}
+	name := r.PathValue("name")
+	src := r.URL.Query().Get("query")
+	if src == "" {
+		return nil, errBadRequest("need ?query=SELECT ...")
+	}
+	q, err := tsql.Parse(src)
+	if err != nil {
+		return nil, errBadRequest("%s", err.Error())
+	}
+	if q.Rel != name {
+		return nil, errBadRequest("statement queries %q, endpoint addresses %q", q.Rel, name)
+	}
+	if q.Explain {
+		return nil, errBadRequest("EXPLAIN is not cacheable; use the explain endpoint")
+	}
+	if inm := r.Header.Get(wire.HeaderIfNoneMatch); inm != "" {
+		if et := queryETag(name, e.Epoch()); etagMatch(inm, et) {
+			return &response{status: http.StatusNotModified, etag: et}, nil
+		}
+	}
+	epoch := e.Epoch()
+	res, node, touched, err := e.SelectCtx(r.Context(), q)
+	if err != nil {
+		return nil, mapError(err)
+	}
+	if node != nil {
+		s.metrics.RecordPlan(node.Leaf().Kind.String(), touched)
+	}
 	return &response{
-		body: wire.SelectResponse{
-			Columns: res.Columns,
-			Rows:    rows,
-			Plan:    wire.FromPlanNode(node),
-			Touched: touched,
-		},
+		body:    selectBody(q, res, node, touched),
 		touched: touched,
+		etag:    queryETag(name, epoch),
 	}, nil
 }
 

@@ -149,6 +149,11 @@ func (s *Session) help() {
       select name, salary from emp as of 25 when valid at 100 where salary > 150
       select who from shifts when meets [100, 120)
       select name from emp order by salary desc limit 10
+      window aggregates (count/sum/min/max over valid-time windows):
+      select count(*), sum(salary) from emp group by window(100)
+      select max(temp) from temps group by window(60, rolling 3) using columnar
+      (window modes: tumbling (default) | rolling <k> | cumulative;
+       using row|columnar forces the execution engine)
   explain select ...   show the typed query plan instead of running it, e.g.:
       explain select * from temps when valid at 100
   save <rel> <file> | load <rel> <file>   (checksummed backlog format)

@@ -2,7 +2,6 @@ package storage
 
 import (
 	"encoding/binary"
-	"fmt"
 	"sort"
 
 	"repro/internal/chronon"
@@ -124,26 +123,14 @@ func packColumns(run []*element.Element) []byte {
 // the packed image is lossless (and to size a future disk format), not to
 // serve queries — those read the elements directly.
 func unpackColumns(packed []byte, n int) ([][4]int64, error) {
-	out := make([][4]int64, n)
-	off := 0
-	for c := 0; c < 4; c++ {
-		prev := int64(0)
-		for i := 0; i < n; i++ {
-			d, w := binary.Varint(packed[off:])
-			if w <= 0 {
-				return nil, fmt.Errorf("storage: truncated packed run (col %d, row %d)", c, i)
-			}
-			off += w
-			if i == 0 {
-				prev = d
-			} else {
-				prev += d
-			}
-			out[i][c] = prev
-		}
+	tts, tte := make([]int64, n), make([]int64, n)
+	vts, vte := make([]int64, n), make([]int64, n)
+	if err := DecodeRunColumns(packed, n, tts, tte, vts, vte); err != nil {
+		return nil, err
 	}
-	if off != len(packed) {
-		return nil, fmt.Errorf("storage: %d trailing byte(s) in packed run", len(packed)-off)
+	out := make([][4]int64, n)
+	for i := range out {
+		out[i] = [4]int64{tts[i], tte[i], vts[i], vte[i]}
 	}
 	return out, nil
 }

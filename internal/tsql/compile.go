@@ -29,6 +29,9 @@ func PlanQuery(q *Query) plan.Query {
 // EXPLAIN rendering and the catalog's execution, so what EXPLAIN shows is
 // what runs.
 func Compile(q *Query, a plan.Access) *plan.Node {
+	if q.Group != nil {
+		return compileAggregate(q, a)
+	}
 	n := plan.Build(a, PlanQuery(q))
 	if q.HasAsOf && q.When != nil {
 		n = plan.NewFilter(n, fmt.Sprintf("when %s", describeWhen(q.When)))
@@ -38,6 +41,25 @@ func Compile(q *Query, a plan.Access) *plan.Node {
 	if len(q.Where) > 0 {
 		n = plan.NewFilter(n, fmt.Sprintf("%d where predicate(s)", len(q.Where)))
 	}
+	if q.HasLimit {
+		n = plan.NewLimit(n, q.Limit)
+	}
+	return n
+}
+
+// compileAggregate lowers the GROUP BY WINDOW form: the planner's
+// row-vs-columnar choice (or the USING hint) as the input, residual
+// predicates as filter decorators, the window-aggregate operator on
+// top, and LIMIT over the emitted windows.
+func compileAggregate(q *Query, a plan.Access) *plan.Node {
+	n := plan.BuildAggregate(a, PlanQuery(q), q.Pick)
+	if q.When != nil && q.When.Kind == WhenAllen {
+		n = plan.NewFilter(n, fmt.Sprintf("when %s", describeWhen(q.When)))
+	}
+	if len(q.Where) > 0 {
+		n = plan.NewFilter(n, fmt.Sprintf("%d where predicate(s)", len(q.Where)))
+	}
+	n = plan.NewWindowAggregate(n, aggNote(q))
 	if q.HasLimit {
 		n = plan.NewLimit(n, q.Limit)
 	}

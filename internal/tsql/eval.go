@@ -45,6 +45,9 @@ const cancelCheckEvery = 1024
 // timed out or hung up stops consuming CPU mid-scan instead of computing
 // a result no one will read.
 func EvalOnCtx(ctx context.Context, q *Query, schema relation.Schema, versions []*element.Element) (*Result, error) {
+	if q.Group != nil {
+		return EvalAggregate(ctx, q, schema, versions)
+	}
 	cols := q.Columns
 	if len(cols) == 0 {
 		// SELECT *: surrogates, stamps, then attributes in schema order.
@@ -360,7 +363,14 @@ func Run(src string, lookup func(name string) (*relation.Relation, bool)) (*Resu
 		return nil, fmt.Errorf("tsql: no relation %q", q.Rel)
 	}
 	if q.Explain {
-		node := Compile(q, plan.Access{Org: plan.OrgHeap, N: r.Len()})
+		qq := *q
+		if qq.Group != nil && qq.Pick == plan.PickAuto {
+			// Standalone evaluation always runs the row reference engine
+			// (there is no batch-capable store here); pin the plan to it
+			// so EXPLAIN shows what actually runs.
+			qq.Pick = plan.PickRow
+		}
+		node := Compile(&qq, plan.Access{Org: plan.OrgHeap, N: r.Len()})
 		return ExplainResult(node), nil
 	}
 	return Eval(q, r)

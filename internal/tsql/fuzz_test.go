@@ -9,6 +9,7 @@ import (
 	"repro/internal/plan"
 	"repro/internal/relation"
 	"repro/internal/tx"
+	"repro/internal/vec"
 )
 
 // FuzzParse checks the query parser never panics and that parsed queries
@@ -46,6 +47,84 @@ func FuzzParse(f *testing.F) {
 		q, err := Parse(src)
 		if err != nil {
 			return
+		}
+		// Whatever parses must evaluate or fail cleanly — never panic.
+		_, _ = Eval(q, r)
+	})
+}
+
+// FuzzParseAggregate drives the aggregate grammar: parsing never panics,
+// parsed statements honor the co-occurrence invariants checkAggregateShape
+// promises, and whatever parses both compiles (across every store
+// capability, including sealed columnar-capable ones) and evaluates
+// against a fixture relation without panicking.
+func FuzzParseAggregate(f *testing.F) {
+	for _, seed := range []string{
+		"select count(*) from emp group by window(100)",
+		"select count(*), sum(salary) from emp group by window(50) using columnar",
+		"select max(salary) from emp group by window(60, rolling 3) using row",
+		"select min(salary) from emp group by window(10, cumulative) limit 4",
+		"select count(salary) from emp as of 25 when valid during [0, 200) group by window(100)",
+		"select sum(salary) from emp where salary > 2 group by window(25)",
+		"select count(*) from emp group by window(99999999999999999999)",
+		"select sum(*) from emp group by window(10)",
+		"select count(*) from emp group by window(10, rolling)",
+		"select name, count(*) from emp group by window(10)",
+		"select count(*) from emp using turbo",
+		"explain select count(*) from emp group by window(50)",
+	} {
+		f.Add(seed)
+	}
+	r := relation.New(relation.Schema{
+		Name: "emp", ValidTime: element.EventStamp, Granularity: chronon.Second,
+		Invariant: []relation.Column{{Name: "name", Type: element.KindString}},
+		Varying:   []relation.Column{{Name: "salary", Type: element.KindInt}},
+	}, tx.NewLogicalClock(0, 10))
+	for i := 0; i < 8; i++ {
+		if _, err := r.Insert(relation.Insertion{
+			VT:        element.EventAt(chronon.Chronon(i * 10)),
+			Invariant: []element.Value{element.String_("x")},
+			Varying:   []element.Value{element.Int(int64(i))},
+		}); err != nil {
+			f.Fatal(err)
+		}
+	}
+	accesses := []plan.Access{
+		{Org: plan.OrgHeap, N: 100},
+		{Org: plan.OrgVTLog, N: 1024, Sealed: 1024, Runs: 4, HasVTExtent: true, VTMin: 0, VTMax: 5000},
+		{Org: plan.OrgVTLog, N: 1024, Sealed: 512, Runs: 2, HasVTExtent: true, VTMin: -100, VTMax: 100},
+		{Org: plan.OrgTTLog, N: 1024, Sealed: 768, Runs: 3},
+		{Org: plan.OrgVTLog, N: 0},
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// The shape invariants the parser promises downstream layers.
+		if q.Group == nil {
+			if len(q.Aggs) > 0 || q.Pick != plan.PickAuto {
+				t.Fatalf("parser let aggregate state through without GROUP BY: %+v", q)
+			}
+		} else {
+			if len(q.Aggs) == 0 || len(q.Columns) > 0 || q.OrderBy != "" {
+				t.Fatalf("parser violated aggregate co-occurrence rules: %+v", q)
+			}
+			if q.Group.Width < 1 || q.Group.Width > vec.MaxWidth {
+				t.Fatalf("window width %d out of range", q.Group.Width)
+			}
+			if q.Group.Kind == vec.Rolling && (q.Group.K < 1 || q.Group.K > vec.MaxRolling) {
+				t.Fatalf("rolling extent %d out of range", q.Group.K)
+			}
+			if q.Fingerprint() == "" {
+				t.Fatal("empty fingerprint")
+			}
+		}
+		for _, a := range accesses {
+			node := Compile(q, a)
+			if node == nil || node.Render() == "" {
+				t.Fatalf("Compile(%q, %+v) produced no plan", src, a)
+			}
 		}
 		// Whatever parses must evaluate or fail cleanly — never panic.
 		_, _ = Eval(q, r)

@@ -16,6 +16,18 @@
 // query", WHEN alone is a historical query, AS OF alone is a rollback
 // query, and their combination is the bitemporal query.
 //
+// Temporal aggregation replaces the select list with aggregate calls and
+// groups by fixed valid-time windows:
+//
+//	SELECT COUNT(*)|COUNT(col)|SUM(col)|MIN(col)|MAX(col)[, ...] FROM rel
+//	    [AS OF tt] [WHEN ...] [WHERE ...]
+//	    GROUP BY WINDOW(width[, TUMBLING | ROLLING n | CUMULATIVE])
+//	    [USING ROW|COLUMNAR] [LIMIT n]
+//
+// Each output row is one window [win_start, win_end) with one value per
+// aggregate; USING forces the row or columnar engine (the planner
+// chooses by cost otherwise).
+//
 // Times are integer chronons or 'YYYY-MM-DD[ HH:MM:SS]' strings; the
 // pseudo-columns es, os, tt_start, tt_end, vt_start, vt_end expose the
 // system time-stamps.
@@ -36,6 +48,7 @@ const (
 	tokComma
 	tokStar
 	tokLBracket
+	tokLParen
 	tokRParen
 	tokOp // comparison operator
 )
@@ -75,6 +88,9 @@ func (l *lexer) next() (token, error) {
 	case c == '[':
 		l.pos++
 		return token{kind: tokLBracket, text: "[", pos: start}, nil
+	case c == '(':
+		l.pos++
+		return token{kind: tokLParen, text: "(", pos: start}, nil
 	case c == ')':
 		l.pos++
 		return token{kind: tokRParen, text: ")", pos: start}, nil

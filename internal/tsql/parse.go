@@ -7,6 +7,8 @@ import (
 
 	"repro/internal/chronon"
 	"repro/internal/interval"
+	"repro/internal/plan"
+	"repro/internal/vec"
 )
 
 // Query is a parsed temporal query.
@@ -17,6 +19,13 @@ type Query struct {
 
 	Columns []string // empty means *
 	Rel     string
+
+	// Aggs and Group carry the temporal-aggregation form: aggregate
+	// calls in place of the select list, grouped by fixed valid-time
+	// windows. Pick is the USING engine hint.
+	Aggs  []AggCall
+	Group *GroupWindow
+	Pick  plan.EnginePick
 
 	HasAsOf bool
 	AsOf    chronon.Chronon
@@ -29,6 +38,22 @@ type Query struct {
 	OrderDesc bool
 	HasLimit  bool
 	Limit     int
+}
+
+// AggCall is one aggregate call in the select list: count/sum/min/max
+// over a column, or count over *.
+type AggCall struct {
+	Func string // count, sum, min, max (lower-cased)
+	Col  string // empty for COUNT(*)
+}
+
+// GroupWindow is the GROUP BY WINDOW clause: fixed valid-time windows of
+// Width chronons in one of the vec window modes; K is the rolling extent
+// in windows.
+type GroupWindow struct {
+	Width int64
+	Kind  vec.WindowKind
+	K     int64
 }
 
 // WhenKind discriminates valid-time clauses.
@@ -137,7 +162,15 @@ func Parse(src string) (*Query, error) {
 			if t.kind != tokIdent {
 				return nil, p.errf(t, "expected column name, got %q", t.text)
 			}
-			q.Columns = append(q.Columns, t.text)
+			if p.peek().kind == tokLParen {
+				call, err := p.parseAggCall(t)
+				if err != nil {
+					return nil, err
+				}
+				q.Aggs = append(q.Aggs, call)
+			} else {
+				q.Columns = append(q.Columns, t.text)
+			}
 			if p.peek().kind != tokComma {
 				break
 			}
@@ -212,6 +245,39 @@ func Parse(src string) (*Query, error) {
 			case p.peekKeyword("asc"):
 				p.take()
 			}
+		case p.peekKeyword("group"):
+			p.take()
+			if err := p.keyword("by"); err != nil {
+				return nil, err
+			}
+			if err := p.keyword("window"); err != nil {
+				return nil, err
+			}
+			if q.Group != nil {
+				return nil, p.errf(p.peek(), "duplicate GROUP BY")
+			}
+			g, err := p.parseGroupWindow()
+			if err != nil {
+				return nil, err
+			}
+			q.Group = g
+		case p.peekKeyword("using"):
+			p.take()
+			t := p.take()
+			if q.Pick != plan.PickAuto {
+				return nil, p.errf(t, "duplicate USING")
+			}
+			if t.kind == tokIdent {
+				switch strings.ToLower(t.text) {
+				case "row":
+					q.Pick = plan.PickRow
+				case "columnar":
+					q.Pick = plan.PickColumnar
+				}
+			}
+			if q.Pick == plan.PickAuto {
+				return nil, p.errf(t, "expected ROW or COLUMNAR, got %q", t.text)
+			}
 		case p.peekKeyword("limit"):
 			p.take()
 			t := p.take()
@@ -232,9 +298,114 @@ func Parse(src string) (*Query, error) {
 			if t.kind != tokEOF {
 				return nil, p.errf(t, "unexpected %q", t.text)
 			}
+			if err := q.checkAggregateShape(); err != nil {
+				return nil, err
+			}
 			return q, nil
 		}
 	}
+}
+
+// checkAggregateShape enforces the aggregate grammar's co-occurrence
+// rules once the whole statement is in hand.
+func (q *Query) checkAggregateShape() error {
+	if q.Group == nil {
+		if len(q.Aggs) > 0 {
+			return fmt.Errorf("tsql: aggregates require GROUP BY WINDOW(...)")
+		}
+		if q.Pick != plan.PickAuto {
+			return fmt.Errorf("tsql: USING %s requires GROUP BY WINDOW(...)", q.Pick)
+		}
+		return nil
+	}
+	if len(q.Aggs) == 0 {
+		return fmt.Errorf("tsql: GROUP BY WINDOW requires an aggregate select list")
+	}
+	if len(q.Columns) > 0 {
+		return fmt.Errorf("tsql: cannot mix plain columns with aggregates")
+	}
+	if q.OrderBy != "" {
+		return fmt.Errorf("tsql: ORDER BY is not supported with GROUP BY WINDOW (windows are emitted in order)")
+	}
+	for _, a := range q.Aggs {
+		if a.Col == "" && a.Func != "count" {
+			return fmt.Errorf("tsql: %s requires a column", a.Func)
+		}
+	}
+	return nil
+}
+
+// parseAggCall parses the remainder of "fn(col)" / "count(*)"; fn is the
+// already-consumed function identifier.
+func (p *parser) parseAggCall(fn token) (AggCall, error) {
+	name := strings.ToLower(fn.text)
+	switch name {
+	case "count", "sum", "min", "max":
+	default:
+		return AggCall{}, p.errf(fn, "unknown aggregate %q", fn.text)
+	}
+	p.take() // '('
+	call := AggCall{Func: name}
+	t := p.take()
+	switch {
+	case t.kind == tokStar:
+		if name != "count" {
+			return AggCall{}, p.errf(t, "%s(*) is not defined; aggregate a column", name)
+		}
+	case t.kind == tokIdent:
+		call.Col = t.text
+	default:
+		return AggCall{}, p.errf(t, "expected column or '*', got %q", t.text)
+	}
+	if t := p.take(); t.kind != tokRParen {
+		return AggCall{}, p.errf(t, "expected ')', got %q", t.text)
+	}
+	return call, nil
+}
+
+// parseGroupWindow parses "(width[, TUMBLING | ROLLING n | CUMULATIVE])".
+func (p *parser) parseGroupWindow() (*GroupWindow, error) {
+	if t := p.take(); t.kind != tokLParen {
+		return nil, p.errf(t, "expected '(', got %q", t.text)
+	}
+	t := p.take()
+	if t.kind != tokNumber {
+		return nil, p.errf(t, "expected window width, got %q", t.text)
+	}
+	w, err := strconv.ParseInt(t.text, 10, 64)
+	if err != nil || w < 1 || w > vec.MaxWidth {
+		return nil, p.errf(t, "bad window width %q (want 1..%d)", t.text, vec.MaxWidth)
+	}
+	g := &GroupWindow{Width: w, Kind: vec.Tumbling}
+	if p.peek().kind == tokComma {
+		p.take()
+		m := p.take()
+		if m.kind != tokIdent {
+			return nil, p.errf(m, "expected TUMBLING, ROLLING or CUMULATIVE, got %q", m.text)
+		}
+		switch strings.ToLower(m.text) {
+		case "tumbling":
+		case "cumulative":
+			g.Kind = vec.Cumulative
+		case "rolling":
+			g.Kind = vec.Rolling
+			kt := p.take()
+			if kt.kind != tokNumber {
+				return nil, p.errf(kt, "expected rolling extent, got %q", kt.text)
+			}
+			k, err := strconv.ParseInt(kt.text, 10, 64)
+			if err != nil || k < 1 || k > vec.MaxRolling {
+				return nil, p.errf(kt, "bad rolling extent %q (want 1..%d)", kt.text, vec.MaxRolling)
+			}
+			g.K = k
+		default:
+			return nil, p.errf(m, "expected TUMBLING, ROLLING or CUMULATIVE, got %q", m.text)
+		}
+	}
+	if t := p.take(); t.kind != tokRParen {
+		return nil, p.errf(t, "expected ')', got %q", t.text)
+	}
+	return g, nil
 }
 
 func (p *parser) parseWhen() (*WhenClause, error) {

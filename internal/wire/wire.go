@@ -546,6 +546,10 @@ type SelectResponse struct {
 	Rows    [][]Value `json:"rows"`
 	Plan    *PlanNode `json:"plan,omitempty"`
 	Touched int       `json:"touched"`
+	// Engine reports which execution engine served an aggregate query:
+	// "columnar" (batch-at-a-time over sealed runs) or "row" (the
+	// reference fold). Empty for non-aggregate statements.
+	Engine string `json:"engine,omitempty"`
 }
 
 // RelationSummary is one row of the relation listing.
@@ -848,6 +852,17 @@ type QueryCacheMetrics struct {
 	Capacity  int64  `json:"capacity"`
 }
 
+// BatchMetrics reports the batch-execution counters summed over the
+// catalog: batches and rows the columnar engine consumed, and how often
+// the planner picked each engine for an executed window aggregate.
+type BatchMetrics struct {
+	Batches          int64   `json:"batches"`
+	Rows             int64   `json:"rows"`
+	MeanRowsPerBatch float64 `json:"mean_rows_per_batch"`
+	ColumnarPicks    int64   `json:"columnar_picks"`
+	RowPicks         int64   `json:"row_picks"`
+}
+
 // DegradedMetrics reports the catalog's degraded-mode gauge.
 type DegradedMetrics struct {
 	ReadOnly bool   `json:"read_only"`
@@ -869,6 +884,7 @@ type MetricsResponse struct {
 	Admission     map[string]ClassAdmissionMetrics `json:"admission,omitempty"`
 	Degraded      *DegradedMetrics                 `json:"degraded,omitempty"`
 	QueryCache    *QueryCacheMetrics               `json:"query_cache,omitempty"`
+	Batch         *BatchMetrics                    `json:"batch,omitempty"`
 	Replication   *ReplicationMetrics              `json:"replication,omitempty"`
 	// Physical reports each relation's live physical design: its
 	// organization, the advice provenance, migration count, and the
