@@ -2,15 +2,16 @@ GO ?= go
 
 # Packages whose tests exercise shared mutable state across goroutines;
 # these run a second time under the race detector in `make ci`.
-RACE_PKGS = ./internal/relation ./internal/catalog ./internal/core ./internal/server ./internal/storage ./internal/qcache ./internal/tx ./internal/wal ./internal/repl ./internal/vec ./client
+RACE_PKGS = ./internal/relation ./internal/catalog ./internal/core ./internal/server ./internal/storage ./internal/qcache ./internal/tx ./internal/wal ./internal/repl ./internal/vec ./internal/integrity ./client
 
-.PHONY: ci build vet fmt test race chaos e2e-cluster fuzz fuzz-smoke bench bench-smoke clean
+.PHONY: ci build vet fmt test race chaos e2e-cluster e2e-integrity fuzz fuzz-smoke bench bench-smoke clean
 
 # ci is the tier-1 gate: everything must build, vet and gofmt clean, pass
 # tests, pass the race detector on the concurrency-bearing packages, keep
-# the read-path microbenchmarks compiling and running, and boot a real
-# 1-primary + 2-follower cluster end to end.
-ci: vet fmt build test race bench-smoke e2e-cluster
+# the read-path microbenchmarks compiling and running, boot a real
+# 1-primary + 2-follower cluster end to end, and prove the integrity
+# subsystem over the wire.
+ci: vet fmt build test race bench-smoke e2e-cluster e2e-integrity
 
 # fmt fails if any file needs gofmt (prints the offenders).
 fmt:
@@ -44,6 +45,13 @@ chaos:
 e2e-cluster:
 	$(GO) test -race -run 'ClusterE2E|FollowerCatchUp' -v ./internal/server
 
+# The integrity acceptance tests: client-verified inclusion/consistency
+# proofs across restart and follower replay, bit-flip detection with
+# quarantine and repair, and the kill-mid-scrub chaos path — all under
+# the race detector.
+e2e-integrity:
+	$(GO) test -race -run 'IntegrityE2E' -v ./internal/server
+
 # Short smoke runs of the server decode fuzzers (they run as plain tests in
 # `make test`; this gives the mutation engine a little time on each).
 fuzz:
@@ -68,6 +76,8 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz='^FuzzRespecializeReplay$$' -fuzztime=5s ./internal/catalog
 	$(GO) test -run=NONE -fuzz='^FuzzParseAggregate$$' -fuzztime=5s ./internal/tsql
 	$(GO) test -run=NONE -fuzz='^FuzzColumnarRunDecode$$' -fuzztime=5s ./internal/storage
+	$(GO) test -run=NONE -fuzz='^FuzzDecodeProof$$' -fuzztime=5s ./internal/integrity
+	$(GO) test -run=NONE -fuzz='^FuzzMerkleConsistency$$' -fuzztime=5s ./internal/integrity
 
 # Regenerate every figure/claim table plus the serving, durability, and
 # overload benchmarks (writes BENCH_*.json in the working directory).

@@ -1,0 +1,267 @@
+package client
+
+// Client-side history verification: the server proves, the client
+// checks. Integrity/IntegrityProof/IntegrityConsistency/Verify are the
+// raw endpoint calls; HistoryVerifier composes them into the trust
+// protocol — pin the primary's signing key on first contact (or preset
+// it out of band), anchor a (size, root) pair, and from then on accept
+// a new root only with a consistency proof that the anchored history
+// is a prefix of it. A server that rewrote committed history cannot
+// produce that proof, signed or not, so verification fails closed.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"repro/internal/integrity"
+	"repro/internal/wire"
+)
+
+// Integrity wire re-exports.
+type (
+	IntegrityResponse   = wire.IntegrityResponse
+	ProofResponse       = wire.ProofResponse
+	ConsistencyResponse = wire.ConsistencyResponse
+	VerifyResponse      = wire.VerifyResponse
+	SignedRootInfo      = wire.SignedRootInfo
+	IntegrityMetrics    = wire.IntegrityMetrics
+)
+
+// ErrHistoryRewritten is returned when a server's root cannot be
+// reconciled with the verifier's anchor: the committed prefix the
+// client has already verified is not a prefix of what the server now
+// serves. This is the tamper signal, not a transient fault.
+var ErrHistoryRewritten = errors.New("client: server history is inconsistent with verified anchor")
+
+// ErrKeyChanged is returned when a signed root verifies under a
+// different key than the one pinned — a server impersonation or an
+// unannounced key rotation; either way, not silently acceptable.
+var ErrKeyChanged = errors.New("client: signing key does not match pinned key")
+
+// Integrity fetches a relation's integrity state: tree size, current
+// root, signature (on primaries), and quarantine cause when degraded.
+func (c *Client) Integrity(ctx context.Context, name string) (IntegrityResponse, error) {
+	var out IntegrityResponse
+	err := c.do(ctx, http.MethodGet, "/v1/relations/"+name+"/integrity", nil, &out)
+	return out, err
+}
+
+// IntegrityProof fetches an inclusion proof for the index-th committed
+// frame. Most callers want HistoryVerifier.VerifyCommit, which also
+// checks the proof.
+func (c *Client) IntegrityProof(ctx context.Context, name string, index uint64) (ProofResponse, error) {
+	var out ProofResponse
+	err := c.do(ctx, http.MethodGet,
+		"/v1/relations/"+name+"/integrity/proof?index="+strconv.FormatUint(index, 10), nil, &out)
+	return out, err
+}
+
+// IntegrityConsistency fetches a proof that the current tree extends
+// its size-from prefix.
+func (c *Client) IntegrityConsistency(ctx context.Context, name string, from uint64) (ConsistencyResponse, error) {
+	var out ConsistencyResponse
+	err := c.do(ctx, http.MethodGet,
+		"/v1/relations/"+name+"/integrity/consistency?from="+strconv.FormatUint(from, 10), nil, &out)
+	return out, err
+}
+
+// Verify asks the server to synchronously scrub and repair every
+// artifact covering the relation.
+func (c *Client) Verify(ctx context.Context, name string) (VerifyResponse, error) {
+	var out VerifyResponse
+	err := c.do(ctx, http.MethodPost, "/v1/relations/"+name+"/verify", nil, &out)
+	return out, err
+}
+
+// HistoryVerifier tracks one relation's verified history across calls.
+// It is safe for concurrent use; all methods advance a single shared
+// anchor. The zero trust state is TOFU: the first signed root pins the
+// signing key and the first accepted root anchors (size, root). Callers
+// who obtained the primary's public key out of band should PinKey it
+// before the first call to close the first-contact gap.
+type HistoryVerifier struct {
+	c   *Client
+	rel string
+
+	mu       sync.Mutex
+	key      []byte
+	anchored bool
+	size     uint64
+	root     integrity.Hash
+}
+
+// HistoryVerifier builds a verifier for one relation. The client may
+// point at a primary (signed roots) or a follower (unsigned roots —
+// trust then rests entirely on consistency with a previously anchored
+// root, so anchor against the primary first for end-to-end guarantees).
+func (c *Client) HistoryVerifier(rel string) *HistoryVerifier {
+	return &HistoryVerifier{c: c, rel: rel}
+}
+
+// PinKey fixes the Ed25519 public key signed roots must verify under,
+// replacing trust-on-first-use.
+func (v *HistoryVerifier) PinKey(key []byte) {
+	v.mu.Lock()
+	v.key = append([]byte(nil), key...)
+	v.mu.Unlock()
+}
+
+// Anchor reports the currently anchored (size, root), if any.
+func (v *HistoryVerifier) Anchor() (size uint64, root []byte, ok bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if !v.anchored {
+		return 0, nil, false
+	}
+	r := v.root
+	return v.size, r[:], true
+}
+
+// checkSig verifies a signed root's signature under the pinned key,
+// pinning on first use. Unsigned roots (followers) pass — their trust
+// comes from the consistency check against the anchor. Caller holds mu.
+func (v *HistoryVerifier) checkSig(sr SignedRootInfo) error {
+	if len(sr.Sig) == 0 && len(sr.Key) == 0 {
+		return nil
+	}
+	if v.key == nil {
+		v.key = append([]byte(nil), sr.Key...)
+	} else if !bytes.Equal(v.key, sr.Key) {
+		return fmt.Errorf("%w: relation %q", ErrKeyChanged, v.rel)
+	}
+	root, err := toHash(sr.Root)
+	if err != nil {
+		return err
+	}
+	if !integrity.VerifyRoot(v.key, integrity.SignedRoot{
+		Rel: sr.Rel, Size: sr.Size, Root: root, Sig: sr.Sig, Key: sr.Key,
+	}) {
+		return fmt.Errorf("client: bad signature on root of %q at size %d", v.rel, sr.Size)
+	}
+	return nil
+}
+
+// reconcile accepts a served root only if it extends the anchor: equal
+// size must mean equal root, larger size must come with a consistency
+// proof from the anchor, and a smaller size is a served tree behind
+// verified history (a stale follower or a rewrite — fail either way).
+// On success the anchor advances to sr. Caller holds mu; the lock is
+// held across the consistency fetch deliberately, so two goroutines
+// cannot interleave anchor movements.
+func (v *HistoryVerifier) reconcile(ctx context.Context, sr SignedRootInfo) error {
+	if sr.Rel != v.rel {
+		return fmt.Errorf("client: root is for %q, verifying %q", sr.Rel, v.rel)
+	}
+	if err := v.checkSig(sr); err != nil {
+		return err
+	}
+	newRoot, err := toHash(sr.Root)
+	if err != nil {
+		return err
+	}
+	switch {
+	case !v.anchored:
+		// First contact: adopt. With a pinned key the signature already
+		// vouches for this root; pure-TOFU callers trust first sight.
+	case sr.Size == v.size:
+		if newRoot != v.root {
+			return fmt.Errorf("%w: %q root changed at size %d", ErrHistoryRewritten, v.rel, v.size)
+		}
+	case sr.Size > v.size:
+		cr, err := v.c.IntegrityConsistency(ctx, v.rel, v.size)
+		if err != nil {
+			return err
+		}
+		p, err := integrity.DecodeProof(cr.Proof)
+		if err != nil {
+			return fmt.Errorf("client: consistency proof for %q: %w", v.rel, err)
+		}
+		if p.Kind != integrity.ProofConsistency || p.A != v.size || p.N != sr.Size {
+			return fmt.Errorf("%w: %q served a proof for (%d,%d), want (%d,%d)",
+				ErrHistoryRewritten, v.rel, p.A, p.N, v.size, sr.Size)
+		}
+		if !p.Verify(integrity.Hash{}, v.root, newRoot) {
+			return fmt.Errorf("%w: %q size %d -> %d", ErrHistoryRewritten, v.rel, v.size, sr.Size)
+		}
+	default:
+		return fmt.Errorf("%w: %q serves size %d behind verified size %d",
+			ErrHistoryRewritten, v.rel, sr.Size, v.size)
+	}
+	v.anchored, v.size, v.root = true, sr.Size, newRoot
+	return nil
+}
+
+// Advance fetches the relation's current root and verifies it extends
+// the anchored history, moving the anchor forward. Call it after a
+// batch of writes to extend the verified prefix, or periodically
+// against a follower to audit that replication never rewrote history.
+func (v *HistoryVerifier) Advance(ctx context.Context) (size uint64, err error) {
+	ir, err := v.c.Integrity(ctx, v.rel)
+	if err != nil {
+		return 0, err
+	}
+	if !ir.Tracked {
+		return 0, fmt.Errorf("client: integrity tracking is disabled for %q", v.rel)
+	}
+	if ir.Signed == nil {
+		return 0, fmt.Errorf("client: %q served no root", v.rel)
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if err := v.reconcile(ctx, *ir.Signed); err != nil {
+		return 0, err
+	}
+	return v.size, nil
+}
+
+// VerifyCommit proves the index-th committed frame is part of the
+// relation's verified history: the server's inclusion proof must land
+// on a root that extends the anchor. On success the returned leaf hash
+// identifies the exact frame bytes the server committed to, and the
+// anchor has advanced to the proof's root.
+func (v *HistoryVerifier) VerifyCommit(ctx context.Context, index uint64) (leaf []byte, err error) {
+	pr, err := v.c.IntegrityProof(ctx, v.rel, index)
+	if err != nil {
+		return nil, err
+	}
+	p, err := integrity.DecodeProof(pr.Proof)
+	if err != nil {
+		return nil, fmt.Errorf("client: inclusion proof for %q: %w", v.rel, err)
+	}
+	leafHash, err := toHash(pr.Leaf)
+	if err != nil {
+		return nil, err
+	}
+	root, err := toHash(pr.Signed.Root)
+	if err != nil {
+		return nil, err
+	}
+	if p.Kind != integrity.ProofInclusion || p.A != index || p.N != pr.Signed.Size {
+		return nil, fmt.Errorf("client: %q served a proof for (%d,%d), want leaf %d in size-%d tree",
+			v.rel, p.A, p.N, index, pr.Signed.Size)
+	}
+	if !p.Verify(leafHash, integrity.Hash{}, root) {
+		return nil, fmt.Errorf("client: inclusion proof for %q leaf %d does not verify", v.rel, index)
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if err := v.reconcile(ctx, pr.Signed); err != nil {
+		return nil, err
+	}
+	return leafHash[:], nil
+}
+
+// toHash converts a wire hash, insisting on the exact digest size.
+func toHash(b []byte) (integrity.Hash, error) {
+	var h integrity.Hash
+	if len(b) != integrity.HashSize {
+		return h, fmt.Errorf("client: bad hash length %d, want %d", len(b), integrity.HashSize)
+	}
+	copy(h[:], b)
+	return h, nil
+}

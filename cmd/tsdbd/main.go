@@ -18,10 +18,20 @@
 // periodic snapshot, and on restart they resume the tail from the lowest
 // persisted watermark.
 //
+// Every committed frame is also chained into a per-relation Merkle tree
+// whose epoch roots the primary signs (key at <data>/integrity.ed25519),
+// so clients can verify inclusion and append-only history without
+// trusting the server. Sealed artifacts carry content checksums, and a
+// background scrubber (-scrub-interval, paced by -scrub-rate) re-reads
+// them; a mismatch quarantines the relation read-only and triggers
+// repair. `tsdbd -addr HOST:PORT verify [rel ...]` runs that pass on
+// demand against a live server.
+//
 // Usage:
 //
 //	tsdbd -addr :7070 -data ./tsdb-data -snapshot-interval 30s -wal-sync group
 //	tsdbd -addr :7071 -data ./tsdb-follower -follow http://localhost:7070
+//	tsdbd -addr localhost:7070 verify emp
 //
 // Quickstart against a running server:
 //
@@ -50,10 +60,13 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/client"
 	"repro/internal/catalog"
+	"repro/internal/integrity"
 	"repro/internal/repl"
 	"repro/internal/server"
 	"repro/internal/wal"
@@ -82,7 +95,16 @@ func main() {
 	flag.StringVar(&o.follow, "follow", "", "run as a read-only follower of the given primary URL (disables the local WAL)")
 	flag.BoolVar(&o.autoSpecialize, "auto-specialize", false, "run the background physical-design advisor: infer specialization classes from the observed extension, migrate stores when the advice changes, and compact append-only relations")
 	flag.DurationVar(&o.adviseEvery, "advise-interval", 15*time.Second, "how often the -auto-specialize advisor re-examines the catalog")
+	flag.DurationVar(&o.scrubEvery, "scrub-interval", 5*time.Minute, "how often the background integrity scrubber re-verifies every sealed artifact (0 disables)")
+	flag.Int64Var(&o.scrubRate, "scrub-rate", 8<<20, "scrub read bandwidth cap in bytes/sec (0 = unpaced)")
 	flag.Parse()
+
+	if args := flag.Args(); len(args) > 0 {
+		if err := runCommand(o, args); err != nil {
+			log.Fatalf("tsdbd: %v", err)
+		}
+		return
+	}
 
 	if err := run(o); err != nil {
 		log.Fatalf("tsdbd: %v", err)
@@ -106,6 +128,8 @@ type options struct {
 	follow                    string
 	autoSpecialize            bool
 	adviseEvery               time.Duration
+	scrubEvery                time.Duration
+	scrubRate                 int64
 }
 
 // admission maps the flags onto the server's admission config.
@@ -151,8 +175,20 @@ func run(o options) error {
 		}
 		defer wlog.Close()
 	}
+	// Primaries sign their Merkle epoch roots so clients and followers can
+	// verify history against a pinned key; the keypair persists next to the
+	// data so roots stay verifiable across restarts. Followers serve
+	// unsigned roots — their trust chain is consistency with the primary's.
+	var signer *integrity.Signer
+	if wlog != nil {
+		var err error
+		if signer, err = integrity.LoadOrCreateSigner(filepath.Join(dataDir, "integrity.ed25519")); err != nil {
+			return fmt.Errorf("loading signing key: %w", err)
+		}
+	}
 	cat := catalog.New(catalog.Config{
 		Dir: dataDir, WAL: wlog, CacheBytes: o.cacheBytes, Follower: o.follow != "",
+		Signer: signer,
 	})
 	if err := cat.Open(); err != nil {
 		return fmt.Errorf("opening catalog: %w", err)
@@ -176,6 +212,8 @@ func run(o options) error {
 		MaxBodyBytes:   o.maxBody,
 		Admission:      o.admission(),
 		Follower:       follower,
+		ScrubInterval:  o.scrubEvery,
+		ScrubRate:      o.scrubRate,
 	})
 
 	ln, err := net.Listen("tcp", addr)
@@ -246,6 +284,15 @@ func run(o options) error {
 		log.Printf("advisor: auto-specialize enabled, interval %s", o.adviseEvery)
 	}
 
+	// Background integrity scrubber: one rate-limited verify pass over
+	// every sealed artifact (WAL segments, snapshot shards, frozen runs)
+	// per -scrub-interval; a mismatch quarantines the relation and the
+	// repair loop takes over. Runs on primaries and followers alike.
+	if cat.IntegrityEnabled() && o.scrubEvery > 0 {
+		go srv.RunScrubber(ctx)
+		log.Printf("scrubber: verifying sealed artifacts every %s (%d B/s cap)", o.scrubEvery, o.scrubRate)
+	}
+
 	// Periodic snapshots: only dirty relations are rewritten, so an idle
 	// server does no disk work.
 	if snapEvery > 0 {
@@ -293,5 +340,64 @@ func run(o options) error {
 		return fmt.Errorf("closing catalog: %w", err)
 	}
 	log.Printf("catalog flushed, bye")
+	return nil
+}
+
+// runCommand dispatches a one-shot subcommand against a running server
+// instead of serving. The only one today is verify:
+//
+//	tsdbd -addr localhost:7070 verify [rel ...]
+//
+// which scrubs and repairs every durable artifact covering the named
+// relations (all of them when none are named) and exits non-zero if any
+// corruption could not be repaired.
+func runCommand(o options, args []string) error {
+	switch args[0] {
+	case "verify":
+		return runVerify(o, args[1:])
+	}
+	return fmt.Errorf("unknown command %q (the only subcommand is: verify [rel ...])", args[0])
+}
+
+func runVerify(o options, rels []string) error {
+	base := o.addr
+	if strings.HasPrefix(base, ":") {
+		base = "127.0.0.1" + base
+	}
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	cli := client.New(base)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	if len(rels) == 0 {
+		infos, err := cli.List(ctx)
+		if err != nil {
+			return fmt.Errorf("listing relations on %s: %w", base, err)
+		}
+		for _, info := range infos {
+			rels = append(rels, info.Name)
+		}
+	}
+	unrepaired := 0
+	for _, rel := range rels {
+		rep, err := cli.Verify(ctx, rel)
+		if err != nil {
+			return fmt.Errorf("verifying %s: %w", rel, err)
+		}
+		fmt.Printf("%s: %d artifact(s) verified", rel, rep.Artifacts)
+		if len(rep.Failures) == 0 {
+			fmt.Println(", clean")
+			continue
+		}
+		fmt.Printf(", %d corrupt, %d repaired\n", len(rep.Failures), rep.Repaired)
+		for _, f := range rep.Failures {
+			fmt.Printf("  corrupt: %s\n", f)
+		}
+		unrepaired += len(rep.Failures) - rep.Repaired
+	}
+	if unrepaired > 0 {
+		return fmt.Errorf("%d artifact(s) remain corrupt after repair", unrepaired)
+	}
 	return nil
 }

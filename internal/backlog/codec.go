@@ -43,9 +43,11 @@ const (
 	// 4 adds a physical-design block (live organization, advice source,
 	// adopted inferred classes, migration count) after the state block, so
 	// a respecialized relation reboots into the organization it migrated
-	// to even after the WAL frames that chose it are truncated. Streams
-	// older than the current version remain readable.
-	formatVersion = 4
+	// to even after the WAL frames that chose it are truncated; 5 adds an
+	// integrity block (Merkle leaf sequence and last signed root) after
+	// the physical block, so proofs keep working across restarts and WAL
+	// truncation. Streams older than the current version remain readable.
+	formatVersion = 5
 	// maxBody bounds a single record body; a record holds one element, so
 	// anything larger indicates corruption.
 	maxBody = 1 << 24
@@ -129,6 +131,12 @@ func decodePhysical(b []byte) (Physical, error) {
 // WriteWithPhysical is WriteWithState plus the relation's physical-design
 // block.
 func WriteWithPhysical(w io.Writer, r *relation.Relation, decls []constraint.Descriptor, walLSN uint64, phys Physical) error {
+	return WriteWithIntegrity(w, r, decls, walLSN, phys, Integrity{})
+}
+
+// WriteWithIntegrity is WriteWithPhysical plus the relation's integrity
+// block (Merkle leaves and last signed root).
+func WriteWithIntegrity(w io.Writer, r *relation.Relation, decls []constraint.Descriptor, walLSN uint64, phys Physical, ig Integrity) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(magic); err != nil {
 		return err
@@ -147,6 +155,9 @@ func WriteWithPhysical(w io.Writer, r *relation.Relation, decls []constraint.Des
 		return err
 	}
 	if err := writeBlock(bw, encodePhysical(phys)); err != nil {
+		return err
+	}
+	if err := writeIntegrity(bw, ig); err != nil {
 		return err
 	}
 	records := r.Backlog()
@@ -190,8 +201,16 @@ func ReadWithState(rd io.Reader) (relation.Schema, []constraint.Descriptor, []re
 // no adopted classes) — the catalog then re-advises from declarations as it
 // always did.
 func ReadWithPhysical(rd io.Reader) (relation.Schema, []constraint.Descriptor, []relation.LogRecord, uint64, Physical, error) {
-	fail := func(err error) (relation.Schema, []constraint.Descriptor, []relation.LogRecord, uint64, Physical, error) {
-		return relation.Schema{}, nil, nil, 0, Physical{}, err
+	schema, decls, records, walLSN, phys, _, err := ReadWithIntegrity(rd)
+	return schema, decls, records, walLSN, phys, err
+}
+
+// ReadWithIntegrity is ReadWithPhysical plus the integrity block.
+// Streams older than version 5 yield the zero Integrity (not tracked) —
+// the catalog then starts a fresh tree from the next commit.
+func ReadWithIntegrity(rd io.Reader) (relation.Schema, []constraint.Descriptor, []relation.LogRecord, uint64, Physical, Integrity, error) {
+	fail := func(err error) (relation.Schema, []constraint.Descriptor, []relation.LogRecord, uint64, Physical, Integrity, error) {
+		return relation.Schema{}, nil, nil, 0, Physical{}, Integrity{}, err
 	}
 	br := bufio.NewReader(rd)
 	head := make([]byte, len(magic)+2)
@@ -246,6 +265,13 @@ func ReadWithPhysical(rd io.Reader) (relation.Schema, []constraint.Descriptor, [
 			return fail(err)
 		}
 	}
+	var ig Integrity
+	if version >= 5 {
+		ig, err = readIntegrity(br)
+		if err != nil {
+			return fail(err)
+		}
+	}
 	var records []relation.LogRecord
 	for {
 		// The trailer is exactly the last 12 bytes of the stream, so the
@@ -263,7 +289,7 @@ func ReadWithPhysical(rd io.Reader) (relation.Schema, []constraint.Descriptor, [
 			if count != uint64(len(records)) {
 				return fail(fmt.Errorf("%w: trailer records %d, read %d", ErrCorrupt, count, len(records)))
 			}
-			return schema, decls, records, walLSN, phys, nil
+			return schema, decls, records, walLSN, phys, ig, nil
 		}
 		body, err := readBlock(br)
 		if err != nil {

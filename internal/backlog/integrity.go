@@ -1,0 +1,226 @@
+package backlog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/constraint"
+	"repro/internal/integrity"
+	"repro/internal/relation"
+	"repro/internal/tx"
+)
+
+// The integrity block persists a relation's Merkle state with its
+// snapshot: the full leaf sequence (32 bytes per committed WAL frame)
+// and the last signed epoch root. It is written at the same lock point
+// as the walLSN state block, so the persisted tree size always equals
+// the history the snapshot claims — replayed WAL records past walLSN
+// append their leaves exactly once.
+//
+// Layout: one header block ("ITGY" magic, tracked flag, leaf count,
+// optional signed root), then the leaves in chunked blocks so a long
+// history never exceeds the per-block size bound.
+
+const (
+	itgyMagic = "ITGY"
+	// leavesPerChunk keeps each leaf block (32 bytes/leaf) around 4 MiB,
+	// comfortably under maxBody.
+	leavesPerChunk = 131072
+	// maxLeaves bounds a persisted tree; far above any realistic history,
+	// far below an allocation attack.
+	maxLeaves = 1 << 28
+)
+
+// Integrity is the journaled integrity state of a relation.
+type Integrity struct {
+	// Tracked reports whether a Merkle tree was being maintained. False
+	// distinguishes "integrity disabled" from "tree of size zero".
+	Tracked bool
+	// Leaves is the full leaf-hash sequence of the relation's tree.
+	Leaves []integrity.Hash
+	// Root is the last sealed signed root, nil when none was sealed yet
+	// (or the node is an unsigning follower and never sealed one).
+	Root *integrity.SignedRoot
+}
+
+func encodeIntegrityHeader(ig Integrity) []byte {
+	var e enc
+	e.b = append(e.b, itgyMagic...)
+	if ig.Tracked {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+	e.u64(uint64(len(ig.Leaves)))
+	if ig.Root == nil {
+		e.u8(0)
+		return e.b
+	}
+	e.u8(1)
+	e.str(ig.Root.Rel)
+	e.u64(ig.Root.Size)
+	e.b = append(e.b, ig.Root.Root[:]...)
+	e.u16(uint16(len(ig.Root.Sig)))
+	e.b = append(e.b, ig.Root.Sig...)
+	e.u16(uint16(len(ig.Root.Key)))
+	e.b = append(e.b, ig.Root.Key...)
+	return e.b
+}
+
+func decodeIntegrityHeader(b []byte) (ig Integrity, leafCount uint64, err error) {
+	if len(b) < len(itgyMagic) || string(b[:len(itgyMagic)]) != itgyMagic {
+		return Integrity{}, 0, fmt.Errorf("%w: integrity block lacks its magic", ErrCorrupt)
+	}
+	d := dec{b: b[len(itgyMagic):]}
+	ig.Tracked = d.u8() != 0
+	leafCount = d.u64()
+	hasRoot := d.u8() != 0
+	if hasRoot {
+		var sr integrity.SignedRoot
+		sr.Rel = d.str()
+		sr.Size = d.u64()
+		if d.err == nil && len(d.b) >= integrity.HashSize {
+			copy(sr.Root[:], d.b[:integrity.HashSize])
+			d.b = d.b[integrity.HashSize:]
+		} else {
+			d.fail()
+		}
+		if n := int(d.u16()); d.err == nil && len(d.b) >= n {
+			sr.Sig = append([]byte(nil), d.b[:n]...)
+			d.b = d.b[n:]
+		} else {
+			d.fail()
+		}
+		if n := int(d.u16()); d.err == nil && len(d.b) >= n {
+			sr.Key = append([]byte(nil), d.b[:n]...)
+			d.b = d.b[n:]
+		} else {
+			d.fail()
+		}
+		ig.Root = &sr
+	}
+	if d.err != nil {
+		return Integrity{}, 0, d.err
+	}
+	if len(d.b) != 0 {
+		return Integrity{}, 0, fmt.Errorf("%w: trailing integrity bytes", ErrCorrupt)
+	}
+	if leafCount > maxLeaves {
+		return Integrity{}, 0, fmt.Errorf("%w: integrity block claims %d leaves", ErrCorrupt, leafCount)
+	}
+	return ig, leafCount, nil
+}
+
+// writeIntegrity emits the header block and the chunked leaf blocks.
+func writeIntegrity(w io.Writer, ig Integrity) error {
+	if err := writeBlock(w, encodeIntegrityHeader(ig)); err != nil {
+		return err
+	}
+	for off := 0; off < len(ig.Leaves); off += leavesPerChunk {
+		end := off + leavesPerChunk
+		if end > len(ig.Leaves) {
+			end = len(ig.Leaves)
+		}
+		chunk := make([]byte, 0, (end-off)*integrity.HashSize)
+		for _, l := range ig.Leaves[off:end] {
+			chunk = append(chunk, l[:]...)
+		}
+		if err := writeBlock(w, chunk); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readIntegrity reads the header block and the chunked leaf blocks.
+func readIntegrity(r *bufio.Reader) (Integrity, error) {
+	body, err := readBlock(r)
+	if err != nil {
+		return Integrity{}, err
+	}
+	ig, leafCount, err := decodeIntegrityHeader(body)
+	if err != nil {
+		return Integrity{}, err
+	}
+	if leafCount > 0 {
+		ig.Leaves = make([]integrity.Hash, 0, leafCount)
+	}
+	for uint64(len(ig.Leaves)) < leafCount {
+		chunk, err := readBlock(r)
+		if err != nil {
+			return Integrity{}, err
+		}
+		if len(chunk)%integrity.HashSize != 0 || len(chunk) == 0 {
+			return Integrity{}, fmt.Errorf("%w: ragged leaf chunk", ErrCorrupt)
+		}
+		for off := 0; off < len(chunk); off += integrity.HashSize {
+			if uint64(len(ig.Leaves)) == leafCount {
+				return Integrity{}, fmt.Errorf("%w: leaf chunks overrun their count", ErrCorrupt)
+			}
+			var h integrity.Hash
+			copy(h[:], chunk[off:])
+			ig.Leaves = append(ig.Leaves, h)
+		}
+	}
+	return ig, nil
+}
+
+// SaveWithIntegrity is SaveWithPhysical plus the relation's integrity
+// block, with the same atomic temp-fsync-rename discipline.
+func SaveWithIntegrity(path string, r *relation.Relation, decls []constraint.Descriptor, walLSN uint64, phys Physical, ig Integrity) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := WriteWithIntegrity(f, r, decls, walLSN, phys, ig); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadWithIntegrity is LoadWithPhysical plus the integrity block (zero
+// for pre-v5 streams).
+func LoadWithIntegrity(path string, clock tx.Clock) (*relation.Relation, []constraint.Descriptor, uint64, Physical, Integrity, error) {
+	fail := func(err error) (*relation.Relation, []constraint.Descriptor, uint64, Physical, Integrity, error) {
+		return nil, nil, 0, Physical{}, Integrity{}, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return fail(err)
+	}
+	defer f.Close()
+	schema, decls, records, walLSN, phys, ig, err := ReadWithIntegrity(f)
+	if err != nil {
+		return fail(err)
+	}
+	r, err := relation.Replay(schema, clock, records)
+	if err != nil {
+		return fail(err)
+	}
+	byScope, err := constraint.BuildAll(decls)
+	if err != nil {
+		return fail(err)
+	}
+	for scope, cs := range byScope {
+		en := constraint.NewEnforcer(scope, cs...)
+		for _, rec := range r.Backlog() {
+			en.Applied(r, rec.Op, rec.Elem, rec.TT)
+		}
+		r.AddGuard(en)
+	}
+	return r, decls, walLSN, phys, ig, nil
+}

@@ -55,20 +55,25 @@ func TestPhysicalBlockBackCompat(t *testing.T) {
 	if err := WriteWithState(&buf, r, nil, 9); err != nil {
 		t.Fatal(err)
 	}
-	// Rewrite the version field to 3 and drop the physical block. The block
-	// layout after the header is schema, declarations, state, physical — so
-	// a legal v3 stream is the v4 stream minus the fourth block. Rebuild it
-	// by hand from the same relation.
+	// Rewrite the version field to 3 and drop the physical and integrity
+	// blocks. The block layout after the header is schema, declarations,
+	// state, physical, integrity — so a legal v3 stream is the current
+	// stream minus the fourth and fifth blocks (the integrity header here
+	// counts zero leaves, so no leaf chunks follow it).
 	v3 := buf.Bytes()
 	binary.LittleEndian.PutUint16(v3[4:6], 3)
-	// Blocks: walk three blocks, then splice out the fourth.
+	// Blocks: walk three blocks, then splice out the next two.
 	off := 6
 	for i := 0; i < 3; i++ {
 		n := int(binary.LittleEndian.Uint32(v3[off:]))
 		off += 4 + n + 4
 	}
-	physLen := int(binary.LittleEndian.Uint32(v3[off:]))
-	stream := append(append([]byte{}, v3[:off]...), v3[off+4+physLen+4:]...)
+	cut := off
+	for i := 0; i < 2; i++ {
+		n := int(binary.LittleEndian.Uint32(v3[cut:]))
+		cut += 4 + n + 4
+	}
+	stream := append(append([]byte{}, v3[:off]...), v3[cut:]...)
 
 	_, _, recs, walLSN, phys, err := ReadWithPhysical(bytes.NewReader(stream))
 	if err != nil {

@@ -34,6 +34,7 @@ import (
 	"repro/internal/constraint"
 	"repro/internal/core"
 	"repro/internal/element"
+	"repro/internal/integrity"
 	"repro/internal/plan"
 	"repro/internal/qcache"
 	"repro/internal/query"
@@ -103,6 +104,15 @@ type Config struct {
 	// degraded gate a poisoned WAL trips, so clients need one code path
 	// for "this process cannot accept writes". Reads serve normally.
 	Follower bool
+	// DisableIntegrity turns off the per-relation Merkle accounting and
+	// proof serving. Integrity is on by default wherever committed frames
+	// exist (a WAL is attached or the catalog is a follower); the knob
+	// exists for the write-path overhead baseline in benchmarks.
+	DisableIntegrity bool
+	// Signer signs sealed epoch roots (primaries). Nil — the follower
+	// posture — serves unsigned roots; clients verify those against the
+	// primary's key via consistency with a signed anchor.
+	Signer *integrity.Signer
 }
 
 // WAL record kinds. These values are replayed from disk, so they must
@@ -136,6 +146,19 @@ type Catalog struct {
 	cfg    Config
 	shards [shardCount]shard
 	cache  *qcache.Cache
+
+	// Integrity journal: a bounded ring of recent detection/repair events
+	// (igMu also serializes appends to the on-disk journal) plus lifetime
+	// counters, fed by the scrubber and the verify endpoint.
+	igMu          sync.Mutex
+	igRing        []IntegrityEvent
+	igDetected    atomic.Uint64
+	igRepaired    atomic.Uint64
+	igQuarantines atomic.Uint64
+	// igRefetch is set when a follower dropped a corrupt snapshot shard
+	// at boot: the relation's history exists only on the primary now, so
+	// the tail must resume from the beginning of the feed.
+	igRefetch atomic.Bool
 }
 
 // New creates an empty catalog. Call Open to load the data directory.
@@ -183,8 +206,30 @@ func (c *Catalog) Open() error {
 			}
 			name := strings.TrimSuffix(de.Name(), fileSuffix)
 			path := filepath.Join(c.cfg.Dir, de.Name())
-			r, decls, walLSN, phys, err := backlog.LoadWithPhysical(path, c.newClock())
+			r, decls, walLSN, phys, ig, err := backlog.LoadWithIntegrity(path, c.newClock())
 			if err != nil {
+				if c.cfg.Follower {
+					// A follower's shard is derived state the primary's feed
+					// can rebuild. Keep the evidence, drop the shard, and boot
+					// without the relation; igRefetch forces the tail to
+					// resume from the start of the feed, re-shipping the
+					// relation's whole history (other relations skip the
+					// duplicates — replay is idempotent).
+					c.preserveEvidence(de.Name(), func() ([]byte, error) { return os.ReadFile(path) })
+					_ = os.Remove(path)
+					c.igDetected.Add(1)
+					c.journalIntegrity(IntegrityEvent{
+						Kind: "detect", ArtKind: "snapshot", Artifact: de.Name(), Rel: name,
+						Detail: err.Error(),
+					})
+					c.journalIntegrity(IntegrityEvent{
+						Kind: "repair", ArtKind: "snapshot", Artifact: de.Name(), Rel: name,
+						Detail: "corrupt shard dropped at boot; re-fetching history from the primary feed",
+					})
+					c.igRepaired.Add(1)
+					c.igRefetch.Store(true)
+					continue
+				}
 				return fmt.Errorf("catalog: loading %s: %w", path, err)
 			}
 			if r.Schema().Name != name {
@@ -193,6 +238,7 @@ func (c *Catalog) Open() error {
 			e := c.newEntry(name, relation.NewLocked(r), decls, phys)
 			e.wal = c.cfg.WAL
 			e.walLSN.Store(walLSN)
+			e.seedIntegrity(ig)
 			sh := c.shardFor(name)
 			sh.mu.Lock()
 			if _, dup := sh.entries[name]; dup {
@@ -254,6 +300,7 @@ func (c *Catalog) applyWALRecord(rec wal.Record) (*Entry, error) {
 		e := c.newEntry(rec.Rel, relation.NewLocked(relation.New(schema, c.newClock())), nil, backlog.Physical{})
 		e.wal = c.cfg.WAL
 		e.walLSN.Store(rec.LSN)
+		e.appendLeaf(rec.LSN, rec.Kind, rec.Payload)
 		e.dirty.Store(true)
 		sh.entries[rec.Rel] = e
 		return e, nil
@@ -359,6 +406,10 @@ func (c *Catalog) applyWALRecord(rec wal.Record) (*Entry, error) {
 		return nil, applyErr
 	}
 	e.walLSN.Store(rec.LSN)
+	// The leaf hashes the frame exactly as logged — the keyed kind and
+	// payload, not the stripped form applied above — so primaries,
+	// boot-time replay, and follower apply agree on every leaf.
+	e.appendLeaf(rec.LSN, rec.Kind, rec.Payload)
 	return e, nil
 }
 
@@ -485,12 +536,14 @@ func (c *Catalog) Create(schema relation.Schema) (*Entry, error) {
 		var werr error
 		// Logged under the shard lock so the create's WAL position matches
 		// its catalog visibility order; creates are rare.
-		lsn, werr = w.Write(walCreate, name, backlog.EncodeSchema(schema))
+		payload := backlog.EncodeSchema(schema)
+		lsn, werr = w.Write(walCreate, name, payload)
 		if werr != nil {
 			sh.mu.Unlock()
 			return nil, fmt.Errorf("catalog: wal: %w", werr)
 		}
 		e.walLSN.Store(lsn)
+		e.appendLeaf(lsn, walCreate, payload)
 	}
 	sh.entries[name] = e
 	sh.mu.Unlock()
@@ -498,6 +551,7 @@ func (c *Catalog) Create(schema relation.Schema) (*Entry, error) {
 		if err := w.WaitDurable(lsn); err != nil {
 			return nil, fmt.Errorf("catalog: wal: %w", err)
 		}
+		e.sealRoot()
 	}
 	return e, nil
 }
@@ -520,9 +574,13 @@ func (c *Catalog) Degraded() error {
 	return nil
 }
 
-// writable refuses mutations while the WAL is poisoned or the catalog is
-// a follower replica.
+// writable refuses mutations while the relation is quarantined by an
+// integrity detection, the WAL is poisoned, or the catalog is a follower
+// replica.
 func (e *Entry) writable() error {
+	if cause := e.quarCause.Load(); cause != nil {
+		return fmt.Errorf("%w: integrity quarantine: %s", ErrReadOnly, *cause)
+	}
 	if e.follower {
 		return errFollowerReadOnly()
 	}
@@ -714,6 +772,21 @@ type Entry struct {
 	cache       *qcache.Cache
 	lockedReads bool
 	follower    bool
+
+	// Integrity state. tree is the relation's Merkle tree over committed
+	// WAL frames, nil when integrity is off; it has its own mutex because
+	// leaves are appended from paths holding different locks (the shard
+	// lock for creates, the relation's exclusive lock elsewhere) while
+	// proof serving reads it lock-free with respect to the relation.
+	// sealedRoot holds the last signed epoch root; sealing keeps seals
+	// from piling up behind one another; quarCause, when set, degrades
+	// the relation to read-only until its artifacts are repaired.
+	igMu       sync.Mutex
+	tree       *integrity.Tree
+	signer     *integrity.Signer
+	sealedRoot atomic.Pointer[integrity.SignedRoot]
+	sealing    atomic.Bool
+	quarCause  atomic.Pointer[string]
 }
 
 // readView is one published epoch of a relation: a frozen store snapshot
@@ -780,6 +853,10 @@ func (c *Catalog) newEntry(name string, l *relation.Locked, decls []constraint.D
 		name: name, locked: l, decls: decls, dedup: newDedupWindow(),
 		cache: c.cache, lockedReads: c.cfg.LockedReads, follower: c.cfg.Follower,
 		adopted: classesFromU8(phys.Adopted), migrations: phys.Migrations,
+	}
+	if c.integrityEnabled() {
+		e.tree = integrity.NewTree()
+		e.signer = c.cfg.Signer
 	}
 	_ = l.Exclusive(func(r *relation.Relation) error {
 		// A bounds error here means a persisted declaration carries
@@ -966,6 +1043,7 @@ func (e *Entry) InsertKeyed(ctx context.Context, ins relation.Insertion, key str
 			}
 			lsn = l
 			e.walLSN.Store(lsn)
+			e.appendLeaf(lsn, kind, payload)
 		}
 		r.CommitInsert(el)
 		e.tracker.Observe(el)
@@ -1022,6 +1100,9 @@ func (e *Entry) walErr(err error) error {
 // waitDurable blocks until the entry's latest logged mutation is durable.
 // Called outside the relation lock, so concurrent committers on other
 // relations (and later ones on this relation) share the group fsync.
+// Durability is also the integrity epoch boundary: the tree root covering
+// everything committed so far is sealed (signed) here, batching one seal
+// per group commit rather than one per mutation.
 func (e *Entry) waitDurable(lsn uint64) error {
 	if e.wal == nil {
 		return nil
@@ -1029,6 +1110,7 @@ func (e *Entry) waitDurable(lsn uint64) error {
 	if err := e.wal.WaitDurable(lsn); err != nil {
 		return e.walErr(err)
 	}
+	e.sealRoot()
 	return nil
 }
 
@@ -1086,6 +1168,7 @@ func (e *Entry) DeleteKeyed(ctx context.Context, es surrogate.Surrogate, key str
 			}
 			lsn = l
 			e.walLSN.Store(lsn)
+			e.appendLeaf(lsn, kind, payload)
 		}
 		// The close lands on a clone (copy-on-close); swap it into the
 		// physical store so the live engine sees the finalized tt⊣ while
@@ -1154,6 +1237,7 @@ func (e *Entry) ModifyKeyed(ctx context.Context, es surrogate.Surrogate, vt elem
 			}
 			lsn = l
 			e.walLSN.Store(lsn)
+			e.appendLeaf(lsn, kind, payload)
 		}
 		closed := r.CommitDelete(old, tt)
 		e.engine.Store().Replace(old, closed)
@@ -1224,12 +1308,14 @@ func (e *Entry) Declare(descs []constraint.Descriptor) error {
 		}
 		if e.wal != nil {
 			// Validation passed; log the declaration before attaching it.
-			l, werr := e.wal.Write(walDeclare, e.name, backlog.EncodeDeclarations(descs))
+			payload := backlog.EncodeDeclarations(descs)
+			l, werr := e.wal.Write(walDeclare, e.name, payload)
 			if werr != nil {
 				return e.walErr(werr)
 			}
 			lsn = l
 			e.walLSN.Store(lsn)
+			e.appendLeaf(lsn, walDeclare, payload)
 		}
 		for _, en := range enforcers {
 			r.AddGuard(en)
@@ -1600,13 +1686,14 @@ func (e *Entry) Respecialize() (Migration, bool, error) {
 			return nil // the live organization is already the advised one
 		}
 		if e.wal != nil {
-			l, werr := e.wal.Write(walRespecialize, e.name,
-				encodeRespecialize(cand.Store, cand.Source, observed))
+			payload := encodeRespecialize(cand.Store, cand.Source, observed)
+			l, werr := e.wal.Write(walRespecialize, e.name, payload)
 			if werr != nil {
 				return e.walErr(werr)
 			}
 			lsn = l
 			e.walLSN.Store(lsn)
+			e.appendLeaf(lsn, walRespecialize, payload)
 		}
 		from := e.advice.Store
 		e.adopted = observed
@@ -1757,7 +1844,10 @@ func (e *Entry) snapshotTo(path string) (bool, error) {
 			Adopted:    classesToU8(e.adopted),
 			Migrations: e.migrations,
 		}
-		if err := backlog.SaveWithPhysical(path, r, e.decls, e.walLSN.Load(), phys); err != nil {
+		// The shared lock excludes every leaf-appending path, so the tree
+		// snapshot is the same cut as walLSN: replay past the watermark
+		// appends each missing leaf exactly once.
+		if err := backlog.SaveWithIntegrity(path, r, e.decls, e.walLSN.Load(), phys, e.integritySnapshot()); err != nil {
 			e.dirty.Store(true) // retry on the next snapshot
 			return err
 		}

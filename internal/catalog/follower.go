@@ -67,8 +67,12 @@ func (c *Catalog) ApplyReplicated(recs []wal.Record) error {
 // restart: the minimum persisted watermark across relations. Relations
 // ahead of it skip the re-shipped records (replay is idempotent), and
 // no relation can miss one. Zero when the catalog is empty — tail from
-// the beginning.
+// the beginning — or when boot dropped a corrupt shard, whose relation
+// now exists only in the primary's feed.
 func (c *Catalog) ResumeLSN() uint64 {
+	if c.igRefetch.Load() {
+		return 0
+	}
 	var min uint64
 	first := true
 	for i := range c.shards {

@@ -1,0 +1,642 @@
+package catalog
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/backlog"
+	"repro/internal/integrity"
+	"repro/internal/relation"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// This file is the catalog's integrity layer. Every committed WAL frame
+// appends one leaf to its relation's Merkle tree (appendLeaf, called at
+// each wal.Write site and during replay), group commits seal signed
+// epoch roots (sealRoot), snapshots persist the tree alongside walLSN,
+// and proofs are served from the same tree the write path maintains. The
+// scrubber walks the on-disk artifacts — sealed WAL segments, snapshot
+// shards, frozen delta runs — re-verifying each against its checksums;
+// a detection quarantines the affected relations (read-only, reads keep
+// serving) and kicks the matching repair.
+
+// integrityEnabled reports whether the catalog maintains Merkle trees:
+// on by default wherever committed frames exist (a WAL is attached or
+// the catalog is a follower replaying shipped frames).
+func (c *Catalog) integrityEnabled() bool {
+	return !c.cfg.DisableIntegrity && (c.cfg.WAL != nil || c.cfg.Follower)
+}
+
+// IntegrityEnabled is integrityEnabled for the server's metrics.
+func (c *Catalog) IntegrityEnabled() bool { return c.integrityEnabled() }
+
+// appendLeaf hashes the frame exactly as the WAL framed it and appends
+// the leaf to the relation's tree. Call it immediately after the
+// walLSN.Store of a logged mutation, while still holding the lock that
+// serialized the write, so leaf order is commit order.
+func (e *Entry) appendLeaf(lsn uint64, kind wal.Kind, payload []byte) {
+	if e.tree == nil {
+		return
+	}
+	leaf := integrity.LeafHash(wal.FrameBody(lsn, kind, e.name, payload))
+	e.igMu.Lock()
+	e.tree.Append(leaf)
+	e.igMu.Unlock()
+}
+
+// sealRoot signs the tree root covering everything committed so far.
+// Called after a durable wait, so seals batch per group commit; the CAS
+// keeps concurrent committers from queueing on the signature. Followers
+// (no signer) never seal — they serve unsigned roots on demand.
+func (e *Entry) sealRoot() {
+	if e.tree == nil || e.signer == nil {
+		return
+	}
+	if !e.sealing.CompareAndSwap(false, true) {
+		return // a concurrent committer seals; the tail is signed on demand
+	}
+	defer e.sealing.Store(false)
+	e.igMu.Lock()
+	size, root := e.tree.Size(), e.tree.Root()
+	e.igMu.Unlock()
+	if cur := e.sealedRoot.Load(); cur != nil && cur.Size >= size {
+		return
+	}
+	sr := e.signer.Sign(e.name, size, root)
+	e.sealedRoot.Store(&sr)
+}
+
+// seedIntegrity restores the tree persisted with a snapshot shard. Boot
+// replay then appends the leaves of records past the shard's walLSN —
+// the same cut, so each leaf lands exactly once.
+func (e *Entry) seedIntegrity(ig backlog.Integrity) {
+	if e.tree == nil || !ig.Tracked {
+		return
+	}
+	e.igMu.Lock()
+	e.tree = integrity.NewTreeFromLeaves(ig.Leaves)
+	e.igMu.Unlock()
+	if ig.Root != nil {
+		e.sealedRoot.Store(ig.Root)
+	}
+}
+
+// integritySnapshot captures the tree for persistence. The caller holds
+// the relation's shared lock, which excludes every leaf-appending path,
+// so the leaves are consistent with the walLSN being saved.
+func (e *Entry) integritySnapshot() backlog.Integrity {
+	if e.tree == nil {
+		return backlog.Integrity{}
+	}
+	e.igMu.Lock()
+	leaves := e.tree.Leaves()
+	e.igMu.Unlock()
+	return backlog.Integrity{Tracked: true, Leaves: leaves, Root: e.sealedRoot.Load()}
+}
+
+// IntegrityState is a relation's integrity surface: the tree size and
+// root with a signature covering exactly them, plus the quarantine
+// cause when the relation is degraded.
+type IntegrityState struct {
+	Tracked     bool
+	Size        uint64
+	Root        integrity.Hash
+	Signed      integrity.SignedRoot
+	Quarantined string
+}
+
+// signedAt returns a SignedRoot over (size, root): signed by the
+// relation's signer when it has one, unsigned (the follower posture)
+// otherwise. Signing on demand covers the tail a group-commit seal has
+// not reached yet.
+func (e *Entry) signedAt(size uint64, root integrity.Hash) integrity.SignedRoot {
+	if e.signer != nil {
+		sr := e.signer.Sign(e.name, size, root)
+		e.sealedRoot.Store(&sr)
+		return sr
+	}
+	return integrity.SignedRoot{Rel: e.name, Size: size, Root: root}
+}
+
+// IntegrityState reports the relation's current integrity state.
+func (e *Entry) IntegrityState() IntegrityState {
+	out := IntegrityState{Quarantined: e.QuarantineCause()}
+	if e.tree == nil {
+		return out
+	}
+	e.igMu.Lock()
+	size, root := e.tree.Size(), e.tree.Root()
+	e.igMu.Unlock()
+	out.Tracked, out.Size, out.Root = true, size, root
+	out.Signed = e.signedAt(size, root)
+	return out
+}
+
+// InclusionProof proves the i-th committed frame is under the current
+// root: the leaf hash, the audit path, and a root signed over exactly
+// the tree size the path verifies against.
+func (e *Entry) InclusionProof(i uint64) (integrity.Hash, integrity.Proof, integrity.SignedRoot, error) {
+	if e.tree == nil {
+		return integrity.Hash{}, integrity.Proof{}, integrity.SignedRoot{},
+			fmt.Errorf("catalog: integrity tracking is disabled for %q", e.name)
+	}
+	e.igMu.Lock()
+	n := e.tree.Size()
+	leaf, err := e.tree.Leaf(i)
+	var hashes []integrity.Hash
+	if err == nil {
+		hashes, err = e.tree.InclusionProof(i, n)
+	}
+	root := e.tree.Root()
+	e.igMu.Unlock()
+	if err != nil {
+		return integrity.Hash{}, integrity.Proof{}, integrity.SignedRoot{}, fmt.Errorf("catalog: %w", err)
+	}
+	p := integrity.Proof{Kind: integrity.ProofInclusion, Rel: e.name, A: i, N: n, Hashes: hashes}
+	return leaf, p, e.signedAt(n, root), nil
+}
+
+// ConsistencyProof proves the current tree extends the size-m prefix a
+// client anchored earlier: history was appended to, never rewritten.
+// Returns the proof, the root at m (informational — verifiers use their
+// own anchor), and a signed current root.
+func (e *Entry) ConsistencyProof(m uint64) (integrity.Proof, integrity.Hash, integrity.SignedRoot, error) {
+	if e.tree == nil {
+		return integrity.Proof{}, integrity.Hash{}, integrity.SignedRoot{},
+			fmt.Errorf("catalog: integrity tracking is disabled for %q", e.name)
+	}
+	e.igMu.Lock()
+	n := e.tree.Size()
+	oldRoot, err := e.tree.RootAt(m)
+	var hashes []integrity.Hash
+	if err == nil {
+		hashes, err = e.tree.ConsistencyProof(m, n)
+	}
+	root := e.tree.Root()
+	e.igMu.Unlock()
+	if err != nil {
+		return integrity.Proof{}, integrity.Hash{}, integrity.SignedRoot{}, fmt.Errorf("catalog: %w", err)
+	}
+	p := integrity.Proof{Kind: integrity.ProofConsistency, Rel: e.name, A: m, N: n, Hashes: hashes}
+	return p, oldRoot, e.signedAt(n, root), nil
+}
+
+// Quarantine degrades the relation to read-only with the given cause;
+// reads keep serving from memory. Unquarantine lifts it after a repair.
+func (e *Entry) Quarantine(cause string) { e.quarCause.Store(&cause) }
+
+// Unquarantine lifts the integrity quarantine.
+func (e *Entry) Unquarantine() { e.quarCause.Store(nil) }
+
+// QuarantineCause reports why the relation is quarantined ("" if not).
+func (e *Entry) QuarantineCause() string {
+	if p := e.quarCause.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// sealedBytes reports the store's frozen-run footprint (0 when the
+// organization doesn't seal runs).
+func (e *Entry) sealedBytes() int64 {
+	var n int64
+	_ = e.locked.View(func(*relation.Relation) error {
+		n = storage.SealedBytes(e.engine.Store())
+		return nil
+	})
+	return n
+}
+
+// verifyRuns checks every frozen run's checksum against its packed
+// image under the shared lock.
+func (e *Entry) verifyRuns() error {
+	var bad []storage.RunVerifyError
+	_ = e.locked.View(func(*relation.Relation) error {
+		bad = storage.VerifyRuns(e.engine.Store())
+		return nil
+	})
+	if len(bad) == 0 {
+		return nil
+	}
+	return fmt.Errorf("catalog: relation %q: %d corrupt frozen runs (first: run %d %s)",
+		e.name, len(bad), bad[0].Run, bad[0].Reason)
+}
+
+// IntegrityEvent is one journaled integrity action: a detection, a
+// quarantine, or a repair (attempted or done).
+type IntegrityEvent struct {
+	Unix     int64  `json:"unix"`
+	Kind     string `json:"kind"` // detect | quarantine | repair | repair-failed
+	ArtKind  string `json:"artifact_kind"`
+	Artifact string `json:"artifact"`
+	Rel      string `json:"rel,omitempty"`
+	Detail   string `json:"detail"`
+}
+
+// igRingMax bounds the in-memory event ring; the on-disk journal keeps
+// everything.
+const igRingMax = 64
+
+// journalIntegrity records one event in the ring and, when the catalog
+// persists, appends it as a JSON line to <dir>/integrity.log.
+func (c *Catalog) journalIntegrity(ev IntegrityEvent) {
+	ev.Unix = time.Now().Unix()
+	c.igMu.Lock()
+	defer c.igMu.Unlock()
+	c.igRing = append(c.igRing, ev)
+	if len(c.igRing) > igRingMax {
+		c.igRing = c.igRing[len(c.igRing)-igRingMax:]
+	}
+	if c.cfg.Dir == "" {
+		return
+	}
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	f, err := os.OpenFile(filepath.Join(c.cfg.Dir, "integrity.log"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return
+	}
+	_, _ = f.Write(append(b, '\n'))
+	_ = f.Close()
+}
+
+// IntegrityEvents returns the recent event ring, oldest first.
+func (c *Catalog) IntegrityEvents() []IntegrityEvent {
+	c.igMu.Lock()
+	defer c.igMu.Unlock()
+	return append([]IntegrityEvent(nil), c.igRing...)
+}
+
+// IntegrityStats is the catalog-wide integrity summary for /metrics.
+type IntegrityStats struct {
+	Enabled     bool
+	Relations   int    // relations with a tracked tree
+	Leaves      uint64 // total committed frames under Merkle accounting
+	Detected    uint64 // lifetime corruption detections
+	Repaired    uint64 // lifetime successful repairs
+	Quarantines uint64 // lifetime quarantine entries
+	Quarantined []string
+}
+
+// IntegrityStats summarizes the catalog's integrity state.
+func (c *Catalog) IntegrityStats() IntegrityStats {
+	st := IntegrityStats{
+		Enabled:     c.integrityEnabled(),
+		Detected:    c.igDetected.Load(),
+		Repaired:    c.igRepaired.Load(),
+		Quarantines: c.igQuarantines.Load(),
+	}
+	for _, name := range c.Names() {
+		e, err := c.Get(name)
+		if err != nil {
+			continue
+		}
+		if e.tree != nil {
+			st.Relations++
+			e.igMu.Lock()
+			st.Leaves += e.tree.Size()
+			e.igMu.Unlock()
+		}
+		if cause := e.QuarantineCause(); cause != "" {
+			st.Quarantined = append(st.Quarantined, name)
+		}
+	}
+	return st
+}
+
+// ScrubArtifacts lists every on-disk artifact the scrubber should walk,
+// in a deterministic order so a persisted cursor resumes cleanly:
+// sealed WAL segments, then per-relation snapshot shards and frozen
+// runs in name order.
+func (c *Catalog) ScrubArtifacts() ([]integrity.Artifact, error) {
+	var out []integrity.Artifact
+	if w := c.cfg.WAL; w != nil {
+		for _, seg := range w.Segments() {
+			if !seg.Sealed {
+				continue
+			}
+			out = append(out, integrity.Artifact{
+				Kind: "wal-segment", Name: seg.Name, Bytes: w.SegmentSize(seg.Name),
+			})
+		}
+	}
+	for _, name := range c.Names() {
+		if c.cfg.Dir != "" {
+			if fi, err := os.Stat(filepath.Join(c.cfg.Dir, name+fileSuffix)); err == nil {
+				out = append(out, integrity.Artifact{
+					Kind: "snapshot", Name: name + fileSuffix, Rel: name, Bytes: fi.Size(),
+				})
+			}
+		}
+		e, err := c.Get(name)
+		if err != nil {
+			continue
+		}
+		if n := e.sealedBytes(); n > 0 {
+			out = append(out, integrity.Artifact{Kind: "runs", Name: name, Rel: name, Bytes: n})
+		}
+	}
+	return out, nil
+}
+
+// VerifyArtifact re-verifies one artifact end to end, returning an
+// error describing the damage (nil when clean or gone — artifacts can
+// legitimately vanish between listing and verification).
+func (c *Catalog) VerifyArtifact(a integrity.Artifact) error {
+	switch a.Kind {
+	case "wal-segment":
+		if w := c.cfg.WAL; w != nil {
+			err := w.ScrubSegment(a.Name)
+			if err != nil && !isKnownSegment(c.cfg.WAL, a.Name) {
+				return nil // truncated away since the listing
+			}
+			return err
+		}
+		return nil
+	case "snapshot":
+		return c.verifySnapshotShard(a.Rel)
+	case "runs":
+		e, err := c.Get(a.Rel)
+		if err != nil {
+			return nil // dropped since the listing
+		}
+		return e.verifyRuns()
+	}
+	return fmt.Errorf("catalog: unknown artifact kind %q", a.Kind)
+}
+
+func isKnownSegment(w *wal.Log, name string) bool {
+	for _, s := range w.Segments() {
+		if s.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// verifySnapshotShard fully decodes the shard (every block is length-
+// framed and CRC-checked) and cross-checks the persisted signed root
+// against a tree rebuilt from the persisted leaves.
+func (c *Catalog) verifySnapshotShard(name string) error {
+	if c.cfg.Dir == "" {
+		return nil
+	}
+	f, err := os.Open(filepath.Join(c.cfg.Dir, name+fileSuffix))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil // dropped or not yet snapshotted
+		}
+		return fmt.Errorf("catalog: snapshot %s: %w", name, err)
+	}
+	defer f.Close()
+	_, _, _, _, _, ig, err := backlog.ReadWithIntegrity(f)
+	if err != nil {
+		return fmt.Errorf("catalog: snapshot %s: %w", name, err)
+	}
+	if ig.Tracked && ig.Root != nil && ig.Root.Size <= uint64(len(ig.Leaves)) {
+		tr := integrity.NewTreeFromLeaves(ig.Leaves)
+		r, err := tr.RootAt(ig.Root.Size)
+		if err == nil && r != ig.Root.Root {
+			return fmt.Errorf("catalog: snapshot %s: leaves disagree with the sealed root at size %d", name, ig.Root.Size)
+		}
+	}
+	return nil
+}
+
+// HandleCorrupt is the scrubber's detection callback: journal the
+// finding, quarantine what the artifact covers, and run the matching
+// repair — frozen runs reseal from the elements, snapshot shards
+// rewrite from memory, WAL segments are re-snapshotted over and
+// truncated away. Successful repairs lift the quarantine.
+func (c *Catalog) HandleCorrupt(a integrity.Artifact, verr error) {
+	c.igDetected.Add(1)
+	c.journalIntegrity(IntegrityEvent{
+		Kind: "detect", ArtKind: a.Kind, Artifact: a.Name, Rel: a.Rel, Detail: verr.Error(),
+	})
+	switch a.Kind {
+	case "runs":
+		c.repairRuns(a)
+	case "snapshot":
+		c.repairSnapshot(a)
+	case "wal-segment":
+		c.repairSegment(a)
+	}
+}
+
+// preserveEvidence copies a damaged artifact into <dir>/quarantine/
+// before a repair overwrites or truncates it.
+func (c *Catalog) preserveEvidence(name string, read func() ([]byte, error)) {
+	if c.cfg.Dir == "" {
+		return
+	}
+	data, err := read()
+	if err != nil {
+		return
+	}
+	qdir := filepath.Join(c.cfg.Dir, "quarantine")
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return
+	}
+	_ = os.WriteFile(filepath.Join(qdir, filepath.Base(name)), data, 0o644)
+}
+
+// repairRuns rebuilds a relation's corrupt frozen runs from the live
+// elements — runs are derived state, the elements are ground truth.
+func (c *Catalog) repairRuns(a integrity.Artifact) {
+	e, err := c.Get(a.Rel)
+	if err != nil {
+		return
+	}
+	e.Quarantine(fmt.Sprintf("frozen runs of %q failed verification", a.Rel))
+	c.igQuarantines.Add(1)
+	c.journalIntegrity(IntegrityEvent{
+		Kind: "quarantine", ArtKind: a.Kind, Artifact: a.Name, Rel: a.Rel,
+		Detail: "relation degraded to read-only",
+	})
+	repaired, resealed := false, 0
+	_ = e.locked.Exclusive(func(*relation.Relation) error {
+		st := e.engine.Store()
+		bad := storage.VerifyRuns(st)
+		if len(bad) == 0 {
+			repaired = true // damage was in a run a concurrent compaction replaced
+			return nil
+		}
+		idx := make([]int, len(bad))
+		for i, b := range bad {
+			idx[i] = b.Run
+		}
+		resealed = storage.ResealRuns(st, idx)
+		repaired = len(storage.VerifyRuns(st)) == 0
+		if repaired {
+			e.publish()
+		}
+		return nil
+	})
+	if repaired {
+		e.Unquarantine()
+		c.igRepaired.Add(1)
+		c.journalIntegrity(IntegrityEvent{
+			Kind: "repair", ArtKind: a.Kind, Artifact: a.Name, Rel: a.Rel,
+			Detail: fmt.Sprintf("resealed %d runs from the live elements", resealed),
+		})
+		return
+	}
+	c.journalIntegrity(IntegrityEvent{
+		Kind: "repair-failed", ArtKind: a.Kind, Artifact: a.Name, Rel: a.Rel,
+		Detail: "damage survived reseal; relation stays quarantined",
+	})
+}
+
+// repairSnapshot rewrites a corrupt snapshot shard from the in-memory
+// relation — memory is the acked history, the shard is a copy.
+func (c *Catalog) repairSnapshot(a integrity.Artifact) {
+	e, err := c.Get(a.Rel)
+	if err != nil {
+		return
+	}
+	e.Quarantine(fmt.Sprintf("snapshot shard of %q failed verification", a.Rel))
+	c.igQuarantines.Add(1)
+	c.journalIntegrity(IntegrityEvent{
+		Kind: "quarantine", ArtKind: a.Kind, Artifact: a.Name, Rel: a.Rel,
+		Detail: "relation degraded to read-only",
+	})
+	path := filepath.Join(c.cfg.Dir, a.Rel+fileSuffix)
+	c.preserveEvidence(a.Name, func() ([]byte, error) { return os.ReadFile(path) })
+	e.dirty.Store(true)
+	if _, err := e.snapshotTo(path); err == nil {
+		err = c.verifySnapshotShard(a.Rel)
+	}
+	if err != nil {
+		c.journalIntegrity(IntegrityEvent{
+			Kind: "repair-failed", ArtKind: a.Kind, Artifact: a.Name, Rel: a.Rel, Detail: err.Error(),
+		})
+		return
+	}
+	e.Unquarantine()
+	c.igRepaired.Add(1)
+	c.journalIntegrity(IntegrityEvent{
+		Kind: "repair", ArtKind: a.Kind, Artifact: a.Name, Rel: a.Rel,
+		Detail: "shard rewritten from memory and re-verified",
+	})
+}
+
+// repairSegment handles a corrupt sealed WAL segment: quarantine every
+// relation with history in it, preserve the damaged bytes as evidence,
+// then force fresh snapshots of those relations so the sweep's
+// truncation drops the segment — memory holds the acked history; the
+// on-disk copy is what rotted.
+func (c *Catalog) repairSegment(a integrity.Artifact) {
+	w := c.cfg.WAL
+	if w == nil {
+		return
+	}
+	rels := w.SegmentRelations(a.Name)
+	var ents []*Entry
+	for _, rel := range rels {
+		e, err := c.Get(rel)
+		if err != nil {
+			continue
+		}
+		e.Quarantine(fmt.Sprintf("wal segment %s failed verification", a.Name))
+		c.igQuarantines.Add(1)
+		ents = append(ents, e)
+	}
+	c.journalIntegrity(IntegrityEvent{
+		Kind: "quarantine", ArtKind: a.Kind, Artifact: a.Name,
+		Detail: fmt.Sprintf("%d relations degraded to read-only", len(ents)),
+	})
+	c.preserveEvidence(a.Name, func() ([]byte, error) { return w.SegmentData(a.Name) })
+	for _, e := range ents {
+		e.dirty.Store(true)
+	}
+	if _, err := c.Snapshot(); err != nil {
+		c.journalIntegrity(IntegrityEvent{
+			Kind: "repair-failed", ArtKind: a.Kind, Artifact: a.Name, Detail: err.Error(),
+		})
+		return
+	}
+	if isKnownSegment(w, a.Name) {
+		c.journalIntegrity(IntegrityEvent{
+			Kind: "repair-failed", ArtKind: a.Kind, Artifact: a.Name,
+			Detail: "segment still referenced after snapshot; relations stay quarantined",
+		})
+		return
+	}
+	for _, e := range ents {
+		e.Unquarantine()
+	}
+	c.igRepaired.Add(1)
+	c.journalIntegrity(IntegrityEvent{
+		Kind: "repair", ArtKind: a.Kind, Artifact: a.Name,
+		Detail: fmt.Sprintf("%d relations resnapshotted; damaged segment truncated", len(ents)),
+	})
+}
+
+// NewScrubber builds the background scrubber over the catalog's
+// artifacts, persisting its cursor in the data directory so a restart
+// resumes mid-pass instead of starting over.
+func (c *Catalog) NewScrubber(bytesPerSec int64) *integrity.Scrubber {
+	cursor := ""
+	if c.cfg.Dir != "" {
+		cursor = filepath.Join(c.cfg.Dir, "scrub.cursor")
+	}
+	return integrity.NewScrubber(integrity.ScrubberConfig{
+		List:        c.ScrubArtifacts,
+		Verify:      c.VerifyArtifact,
+		OnCorrupt:   c.HandleCorrupt,
+		BytesPerSec: bytesPerSec,
+		CursorPath:  cursor,
+	})
+}
+
+// VerifyReport summarizes one on-demand relation verification.
+type VerifyReport struct {
+	Rel       string
+	Artifacts int      // artifacts covering the relation that were checked
+	Failures  []string // damage found, in detection order
+	Repaired  int      // failures whose artifact re-verified clean after repair
+}
+
+// VerifyRelation synchronously verifies every artifact covering the
+// named relation — its snapshot shard, its frozen runs, and each sealed
+// WAL segment carrying its history — repairing what it can, exactly as
+// the background scrubber would.
+func (c *Catalog) VerifyRelation(name string) (VerifyReport, error) {
+	if _, err := c.Get(name); err != nil {
+		return VerifyReport{}, err
+	}
+	report := VerifyReport{Rel: name}
+	arts, err := c.ScrubArtifacts()
+	if err != nil {
+		return report, err
+	}
+	for _, a := range arts {
+		covers := a.Rel == name
+		if a.Kind == "wal-segment" {
+			for _, rel := range c.cfg.WAL.SegmentRelations(a.Name) {
+				if rel == name {
+					covers = true
+					break
+				}
+			}
+		}
+		if !covers {
+			continue
+		}
+		report.Artifacts++
+		if verr := c.VerifyArtifact(a); verr != nil {
+			report.Failures = append(report.Failures, verr.Error())
+			c.HandleCorrupt(a, verr)
+			if c.VerifyArtifact(a) == nil {
+				report.Repaired++
+			}
+		}
+	}
+	return report, nil
+}

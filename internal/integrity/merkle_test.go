@@ -1,0 +1,237 @@
+package integrity
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// testLeaves builds n deterministic leaf hashes.
+func testLeaves(n int) []Hash {
+	out := make([]Hash, n)
+	for i := range out {
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], uint64(i))
+		out[i] = LeafHash(b[:])
+	}
+	return out
+}
+
+func TestIncrementalRootMatchesMTH(t *testing.T) {
+	tr := NewTree()
+	if tr.Root() != EmptyRoot() {
+		t.Fatalf("empty tree root != EmptyRoot")
+	}
+	leaves := testLeaves(130)
+	for i, l := range leaves {
+		tr.Append(l)
+		want := mth(leaves[:i+1])
+		if got := tr.Root(); got != want {
+			t.Fatalf("size %d: incremental root %x != mth %x", i+1, got, want)
+		}
+		at, err := tr.RootAt(uint64(i + 1))
+		if err != nil || at != want {
+			t.Fatalf("size %d: RootAt mismatch (err %v)", i+1, err)
+		}
+	}
+	// Rebuild from persisted leaves must agree.
+	tr2 := NewTreeFromLeaves(tr.Leaves())
+	if tr2.Root() != tr.Root() || tr2.Size() != tr.Size() {
+		t.Fatalf("rebuilt tree disagrees with original")
+	}
+}
+
+func TestInclusionProofsExhaustive(t *testing.T) {
+	const max = 66
+	leaves := testLeaves(max)
+	tr := NewTreeFromLeaves(leaves)
+	for n := uint64(1); n <= max; n++ {
+		root, err := tr.RootAt(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := uint64(0); i < n; i++ {
+			proof, err := tr.InclusionProof(i, n)
+			if err != nil {
+				t.Fatalf("proof(%d,%d): %v", i, n, err)
+			}
+			if !VerifyInclusion(leaves[i], i, n, proof, root) {
+				t.Fatalf("valid proof(%d,%d) rejected", i, n)
+			}
+			// Wrong leaf must fail.
+			if VerifyInclusion(LeafHash([]byte("evil")), i, n, proof, root) {
+				t.Fatalf("proof(%d,%d) accepted wrong leaf", i, n)
+			}
+			// Wrong index must fail.
+			if n > 1 {
+				j := (i + 1) % n
+				if VerifyInclusion(leaves[i], j, n, proof, root) {
+					t.Fatalf("proof(%d,%d) accepted at index %d", i, n, j)
+				}
+			}
+			// Wrong root must fail.
+			bad := root
+			bad[0] ^= 0x80
+			if VerifyInclusion(leaves[i], i, n, proof, bad) {
+				t.Fatalf("proof(%d,%d) accepted forged root", i, n)
+			}
+			// Truncated and extended paths must fail.
+			if len(proof) > 0 {
+				if VerifyInclusion(leaves[i], i, n, proof[:len(proof)-1], root) {
+					t.Fatalf("proof(%d,%d) accepted truncated path", i, n)
+				}
+			}
+			if VerifyInclusion(leaves[i], i, n, append(append([]Hash(nil), proof...), Hash{}), root) {
+				t.Fatalf("proof(%d,%d) accepted extended path", i, n)
+			}
+		}
+	}
+}
+
+func TestConsistencyProofsExhaustive(t *testing.T) {
+	const max = 66
+	leaves := testLeaves(max)
+	tr := NewTreeFromLeaves(leaves)
+	for n := uint64(0); n <= max; n++ {
+		newRoot, _ := tr.RootAt(n)
+		for m := uint64(0); m <= n; m++ {
+			oldRoot, _ := tr.RootAt(m)
+			proof, err := tr.ConsistencyProof(m, n)
+			if err != nil {
+				t.Fatalf("consistency(%d,%d): %v", m, n, err)
+			}
+			if !VerifyConsistency(m, n, oldRoot, newRoot, proof) {
+				t.Fatalf("valid consistency(%d,%d) rejected", m, n)
+			}
+			// A forged old root must fail whenever it is actually bound
+			// (m > 0; for m == n binding is direct comparison).
+			if m > 0 {
+				bad := oldRoot
+				bad[3] ^= 1
+				if VerifyConsistency(m, n, bad, newRoot, proof) {
+					t.Fatalf("consistency(%d,%d) accepted forged old root", m, n)
+				}
+			}
+			// A forged new root must fail whenever n > 0 and bound.
+			if m > 0 {
+				bad := newRoot
+				bad[7] ^= 1
+				if VerifyConsistency(m, n, oldRoot, bad, proof) {
+					t.Fatalf("consistency(%d,%d) accepted forged new root", m, n)
+				}
+			}
+		}
+	}
+}
+
+func TestVerifyConsistencyRejectsBackward(t *testing.T) {
+	if VerifyConsistency(5, 3, Hash{}, Hash{}, nil) {
+		t.Fatal("backward consistency accepted")
+	}
+	if VerifyConsistency(0, 4, EmptyRoot(), Hash{1}, []Hash{{}}) {
+		t.Fatal("m=0 with non-empty proof accepted")
+	}
+	if VerifyConsistency(4, 4, Hash{1}, Hash{2}, nil) {
+		t.Fatal("equal sizes with differing roots accepted")
+	}
+}
+
+func TestProofCodecRoundTrip(t *testing.T) {
+	leaves := testLeaves(40)
+	tr := NewTreeFromLeaves(leaves)
+	path, err := tr.InclusionProof(17, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []Proof{
+		{Kind: ProofInclusion, Rel: "flights", A: 17, N: 40, Hashes: path},
+		{Kind: ProofConsistency, Rel: "", A: 8, N: 40, Hashes: nil},
+	} {
+		b, err := EncodeProof(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeProof(b)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got.Kind != p.Kind || got.Rel != p.Rel || got.A != p.A || got.N != p.N || len(got.Hashes) != len(p.Hashes) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", got, p)
+		}
+		for i := range got.Hashes {
+			if got.Hashes[i] != p.Hashes[i] {
+				t.Fatalf("hash %d differs after round trip", i)
+			}
+		}
+	}
+	// Every truncation of a valid encoding must error, not panic.
+	b, _ := EncodeProof(Proof{Kind: ProofInclusion, Rel: "r", A: 1, N: 4, Hashes: path[:2]})
+	for i := 0; i < len(b); i++ {
+		if _, err := DecodeProof(b[:i]); err == nil {
+			t.Fatalf("truncation at %d decoded successfully", i)
+		}
+	}
+	if _, err := DecodeProof(nil); err == nil {
+		t.Fatal("nil decoded successfully")
+	}
+}
+
+func TestProofVerifyDispatch(t *testing.T) {
+	leaves := testLeaves(20)
+	tr := NewTreeFromLeaves(leaves)
+	root := tr.Root()
+	path, _ := tr.InclusionProof(5, 20)
+	p := Proof{Kind: ProofInclusion, Rel: "r", A: 5, N: 20, Hashes: path}
+	if !p.Verify(leaves[5], Hash{}, root) {
+		t.Fatal("inclusion dispatch failed")
+	}
+	oldRoot, _ := tr.RootAt(9)
+	cp, _ := tr.ConsistencyProof(9, 20)
+	c := Proof{Kind: ProofConsistency, Rel: "r", A: 9, N: 20, Hashes: cp}
+	if !c.Verify(Hash{}, oldRoot, root) {
+		t.Fatal("consistency dispatch failed")
+	}
+	if (Proof{Kind: 9}).Verify(Hash{}, Hash{}, Hash{}) {
+		t.Fatal("unknown kind verified")
+	}
+}
+
+func TestSignerRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := LoadOrCreateSigner(dir + "/key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := LoadOrCreateSigner(dir + "/key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := LeafHash([]byte("x"))
+	sr := s1.Sign("events", 42, root)
+	if !VerifyRoot(s1.Public(), sr) {
+		t.Fatal("signature rejected under own key")
+	}
+	if !VerifyRoot(s2.Public(), sr) {
+		t.Fatal("reloaded signer has different identity")
+	}
+	// Any field mutation must invalidate.
+	for _, mut := range []func(*SignedRoot){
+		func(r *SignedRoot) { r.Rel = "other" },
+		func(r *SignedRoot) { r.Size++ },
+		func(r *SignedRoot) { r.Root[0] ^= 1 },
+		func(r *SignedRoot) { r.Sig[0] ^= 1 },
+	} {
+		bad := sr
+		bad.Sig = append([]byte(nil), sr.Sig...)
+		mut(&bad)
+		if VerifyRoot(s1.Public(), bad) {
+			t.Fatal("mutated signed root verified")
+		}
+	}
+	if VerifyRoot(nil, sr) || VerifyRoot([]byte("short"), sr) {
+		t.Fatal("bad key accepted")
+	}
+	unsigned := SignedRoot{Rel: "events", Size: 42, Root: root}
+	if VerifyRoot(s1.Public(), unsigned) {
+		t.Fatal("unsigned root verified")
+	}
+}

@@ -1,0 +1,142 @@
+package integrity
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Proof is one wire-portable proof blob: an inclusion audit path or a
+// consistency path, with the tree coordinates it applies to. It
+// crosses the wire as a compact binary encoding (base64 inside JSON)
+// so the client verifies exactly the bytes the server committed to,
+// not a JSON re-interpretation of them.
+type Proof struct {
+	Kind ProofKind
+	Rel  string
+	// A is the leaf index (inclusion) or the old tree size
+	// (consistency).
+	A uint64
+	// N is the tree size the proof lands on.
+	N      uint64
+	Hashes []Hash
+}
+
+// ProofKind discriminates the two proof shapes.
+type ProofKind uint8
+
+const (
+	// ProofInclusion proves leaf A is in the size-N tree.
+	ProofInclusion ProofKind = 1
+	// ProofConsistency proves the size-A tree is a prefix of the
+	// size-N tree.
+	ProofConsistency ProofKind = 2
+)
+
+const (
+	proofMagic   = "TSPF"
+	proofVersion = 1
+	// maxProofRel bounds the relation-name echo; the catalog rejects
+	// names far shorter.
+	maxProofRel = 1 << 10
+	// maxProofHashes bounds the path length: a 2^64-leaf tree needs 64
+	// audit-path entries; consistency paths stay under 2·64. Anything
+	// longer is garbage, not a bigger tree.
+	maxProofHashes = 160
+)
+
+// EncodeProof serializes a proof blob.
+func EncodeProof(p Proof) ([]byte, error) {
+	if p.Kind != ProofInclusion && p.Kind != ProofConsistency {
+		return nil, fmt.Errorf("integrity: unknown proof kind %d", p.Kind)
+	}
+	if len(p.Rel) > maxProofRel {
+		return nil, fmt.Errorf("integrity: relation name too long (%d bytes)", len(p.Rel))
+	}
+	if len(p.Hashes) > maxProofHashes {
+		return nil, fmt.Errorf("integrity: proof too long (%d hashes)", len(p.Hashes))
+	}
+	out := make([]byte, 0, len(proofMagic)+2+2+len(p.Rel)+8+8+2+len(p.Hashes)*HashSize)
+	out = append(out, proofMagic...)
+	out = append(out, proofVersion, byte(p.Kind))
+	out = binary.BigEndian.AppendUint16(out, uint16(len(p.Rel)))
+	out = append(out, p.Rel...)
+	out = binary.BigEndian.AppendUint64(out, p.A)
+	out = binary.BigEndian.AppendUint64(out, p.N)
+	out = binary.BigEndian.AppendUint16(out, uint16(len(p.Hashes)))
+	for _, h := range p.Hashes {
+		out = append(out, h[:]...)
+	}
+	return out, nil
+}
+
+// DecodeProof parses a proof blob. It is total: any input either
+// yields a structurally valid proof or an error, never a panic —
+// FuzzDecodeProof holds it to that.
+func DecodeProof(b []byte) (Proof, error) {
+	var p Proof
+	fail := func(msg string) (Proof, error) {
+		return Proof{}, fmt.Errorf("integrity: corrupt proof: %s", msg)
+	}
+	if len(b) < len(proofMagic)+2 {
+		return fail("short header")
+	}
+	if string(b[:len(proofMagic)]) != proofMagic {
+		return fail("bad magic")
+	}
+	b = b[len(proofMagic):]
+	if b[0] != proofVersion {
+		return fail("unsupported version")
+	}
+	p.Kind = ProofKind(b[1])
+	if p.Kind != ProofInclusion && p.Kind != ProofConsistency {
+		return fail("unknown kind")
+	}
+	b = b[2:]
+	if len(b) < 2 {
+		return fail("truncated relation length")
+	}
+	relLen := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if relLen > maxProofRel {
+		return fail("relation name too long")
+	}
+	if len(b) < relLen {
+		return fail("truncated relation name")
+	}
+	p.Rel = string(b[:relLen])
+	b = b[relLen:]
+	if len(b) < 8+8+2 {
+		return fail("truncated coordinates")
+	}
+	p.A = binary.BigEndian.Uint64(b)
+	p.N = binary.BigEndian.Uint64(b[8:])
+	count := int(binary.BigEndian.Uint16(b[16:]))
+	b = b[18:]
+	if count > maxProofHashes {
+		return fail("proof too long")
+	}
+	if len(b) != count*HashSize {
+		return fail("hash payload length mismatch")
+	}
+	if count > 0 {
+		p.Hashes = make([]Hash, count)
+		for i := range p.Hashes {
+			copy(p.Hashes[i][:], b[i*HashSize:])
+		}
+	}
+	return p, nil
+}
+
+// Verify checks the proof against the given anchors: the leaf hash and
+// signed-root hash for inclusion, or the (oldRoot, newRoot) pair for
+// consistency — in which case leaf is ignored and old is the root the
+// caller already trusts at size p.A.
+func (p Proof) Verify(leaf, old, root Hash) bool {
+	switch p.Kind {
+	case ProofInclusion:
+		return VerifyInclusion(leaf, p.A, p.N, p.Hashes, root)
+	case ProofConsistency:
+		return VerifyConsistency(p.A, p.N, old, root, p.Hashes)
+	}
+	return false
+}

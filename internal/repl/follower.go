@@ -1,6 +1,7 @@
 package repl
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/integrity"
 	"repro/internal/wal"
 	"repro/internal/wire"
 )
@@ -46,6 +48,7 @@ type Follower struct {
 	primaryDurable atomic.Uint64
 	framesApplied  atomic.Uint64
 	reconnects     atomic.Uint64
+	leafFailures   atomic.Uint64
 	synced         atomic.Bool
 
 	mu        sync.Mutex
@@ -114,6 +117,23 @@ func (f *Follower) Run(ctx context.Context) error {
 		}
 		backoff = 50 * time.Millisecond
 		if len(resp.Frames) > 0 {
+			// Verify each frame's shipped leaf hash against the frame body
+			// before applying anything: a mismatch means the frame was
+			// corrupted in flight or on the primary's disk, so the whole
+			// batch is dropped and re-fetched — never applied. This is the
+			// follower half of the repair loop: the re-fetch gets a clean
+			// copy once the primary's scrubber has repaired its log.
+			if bad := verifyFrameLeaves(resp.Frames); bad >= 0 {
+				fr := resp.Frames[bad]
+				f.leafFailures.Add(1)
+				f.setErr(fmt.Errorf("repl: frame lsn %d (%s) failed leaf verification; batch dropped for re-fetch", fr.LSN, fr.Rel))
+				select {
+				case <-ctx.Done():
+					return nil
+				case <-time.After(backoff + time.Duration(rand.Int63n(int64(backoff)))):
+				}
+				continue
+			}
 			recs := make([]wal.Record, len(resp.Frames))
 			for i, fr := range resp.Frames {
 				recs[i] = wal.Record{LSN: fr.LSN, Kind: wal.Kind(fr.Kind), Rel: fr.Rel, Payload: fr.Payload}
@@ -140,6 +160,23 @@ func (f *Follower) Run(ctx context.Context) error {
 		}
 	}
 	return nil
+}
+
+// verifyFrameLeaves recomputes each shipped frame's integrity leaf and
+// returns the index of the first mismatch, or -1 when the batch is
+// clean. Frames without a leaf (a primary running with integrity
+// disabled) are not checked.
+func verifyFrameLeaves(frames []wire.ReplFrame) int {
+	for i, fr := range frames {
+		if len(fr.Leaf) == 0 {
+			continue
+		}
+		got := integrity.LeafHash(wal.FrameBody(fr.LSN, wal.Kind(fr.Kind), fr.Rel, fr.Payload))
+		if !bytes.Equal(fr.Leaf, got[:]) {
+			return i
+		}
+	}
+	return -1
 }
 
 // poll issues one tail request and decodes the batch.
@@ -190,9 +227,12 @@ type FollowerStats struct {
 	PrimaryDurableLSN uint64
 	FramesApplied     uint64
 	Reconnects        uint64
-	Synced            bool
-	FreshAsOf         time.Time
-	LastError         string
+	// LeafFailures counts shipped frames that failed leaf verification;
+	// each one dropped its batch for re-fetch instead of applying.
+	LeafFailures uint64
+	Synced       bool
+	FreshAsOf    time.Time
+	LastError    string
 }
 
 // Stats snapshots the follower's gauges.
@@ -206,6 +246,7 @@ func (f *Follower) Stats() FollowerStats {
 		PrimaryDurableLSN: f.primaryDurable.Load(),
 		FramesApplied:     f.framesApplied.Load(),
 		Reconnects:        f.reconnects.Load(),
+		LeafFailures:      f.leafFailures.Load(),
 		Synced:            f.synced.Load(),
 		FreshAsOf:         fresh,
 		LastError:         lastErr,

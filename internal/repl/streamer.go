@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/integrity"
 	"repro/internal/wal"
 	"repro/internal/wire"
 )
@@ -84,8 +85,13 @@ func (s *Streamer) Tail(ctx context.Context, from uint64, max int, wait time.Dur
 			if len(recs) > 0 {
 				resp.Frames = make([]wire.ReplFrame, len(recs))
 				for i, rec := range recs {
+					// Each frame ships with its integrity leaf hash, computed
+					// from the frame as read back from the log, so the follower
+					// can refuse a frame corrupted in flight or on this disk.
+					leaf := integrity.LeafHash(wal.FrameBody(rec.LSN, rec.Kind, rec.Rel, rec.Payload))
 					resp.Frames[i] = wire.ReplFrame{
 						LSN: rec.LSN, Kind: uint8(rec.Kind), Rel: rec.Rel, Payload: rec.Payload,
+						Leaf: leaf[:],
 					}
 				}
 				s.framesShipped.Add(uint64(len(recs)))

@@ -1,0 +1,572 @@
+package server_test
+
+// Integrity acceptance, end to end over the wire:
+//
+// Proof round-trip — a client verifies inclusion and consistency proofs
+// locally (key pinned on first contact) for event and interval
+// relations, across a server restart: the rebooted tree must extend the
+// anchored history or verification fails.
+//
+// Follower replay — a follower rebuilt from shipped frames serves the
+// same root as the primary, unsigned; a verifier anchored against it
+// still proves inclusion and append-only growth, and no shipped frame
+// fails leaf verification.
+//
+// Verify-and-repair — a bit-flipped snapshot shard is detected by POST
+// verify, quarantined, repaired in place, and the relation keeps
+// serving; /metrics carries the detection, the repair, and the journal.
+//
+// Chaos — the follower is killed mid-scrub (cursor persisted), its
+// shard rots while it is down, and the primary crash-reboots through
+// the ErrFS seam; the restarted follower drops the corrupt shard at
+// boot, re-fetches the relation's whole history from the feed, resumes
+// the scrub from the cursor, and converges to exactly the primary's
+// acked history — equal elements, equal Merkle root.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/client"
+	"repro/internal/catalog"
+	"repro/internal/integrity"
+	"repro/internal/server"
+	"repro/internal/tx"
+	"repro/internal/wal"
+)
+
+// listenAt binds addr ("" for an ephemeral port), retrying briefly so a
+// restart can reclaim the port the previous server just released.
+func listenAt(t *testing.T, addr string) net.Listener {
+	t.Helper()
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	var ln net.Listener
+	var err error
+	for i := 0; i < 100; i++ {
+		if ln, err = net.Listen("tcp", addr); err == nil {
+			return ln
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("listen %s: %v", addr, err)
+	return nil
+}
+
+// integNode is a WAL-backed, root-signing primary rooted at dir.
+type integNode struct {
+	addr string
+	base string
+	cat  *catalog.Catalog
+	stop func()
+}
+
+// bootIntegPrimary starts (or restarts, when addr is reused) a signing
+// primary whose WAL, data directory, and signing key all live under dir.
+func bootIntegPrimary(t *testing.T, dir, addr string) *integNode {
+	t.Helper()
+	w, err := wal.Open(wal.Options{Dir: filepath.Join(dir, "wal"), Sync: wal.SyncGroup, SegmentBytes: 1 << 20})
+	if err != nil {
+		t.Fatalf("wal.Open: %v", err)
+	}
+	signer, err := integrity.LoadOrCreateSigner(filepath.Join(dir, "integrity.ed25519"))
+	if err != nil {
+		t.Fatalf("LoadOrCreateSigner: %v", err)
+	}
+	cat := catalog.New(catalog.Config{
+		Dir:      filepath.Join(dir, "data"),
+		NewClock: func() tx.Clock { return tx.NewLogicalClock(0, 10) },
+		WAL:      w,
+		Signer:   signer,
+	})
+	if err := cat.Open(); err != nil {
+		t.Fatalf("catalog.Open: %v", err)
+	}
+	srv := server.New(server.Config{Catalog: cat})
+	ln := listenAt(t, addr)
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	a := ln.Addr().String()
+	stop := func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(sctx)
+		if err := cat.Close(); err != nil {
+			t.Errorf("catalog.Close: %v", err)
+		}
+		_ = w.Close()
+	}
+	return &integNode{addr: a, base: "http://" + a, cat: cat, stop: stop}
+}
+
+func TestIntegrityE2EProofRoundTripAndRestart(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	p := bootIntegPrimary(t, dir, "")
+	cli := client.New(p.base)
+
+	if _, err := cli.Create(ctx, empSchema()); err != nil {
+		t.Fatalf("create emp: %v", err)
+	}
+	shift := empSchema()
+	shift.Name, shift.ValidTime = "shift", "interval"
+	if _, err := cli.Create(ctx, shift); err != nil {
+		t.Fatalf("create shift: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := cli.Insert(ctx, "emp", insertReq(int64(1000+i), fmt.Sprintf("e%d", i), int64(i))); err != nil {
+			t.Fatalf("insert emp %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		req := client.InsertRequest{
+			VT:        client.SpanOf(int64(100+10*i), int64(105+10*i)),
+			Invariant: []client.Value{client.String(fmt.Sprintf("s%d", i))},
+			Varying:   []client.Value{client.Int(int64(i))},
+		}
+		if _, err := cli.Insert(ctx, "shift", req); err != nil {
+			t.Fatalf("insert shift %d: %v", i, err)
+		}
+	}
+
+	// Raw integrity state: signed over exactly (rel, size, root).
+	ir, err := cli.Integrity(ctx, "emp")
+	if err != nil {
+		t.Fatalf("Integrity: %v", err)
+	}
+	if !ir.Tracked || ir.Size != 11 {
+		t.Fatalf("integrity = tracked %v size %d, want tracked size 11 (create + 10 inserts)", ir.Tracked, ir.Size)
+	}
+	if ir.Signed == nil || len(ir.Signed.Sig) == 0 || len(ir.Signed.Key) == 0 {
+		t.Fatalf("primary served an unsigned root: %+v", ir.Signed)
+	}
+
+	// Client-side verification: anchor, then prove a specific commit.
+	hv := cli.HistoryVerifier("emp")
+	if size, err := hv.Advance(ctx); err != nil || size != 11 {
+		t.Fatalf("Advance = %d, %v; want 11", size, err)
+	}
+	leaf, err := hv.VerifyCommit(ctx, 3)
+	if err != nil {
+		t.Fatalf("VerifyCommit(3): %v", err)
+	}
+	if len(leaf) != integrity.HashSize {
+		t.Fatalf("leaf hash is %d bytes, want %d", len(leaf), integrity.HashSize)
+	}
+	hvShift := cli.HistoryVerifier("shift")
+	if size, err := hvShift.Advance(ctx); err != nil || size != 5 {
+		t.Fatalf("shift Advance = %d, %v; want 5", size, err)
+	}
+	if _, err := hvShift.VerifyCommit(ctx, 2); err != nil {
+		t.Fatalf("shift VerifyCommit(2): %v", err)
+	}
+
+	// Growth must come with a consistency proof from the anchor.
+	for i := 0; i < 5; i++ {
+		if _, err := cli.Insert(ctx, "emp", insertReq(int64(2000+i), fmt.Sprintf("g%d", i), int64(i))); err != nil {
+			t.Fatalf("insert growth %d: %v", i, err)
+		}
+	}
+	if size, err := hv.Advance(ctx); err != nil || size != 16 {
+		t.Fatalf("Advance after growth = %d, %v; want 16", size, err)
+	}
+
+	// An index past the tree is the caller's error, not a served proof.
+	if _, err := cli.IntegrityProof(ctx, "emp", 999); err == nil {
+		t.Fatal("out-of-range proof request succeeded")
+	}
+
+	// Restart on the same address: the rebooted tree (seeded from the
+	// snapshot, topped up by WAL replay) must extend the live anchor,
+	// under the same pinned key.
+	if _, err := cli.Snapshot(ctx); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	addr := p.addr
+	p.stop()
+	p2 := bootIntegPrimary(t, dir, addr)
+	defer p2.stop()
+	for i := 0; i < 3; i++ {
+		if _, err := cli.Insert(ctx, "emp", insertReq(int64(3000+i), fmt.Sprintf("r%d", i), int64(i))); err != nil {
+			t.Fatalf("insert after restart %d: %v", i, err)
+		}
+	}
+	if size, err := hv.Advance(ctx); err != nil || size != 19 {
+		t.Fatalf("Advance across restart = %d, %v; want 19", size, err)
+	}
+	if _, err := hv.VerifyCommit(ctx, 0); err != nil {
+		t.Fatalf("VerifyCommit(0) across restart: %v", err)
+	}
+	// The interval relation did not grow: equal size must mean equal root.
+	if size, err := hvShift.Advance(ctx); err != nil || size != 5 {
+		t.Fatalf("shift Advance across restart = %d, %v; want 5", size, err)
+	}
+}
+
+func TestIntegrityE2EFollowerReplayVerified(t *testing.T) {
+	ctx := context.Background()
+	p := bootIntegPrimary(t, t.TempDir(), "")
+	defer p.stop()
+	cli := client.New(p.base)
+
+	if _, err := cli.Create(ctx, empSchema()); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	for i := 0; i < 15; i++ {
+		if _, err := cli.Insert(ctx, "emp", insertReq(int64(1000+i), fmt.Sprintf("e%d", i), int64(i))); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+
+	fol := bootFollower(t, t.TempDir(), p.base)
+	defer fol.stop()
+	folCli := client.New(fol.url)
+	waitUntil(t, "follower tree caught up", func() bool {
+		ir, err := folCli.Integrity(ctx, "emp")
+		return err == nil && ir.Tracked && ir.Size == 16
+	})
+
+	// Same history, same root — but the follower cannot sign it.
+	pIr, err := cli.Integrity(ctx, "emp")
+	if err != nil {
+		t.Fatalf("primary Integrity: %v", err)
+	}
+	fIr, err := folCli.Integrity(ctx, "emp")
+	if err != nil {
+		t.Fatalf("follower Integrity: %v", err)
+	}
+	if !bytes.Equal(pIr.Root, fIr.Root) {
+		t.Fatalf("follower root %x diverges from primary root %x", fIr.Root, pIr.Root)
+	}
+	if fIr.Signed == nil || len(fIr.Signed.Sig) != 0 {
+		t.Fatalf("follower root should be unsigned, got %+v", fIr.Signed)
+	}
+
+	// Proofs served by the follower verify locally, and growth shipped
+	// through replication still proves append-only.
+	hvF := folCli.HistoryVerifier("emp")
+	if size, err := hvF.Advance(ctx); err != nil || size != 16 {
+		t.Fatalf("follower Advance = %d, %v; want 16", size, err)
+	}
+	if _, err := hvF.VerifyCommit(ctx, 7); err != nil {
+		t.Fatalf("follower VerifyCommit(7): %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := cli.Insert(ctx, "emp", insertReq(int64(2000+i), fmt.Sprintf("g%d", i), int64(i))); err != nil {
+			t.Fatalf("insert growth %d: %v", i, err)
+		}
+	}
+	waitUntil(t, "follower applied growth", func() bool {
+		ir, err := folCli.Integrity(ctx, "emp")
+		return err == nil && ir.Size == 21
+	})
+	if size, err := hvF.Advance(ctx); err != nil || size != 21 {
+		t.Fatalf("follower Advance after growth = %d, %v; want 21", size, err)
+	}
+
+	// Every shipped frame passed leaf verification, and both sides
+	// surface the integrity section.
+	if n := fol.fol.Stats().LeafFailures; n != 0 {
+		t.Fatalf("follower counted %d leaf failures on a clean feed", n)
+	}
+	m, err := folCli.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("follower Metrics: %v", err)
+	}
+	if m.Integrity == nil || !m.Integrity.Enabled {
+		t.Fatalf("follower metrics integrity section = %+v, want enabled", m.Integrity)
+	}
+	if m.Replication == nil || m.Replication.LeafFailures != 0 {
+		t.Fatalf("follower replication metrics = %+v, want zero leaf failures", m.Replication)
+	}
+}
+
+func TestIntegrityE2EVerifyRepairSnapshot(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	p := bootIntegPrimary(t, dir, "")
+	defer p.stop()
+	cli := client.New(p.base)
+
+	if _, err := cli.Create(ctx, empSchema()); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := cli.Insert(ctx, "emp", insertReq(int64(1000+i), fmt.Sprintf("e%d", i), int64(i))); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if _, err := cli.Snapshot(ctx); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+
+	shard := filepath.Join(dir, "data", "emp.tsbl")
+	data, err := os.ReadFile(shard)
+	if err != nil {
+		t.Fatalf("read shard: %v", err)
+	}
+	data[len(data)/2] ^= 0x10
+	if err := os.WriteFile(shard, data, 0o644); err != nil {
+		t.Fatalf("corrupt shard: %v", err)
+	}
+
+	vr, err := cli.Verify(ctx, "emp")
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if vr.Artifacts == 0 || len(vr.Failures) == 0 || vr.Repaired == 0 {
+		t.Fatalf("verify = %+v, want a detected and repaired failure", vr)
+	}
+
+	// Quarantine lifted after repair; the relation never stopped serving.
+	ir, err := cli.Integrity(ctx, "emp")
+	if err != nil {
+		t.Fatalf("Integrity after repair: %v", err)
+	}
+	if ir.Quarantined != "" {
+		t.Fatalf("relation still quarantined after repair: %q", ir.Quarantined)
+	}
+	q, err := cli.Current(ctx, "emp")
+	if err != nil {
+		t.Fatalf("Current after repair: %v", err)
+	}
+	if len(q.Elements) != 8 {
+		t.Fatalf("repair changed history: %d elements, want 8", len(q.Elements))
+	}
+
+	// Operators can alert on first detection: counters and journal.
+	m, err := cli.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("Metrics: %v", err)
+	}
+	ig := m.Integrity
+	if ig == nil || ig.Detected == 0 || ig.Repaired == 0 || len(ig.Events) < 2 {
+		t.Fatalf("metrics integrity section = %+v, want detection + repair + journal", ig)
+	}
+
+	// A second pass over the repaired shard is clean.
+	vr2, err := cli.Verify(ctx, "emp")
+	if err != nil {
+		t.Fatalf("second Verify: %v", err)
+	}
+	if len(vr2.Failures) != 0 {
+		t.Fatalf("repaired shard failed re-verification: %v", vr2.Failures)
+	}
+}
+
+func TestIntegrityE2EFollowerChaosScrubRepair(t *testing.T) {
+	ctx := context.Background()
+
+	// Primary over the ErrFS seam: "acked" is precisely what ErrFS has
+	// synced, and the mid-test crash loses exactly the rest.
+	fs := wal.NewErrFS()
+	newPrimary := func(addr string) (string, *catalog.Catalog, func()) {
+		w, err := wal.Open(wal.Options{FS: fs, Sync: wal.SyncAlways, SegmentBytes: 1 << 20})
+		if err != nil {
+			t.Fatalf("wal.Open: %v", err)
+		}
+		cat := catalog.New(catalog.Config{
+			NewClock: func() tx.Clock { return tx.NewLogicalClock(0, 10) },
+			WAL:      w,
+		})
+		if err := cat.Open(); err != nil {
+			t.Fatalf("catalog.Open: %v", err)
+		}
+		srv := server.New(server.Config{Catalog: cat})
+		ln := listenAt(t, addr)
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln)
+		stop := func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = hs.Shutdown(sctx)
+			_ = w.Close()
+		}
+		return "http://" + ln.Addr().String(), cat, stop
+	}
+	base, _, pstop := newPrimary("")
+	pcli := client.New(base)
+	rels := []string{"emp", "dept", "proj"}
+	for _, rel := range rels {
+		if _, err := pcli.Create(ctx, namedSchema(rel)); err != nil {
+			t.Fatalf("create %s: %v", rel, err)
+		}
+		for i := 0; i < 5; i++ {
+			if _, err := pcli.Insert(ctx, rel, insertReq(int64(1000+i), fmt.Sprintf("%s%d", rel, i), int64(i))); err != nil {
+				t.Fatalf("insert %s %d: %v", rel, i, err)
+			}
+		}
+	}
+
+	folDir := t.TempDir()
+	fol := bootFollower(t, folDir, base)
+	folCli := client.New(fol.url)
+	waitUntil(t, "follower synced", func() bool {
+		q, err := folCli.Current(ctx, "proj")
+		return err == nil && len(q.Elements) == 5
+	})
+	if _, err := fol.cat.Snapshot(); err != nil {
+		t.Fatalf("follower snapshot: %v", err)
+	}
+
+	// Kill the follower mid-scrub: the pass dies between artifacts with
+	// the cursor persisted at the last completed one.
+	arts, err := fol.cat.ScrubArtifacts()
+	if err != nil {
+		t.Fatalf("ScrubArtifacts: %v", err)
+	}
+	if len(arts) != 3 {
+		t.Fatalf("follower lists %d artifacts, want 3 shards", len(arts))
+	}
+	cursorPath := filepath.Join(folDir, "scrub.cursor")
+	scrubCtx, kill := context.WithCancel(ctx)
+	n := 0
+	sc := integrity.NewScrubber(integrity.ScrubberConfig{
+		List: fol.cat.ScrubArtifacts,
+		Verify: func(a integrity.Artifact) error {
+			if n++; n == 2 {
+				kill()
+			}
+			return fol.cat.VerifyArtifact(a)
+		},
+		OnCorrupt:  fol.cat.HandleCorrupt,
+		CursorPath: cursorPath,
+	})
+	if _, _, err := sc.RunOnce(scrubCtx); err == nil {
+		t.Fatal("interrupted scrub pass reported a completed walk")
+	}
+	if _, err := os.Stat(cursorPath); err != nil {
+		t.Fatalf("no scrub cursor survived the kill: %v", err)
+	}
+	fol.stop()
+
+	// The shard rots while the follower is down — the crash landed
+	// before any repair finished.
+	shard := filepath.Join(folDir, "emp.tsbl")
+	data, err := os.ReadFile(shard)
+	if err != nil {
+		t.Fatalf("read shard: %v", err)
+	}
+	data[len(data)/2] ^= 0x04
+	if err := os.WriteFile(shard, data, 0o644); err != nil {
+		t.Fatalf("corrupt shard: %v", err)
+	}
+
+	// Meanwhile the primary keeps acking writes, then crash-reboots:
+	// synced bytes survive, the poisoned tail does not.
+	for i := 0; i < 3; i++ {
+		if _, err := pcli.Insert(ctx, "emp", insertReq(int64(2000+i), fmt.Sprintf("late%d", i), int64(i))); err != nil {
+			t.Fatalf("late insert %d: %v", i, err)
+		}
+	}
+	fs.FailAt(1, wal.FaultCrash)
+	if _, err := pcli.Insert(ctx, "emp", insertReq(9999, "lost", 1)); err == nil {
+		t.Fatal("insert through a crashed WAL succeeded")
+	}
+	addr := base[len("http://"):]
+	pstop()
+	fs.CrashRecover()
+	base2, pcat2, pstop2 := newPrimary(addr)
+	defer pstop2()
+	if base2 != base {
+		t.Fatalf("primary rebooted at %s, want %s", base2, base)
+	}
+
+	// Restart the follower: boot quarantines the corrupt shard's bytes,
+	// drops it, and re-fetches the relation's whole history from the
+	// feed — the repair loop for shipped state.
+	fol2 := bootFollower(t, folDir, base)
+	defer fol2.stop()
+	folCli2 := client.New(fol2.url)
+	waitUntil(t, "restarted follower converged", func() bool {
+		q, err := folCli2.Current(ctx, "emp")
+		return err == nil && len(q.Elements) == 8
+	})
+	if _, err := os.Stat(filepath.Join(folDir, "quarantine", "emp.tsbl")); err != nil {
+		t.Fatalf("no evidence copy of the dropped shard: %v", err)
+	}
+	events := fol2.cat.IntegrityEvents()
+	var detected, repaired bool
+	for _, ev := range events {
+		if ev.Artifact == "emp.tsbl" && ev.Kind == "detect" {
+			detected = true
+		}
+		if ev.Artifact == "emp.tsbl" && ev.Kind == "repair" {
+			repaired = true
+		}
+	}
+	if !detected || !repaired {
+		t.Fatalf("boot journal lacks detect+repair for emp.tsbl: %+v", events)
+	}
+
+	// The scrub cursor resumes where the killed pass stopped: the two
+	// completed artifacts are skipped, the pass finishes, and the next
+	// one walks everything again.
+	if _, err := fol2.cat.Snapshot(); err != nil {
+		t.Fatalf("follower re-snapshot: %v", err)
+	}
+	sc2 := fol2.cat.NewScrubber(0)
+	checked, failed, err := sc2.RunOnce(ctx)
+	if err != nil {
+		t.Fatalf("resumed scrub: %v", err)
+	}
+	if checked != 1 || failed != 0 {
+		t.Fatalf("resumed scrub checked %d failed %d, want 1 checked (cursor skips completed artifacts), 0 failed", checked, failed)
+	}
+	if _, err := os.Stat(cursorPath); err == nil {
+		t.Fatal("cursor file survived a completed pass")
+	}
+	checked, failed, err = sc2.RunOnce(ctx)
+	if err != nil || checked != 3 || failed != 0 {
+		t.Fatalf("full scrub after resume = %d checked %d failed %v, want 3 clean", checked, failed, err)
+	}
+
+	// Repaired state equals the primary's acked history exactly: the
+	// same elements and the same Merkle root over the same history.
+	for _, rel := range rels {
+		pq, err := pcli.Query(ctx, rel, client.QueryRequest{Kind: client.QueryCurrent})
+		if err != nil {
+			t.Fatalf("primary current %s: %v", rel, err)
+		}
+		fq, err := folCli2.Query(ctx, rel, client.QueryRequest{Kind: client.QueryCurrent})
+		if err != nil {
+			t.Fatalf("follower current %s: %v", rel, err)
+		}
+		if len(pq.Elements) != len(fq.Elements) {
+			t.Fatalf("%s: follower holds %d elements, primary %d", rel, len(fq.Elements), len(pq.Elements))
+		}
+		seen := make(map[uint64]bool, len(pq.Elements))
+		for _, el := range pq.Elements {
+			seen[el.ES] = true
+		}
+		for _, el := range fq.Elements {
+			if !seen[el.ES] {
+				t.Fatalf("%s: follower element %d was never acked by the primary", rel, el.ES)
+			}
+		}
+		pe, err := pcat2.Get(rel)
+		if err != nil {
+			t.Fatalf("primary Get %s: %v", rel, err)
+		}
+		fe, err := fol2.cat.Get(rel)
+		if err != nil {
+			t.Fatalf("follower Get %s: %v", rel, err)
+		}
+		pst, fst := pe.IntegrityState(), fe.IntegrityState()
+		if pst.Size != fst.Size || pst.Root != fst.Root {
+			t.Fatalf("%s: follower tree (%d, %x) diverges from primary (%d, %x)",
+				rel, fst.Size, fst.Root, pst.Size, pst.Root)
+		}
+	}
+	if n := fol2.fol.Stats().LeafFailures; n != 0 {
+		t.Fatalf("restarted follower counted %d leaf failures on a clean feed", n)
+	}
+}

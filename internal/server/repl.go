@@ -42,6 +42,7 @@ func (s *Server) replicationMetrics() *wire.ReplicationMetrics {
 			Synced:            st.Synced,
 			FramesApplied:     st.FramesApplied,
 			Reconnects:        st.Reconnects,
+			LeafFailures:      st.LeafFailures,
 			LastError:         st.LastError,
 		}
 		if ms, ok := f.StalenessMs(time.Now()); ok {

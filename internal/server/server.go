@@ -25,6 +25,10 @@
 //	POST /v1/select                          raw tsql SELECT (or EXPLAIN SELECT)
 //	GET  /v1/relations/{name}/select         cacheable SELECT (?query=..., epoch ETag)
 //	POST /v1/snapshot                        flush dirty relations to disk
+//	GET  /v1/relations/{name}/integrity      Merkle tree size + signed root
+//	GET  /v1/relations/{name}/integrity/proof        inclusion proof (?index=I)
+//	GET  /v1/relations/{name}/integrity/consistency  append-only proof (?from=M)
+//	POST /v1/relations/{name}/verify         synchronous scrub + repair
 package server
 
 import (
@@ -43,6 +47,7 @@ import (
 	"repro/internal/chronon"
 	"repro/internal/core"
 	"repro/internal/element"
+	"repro/internal/integrity"
 	"repro/internal/plan"
 	"repro/internal/qcache"
 	"repro/internal/relation"
@@ -68,6 +73,11 @@ type Config struct {
 	// has synced, /readyz stays not-ready until that first sync, and
 	// /metrics reports the applying side of replication.
 	Follower *repl.Follower
+	// ScrubInterval paces the background integrity scrubber (one full
+	// pass per interval, started by RunScrubber); 0 disables it.
+	ScrubInterval time.Duration
+	// ScrubRate caps scrub read bandwidth in bytes/sec; 0 is unlimited.
+	ScrubRate int64
 }
 
 // Server is the HTTP face of a catalog.
@@ -79,6 +89,9 @@ type Server struct {
 	adm     *admission
 	// streamer serves the WAL-shipping replication feed; nil without a WAL.
 	streamer *repl.Streamer
+	// scrubber walks sealed artifacts against their checksums; nil when
+	// the catalog runs with integrity tracking disabled.
+	scrubber *integrity.Scrubber
 	// draining flips once at the start of graceful shutdown: in-flight
 	// requests complete, new non-probe requests get a clean "unavailable".
 	draining atomic.Bool
@@ -99,6 +112,9 @@ func New(cfg Config) *Server {
 	s.adm = newAdmission(cfg.Admission)
 	if w := cfg.Catalog.WAL(); w != nil {
 		s.streamer = repl.NewStreamer(w)
+	}
+	if cfg.Catalog.IntegrityEnabled() {
+		s.scrubber = cfg.Catalog.NewScrubber(cfg.ScrubRate)
 	}
 
 	// classProbe marks endpoints that bypass admission and draining: an
@@ -123,6 +139,10 @@ func New(cfg Config) *Server {
 	mux.Handle("POST /v1/select", s.wrap("select", ClassRead, s.handleSelect))
 	mux.Handle("GET /v1/relations/{name}/select", s.wrap("select", ClassRead, s.handleSelectGet))
 	mux.Handle("POST /v1/snapshot", s.wrap("snapshot", ClassAdmin, s.handleSnapshot))
+	mux.Handle("GET /v1/relations/{name}/integrity", s.wrap("integrity", ClassRead, s.handleIntegrity))
+	mux.Handle("GET /v1/relations/{name}/integrity/proof", s.wrap("integrity_proof", ClassRead, s.handleIntegrityProof))
+	mux.Handle("GET /v1/relations/{name}/integrity/consistency", s.wrap("integrity_consistency", ClassRead, s.handleIntegrityConsistency))
+	mux.Handle("POST /v1/relations/{name}/verify", s.wrap("verify", ClassAdmin, s.handleVerify))
 	// Replication is infrastructure traffic: a follower must keep catching
 	// up while the primary sheds client load or drains for shutdown, so
 	// the feed rides the probe class.
@@ -470,6 +490,7 @@ func (s *Server) handleMetrics(*http.Request) (*response, *apiError) {
 			LastLSN:           st.LastLSN,
 			DurableLSN:        st.DurableLSN,
 			TruncatedSegments: st.TruncatedSegments,
+			VerifyFailures:    st.VerifyFailures,
 		}
 	}
 	rep.Admission = s.adm.report()
@@ -477,6 +498,7 @@ func (s *Server) handleMetrics(*http.Request) (*response, *apiError) {
 		rep.Degraded = &wire.DegradedMetrics{ReadOnly: true, Cause: err.Error()}
 	}
 	rep.Replication = s.replicationMetrics()
+	rep.Integrity = s.integrityMetrics()
 	var batch wire.BatchMetrics
 	for _, name := range s.cat.Names() {
 		e, err := s.cat.Get(name)
@@ -486,7 +508,9 @@ func (s *Server) handleMetrics(*http.Request) (*response, *apiError) {
 		if rep.Physical == nil {
 			rep.Physical = make(map[string]wire.PhysicalInfo)
 		}
-		rep.Physical[name] = physicalBody(e.Physical())
+		pb := physicalBody(e.Physical())
+		integrityProvenance(&pb, e)
+		rep.Physical[name] = pb
 		bs := e.BatchStats()
 		batch.Batches += bs.Batches
 		batch.Rows += bs.Rows
@@ -582,6 +606,7 @@ func physicalBody(p catalog.Physical) wire.PhysicalInfo {
 func infoBody(e *catalog.Entry) wire.RelationInfo {
 	info := e.Info()
 	phys := physicalBody(info.Physical)
+	integrityProvenance(&phys, e)
 	out := wire.RelationInfo{
 		Schema:       wire.FromSchema(info.Schema),
 		Versions:     info.Versions,

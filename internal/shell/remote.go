@@ -81,6 +81,8 @@ func (s *Session) execRemote(cmd string, args []string, line string) error {
 		return s.remoteInfo(ctx, args)
 	case "physical":
 		return s.remotePhysical(ctx, args)
+	case "verify":
+		return s.remoteVerify(ctx, args)
 	case "list":
 		return s.remoteList(ctx)
 	case "select":
@@ -338,6 +340,35 @@ func (s *Session) remotePhysical(ctx context.Context, args []string) error {
 			fmt.Fprintf(s.out, "  epoch %d: %s -> %s (%s)\n", m.Epoch, m.From, m.To, m.Source)
 		}
 	}
+	if p.MerkleSize > 0 {
+		fmt.Fprintf(s.out, "integrity: %d committed frame(s) under merkle root %x\n",
+			p.MerkleSize, p.MerkleRoot)
+	}
+	if p.Quarantined != "" {
+		fmt.Fprintf(s.out, "QUARANTINED (read-only): %s\n", p.Quarantined)
+	}
+	return nil
+}
+
+// remoteVerify runs a synchronous server-side scrub-and-repair pass
+// over every artifact covering the relation and reports what it found.
+func (s *Session) remoteVerify(ctx context.Context, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: verify <rel>")
+	}
+	vr, err := s.rem.cli.Verify(ctx, args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "verified %d artifact(s) covering %s\n", vr.Artifacts, vr.Rel)
+	if len(vr.Failures) == 0 {
+		fmt.Fprintln(s.out, "clean: no corruption detected")
+		return nil
+	}
+	for _, f := range vr.Failures {
+		fmt.Fprintf(s.out, "  corrupt: %s\n", f)
+	}
+	fmt.Fprintf(s.out, "repaired %d of %d\n", vr.Repaired, len(vr.Failures))
 	return nil
 }
 
@@ -405,6 +436,17 @@ func (s *Session) remoteMetrics(ctx context.Context) error {
 		for kind, ps := range m.Plans {
 			fmt.Fprintf(s.out, "  %-20s %6d quer(y/ies)  touched %d\n",
 				kind, ps.Requests, ps.Touched)
+		}
+	}
+	if ig := m.Integrity; ig != nil && ig.Enabled {
+		fmt.Fprintf(s.out, "integrity: %d relation(s), %d leaf(s), %d detected, %d repaired, %d quarantine(s)\n",
+			ig.TrackedRelations, ig.Leaves, ig.Detected, ig.Repaired, ig.Quarantines)
+		if ig.ScrubPasses > 0 || ig.ScrubArtifacts > 0 {
+			fmt.Fprintf(s.out, "  scrub: %d pass(es), %d artifact(s), %d byte(s), %d failure(s)\n",
+				ig.ScrubPasses, ig.ScrubArtifacts, ig.ScrubBytes, ig.ScrubFailures)
+		}
+		for _, q := range ig.Quarantined {
+			fmt.Fprintf(s.out, "  QUARANTINED: %s\n", q)
 		}
 	}
 	return nil

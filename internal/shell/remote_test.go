@@ -2,12 +2,15 @@ package shell
 
 import (
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/internal/catalog"
+	"repro/internal/integrity"
 	"repro/internal/server"
 	"repro/internal/tx"
+	"repro/internal/wal"
 )
 
 // startRemote boots an in-process tsdbd handler and returns its host:port.
@@ -94,5 +97,66 @@ func TestRemoteModeConnectFailure(t *testing.T) {
 	}
 	if !strings.Contains(out, `no relation "emp"`) {
 		t.Errorf("session did not stay in local mode:\n%s", out)
+	}
+}
+
+// startIntegrityRemote boots a WAL-backed, root-signing server so the
+// integrity surface (verify, merkle provenance) is live.
+func startIntegrityRemote(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	w, err := wal.Open(wal.Options{Dir: filepath.Join(dir, "wal"), Sync: wal.SyncGroup})
+	if err != nil {
+		t.Fatalf("wal.Open: %v", err)
+	}
+	t.Cleanup(func() { w.Close() })
+	signer, err := integrity.LoadOrCreateSigner(filepath.Join(dir, "integrity.ed25519"))
+	if err != nil {
+		t.Fatalf("LoadOrCreateSigner: %v", err)
+	}
+	cat := catalog.New(catalog.Config{
+		Dir:      filepath.Join(dir, "data"),
+		NewClock: func() tx.Clock { return tx.NewLogicalClock(0, 10) },
+		WAL:      w,
+		Signer:   signer,
+	})
+	if err := cat.Open(); err != nil {
+		t.Fatalf("catalog.Open: %v", err)
+	}
+	t.Cleanup(func() { cat.Close() })
+	srv := server.New(server.Config{Catalog: cat})
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	return strings.TrimPrefix(hs.URL, "http://")
+}
+
+func TestRemoteVerifyAndProvenance(t *testing.T) {
+	addr := startIntegrityRemote(t)
+	_, out := runScript(t,
+		"connect "+addr,
+		"create emp event second",
+		"insert emp vt=5",
+		"insert emp vt=15",
+		"save",
+		"verify emp",
+		"physical emp",
+		"metrics",
+		"disconnect",
+		"verify emp", // local mode: remote-only command
+	)
+	for _, want := range []string{
+		"verified", "covering emp",
+		"clean: no corruption detected",
+		"committed frame(s) under merkle root",
+		"integrity: ",
+		"detected, 0 repaired",
+		"needs a connected server",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "QUARANTINED") {
+		t.Errorf("clean relation reported quarantined:\n%s", out)
 	}
 }

@@ -121,6 +121,8 @@ func (s *Session) Exec(line string) error {
 		return s.load(args)
 	case "vacuum":
 		return s.vacuum(args)
+	case "verify":
+		return fmt.Errorf("'verify' needs a connected server ('connect <addr>'); the server owns durable artifacts and their checksums")
 	}
 	return fmt.Errorf("unknown command %q (try 'help')", cmd)
 }
@@ -144,6 +146,9 @@ func (s *Session) help() {
   classify <rel> | advise <rel>
   physical <rel>   show the live physical design: organization, declared
       vs inferred classes, advisor reasons, and (remote) migration history
+      plus merkle provenance and quarantine state
+  verify <rel>     (remote) scrub every durable artifact covering the
+      relation against its checksums and repair what the server can
   select ...  temporal query, e.g.:
       select * from temps
       select name, salary from emp as of 25 when valid at 100 where salary > 150

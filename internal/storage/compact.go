@@ -2,11 +2,15 @@ package storage
 
 import (
 	"encoding/binary"
+	"hash/crc32"
 	"sort"
 
 	"repro/internal/chronon"
 	"repro/internal/element"
 )
+
+// runCastagnoli checksums sealed-run images (same polynomial as the WAL).
+var runCastagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Class-scheduled compaction: the log organizations can seal their stable
 // prefix into fixed-size runs. A sealed run carries
@@ -50,6 +54,7 @@ type runMeta struct {
 	vtHi     chronon.Chronon // max exclusive valid-time end
 	anyOpen  bool            // any element still current at seal time
 	packed   []byte          // delta-encoded timestamp columns
+	sum      uint32          // CRC32C of packed, fixed at seal time
 }
 
 // snapRuns full-caps the sealed-run slice for a snapshot, so a later Compact
@@ -87,6 +92,7 @@ func sealRun(elems []*element.Element, start, n int) runMeta {
 		}
 	}
 	r.packed = packColumns(elems[start : start+n])
+	r.sum = crc32.Checksum(r.packed, runCastagnoli)
 	return r
 }
 

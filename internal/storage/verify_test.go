@@ -1,0 +1,95 @@
+package storage
+
+import (
+	"testing"
+
+	"repro/internal/chronon"
+	"repro/internal/element"
+	"repro/internal/surrogate"
+)
+
+func sealedTTLog(t *testing.T, n int) *TTLogStore {
+	t.Helper()
+	st := NewTTLog()
+	for i := 0; i < n; i++ {
+		tt := chronon.Chronon(10 * (i + 1))
+		e := &element.Element{ES: surrogate.Surrogate(i + 1), OS: 1,
+			TTStart: tt, TTEnd: chronon.Forever, VT: element.EventAt(tt)}
+		if err := st.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sealed := st.Compact(); sealed == 0 {
+		t.Fatal("nothing sealed")
+	}
+	return st
+}
+
+// TestVerifyRunsCorruptionMatrix is the frozen-run leg of the corruption
+// matrix: flipping one bit of every byte of every sealed run's packed
+// image must be detected, and pristine runs must pass.
+func TestVerifyRunsCorruptionMatrix(t *testing.T) {
+	st := sealedTTLog(t, 3*runSize+17)
+	if bad := VerifyRuns(st); len(bad) != 0 {
+		t.Fatalf("false positive on clean store: %v", bad)
+	}
+	nruns := Compaction(st).Runs
+	if nruns != 3 {
+		t.Fatalf("runs = %d", nruns)
+	}
+	for ri := 0; ri < nruns; ri++ {
+		size := int(SealedBytes(st)) / nruns
+		for off := 0; off < size; off++ {
+			if !CorruptRun(st, ri, off, uint8(off%8)) {
+				t.Fatalf("corrupt run %d failed", ri)
+			}
+			bad := VerifyRuns(st)
+			if len(bad) != 1 || bad[0].Run != ri {
+				t.Fatalf("run %d byte %d: flips detected = %v", ri, off, bad)
+			}
+			// Repair rebuilds from the elements and the store passes again.
+			if n := ResealRuns(st, []int{ri}); n != 1 {
+				t.Fatalf("reseal repaired %d runs", n)
+			}
+			if bad := VerifyRuns(st); len(bad) != 0 {
+				t.Fatalf("run %d byte %d: damage survived reseal: %v", ri, off, bad)
+			}
+		}
+	}
+}
+
+// TestVerifyRunsPostRepairAnswers proves the repaired store answers
+// exactly like an undamaged twin (history equals the acked prefix).
+func TestVerifyRunsPostRepairAnswers(t *testing.T) {
+	st := sealedTTLog(t, 2*runSize)
+	twin := sealedTTLog(t, 2*runSize)
+	CorruptRun(st, 1, 7, 3)
+	bad := VerifyRuns(st)
+	if len(bad) != 1 {
+		t.Fatalf("bad = %v", bad)
+	}
+	ResealRuns(st, []int{bad[0].Run})
+	if got := VerifyRuns(st); len(got) != 0 {
+		t.Fatalf("still damaged: %v", got)
+	}
+	gotTS, _ := st.Timeslice(chronon.Chronon(10 * runSize))
+	wantTS, _ := twin.Timeslice(chronon.Chronon(10 * runSize))
+	if !sameIDs(elemIDs(gotTS), elemIDs(wantTS)) {
+		t.Fatal("timeslice diverged after repair")
+	}
+	gotRB, _ := st.Rollback(chronon.Chronon(10 * runSize))
+	wantRB, _ := twin.Rollback(chronon.Chronon(10 * runSize))
+	if !sameIDs(elemIDs(gotRB), elemIDs(wantRB)) {
+		t.Fatal("rollback diverged after repair")
+	}
+}
+
+func TestVerifyRunsNonSealingStores(t *testing.T) {
+	st := NewHeap()
+	if VerifyRuns(st) != nil || ResealRuns(st, []int{0}) != 0 || SealedBytes(st) != 0 {
+		t.Fatal("heap store reported sealed-run state")
+	}
+	if CorruptRun(st, 0, 0, 0) {
+		t.Fatal("corrupted a run on a non-sealing store")
+	}
+}

@@ -1,0 +1,170 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+)
+
+// buildSealedLog writes enough records over two relations to seal at
+// least one segment, returning the log, its FS, and a sealed segment
+// name.
+func buildSealedLog(t *testing.T) (*Log, *ErrFS, string) {
+	t.Helper()
+	fs := NewErrFS()
+	l, err := Open(Options{FS: fs, Sync: SyncAlways, SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	for i := 0; i < 40; i++ {
+		rel := "alpha"
+		if i%2 == 1 {
+			rel = "beta"
+		}
+		if _, err := l.Append(Kind(1), rel, []byte(fmt.Sprintf("payload-%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs := l.Segments()
+	if len(segs) < 2 {
+		t.Fatalf("want >= 2 segments, got %d", len(segs))
+	}
+	for _, s := range segs {
+		if s.Sealed {
+			return l, fs, s.Name
+		}
+	}
+	t.Fatal("no sealed segment")
+	return nil, nil, ""
+}
+
+// TestScrubSegmentCorruptionMatrix is the WAL leg of the corruption
+// matrix: flipping one bit of every byte of a sealed segment must be
+// detected (zero false negatives) and the pristine segment must pass
+// (zero false positives).
+func TestScrubSegmentCorruptionMatrix(t *testing.T) {
+	l, fs, name := buildSealedLog(t)
+
+	if err := l.ScrubSegment(name); err != nil {
+		t.Fatalf("false positive on clean segment: %v", err)
+	}
+	clean, err := fs.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := 0; off < len(clean); off++ {
+		bad := append([]byte(nil), clean...)
+		bad[off] ^= 1 << (off % 8)
+		fs.Install(name, bad)
+		if err := l.ScrubSegment(name); err == nil {
+			t.Fatalf("bit flip at offset %d undetected", off)
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("offset %d: want ErrCorrupt, got %v", off, err)
+		}
+	}
+	// Truncation (lost tail bytes) must also be detected on a sealed
+	// segment.
+	fs.Install(name, clean[:len(clean)-3])
+	if err := l.ScrubSegment(name); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated sealed segment undetected: %v", err)
+	}
+	// Restore: clean again, and the failure gauge counted every hit.
+	fs.Install(name, clean)
+	if err := l.ScrubSegment(name); err != nil {
+		t.Fatalf("false positive after restore: %v", err)
+	}
+	if got := l.Stats().VerifyFailures; got != uint64(len(clean))+1 {
+		t.Fatalf("VerifyFailures = %d, want %d", got, len(clean)+1)
+	}
+}
+
+func TestScrubSegmentSkipsActive(t *testing.T) {
+	l, _, _ := buildSealedLog(t)
+	segs := l.Segments()
+	active := segs[len(segs)-1]
+	if active.Sealed {
+		t.Fatal("last segment should be active")
+	}
+	if err := l.ScrubSegment(active.Name); err != nil {
+		t.Fatalf("scrubbing active segment: %v", err)
+	}
+	if err := l.ScrubSegment("wal-nope.seg"); err == nil {
+		t.Fatal("unknown segment accepted")
+	}
+}
+
+func TestSegmentRelations(t *testing.T) {
+	l, _, name := buildSealedLog(t)
+	rels := l.SegmentRelations(name)
+	sort.Strings(rels)
+	if len(rels) != 2 || rels[0] != "alpha" || rels[1] != "beta" {
+		t.Fatalf("relations = %v", rels)
+	}
+	if l.SegmentRelations("wal-nope.seg") != nil {
+		t.Fatal("unknown segment has relations")
+	}
+
+	// Relation attribution must survive a reopen (rebuilt from replay).
+	fs := NewErrFS()
+	l2, err := Open(Options{FS: fs, Sync: SyncAlways, SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if _, err := l2.Append(Kind(1), "gamma", []byte(fmt.Sprintf("p-%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sealed := ""
+	for _, s := range l2.Segments() {
+		if s.Sealed {
+			sealed = s.Name
+			break
+		}
+	}
+	l2.Close()
+	l3, err := Open(Options{FS: fs, Sync: SyncAlways, SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.Close()
+	got := l3.SegmentRelations(sealed)
+	if len(got) != 1 || got[0] != "gamma" {
+		t.Fatalf("after reopen, relations = %v", got)
+	}
+}
+
+func TestFrameBodyMatchesOnDiskFraming(t *testing.T) {
+	fs := NewErrFS()
+	l, err := Open(Options{FS: fs, Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte{0xde, 0xad, 0xbe, 0xef}
+	lsn, err := l.Append(Kind(7), "events", payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	data, err := fs.ReadFile(segName(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, recs, _, ok := parseSegment(data)
+	if !ok || len(recs) != 1 {
+		t.Fatalf("parse: ok=%v recs=%d", ok, len(recs))
+	}
+	want := FrameBody(lsn, Kind(7), "events", payload)
+	got := data[headerSize+4 : headerSize+4+len(want)]
+	if string(got) != string(want) {
+		t.Fatal("FrameBody differs from the on-disk frame body")
+	}
+	// And the parsed record re-encodes to the same body: replay and
+	// follower apply hash identical leaves.
+	rt := FrameBody(recs[0].LSN, recs[0].Kind, recs[0].Rel, recs[0].Payload)
+	if string(rt) != string(want) {
+		t.Fatal("re-encoded record body differs")
+	}
+}

@@ -140,6 +140,7 @@ type Stats struct {
 	LastLSN           uint64        // last written LSN
 	DurableLSN        uint64        // last fsync-covered LSN
 	TruncatedSegments uint64        // segments deleted by truncation
+	VerifyFailures    uint64        // ScrubSegment checks that found damage
 }
 
 // MeanBatch is the average records per fsync.
@@ -155,6 +156,17 @@ type segmentInfo struct {
 	base uint64 // LSN of the first record
 	last uint64 // LSN of the last record; base-1 while empty
 	file File   // open handle; sealed handles stay open so a racing group-commit fsync never hits a closed fd
+	// rels names every relation with a record in this segment, so
+	// segment-level corruption can be attributed to exactly the
+	// relations whose history it carries.
+	rels map[string]struct{}
+}
+
+func (s *segmentInfo) addRel(rel string) {
+	if s.rels == nil {
+		s.rels = make(map[string]struct{})
+	}
+	s.rels[rel] = struct{}{}
 }
 
 // Log is an open write-ahead log.
@@ -181,10 +193,11 @@ type Log struct {
 	syncedRecs uint64
 	maxBatch   uint64
 
-	recovered []Record
-	replayed  uint64
-	replayDur time.Duration
-	truncated uint64
+	recovered   []Record
+	replayed    uint64
+	replayDur   time.Duration
+	truncated   uint64
+	verifyFails uint64
 
 	stopc chan struct{}
 	wg    sync.WaitGroup
@@ -266,7 +279,11 @@ func Open(opts Options) (*Log, error) {
 		}
 		next += uint64(len(recs))
 		all = append(all, recs...)
-		l.segs = append(l.segs, segmentInfo{name: name, base: base, last: next - 1})
+		si := segmentInfo{name: name, base: base, last: next - 1}
+		for _, rec := range recs {
+			si.addRel(rec.Rel)
+		}
+		l.segs = append(l.segs, si)
 		activeValid = validLen
 	}
 
@@ -374,13 +391,23 @@ func parseSegment(data []byte) (base uint64, recs []Record, validLen int, header
 	return base, recs, off, true
 }
 
-func appendFrame(buf []byte, lsn uint64, kind Kind, rel string, payload []byte) []byte {
+// FrameBody encodes a record's frame body exactly as it is framed on
+// disk: u64 LSN, u8 kind, u16 relation length, relation, payload. It is
+// exported because these bytes are the integrity subsystem's Merkle
+// leaf identity — the primary's write path, boot replay, and follower
+// apply all hash the same encoding of the same record.
+func FrameBody(lsn uint64, kind Kind, rel string, payload []byte) []byte {
 	body := make([]byte, 0, frameMin+len(rel)+len(payload))
 	body = binary.LittleEndian.AppendUint64(body, lsn)
 	body = append(body, byte(kind))
 	body = binary.LittleEndian.AppendUint16(body, uint16(len(rel)))
 	body = append(body, rel...)
 	body = append(body, payload...)
+	return body
+}
+
+func appendFrame(buf []byte, lsn uint64, kind Kind, rel string, payload []byte) []byte {
+	body := FrameBody(lsn, kind, rel, payload)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(body)))
 	buf = append(buf, body...)
 	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(body, castagnoli))
@@ -472,6 +499,7 @@ func (l *Log) Write(kind Kind, rel string, payload []byte) (uint64, error) {
 	l.size += int64(len(frame))
 	l.appended++
 	active.last = lsn
+	active.addRel(rel)
 	if l.opts.Sync == SyncAlways {
 		if err := active.file.Sync(); err != nil {
 			err = fmt.Errorf("wal: fsync: %w", err)
@@ -673,6 +701,7 @@ func (l *Log) Stats() Stats {
 		Segments:          len(l.segs),
 		LastLSN:           l.written,
 		TruncatedSegments: l.truncated,
+		VerifyFailures:    l.verifyFails,
 	}
 	l.mu.Unlock()
 	l.smu.Lock()

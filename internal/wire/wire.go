@@ -618,6 +618,13 @@ type PhysicalInfo struct {
 	SealedElements int          `json:"sealed_elements,omitempty"`
 	PackedBytes    int64        `json:"packed_bytes,omitempty"`
 	Tracker        *TrackerInfo `json:"tracker,omitempty"`
+	// MerkleSize/MerkleRoot/Quarantined are the integrity provenance:
+	// how many committed WAL frames the relation's Merkle tree covers,
+	// its current root, and the quarantine cause when a scrub detection
+	// degraded the relation to read-only.
+	MerkleSize  uint64 `json:"merkle_size,omitempty"`
+	MerkleRoot  []byte `json:"merkle_root,omitempty"`
+	Quarantined string `json:"quarantined,omitempty"`
 }
 
 // RelationInfo describes one relation in full.
@@ -759,6 +766,12 @@ type ReplFrame struct {
 	Kind    uint8  `json:"kind"`
 	Rel     string `json:"rel"`
 	Payload []byte `json:"payload,omitempty"`
+	// Leaf is the frame's integrity leaf hash — SHA-256(0x00 ‖ frame
+	// body) — shipped so the follower can recompute it from the frame it
+	// received and refuse a batch that was corrupted in flight or on the
+	// primary's disk, re-fetching instead of applying damage. Absent when
+	// the primary runs with integrity disabled.
+	Leaf []byte `json:"leaf,omitempty"`
 }
 
 // ReplTailResponse is one batch of the tailing feed: frames in LSN order
@@ -788,7 +801,10 @@ type ReplicationMetrics struct {
 	StalenessMs       int64  `json:"staleness_ms,omitempty"`
 	FramesApplied     uint64 `json:"frames_applied,omitempty"`
 	Reconnects        uint64 `json:"reconnects,omitempty"`
-	LastError         string `json:"last_error,omitempty"`
+	// LeafFailures counts shipped frames whose integrity leaf hash did
+	// not match the frame body; each one dropped its batch for re-fetch.
+	LeafFailures uint64 `json:"leaf_failures,omitempty"`
+	LastError    string `json:"last_error,omitempty"`
 }
 
 // EndpointMetrics aggregates one endpoint's request accounting.
@@ -822,6 +838,9 @@ type WALMetrics struct {
 	LastLSN           uint64  `json:"last_lsn"`
 	DurableLSN        uint64  `json:"durable_lsn"`
 	TruncatedSegments uint64  `json:"truncated_segments"`
+	// VerifyFailures counts segment verifications that found damage
+	// (scrub re-reads, not live appends).
+	VerifyFailures uint64 `json:"verify_failures,omitempty"`
 }
 
 // ClassAdmissionMetrics reports one admission class's gate: its
@@ -890,4 +909,97 @@ type MetricsResponse struct {
 	// organization, the advice provenance, migration count, and the
 	// inferred classes the extension tracker currently holds.
 	Physical map[string]PhysicalInfo `json:"physical,omitempty"`
+	// Integrity reports the corruption-detection subsystem: Merkle
+	// accounting coverage, scrubber progress, and detection/repair
+	// counters.
+	Integrity *IntegrityMetrics `json:"integrity,omitempty"`
+}
+
+// SignedRootInfo is a relation's Merkle root in wire form: the tree
+// size it covers, the root hash, and — on primaries — an Ed25519
+// signature over the domain-separated (rel, size, root) statement with
+// the signing public key. Followers serve unsigned roots; clients
+// verify those by consistency against an anchor signed by the primary.
+type SignedRootInfo struct {
+	Rel  string `json:"rel"`
+	Size uint64 `json:"size"`
+	Root []byte `json:"root"`
+	Sig  []byte `json:"sig,omitempty"`
+	Key  []byte `json:"key,omitempty"`
+}
+
+// IntegrityResponse is GET /v1/relations/{rel}/integrity: the
+// relation's current tree size and root, signed over exactly that
+// state, plus the quarantine cause when the relation is degraded.
+type IntegrityResponse struct {
+	Rel         string          `json:"rel"`
+	Tracked     bool            `json:"tracked"`
+	Size        uint64          `json:"size"`
+	Root        []byte          `json:"root,omitempty"`
+	Signed      *SignedRootInfo `json:"signed,omitempty"`
+	Quarantined string          `json:"quarantined,omitempty"`
+}
+
+// ProofResponse is GET /v1/relations/{rel}/integrity/proof?index=I: an
+// inclusion proof that the I-th committed frame is under the signed
+// root. Proof is the TSPF binary encoding (integrity.EncodeProof); the
+// client decodes and verifies it locally without trusting the server.
+type ProofResponse struct {
+	Rel    string         `json:"rel"`
+	Index  uint64         `json:"index"`
+	Leaf   []byte         `json:"leaf"`
+	Proof  []byte         `json:"proof"`
+	Signed SignedRootInfo `json:"signed"`
+}
+
+// ConsistencyResponse is GET
+// /v1/relations/{rel}/integrity/consistency?from=M: a proof that the
+// current tree extends the size-M prefix — history was appended to,
+// never rewritten. OldRoot is the server's root at M (informational);
+// verifiers check against their own anchored root.
+type ConsistencyResponse struct {
+	Rel     string         `json:"rel"`
+	From    uint64         `json:"from"`
+	OldRoot []byte         `json:"old_root"`
+	Proof   []byte         `json:"proof"`
+	Signed  SignedRootInfo `json:"signed"`
+}
+
+// VerifyResponse is POST /v1/relations/{rel}/verify: a synchronous
+// scrub of every artifact covering the relation, with the damage found
+// and how much of it was repaired in place.
+type VerifyResponse struct {
+	Rel       string   `json:"rel"`
+	Artifacts int      `json:"artifacts"`
+	Failures  []string `json:"failures,omitempty"`
+	Repaired  int      `json:"repaired"`
+}
+
+// IntegrityEventInfo is one journaled integrity action in wire form.
+type IntegrityEventInfo struct {
+	Unix         int64  `json:"unix"`
+	Kind         string `json:"kind"` // detect | quarantine | repair | repair-failed
+	ArtifactKind string `json:"artifact_kind"`
+	Artifact     string `json:"artifact"`
+	Rel          string `json:"rel,omitempty"`
+	Detail       string `json:"detail"`
+}
+
+// IntegrityMetrics is the /metrics integrity section: Merkle coverage,
+// lifetime detection/repair counters, current quarantines, scrubber
+// progress, and the recent event journal.
+type IntegrityMetrics struct {
+	Enabled          bool                 `json:"enabled"`
+	TrackedRelations int                  `json:"tracked_relations"`
+	Leaves           uint64               `json:"leaves"`
+	Detected         uint64               `json:"detected"`
+	Repaired         uint64               `json:"repaired"`
+	Quarantines      uint64               `json:"quarantines"`
+	Quarantined      []string             `json:"quarantined,omitempty"`
+	ScrubPasses      uint64               `json:"scrub_passes"`
+	ScrubArtifacts   uint64               `json:"scrub_artifacts"`
+	ScrubBytes       uint64               `json:"scrub_bytes"`
+	ScrubFailures    uint64               `json:"scrub_failures"`
+	LastScrubUnix    int64                `json:"last_scrub_unix,omitempty"`
+	Events           []IntegrityEventInfo `json:"events,omitempty"`
 }
