@@ -78,6 +78,8 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz='^FuzzColumnarRunDecode$$' -fuzztime=5s ./internal/storage
 	$(GO) test -run=NONE -fuzz='^FuzzDecodeProof$$' -fuzztime=5s ./internal/integrity
 	$(GO) test -run=NONE -fuzz='^FuzzMerkleConsistency$$' -fuzztime=5s ./internal/integrity
+	$(GO) test -run=NONE -fuzz='^FuzzDecodeBatchFrame$$' -fuzztime=5s ./internal/catalog
+	$(GO) test -run=NONE -fuzz='^FuzzBatchInsertRequest$$' -fuzztime=5s ./internal/server
 
 # Regenerate every figure/claim table plus the serving, durability, and
 # overload benchmarks (writes BENCH_*.json in the working directory).
@@ -91,7 +93,7 @@ bench:
 # `go run ./cmd/benchrunner -exp S4`, the physical-design one -exp S6,
 # the batch-execution one -exp S7.
 bench-smoke:
-	$(GO) test -run=NONE -bench='^(BenchmarkReadPath|BenchmarkAutoSpecialize)' -benchtime=100ms ./internal/catalog
+	$(GO) test -run=NONE -bench='^(BenchmarkReadPath|BenchmarkAutoSpecialize|BenchmarkInsertBatch)' -benchtime=100ms ./internal/catalog
 	$(GO) test -run=NONE -bench='^(BenchmarkColumnarScan|BenchmarkTemporalAggregate)' -benchtime=100ms ./internal/storage
 
 clean:

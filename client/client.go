@@ -19,6 +19,7 @@ import (
 	"io"
 	mrand "math/rand/v2"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"syscall"
@@ -54,6 +55,12 @@ type (
 	PhysicalInfo     = wire.PhysicalInfo
 	MigrationInfo    = wire.MigrationInfo
 	TrackerInfo      = wire.TrackerInfo
+
+	BatchInsertRequest  = wire.BatchInsertRequest
+	BatchItem           = wire.BatchItem
+	BatchInsertResponse = wire.BatchInsertResponse
+	IngestResponse      = wire.IngestResponse
+	IngestMetrics       = wire.IngestMetrics
 )
 
 // Value constructors, re-exported for ergonomic insert payloads.
@@ -513,6 +520,63 @@ func (c *Client) Insert(ctx context.Context, name string, req InsertRequest) (El
 	var out wire.ElementResponse
 	err := c.doIdem(ctx, http.MethodPost, "/v1/relations/"+name+"/insert", req, &out)
 	return out.Element, err
+}
+
+// InsertBatch runs one batched insert transaction: the whole batch is
+// journaled as a single WAL frame and published under a single epoch,
+// with a per-element status report. The client mints one idempotency key
+// per element, carried in the request body and held constant across
+// retries, so a replayed batch dedups element-by-element instead of
+// double-inserting a prefix. With atomic set, any constraint rejection
+// fails the whole batch (code "rejected") and stores nothing.
+func (c *Client) InsertBatch(ctx context.Context, name string, reqs []InsertRequest, atomic bool) (BatchInsertResponse, error) {
+	keys := make([]string, len(reqs))
+	for i := range keys {
+		keys[i] = newIdemKey()
+	}
+	body := wire.BatchInsertRequest{Elements: reqs, Keys: keys, Atomic: atomic}
+	var out BatchInsertResponse
+	// The per-element keys in the body make replays idempotent; the
+	// header key just marks the call transport-retryable.
+	err := c.call(ctx, http.MethodPost, "/v1/relations/"+name+"/elements:batch", body, &out,
+		callOpts{idemKey: newIdemKey()})
+	return out, err
+}
+
+// IngestCSV streams header-driven CSV from r into the relation via the
+// server-side bulk loader; the server batches rows as they arrive (one
+// WAL frame per batch) without materializing the upload. The stream is
+// consumed, so transport failures are not retried — the response reports
+// exactly what landed. Malformed rows are reported line-by-line in the
+// response, not as an error.
+func (c *Client) IngestCSV(ctx context.Context, name string, r io.Reader) (IngestResponse, error) {
+	var out IngestResponse
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.base+"/v1/ingest/csv?relation="+url.QueryEscape(name), r)
+	if err != nil {
+		return out, fmt.Errorf("tsdbd: building request: %w", err)
+	}
+	req.Header.Set("Content-Type", "text/csv")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return out, fmt.Errorf("tsdbd: POST /v1/ingest/csv: %w", err)
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return out, fmt.Errorf("tsdbd: reading response: %w", err)
+	}
+	if resp.StatusCode >= 300 {
+		var eb wire.ErrorBody
+		if json.Unmarshal(payload, &eb) == nil && eb.Error.Code != "" {
+			return out, &APIError{Status: resp.StatusCode, Code: eb.Error.Code, Message: eb.Error.Message}
+		}
+		return out, &APIError{Status: resp.StatusCode, Code: CodeInternal, Message: strings.TrimSpace(string(payload))}
+	}
+	if err := json.Unmarshal(payload, &out); err != nil {
+		return out, fmt.Errorf("tsdbd: decoding response: %w", err)
+	}
+	return out, nil
 }
 
 // Delete runs one logical-delete transaction against the element.

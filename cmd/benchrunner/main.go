@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "run only this experiment (F1-F5, C1-C6, A1-A2, S1-S8, P1)")
+	exp := flag.String("exp", "", "run only this experiment (F1-F5, C1-C6, A1-A2, S1-S9, P1)")
 	n := flag.Int("n", 20000, "workload size for quantitative experiments")
 	flag.Parse()
 
@@ -51,6 +51,7 @@ func main() {
 		{"S6", "Physical design — inferred re-specialization and class-scheduled compaction", runS6},
 		{"S7", "Batch execution — columnar vs row window aggregation on frozen relations", runS7},
 		{"S8", "Integrity — Merkle accounting write tax and scrub throughput", runS8},
+		{"S9", "Ingest — batched WAL frames vs single inserts; replay and follower catch-up", runS9},
 		{"P1", "Planner — plan build/cost latency and choice stability", runP1},
 	}
 	failed := false

@@ -46,6 +46,14 @@
 //	curl -s -X POST localhost:7070/v1/select \
 //	  -d '{"query":"SELECT name, salary FROM emp"}'
 //	curl -s localhost:7070/metrics
+//
+// Bulk loads should ride the batched ingest path instead of per-element
+// inserts: POST /v1/relations/{name}/elements:batch journals a whole
+// batch as one WAL frame, and /v1/ingest/csv streams header-driven CSV
+// (capped by -ingest-max-body) into server-side batches:
+//
+//	curl -s -X POST --data-binary @rows.csv \
+//	  'localhost:7070/v1/ingest/csv?relation=emp'
 package main
 
 import (
@@ -79,6 +87,7 @@ func main() {
 	flag.DurationVar(&o.snapEvery, "snapshot-interval", 30*time.Second, "how often to flush dirty relations (0 disables)")
 	flag.DurationVar(&o.reqTimeout, "request-timeout", 15*time.Second, "per-request handling timeout")
 	flag.Int64Var(&o.maxBody, "max-body", 1<<20, "maximum request body size in bytes")
+	flag.Int64Var(&o.ingestMaxBody, "ingest-max-body", 1<<30, "maximum streaming bulk-load (/v1/ingest/csv) body size in bytes")
 	flag.DurationVar(&o.readTimeout, "read-timeout", 30*time.Second, "maximum time to read one request, body included (0 disables)")
 	flag.DurationVar(&o.writeTimeout, "write-timeout", 30*time.Second, "maximum time to write one response (0 disables)")
 	flag.DurationVar(&o.idleTimeout, "idle-timeout", 60*time.Second, "keep-alive idle timeout")
@@ -115,7 +124,7 @@ func main() {
 type options struct {
 	addr, dataDir             string
 	snapEvery, reqTimeout     time.Duration
-	maxBody                   int64
+	maxBody, ingestMaxBody    int64
 	readTimeout, writeTimeout time.Duration
 	idleTimeout               time.Duration
 	walDir, walSync           string
@@ -210,6 +219,7 @@ func run(o options) error {
 		Catalog:        cat,
 		RequestTimeout: o.reqTimeout,
 		MaxBodyBytes:   o.maxBody,
+		IngestMaxBytes: o.ingestMaxBody,
 		Admission:      o.admission(),
 		Follower:       follower,
 		ScrubInterval:  o.scrubEvery,

@@ -1,0 +1,270 @@
+package catalog
+
+// Tests for batched ingest: validation and per-item statuses, atomic
+// all-or-nothing aborts, the no-op (all-deduped) batch publishing no
+// epoch, WAL crash-replay of the single batch frame (including the
+// rebuilt dedup window), and a -race stress of concurrent InsertBatch
+// against snapshot readers, Compact, and Respecialize.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/chronon"
+	"repro/internal/element"
+	"repro/internal/relation"
+	"repro/internal/surrogate"
+	"repro/internal/tx"
+	"repro/internal/wal"
+)
+
+func batchOf(vts ...chronon.Chronon) []relation.Insertion {
+	ins := make([]relation.Insertion, len(vts))
+	for i, vt := range vts {
+		ins[i] = relation.Insertion{VT: element.EventAt(vt)}
+	}
+	return ins
+}
+
+func TestInsertBatchValidation(t *testing.T) {
+	ctx := context.Background()
+	_, c := bootErrFS(t, wal.NewErrFS())
+	e, err := c.Create(eventSchema("emp"))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+
+	// Key slice must be empty or parallel to the insertions.
+	if _, err := e.InsertBatch(ctx, batchOf(10, 20), []string{"only-one"}, false); err == nil {
+		t.Fatal("mismatched key count accepted")
+	}
+	// Oversized keys are refused before anything stages.
+	if _, err := e.InsertBatch(ctx, batchOf(10), []string{strings.Repeat("k", maxIdemKeyLen+1)}, false); err == nil {
+		t.Fatal("oversized idempotency key accepted")
+	}
+
+	// A key repeated WITHIN one batch mints one element: the second
+	// occurrence is rejected (it is neither a replay nor a fresh write).
+	res, err := e.InsertBatch(ctx, batchOf(10, 20), []string{"dup", "dup"}, false)
+	if err != nil {
+		t.Fatalf("InsertBatch: %v", err)
+	}
+	if res.Stored != 1 || res.Rejected != 1 {
+		t.Fatalf("in-batch dup = %d stored / %d rejected, want 1/1", res.Stored, res.Rejected)
+	}
+	if it := res.Items[1]; it.Status != BatchRejected || !strings.Contains(it.Err, "repeated within the batch") {
+		t.Fatalf("dup item = %+v, want in-batch reuse rejection", it)
+	}
+
+	// The same repeat under atomic aborts the whole batch un-journaled.
+	before := lenOf(t, e)
+	if _, err := e.InsertBatch(ctx, batchOf(30, 40), []string{"dup2", "dup2"}, true); !errors.Is(err, ErrBatchRejected) {
+		t.Fatalf("atomic dup err = %v, want ErrBatchRejected", err)
+	}
+	if got := lenOf(t, e); got != before {
+		t.Fatalf("atomic abort left %d versions, want %d", got, before)
+	}
+
+	// An all-deduped batch writes no frame and publishes no epoch.
+	epoch := e.Epoch()
+	res, err = e.InsertBatch(ctx, batchOf(10), []string{"dup"}, false)
+	if err != nil {
+		t.Fatalf("replay batch: %v", err)
+	}
+	if res.Deduped != 1 || res.Stored != 0 {
+		t.Fatalf("replay = %+v, want 1 deduped", res)
+	}
+	if e.Epoch() != epoch {
+		t.Fatalf("all-deduped batch bumped epoch %d -> %d", epoch, e.Epoch())
+	}
+}
+
+// TestInsertBatchSingleEpoch pins the tentpole invariant: N elements,
+// one frame, ONE epoch publish.
+func TestInsertBatchSingleEpoch(t *testing.T) {
+	ctx := context.Background()
+	w, c := bootErrFS(t, wal.NewErrFS())
+	e, err := c.Create(eventSchema("emp"))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	epoch := e.Epoch()
+	appended := w.Stats().Appended
+	res, err := e.InsertBatch(ctx, batchOf(10, 20, 30, 40, 50), nil, false)
+	if err != nil {
+		t.Fatalf("InsertBatch: %v", err)
+	}
+	if res.Stored != 5 {
+		t.Fatalf("stored = %d, want 5", res.Stored)
+	}
+	if e.Epoch() != epoch+1 {
+		t.Fatalf("epoch %d -> %d, want exactly one publish", epoch, e.Epoch())
+	}
+	if got := w.Stats().Appended - appended; got != 1 {
+		t.Fatalf("batch cost %d WAL records, want 1", got)
+	}
+	st := e.IngestStats()
+	if st.Batches != 1 || st.Elements != 5 {
+		t.Fatalf("ingest stats = %+v, want 1 batch / 5 elements", st)
+	}
+}
+
+// TestInsertBatchCrashReplay crashes after a keyed batch committed and
+// reboots from the log alone: the batch replays whole and the dedup
+// window is rebuilt from the frame's key spans, so a retry that
+// straddles the crash still dedups element-by-element.
+func TestInsertBatchCrashReplay(t *testing.T) {
+	ctx := context.Background()
+	fs := wal.NewErrFS()
+	_, c := bootErrFS(t, fs)
+	e, err := c.Create(eventSchema("emp"))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	keys := []string{"ck-1", "ck-2", "ck-3"}
+	res, err := e.InsertBatch(ctx, batchOf(100, 110, 120), keys, false)
+	if err != nil {
+		t.Fatalf("InsertBatch: %v", err)
+	}
+	orig := make([]surrogate.Surrogate, len(res.Items))
+	for i, it := range res.Items {
+		orig[i] = it.Elem.ES
+	}
+
+	fs.CrashRecover()
+	_, c2 := bootErrFS(t, fs)
+	e2, err := c2.Get("emp")
+	if err != nil {
+		t.Fatalf("Get after reboot: %v", err)
+	}
+	if got := lenOf(t, e2); got != 3 {
+		t.Fatalf("recovered %d versions, want 3 (whole batch, never a prefix)", got)
+	}
+	for _, es := range orig {
+		mustByES(t, e2, es)
+	}
+	again, err := e2.InsertBatch(ctx, batchOf(100, 110, 120), keys, false)
+	if err != nil {
+		t.Fatalf("post-reboot replay: %v", err)
+	}
+	if again.Deduped != 3 || again.Stored != 0 {
+		t.Fatalf("post-reboot replay = %d deduped / %d stored, want 3/0", again.Deduped, again.Stored)
+	}
+	for i, it := range again.Items {
+		if it.Status != BatchDeduped || it.Elem == nil || it.Elem.ES != orig[i] {
+			t.Fatalf("replay item %d = %+v, want dedup of %v", i, it, orig[i])
+		}
+	}
+	if got := lenOf(t, e2); got != 3 {
+		t.Fatalf("replay grew the relation to %d versions", got)
+	}
+}
+
+// TestInsertBatchRaceStress drives concurrent batched writers against
+// snapshot readers and the physical-design loop (Compact/Respecialize).
+// Run under -race; correctness here is "no race, no torn counts".
+func TestInsertBatchRaceStress(t *testing.T) {
+	ctx := context.Background()
+	w, err := wal.Open(wal.Options{Dir: t.TempDir(), Sync: wal.SyncGroup, SegmentBytes: 1 << 20})
+	if err != nil {
+		t.Fatalf("wal.Open: %v", err)
+	}
+	defer w.Close()
+	c := New(Config{Dir: t.TempDir(), NewClock: func() tx.Clock { return tx.NewLogicalClock(0, 10) }, WAL: w})
+	if err := c.Open(); err != nil {
+		t.Fatalf("catalog.Open: %v", err)
+	}
+	e, err := c.Create(eventSchema("emp"))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+
+	const (
+		writers = 4
+		batches = 10
+		perB    = 8
+	)
+	var wg, bg sync.WaitGroup
+	stop := make(chan struct{})
+	// Snapshot readers: consistent views must never observe a torn batch
+	// (counts only grow by whole batches between epochs — but interleaved
+	// writers make exact multiples unobservable; the invariant here is
+	// memory safety and monotonic growth).
+	for i := 0; i < 3; i++ {
+		bg.Add(1)
+		go func() {
+			defer bg.Done()
+			last := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n := lenOf(t, e)
+				if n < last {
+					t.Errorf("reader saw count shrink %d -> %d", last, n)
+					return
+				}
+				last = n
+				_ = e.Info()
+			}
+		}()
+	}
+	// The physical-design loop, racing the writers.
+	bg.Add(1)
+	go func() {
+		defer bg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_, _, _ = e.Respecialize()
+			_ = e.Compact()
+		}
+	}()
+	for wi := 0; wi < writers; wi++ {
+		wi := wi
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				ins := make([]relation.Insertion, perB)
+				keys := make([]string, perB)
+				for j := range ins {
+					ins[j] = relation.Insertion{VT: element.EventAt(chronon.Chronon(1 + wi*10000 + b*100 + j))}
+					keys[j] = fmt.Sprintf("w%d-b%d-e%d", wi, b, j)
+				}
+				res, err := e.InsertBatch(ctx, ins, keys, false)
+				if err != nil {
+					t.Errorf("writer %d batch %d: %v", wi, b, err)
+					return
+				}
+				if res.Stored != perB {
+					t.Errorf("writer %d batch %d stored %d, want %d: %+v", wi, b, res.Stored, perB, res.Items)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()   // writers drain (or error out)
+	close(stop) // then release the readers and the design loop
+	bg.Wait()
+	if t.Failed() {
+		return
+	}
+	want := writers * batches * perB
+	if got := lenOf(t, e); got != want {
+		t.Fatalf("final count = %d, want %d", got, want)
+	}
+	st := e.IngestStats()
+	if st.Batches != writers*batches || st.Elements != int64(want) {
+		t.Fatalf("ingest stats = %+v, want %d batches / %d elements", st, writers*batches, want)
+	}
+}

@@ -134,6 +134,10 @@ const (
 	// (boot recovery and follower apply alike) restores the adoption, so
 	// the migrated organization survives a crash and ships to replicas.
 	walRespecialize wal.Kind = 9
+	// walInsertBatch journals N insertions as one frame: u32 count, then
+	// per element a keyed record span (batch.go). One group-commit entry
+	// and one Merkle leaf per batch; replay is all-or-nothing per frame.
+	walInsertBatch wal.Kind = 10
 )
 
 type shard struct {
@@ -346,6 +350,28 @@ func (c *Catalog) applyWALRecord(rec wal.Record) (*Entry, error) {
 				remember(dedupInsert, el)
 			} else {
 				remember(dedupDelete, nil)
+			}
+		case walInsertBatch:
+			// One frame, N insertions: the CRC admitted the whole record,
+			// so replay applies every element or (on a decode error) none —
+			// a torn prefix of a batch cannot exist.
+			entries, err := decodeInsertBatch(payload)
+			if err != nil {
+				applyErr = err
+				return nil
+			}
+			for _, be := range entries {
+				if be.rec.Op != relation.OpInsert {
+					applyErr = fmt.Errorf("batch frame carries op %d", be.rec.Op)
+					return nil
+				}
+				if applyErr = r.ApplyLog(be.rec); applyErr != nil {
+					return nil
+				}
+				if be.key != "" {
+					el, _ := r.ByES(be.rec.Elem.ES)
+					e.dedup.remember(be.key, dedupInsert, el)
+				}
 			}
 		case walModify:
 			del, ins, err := decodeModify(payload)
@@ -756,6 +782,12 @@ type Entry struct {
 	batchRows atomic.Int64
 	colPicks  atomic.Int64
 	rowPicks  atomic.Int64
+
+	// Batched-ingest counters (batch.go): InsertBatch calls that wrote a
+	// frame, and the elements those frames carried. Atomic so /metrics can
+	// read them without queueing behind writers.
+	ingBatches atomic.Int64
+	ingElems   atomic.Int64
 
 	// view is the published immutable read snapshot, swapped atomically by
 	// publish under the exclusive lock on every mutation. Readers pin it

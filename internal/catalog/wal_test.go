@@ -1,6 +1,7 @@
 package catalog
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"path/filepath"
@@ -86,7 +87,27 @@ func walWorkload(t *testing.T, c *Catalog, m *walModel) (int, error) {
 	m.rel("emp").inserted = append(m.rel("emp").inserted, repl.ES)
 	steps++
 
-	// Step 7: declare a constraint the surviving history satisfies.
+	// Step 7: a batched insert — three elements in ONE WAL frame. The
+	// model adds all three only on acknowledgment: recovery after a
+	// crash anywhere inside the batch must show all of them or none
+	// (the CRC admits whole frames only), never a torn prefix.
+	bres, err := emp().InsertBatch(context.Background(), []relation.Insertion{
+		{VT: element.EventAt(90)},
+		{VT: element.EventAt(95)},
+		{VT: element.EventAt(99)},
+	}, []string{"bk-1", "bk-2", "bk-3"}, false)
+	if err != nil {
+		return steps, err
+	}
+	for i, it := range bres.Items {
+		if it.Status != BatchStored || it.Elem == nil {
+			t.Fatalf("batch item %d = %+v, want stored", i, it)
+		}
+		m.rel("emp").inserted = append(m.rel("emp").inserted, it.Elem.ES)
+	}
+	steps++
+
+	// Step 8: declare a constraint the surviving history satisfies.
 	pred := constraint.Event{Spec: core.PredictiveSpec()}
 	d, ok := constraint.Describe(pred, constraint.PerRelation)
 	if !ok {
@@ -98,7 +119,7 @@ func walWorkload(t *testing.T, c *Catalog, m *walModel) (int, error) {
 	m.rel("emp").decls++
 	steps++
 
-	// Steps 8-9: a second relation with one retroactive insert.
+	// Steps 9-10: a second relation with one retroactive insert.
 	if _, err := c.Create(eventSchema("dept")); err != nil {
 		return steps, err
 	}

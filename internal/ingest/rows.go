@@ -1,0 +1,104 @@
+package ingest
+
+// RowReader is the header-driven CSV reader behind the server's
+// streaming ingest endpoint. The first non-blank, non-comment line names
+// the columns; every following data row must carry exactly that many
+// fields. A ragged row — fewer or more columns than the header — is a
+// *RowError naming the line, never silently truncated or padded, and the
+// stream stays usable: the next call to Next continues at the following
+// line, so one bad row costs one row.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Row is one data row: its 1-based line number in the input and its
+// fields, trimmed, one per header column.
+type Row struct {
+	Line   int
+	Fields []string
+}
+
+// RowError reports one malformed data row. The reader remains usable;
+// resuming with Next skips to the following line.
+type RowError struct {
+	Line int
+	Msg  string
+}
+
+func (e *RowError) Error() string { return fmt.Sprintf("ingest: line %d: %s", e.Line, e.Msg) }
+
+// RowReader streams header-described CSV rows.
+type RowReader struct {
+	sc     *bufio.Scanner
+	header []string
+	line   int
+}
+
+// NewRowReader reads the header line (the first non-blank, non-comment
+// line) and validates it: no empty names, no duplicates.
+func NewRowReader(r io.Reader) (*RowReader, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	rr := &RowReader{sc: sc}
+	for sc.Scan() {
+		rr.line++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rr.header = splitFields(line)
+		seen := make(map[string]bool, len(rr.header))
+		for _, h := range rr.header {
+			if h == "" {
+				return nil, fmt.Errorf("ingest: line %d: empty header column", rr.line)
+			}
+			if seen[h] {
+				return nil, fmt.Errorf("ingest: line %d: duplicate header column %q", rr.line, h)
+			}
+			seen[h] = true
+		}
+		return rr, nil
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ingest: reading header: %w", err)
+	}
+	return nil, fmt.Errorf("ingest: empty input: no header line")
+}
+
+// Header returns the column names, in input order.
+func (rr *RowReader) Header() []string { return rr.header }
+
+// Next returns the next data row; io.EOF ends the stream. A row whose
+// column count mismatches the header returns a *RowError with its line
+// number — call Next again to continue past it.
+func (rr *RowReader) Next() (Row, error) {
+	for rr.sc.Scan() {
+		rr.line++
+		line := strings.TrimSpace(rr.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := splitFields(line)
+		if len(fields) != len(rr.header) {
+			return Row{}, &RowError{Line: rr.line, Msg: fmt.Sprintf(
+				"row has %d columns, header has %d", len(fields), len(rr.header))}
+		}
+		return Row{Line: rr.line, Fields: fields}, nil
+	}
+	if err := rr.sc.Err(); err != nil {
+		return Row{}, fmt.Errorf("ingest: line %d: %w", rr.line, err)
+	}
+	return Row{}, io.EOF
+}
+
+func splitFields(line string) []string {
+	parts := strings.Split(line, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}

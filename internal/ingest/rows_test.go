@@ -1,0 +1,162 @@
+package ingest
+
+// Table-driven tests for the header-driven RowReader: header validation,
+// ragged-row rejection with line numbers (never silent truncation or
+// padding), and stream recovery after a bad row.
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRowReaderHeader(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      string
+		header  []string
+		wantErr string
+	}{
+		{
+			name:   "plain header",
+			in:     "vt,name,salary\n",
+			header: []string{"vt", "name", "salary"},
+		},
+		{
+			name:   "comments and blanks before header",
+			in:     "# export 2026-08-07\n\n  \nvt, name , salary\n",
+			header: []string{"vt", "name", "salary"},
+		},
+		{
+			name:    "empty input",
+			in:      "",
+			wantErr: "no header",
+		},
+		{
+			name:    "only comments",
+			in:      "# nothing here\n\n",
+			wantErr: "no header",
+		},
+		{
+			name:    "empty column name",
+			in:      "vt,,salary\n",
+			wantErr: "empty header column",
+		},
+		{
+			name:    "duplicate column name",
+			in:      "vt,name,name\n",
+			wantErr: `duplicate header column "name"`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rr, err := NewRowReader(strings.NewReader(tc.in))
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("NewRowReader err = %v, want containing %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("NewRowReader: %v", err)
+			}
+			got := rr.Header()
+			if len(got) != len(tc.header) {
+				t.Fatalf("header = %v, want %v", got, tc.header)
+			}
+			for i := range got {
+				if got[i] != tc.header[i] {
+					t.Fatalf("header = %v, want %v", got, tc.header)
+				}
+			}
+		})
+	}
+}
+
+func TestRowReaderRaggedRows(t *testing.T) {
+	// Each case: input after the "a,b,c" header; expected sequence of
+	// events where ok rows list their fields and bad rows their line
+	// number. A ragged row must NOT be truncated or padded — it is an
+	// error naming the line, and reading continues at the next row.
+	type event struct {
+		fields  []string // non-nil: a good row
+		badLine int      // non-zero: *RowError with this line
+	}
+	cases := []struct {
+		name string
+		in   string
+		want []event
+	}{
+		{
+			name: "all square",
+			in:   "1,2,3\n4,5,6\n",
+			want: []event{{fields: []string{"1", "2", "3"}}, {fields: []string{"4", "5", "6"}}},
+		},
+		{
+			name: "short row rejected not padded",
+			in:   "1,2\n4,5,6\n",
+			want: []event{{badLine: 2}, {fields: []string{"4", "5", "6"}}},
+		},
+		{
+			name: "long row rejected not truncated",
+			in:   "1,2,3,4\n4,5,6\n",
+			want: []event{{badLine: 2}, {fields: []string{"4", "5", "6"}}},
+		},
+		{
+			name: "bad rows interleaved, stream recovers",
+			in:   "1,2,3\nx\n4,5,6\n7,8\n9,10,11\n",
+			want: []event{
+				{fields: []string{"1", "2", "3"}},
+				{badLine: 3},
+				{fields: []string{"4", "5", "6"}},
+				{badLine: 5},
+				{fields: []string{"9", "10", "11"}},
+			},
+		},
+		{
+			name: "comments and blanks keep line numbers honest",
+			in:   "# comment\n1,2,3\n\nx,y\n4,5,6\n",
+			want: []event{
+				{fields: []string{"1", "2", "3"}},
+				{badLine: 5},
+				{fields: []string{"4", "5", "6"}},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rr, err := NewRowReader(strings.NewReader("a,b,c\n" + tc.in))
+			if err != nil {
+				t.Fatalf("NewRowReader: %v", err)
+			}
+			for i, want := range tc.want {
+				row, err := rr.Next()
+				if want.badLine != 0 {
+					var re *RowError
+					if !errors.As(err, &re) {
+						t.Fatalf("event %d: err = %v, want *RowError", i, err)
+					}
+					if re.Line != want.badLine {
+						t.Fatalf("event %d: RowError line = %d, want %d", i, re.Line, want.badLine)
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatalf("event %d: Next: %v", i, err)
+				}
+				if len(row.Fields) != len(want.fields) {
+					t.Fatalf("event %d: fields = %v, want %v", i, row.Fields, want.fields)
+				}
+				for j := range row.Fields {
+					if row.Fields[j] != want.fields[j] {
+						t.Fatalf("event %d: fields = %v, want %v", i, row.Fields, want.fields)
+					}
+				}
+			}
+			if _, err := rr.Next(); !errors.Is(err, io.EOF) {
+				t.Fatalf("after last event: err = %v, want io.EOF", err)
+			}
+		})
+	}
+}

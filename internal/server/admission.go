@@ -106,87 +106,155 @@ const (
 	shedCanceled                   // caller context done while queued
 )
 
-// gate is one class's semaphore plus its accounting. The semaphore is a
-// buffered channel (slots) guarded by a queue counter; the stats mutex
-// covers only counters, never the wait itself.
+// gate is one class's weighted semaphore plus its accounting: a token
+// pool of Limit slots and a FIFO wait queue. A plain request costs one
+// token; a batch request costs its admission weight (wrapOpts.weight),
+// so a 1,000-element batch occupies the write class like the ~N single
+// inserts it replaces rather than slipping in as one. Grants are strictly
+// FIFO — a wide batch at the head of the queue blocks later narrow
+// requests instead of starving behind them.
 type gate struct {
 	limit    int
-	slots    chan struct{}
 	maxWait  time.Duration
 	queueCap int
 
 	mu        sync.Mutex
+	avail     int       // free tokens
+	waiters   []*waiter // FIFO wait queue
 	admitted  uint64
 	sheds     [3]uint64 // by shedCause
-	queued    int
 	maxQueued int
 	// waitHist buckets observed queue waits by power-of-two microseconds
 	// (bucket i covers [2^i, 2^(i+1)) µs; bucket 0 covers [0, 2) µs).
 	waitHist [32]uint64
 }
 
+// waiter is one queued acquisition. granted flips under the gate mutex
+// before ready closes, so a waiter that raced its own timeout can tell a
+// grant it must keep from a shed it must count.
+type waiter struct {
+	n       int
+	ready   chan struct{}
+	granted bool
+}
+
 func newGate(l ClassLimit) *gate {
 	return &gate{
 		limit:    l.Limit,
-		slots:    make(chan struct{}, l.Limit),
+		avail:    l.Limit,
 		maxWait:  l.MaxWait,
 		queueCap: l.Queue,
 	}
 }
 
-// acquire admits the request or reports the shed cause. On admission the
-// caller must release().
+// clamp bounds a request weight to [1, limit] so an oversized batch can
+// always eventually be admitted (it just takes the whole class).
+func (g *gate) clamp(n int) int {
+	if n < 1 {
+		return 1
+	}
+	if n > g.limit {
+		return g.limit
+	}
+	return n
+}
+
+// acquire admits a weight-1 request. On admission the caller must
+// release().
 func (g *gate) acquire(ctx context.Context) (ok bool, cause shedCause) {
-	// Fast path: a free slot, no queueing.
-	select {
-	case g.slots <- struct{}{}:
-		g.mu.Lock()
+	return g.acquireN(ctx, 1)
+}
+
+// acquireN admits a request of weight n (clamped to the class limit) or
+// reports the shed cause. On admission the caller must releaseN(n).
+func (g *gate) acquireN(ctx context.Context, n int) (ok bool, cause shedCause) {
+	n = g.clamp(n)
+	g.mu.Lock()
+	// Fast path: tokens free and nobody queued ahead (FIFO).
+	if len(g.waiters) == 0 && g.avail >= n {
+		g.avail -= n
 		g.admitted++
 		g.waitHist[0]++
 		g.mu.Unlock()
 		return true, 0
-	default:
 	}
-	// Slow path: join the bounded queue.
-	g.mu.Lock()
-	if g.queued >= g.queueCap {
+	if len(g.waiters) >= g.queueCap {
 		g.sheds[shedQueueFull]++
 		g.mu.Unlock()
 		return false, shedQueueFull
 	}
-	g.queued++
-	if g.queued > g.maxQueued {
-		g.maxQueued = g.queued
+	w := &waiter{n: n, ready: make(chan struct{})}
+	g.waiters = append(g.waiters, w)
+	if len(g.waiters) > g.maxQueued {
+		g.maxQueued = len(g.waiters)
 	}
 	g.mu.Unlock()
 
 	start := time.Now()
 	timer := time.NewTimer(g.maxWait)
 	defer timer.Stop()
-	var admitted bool
 	select {
-	case g.slots <- struct{}{}:
-		admitted = true
+	case <-w.ready:
+		g.mu.Lock()
+		g.admitted++
+		g.waitHist[histBucket(time.Since(start))]++
+		g.mu.Unlock()
+		return true, 0
 	case <-ctx.Done():
 		cause = shedCanceled
 	case <-timer.C:
 		cause = shedWait
 	}
-	wait := time.Since(start)
-
 	g.mu.Lock()
-	g.queued--
-	if admitted {
+	defer g.mu.Unlock()
+	if w.granted {
+		// The grant won the race against the timeout; keep it — the
+		// handler runs against the (possibly canceled) context and fails
+		// fast, releasing the tokens on the way out.
 		g.admitted++
-		g.waitHist[histBucket(wait)]++
-	} else {
-		g.sheds[cause]++
+		g.waitHist[histBucket(time.Since(start))]++
+		return true, 0
 	}
-	g.mu.Unlock()
-	return admitted, cause
+	for i, q := range g.waiters {
+		if q == w {
+			g.waiters = append(g.waiters[:i], g.waiters[i+1:]...)
+			break
+		}
+	}
+	// Removing a wide head waiter may unblock the narrower ones behind it.
+	g.grantLocked()
+	g.sheds[cause]++
+	return false, cause
 }
 
-func (g *gate) release() { <-g.slots }
+func (g *gate) release() { g.releaseN(1) }
+
+// releaseN returns n tokens and grants queued waiters in FIFO order.
+func (g *gate) releaseN(n int) {
+	n = g.clamp(n)
+	g.mu.Lock()
+	g.avail += n
+	if g.avail > g.limit {
+		g.avail = g.limit
+	}
+	g.grantLocked()
+	g.mu.Unlock()
+}
+
+// grantLocked hands tokens to the queue head while it fits. Caller holds
+// the mutex.
+func (g *gate) grantLocked() {
+	for len(g.waiters) > 0 {
+		w := g.waiters[0]
+		if g.avail < w.n {
+			return
+		}
+		g.avail -= w.n
+		w.granted = true
+		close(w.ready)
+		g.waiters = g.waiters[1:]
+	}
+}
 
 // histBucket maps a wait to its power-of-two microsecond bucket.
 func histBucket(d time.Duration) int {
@@ -254,7 +322,7 @@ func (a *admission) saturated() []string {
 	for c := AdmissionClass(0); c < numClasses; c++ {
 		g := a.gates[c]
 		g.mu.Lock()
-		full := g.queued >= g.queueCap
+		full := len(g.waiters) >= g.queueCap
 		g.mu.Unlock()
 		if full {
 			out = append(out, c.String())
@@ -274,12 +342,12 @@ func (a *admission) report() map[string]wire.ClassAdmissionMetrics {
 		g.mu.Lock()
 		m := wire.ClassAdmissionMetrics{
 			Limit:         g.limit,
-			Inflight:      len(g.slots),
+			Inflight:      g.limit - g.avail,
 			Admitted:      g.admitted,
 			ShedOverload:  g.sheds[shedQueueFull],
 			ShedTimeout:   g.sheds[shedWait],
 			ShedCanceled:  g.sheds[shedCanceled],
-			QueueDepth:    g.queued,
+			QueueDepth:    len(g.waiters),
 			MaxQueueDepth: g.maxQueued,
 			WaitP50US:     quantile(&g.waitHist, 0.50),
 			WaitP95US:     quantile(&g.waitHist, 0.95),

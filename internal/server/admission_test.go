@@ -30,7 +30,7 @@ func TestGateFastPathAndQueueFull(t *testing.T) {
 	deadline := time.Now().Add(2 * time.Second)
 	for {
 		g.mu.Lock()
-		q := g.queued
+		q := len(g.waiters)
 		g.mu.Unlock()
 		if q == 1 {
 			break
@@ -152,7 +152,9 @@ func TestAdmissionReportAndSaturated(t *testing.T) {
 	// Fill the write queue to capacity: saturated must name the class.
 	g := a.gates[ClassWrite]
 	g.mu.Lock()
-	g.queued = g.queueCap
+	for len(g.waiters) < g.queueCap {
+		g.waiters = append(g.waiters, &waiter{ready: make(chan struct{})})
+	}
 	g.mu.Unlock()
 	sat := a.saturated()
 	if len(sat) != 1 || sat[0] != "write" {

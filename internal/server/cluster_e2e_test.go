@@ -339,3 +339,120 @@ func TestChaosFollowerCatchUp(t *testing.T) {
 		t.Fatal("restarted follower dedup window is missing the shipped idempotency key")
 	}
 }
+
+// TestClusterE2EBatchFrameReplication proves the batched WAL frame ships
+// to followers as-is: one walInsertBatch record per batch on the feed,
+// applied all-or-nothing by the follower's shared replay path. Element
+// surrogates and the per-element idempotency keys must match the
+// primary's exactly — a promoted follower has to dedup the same retries
+// the primary would. The second phase lands a batch while the follower
+// is down and verifies catch-up replays it whole.
+func TestClusterE2EBatchFrameReplication(t *testing.T) {
+	ctx := context.Background()
+	purl, pcat, pstop := bootPrimary(t, t.TempDir())
+	defer pstop()
+	pcli := client.New(purl)
+
+	if _, err := pcli.Create(ctx, empSchema()); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+
+	fdir := t.TempDir()
+	f := bootFollower(t, fdir, purl)
+	waitUntil(t, "follower tailing", func() bool {
+		return f.fol.Stats().AppliedLSN >= pcat.WAL().DurableLSN()
+	})
+
+	// A keyed batch and an interleaved single insert, shipped live.
+	keys := []string{"bk-1", "bk-2", "bk-3"}
+	var res wire.BatchInsertResponse
+	if code := postJSON(t, pcli, "/v1/relations/emp/elements:batch", wire.BatchInsertRequest{
+		Elements: []wire.InsertRequest{
+			insertReq(100, "batch", 1000),
+			insertReq(110, "batch", 2000),
+			insertReq(120, "batch", 3000),
+		},
+		Keys: keys,
+	}, &res); code != http.StatusCreated {
+		t.Fatalf("batch insert: http %d", code)
+	}
+	if res.Stored != 3 {
+		t.Fatalf("batch stored %d, want 3", res.Stored)
+	}
+	if _, err := pcli.Insert(ctx, "emp", insertReq(130, "single", 4000)); err != nil {
+		t.Fatalf("single insert: %v", err)
+	}
+	durable := pcat.WAL().DurableLSN()
+	waitUntil(t, "batch shipped", func() bool {
+		return f.fol.Stats().AppliedLSN >= durable
+	})
+
+	fcli := client.New(f.url)
+	pq, err := pcli.Current(ctx, "emp")
+	if err != nil {
+		t.Fatalf("primary Current: %v", err)
+	}
+	fq, err := fcli.Current(ctx, "emp")
+	if err != nil {
+		t.Fatalf("follower Current: %v", err)
+	}
+	if len(fq.Elements) != 4 || len(pq.Elements) != 4 {
+		t.Fatalf("current = %d on follower / %d on primary, want 4/4", len(fq.Elements), len(pq.Elements))
+	}
+	ps := map[uint64]bool{}
+	for _, el := range pq.Elements {
+		ps[uint64(el.ES)] = true
+	}
+	for _, el := range fq.Elements {
+		if !ps[uint64(el.ES)] {
+			t.Fatalf("follower element es=%d not present on primary", el.ES)
+		}
+	}
+	fe, err := f.cat.Get("emp")
+	if err != nil {
+		t.Fatalf("follower Get: %v", err)
+	}
+	for _, k := range keys {
+		if !fe.HasIdemKey(k) {
+			t.Fatalf("follower dedup window is missing batch key %q", k)
+		}
+	}
+
+	// Phase two: batch lands while the follower is down; the restarted
+	// tail replays the frame whole from its persisted watermark.
+	f.stop()
+	var res2 wire.BatchInsertResponse
+	if code := postJSON(t, pcli, "/v1/relations/emp/elements:batch", wire.BatchInsertRequest{
+		Elements: []wire.InsertRequest{
+			insertReq(200, "down", 5000),
+			insertReq(210, "down", 6000),
+		},
+		Keys: []string{"bk-down-1", "bk-down-2"},
+	}, &res2); code != http.StatusCreated {
+		t.Fatalf("offline batch: http %d", code)
+	}
+	durable = pcat.WAL().DurableLSN()
+
+	f = bootFollower(t, fdir, purl)
+	defer f.stop()
+	waitUntil(t, "catch-up after restart", func() bool {
+		return f.fol.Stats().AppliedLSN >= durable
+	})
+	fcli = client.New(f.url)
+	fq, err = fcli.Current(ctx, "emp")
+	if err != nil {
+		t.Fatalf("follower Current after restart: %v", err)
+	}
+	if len(fq.Elements) != 6 {
+		t.Fatalf("restarted follower sees %d current elements, want 6", len(fq.Elements))
+	}
+	fe, err = f.cat.Get("emp")
+	if err != nil {
+		t.Fatalf("follower Get after restart: %v", err)
+	}
+	for _, k := range []string{"bk-down-1", "bk-down-2"} {
+		if !fe.HasIdemKey(k) {
+			t.Fatalf("restarted follower dedup window is missing %q", k)
+		}
+	}
+}

@@ -95,3 +95,21 @@ func FuzzDecodeQuery(f *testing.F) {
 		post(t, h, "/v1/select", payload)
 	})
 }
+
+func FuzzBatchInsertRequest(f *testing.F) {
+	h := newFuzzHandler(f)
+	f.Add([]byte(`{"elements":[{"vt":{"event":5},"invariant":[{"kind":"string","str":"a"}],"varying":[{"kind":"int","int":1}]}]}`))
+	f.Add([]byte(`{"elements":[{"vt":{"event":5}},{"vt":{"event":9}}],"keys":["a","b"]}`))
+	f.Add([]byte(`{"elements":[{"vt":{"event":5}}],"keys":["only"],"atomic":true}`))
+	f.Add([]byte(`{"elements":[],"keys":[]}`))
+	f.Add([]byte(`{"elements":[{"vt":{}}]}`))
+	f.Add([]byte(`{"elements":[{"vt":{"start":9,"end":5}}]}`))
+	f.Add([]byte(`{"keys":["orphan"]}`))
+	f.Add([]byte(`{"elements":[{"vt":{"event":5}}],"keys":["a","b","c"]}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[`))
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		post(t, h, "/v1/relations/emp/elements:batch", payload)
+	})
+}

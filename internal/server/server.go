@@ -17,6 +17,8 @@
 //	GET  /v1/relations/{name}                schema, declarations, advice
 //	POST /v1/relations/{name}/declare        attach specializations
 //	POST /v1/relations/{name}/insert         insert transaction
+//	POST /v1/relations/{name}/elements:batch batched insert (one WAL frame, one epoch)
+//	POST /v1/ingest/csv                      streaming CSV bulk load (?relation=...)
 //	POST /v1/relations/{name}/delete         logical-delete transaction
 //	POST /v1/relations/{name}/modify         modify transaction
 //	POST /v1/relations/{name}/query          current/timeslice/rollback/asof
@@ -65,6 +67,10 @@ type Config struct {
 	RequestTimeout time.Duration
 	// MaxBodyBytes caps a request body; 0 means 1 MiB.
 	MaxBodyBytes int64
+	// IngestMaxBytes caps the streaming CSV ingest body, which is a bulk
+	// load by construction and must not sit under the JSON cap; 0 means
+	// 1 GiB.
+	IngestMaxBytes int64
 	// Admission configures the per-class overload valve (admission.go).
 	// The zero value enables it with the class defaults.
 	Admission AdmissionConfig
@@ -95,6 +101,11 @@ type Server struct {
 	// draining flips once at the start of graceful shutdown: in-flight
 	// requests complete, new non-probe requests get a clean "unavailable".
 	draining atomic.Bool
+	// CSV-ingest flush-reason counters (ingest.go): batches flushed on
+	// the size cap, the time cap, and end of stream.
+	ingFlushSize atomic.Uint64
+	ingFlushTime atomic.Uint64
+	ingFlushEOF  atomic.Uint64
 }
 
 // New builds a server over the catalog.
@@ -107,6 +118,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 1 << 20
+	}
+	if cfg.IngestMaxBytes <= 0 {
+		cfg.IngestMaxBytes = 1 << 30
 	}
 	s := &Server{cat: cfg.Catalog, metrics: NewMetrics(), cfg: cfg}
 	s.adm = newAdmission(cfg.Admission)
@@ -130,6 +144,10 @@ func New(cfg Config) *Server {
 	mux.Handle("GET /v1/relations/{name}", s.wrap("info", ClassRead, s.handleInfo))
 	mux.Handle("POST /v1/relations/{name}/declare", s.wrap("declare", ClassWrite, s.handleDeclare))
 	mux.Handle("POST /v1/relations/{name}/insert", s.wrap("insert", ClassWrite, s.handleInsert))
+	mux.Handle("POST /v1/relations/{name}/elements:batch",
+		s.wrapOpts("insert_batch", ClassWrite, endpointOpts{weight: batchWeight}, s.handleInsertBatch))
+	mux.Handle("POST /v1/ingest/csv",
+		s.wrapOpts("ingest_csv", ClassWrite, endpointOpts{weight: batchWeight, bodyCap: cfg.IngestMaxBytes}, s.handleIngestCSV))
 	mux.Handle("POST /v1/relations/{name}/delete", s.wrap("delete", ClassWrite, s.handleDelete))
 	mux.Handle("POST /v1/relations/{name}/modify", s.wrap("modify", ClassWrite, s.handleModify))
 	mux.Handle("POST /v1/relations/{name}/query", s.wrap("query", ClassRead, s.handleQuery))
@@ -234,14 +252,45 @@ func mapError(err error) *apiError {
 	}
 }
 
+// endpointOpts tunes wrap for endpoints outside the common envelope:
+// batch mutations weight their admission by request size, and the CSV
+// ingest stream carries a far larger body cap than JSON endpoints.
+type endpointOpts struct {
+	// weight derives the request's admission weight; nil means 1.
+	weight func(*http.Request) int
+	// bodyCap overrides Config.MaxBodyBytes for this endpoint; 0 keeps it.
+	bodyCap int64
+}
+
+// batchWeight estimates a batch request's admission weight from its
+// declared body size, before any decoding: roughly one write slot per
+// 2 KiB of payload (a handful of JSON-encoded elements), clamped by the
+// gate to the class limit. Chunked uploads (unknown length) are assumed
+// wide — they are bulk loads by construction.
+func batchWeight(r *http.Request) int {
+	if r.ContentLength < 0 {
+		return 8
+	}
+	return 1 + int(r.ContentLength/2048)
+}
+
 // wrap adds the per-endpoint envelope: the client's deadline budget, the
 // draining check, class admission, body size cap, JSON rendering, panic
 // containment, and metrics accounting. Probe endpoints (class < 0) skip
 // draining and admission so the server can always describe its own state.
 func (s *Server) wrap(name string, class AdmissionClass, fn func(*http.Request) (*response, *apiError)) http.Handler {
+	return s.wrapOpts(name, class, endpointOpts{}, fn)
+}
+
+// wrapOpts is wrap with per-endpoint overrides.
+func (s *Server) wrapOpts(name string, class AdmissionClass, o endpointOpts, fn func(*http.Request) (*response, *apiError)) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		bodyCap := s.cfg.MaxBodyBytes
+		if o.bodyCap > 0 {
+			bodyCap = o.bodyCap
+		}
+		r.Body = http.MaxBytesReader(w, r.Body, bodyCap)
 
 		// A client-sent deadline budget shrinks the request context, so
 		// catalog scans stop once the caller has given up waiting.
@@ -258,7 +307,11 @@ func (s *Server) wrap(name string, class AdmissionClass, fn func(*http.Request) 
 			aerr = errUnavailable("server is draining")
 		case class >= 0 && !s.adm.disabled:
 			g := s.adm.gates[class]
-			ok, cause := g.acquire(r.Context())
+			weight := 1
+			if o.weight != nil {
+				weight = o.weight(r)
+			}
+			ok, cause := g.acquireN(r.Context(), weight)
 			if !ok {
 				switch cause {
 				case shedQueueFull:
@@ -270,7 +323,7 @@ func (s *Server) wrap(name string, class AdmissionClass, fn func(*http.Request) 
 				}
 				break
 			}
-			defer g.release()
+			defer g.releaseN(weight)
 			fallthrough
 		default:
 			res, aerr = func() (res *response, aerr *apiError) {
@@ -500,6 +553,7 @@ func (s *Server) handleMetrics(*http.Request) (*response, *apiError) {
 	rep.Replication = s.replicationMetrics()
 	rep.Integrity = s.integrityMetrics()
 	var batch wire.BatchMetrics
+	var ing wire.IngestMetrics
 	for _, name := range s.cat.Names() {
 		e, err := s.cat.Get(name)
 		if err != nil {
@@ -516,12 +570,22 @@ func (s *Server) handleMetrics(*http.Request) (*response, *apiError) {
 		batch.Rows += bs.Rows
 		batch.ColumnarPicks += bs.ColumnarPicks
 		batch.RowPicks += bs.RowPicks
+		is := e.IngestStats()
+		ing.Batches += is.Batches
+		ing.BatchedElements += is.Elements
 	}
 	if batch.ColumnarPicks > 0 || batch.RowPicks > 0 {
 		if batch.Batches > 0 {
 			batch.MeanRowsPerBatch = float64(batch.Rows) / float64(batch.Batches)
 		}
 		rep.Batch = &batch
+	}
+	ing.FlushSize = s.ingFlushSize.Load()
+	ing.FlushTime = s.ingFlushTime.Load()
+	ing.FlushEOF = s.ingFlushEOF.Load()
+	if ing.Batches > 0 {
+		ing.MeanBatch = float64(ing.BatchedElements) / float64(ing.Batches)
+		rep.Ingest = &ing
 	}
 	if c := s.cat.Cache(); c != nil {
 		st := c.Stats()

@@ -12,6 +12,7 @@ package shell
 import (
 	"context"
 	"fmt"
+	"os"
 	"strconv"
 	"strings"
 	"time"
@@ -93,7 +94,9 @@ func (s *Session) execRemote(cmd string, args []string, line string) error {
 		return s.remoteSnapshot(ctx)
 	case "metrics":
 		return s.remoteMetrics(ctx)
-	case "load", "clock", "vacuum":
+	case "load":
+		return s.remoteLoad(args)
+	case "clock", "vacuum":
 		return fmt.Errorf("%q is not available in remote mode (the server owns persistence and clocks); 'disconnect' to work locally", cmd)
 	}
 	return fmt.Errorf("unknown command %q (try 'help')", cmd)
@@ -421,6 +424,37 @@ func (s *Session) remoteSnapshot(ctx context.Context) error {
 	return nil
 }
 
+// remoteLoad streams a local CSV file into the connected server's bulk
+// loader — the file is piped, not slurped, so its size is bounded only
+// by the server's ingest cap. Bulk loads can outlast the usual remote
+// deadline, so it runs under a generous one of its own.
+func (s *Session) remoteLoad(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: load <rel> <file>   (header-driven CSV, streamed to the server)")
+	}
+	f, err := os.Open(args[1])
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	start := time.Now()
+	res, err := s.rem.cli.IngestCSV(ctx, args[0], f)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "loaded %s: %d row(s) read, %d stored, %d rejected in %d batch(es) (%.1fs)\n",
+		args[0], res.Lines, res.Stored, res.Rejected, res.Batches, time.Since(start).Seconds())
+	for _, e := range res.Errors {
+		fmt.Fprintf(s.out, "  %s\n", e)
+	}
+	if res.ErrorCount > len(res.Errors) {
+		fmt.Fprintf(s.out, "  ... and %d more error(s)\n", res.ErrorCount-len(res.Errors))
+	}
+	return nil
+}
+
 func (s *Session) remoteMetrics(ctx context.Context) error {
 	m, err := s.rem.cli.Metrics(ctx)
 	if err != nil {
@@ -437,6 +471,10 @@ func (s *Session) remoteMetrics(ctx context.Context) error {
 			fmt.Fprintf(s.out, "  %-20s %6d quer(y/ies)  touched %d\n",
 				kind, ps.Requests, ps.Touched)
 		}
+	}
+	if in := m.Ingest; in != nil {
+		fmt.Fprintf(s.out, "ingest: %d batch(es), %d element(s), mean batch %.1f (flush: %d size / %d time / %d eof)\n",
+			in.Batches, in.BatchedElements, in.MeanBatch, in.FlushSize, in.FlushTime, in.FlushEOF)
 	}
 	if ig := m.Integrity; ig != nil && ig.Enabled {
 		fmt.Fprintf(s.out, "integrity: %d relation(s), %d leaf(s), %d detected, %d repaired, %d quarantine(s)\n",

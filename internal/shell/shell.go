@@ -167,7 +167,8 @@ func (s *Session) help() {
   dump <rel>
   connect <addr> | disconnect        (remote mode against a tsdbd server;
       create/declare/insert/delete/queries/select/classify run server-side,
-      'save' snapshots the server catalog, 'list' and 'metrics' inspect it)
+      'save' snapshots the server catalog, 'list' and 'metrics' inspect it,
+      'load <rel> <file>' streams header-driven CSV into the bulk loader)
   quit
 `)
 }

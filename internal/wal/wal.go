@@ -41,13 +41,18 @@ const (
 	headerSize = 18
 	// frameMin is the smallest frame body: u64 LSN + u8 kind + u16 rel len.
 	frameMin = 11
-	// maxFrame bounds a frame body; one catalog mutation is far smaller,
-	// so anything larger is corruption.
+	// maxFrame bounds a frame body. A single catalog mutation is tiny,
+	// and even a batched-ingest frame (N insertions in one record) stays
+	// well inside 16 MiB; anything larger is corruption.
 	maxFrame = 1 << 24
 
 	defaultSegmentBytes = 64 << 20
 	defaultSyncEvery    = 100 * time.Millisecond
 )
+
+// MaxFrameBytes is the largest frame body the log accepts — exported so
+// batching callers can bound a multi-record payload before staging it.
+const MaxFrameBytes = maxFrame
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 

@@ -420,6 +420,50 @@ type InsertRequest struct {
 	UserTimes []int64   `json:"user_times,omitempty"`
 }
 
+// BatchInsertRequest stores many elements as one journaled unit: one
+// WAL frame, one group-commit entry, one published epoch. Keys, when
+// present, parallels Elements — one idempotency key per element, so a
+// replayed batch dedups element-by-element exactly like replayed single
+// inserts. Atomic makes the batch all-or-nothing: any rejection aborts
+// it before anything is journaled.
+type BatchInsertRequest struct {
+	Elements []InsertRequest `json:"elements"`
+	Keys     []string        `json:"keys,omitempty"`
+	Atomic   bool            `json:"atomic,omitempty"`
+}
+
+// BatchItem is one element's outcome inside a batch response.
+type BatchItem struct {
+	Status  string   `json:"status"` // "stored", "deduped", "rejected"
+	Error   string   `json:"error,omitempty"`
+	Element *Element `json:"element,omitempty"`
+}
+
+// BatchInsertResponse reports a batch per-index plus the tallies and the
+// epoch the single publish produced.
+type BatchInsertResponse struct {
+	Items    []BatchItem `json:"items"`
+	Stored   int         `json:"stored"`
+	Deduped  int         `json:"deduped"`
+	Rejected int         `json:"rejected"`
+	Epoch    uint64      `json:"epoch,omitempty"`
+}
+
+// IngestResponse is POST /v1/ingest/csv: how many data lines streamed
+// in, what was stored or rejected, and how many batches carried them.
+// Errors holds the first line-numbered failures (decode errors and
+// per-element rejections); ErrorCount is the total, which may exceed
+// len(Errors).
+type IngestResponse struct {
+	Relation   string   `json:"relation"`
+	Lines      int      `json:"lines"`
+	Stored     int      `json:"stored"`
+	Rejected   int      `json:"rejected"`
+	Batches    int      `json:"batches"`
+	Errors     []string `json:"errors,omitempty"`
+	ErrorCount int      `json:"error_count,omitempty"`
+}
+
 // DeleteRequest logically deletes one element.
 type DeleteRequest struct {
 	ES uint64 `json:"es"`
@@ -882,6 +926,19 @@ type BatchMetrics struct {
 	RowPicks         int64   `json:"row_picks"`
 }
 
+// IngestMetrics reports the batched-ingest counters summed over the
+// catalog — batches journaled, elements they carried, mean batch size —
+// plus the CSV streaming endpoint's flush-reason split: how many batches
+// flushed on the size cap, the time cap, or end of stream.
+type IngestMetrics struct {
+	Batches         int64   `json:"batches"`
+	BatchedElements int64   `json:"batched_elements"`
+	MeanBatch       float64 `json:"mean_batch"`
+	FlushSize       uint64  `json:"flush_size,omitempty"`
+	FlushTime       uint64  `json:"flush_time,omitempty"`
+	FlushEOF        uint64  `json:"flush_eof,omitempty"`
+}
+
 // DegradedMetrics reports the catalog's degraded-mode gauge.
 type DegradedMetrics struct {
 	ReadOnly bool   `json:"read_only"`
@@ -904,6 +961,7 @@ type MetricsResponse struct {
 	Degraded      *DegradedMetrics                 `json:"degraded,omitempty"`
 	QueryCache    *QueryCacheMetrics               `json:"query_cache,omitempty"`
 	Batch         *BatchMetrics                    `json:"batch,omitempty"`
+	Ingest        *IngestMetrics                   `json:"ingest,omitempty"`
 	Replication   *ReplicationMetrics              `json:"replication,omitempty"`
 	// Physical reports each relation's live physical design: its
 	// organization, the advice provenance, migration count, and the
